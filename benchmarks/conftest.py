@@ -1,0 +1,48 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one table or figure of the paper at full scale
+(14 simulated threads), checks the qualitative shape, and prints the
+reproduced rows (run with ``-s`` to see them; they are also appended to
+``benchmarks/results.txt``).
+
+Environment knobs:
+
+* ``REPRO_SCALE``  — workload scale factor (default 1.0);
+* ``REPRO_THREADS`` — simulated thread count (default 14);
+* ``REPRO_RUNS``   — seeds per overhead measurement (default 3;
+  the paper uses 7).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+THREADS = int(os.environ.get("REPRO_THREADS", "14"))
+RUNS = int(os.environ.get("REPRO_RUNS", "3"))
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure and append it to results.txt."""
+    print()
+    print(text)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(text + "\n\n")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()
+    yield

@@ -1,0 +1,139 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation flips one mechanism and measures what it buys:
+
+* **interrupt-aborts-transaction** (Challenge I): with an idealized PMU
+  that never aborts, sampling would be free — the gap quantifies the
+  cost the paper's co-design has to absorb;
+* **LBR depth**: a 32-entry Skylake LBR reconstructs more in-transaction
+  call paths than Broadwell's 16 (fewer truncations);
+* **sampling period**: the §7.1 trade-off — faster sampling costs more
+  and perturbs more;
+* **conflict policy / detection time**: correctness holds under
+  responder-wins and lazy validation; the abort mix shifts;
+* **retry budget**: more retries convert fallbacks into commits.
+"""
+
+import random
+
+from conftest import SCALE, THREADS, emit, once
+
+from repro.core import TxSampler
+from repro.experiments.runner import run_workload
+from repro.htmbench import get_workload
+from repro.sim import MachineConfig, Simulator
+
+
+def test_ablation_pmu_abort_behaviour(benchmark):
+    def experiment():
+        real = run_workload("vacation", n_threads=THREADS, scale=SCALE,
+                            seed=3, profile=True)
+        cfg = MachineConfig(n_threads=THREADS, pmu_aborts_txn=False)
+        ideal = run_workload("vacation", n_threads=THREADS, scale=SCALE,
+                             seed=3, profile=True, config=cfg)
+        return real, ideal
+
+    real, ideal = once(benchmark, experiment)
+    real_induced = real.result.aborts_by_reason.get("interrupt", 0)
+    ideal_induced = ideal.result.aborts_by_reason.get("interrupt", 0)
+    emit(
+        "=== ablation: PMU interrupts abort transactions ===\n"
+        f"  real PMU : {real_induced} sampling-induced aborts\n"
+        f"  ideal PMU: {ideal_induced} sampling-induced aborts"
+    )
+    assert real_induced > 0 and ideal_induced == 0
+
+
+def test_ablation_lbr_depth(benchmark):
+    def truncations(lbr_size):
+        cfg = MachineConfig(
+            n_threads=THREADS, lbr_size=lbr_size,
+            sample_periods={"cycles": 4_000, "rtm_aborted": 5,
+                            "rtm_commit": 50},
+        )
+        out = run_workload("dedup", n_threads=THREADS, scale=SCALE, seed=2,
+                           profile=True, config=cfg)
+        return out.profiler.truncated_paths
+
+    def experiment():
+        return truncations(16), truncations(32)
+
+    broadwell, skylake = once(benchmark, experiment)
+    emit(
+        "=== ablation: LBR depth (in-txn path truncations on dedup) ===\n"
+        f"  16 entries (Broadwell): {broadwell}\n"
+        f"  32 entries (Skylake)  : {skylake}"
+    )
+    assert skylake <= broadwell
+
+
+def test_ablation_sampling_period(benchmark):
+    def overhead(factor):
+        base = MachineConfig(n_threads=THREADS)
+        periods = {ev: max(1, p // factor)
+                   for ev, p in base.sample_periods.items()}
+        cfg = base.evolve(sample_periods=periods)
+        native = run_workload("kmeans", n_threads=THREADS, scale=SCALE,
+                              seed=1)
+        sampled = run_workload("kmeans", n_threads=THREADS, scale=SCALE,
+                               seed=1, profile=True, config=cfg)
+        return (sampled.result.makespan / native.result.makespan - 1,
+                sampled.result.samples_delivered)
+
+    def experiment():
+        return {f: overhead(f) for f in (1, 4, 16)}
+
+    data = once(benchmark, experiment)
+    lines = ["=== ablation: sampling period sweep (kmeans) ==="]
+    for f, (ov, n) in data.items():
+        lines.append(f"  {f:2d}x faster sampling: overhead {ov:+7.2%} "
+                     f"({n} samples)")
+    emit("\n".join(lines))
+    # more samples collected as the period shrinks
+    assert data[16][1] > data[4][1] > data[1][1]
+    # and the cost grows with it
+    assert data[16][0] > data[1][0]
+
+
+def test_ablation_conflict_semantics(benchmark):
+    def run_with(**kw):
+        cfg = MachineConfig(n_threads=THREADS, **kw)
+        return run_workload("vacation", n_threads=THREADS, scale=SCALE,
+                            seed=4, config=cfg).result
+
+    def experiment():
+        return {
+            "requester_wins": run_with(),
+            "responder_wins": run_with(conflict_policy="responder_wins"),
+            "lazy": run_with(eager_conflicts=False),
+        }
+
+    results = once(benchmark, experiment)
+    lines = ["=== ablation: conflict arbitration (vacation) ==="]
+    for name, r in results.items():
+        lines.append(
+            f"  {name:15s} makespan={r.makespan:>9} commits={r.commits:5d} "
+            f"conflicts={r.aborts_by_reason.get('conflict', 0):5d}"
+        )
+    emit("\n".join(lines))
+    for r in results.values():
+        assert r.commits > 0
+
+
+def test_ablation_retry_budget(benchmark):
+    def run_with(retries):
+        cfg = MachineConfig(n_threads=THREADS, max_retries=retries)
+        return run_workload("kmeans", n_threads=THREADS, scale=SCALE,
+                            seed=2, config=cfg).result
+
+    def experiment():
+        return {n: run_with(n) for n in (0, 5, 10)}
+
+    results = once(benchmark, experiment)
+    lines = ["=== ablation: retry budget (kmeans) ==="]
+    for n, r in results.items():
+        lines.append(f"  {n:2d} retries: commits={r.commits:5d} "
+                     f"aborts={r.aborts:5d} makespan={r.makespan}")
+    emit("\n".join(lines))
+    # more retries -> more speculative commits
+    assert results[5].commits >= results[0].commits

@@ -1,0 +1,43 @@
+"""Figure 5: TxSampler's runtime overhead, per benchmark.
+
+Paper: ~4% average runtime overhead across the suite, measured as the
+trimmed mean of repeated native-vs-sampled executions.
+
+On our substrate the per-benchmark numbers are noisier than on silicon
+(runs are ~10^5-10^6 simulated cycles, so a sampling interrupt can tip
+a conflict-heavy program's interleaving either way), which is why the
+assertion targets the *suite mean*: it must stay in the low single
+digits, exactly the paper's headline claim.
+"""
+
+from conftest import RUNS, SCALE, THREADS, emit, once
+
+from repro.experiments.overhead import (
+    FIG5_BENCHMARKS,
+    figure5,
+    render_figure5,
+    suite_mean,
+)
+
+
+def test_fig5_overhead_across_htmbench(benchmark):
+    rows = once(
+        benchmark, figure5,
+        benchmarks=FIG5_BENCHMARKS, n_threads=THREADS, scale=SCALE,
+        runs=RUNS,
+    )
+    emit(render_figure5(rows))
+
+    mean = suite_mean(rows)
+    # the paper's headline: lightweight — low single-digit average
+    assert -0.05 <= mean <= 0.08, f"suite mean overhead {mean:.2%}"
+    # most programs individually land in a sane band
+    in_band = sum(1 for r in rows if -0.15 <= r.mean <= 0.15)
+    assert in_band >= int(0.7 * len(rows)), (
+        f"only {in_band}/{len(rows)} benchmarks within +-15%"
+    )
+    # stable (low-conflict) programs show the pure handler cost: a small
+    # positive overhead
+    stable = {r.name: r.mean for r in rows}
+    for name in ("memcached", "ua", "barnes"):
+        assert 0.0 <= stable[name] <= 0.10, (name, stable[name])

@@ -1,0 +1,30 @@
+"""Figure 6: overhead vs. thread count (STAMP average).
+
+Paper: TxSampler maintains low overhead regardless of thread count
+(1, 2, 4, 8, 14 threads; the bars hover around 1.0x with small error
+bars).
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.experiments.overhead import (
+    FIG6_BENCHMARKS,
+    FIG6_THREAD_COUNTS,
+    figure6,
+    render_figure6,
+)
+
+
+def test_fig6_overhead_vs_thread_count(benchmark):
+    data = once(
+        benchmark, figure6,
+        thread_counts=FIG6_THREAD_COUNTS, benchmarks=FIG6_BENCHMARKS,
+        scale=SCALE, runs=2,
+    )
+    emit(render_figure6(data))
+
+    # low overhead at every thread count — no blow-up with parallelism
+    for n, (mean, _spread) in data.items():
+        assert -0.10 <= mean <= 0.12, (
+            f"{n} threads: STAMP mean overhead {mean:.2%}"
+        )

@@ -1,0 +1,27 @@
+"""Figure 7: CLOMP-TM time / abort / abort-weight decompositions.
+
+The six bar groups (small/large transactions x inputs 1-3) and the
+paper's reading of them:
+
+* small-*: transaction overhead (T_oh) is a major time component;
+* large-1 (Adjacent): useful speculative work dominates, ~no aborts;
+* large-2 (FirstParts): the fallback lock serializes — T_wait explodes,
+  aborts are conflicts;
+* large-3 (Random): the write set overflows — capacity aborts take
+  their largest share here, with correspondingly heavy abort weight.
+"""
+
+from conftest import SCALE, THREADS, emit, once
+
+from repro.experiments.clomp import (
+    check_expectations,
+    figure7,
+    render_figure7,
+)
+
+
+def test_fig7_decompositions(benchmark):
+    rows = once(benchmark, figure7, n_threads=THREADS, scale=SCALE, seed=0)
+    emit(render_figure7(rows))
+    problems = check_expectations(rows)
+    assert problems == [], problems

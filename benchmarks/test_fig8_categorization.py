@@ -1,0 +1,35 @@
+"""Figure 8: the Type I / II / III application categorization.
+
+Paper: programs with r_cs < 20% (Type I) are not worth optimizing;
+hot programs split by abort/commit ratio into Type II (< 1) and
+Type III (>= 1).  The bench reproduces the placement for the whole
+suite and scores agreement against the paper's reported quadrants.
+"""
+
+from conftest import SCALE, THREADS, emit, once
+
+from repro.experiments.categorize import (
+    agreement,
+    by_type,
+    figure8,
+    render_figure8,
+)
+
+
+def test_fig8_categorization(benchmark):
+    rows = once(benchmark, figure8, n_threads=THREADS, scale=SCALE, seed=3)
+    emit(render_figure8(rows))
+
+    groups = by_type(rows)
+    # all three quadrants are populated, as in the paper
+    for type_ in ("I", "II", "III"):
+        assert groups[type_], f"Type {type_} is empty"
+    # the compute-bound SPLASH-2 programs stop the decision tree early
+    for name in ("barnes", "fmm", "water", "raytrace"):
+        assert name in groups["I"], name
+    # the paper's flagship Type III subjects conflict hard here too
+    for name in ("leveldb", "avltree", "linkedlist", "vacation"):
+        assert name in groups["III"], name
+    # overall agreement with the paper's placements
+    score = agreement(rows)
+    assert score >= 0.75, f"only {score:.0%} agreement with the paper"

@@ -1,0 +1,60 @@
+"""Figure 9: TxSampler's report for Dedup.
+
+The paper's screenshot shows the calling-context view descending
+ChunkProcess -> sub_ChunkProcess -> tm_begin -> begin_in_tx ->
+hashtable_search, with the search line carrying a large share of the
+abort weight and a visible capacity-abort component.  This bench
+renders the same view from our profile and checks those attributions.
+"""
+
+from conftest import SCALE, THREADS, emit, once
+
+from repro.core import metrics as m
+from repro.core.report import render_cct, render_summary
+from repro.dslib.hashtable import hashtable_search
+from repro.experiments.runner import run_workload
+from repro.sim import MachineConfig
+
+
+def _profile_dedup():
+    cfg = MachineConfig(
+        n_threads=THREADS,
+        sample_periods={
+            "cycles": 8_000, "mem_loads": 4_000, "mem_stores": 4_000,
+            "rtm_aborted": 5, "rtm_commit": 50,
+        },
+    )
+    out = run_workload("dedup", n_threads=THREADS, scale=SCALE, seed=7,
+                       profile=True, config=cfg)
+    return out.profile
+
+
+def test_fig9_dedup_context_view(benchmark):
+    profile = once(benchmark, _profile_dedup)
+    view = render_cct(profile, metric=m.ABORT_WEIGHT, min_share=0.02)
+    emit(render_summary(profile, "dedup (naive)") + "\n\n" + view)
+
+    # the view descends into the transaction like the paper's screenshot
+    assert "ChunkProcess" in view
+    assert "[begin_in_tx]" in view
+    assert "hashtable_search" in view
+
+    # hashtable_search carries a large share of the abort weight
+    nodes = [
+        n for n in profile.root.walk()
+        if n.key[0] == "call" and n.key[2] == hashtable_search.base
+    ]
+    total_w = profile.root.total(m.ABORT_WEIGHT)
+    search_w = sum(n.total(m.ABORT_WEIGHT) for n in nodes)
+    assert total_w > 0
+    share = search_w / total_w
+    assert share >= 0.3, f"hashtable_search abort-weight share {share:.1%}"
+
+    # capacity aborts are visible (the long chains from the bad hash)
+    cap_share = profile.root.total(m.AW_CAPACITY) / total_w
+    assert cap_share >= 0.05, f"capacity weight share {cap_share:.1%}"
+
+    # the second finding: synchronous aborts in dedup_write_file
+    reports = {r.name: r for r in profile.cs_reports()}
+    wf = next(r for name, r in reports.items() if "dedup_write_file" in name)
+    assert wf.aborts_by_class.get("sync", 0) > 0

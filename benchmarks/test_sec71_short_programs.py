@@ -1,0 +1,37 @@
+"""§7.1: the fixed-setup-cost cliff for short-running programs.
+
+Paper: "water and ocean from SPLASH originally run less than 0.1s;
+TxSampler incurs 15x runtime overhead on average" because the constant
+cost of preloading the profiling library and setting up PMUs stops
+amortizing.  With the modeled setup cost enabled, the same program shows
+the cliff at tiny scale and the usual few percent at full scale.
+"""
+
+from conftest import THREADS, emit, once
+
+from repro.experiments.runner import run_workload
+from repro.sim import MachineConfig
+
+SETUP = 25_000  # cycles per thread: preload + PMU programming
+
+
+def _overhead(scale: float) -> float:
+    native = run_workload("water", n_threads=THREADS, scale=scale, seed=1)
+    cfg = MachineConfig(n_threads=THREADS, profiler_setup_cost=SETUP)
+    sampled = run_workload("water", n_threads=THREADS, scale=scale, seed=1,
+                           profile=True, config=cfg)
+    return sampled.result.makespan / native.result.makespan - 1.0
+
+
+def test_sec71_setup_cost_cliff(benchmark):
+    def experiment():
+        return _overhead(0.02), _overhead(4.0)
+
+    short, long_ = once(benchmark, experiment)
+    emit(
+        "=== §7.1: fixed setup cost vs program length (water) ===\n"
+        f"  tiny run (scale 0.02): {short:+8.1%} overhead\n"
+        f"  long run (scale 4.0) : {long_:+8.1%} overhead"
+    )
+    assert short > 1.5          # the cliff
+    assert long_ < 0.25         # amortized

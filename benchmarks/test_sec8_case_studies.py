@@ -1,0 +1,43 @@
+"""§8 case studies: Dedup, LevelDB, Histo — the full investigation loop.
+
+Each case study profiles the naive program, walks the Figure 1 decision
+tree, verifies the paper's reported symptom is in the profile, applies
+the published fix and confirms the improvement.
+"""
+
+from conftest import SCALE, THREADS, emit, once
+
+from repro.experiments.casestudy import (
+    dedup_case_study,
+    histo_case_study,
+    leveldb_case_study,
+)
+
+
+def test_sec81_dedup(benchmark):
+    cs = once(benchmark, dedup_case_study, n_threads=THREADS, scale=SCALE,
+              seed=7)
+    emit(cs.render())
+    assert cs.ok, cs.problems
+    assert cs.speedup > 1.0
+    # the traversal reached the abort analysis, as in Figure 1's red path
+    nodes = [s.node for s in cs.guidance.steps]
+    assert "time-analysis" in nodes
+    assert "abort-analysis" in nodes
+
+
+def test_sec82_leveldb(benchmark):
+    cs = once(benchmark, leveldb_case_study, n_threads=THREADS, scale=SCALE,
+              seed=5)
+    emit(cs.render())
+    assert cs.ok, cs.problems
+    assert cs.speedup > 1.0
+
+
+def test_sec83_histo(benchmark):
+    cs = once(benchmark, histo_case_study, n_threads=THREADS, scale=SCALE,
+              seed=4)
+    emit(cs.render())
+    assert cs.ok, cs.problems
+    # the headline: coalescing is a multi-x win on input 1
+    assert cs.speedup > 1.5

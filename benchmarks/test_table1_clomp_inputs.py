@@ -1,0 +1,56 @@
+"""Table 1: CLOMP-TM's three inputs and their expected characteristics.
+
+Regenerates the table and *verifies* each input actually exhibits its
+stated trait on our substrate: Adjacent = rare conflicts, FirstParts =
+high conflicts, Random = rare (cross-thread) conflicts but footprint-
+bound (our model's analogue of "cache prefetch unfriendly").
+"""
+
+from conftest import SCALE, THREADS, emit, once
+
+from repro.experiments.clomp import TABLE1, render_table1
+from repro.experiments.runner import run_workload
+from repro.htmbench.clomp_tm import (
+    SCATTER_ADJACENT,
+    SCATTER_FIRSTPARTS,
+    SCATTER_RANDOM,
+)
+
+
+def _run_input(scatter: int):
+    return run_workload(
+        "clomp_tm", n_threads=THREADS, scale=SCALE, seed=0,
+        txn_size="large", scatter=scatter,
+    ).result
+
+
+def test_table1_input_characteristics(benchmark):
+    def experiment():
+        return {s: _run_input(s) for s in
+                (SCATTER_ADJACENT, SCATTER_FIRSTPARTS, SCATTER_RANDOM)}
+
+    results = once(benchmark, experiment)
+    adjacent = results[SCATTER_ADJACENT]
+    firstparts = results[SCATTER_FIRSTPARTS]
+    rnd = results[SCATTER_RANDOM]
+
+    lines = [render_table1(), "", "measured (large transactions):"]
+    for name, r in (("Adjacent", adjacent), ("FirstParts", firstparts),
+                    ("Random", rnd)):
+        lines.append(
+            f"  {name:11s} commits={r.commits:5d} "
+            f"conflicts={r.aborts_by_reason.get('conflict', 0):5d} "
+            f"capacity={r.aborts_by_reason.get('capacity', 0):5d}"
+        )
+    emit("\n".join(lines))
+
+    # input 1: rare conflicts
+    assert adjacent.aborts_by_reason.get("conflict", 0) <= \
+        max(2, adjacent.commits * 0.1)
+    # input 2: high conflicts
+    assert firstparts.aborts_by_reason.get("conflict", 0) > \
+        10 * max(1, adjacent.aborts_by_reason.get("conflict", 0))
+    # input 3: the footprint effect — capacity aborts appear only here
+    assert rnd.aborts_by_reason.get("capacity", 0) > 0
+    assert adjacent.aborts_by_reason.get("capacity", 0) == 0
+    assert firstparts.aborts_by_reason.get("capacity", 0) == 0

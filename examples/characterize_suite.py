@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Characterize a slice of HTMBench (Figure 8's methodology).
+
+Profiles a representative subset of the suite, computes each program's
+critical-section duration ratio (r_cs) and abort/commit ratio, and
+places it in the paper's Type I / II / III quadrants.  Pass workload
+names as arguments to characterize a different subset, or ``--all`` for
+the full Figure 8 sweep (slower).
+
+Run:  python examples/characterize_suite.py [names... | --all]
+"""
+
+import sys
+
+from repro.experiments.categorize import (
+    figure8,
+    figure8_names,
+    render_figure8,
+)
+
+DEFAULT_SUBSET = [
+    "barnes",        # Type I: compute-bound, tiny CS share
+    "raytrace",      # Type I
+    "histo",         # Type II: hot CS, overhead-bound
+    "dedup",         # Type II
+    "memcached",     # Type II
+    "vacation",      # Type III: conflict-heavy
+    "linkedlist",    # Type III
+    "leveldb",       # Type III
+]
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if args == ["--all"]:
+        names = figure8_names()
+    elif args:
+        names = args
+    else:
+        names = DEFAULT_SUBSET
+    print(f"profiling {len(names)} workloads at 14 threads ...")
+    rows = figure8(names=names, n_threads=14, scale=1.0, seed=3)
+    print(render_figure8(rows))
+
+
+if __name__ == "__main__":
+    main()

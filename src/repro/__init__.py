@@ -1,0 +1,76 @@
+"""repro — a Python reproduction of *Lightweight Hardware Transactional
+Memory Profiling* (TxSampler, PPoPP 2019).
+
+The package layers:
+
+* :mod:`repro.sim` — deterministic discrete-event multicore simulator;
+* :mod:`repro.htm` — TSX-style hardware transactional memory;
+* :mod:`repro.rtm` — the RTM runtime library (TM_BEGIN/TM_END, fallback
+  lock, the paper's thread-private state word);
+* :mod:`repro.pmu` — PMU event sampling + LBR;
+* :mod:`repro.shadow` — shadow-memory contention analysis;
+* :mod:`repro.cct` — calling-context trees and LBR path reconstruction;
+* :mod:`repro.core` — **TxSampler** itself: collector, analyzer,
+  decision tree, categorization, reports;
+* :mod:`repro.dslib` — data structures over simulated memory;
+* :mod:`repro.htmbench` — the HTMBench workload suite (30+ programs);
+* :mod:`repro.baselines` — Perf-style, TSXProf-style and
+  instrumentation comparators;
+* :mod:`repro.experiments` — harnesses for every table and figure.
+
+Quickstart::
+
+    from repro import MachineConfig, Simulator, TxSampler, simfn
+
+    @simfn
+    def worker(ctx, counter, iters):
+        for _ in range(iters):
+            def body(c):
+                v = yield from c.load(counter)
+                yield from c.store(counter, v + 1)
+            yield from ctx.atomic(body, name="incr")
+
+    profiler = TxSampler()
+    sim = Simulator(MachineConfig(), n_threads=4, profiler=profiler)
+    counter = sim.memory.alloc_line()
+    sim.set_programs([(worker, (counter, 500), {})] * 4)
+    result = sim.run()
+    print(profiler.profile().summary())
+"""
+
+from .core import (
+    DecisionTree,
+    Guidance,
+    Profile,
+    TxSampler,
+    categorize,
+    render_full_report,
+)
+from .sim import (
+    Barrier,
+    MachineConfig,
+    Memory,
+    RunResult,
+    SimFunction,
+    Simulator,
+    simfn,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MachineConfig",
+    "Simulator",
+    "RunResult",
+    "Memory",
+    "Barrier",
+    "simfn",
+    "SimFunction",
+    "TxSampler",
+    "Profile",
+    "DecisionTree",
+    "Guidance",
+    "categorize",
+    "render_full_report",
+]

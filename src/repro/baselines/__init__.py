@@ -1,0 +1,15 @@
+"""Comparator profilers (§9): Perf-style sampling, TSXProf-style
+record-and-replay, and pure instrumentation."""
+
+from .instrument import InstrumentationProfiler, InstrumentationResult
+from .perf import MISATTRIBUTED, PerfProfiler
+from .tsxprof import TsxProfResult, TsxProfSim
+
+__all__ = [
+    "PerfProfiler",
+    "MISATTRIBUTED",
+    "TsxProfSim",
+    "TsxProfResult",
+    "InstrumentationProfiler",
+    "InstrumentationResult",
+]

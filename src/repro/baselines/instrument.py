@@ -1,0 +1,68 @@
+"""A pure instrumentation-based profiler (the approach §1 argues against).
+
+Exact per-section counts, but every transaction event pays instrumentation
+cycles *inside the timed region*, and the instrumentation's bookkeeping
+state inflates transactional footprints — instrumentation does not just
+slow HTM programs down, it *changes their abort behaviour* (extra
+capacity/conflict aborts), which is the paper's core argument for
+sampling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rtm.instrument import TxnInstrumentation
+from ..sim.config import MachineConfig
+from ..sim.engine import RunResult, Simulator
+
+
+@dataclass
+class InstrumentationResult:
+    native: RunResult
+    instrumented: RunResult
+    counts: TxnInstrumentation
+
+    @property
+    def overhead(self) -> float:
+        return self.instrumented.makespan / self.native.makespan - 1.0
+
+    @property
+    def abort_inflation(self) -> float:
+        """Extra aborts caused by the act of measuring (perturbation)."""
+        if not self.native.aborts:
+            return float("inf") if self.instrumented.aborts else 0.0
+        return self.instrumented.aborts / self.native.aborts - 1.0
+
+
+class InstrumentationProfiler:
+    """Full-instrumentation measurement of any HTMBench workload."""
+
+    def __init__(self, event_cost: int = 180, extra_wset_lines: int = 2) -> None:
+        self.event_cost = event_cost
+        self.extra_wset_lines = extra_wset_lines
+
+    def profile(self, workload, n_threads: int = 14, scale: float = 1.0,
+                seed: int = 0,
+                config: Optional[MachineConfig] = None) -> InstrumentationResult:
+        cfg = config or MachineConfig(n_threads=n_threads)
+
+        def run(instr):
+            sim = Simulator(cfg, n_threads=n_threads, seed=seed)
+            if instr is not None:
+                sim.rtm.instrument = instr
+            rng = random.Random(seed * 7919 + 13)
+            sim.set_programs(workload.build(sim, n_threads, scale, rng))
+            return sim.run()
+
+        native = run(None)
+        counts = TxnInstrumentation(
+            cost_per_event=self.event_cost,
+            extra_wset_lines=self.extra_wset_lines,
+        )
+        instrumented = run(counts)
+        return InstrumentationResult(
+            native=native, instrumented=instrumented, counts=counts
+        )

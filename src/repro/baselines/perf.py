@@ -1,0 +1,87 @@
+"""A Perf/VTune-style PMU sampling profiler (the §9 comparator).
+
+Same hardware facilities as TxSampler (PMU samples, LBR), but **no RTM
+runtime co-design**: it cannot query the state word, so it
+
+* cannot decompose critical-section time into T_tx/T_fb/T_wait/T_oh
+  (no Equation-2 view — Perf/VTune's documented gap);
+* cannot tell whether a sample in shared transaction/fallback code
+  executed speculatively, unless the LBR abort bit happens to be set;
+* attributes every sample to the unwound stack + IP only, so samples
+  that aborted a transaction land at the *fallback* context —
+  the systematic misattribution the paper's Challenge I describes.
+
+It does count RTM events (aborted/commit) like ``perf stat``, giving
+hotspot + abort-rate views, which is genuinely useful — just not enough,
+as the case studies show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..cct.merge import merge_profiles
+from ..cct.tree import CCTNode, call_key, ip_key, new_root
+from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
+from ..pmu.sampling import Sample
+from ..core import metrics as m
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+#: metric: cycles samples whose context was misattributed (known only by
+#: comparing with the LBR abort bit; Perf itself cannot see it was wrong)
+MISATTRIBUTED = "misattributed"
+
+
+class PerfProfiler:
+    """State-unaware sampling profiler, for head-to-head comparisons."""
+
+    def __init__(self) -> None:
+        self.sim: Optional["Simulator"] = None
+        self.roots = []
+        self.samples_seen: Dict[str, int] = {}
+
+    def attach(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.roots = [new_root() for _ in sim.threads]
+
+    def on_sample(self, s: Sample) -> None:
+        self.samples_seen[s.event] = self.samples_seen.get(s.event, 0) + 1
+        root = self.roots[s.tid]
+        # flat attribution: unwound stack + precise IP, nothing else
+        path = [call_key(cs, cb) for cs, cb in s.ustack]
+        path.append(ip_key(s.ip))
+        node = root.insert(path)
+        if s.event == CYCLES:
+            node.add(m.W)
+            if s.aborted_by_sample:
+                # the sample executed inside a transaction, but perf files
+                # it under the post-abort context all the same
+                node.add(MISATTRIBUTED)
+        elif s.event == RTM_ABORTED:
+            node.add(m.ABORTS, 1, tid=s.tid)
+            node.add(m.ABORT_WEIGHT, s.weight)
+            node.add(m.AB_BY_CLASS[m.classify_abort_eax(s.abort_eax)])
+        elif s.event == RTM_COMMIT:
+            node.add(m.COMMITS, 1, tid=s.tid)
+        # mem samples: perf records them but has no shadow-memory
+        # contention analysis; nothing actionable is derived
+
+    # -- views -------------------------------------------------------------------
+
+    def merged(self) -> CCTNode:
+        root = merge_profiles(self.roots)
+        self.roots = []
+        return root
+
+    def hotspots(self, root: Optional[CCTNode] = None, limit: int = 10):
+        """Top contexts by cycles samples (what ``perf report`` shows)."""
+        root = root or self.merged()
+        nodes = [
+            (node.metrics.get(m.W, 0.0), node)
+            for node in root.walk()
+            if node.metrics.get(m.W)
+        ]
+        nodes.sort(key=lambda kv: kv[0], reverse=True)
+        return nodes[:limit]

@@ -1,0 +1,124 @@
+"""A TSXProf-style record-and-replay profiler (Liu et al., PACT'15).
+
+The §9 comparison: TSXProf needs **two executions** —
+
+1. a *record* pass with lightweight timestamp instrumentation on every
+   transaction begin/commit/abort (cheap, but it logs every attempted
+   transaction, so its trace grows with attempt count), and
+2. a *replay* pass that re-executes transactions under an STM-style
+   harness instrumenting **every load and store** to reconstruct read/
+   write sets and calling contexts (the paper cites >=3x there).
+
+We model both passes faithfully as perturbed executions of the same
+program: the record pass charges per-transaction-event cycles and
+per-thread trace bytes; the replay pass additionally charges per-access
+instrumentation and inflates transactional footprints (instrumentation
+metadata shares the cache), re-creating the overhead structure the paper
+argues against.  The result object reports both runtimes, the combined
+overhead, and the trace size — the quantities Figure/related-work
+comparisons need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..rtm.instrument import TxnInstrumentation
+from ..sim.config import MachineConfig
+from ..sim.engine import RunResult, Simulator
+
+#: bytes logged per attempted transaction in the record pass (begin +
+#: outcome timestamps, ids)
+TRACE_BYTES_PER_EVENT = 24
+
+
+@dataclass
+class TsxProfResult:
+    """Outcome of a full record + replay cycle."""
+
+    native: RunResult
+    record: RunResult
+    replay: RunResult
+    trace_bytes: int
+    #: exact per-section event counts recovered by the replay pass (the
+    #: "full information" TSXProf ultimately provides)
+    ground_truth: TxnInstrumentation
+
+    @property
+    def record_overhead(self) -> float:
+        return self.record.makespan / self.native.makespan - 1.0
+
+    @property
+    def replay_overhead(self) -> float:
+        return self.replay.makespan / self.native.makespan - 1.0
+
+    @property
+    def total_overhead(self) -> float:
+        """Both passes, relative to one native execution — the number to
+        put against TxSampler's single-pass ~4%."""
+        return (
+            (self.record.makespan + self.replay.makespan)
+            / self.native.makespan
+            - 1.0
+        )
+
+
+class TsxProfSim:
+    """Drive the two-pass methodology over any HTMBench workload."""
+
+    def __init__(self, record_event_cost: int = 60,
+                 replay_access_cost: int = 14,
+                 replay_event_cost: int = 120,
+                 replay_extra_wset_lines: int = 4) -> None:
+        self.record_event_cost = record_event_cost
+        self.replay_access_cost = replay_access_cost
+        self.replay_event_cost = replay_event_cost
+        self.replay_extra_wset_lines = replay_extra_wset_lines
+
+    def _run(self, workload, n_threads: int, scale: float, seed: int,
+             config: MachineConfig,
+             instrument: Optional[TxnInstrumentation],
+             access_cost: int) -> RunResult:
+        cfg = config if access_cost == 0 else config.evolve(
+            load_cost=config.load_cost + access_cost,
+            store_cost=config.store_cost + access_cost,
+        )
+        sim = Simulator(cfg, n_threads=n_threads, seed=seed)
+        if instrument is not None:
+            sim.rtm.instrument = instrument
+        rng = random.Random(seed * 7919 + 13)
+        sim.set_programs(workload.build(sim, n_threads, scale, rng))
+        return sim.run()
+
+    def profile(self, workload, n_threads: int = 14, scale: float = 1.0,
+                seed: int = 0,
+                config: Optional[MachineConfig] = None) -> TsxProfResult:
+        cfg = config or MachineConfig(n_threads=n_threads)
+        native = self._run(workload, n_threads, scale, seed, cfg, None, 0)
+        # pass 1: record — timestamp every txn event
+        rec_instr = TxnInstrumentation(cost_per_event=self.record_event_cost)
+        record = self._run(workload, n_threads, scale, seed, cfg,
+                           rec_instr, 0)
+        events = (
+            rec_instr.total_commits()
+            + rec_instr.total_aborts()
+            + sum(rec_instr.fallbacks.values())
+        )
+        trace_bytes = events * TRACE_BYTES_PER_EVENT
+        # pass 2: replay — instrument every memory access, inflate
+        # transactional footprints with instrumentation metadata
+        rep_instr = TxnInstrumentation(
+            cost_per_event=self.replay_event_cost,
+            extra_wset_lines=self.replay_extra_wset_lines,
+        )
+        replay = self._run(workload, n_threads, scale, seed, cfg,
+                           rep_instr, self.replay_access_cost)
+        return TsxProfResult(
+            native=native,
+            record=record,
+            replay=replay,
+            trace_bytes=trace_bytes,
+            ground_truth=rep_instr,
+        )

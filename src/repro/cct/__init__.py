@@ -1,0 +1,21 @@
+"""Calling-context-tree machinery: tree, reconstruction, merging."""
+
+from .merge import merge_pair, merge_profiles
+from .tree import CCTNode, Key, Path, call_key, ip_key, new_root, pseudo_key
+from .unwind import BEGIN_IN_TX, Reconstruction, reconstruct, txn_call_chain
+
+__all__ = [
+    "CCTNode",
+    "Key",
+    "Path",
+    "new_root",
+    "call_key",
+    "ip_key",
+    "pseudo_key",
+    "merge_profiles",
+    "merge_pair",
+    "reconstruct",
+    "txn_call_chain",
+    "Reconstruction",
+    "BEGIN_IN_TX",
+]

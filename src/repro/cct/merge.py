@@ -1,0 +1,40 @@
+"""Reduction-tree merging of per-thread profiles (§6, after [47]).
+
+The offline analyzer combines one CCT per thread into an aggregate
+profile.  Merging pairwise in rounds (a balanced reduction tree) is how
+HPCToolkit scales this to many threads; we implement the same shape so
+the merge cost grows logarithmically in rounds, and a property test pins
+the result to the sequential fold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .tree import CCTNode, new_root
+
+
+def merge_pair(a: CCTNode, b: CCTNode) -> CCTNode:
+    """Merge ``b`` into ``a`` and return ``a``."""
+    a.merge_from(b)
+    return a
+
+
+def merge_profiles(roots: Sequence[CCTNode]) -> CCTNode:
+    """Reduction-tree merge of any number of per-thread CCT roots.
+
+    The inputs are consumed (the result aliases and mutates copies of the
+    first operands in each round); callers keep ownership semantics simple
+    by merging once, at the end of a run.
+    """
+    if not roots:
+        return new_root()
+    level: List[CCTNode] = list(roots)
+    while len(level) > 1:
+        nxt: List[CCTNode] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(merge_pair(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,121 @@
+"""Calling context tree (CCT) with per-node metrics.
+
+Node keys are small tuples:
+
+* ``("call", callsite_addr, callee_base)`` — one call edge, matching both
+  an unwound stack frame and an LBR call entry;
+* ``("pseudo", name)`` — synthetic nodes such as ``begin_in_tx`` (the
+  anchor under which in-transaction paths hang, as in the paper's GUI);
+* ``("ip", addr)`` — a leaf instruction.
+
+Metrics are plain counters (sample counts / weights).  ``per_thread``
+keeps the per-thread breakdown needed for §5's commit/abort histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+Key = Tuple
+Path = Tuple[Key, ...]
+
+
+def call_key(callsite: int, callee_base: int) -> Key:
+    return ("call", callsite, callee_base)
+
+
+def pseudo_key(name: str) -> Key:
+    return ("pseudo", name)
+
+
+def ip_key(addr: int) -> Key:
+    return ("ip", addr)
+
+
+class CCTNode:
+    """One context-tree node; metrics are exclusive to this exact context."""
+
+    __slots__ = ("key", "parent", "children", "metrics", "per_thread")
+
+    def __init__(self, key: Key, parent: Optional["CCTNode"] = None) -> None:
+        self.key = key
+        self.parent = parent
+        self.children: Dict[Key, CCTNode] = {}
+        self.metrics: Dict[str, float] = {}
+        self.per_thread: Dict[str, Dict[int, float]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def child(self, key: Key) -> "CCTNode":
+        node = self.children.get(key)
+        if node is None:
+            node = CCTNode(key, self)
+            self.children[key] = node
+        return node
+
+    def insert(self, path: Iterable[Key]) -> "CCTNode":
+        node = self
+        for key in path:
+            node = node.child(key)
+        return node
+
+    def add(self, metric: str, value: float = 1.0, tid: Optional[int] = None) -> None:
+        self.metrics[metric] = self.metrics.get(metric, 0.0) + value
+        if tid is not None:
+            by_tid = self.per_thread.setdefault(metric, {})
+            by_tid[tid] = by_tid.get(tid, 0.0) + value
+
+    # -- queries ---------------------------------------------------------------
+
+    def walk(self) -> Iterator["CCTNode"]:
+        """Depth-first iteration over this subtree (self included)."""
+        stack: List[CCTNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def total(self, metric: str) -> float:
+        """Inclusive metric: sum over this subtree."""
+        return sum(n.metrics.get(metric, 0.0) for n in self.walk())
+
+    def total_per_thread(self, metric: str) -> Dict[int, float]:
+        out: Dict[int, float] = {}
+        for n in self.walk():
+            for tid, v in n.per_thread.get(metric, {}).items():
+                out[tid] = out.get(tid, 0.0) + v
+        return out
+
+    def find(self, pred: Callable[["CCTNode"], bool]) -> List["CCTNode"]:
+        return [n for n in self.walk() if pred(n)]
+
+    def path_from_root(self) -> Path:
+        keys: List[Key] = []
+        node: Optional[CCTNode] = self
+        while node is not None and node.key != ("root",):
+            keys.append(node.key)
+            node = node.parent
+        return tuple(reversed(keys))
+
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge_from(self, other: "CCTNode") -> None:
+        """Accumulate ``other``'s subtree into this one (keys must match)."""
+        for metric, value in other.metrics.items():
+            self.metrics[metric] = self.metrics.get(metric, 0.0) + value
+        for metric, by_tid in other.per_thread.items():
+            mine = self.per_thread.setdefault(metric, {})
+            for tid, v in by_tid.items():
+                mine[tid] = mine.get(tid, 0.0) + v
+        for key, child in other.children.items():
+            self.child(key).merge_from(child)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<cct {self.key} metrics={self.metrics}>"
+
+
+def new_root() -> CCTNode:
+    return CCTNode(("root",))

@@ -1,0 +1,117 @@
+"""Call-path reconstruction: stack unwinding + LBR concatenation (§3.4).
+
+For a sample taken outside a transaction the architectural stack is
+complete, so the context is just the unwound frames plus the precise IP.
+
+For a sample inside a transaction the architectural state has rolled back
+to the transaction begin, so the unwound stack can only reach the
+``tm_begin`` frame.  The path *inside* the transaction is rebuilt from the
+LBR exactly as Figure 3 describes: take the in-TSX call/return entries
+belonging to the current attempt (bounded above by the abort/interrupt
+record and below by the previous attempt's abort record or the first
+non-transactional branch), replay them oldest-to-newest pairing calls
+with returns, and the unmatched calls form the active in-transaction call
+chain.  The two paths are concatenated under a ``begin_in_tx`` pseudo
+node.  If the LBR was too small to hold the whole prefix, the
+reconstruction is flagged truncated — the same approximation the real
+tool admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..pmu.lbr import KIND_ABORT, KIND_CALL, KIND_RET, KIND_SAMPLE, LbrEntry
+from ..pmu.sampling import Sample
+from .tree import Key, call_key, ip_key, pseudo_key
+
+#: pseudo node anchoring in-transaction paths (name from the paper's GUI)
+BEGIN_IN_TX = pseudo_key("begin_in_tx")
+
+
+@dataclass
+class Reconstruction:
+    """The full context for one sample."""
+
+    path: Tuple[Key, ...]
+    in_txn: bool
+    truncated: bool
+
+
+def txn_call_chain(
+    lbr: Sequence[LbrEntry],
+) -> Tuple[List[Tuple[int, int]], bool]:
+    """Active in-transaction call chain from an LBR snapshot (newest first).
+
+    Returns ``(chain, truncated)`` where ``chain`` is a list of
+    ``(callsite, callee_base)`` pairs outermost-first and ``truncated``
+    reports whether older in-transaction history may have been evicted.
+    """
+    # 1. find the abort record of the *current* attempt: the newest
+    #    KIND_ABORT entry, skipping any sample records layered above it.
+    idx = None
+    for i, e in enumerate(lbr):
+        if e.kind == KIND_SAMPLE:
+            continue
+        if e.kind == KIND_ABORT:
+            idx = i
+        break
+    if idx is None:
+        return [], False
+    # 2. collect this attempt's in-TSX call/ret entries: everything older
+    #    than the abort record until the previous attempt's abort record or
+    #    the first non-transactional branch.
+    attempt: List[LbrEntry] = []
+    hit_boundary = False
+    for e in lbr[idx + 1:]:
+        if e.kind == KIND_ABORT or not e.in_tsx:
+            hit_boundary = True
+            break
+        if e.kind in (KIND_CALL, KIND_RET):
+            attempt.append(e)
+        # sample records inside the window are ignored
+    truncated = not hit_boundary and len(lbr) >= 1
+    # 3. replay oldest -> newest, pairing calls with returns.
+    stack: List[Tuple[int, int]] = []
+    unmatched_rets = False
+    for e in reversed(attempt):
+        if e.kind == KIND_CALL:
+            stack.append((e.from_addr, e.to_addr))
+        else:  # return
+            if stack:
+                stack.pop()
+            else:
+                # a return whose call was evicted from the LBR
+                unmatched_rets = True
+    return stack, truncated or unmatched_rets
+
+
+def reconstruct(sample: Sample, in_txn: bool) -> Reconstruction:
+    """Build the full CCT path for ``sample``.
+
+    ``in_txn`` is the caller's determination of whether the sample
+    observed transactional execution (Figure 4 reads LBR[0]'s abort bit
+    for cycles samples; abort samples are transactional by definition).
+    """
+    base: List[Key] = [call_key(cs, cb) for cs, cb in sample.ustack]
+    truncated = False
+    if in_txn:
+        chain, truncated = txn_call_chain(sample.lbr)
+        base.append(BEGIN_IN_TX)
+        base.extend(call_key(cs, cb) for cs, cb in chain)
+    base.append(ip_key(sample.ip))
+    return Reconstruction(path=tuple(base), in_txn=in_txn, truncated=truncated)
+
+
+def prefix_matches(
+    chain: Sequence[Tuple[int, int]],
+    innermost_frame_base: int,
+    function_span: int,
+) -> bool:
+    """Figure 3's consistency check: does the oldest reconstructed call
+    originate from the function at the top of the unwound stack?"""
+    if not chain:
+        return True
+    callsite = chain[0][0]
+    return 0 <= callsite - innermost_frame_base < function_span

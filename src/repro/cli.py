@@ -1,0 +1,230 @@
+"""Command-line interface — the analogue of the paper artifact's scripts.
+
+The PPoPP artifact ships ``measure_overhead.py``, ``measure_speedup.py``
+and ``generate_profile.py``; this CLI mirrors them (plus the figure
+harnesses and a viewer for saved profile databases)::
+
+    python -m repro list
+    python -m repro run dedup --guidance --save-db dedup.json
+    python -m repro view dedup.json
+    python -m repro measure-overhead vacation histo
+    python -m repro measure-speedup all
+    python -m repro table1 | figure7 | figure8 | correctness
+
+All commands accept ``--threads``, ``--scale`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import htmbench
+from .core import DecisionTree
+from .core.export import load_profile, save_profile
+from .core.report import render_full_report
+from .experiments.runner import run_workload, trimmed_mean_overhead
+from .experiments.runner import speedup as measure_speedup_pair
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=14,
+                        help="simulated thread count (default 14)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic seed (default 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TxSampler reproduction: profile HTM programs on the "
+                    "simulated TSX substrate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the HTMBench workloads")
+
+    p = sub.add_parser("run", help="run a workload under TxSampler "
+                                   "(generate_profile.py analogue)")
+    p.add_argument("workload")
+    p.add_argument("--guidance", action="store_true",
+                   help="walk the Figure 1 decision tree")
+    p.add_argument("--save-db", metavar="PATH",
+                   help="write the profile database (JSON)")
+    p.add_argument("--no-report", action="store_true",
+                   help="suppress the textual report")
+    _add_common(p)
+
+    p = sub.add_parser("view", help="render a saved profile database")
+    p.add_argument("database")
+    p.add_argument("--guidance", action="store_true")
+
+    p = sub.add_parser("measure-overhead",
+                       help="native-vs-sampled overhead "
+                            "(measure_overhead.py / Figure 5)")
+    p.add_argument("workloads", nargs="+",
+                   help="workload names, or 'all' for the Figure 5 list")
+    p.add_argument("--runs", type=int, default=3)
+    _add_common(p)
+
+    p = sub.add_parser("measure-speedup",
+                       help="Table 2 optimizations "
+                            "(measure_speedup.py analogue)")
+    p.add_argument("programs", nargs="+",
+                   help="naive program names from Table 2, or 'all'")
+    _add_common(p)
+
+    for name, helptext in (
+        ("table1", "CLOMP-TM inputs (Table 1)"),
+        ("figure7", "CLOMP-TM decompositions (Figure 7)"),
+        ("figure8", "application categorization (Figure 8)"),
+        ("correctness", "validation vs ground truth (§7.2)"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        _add_common(p)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    for suite in htmbench.suites():
+        names = htmbench.workload_names(suite)
+        print(f"{suite}:")
+        for name in names:
+            cls = htmbench.WORKLOADS[name]
+            print(f"  {name:22s} Type {cls.expected_type:3s} "
+                  f"{cls.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    out = run_workload(args.workload, n_threads=args.threads,
+                       scale=args.scale, seed=args.seed, profile=True)
+    r = out.result
+    print(f"makespan={r.makespan} commits={r.commits} aborts={r.aborts} "
+          f"by reason={r.aborts_by_reason}")
+    profile = out.profile
+    if not args.no_report:
+        print()
+        print(render_full_report(profile, args.workload))
+    if args.guidance:
+        print()
+        print(DecisionTree().analyze(profile).render())
+    if args.save_db:
+        path = save_profile(profile, args.save_db)
+        print(f"\nprofile database written to {path}")
+    return 0
+
+
+def cmd_view(args) -> int:
+    profile = load_profile(args.database)
+    print(render_full_report(profile, args.database))
+    if args.guidance:
+        print()
+        print(DecisionTree().analyze(profile).render())
+    return 0
+
+
+def cmd_measure_overhead(args) -> int:
+    from .experiments.overhead import FIG5_BENCHMARKS
+
+    names: List[str] = (
+        list(FIG5_BENCHMARKS) if args.workloads == ["all"]
+        else args.workloads
+    )
+    total = 0.0
+    for name in names:
+        mean, runs = trimmed_mean_overhead(
+            name, n_threads=args.threads, scale=args.scale, runs=args.runs,
+            drop=1 if args.runs > 2 else 0,
+        )
+        total += mean
+        spread = f"[{min(runs):+.1%}, {max(runs):+.1%}]"
+        print(f"{name:22s} {mean:+8.2%}  {spread}")
+    print(f"{'MEAN':22s} {total / len(names):+8.2%}")
+    return 0
+
+
+def cmd_measure_speedup(args) -> int:
+    from .htmbench.optimized import TABLE2
+
+    pairs = {naive: (opt, paper) for naive, opt, paper, _ in TABLE2}
+    names = list(pairs) if args.programs == ["all"] else args.programs
+    rc = 0
+    for name in names:
+        if name not in pairs:
+            print(f"{name}: not a Table 2 program "
+                  f"(known: {', '.join(pairs)})", file=sys.stderr)
+            rc = 2
+            continue
+        opt, paper = pairs[name]
+        s, _, _ = measure_speedup_pair(
+            name, opt, n_threads=args.threads, scale=args.scale,
+            seed=args.seed,
+        )
+        print(f"{name:14s} {s:5.2f}x   (paper: {paper:.2f}x)")
+    return rc
+
+
+def cmd_table1(args) -> int:
+    from .experiments.clomp import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def cmd_figure7(args) -> int:
+    from .experiments.clomp import check_expectations, figure7, render_figure7
+
+    rows = figure7(n_threads=args.threads, scale=args.scale, seed=args.seed)
+    print(render_figure7(rows))
+    problems = check_expectations(rows)
+    if problems:
+        print("\nnarrative check FAILED:")
+        for prob in problems:
+            print(f"  ! {prob}")
+        return 1
+    print("\nnarrative check: OK (all Figure 7 observations hold)")
+    return 0
+
+
+def cmd_figure8(args) -> int:
+    from .experiments.categorize import figure8, render_figure8
+
+    rows = figure8(n_threads=args.threads, scale=args.scale, seed=args.seed)
+    print(render_figure8(rows))
+    return 0
+
+
+def cmd_correctness(args) -> int:
+    from .experiments.correctness import render_section72, section72
+
+    rows = section72(n_threads=args.threads, scale=args.scale,
+                     seed=args.seed)
+    print(render_section72(rows))
+    return 0 if all(r.ok for r in rows) else 1
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "view": cmd_view,
+    "measure-overhead": cmd_measure_overhead,
+    "measure-speedup": cmd_measure_speedup,
+    "table1": cmd_table1,
+    "figure7": cmd_figure7,
+    "figure8": cmd_figure8,
+    "correctness": cmd_correctness,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)

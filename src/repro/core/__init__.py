@@ -1,0 +1,46 @@
+"""TxSampler: the paper's primary contribution.
+
+Public surface: :class:`TxSampler` (attach to a simulator, collect
+samples), :class:`Profile` (the merged result), :class:`DecisionTree`
+(Figure 1's guidance model), categorization (Figure 8), and the textual
+report renderers (the GUI's panes).
+"""
+
+from . import metrics
+from .analyzer import CsReport, Profile, ProgramSummary
+from .categorize import TYPE_I, TYPE_II, TYPE_III, Category, categorize
+from .decision_tree import DecisionTree, Guidance, Step, Thresholds
+from .export import load_profile, merge_databases, save_profile
+from .profiler import TxSampler
+from .report import (
+    render_cct,
+    render_cs_table,
+    render_full_report,
+    render_summary,
+    render_thread_histogram,
+)
+
+__all__ = [
+    "TxSampler",
+    "Profile",
+    "CsReport",
+    "ProgramSummary",
+    "DecisionTree",
+    "Guidance",
+    "Step",
+    "Thresholds",
+    "categorize",
+    "Category",
+    "save_profile",
+    "load_profile",
+    "merge_databases",
+    "TYPE_I",
+    "TYPE_II",
+    "TYPE_III",
+    "metrics",
+    "render_summary",
+    "render_cs_table",
+    "render_cct",
+    "render_thread_histogram",
+    "render_full_report",
+]

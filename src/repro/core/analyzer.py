@@ -1,0 +1,243 @@
+"""TxSampler's offline analyzer: aggregate profiles and derived metrics.
+
+Groups samples by critical section (the ``tm_begin`` call edge in the
+CCT), computes the Equation 1-4 derivations, and produces the per-program
+summary the decision tree and reports consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cct.tree import CCTNode
+from ..pmu.events import RTM_ABORTED, RTM_COMMIT
+from ..sim.program import REGISTRY
+from . import metrics as m
+
+
+def _tm_begin_base() -> int:
+    # imported lazily so the runtime module has registered the function
+    from ..rtm.runtime import tm_begin
+
+    return tm_begin.base
+
+
+@dataclass
+class CsReport:
+    """Derived metrics for one critical section (one TM_BEGIN site)."""
+
+    site: int                  # TM_BEGIN call-site address
+    name: str                  # section name (debug info) or "fn+line"
+    # time decomposition, in cycles-sample counts (Equation 2)
+    T: float = 0.0
+    T_tx: float = 0.0
+    T_fb: float = 0.0
+    T_wait: float = 0.0
+    T_oh: float = 0.0
+    # sampled abort/commit events and weights (§5)
+    aborts: float = 0.0
+    commits: float = 0.0
+    abort_weight: float = 0.0
+    aborts_by_class: Dict[str, float] = field(default_factory=dict)
+    weight_by_class: Dict[str, float] = field(default_factory=dict)
+    # contention
+    true_sharing: float = 0.0
+    false_sharing: float = 0.0
+    # per-thread histograms (§5's contention metrics)
+    commits_by_thread: Dict[int, float] = field(default_factory=dict)
+    aborts_by_thread: Dict[int, float] = field(default_factory=dict)
+    # estimated true event counts (sample counts x sampling period)
+    est_aborts: float = 0.0
+    est_commits: float = 0.0
+
+    # ---- Equation 3: average weight per sampled abort --------------------------
+
+    @property
+    def w_t(self) -> float:
+        return self.abort_weight / self.aborts if self.aborts else 0.0
+
+    # ---- Equation 4: abort-weight ratios per cause ------------------------------
+
+    def weight_ratio(self, cls: str) -> float:
+        """Share of the abort weight among the three *cause* classes.
+
+        "other" (RETRY-only) aborts are the profiler's own sampling
+        interrupts plus lock-elision retries; TxSampler excludes them
+        from the root-cause decomposition it acts on."""
+        causes = sum(
+            self.weight_by_class.get(c, 0.0)
+            for c in ("conflict", "capacity", "sync")
+        )
+        if not causes:
+            return 0.0
+        return self.weight_by_class.get(cls, 0.0) / causes
+
+    @property
+    def r_conflict(self) -> float:
+        return self.weight_ratio("conflict")
+
+    @property
+    def r_capacity(self) -> float:
+        return self.weight_ratio("capacity")
+
+    @property
+    def r_synchronous(self) -> float:
+        return self.weight_ratio("sync")
+
+    @property
+    def abort_commit_ratio(self) -> float:
+        if self.est_commits:
+            return self.est_aborts / self.est_commits
+        return float("inf") if self.est_aborts else 0.0
+
+    def dominant_component(self) -> str:
+        comps = {
+            m.T_TX: self.T_tx,
+            m.T_FB: self.T_fb,
+            m.T_WAIT: self.T_wait,
+            m.T_OH: self.T_oh,
+        }
+        return max(comps, key=comps.get)
+
+    def time_fractions(self) -> Dict[str, float]:
+        """Each component as a fraction of this section's T."""
+        total = self.T or 1.0
+        return {
+            m.T_TX: self.T_tx / total,
+            m.T_FB: self.T_fb / total,
+            m.T_WAIT: self.T_wait / total,
+            m.T_OH: self.T_oh / total,
+        }
+
+
+@dataclass
+class ProgramSummary:
+    """Whole-program view (Equation 1)."""
+
+    W: float
+    T: float
+    T_tx: float
+    T_fb: float
+    T_wait: float
+    T_oh: float
+    est_aborts: float
+    est_commits: float
+
+    @property
+    def S(self) -> float:
+        return self.W - self.T
+
+    @property
+    def r_cs(self) -> float:
+        """Critical-section duration ratio T/W (Figure 8's x-axis)."""
+        return self.T / self.W if self.W else 0.0
+
+    @property
+    def abort_commit_ratio(self) -> float:
+        if self.est_commits:
+            return self.est_aborts / self.est_commits
+        return float("inf") if self.est_aborts else 0.0
+
+    def time_fractions(self) -> Dict[str, float]:
+        """non-CS / HTM / fallback / lock-wait / overhead fractions of W
+        (the stacked bars of Figure 7, top)."""
+        total = self.W or 1.0
+        return {
+            "non_cs": self.S / total,
+            m.T_TX: self.T_tx / total,
+            m.T_FB: self.T_fb / total,
+            m.T_WAIT: self.T_wait / total,
+            m.T_OH: self.T_oh / total,
+        }
+
+
+@dataclass
+class Profile:
+    """The merged profile: the aggregate CCT plus run metadata."""
+
+    root: CCTNode
+    n_threads: int
+    periods: Dict[str, int]
+    site_names: Dict[int, str]
+    samples_seen: Dict[str, int]
+    truncated_paths: int = 0
+
+    # -- critical-section grouping -------------------------------------------------
+
+    def cs_nodes(self) -> Dict[int, List[CCTNode]]:
+        """All ``tm_begin`` call-edge nodes, grouped by call site."""
+        base = _tm_begin_base()
+        groups: Dict[int, List[CCTNode]] = {}
+        for node in self.root.walk():
+            key = node.key
+            if key[0] == "call" and key[2] == base:
+                groups.setdefault(key[1], []).append(node)
+        return groups
+
+    def cs_reports(self) -> List[CsReport]:
+        """Per-critical-section derived metrics, hottest (largest T) first."""
+        p_ab = self.periods.get(RTM_ABORTED, 0)
+        p_cm = self.periods.get(RTM_COMMIT, 0)
+        reports: List[CsReport] = []
+        for site, nodes in self.cs_nodes().items():
+            rep = CsReport(site=site, name=self.describe_site(site))
+            for node in nodes:
+                rep.T += node.total(m.T)
+                rep.T_tx += node.total(m.T_TX)
+                rep.T_fb += node.total(m.T_FB)
+                rep.T_wait += node.total(m.T_WAIT)
+                rep.T_oh += node.total(m.T_OH)
+                rep.aborts += node.total(m.ABORTS)
+                rep.commits += node.total(m.COMMITS)
+                rep.abort_weight += node.total(m.ABORT_WEIGHT)
+                for cls in m.ABORT_CLASSES:
+                    rep.aborts_by_class[cls] = (
+                        rep.aborts_by_class.get(cls, 0.0)
+                        + node.total(m.AB_BY_CLASS[cls])
+                    )
+                    rep.weight_by_class[cls] = (
+                        rep.weight_by_class.get(cls, 0.0)
+                        + node.total(m.AW_BY_CLASS[cls])
+                    )
+                rep.true_sharing += node.total(m.TRUE_SHARING)
+                rep.false_sharing += node.total(m.FALSE_SHARING)
+                for tid, v in node.total_per_thread(m.COMMITS).items():
+                    rep.commits_by_thread[tid] = (
+                        rep.commits_by_thread.get(tid, 0.0) + v
+                    )
+                for tid, v in node.total_per_thread(m.ABORTS).items():
+                    rep.aborts_by_thread[tid] = (
+                        rep.aborts_by_thread.get(tid, 0.0) + v
+                    )
+            rep.est_aborts = rep.aborts * p_ab
+            rep.est_commits = rep.commits * p_cm
+            reports.append(rep)
+        reports.sort(key=lambda r: r.T, reverse=True)
+        return reports
+
+    def hottest_cs(self) -> Optional[CsReport]:
+        reports = self.cs_reports()
+        return reports[0] if reports else None
+
+    # -- program-level summary ---------------------------------------------------------
+
+    def summary(self) -> ProgramSummary:
+        root = self.root
+        return ProgramSummary(
+            W=root.total(m.W),
+            T=root.total(m.T),
+            T_tx=root.total(m.T_TX),
+            T_fb=root.total(m.T_FB),
+            T_wait=root.total(m.T_WAIT),
+            T_oh=root.total(m.T_OH),
+            est_aborts=root.total(m.ABORTS) * self.periods.get(RTM_ABORTED, 0),
+            est_commits=root.total(m.COMMITS) * self.periods.get(RTM_COMMIT, 0),
+        )
+
+    # -- naming ------------------------------------------------------------------------
+
+    def describe_site(self, site: int) -> str:
+        name = self.site_names.get(site)
+        loc = REGISTRY.describe(site)
+        return f"{name} [{loc}]" if name else loc

@@ -1,0 +1,56 @@
+"""HTM program characterization (§7.3, Figure 8).
+
+Two metrics classify every program:
+
+* ``r_cs = T / W`` — the critical-section duration ratio;
+* ``r_a/c``        — the abort/commit ratio.
+
+Type I   (r_cs < 0.2):             transactions are not worth optimizing.
+Type II  (r_cs >= 0.2, r_a/c < 1): low conflicts; opportunities are
+                                   overhead reduction and per-transaction
+                                   commit-rate improvements.
+Type III (r_cs >= 0.2, r_a/c >= 1): worth optimizing to alleviate
+                                   conflicts inside transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .analyzer import Profile
+
+TYPE_I = "I"
+TYPE_II = "II"
+TYPE_III = "III"
+
+
+@dataclass(frozen=True)
+class Category:
+    """One program's position in Figure 8."""
+
+    name: str
+    r_cs: float
+    abort_commit: float
+    type_: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: r_cs={self.r_cs:.2f} "
+            f"r_a/c={self.abort_commit:.2f} -> Type {self.type_}"
+        )
+
+
+def categorize(name: str, profile: Profile,
+               r_cs_threshold: float = 0.2,
+               ac_threshold: float = 1.0) -> Category:
+    """Place one program's profile into Figure 8's quadrants."""
+    s = profile.summary()
+    r_cs = s.r_cs
+    ac = s.abort_commit_ratio
+    if r_cs < r_cs_threshold:
+        type_ = TYPE_I
+    elif ac < ac_threshold:
+        type_ = TYPE_II
+    else:
+        type_ = TYPE_III
+    return Category(name=name, r_cs=r_cs, abort_commit=ac, type_=type_)

@@ -1,0 +1,228 @@
+"""The decision-tree model of Figure 1, as an executable analysis.
+
+Given a profile, the tree walks exactly the paper's structure:
+
+1. **Time analysis** — is enough time spent in critical sections at all
+   (r_cs >= 20%)?  If not: no HTM-related optimization is worthwhile.
+2. For the hot critical section, decompose T (Equation 2) and branch on
+   the dominant component: large T_oh -> merge small transactions; large
+   T_tx -> the speculative path itself dominates (usually fine; consider
+   eliding reader locks / fine-grained serialization if waiting is also
+   visible); large T_wait or T_fb -> **abort analysis**.
+3. **Abort analysis** — find the place with the largest abort metrics and
+   classify by cause: conflicts (true sharing -> redesign / shrink /
+   split transactions; false sharing -> relocate data), capacity
+   (shrink/split transactions, relocate data to shared cache lines),
+   synchronous (move unfriendly instructions out / use friendly
+   equivalents).
+
+Every step taken is recorded so case studies can show the traversal (the
+red dotted path of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from . import metrics as m
+from .analyzer import CsReport, Profile, ProgramSummary
+
+
+@dataclass
+class Step:
+    """One decision taken during the traversal."""
+
+    node: str        # which decision-tree node fired
+    finding: str     # what the metrics showed
+    detail: str = ""
+
+
+@dataclass
+class Guidance:
+    """The traversal outcome: the path taken plus concrete suggestions."""
+
+    steps: List[Step] = field(default_factory=list)
+    suggestions: List[str] = field(default_factory=list)
+    cs: Optional[CsReport] = None
+
+    def step(self, node: str, finding: str, detail: str = "") -> None:
+        self.steps.append(Step(node, finding, detail))
+
+    def suggest(self, *texts: str) -> None:
+        self.suggestions.extend(texts)
+
+    def render(self) -> str:
+        lines = ["Decision-tree traversal:"]
+        for i, s in enumerate(self.steps, 1):
+            detail = f" ({s.detail})" if s.detail else ""
+            lines.append(f"  ({i}) {s.node}: {s.finding}{detail}")
+        if self.suggestions:
+            lines.append("Suggestions:")
+            for s in self.suggestions:
+                lines.append(f"  * {s}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Thresholds:
+    """Tunable branch thresholds (paper values as defaults)."""
+
+    #: minimum T/W for critical sections to matter at all (paper: 20%)
+    r_cs: float = 0.20
+    #: a component "dominates" when it exceeds this fraction of T
+    dominant: float = 0.35
+    #: T_oh fraction that flags transaction-overhead pathology
+    overhead: float = 0.25
+    #: abort/commit ratio considered "numerous aborts"
+    abort_commit: float = 0.5
+    #: abort-weight share that names a cause as the culprit
+    cause_share: float = 0.4
+    #: false-sharing sample share (of all sharing samples) to call it out
+    false_share: float = 0.3
+
+
+class DecisionTree:
+    """Figure 1's analysis, parameterized by :class:`Thresholds`."""
+
+    def __init__(self, thresholds: Optional[Thresholds] = None) -> None:
+        self.th = thresholds or Thresholds()
+
+    # -- entry point --------------------------------------------------------
+
+    def analyze(self, profile: Profile) -> Guidance:
+        g = Guidance()
+        summary = profile.summary()
+        if not self._time_analysis(g, summary):
+            return g
+        cs = profile.hottest_cs()
+        if cs is None:
+            g.step("time", "no critical sections sampled")
+            return g
+        g.cs = cs
+        self._decompose(g, cs)
+        return g
+
+    # -- stage 1: time analysis -------------------------------------------------
+
+    def _time_analysis(self, g: Guidance, s: ProgramSummary) -> bool:
+        r = s.r_cs
+        if r < self.th.r_cs:
+            g.step(
+                "time-analysis",
+                f"T/W = {r:.1%} < {self.th.r_cs:.0%}",
+                "no HTM-related bottleneck; optimizing transactions "
+                "would gain little",
+            )
+            return False
+        g.step("time-analysis", f"T/W = {r:.1%}: critical sections are hot")
+        return True
+
+    # -- stage 2: time decomposition per hot section -------------------------------
+
+    def _decompose(self, g: Guidance, cs: CsReport) -> None:
+        fr = cs.time_fractions()
+        g.step(
+            "time-decomposition",
+            f"hot section {cs.name}: "
+            f"tx={fr[m.T_TX]:.0%} fb={fr[m.T_FB]:.0%} "
+            f"wait={fr[m.T_WAIT]:.0%} oh={fr[m.T_OH]:.0%}",
+        )
+        acted = False
+        ran_abort_analysis = False
+        if fr[m.T_OH] >= self.th.overhead:
+            g.step("large-T_oh", f"transaction overhead is {fr[m.T_OH]:.0%} of T")
+            g.suggest(
+                "Merge multiple small transactions into a larger one to "
+                "amortize begin/end overhead"
+            )
+            acted = True
+        if fr[m.T_WAIT] >= self.th.dominant:
+            g.step("large-T_wait", f"lock waiting is {fr[m.T_WAIT]:.0%} of T")
+            g.suggest(
+                "Relax the serialization algorithm (e.g. elide read locks, "
+                "use fine-grained locks to serialize)"
+            )
+            self._abort_analysis(g, cs)
+            acted = ran_abort_analysis = True
+        elif fr[m.T_FB] >= self.th.dominant:
+            g.step("large-T_fb", f"fallback path is {fr[m.T_FB]:.0%} of T")
+            self._abort_analysis(g, cs)
+            acted = ran_abort_analysis = True
+        # numerous aborts warrant the abort analysis even when a time
+        # component already fired (the paper's tree always descends when
+        # there are "numerous HTM aborts")
+        if (not ran_abort_analysis
+                and cs.abort_commit_ratio >= self.th.abort_commit):
+            g.step(
+                "high-abort-ratio",
+                f"abort/commit = {cs.abort_commit_ratio:.2f}",
+            )
+            self._abort_analysis(g, cs)
+            acted = True
+        if not acted:
+            g.step(
+                "large-T_tx",
+                f"speculative path dominates ({fr[m.T_TX]:.0%}); "
+                "no transaction-level pathology",
+            )
+
+    # -- stage 3: abort analysis ------------------------------------------------------
+
+    def _abort_analysis(self, g: Guidance, cs: CsReport) -> None:
+        if not cs.abort_weight:
+            g.step("abort-analysis", "no abort weight sampled")
+            return
+        g.step(
+            "abort-analysis",
+            f"w_t = {cs.w_t:.0f} cycles/abort, abort/commit = "
+            f"{cs.abort_commit_ratio:.2f}",
+        )
+        r_conf, r_cap, r_sync = cs.r_conflict, cs.r_capacity, cs.r_synchronous
+        g.step(
+            "abort-type",
+            f"conflict={r_conf:.0%} capacity={r_cap:.0%} sync={r_sync:.0%}",
+        )
+        if r_conf >= self.th.cause_share:
+            sharing_total = cs.true_sharing + cs.false_sharing
+            if (
+                sharing_total
+                and cs.false_sharing / sharing_total >= self.th.false_share
+            ):
+                g.step(
+                    "false-sharing",
+                    f"{cs.false_sharing:.0f}/{sharing_total:.0f} contended "
+                    "samples collide on different bytes of one line",
+                )
+                g.suggest(
+                    "Relocate contended data to different cache lines "
+                    "(pad/align per-thread data)",
+                    "Relocate data based on threads (partition by owner)",
+                )
+            else:
+                g.step("shared-data-contention", "conflicts from true sharing")
+                g.suggest(
+                    "Redesign the algorithm to reduce shared writes",
+                    "Shrink transactions to narrow the conflict window",
+                    "Split transactions so independent updates commit "
+                    "separately",
+                )
+        if r_cap >= self.th.cause_share:
+            g.step("footprint-large", "capacity aborts dominate the weight")
+            g.suggest(
+                "Shrink transactions (reduce the per-transaction footprint)",
+                "Split transactions into smaller pieces",
+                "Relocate data to shared cache lines (improve locality of "
+                "the working set)",
+            )
+        if r_sync >= self.th.cause_share:
+            g.step(
+                "unfriendly-instructions",
+                "synchronous aborts dominate the weight",
+            )
+            g.suggest(
+                "Move unfriendly instructions/calls (system calls, page "
+                "faults) out of the transaction",
+                "Use an HTM-friendly equivalent (e.g. pre-touch pages, "
+                "buffer I/O outside the critical section)",
+            )

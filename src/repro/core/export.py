@@ -1,0 +1,158 @@
+"""Profile databases: serialize / load merged profiles (§6's analyzer
+output, the files the paper's GUI consumes).
+
+The on-disk form is a versioned JSON document: the CCT as a nested node
+list (keys, metrics, per-thread breakdowns), the sampling periods, the
+symbol table (critical-section names and function names for every
+address the profile references) and the sample inventory.  Function
+*names* are stored alongside addresses so a database stays readable in a
+process whose function registry differs from the producer's.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..cct.tree import CCTNode, new_root
+from ..sim.program import REGISTRY
+from .analyzer import Profile
+
+FORMAT = "txsampler-profile"
+VERSION = 2
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+
+def _node_to_dict(node: CCTNode) -> dict:
+    out: dict = {"key": list(node.key)}
+    if node.metrics:
+        out["metrics"] = node.metrics
+    if node.per_thread:
+        out["per_thread"] = {
+            metric: {str(tid): v for tid, v in by_tid.items()}
+            for metric, by_tid in node.per_thread.items()
+        }
+    if node.children:
+        out["children"] = [
+            _node_to_dict(child) for child in node.children.values()
+        ]
+    return out
+
+
+def _node_from_dict(data: dict, parent: CCTNode) -> None:
+    key = tuple(data["key"])
+    node = parent.child(key)
+    for metric, value in data.get("metrics", {}).items():
+        node.metrics[metric] = node.metrics.get(metric, 0.0) + value
+    for metric, by_tid in data.get("per_thread", {}).items():
+        mine = node.per_thread.setdefault(metric, {})
+        for tid, v in by_tid.items():
+            mine[int(tid)] = mine.get(int(tid), 0.0) + v
+    for child in data.get("children", []):
+        _node_from_dict(child, node)
+
+
+def _symbols_for(profile: Profile) -> Dict[str, str]:
+    """Function names for every code address the profile references."""
+    addrs = set()
+    for node in profile.root.walk():
+        key = node.key
+        if key[0] == "call":
+            addrs.add(key[1])
+            addrs.add(key[2])
+        elif key[0] == "ip":
+            addrs.add(key[1])
+    return {str(a): REGISTRY.describe(a) for a in addrs}
+
+
+def profile_to_dict(profile: Profile) -> dict:
+    """The complete database document for one profile."""
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "n_threads": profile.n_threads,
+        "periods": profile.periods,
+        "site_names": {str(k): v for k, v in profile.site_names.items()},
+        "samples_seen": profile.samples_seen,
+        "truncated_paths": profile.truncated_paths,
+        "symbols": _symbols_for(profile),
+        "cct": _node_to_dict(profile.root),
+    }
+
+
+def save_profile(profile: Profile, path: Union[str, Path]) -> Path:
+    """Write a profile database; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(profile_to_dict(profile), fh, indent=1)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+
+class ProfileFormatError(ValueError):
+    """The file is not a TxSampler profile database this version reads."""
+
+
+def profile_from_dict(data: dict) -> Profile:
+    if data.get("format") != FORMAT:
+        raise ProfileFormatError(
+            f"not a {FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version", 0) > VERSION:
+        raise ProfileFormatError(
+            f"database version {data['version']} is newer than this "
+            f"reader ({VERSION})"
+        )
+    root = new_root()
+    cct = data.get("cct", {})
+    for child in cct.get("children", []):
+        _node_from_dict(child, root)
+    # metrics directly on the root (rare but legal)
+    for metric, value in cct.get("metrics", {}).items():
+        root.metrics[metric] = value
+    return Profile(
+        root=root,
+        n_threads=data.get("n_threads", 0),
+        periods=dict(data.get("periods", {})),
+        site_names={int(k): v for k, v in data.get("site_names", {}).items()},
+        samples_seen=dict(data.get("samples_seen", {})),
+        truncated_paths=data.get("truncated_paths", 0),
+    )
+
+
+def load_profile(path: Union[str, Path]) -> Profile:
+    with Path(path).open() as fh:
+        return profile_from_dict(json.load(fh))
+
+
+def merge_databases(paths: List[Union[str, Path]]) -> Profile:
+    """Aggregate several databases (e.g. one per run) into one profile.
+
+    Metrics sum; metadata (periods, symbols) must agree and is taken from
+    the first database.
+    """
+    if not paths:
+        raise ValueError("no databases given")
+    merged = load_profile(paths[0])
+    for extra_path in paths[1:]:
+        extra = load_profile(extra_path)
+        if extra.periods != merged.periods:
+            raise ProfileFormatError(
+                "cannot merge databases sampled with different periods"
+            )
+        merged.root.merge_from(extra.root)
+        merged.site_names.update(extra.site_names)
+        for ev, n in extra.samples_seen.items():
+            merged.samples_seen[ev] = merged.samples_seen.get(ev, 0) + n
+        merged.truncated_paths += extra.truncated_paths
+    return merged

@@ -1,0 +1,88 @@
+"""Metric names and derivations (Equations 1-4).
+
+All *time* metrics are in cycles-sample counts (one count ≈ one sampling
+period's worth of cycles); abort/commit metrics are in event-sample
+counts.  The analyzer scales by the sampling periods when estimates in
+absolute units are wanted — ratios (which is what the paper's decision
+tree consumes) need no scaling.
+"""
+
+from __future__ import annotations
+
+from ..htm import status as _st
+
+# ---- time metrics (Figure 4) ------------------------------------------------
+W = "W"              # work: every cycles sample
+T = "T"              # cycles samples inside a critical section
+T_TX = "T_tx"        # ... in the transactional (speculative) path
+T_FB = "T_fb"        # ... in the fallback (lock-protected) path
+T_WAIT = "T_wait"    # ... waiting on the global lock
+T_OH = "T_oh"        # ... in transaction begin/retry/cleanup overhead
+
+TIME_COMPONENTS = (T_TX, T_FB, T_WAIT, T_OH)
+
+# ---- abort / commit metrics (§5) ---------------------------------------------
+ABORTS = "aborts"              # sampled RTM_RETIRED:ABORTED events
+COMMITS = "commits"            # sampled RTM_RETIRED:COMMIT events
+ABORT_WEIGHT = "abort_weight"  # aggregate sampled abort weight (cycles)
+
+AB_CONFLICT = "ab_conflict"
+AB_CAPACITY = "ab_capacity"
+AB_SYNC = "ab_sync"
+AB_OTHER = "ab_other"          # interrupt/explicit (incl. profiler-induced)
+
+AW_CONFLICT = "aw_conflict"    # weight attributed to conflict aborts, etc.
+AW_CAPACITY = "aw_capacity"
+AW_SYNC = "aw_sync"
+AW_OTHER = "aw_other"
+
+# capacity aborts split by the overflowing set, as in the artifact's
+# viewer ("capacity abort is the sum of capacity abort read and
+# capacity abort write"); inferred from the PEBS data-source bit
+AB_CAPACITY_READ = "ab_capacity_read"
+AB_CAPACITY_WRITE = "ab_capacity_write"
+
+ABORT_CLASSES = ("conflict", "capacity", "sync", "other")
+AB_BY_CLASS = {
+    "conflict": AB_CONFLICT,
+    "capacity": AB_CAPACITY,
+    "sync": AB_SYNC,
+    "other": AB_OTHER,
+}
+AW_BY_CLASS = {
+    "conflict": AW_CONFLICT,
+    "capacity": AW_CAPACITY,
+    "sync": AW_SYNC,
+    "other": AW_OTHER,
+}
+
+# ---- contention metrics (§3.3) -------------------------------------------------
+TRUE_SHARING = "true_sharing"
+FALSE_SHARING = "false_sharing"
+
+ALL_METRICS = (
+    W, T, T_TX, T_FB, T_WAIT, T_OH,
+    ABORTS, COMMITS, ABORT_WEIGHT,
+    AB_CONFLICT, AB_CAPACITY, AB_SYNC, AB_OTHER,
+    AB_CAPACITY_READ, AB_CAPACITY_WRITE,
+    AW_CONFLICT, AW_CAPACITY, AW_SYNC, AW_OTHER,
+    TRUE_SHARING, FALSE_SHARING,
+)
+
+
+def classify_abort_eax(eax: int) -> str:
+    """Classify an abort from its TSX status bits, as a profiler must.
+
+    * CONFLICT bit -> data conflict;
+    * CAPACITY bit -> footprint overflow;
+    * no cause bits at all -> synchronous (unfriendly instruction);
+    * anything else (RETRY-only — e.g. the profiler's own sampling
+      interrupts — or EXPLICIT) -> "other".
+    """
+    if eax & _st.XABORT_CONFLICT:
+        return "conflict"
+    if eax & _st.XABORT_CAPACITY:
+        return "capacity"
+    if eax == 0:
+        return "sync"
+    return "other"

@@ -1,0 +1,151 @@
+"""TxSampler's online data collector.
+
+Implements the sampling handler of Figure 4 plus §5's abort analysis and
+§3.3's contention analysis, using **only** profiler-legal inputs:
+
+* the sample record (precise IP, unwound architectural stack, LBR
+  snapshot, event payload);
+* the RTM runtime's thread-private state word via the query function;
+* its own shadow memory fed by sampled effective addresses.
+
+Whether a cycles sample executed transactionally is decided by LBR[0]'s
+abort bit (Challenge I): the architectural stack alone cannot tell the
+transaction path from the fallback path, because they share code and the
+rollback already happened when the handler runs.
+
+Each thread accumulates into its own CCT (real TxSampler writes one
+profile per thread); :meth:`profile` runs the offline merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..cct.merge import merge_profiles
+from ..cct.tree import CCTNode, new_root
+from ..cct.unwind import reconstruct
+from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
+from ..pmu.sampling import Sample
+from ..rtm import state as rtm_state
+from ..shadow.memory import ShadowMemory, TRUE_SHARING as SH_TRUE
+from . import metrics as m
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+from .analyzer import Profile
+
+
+class TxSampler:
+    """The profiler: attach to a :class:`~repro.sim.engine.Simulator`,
+    run the program, then call :meth:`profile` for the merged result."""
+
+    def __init__(self, contention_threshold: int = 50_000) -> None:
+        self.contention_threshold = contention_threshold
+        self.sim: Optional["Simulator"] = None
+        self.rtm = None
+        self.roots: List[CCTNode] = []
+        self.shadow = ShadowMemory(contention_threshold)
+        self.samples_seen: Dict[str, int] = {}
+        self.truncated_paths = 0
+        self._profile: Optional[Profile] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, sim: "Simulator") -> None:
+        """Called by the simulator at construction (LD_PRELOAD analogue)."""
+        self.sim = sim
+        self.rtm = sim.rtm
+        self.roots = [new_root() for _ in sim.threads]
+
+    # -- the sampling handler (Figure 4) --------------------------------------
+
+    def on_sample(self, s: Sample) -> None:
+        ev = s.event
+        self.samples_seen[ev] = self.samples_seen.get(ev, 0) + 1
+        if ev == CYCLES:
+            self._on_cycles(s)
+        elif ev == RTM_ABORTED:
+            self._on_abort(s)
+        elif ev == RTM_COMMIT:
+            self._on_commit(s)
+        elif ev in (MEM_LOADS, MEM_STORES):
+            self._on_mem(s)
+
+    def _on_cycles(self, s: Sample) -> None:
+        root = self.roots[s.tid]
+        # query the runtime's thread-private state word (§3.2)
+        state = self.rtm.query_state(s.tid)
+        # LBR[0]'s abort bit: did *this* interrupt abort a transaction?
+        in_txn = s.aborted_by_sample
+        rec = reconstruct(s, in_txn)
+        if rec.truncated:
+            self.truncated_paths += 1
+        node = root.insert(rec.path)
+        node.add(m.W)
+        if rtm_state.in_cs(state):
+            node.add(m.T)
+            if in_txn:
+                node.add(m.T_TX)
+            elif rtm_state.in_fallback(state):
+                node.add(m.T_FB)
+            elif rtm_state.in_lock_waiting(state):
+                node.add(m.T_WAIT)
+            else:
+                node.add(m.T_OH)
+
+    def _on_abort(self, s: Sample) -> None:
+        root = self.roots[s.tid]
+        rec = reconstruct(s, True)
+        if rec.truncated:
+            self.truncated_paths += 1
+        node = root.insert(rec.path)
+        cls = m.classify_abort_eax(s.abort_eax)
+        node.add(m.ABORTS, 1, tid=s.tid)
+        node.add(m.AB_BY_CLASS[cls])
+        node.add(m.ABORT_WEIGHT, s.weight)
+        node.add(m.AW_BY_CLASS[cls], s.weight)
+        if cls == "capacity":
+            from ..htm.status import XCAP_WRITE
+
+            if s.abort_eax & XCAP_WRITE:
+                node.add(m.AB_CAPACITY_WRITE)
+            else:
+                node.add(m.AB_CAPACITY_READ)
+
+    def _on_commit(self, s: Sample) -> None:
+        root = self.roots[s.tid]
+        rec = reconstruct(s, False)
+        node = root.insert(rec.path)
+        node.add(m.COMMITS, 1, tid=s.tid)
+
+    def _on_mem(self, s: Sample) -> None:
+        if s.eff_addr is None:
+            return
+        verdict = self.shadow.observe(s.eff_addr, s.tid, s.is_store, s.ts)
+        if verdict is None:
+            return
+        in_txn = s.aborted_by_sample
+        rec = reconstruct(s, in_txn)
+        node = self.roots[s.tid].insert(rec.path)
+        node.add(m.TRUE_SHARING if verdict == SH_TRUE else m.FALSE_SHARING)
+
+    # -- the offline analyzer entry point -----------------------------------------
+
+    def profile(self) -> Profile:
+        """Merge the per-thread profiles (reduction tree, §6) and return
+        the aggregate :class:`~repro.core.analyzer.Profile`."""
+        if self._profile is None:
+            if self.sim is None:
+                raise RuntimeError("profiler was never attached")
+            merged = merge_profiles(self.roots)
+            self.roots = []  # consumed by the merge
+            self._profile = Profile(
+                root=merged,
+                n_threads=len(self.sim.threads),
+                periods=dict(self.sim.config.sample_periods),
+                site_names=dict(self.rtm.site_names),
+                samples_seen=dict(self.samples_seen),
+                truncated_paths=self.truncated_paths,
+            )
+        return self._profile

@@ -1,0 +1,146 @@
+"""Textual rendering of TxSampler profiles (the GUI's three panes).
+
+Renders:
+
+* a **program summary** (Equation 1/2 decomposition and sample counts);
+* a **critical-section table** (one row per TM_BEGIN site, hottest first);
+* a **calling-context view** like the paper's Figure 9: the CCT annotated
+  with a chosen metric and its percentage of the program total, with
+  ``begin_in_tx`` pseudo nodes marking speculative paths;
+* a **per-thread histogram** of commits/aborts for one context (§5's
+  contention metrics view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cct.tree import CCTNode
+from ..sim.program import REGISTRY
+from . import metrics as m
+from .analyzer import CsReport, Profile
+
+
+def _describe_key(key, site_names: Dict[int, str]) -> str:
+    kind = key[0]
+    if kind == "root":
+        return "<thread root>"
+    if kind == "pseudo":
+        return f"[{key[1]}]"
+    if kind == "ip":
+        return REGISTRY.describe(key[1])
+    # call edge: "callsite: callee"
+    callsite, callee = key[1], key[2]
+    callee_fn = REGISTRY.function_at(callee)
+    callee_name = callee_fn.name if callee_fn else f"{callee:#x}"
+    label = f"{REGISTRY.describe(callsite)}: {callee_name}"
+    name = site_names.get(callsite)
+    if name and callee_name == "tm_begin":
+        label += f" <{name}>"
+    return label
+
+
+def render_summary(profile: Profile, title: str = "program") -> str:
+    s = profile.summary()
+    fr = s.time_fractions()
+    lines = [
+        f"=== TxSampler summary: {title} ===",
+        f"W (cycles samples)   : {s.W:.0f}",
+        f"T in critical sects  : {s.T:.0f}  (r_cs = {s.r_cs:.1%})",
+        f"  T_tx   (HTM)       : {s.T_tx:.0f}  ({fr[m.T_TX]:.1%} of W)",
+        f"  T_fb   (fallback)  : {s.T_fb:.0f}  ({fr[m.T_FB]:.1%} of W)",
+        f"  T_wait (lock wait) : {s.T_wait:.0f}  ({fr[m.T_WAIT]:.1%} of W)",
+        f"  T_oh   (overhead)  : {s.T_oh:.0f}  ({fr[m.T_OH]:.1%} of W)",
+        f"S outside            : {s.S:.0f}  ({fr['non_cs']:.1%} of W)",
+        f"est. aborts/commits  : {s.est_aborts:.0f} / {s.est_commits:.0f}"
+        f"  (r_a/c = {s.abort_commit_ratio:.2f})"
+        if s.est_commits
+        else "est. aborts/commits  : none sampled",
+        f"samples seen         : {profile.samples_seen}",
+    ]
+    return "\n".join(lines)
+
+
+def render_cs_table(profile: Profile, limit: int = 10) -> str:
+    reports = profile.cs_reports()[:limit]
+    header = (
+        f"{'critical section':40s} {'T':>6s} {'tx%':>5s} {'fb%':>5s} "
+        f"{'wt%':>5s} {'oh%':>5s} {'a/c':>6s} {'w_t':>8s} "
+        f"{'conf%':>6s} {'cap%':>6s} {'sync%':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        fr = r.time_fractions()
+        ac = r.abort_commit_ratio
+        ac_s = f"{ac:6.2f}" if ac != float("inf") else "   inf"
+        lines.append(
+            f"{r.name[:40]:40s} {r.T:6.0f} {fr[m.T_TX]:5.0%} "
+            f"{fr[m.T_FB]:5.0%} {fr[m.T_WAIT]:5.0%} {fr[m.T_OH]:5.0%} "
+            f"{ac_s} {r.w_t:8.0f} {r.r_conflict:6.0%} "
+            f"{r.r_capacity:6.0%} {r.r_synchronous:6.0%}"
+        )
+    return "\n".join(lines)
+
+
+def render_cct(
+    profile: Profile,
+    metric: str = m.ABORT_WEIGHT,
+    min_share: float = 0.01,
+    max_depth: int = 12,
+) -> str:
+    """The calling-context view (Figure 9): nodes annotated with the
+    inclusive metric and its percentage of the program total."""
+    root = profile.root
+    total = root.total(metric) or 1.0
+    lines: List[str] = [f"=== calling context view (metric: {metric}) ==="]
+
+    def visit(node: CCTNode, depth: int) -> None:
+        if depth > max_depth:
+            return
+        kids = [
+            (child.total(metric), child)
+            for child in node.children.values()
+        ]
+        kids.sort(key=lambda kv: kv[0], reverse=True)
+        for value, child in kids:
+            if value / total < min_share:
+                continue
+            label = _describe_key(child.key, profile.site_names)
+            lines.append(
+                f"{'  ' * depth}{label}  {value:.0f} ({value / total:.1%})"
+            )
+            visit(child, depth + 1)
+
+    lines.append(f"<thread root>  {total:.0f} (100.0%)")
+    visit(root, 1)
+    return "\n".join(lines)
+
+
+def render_thread_histogram(cs: CsReport, n_threads: int) -> str:
+    """Per-thread commit/abort histogram for one critical section."""
+    lines = [f"=== per-thread commits/aborts: {cs.name} ==="]
+    max_v = max(
+        [*cs.commits_by_thread.values(), *cs.aborts_by_thread.values(), 1.0]
+    )
+    for tid in range(n_threads):
+        c = cs.commits_by_thread.get(tid, 0.0)
+        a = cs.aborts_by_thread.get(tid, 0.0)
+        c_bar = "#" * int(round(20 * c / max_v))
+        a_bar = "!" * int(round(20 * a / max_v))
+        lines.append(f"  t{tid:02d} commits {c:6.0f} {c_bar:20s} "
+                     f"aborts {a:6.0f} {a_bar}")
+    return "\n".join(lines)
+
+
+def render_full_report(profile: Profile, title: str = "program") -> str:
+    parts = [
+        render_summary(profile, title),
+        "",
+        render_cs_table(profile),
+        "",
+        render_cct(profile),
+    ]
+    hottest = profile.hottest_cs()
+    if hottest is not None:
+        parts += ["", render_thread_histogram(hottest, profile.n_threads)]
+    return "\n".join(parts)

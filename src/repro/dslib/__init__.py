@@ -1,0 +1,83 @@
+"""Data structures over simulated memory — the substrate HTMBench uses.
+
+Every structure stores its state at simulated addresses, so HTM conflict
+detection, capacity accounting, and the profiler's contention analysis
+see exactly the cache-line traffic a native implementation would produce.
+Host-side ``host_*`` methods build/verify state at zero simulated cost;
+the ``@simfn`` operations execute through a
+:class:`~repro.sim.thread.ThreadContext` and are profile-visible.
+"""
+
+from .array import IntArray
+from .avltree import AvlTree, avl_insert, avl_search
+from .bplustree import (
+    BPlusTree,
+    ORDER as BTREE_ORDER,
+    btree_insert_leaf,
+    btree_lookup,
+    btree_update,
+)
+from .hashtable import (
+    HashTable,
+    bad_hash,
+    good_hash,
+    hashtable_bump,
+    hashtable_get_value,
+    hashtable_insert,
+    hashtable_search,
+    hashtable_set_value,
+)
+from .linkedlist import (
+    SortedList,
+    list_contains,
+    list_insert,
+    list_locate,
+    list_remove,
+    list_step,
+)
+from .queue import EMPTY, FULL, RingQueue, queue_dequeue, queue_enqueue
+from .rbtree import RedBlackTree, rbtree_insert, rbtree_lookup
+from .skiplist import (
+    SkipList,
+    skiplist_contains,
+    skiplist_insert,
+    skiplist_remove,
+)
+
+__all__ = [
+    "IntArray",
+    "HashTable",
+    "bad_hash",
+    "good_hash",
+    "hashtable_search",
+    "hashtable_insert",
+    "hashtable_bump",
+    "hashtable_get_value",
+    "hashtable_set_value",
+    "SortedList",
+    "list_locate",
+    "list_contains",
+    "list_insert",
+    "list_remove",
+    "list_step",
+    "AvlTree",
+    "avl_search",
+    "avl_insert",
+    "SkipList",
+    "skiplist_contains",
+    "skiplist_insert",
+    "skiplist_remove",
+    "BPlusTree",
+    "BTREE_ORDER",
+    "btree_lookup",
+    "btree_update",
+    "btree_insert_leaf",
+    "RingQueue",
+    "queue_enqueue",
+    "queue_dequeue",
+    "EMPTY",
+    "FULL",
+    "RedBlackTree",
+    "rbtree_lookup",
+    "rbtree_insert",
+]

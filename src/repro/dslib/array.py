@@ -1,0 +1,70 @@
+"""Arrays in simulated memory.
+
+The layout knobs matter for HTM behaviour: ``stride_lines`` pads elements
+to whole cache lines (the false-sharing *fix*), while the default packs
+eight 8-byte words per line (the false-sharing *hazard* the Histo case
+study exhibits).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TYPE_CHECKING
+
+from ..sim.config import CACHELINE
+from ..sim.memory import WORD, Memory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+
+class IntArray:
+    """A fixed-length array of 8-byte words."""
+
+    __slots__ = ("memory", "base", "length", "stride")
+
+    def __init__(self, memory: Memory, length: int, *,
+                 line_per_element: bool = False, pretouch: bool = True) -> None:
+        if length <= 0:
+            raise ValueError("array length must be positive")
+        self.memory = memory
+        self.length = length
+        self.stride = CACHELINE if line_per_element else WORD
+        self.base = memory.alloc(
+            length * self.stride, align=CACHELINE, pretouch=pretouch
+        )
+
+    def addr(self, i: int) -> int:
+        if not 0 <= i < self.length:
+            raise IndexError(f"index {i} out of range [0, {self.length})")
+        return self.base + i * self.stride
+
+    # -- simulated access (generators) ----------------------------------------
+
+    def get(self, ctx: "ThreadContext", i: int):
+        value = yield from ctx.load(self.addr(i))
+        return value
+
+    def set(self, ctx: "ThreadContext", i: int, value: int):
+        yield from ctx.store(self.addr(i), value)
+
+    def add(self, ctx: "ThreadContext", i: int, delta: int = 1):
+        """Read-modify-write one element; returns the new value."""
+        a = self.addr(i)
+        value = yield from ctx.load(a)
+        yield from ctx.store(a, value + delta)
+        return value + delta
+
+    # -- host-side access (setup / verification, zero simulated cost) -----------
+
+    def host_fill(self, values: Iterable[int]) -> None:
+        for i, v in enumerate(values):
+            self.memory.write(self.addr(i), v)
+
+    def host_read(self) -> List[int]:
+        return [self.memory.read(self.addr(i)) for i in range(self.length)]
+
+    def host_get(self, i: int) -> int:
+        return self.memory.read(self.addr(i))
+
+    def host_set(self, i: int, value: int) -> None:
+        self.memory.write(self.addr(i), value)

@@ -1,0 +1,264 @@
+"""An AVL tree in simulated memory.
+
+Node layout (5 words): ``(key, value, left, right, height)``.  A tree
+root cell holds the root pointer so rotations at the root are plain
+stores.  Searches read a logarithmic path (small read set — HTM friendly);
+inserts rebalance with rotations (writes along the path).
+
+The AVL-tree application of Table 2 uses this structure: the naive
+version serializes readers through a reader lock (huge ``T_wait``), the
+optimized version elides the read lock and lets HTM run readers
+concurrently (1.21x).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..sim.memory import WORD, Memory
+from ..sim.program import simfn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+_KEY = 0
+_VAL = WORD
+_LEFT = 2 * WORD
+_RIGHT = 3 * WORD
+_HEIGHT = 4 * WORD
+
+
+class AvlTree:
+    """AVL tree with simulated-memory nodes and a root pointer cell."""
+
+    __slots__ = ("memory", "root_cell")
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self.root_cell = memory.alloc(WORD, align=64)
+
+    def _new_node(self, key: int, value: int) -> int:
+        node = self.memory.alloc(5 * WORD, align=WORD)
+        mem = self.memory
+        mem.write(node + _KEY, key)
+        mem.write(node + _VAL, value)
+        mem.write(node + _LEFT, 0)
+        mem.write(node + _RIGHT, 0)
+        mem.write(node + _HEIGHT, 1)
+        return node
+
+    # -- host-side construction and checking ------------------------------------
+
+    def host_insert(self, key: int, value: int = 0) -> None:
+        mem = self.memory
+        root = mem.read(self.root_cell)
+        mem.write(self.root_cell, self._host_insert(root, key, value))
+
+    def _host_insert(self, node: int, key: int, value: int) -> int:
+        mem = self.memory
+        if node == 0:
+            return self._new_node(key, value)
+        k = mem.read(node + _KEY)
+        if key < k:
+            mem.write(node + _LEFT, self._host_insert(
+                mem.read(node + _LEFT), key, value))
+        elif key > k:
+            mem.write(node + _RIGHT, self._host_insert(
+                mem.read(node + _RIGHT), key, value))
+        else:
+            mem.write(node + _VAL, value)
+            return node
+        return self._host_rebalance(node)
+
+    def _h(self, node: int) -> int:
+        return self.memory.read(node + _HEIGHT) if node else 0
+
+    def _host_fix_height(self, node: int) -> None:
+        self.memory.write(
+            node + _HEIGHT,
+            1 + max(self._h(self.memory.read(node + _LEFT)),
+                    self._h(self.memory.read(node + _RIGHT))),
+        )
+
+    def _host_rot_right(self, y: int) -> int:
+        mem = self.memory
+        x = mem.read(y + _LEFT)
+        mem.write(y + _LEFT, mem.read(x + _RIGHT))
+        mem.write(x + _RIGHT, y)
+        self._host_fix_height(y)
+        self._host_fix_height(x)
+        return x
+
+    def _host_rot_left(self, x: int) -> int:
+        mem = self.memory
+        y = mem.read(x + _RIGHT)
+        mem.write(x + _RIGHT, mem.read(y + _LEFT))
+        mem.write(y + _LEFT, x)
+        self._host_fix_height(x)
+        self._host_fix_height(y)
+        return y
+
+    def _host_rebalance(self, node: int) -> int:
+        mem = self.memory
+        self._host_fix_height(node)
+        bal = self._h(mem.read(node + _LEFT)) - self._h(mem.read(node + _RIGHT))
+        if bal > 1:
+            left = mem.read(node + _LEFT)
+            if self._h(mem.read(left + _LEFT)) < self._h(mem.read(left + _RIGHT)):
+                mem.write(node + _LEFT, self._host_rot_left(left))
+            return self._host_rot_right(node)
+        if bal < -1:
+            right = mem.read(node + _RIGHT)
+            if self._h(mem.read(right + _RIGHT)) < self._h(mem.read(right + _LEFT)):
+                mem.write(node + _RIGHT, self._host_rot_right(right))
+            return self._host_rot_left(node)
+        return node
+
+    def host_lookup(self, key: int) -> Optional[int]:
+        mem = self.memory
+        node = mem.read(self.root_cell)
+        while node:
+            k = mem.read(node + _KEY)
+            if key == k:
+                return mem.read(node + _VAL)
+            node = mem.read(node + (_LEFT if key < k else _RIGHT))
+        return None
+
+    def host_keys_inorder(self) -> List[int]:
+        out: List[int] = []
+
+        def rec(node: int) -> None:
+            if not node:
+                return
+            rec(self.memory.read(node + _LEFT))
+            out.append(self.memory.read(node + _KEY))
+            rec(self.memory.read(node + _RIGHT))
+
+        rec(self.memory.read(self.root_cell))
+        return out
+
+    def host_height(self) -> int:
+        return self._h(self.memory.read(self.root_cell))
+
+    def host_check_balanced(self) -> bool:
+        ok = True
+
+        def rec(node: int) -> int:
+            nonlocal ok
+            if not node:
+                return 0
+            lh = rec(self.memory.read(node + _LEFT))
+            rh = rec(self.memory.read(node + _RIGHT))
+            if abs(lh - rh) > 1:
+                ok = False
+            return 1 + max(lh, rh)
+
+        rec(self.memory.read(self.root_cell))
+        return ok
+
+
+# ---------------------------------------------------------------------------
+# simulated operations
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def avl_search(ctx: "ThreadContext", tree: AvlTree, key: int):
+    """Search for ``key``; returns its value or None."""
+    node = yield from ctx.load(tree.root_cell)
+    while node:
+        k = yield from ctx.load(node + _KEY)
+        if k == key:
+            value = yield from ctx.load(node + _VAL)
+            return value
+        node = yield from ctx.load(node + (_LEFT if key < k else _RIGHT))
+    return None
+
+
+def _sim_h(ctx, node):
+    if not node:
+        return 0
+    h = yield from ctx.load(node + _HEIGHT)
+    return h
+
+
+def _sim_fix_height(ctx, node):
+    left = yield from ctx.load(node + _LEFT)
+    right = yield from ctx.load(node + _RIGHT)
+    lh = yield from _sim_h(ctx, left)
+    rh = yield from _sim_h(ctx, right)
+    yield from ctx.store(node + _HEIGHT, 1 + max(lh, rh))
+
+
+def _sim_rot_right(ctx, y):
+    x = yield from ctx.load(y + _LEFT)
+    t = yield from ctx.load(x + _RIGHT)
+    yield from ctx.store(y + _LEFT, t)
+    yield from ctx.store(x + _RIGHT, y)
+    yield from _sim_fix_height(ctx, y)
+    yield from _sim_fix_height(ctx, x)
+    return x
+
+
+def _sim_rot_left(ctx, x):
+    y = yield from ctx.load(x + _RIGHT)
+    t = yield from ctx.load(y + _LEFT)
+    yield from ctx.store(x + _RIGHT, t)
+    yield from ctx.store(y + _LEFT, x)
+    yield from _sim_fix_height(ctx, x)
+    yield from _sim_fix_height(ctx, y)
+    return y
+
+
+def _sim_insert(ctx, tree, node, key, value):
+    if node == 0:
+        fresh = tree._new_node(key, 0)
+        yield from ctx.store(fresh + _KEY, key)
+        yield from ctx.store(fresh + _VAL, value)
+        return fresh
+    k = yield from ctx.load(node + _KEY)
+    if key == k:
+        yield from ctx.store(node + _VAL, value)
+        return node
+    side = _LEFT if key < k else _RIGHT
+    child = yield from ctx.load(node + side)
+    new_child = yield from _sim_insert(ctx, tree, child, key, value)
+    if new_child != child:
+        yield from ctx.store(node + side, new_child)
+    # rebalance
+    yield from _sim_fix_height(ctx, node)
+    left = yield from ctx.load(node + _LEFT)
+    right = yield from ctx.load(node + _RIGHT)
+    lh = yield from _sim_h(ctx, left)
+    rh = yield from _sim_h(ctx, right)
+    bal = lh - rh
+    if bal > 1:
+        ll = yield from ctx.load(left + _LEFT)
+        lr = yield from ctx.load(left + _RIGHT)
+        llh = yield from _sim_h(ctx, ll)
+        lrh = yield from _sim_h(ctx, lr)
+        if llh < lrh:
+            rotated = yield from _sim_rot_left(ctx, left)
+            yield from ctx.store(node + _LEFT, rotated)
+        result = yield from _sim_rot_right(ctx, node)
+        return result
+    if bal < -1:
+        rl = yield from ctx.load(right + _LEFT)
+        rr = yield from ctx.load(right + _RIGHT)
+        rlh = yield from _sim_h(ctx, rl)
+        rrh = yield from _sim_h(ctx, rr)
+        if rrh < rlh:
+            rotated = yield from _sim_rot_right(ctx, right)
+            yield from ctx.store(node + _RIGHT, rotated)
+        result = yield from _sim_rot_left(ctx, node)
+        return result
+    return node
+
+
+@simfn
+def avl_insert(ctx: "ThreadContext", tree: AvlTree, key: int, value: int = 0):
+    """Insert (or update) ``key``; rebalances with AVL rotations."""
+    root = yield from ctx.load(tree.root_cell)
+    new_root = yield from _sim_insert(ctx, tree, root, key, value)
+    if new_root != root:
+        yield from ctx.store(tree.root_cell, new_root)

@@ -1,0 +1,271 @@
+"""A B+ tree in simulated memory (LevelDB/BerkeleyDB-style substrate).
+
+Fixed-order nodes; layout (words):
+
+    [0] is_leaf          [1] nkeys
+    [2 .. 2+ORDER)       keys
+    [2+ORDER .. 2+2*ORDER+1)  children (internal) or values (leaf)
+    [last]               next-leaf pointer (leaves only)
+
+Transactional behaviour mirrors real index structures: lookups read a
+root-to-leaf path (small read set), inserts write one leaf — unless a
+split propagates upward, momentarily inflating the write set, which is
+how index hot paths produce occasional capacity/conflict spikes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from ..sim.memory import WORD, Memory
+from ..sim.program import simfn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+ORDER = 8  # max keys per node
+
+_IS_LEAF = 0
+_NKEYS = WORD
+_KEYS = 2 * WORD
+# one spare key/pointer slot: inserts overflow to ORDER+1 entries
+# momentarily before the split rebalances
+_PTRS = _KEYS + (ORDER + 1) * WORD
+_NEXT = _PTRS + (ORDER + 2) * WORD
+_NODE_WORDS = 2 + (ORDER + 1) + (ORDER + 2) + 1
+
+
+class BPlusTree:
+    """Order-:data:`ORDER` B+ tree with a root pointer cell."""
+
+    __slots__ = ("memory", "root_cell")
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self.root_cell = memory.alloc(WORD, align=64)
+        root = self._new_node(is_leaf=True)
+        memory.write(self.root_cell, root)
+
+    def _new_node(self, is_leaf: bool) -> int:
+        node = self.memory.alloc(_NODE_WORDS * WORD, align=64)
+        mem = self.memory
+        mem.write(node + _IS_LEAF, 1 if is_leaf else 0)
+        mem.write(node + _NKEYS, 0)
+        mem.write(node + _NEXT, 0)
+        return node
+
+    # -- host-side ----------------------------------------------------------------
+
+    def host_insert(self, key: int, value: int) -> None:
+        mem = self.memory
+        root = mem.read(self.root_cell)
+        split = self._host_insert(root, key, value)
+        if split is not None:
+            mid_key, right = split
+            new_root = self._new_node(is_leaf=False)
+            mem.write(new_root + _NKEYS, 1)
+            mem.write(new_root + _KEYS, mid_key)
+            mem.write(new_root + _PTRS, root)
+            mem.write(new_root + _PTRS + WORD, right)
+            mem.write(self.root_cell, new_root)
+
+    def _host_insert(self, node: int, key: int,
+                     value: int) -> Optional[Tuple[int, int]]:
+        mem = self.memory
+        n = mem.read(node + _NKEYS)
+        if mem.read(node + _IS_LEAF):
+            i = 0
+            while i < n and mem.read(node + _KEYS + i * WORD) < key:
+                i += 1
+            if i < n and mem.read(node + _KEYS + i * WORD) == key:
+                mem.write(node + _PTRS + i * WORD, value)
+                return None
+            for j in range(n, i, -1):
+                mem.write(node + _KEYS + j * WORD,
+                          mem.read(node + _KEYS + (j - 1) * WORD))
+                mem.write(node + _PTRS + j * WORD,
+                          mem.read(node + _PTRS + (j - 1) * WORD))
+            mem.write(node + _KEYS + i * WORD, key)
+            mem.write(node + _PTRS + i * WORD, value)
+            mem.write(node + _NKEYS, n + 1)
+            if n + 1 <= ORDER:
+                return None
+            return self._host_split_leaf(node)
+        # internal
+        i = 0
+        while i < n and key >= mem.read(node + _KEYS + i * WORD):
+            i += 1
+        child = mem.read(node + _PTRS + i * WORD)
+        split = self._host_insert(child, key, value)
+        if split is None:
+            return None
+        mid_key, right = split
+        for j in range(n, i, -1):
+            mem.write(node + _KEYS + j * WORD,
+                      mem.read(node + _KEYS + (j - 1) * WORD))
+            mem.write(node + _PTRS + (j + 1) * WORD,
+                      mem.read(node + _PTRS + j * WORD))
+        mem.write(node + _KEYS + i * WORD, mid_key)
+        mem.write(node + _PTRS + (i + 1) * WORD, right)
+        mem.write(node + _NKEYS, n + 1)
+        if n + 1 <= ORDER:
+            return None
+        return self._host_split_internal(node)
+
+    def _host_split_leaf(self, node: int) -> Tuple[int, int]:
+        mem = self.memory
+        n = mem.read(node + _NKEYS)
+        right = self._new_node(is_leaf=True)
+        half = n // 2
+        for j in range(half, n):
+            mem.write(right + _KEYS + (j - half) * WORD,
+                      mem.read(node + _KEYS + j * WORD))
+            mem.write(right + _PTRS + (j - half) * WORD,
+                      mem.read(node + _PTRS + j * WORD))
+        mem.write(right + _NKEYS, n - half)
+        mem.write(node + _NKEYS, half)
+        mem.write(right + _NEXT, mem.read(node + _NEXT))
+        mem.write(node + _NEXT, right)
+        return mem.read(right + _KEYS), right
+
+    def _host_split_internal(self, node: int) -> Tuple[int, int]:
+        mem = self.memory
+        n = mem.read(node + _NKEYS)
+        right = self._new_node(is_leaf=False)
+        half = n // 2
+        mid_key = mem.read(node + _KEYS + half * WORD)
+        for j in range(half + 1, n):
+            mem.write(right + _KEYS + (j - half - 1) * WORD,
+                      mem.read(node + _KEYS + j * WORD))
+        for j in range(half + 1, n + 1):
+            mem.write(right + _PTRS + (j - half - 1) * WORD,
+                      mem.read(node + _PTRS + j * WORD))
+        mem.write(right + _NKEYS, n - half - 1)
+        mem.write(node + _NKEYS, half)
+        return mid_key, right
+
+    def host_lookup(self, key: int) -> Optional[int]:
+        mem = self.memory
+        node = mem.read(self.root_cell)
+        while not mem.read(node + _IS_LEAF):
+            n = mem.read(node + _NKEYS)
+            i = 0
+            while i < n and key >= mem.read(node + _KEYS + i * WORD):
+                i += 1
+            node = mem.read(node + _PTRS + i * WORD)
+        n = mem.read(node + _NKEYS)
+        for i in range(n):
+            if mem.read(node + _KEYS + i * WORD) == key:
+                return mem.read(node + _PTRS + i * WORD)
+        return None
+
+    def host_keys(self) -> List[int]:
+        """All keys left-to-right via the leaf chain."""
+        mem = self.memory
+        node = mem.read(self.root_cell)
+        while not mem.read(node + _IS_LEAF):
+            node = mem.read(node + _PTRS)
+        keys: List[int] = []
+        while node:
+            n = mem.read(node + _NKEYS)
+            keys.extend(mem.read(node + _KEYS + i * WORD) for i in range(n))
+            node = mem.read(node + _NEXT)
+        return keys
+
+
+# ---------------------------------------------------------------------------
+# simulated operations
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def btree_lookup(ctx: "ThreadContext", tree: BPlusTree, key: int):
+    """Root-to-leaf search; returns the value or None."""
+    node = yield from ctx.load(tree.root_cell)
+    is_leaf = yield from ctx.load(node + _IS_LEAF)
+    while not is_leaf:
+        n = yield from ctx.load(node + _NKEYS)
+        i = 0
+        while i < n:
+            k = yield from ctx.load(node + _KEYS + i * WORD)
+            if key < k:
+                break
+            i += 1
+        node = yield from ctx.load(node + _PTRS + i * WORD)
+        is_leaf = yield from ctx.load(node + _IS_LEAF)
+    n = yield from ctx.load(node + _NKEYS)
+    for i in range(n):
+        k = yield from ctx.load(node + _KEYS + i * WORD)
+        if k == key:
+            value = yield from ctx.load(node + _PTRS + i * WORD)
+            return value
+    return None
+
+
+@simfn
+def btree_update(ctx: "ThreadContext", tree: BPlusTree, key: int, value: int):
+    """Update an existing key in place; returns True if found.
+
+    Updates never split, so the transactional write set is one leaf —
+    the common fast path of index workloads.
+    """
+    node = yield from ctx.load(tree.root_cell)
+    is_leaf = yield from ctx.load(node + _IS_LEAF)
+    while not is_leaf:
+        n = yield from ctx.load(node + _NKEYS)
+        i = 0
+        while i < n:
+            k = yield from ctx.load(node + _KEYS + i * WORD)
+            if key < k:
+                break
+            i += 1
+        node = yield from ctx.load(node + _PTRS + i * WORD)
+        is_leaf = yield from ctx.load(node + _IS_LEAF)
+    n = yield from ctx.load(node + _NKEYS)
+    for i in range(n):
+        k = yield from ctx.load(node + _KEYS + i * WORD)
+        if k == key:
+            yield from ctx.store(node + _PTRS + i * WORD, value)
+            return True
+    return False
+
+
+@simfn
+def btree_insert_leaf(ctx: "ThreadContext", tree: BPlusTree, key: int,
+                      value: int):
+    """Insert into the target leaf if it has room; returns True on
+    success, False when the leaf is full (caller falls back to a
+    host-assisted split outside the hot path)."""
+    node = yield from ctx.load(tree.root_cell)
+    is_leaf = yield from ctx.load(node + _IS_LEAF)
+    while not is_leaf:
+        n = yield from ctx.load(node + _NKEYS)
+        i = 0
+        while i < n:
+            k = yield from ctx.load(node + _KEYS + i * WORD)
+            if key < k:
+                break
+            i += 1
+        node = yield from ctx.load(node + _PTRS + i * WORD)
+        is_leaf = yield from ctx.load(node + _IS_LEAF)
+    n = yield from ctx.load(node + _NKEYS)
+    if n >= ORDER:
+        return False
+    i = 0
+    while i < n:
+        k = yield from ctx.load(node + _KEYS + i * WORD)
+        if k == key:
+            yield from ctx.store(node + _PTRS + i * WORD, value)
+            return True
+        if k > key:
+            break
+        i += 1
+    for j in range(n, i, -1):
+        k = yield from ctx.load(node + _KEYS + (j - 1) * WORD)
+        v = yield from ctx.load(node + _PTRS + (j - 1) * WORD)
+        yield from ctx.store(node + _KEYS + j * WORD, k)
+        yield from ctx.store(node + _PTRS + j * WORD, v)
+    yield from ctx.store(node + _KEYS + i * WORD, key)
+    yield from ctx.store(node + _PTRS + i * WORD, value)
+    yield from ctx.store(node + _NKEYS, n + 1)
+    return True

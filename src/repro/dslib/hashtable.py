@@ -1,0 +1,179 @@
+"""A chained hash table in simulated memory.
+
+Layout: a bucket array of head pointers plus chain nodes of three words
+``(key, value, next)``.  The hash function is pluggable because hash
+quality *is* the Dedup case study: the paper's bug is a hash that uses
+only a few bits, filling 2.2% of the slots with very long chains whose
+traversal blows the transactional footprint (capacity aborts) and incurs
+conflicts; the fix XORs in the low 32 bits, spreading keys out.
+
+The operations are registered :func:`~repro.sim.program.simfn`s so they
+appear by name in call paths (``hashtable_search`` in Figure 9) — invoke
+them through ``ctx.call``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..sim.memory import WORD, Memory
+from ..sim.program import simfn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+_OFF_KEY = 0
+_OFF_VAL = WORD
+_OFF_NEXT = 2 * WORD
+
+
+def bad_hash(key: int, n_buckets: int) -> int:
+    """The Dedup bug: only high bits participate.  Chunk fingerprints of
+    one input stream share their high bits and differ low, so nearly all
+    keys collide into a handful of buckets (the paper measured 2.2% slot
+    utilization and "a long linked list of keys")."""
+    return ((key >> 24) ^ (key >> 18)) % n_buckets
+
+
+def good_hash(key: int, n_buckets: int) -> int:
+    """The paper's fix: mix the low 32 bits in (82% utilization).
+
+    Fibonacci/Knuth multiplicative hashing: spreads keys regardless of
+    their stride, unlike the shift-only bad hash."""
+    key = (key * 2654435761) & 0xFFFF_FFFF
+    key ^= key >> 16
+    return key % n_buckets
+
+
+class HashTable:
+    """Chained hash table; nodes are allocated from simulated memory."""
+
+    __slots__ = ("memory", "n_buckets", "buckets_base", "hash_fn", "n_items",
+                 "node_align")
+
+    def __init__(self, memory: Memory, n_buckets: int,
+                 hash_fn: Callable[[int, int], int] = good_hash,
+                 node_align: int = WORD) -> None:
+        if n_buckets <= 0:
+            raise ValueError("need at least one bucket")
+        self.memory = memory
+        self.n_buckets = n_buckets
+        self.buckets_base = memory.alloc(n_buckets * WORD, align=64)
+        self.hash_fn = hash_fn
+        self.n_items = 0
+        # real-world entries (e.g. dedup chunk descriptors) span a whole
+        # cache line; node_align=64 makes every visited node cost one
+        # read-set line, which is what drives chain-walk capacity aborts
+        self.node_align = node_align
+
+    def bucket_addr(self, key: int) -> int:
+        return self.buckets_base + self.hash_fn(key, self.n_buckets) * WORD
+
+    def _new_node(self, key: int, value: int) -> int:
+        node = self.memory.alloc(3 * WORD, align=self.node_align)
+        self.memory.write(node + _OFF_KEY, key)
+        self.memory.write(node + _OFF_VAL, value)
+        self.memory.write(node + _OFF_NEXT, 0)
+        return node
+
+    # -- host-side (setup / verification) --------------------------------------
+
+    def host_insert(self, key: int, value: int) -> None:
+        mem = self.memory
+        node = self._new_node(key, value)
+        head_addr = self.bucket_addr(key)
+        mem.write(node + _OFF_NEXT, mem.read(head_addr))
+        mem.write(head_addr, node)
+        self.n_items += 1
+
+    def host_lookup(self, key: int) -> Optional[int]:
+        mem = self.memory
+        node = mem.read(self.bucket_addr(key))
+        while node:
+            if mem.read(node + _OFF_KEY) == key:
+                return mem.read(node + _OFF_VAL)
+            node = mem.read(node + _OFF_NEXT)
+        return None
+
+    def utilization(self) -> float:
+        """Fraction of buckets with at least one entry (the 2.2% vs 82%
+        diagnostic from the Dedup case study)."""
+        mem = self.memory
+        used = sum(
+            1
+            for i in range(self.n_buckets)
+            if mem.read(self.buckets_base + i * WORD)
+        )
+        return used / self.n_buckets
+
+    def chain_lengths(self) -> List[int]:
+        mem = self.memory
+        lengths = []
+        for i in range(self.n_buckets):
+            n = 0
+            node = mem.read(self.buckets_base + i * WORD)
+            while node:
+                n += 1
+                node = mem.read(node + _OFF_NEXT)
+            lengths.append(n)
+        return lengths
+
+
+# ---------------------------------------------------------------------------
+# simulated operations (profile-visible functions)
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def hashtable_search(ctx: "ThreadContext", ht: HashTable, key: int):
+    """Walk the chain for ``key``; returns the node address or 0.
+
+    Inside a transaction every visited node joins the read set — a long
+    chain is exactly the capacity-abort machine of the Dedup study.
+    """
+    node = yield from ctx.load(ht.bucket_addr(key))
+    while node:
+        k = yield from ctx.load(node + _OFF_KEY)
+        if k == key:
+            return node
+        node = yield from ctx.load(node + _OFF_NEXT)
+    return 0
+
+
+@simfn
+def hashtable_insert(ctx: "ThreadContext", ht: HashTable, key: int, value: int):
+    """Prepend a node to ``key``'s chain (caller checks for duplicates)."""
+    node = ht._new_node(key, value)  # address reservation is free;
+    # initializing the node costs simulated stores:
+    yield from ctx.store(node + _OFF_KEY, key)
+    yield from ctx.store(node + _OFF_VAL, value)
+    head_addr = ht.bucket_addr(key)
+    head = yield from ctx.load(head_addr)
+    yield from ctx.store(node + _OFF_NEXT, head)
+    yield from ctx.store(head_addr, node)
+    # NB: ht.n_items is host-side bookkeeping for host_insert only; a
+    # speculative attempt may abort and re-run, so simulated inserts
+    # must not touch host state (count via chain_lengths() instead)
+    return node
+
+
+@simfn
+def hashtable_get_value(ctx: "ThreadContext", ht: HashTable, node: int):
+    value = yield from ctx.load(node + _OFF_VAL)
+    return value
+
+
+@simfn
+def hashtable_set_value(ctx: "ThreadContext", ht: HashTable, node: int,
+                        value: int):
+    yield from ctx.store(node + _OFF_VAL, value)
+
+
+@simfn
+def hashtable_bump(ctx: "ThreadContext", ht: HashTable, node: int,
+                   delta: int = 1):
+    """Increment the value stored at ``node``; returns the new value."""
+    addr = node + _OFF_VAL
+    value = yield from ctx.load(addr)
+    yield from ctx.store(addr, value + delta)
+    return value + delta

@@ -1,0 +1,96 @@
+"""A bounded ring-buffer queue in simulated memory.
+
+The inter-stage plumbing of pipeline workloads (Dedup, PBZip2, ferret).
+Enqueue/dequeue are meant to run inside critical sections; they return a
+sentinel on full/empty so the caller can back off and retry (spinning
+*outside* the transaction, as well-written HTM code must).
+
+Layout: ``[head, tail, capacity, slots...]`` — head/tail on separate
+cache lines to avoid producer/consumer false sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..sim.config import CACHELINE
+from ..sim.memory import WORD, Memory
+from ..sim.program import simfn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+#: dequeue result when the queue is empty / enqueue when full
+EMPTY = -1
+FULL = -2
+
+
+class RingQueue:
+    """Single-lock-free layout; concurrency control is the caller's CS."""
+
+    __slots__ = ("memory", "head_addr", "tail_addr", "slots_base", "capacity")
+
+    def __init__(self, memory: Memory, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.memory = memory
+        self.capacity = capacity
+        self.head_addr = memory.alloc_line()
+        self.tail_addr = memory.alloc_line()
+        self.slots_base = memory.alloc(capacity * WORD, align=CACHELINE)
+
+    def slot_addr(self, idx: int) -> int:
+        return self.slots_base + (idx % self.capacity) * WORD
+
+    # -- host-side ------------------------------------------------------------
+
+    def host_size(self) -> int:
+        mem = self.memory
+        return mem.read(self.tail_addr) - mem.read(self.head_addr)
+
+    def host_enqueue(self, value: int) -> bool:
+        mem = self.memory
+        head, tail = mem.read(self.head_addr), mem.read(self.tail_addr)
+        if tail - head >= self.capacity:
+            return False
+        mem.write(self.slot_addr(tail), value)
+        mem.write(self.tail_addr, tail + 1)
+        return True
+
+    def host_drain(self) -> list:
+        out = []
+        mem = self.memory
+        while mem.read(self.head_addr) < mem.read(self.tail_addr):
+            head = mem.read(self.head_addr)
+            out.append(mem.read(self.slot_addr(head)))
+            mem.write(self.head_addr, head + 1)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# simulated operations (run these inside a critical section)
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def queue_enqueue(ctx: "ThreadContext", q: RingQueue, value: int):
+    """Append ``value``; returns FULL if there is no room."""
+    head = yield from ctx.load(q.head_addr)
+    tail = yield from ctx.load(q.tail_addr)
+    if tail - head >= q.capacity:
+        return FULL
+    yield from ctx.store(q.slot_addr(tail), value)
+    yield from ctx.store(q.tail_addr, tail + 1)
+    return tail
+
+
+@simfn
+def queue_dequeue(ctx: "ThreadContext", q: RingQueue):
+    """Pop the oldest value; returns EMPTY when nothing is queued."""
+    head = yield from ctx.load(q.head_addr)
+    tail = yield from ctx.load(q.tail_addr)
+    if head >= tail:
+        return EMPTY
+    value = yield from ctx.load(q.slot_addr(head))
+    yield from ctx.store(q.head_addr, head + 1)
+    return value

@@ -1,0 +1,295 @@
+"""A left-leaning red-black tree in simulated memory.
+
+STAMP's vacation and genome use red-black trees as their ordered maps;
+this module provides the same substrate for custom workloads.  Node
+layout (6 words): ``(key, value, left, right, color, pad)``; the root
+pointer lives in its own cell.
+
+Sedgewick's left-leaning variant keeps the rebalancing code small while
+preserving the red-black invariants:
+
+1. no red node has a red left child chained to another red (no
+   double-reds on a path);
+2. perfect black balance: every root-to-leaf path crosses the same
+   number of black nodes;
+3. red links lean left.
+
+Transactionally, lookups read an O(log n) path; inserts additionally
+write color/child fields along the rebalanced spine — a slightly wider
+write set than the AVL tree's rotations, useful as a contrast subject.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..sim.memory import WORD, Memory
+from ..sim.program import simfn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+_KEY = 0
+_VAL = WORD
+_LEFT = 2 * WORD
+_RIGHT = 3 * WORD
+_COLOR = 4 * WORD
+
+RED = 1
+BLACK = 0
+
+
+class RedBlackTree:
+    """Left-leaning red-black tree with host and simulated operations."""
+
+    __slots__ = ("memory", "root_cell")
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self.root_cell = memory.alloc(WORD, align=64)
+
+    def _new_node(self, key: int, value: int) -> int:
+        node = self.memory.alloc(6 * WORD, align=WORD)
+        mem = self.memory
+        mem.write(node + _KEY, key)
+        mem.write(node + _VAL, value)
+        mem.write(node + _LEFT, 0)
+        mem.write(node + _RIGHT, 0)
+        mem.write(node + _COLOR, RED)
+        return node
+
+    # -- host-side operations ---------------------------------------------------
+
+    def _is_red(self, node: int) -> bool:
+        return bool(node) and self.memory.read(node + _COLOR) == RED
+
+    def _host_rotate_left(self, h: int) -> int:
+        mem = self.memory
+        x = mem.read(h + _RIGHT)
+        mem.write(h + _RIGHT, mem.read(x + _LEFT))
+        mem.write(x + _LEFT, h)
+        mem.write(x + _COLOR, mem.read(h + _COLOR))
+        mem.write(h + _COLOR, RED)
+        return x
+
+    def _host_rotate_right(self, h: int) -> int:
+        mem = self.memory
+        x = mem.read(h + _LEFT)
+        mem.write(h + _LEFT, mem.read(x + _RIGHT))
+        mem.write(x + _RIGHT, h)
+        mem.write(x + _COLOR, mem.read(h + _COLOR))
+        mem.write(h + _COLOR, RED)
+        return x
+
+    def _host_flip_colors(self, h: int) -> None:
+        mem = self.memory
+        mem.write(h + _COLOR, RED)
+        mem.write(mem.read(h + _LEFT) + _COLOR, BLACK)
+        mem.write(mem.read(h + _RIGHT) + _COLOR, BLACK)
+
+    def _host_insert(self, h: int, key: int, value: int) -> int:
+        mem = self.memory
+        if h == 0:
+            return self._new_node(key, value)
+        k = mem.read(h + _KEY)
+        if key < k:
+            mem.write(h + _LEFT,
+                      self._host_insert(mem.read(h + _LEFT), key, value))
+        elif key > k:
+            mem.write(h + _RIGHT,
+                      self._host_insert(mem.read(h + _RIGHT), key, value))
+        else:
+            mem.write(h + _VAL, value)
+        # LLRB fix-up
+        if self._is_red(mem.read(h + _RIGHT)) and \
+                not self._is_red(mem.read(h + _LEFT)):
+            h = self._host_rotate_left(h)
+        left = mem.read(h + _LEFT)
+        if self._is_red(left) and left and \
+                self._is_red(mem.read(left + _LEFT)):
+            h = self._host_rotate_right(h)
+        if self._is_red(mem.read(h + _LEFT)) and \
+                self._is_red(mem.read(h + _RIGHT)):
+            self._host_flip_colors(h)
+        return h
+
+    def host_insert(self, key: int, value: int = 0) -> None:
+        mem = self.memory
+        root = self._host_insert(mem.read(self.root_cell), key, value)
+        mem.write(root + _COLOR, BLACK)
+        mem.write(self.root_cell, root)
+
+    def host_lookup(self, key: int) -> Optional[int]:
+        mem = self.memory
+        node = mem.read(self.root_cell)
+        while node:
+            k = mem.read(node + _KEY)
+            if key == k:
+                return mem.read(node + _VAL)
+            node = mem.read(node + (_LEFT if key < k else _RIGHT))
+        return None
+
+    def host_keys_inorder(self) -> List[int]:
+        out: List[int] = []
+        mem = self.memory
+
+        def rec(node: int) -> None:
+            if not node:
+                return
+            rec(mem.read(node + _LEFT))
+            out.append(mem.read(node + _KEY))
+            rec(mem.read(node + _RIGHT))
+
+        rec(mem.read(self.root_cell))
+        return out
+
+    # -- invariant checks (for tests) ----------------------------------------------
+
+    def host_check_invariants(self) -> bool:
+        """Root black, no red-red chains, perfect black balance."""
+        mem = self.memory
+        root = mem.read(self.root_cell)
+        if root and self._is_red(root):
+            return False
+        ok = True
+
+        def rec(node: int) -> int:
+            nonlocal ok
+            if not node:
+                return 1
+            left = mem.read(node + _LEFT)
+            right = mem.read(node + _RIGHT)
+            if self._is_red(node) and (self._is_red(left)
+                                       or self._is_red(right)):
+                ok = False
+            if self._is_red(right) and not self._is_red(left):
+                ok = False  # right-leaning red link (LLRB violation)
+            lb = rec(left)
+            rb = rec(right)
+            if lb != rb:
+                ok = False
+            return lb + (0 if self._is_red(node) else 1)
+
+        rec(root)
+        return ok
+
+    def host_height(self) -> int:
+        mem = self.memory
+
+        def rec(node: int) -> int:
+            if not node:
+                return 0
+            return 1 + max(rec(mem.read(node + _LEFT)),
+                           rec(mem.read(node + _RIGHT)))
+
+        return rec(mem.read(self.root_cell))
+
+
+# ---------------------------------------------------------------------------
+# simulated operations
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def rbtree_lookup(ctx: "ThreadContext", tree: RedBlackTree, key: int):
+    """Search the tree; returns the value or None (O(log n) read set)."""
+    node = yield from ctx.load(tree.root_cell)
+    while node:
+        k = yield from ctx.load(node + _KEY)
+        if k == key:
+            value = yield from ctx.load(node + _VAL)
+            return value
+        node = yield from ctx.load(node + (_LEFT if key < k else _RIGHT))
+    return None
+
+
+def _sim_is_red(ctx, node):
+    if not node:
+        return False
+    color = yield from ctx.load(node + _COLOR)
+    return color == RED
+
+
+def _sim_rotate_left(ctx, h):
+    x = yield from ctx.load(h + _RIGHT)
+    xl = yield from ctx.load(x + _LEFT)
+    yield from ctx.store(h + _RIGHT, xl)
+    yield from ctx.store(x + _LEFT, h)
+    hc = yield from ctx.load(h + _COLOR)
+    yield from ctx.store(x + _COLOR, hc)
+    yield from ctx.store(h + _COLOR, RED)
+    return x
+
+
+def _sim_rotate_right(ctx, h):
+    x = yield from ctx.load(h + _LEFT)
+    xr = yield from ctx.load(x + _RIGHT)
+    yield from ctx.store(h + _LEFT, xr)
+    yield from ctx.store(x + _RIGHT, h)
+    hc = yield from ctx.load(h + _COLOR)
+    yield from ctx.store(x + _COLOR, hc)
+    yield from ctx.store(h + _COLOR, RED)
+    return x
+
+
+def _sim_flip(ctx, h):
+    yield from ctx.store(h + _COLOR, RED)
+    left = yield from ctx.load(h + _LEFT)
+    right = yield from ctx.load(h + _RIGHT)
+    yield from ctx.store(left + _COLOR, BLACK)
+    yield from ctx.store(right + _COLOR, BLACK)
+
+
+def _sim_insert(ctx, tree, h, key, value):
+    if h == 0:
+        fresh = tree._new_node(key, 0)
+        yield from ctx.store(fresh + _KEY, key)
+        yield from ctx.store(fresh + _VAL, value)
+        yield from ctx.store(fresh + _COLOR, RED)
+        return fresh
+    k = yield from ctx.load(h + _KEY)
+    if key < k:
+        child = yield from ctx.load(h + _LEFT)
+        new_child = yield from _sim_insert(ctx, tree, child, key, value)
+        if new_child != child:
+            yield from ctx.store(h + _LEFT, new_child)
+    elif key > k:
+        child = yield from ctx.load(h + _RIGHT)
+        new_child = yield from _sim_insert(ctx, tree, child, key, value)
+        if new_child != child:
+            yield from ctx.store(h + _RIGHT, new_child)
+    else:
+        yield from ctx.store(h + _VAL, value)
+        return h
+    # LLRB fix-up
+    left = yield from ctx.load(h + _LEFT)
+    right = yield from ctx.load(h + _RIGHT)
+    right_red = yield from _sim_is_red(ctx, right)
+    left_red = yield from _sim_is_red(ctx, left)
+    if right_red and not left_red:
+        h = yield from _sim_rotate_left(ctx, h)
+        left = yield from ctx.load(h + _LEFT)
+    if left:
+        ll = yield from ctx.load(left + _LEFT)
+        left_red = yield from _sim_is_red(ctx, left)
+        ll_red = yield from _sim_is_red(ctx, ll)
+        if left_red and ll_red:
+            h = yield from _sim_rotate_right(ctx, h)
+    left = yield from ctx.load(h + _LEFT)
+    right = yield from ctx.load(h + _RIGHT)
+    left_red = yield from _sim_is_red(ctx, left)
+    right_red = yield from _sim_is_red(ctx, right)
+    if left_red and right_red:
+        yield from _sim_flip(ctx, h)
+    return h
+
+
+@simfn
+def rbtree_insert(ctx: "ThreadContext", tree: RedBlackTree, key: int,
+                  value: int = 0):
+    """Insert (or update) ``key`` with LLRB rebalancing."""
+    root = yield from ctx.load(tree.root_cell)
+    new_root = yield from _sim_insert(ctx, tree, root, key, value)
+    yield from ctx.store(new_root + _COLOR, BLACK)
+    if new_root != root:
+        yield from ctx.store(tree.root_cell, new_root)

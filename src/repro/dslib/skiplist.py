@@ -1,0 +1,162 @@
+"""A skip list in simulated memory (the Synchrobench ``skiplist`` subject).
+
+Node layout: ``(key, value, level, next_0, ..., next_{level-1})``.
+Tower heights are drawn from a geometric distribution with a *seeded*
+RNG supplied by the caller, so structure and behaviour are reproducible.
+
+Compared to the linked list, searches descend in O(log n) — shorter
+transactional read sets, fewer conflicts — which is why the two workloads
+profile so differently despite similar APIs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, TYPE_CHECKING
+
+from ..sim.memory import WORD, Memory
+from ..sim.program import simfn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+_KEY = 0
+_VAL = WORD
+_LVL = 2 * WORD
+_NEXT0 = 3 * WORD
+
+HEAD_KEY = -(1 << 62)
+TAIL_KEY = 1 << 62
+
+
+class SkipList:
+    """Skip list with sentinel head/tail towers of maximal height."""
+
+    __slots__ = ("memory", "max_level", "head", "tail", "rng")
+
+    def __init__(self, memory: Memory, max_level: int = 8,
+                 seed: int = 0) -> None:
+        if max_level <= 0:
+            raise ValueError("max_level must be positive")
+        self.memory = memory
+        self.max_level = max_level
+        self.rng = random.Random(seed)
+        self.tail = self._new_node(TAIL_KEY, 0, max_level)
+        self.head = self._new_node(HEAD_KEY, 0, max_level)
+        for lvl in range(max_level):
+            memory.write(self.head + _NEXT0 + lvl * WORD, self.tail)
+
+    def _new_node(self, key: int, value: int, level: int) -> int:
+        node = self.memory.alloc((3 + level) * WORD, align=WORD)
+        mem = self.memory
+        mem.write(node + _KEY, key)
+        mem.write(node + _VAL, value)
+        mem.write(node + _LVL, level)
+        for lvl in range(level):
+            mem.write(node + _NEXT0 + lvl * WORD, 0)
+        return node
+
+    def random_level(self) -> int:
+        level = 1
+        while level < self.max_level and self.rng.random() < 0.5:
+            level += 1
+        return level
+
+    # -- host-side ------------------------------------------------------------
+
+    def host_insert(self, key: int, value: int = 0) -> bool:
+        mem = self.memory
+        update = [self.head] * self.max_level
+        node = self.head
+        for lvl in range(self.max_level - 1, -1, -1):
+            nxt = mem.read(node + _NEXT0 + lvl * WORD)
+            while mem.read(nxt + _KEY) < key:
+                node = nxt
+                nxt = mem.read(node + _NEXT0 + lvl * WORD)
+            update[lvl] = node
+        candidate = mem.read(node + _NEXT0)
+        if mem.read(candidate + _KEY) == key:
+            return False
+        level = self.random_level()
+        fresh = self._new_node(key, value, level)
+        for lvl in range(level):
+            prev = update[lvl]
+            mem.write(fresh + _NEXT0 + lvl * WORD,
+                      mem.read(prev + _NEXT0 + lvl * WORD))
+            mem.write(prev + _NEXT0 + lvl * WORD, fresh)
+        return True
+
+    def host_keys(self) -> List[int]:
+        mem = self.memory
+        keys = []
+        node = mem.read(self.head + _NEXT0)
+        while mem.read(node + _KEY) != TAIL_KEY:
+            keys.append(mem.read(node + _KEY))
+            node = mem.read(node + _NEXT0)
+        return keys
+
+
+# ---------------------------------------------------------------------------
+# simulated operations
+# ---------------------------------------------------------------------------
+
+
+def _locate(ctx, sl: SkipList, key: int):
+    """Find predecessors at every level; returns (update[], candidate)."""
+    mem_levels = sl.max_level
+    update = [sl.head] * mem_levels
+    node = sl.head
+    for lvl in range(mem_levels - 1, -1, -1):
+        nxt = yield from ctx.load(node + _NEXT0 + lvl * WORD)
+        k = yield from ctx.load(nxt + _KEY)
+        while k < key:
+            node = nxt
+            nxt = yield from ctx.load(node + _NEXT0 + lvl * WORD)
+            k = yield from ctx.load(nxt + _KEY)
+        update[lvl] = node
+    candidate = yield from ctx.load(node + _NEXT0)
+    return update, candidate
+
+
+@simfn
+def skiplist_contains(ctx: "ThreadContext", sl: SkipList, key: int):
+    _, candidate = yield from _locate(ctx, sl, key)
+    k = yield from ctx.load(candidate + _KEY)
+    return k == key
+
+
+@simfn
+def skiplist_insert(ctx: "ThreadContext", sl: SkipList, key: int,
+                    value: int = 0):
+    """Insert ``key`` if absent; returns True if inserted."""
+    update, candidate = yield from _locate(ctx, sl, key)
+    k = yield from ctx.load(candidate + _KEY)
+    if k == key:
+        return False
+    level = sl.random_level()
+    fresh = sl._new_node(key, 0, level)
+    yield from ctx.store(fresh + _KEY, key)
+    yield from ctx.store(fresh + _VAL, value)
+    for lvl in range(level):
+        prev = update[lvl]
+        nxt = yield from ctx.load(prev + _NEXT0 + lvl * WORD)
+        yield from ctx.store(fresh + _NEXT0 + lvl * WORD, nxt)
+        yield from ctx.store(prev + _NEXT0 + lvl * WORD, fresh)
+    return True
+
+
+@simfn
+def skiplist_remove(ctx: "ThreadContext", sl: SkipList, key: int):
+    """Unlink ``key`` at every level it occupies; True if removed."""
+    update, candidate = yield from _locate(ctx, sl, key)
+    k = yield from ctx.load(candidate + _KEY)
+    if k != key:
+        return False
+    level = yield from ctx.load(candidate + _LVL)
+    for lvl in range(level):
+        prev = update[lvl]
+        nxt = yield from ctx.load(prev + _NEXT0 + lvl * WORD)
+        if nxt == candidate:
+            cand_nxt = yield from ctx.load(candidate + _NEXT0 + lvl * WORD)
+            yield from ctx.store(prev + _NEXT0 + lvl * WORD, cand_nxt)
+    return True

@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+==================  ==========================================
+module              reproduces
+==================  ==========================================
+``overhead``        Figure 5 (per-benchmark overhead), Figure 6
+                    (overhead vs thread count)
+``clomp``           Table 1 + Figure 7 (CLOMP-TM decompositions)
+``categorize``      Figure 8 (Type I/II/III quadrants)
+``speedup``         Table 2 (optimization overview)
+``correctness``     §7.2 (validation against ground truth)
+``casestudy``       §8 case studies + Figure 9
+``runner``          shared build/run/profile plumbing
+==================  ==========================================
+"""
+
+from .runner import Outcome, run_workload, speedup, trimmed_mean_overhead
+
+__all__ = [
+    "run_workload",
+    "speedup",
+    "trimmed_mean_overhead",
+    "Outcome",
+]

@@ -1,0 +1,124 @@
+"""Shared experiment plumbing: build a workload, run it, profile it.
+
+The paper's measurement protocol (§7.1) is reproduced: overhead numbers
+average five of seven runs, dropping the smallest and largest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..core.analyzer import Profile
+from ..core.profiler import TxSampler
+from .. import htmbench  # noqa: F401  (imports register all workloads)
+from ..htmbench.base import Workload, get_workload
+from ..rtm.instrument import TxnInstrumentation
+from ..sim.config import MachineConfig
+from ..sim.engine import RunResult, Simulator
+
+WorkloadLike = Union[str, Workload]
+
+
+@dataclass
+class Outcome:
+    """One run's artifacts."""
+
+    result: RunResult
+    sim: Simulator
+    profile: Optional[Profile] = None
+    profiler: Optional[TxSampler] = None
+    instrument: Optional[TxnInstrumentation] = None
+
+
+def _resolve(workload: WorkloadLike, params: dict) -> Workload:
+    if isinstance(workload, str):
+        return get_workload(workload, **params)
+    return workload
+
+
+def run_workload(
+    workload: WorkloadLike,
+    n_threads: int = 14,
+    scale: float = 1.0,
+    seed: int = 0,
+    config: Optional[MachineConfig] = None,
+    profile: bool = False,
+    instrument: bool = False,
+    contention_threshold: int = 50_000,
+    **params,
+) -> Outcome:
+    """Build + run one workload; optionally attach TxSampler and/or the
+    ground-truth instrumentation."""
+    cfg = config or MachineConfig(n_threads=n_threads)
+    wl = _resolve(workload, params)
+    profiler = TxSampler(contention_threshold) if profile else None
+    sim = Simulator(cfg, n_threads=n_threads, seed=seed, profiler=profiler)
+    instr = None
+    if instrument:
+        instr = TxnInstrumentation()
+        sim.rtm.instrument = instr
+    rng = random.Random(seed * 7919 + 13)
+    sim.set_programs(wl.build(sim, n_threads, scale, rng))
+    result = sim.run()
+    return Outcome(
+        result=result,
+        sim=sim,
+        profile=profiler.profile() if profiler else None,
+        profiler=profiler,
+        instrument=instr,
+    )
+
+
+def trimmed_mean_overhead(
+    workload: WorkloadLike,
+    n_threads: int = 14,
+    scale: float = 1.0,
+    config: Optional[MachineConfig] = None,
+    runs: int = 7,
+    drop: int = 1,
+    **params,
+) -> Tuple[float, List[float]]:
+    """§7.1's protocol: run ``runs`` seeds native and sampled, compute the
+    per-seed makespan overhead, drop the ``drop`` smallest and largest,
+    and average the rest.  Returns ``(mean_overhead, all_overheads)``."""
+    overheads: List[float] = []
+    for seed in range(runs):
+        native = run_workload(
+            workload, n_threads=n_threads, scale=scale, seed=seed,
+            config=config, profile=False, **params,
+        )
+        sampled = run_workload(
+            workload, n_threads=n_threads, scale=scale, seed=seed,
+            config=config, profile=True, **params,
+        )
+        overheads.append(
+            sampled.result.makespan / native.result.makespan - 1.0
+        )
+    trimmed = sorted(overheads)
+    if drop and len(trimmed) > 2 * drop:
+        trimmed = trimmed[drop:-drop]
+    return sum(trimmed) / len(trimmed), overheads
+
+
+def speedup(
+    baseline: WorkloadLike,
+    optimized: WorkloadLike,
+    n_threads: int = 14,
+    scale: float = 1.0,
+    seed: int = 0,
+    config: Optional[MachineConfig] = None,
+    baseline_params: Optional[dict] = None,
+    optimized_params: Optional[dict] = None,
+) -> Tuple[float, Outcome, Outcome]:
+    """Makespan ratio baseline/optimized (>1 means the fix helps)."""
+    base = run_workload(
+        baseline, n_threads=n_threads, scale=scale, seed=seed, config=config,
+        **(baseline_params or {}),
+    )
+    opt = run_workload(
+        optimized, n_threads=n_threads, scale=scale, seed=seed, config=config,
+        **(optimized_params or {}),
+    )
+    return base.result.makespan / opt.result.makespan, base, opt

@@ -1,0 +1,22 @@
+"""TSX-style hardware transactional memory engine (simulated)."""
+
+from .status import (
+    ABORT_CAPACITY,
+    ABORT_CONFLICT,
+    ABORT_EXPLICIT,
+    ABORT_INTERRUPT,
+    ABORT_SYNC,
+    AbortStatus,
+)
+from .tsx import Transaction, TsxEngine
+
+__all__ = [
+    "AbortStatus",
+    "ABORT_CONFLICT",
+    "ABORT_CAPACITY",
+    "ABORT_SYNC",
+    "ABORT_INTERRUPT",
+    "ABORT_EXPLICIT",
+    "Transaction",
+    "TsxEngine",
+]

@@ -1,0 +1,99 @@
+"""TSX abort status codes.
+
+Real RTM reports the abort cause through EAX bits after ``xbegin``
+(_XABORT_EXPLICIT, _XABORT_RETRY, _XABORT_CONFLICT, _XABORT_CAPACITY, ...).
+We keep the same bit layout plus a symbolic ``reason`` so profiler-side
+classification (conflict / capacity / synchronous) mirrors §5's penalty
+metrics.  Interrupt-induced aborts — the PMU sampling artifact at the heart
+of Challenge I — set *no* cause bit except RETRY, exactly like hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# EAX bit layout (Intel SDM Vol. 1, §16.3.5)
+XABORT_EXPLICIT = 1 << 0
+XABORT_RETRY = 1 << 1
+XABORT_CONFLICT = 1 << 2
+XABORT_CAPACITY = 1 << 3
+XABORT_DEBUG = 1 << 4
+XABORT_NESTED = 1 << 5
+# auxiliary PEBS bit (not part of EAX): set when a capacity abort came
+# from the *write* set; the artifact's viewer splits capacity aborts
+# into read/write this way
+XCAP_WRITE = 1 << 8
+
+# symbolic reasons (what the simulator knows; the *profiler* must infer its
+# classification from the status bits and PMU event metadata)
+ABORT_CONFLICT = "conflict"
+ABORT_CAPACITY = "capacity"
+ABORT_SYNC = "sync"          # unfriendly instruction: syscall, page fault, ...
+ABORT_INTERRUPT = "interrupt"  # PMU counter overflow aborted the transaction
+ABORT_EXPLICIT = "explicit"   # xabort issued by software
+
+REASONS = (ABORT_CONFLICT, ABORT_CAPACITY, ABORT_SYNC, ABORT_INTERRUPT, ABORT_EXPLICIT)
+
+_REASON_BITS = {
+    ABORT_CONFLICT: XABORT_CONFLICT | XABORT_RETRY,
+    ABORT_CAPACITY: XABORT_CAPACITY,
+    ABORT_SYNC: 0,  # synchronous aborts set no cause bits on TSX
+    ABORT_INTERRUPT: XABORT_RETRY,
+    ABORT_EXPLICIT: XABORT_EXPLICIT | XABORT_RETRY,
+}
+
+
+@dataclass(frozen=True)
+class AbortStatus:
+    """One abort's cause as observable by software.
+
+    Attributes
+    ----------
+    reason:
+        Symbolic cause (one of the ``ABORT_*`` constants).
+    eax:
+        The TSX status bits software would see in EAX.
+    aborter_tid:
+        For conflict aborts, the thread whose access killed this
+        transaction (``-1`` otherwise).  Real hardware does not report
+        this; it is exposed only to the *instrumentation ground truth*,
+        never to the sampling profiler.
+    detail:
+        Free-form cause detail (e.g. the syscall kind), again ground-truth
+        only.
+    """
+
+    reason: str
+    eax: int = -1
+    aborter_tid: int = -1
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.eax == -1:
+            object.__setattr__(self, "eax", _REASON_BITS[self.reason])
+
+    @property
+    def may_retry(self) -> bool:
+        """Whether the RETRY hint bit suggests re-attempting in hardware.
+
+        Capacity and synchronous aborts are persistent: retrying cannot
+        succeed, so the runtime goes straight to the fallback path
+        (paper §7: "we do not retry transactions with persistent aborts").
+        """
+        return bool(self.eax & XABORT_RETRY)
+
+    @property
+    def is_conflict(self) -> bool:
+        return bool(self.eax & XABORT_CONFLICT)
+
+    @property
+    def is_capacity(self) -> bool:
+        return bool(self.eax & XABORT_CAPACITY)
+
+    @property
+    def is_sync(self) -> bool:
+        """No cause bits at all: a synchronous (unfriendly-op) abort."""
+        return self.reason == ABORT_SYNC
+
+    def __str__(self) -> str:
+        return f"{self.reason}(eax={self.eax:#x})"

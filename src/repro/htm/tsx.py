@@ -1,0 +1,257 @@
+"""The TSX-style HTM engine: read/write sets, conflicts, capacity, aborts.
+
+Semantics modeled after Intel RTM:
+
+* conflict detection at **cache line** granularity, *eager* (at access
+  time) by default — the transaction that receives a conflicting coherence
+  request aborts ("requester wins"), so plain non-transactional accesses
+  (notably the fallback path's lock acquisition) kill overlapping
+  transactions;
+* transactional stores are **buffered** and only reach shared memory on
+  commit; aborts discard the buffer and restore the architectural state
+  snapshotted at ``xbegin`` (in this simulator: the call stack);
+* the write set is bounded by an L1-like budget with set-associativity
+  (so pathological mappings overflow early), the read set by a larger
+  L2/L3-style budget — exceeding either raises a **capacity** abort;
+* unfriendly operations (syscalls, page faults, explicit xabort) raise
+  **synchronous** aborts with no hardware cause bits, which the runtime
+  treats as persistent (no retry);
+* any delivered interrupt — including PMU sampling interrupts — aborts the
+  transaction (**interrupt** abort, RETRY bit set), recreating the paper's
+  Challenge I.
+
+The engine never raises Python exceptions into workload code itself; it
+*dooms* transactions, and the simulator delivers :class:`AbortSignal` to
+the victim thread at its next scheduling step (its architectural state is
+rolled back immediately at doom time, as on hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..sim.config import MachineConfig, line_of
+from .status import (
+    ABORT_CAPACITY,
+    ABORT_CONFLICT,
+    AbortStatus,
+    XABORT_CAPACITY,
+    XCAP_WRITE,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.thread import ThreadContext
+
+
+class Transaction:
+    """One in-flight hardware transaction attempt."""
+
+    __slots__ = (
+        "tid",
+        "thread",
+        "cs_id",
+        "start_cycle",
+        "read_lines",
+        "write_lines",
+        "writes",
+        "wset_by_set",
+        "doomed",
+        "stack_snapshot",
+        "begin_ip",
+        "fallback_ip",
+        "nesting",
+    )
+
+    def __init__(
+        self,
+        thread: "ThreadContext",
+        cs_id: int,
+        start_cycle: int,
+        begin_ip: int,
+        fallback_ip: int,
+    ) -> None:
+        self.tid = thread.tid
+        self.thread = thread
+        self.cs_id = cs_id
+        self.start_cycle = start_cycle
+        self.read_lines: set = set()
+        self.write_lines: set = set()
+        self.writes: Dict[int, int] = {}
+        self.wset_by_set: Dict[int, int] = {}
+        self.doomed: Optional[AbortStatus] = None
+        self.stack_snapshot = thread.snapshot_stack()
+        self.begin_ip = begin_ip
+        self.fallback_ip = fallback_ip
+        self.nesting = 1
+
+    def footprint_lines(self) -> int:
+        return len(self.read_lines | self.write_lines)
+
+
+class TsxEngine:
+    """Machine-wide transactional state and conflict arbitration."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        #: active (not yet committed/rolled-back) transaction per tid
+        self.active: Dict[int, Transaction] = {}
+        self._n_sets = max(1, config.wset_lines // max(1, config.wset_assoc))
+        # engine-level statistics (ground truth, not profiler-visible)
+        self.total_begins = 0
+        self.total_commits = 0
+        self.total_aborts = 0
+        self.aborts_by_reason: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ begin
+
+    def begin(self, thread: "ThreadContext", now: int, cs_id: int,
+              begin_ip: int, fallback_ip: int) -> Transaction:
+        """Start (or nest into) a transaction for ``thread``."""
+        txn = self.active.get(thread.tid)
+        if txn is not None:
+            # flat nesting, as on TSX: inner begins just bump a depth count
+            txn.nesting += 1
+            return txn
+        txn = Transaction(thread, cs_id, now, begin_ip, fallback_ip)
+        self.active[thread.tid] = txn
+        self.total_begins += 1
+        return txn
+
+    # ----------------------------------------------------------------- access
+
+    def txn_of(self, tid: int) -> Optional[Transaction]:
+        return self.active.get(tid)
+
+    def on_access(self, tid: int, addr: int, is_write: bool) -> None:
+        """Conflict arbitration for one access (transactional or not).
+
+        Called by the engine for *every* load/store/CAS.  Dooms other
+        transactions per the conflict policy; with eager detection this is
+        exactly TSX's coherence-triggered abort.
+        """
+        if not self.config.eager_conflicts and tid in self.active:
+            # lazy mode: transactional accesses defer detection to commit;
+            # non-transactional accesses still arbitrate eagerly below.
+            return
+        line = line_of(addr)
+        requester_wins = self.config.conflict_policy == "requester_wins"
+        me = self.active.get(tid)
+        for other_tid, other in list(self.active.items()):
+            if other_tid == tid or other.doomed is not None:
+                continue
+            conflicts = (
+                line in other.write_lines
+                or (is_write and line in other.read_lines)
+            )
+            if not conflicts:
+                continue
+            if requester_wins or me is None:
+                self.doom(other, AbortStatus(ABORT_CONFLICT, aborter_tid=tid))
+            else:
+                # responder-wins ablation: the requester's own txn dies
+                self.doom(me, AbortStatus(ABORT_CONFLICT, aborter_tid=other_tid))
+                return
+
+    def track_read(self, txn: Transaction, addr: int) -> None:
+        """Add ``addr`` to the read set; dooms the txn on read-set overflow."""
+        line = line_of(addr)
+        rl = txn.read_lines
+        if line not in rl:
+            rl.add(line)
+            if len(rl) > self.config.rset_lines:
+                self.doom(txn, AbortStatus(
+                    ABORT_CAPACITY,
+                    eax=XABORT_CAPACITY,
+                    detail="read-set",
+                ))
+
+    def track_write(self, txn: Transaction, addr: int, value: int) -> None:
+        """Buffer a transactional store; dooms the txn on write-set overflow."""
+        txn.writes[addr] = value
+        line = line_of(addr)
+        wl = txn.write_lines
+        if line not in wl:
+            wl.add(line)
+            set_idx = line % self._n_sets
+            ways = txn.wset_by_set.get(set_idx, 0) + 1
+            txn.wset_by_set[set_idx] = ways
+            if (
+                len(wl) > self.config.wset_lines
+                or ways > self.config.wset_assoc
+            ):
+                self.doom(txn, AbortStatus(
+                    ABORT_CAPACITY,
+                    eax=XABORT_CAPACITY | XCAP_WRITE,
+                    detail="write-set",
+                ))
+
+    def read_through(self, txn: Transaction, addr: int, memory_read) -> int:
+        """Transactional load: own write buffer first, then shared memory."""
+        if addr in txn.writes:
+            return txn.writes[addr]
+        return memory_read(addr)
+
+    # ----------------------------------------------------------------- doom
+
+    def doom(self, txn: Transaction, status: AbortStatus) -> None:
+        """Mark ``txn`` aborted and roll back its architectural state.
+
+        The victim thread's generator is still suspended; the simulator
+        throws :class:`AbortSignal` into it at its next step.  Rolling the
+        call stack back *now* matters because a PMU sample delivered before
+        the runtime resumes must observe the post-abort state (the unwinder
+        sees the path to the transaction begin, never inside — Challenge IV).
+        """
+        if txn.doomed is not None:
+            return
+        txn.doomed = status
+        txn.thread.restore_stack(txn.stack_snapshot)
+        txn.thread.lbr.push_abort(txn.thread.cur_ip, txn.fallback_ip)
+
+    # ---------------------------------------------------------------- commit
+
+    def commit(self, thread: "ThreadContext", memory_write) -> bool:
+        """Attempt to commit; returns False if the txn was already doomed.
+
+        In lazy-detection mode, commit-time validation arbitrates against
+        other in-flight transactions first (committer wins).
+        """
+        txn = self.active.get(thread.tid)
+        if txn is None:
+            raise RuntimeError(f"thread {thread.tid} committing with no txn")
+        if txn.nesting > 1:
+            txn.nesting -= 1
+            return True
+        if txn.doomed is None and not self.config.eager_conflicts:
+            self._validate_lazy(txn)
+        if txn.doomed is not None:
+            return False
+        for addr, value in txn.writes.items():
+            memory_write(addr, value)
+        del self.active[thread.tid]
+        self.total_commits += 1
+        return True
+
+    def _validate_lazy(self, txn: Transaction) -> None:
+        for other_tid, other in list(self.active.items()):
+            if other_tid == txn.tid or other.doomed is not None:
+                continue
+            if (
+                txn.write_lines & (other.read_lines | other.write_lines)
+                or txn.read_lines & other.write_lines
+            ):
+                self.doom(other, AbortStatus(ABORT_CONFLICT, aborter_tid=txn.tid))
+
+    # -------------------------------------------------------------- rollback
+
+    def rollback(self, thread: "ThreadContext") -> AbortStatus:
+        """Retire a doomed transaction; returns its abort status."""
+        txn = self.active.pop(thread.tid, None)
+        if txn is None or txn.doomed is None:
+            raise RuntimeError(f"thread {thread.tid} rolling back a live txn")
+        status = txn.doomed
+        self.total_aborts += 1
+        self.aborts_by_reason[status.reason] = (
+            self.aborts_by_reason.get(status.reason, 0) + 1
+        )
+        return status

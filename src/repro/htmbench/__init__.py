@@ -1,0 +1,37 @@
+"""HTMBench: the paper's benchmark suite, re-built over the simulator.
+
+Importing this package registers every workload; use
+:func:`get_workload` / :func:`workload_names` to enumerate them.
+"""
+
+from .base import (
+    WORKLOADS,
+    Workload,
+    get_workload,
+    register,
+    suites,
+    workload_names,
+)
+
+# importing the suite modules populates the registry
+from . import clomp_tm  # noqa: F401
+from . import microbench  # noqa: F401
+from . import stamp  # noqa: F401
+from . import parsec  # noqa: F401
+from . import splash2  # noqa: F401
+from . import parboil  # noqa: F401
+from . import npb  # noqa: F401
+from . import synchro  # noqa: F401
+from . import rmstm  # noqa: F401
+from . import apps  # noqa: F401
+from . import ssca2  # noqa: F401
+from . import optimized  # noqa: F401
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "register",
+    "get_workload",
+    "workload_names",
+    "suites",
+]

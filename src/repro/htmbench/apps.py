@@ -1,0 +1,585 @@
+"""Multi-threaded applications: LevelDB, AVL tree, B+ tree, Lee-TM,
+KyotoCabinet, BerkeleyDB, Memcached, PBZip2, BART, QuakeTM.
+
+The two Table-2 apps get faithful naive shapes:
+
+* **LevelDB** (§8.2): ``db_->Get()`` brackets every read with two
+  transactions that bump/unbump the reference counts of *three shared
+  objects* (the memtable, the immutable memtable, and the current
+  version).  Fourteen threads hammering three counter words drive the
+  abort/commit ratio to ~2.8; Table 2's fix shrinks the transactions to
+  the counter updates only.
+* **AVL tree**: the naive build takes a *reader lock* (a shared counter
+  write) inside every lookup transaction, so even read-only operations
+  conflict — T_wait dominates; the fix elides the read lock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..dslib.array import IntArray
+from ..dslib.avltree import AvlTree, avl_insert, avl_search
+from ..dslib.bplustree import (
+    BPlusTree,
+    btree_insert_leaf,
+    btree_lookup,
+    btree_update,
+)
+from ..dslib.hashtable import (
+    HashTable,
+    good_hash,
+    hashtable_bump,
+    hashtable_insert,
+    hashtable_search,
+    hashtable_set_value,
+)
+from ..dslib.queue import EMPTY, FULL, RingQueue, queue_dequeue, queue_enqueue
+from ..sim.program import simfn
+from .base import Workload, register
+
+
+# ---------------------------------------------------------------------------
+# LevelDB — db_bench ReadRandom over an HTM-ified Get()
+# ---------------------------------------------------------------------------
+
+
+class LevelDbData:
+    """A memtable index plus the three shared ref-counted objects."""
+
+    def __init__(self, sim, n_keys: int, seed: int) -> None:
+        mem = sim.memory
+        self.memtable = BPlusTree(mem)
+        rng = random.Random(seed)
+        keys = list(range(n_keys))
+        rng.shuffle(keys)
+        for k in keys:
+            self.memtable.host_insert(k, k * 3 + 1)
+        self.n_keys = n_keys
+        # mem_, imm_, versions_ are distinct heap objects: their refcount
+        # words live on distinct cache lines
+        self.refs = IntArray(mem, 3, line_per_element=True)
+        for i in range(3):
+            self.refs.host_set(i, 1)
+
+
+@simfn
+def leveldb_get_naive(ctx, db: LevelDbData, key: int):
+    """The HTM port's Get(): txn{Ref x3 + version lookup}, read,
+    txn{value check + Unref x3} — the §8.2 conflict machine."""
+
+    def ref_all(c):
+        for i in range(3):
+            yield from db.refs.add(c, i, 1)
+        yield from c.compute(60)  # sequence-number / version snapshot
+
+    yield from ctx.atomic(ref_all, name="leveldb_ref")
+    value = yield from ctx.call(btree_lookup, db.memtable, key)
+    yield from ctx.compute(150)  # block checksum / decode
+
+    def unref_all(c):
+        yield from c.compute(40)  # validate the read result
+        for i in range(3):
+            v = yield from db.refs.add(c, i, -1)
+            if v == 0:
+                yield from c.compute(30)  # would delete the object
+
+    yield from ctx.atomic(unref_all, name="leveldb_unref")
+    return value
+
+
+@simfn
+def leveldb_readrandom(ctx, db: LevelDbData, n_reads: int, split: bool):
+    """db_bench's ReadRandom driver."""
+    rng = ctx.rng
+    for _ in range(n_reads):
+        key = rng.randrange(db.n_keys)
+        if split:
+            yield from ctx.call(leveldb_get_split, db, key)
+        else:
+            yield from ctx.call(leveldb_get_naive, db, key)
+        yield from ctx.compute(600)  # key generation, response handling
+
+
+@simfn
+def leveldb_get_split(ctx, db: LevelDbData, key: int):
+    """Table 2's fix: per-counter micro-transactions, lookup outside."""
+    for i in range(3):
+        def ref_one(c, i=i):
+            yield from db.refs.add(c, i, 1)
+
+        yield from ctx.atomic(ref_one, name="leveldb_ref_one")
+    yield from ctx.compute(60)
+    value = yield from ctx.call(btree_lookup, db.memtable, key)
+    yield from ctx.compute(150)
+    yield from ctx.compute(40)
+    for i in range(3):
+        def unref_one(c, i=i):
+            v = yield from db.refs.add(c, i, -1)
+            if v == 0:
+                yield from c.compute(30)
+
+        yield from ctx.atomic(unref_one, name="leveldb_unref_one")
+    return value
+
+
+@register
+class LevelDb(Workload):
+    name = "leveldb"
+    suite = "apps"
+    expected_type = "III"
+    description = "LevelDB ReadRandom: shared refcounts in Get()'s txns"
+
+    split = False
+
+    def build(self, sim, n_threads, scale, rng):
+        db = LevelDbData(sim, n_keys=self.params.get("n_keys", 512),
+                         seed=rng.randrange(1 << 30))
+        reads = self.iters(50, scale)
+        return [
+            (leveldb_readrandom, (db, reads, self.split), {})
+        ] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# AVL tree — refined transactional lock elision subject
+# ---------------------------------------------------------------------------
+
+
+class AvlAppData:
+    def __init__(self, sim, n_keys: int, seed: int) -> None:
+        self.tree = AvlTree(sim.memory)
+        rng = random.Random(seed)
+        keys = list(range(n_keys))
+        rng.shuffle(keys)
+        for k in keys:
+            self.tree.host_insert(k, k)
+        self.n_keys = n_keys
+        # the reader lock: a shared reader-count word
+        self.read_lock = IntArray(sim.memory, 1, line_per_element=True)
+
+
+@simfn
+def avlapp_worker(ctx, data: AvlAppData, n_ops: int, elide_read_lock: bool):
+    """95% lookups / 5% inserts.  The naive build increments a shared
+    reader count inside every lookup transaction (a write!) — readers
+    conflict with each other and T_wait explodes."""
+    rng = ctx.rng
+    for _ in range(n_ops):
+        key = rng.randrange(data.n_keys * 2)
+        if rng.random() < 0.95:
+            if elide_read_lock:
+                def lookup(c, key=key):
+                    r = yield from c.call(avl_search, data.tree, key)
+                    return r
+            else:
+                def lookup(c, key=key):
+                    yield from data.read_lock.add(c, 0, 1)   # rd-lock
+                    r = yield from c.call(avl_search, data.tree, key)
+                    yield from data.read_lock.add(c, 0, -1)  # rd-unlock
+                    return r
+
+            yield from ctx.atomic(lookup, name="avl_lookup")
+        else:
+            def insert(c, key=key):
+                yield from c.call(avl_insert, data.tree, key, key)
+
+            yield from ctx.atomic(insert, name="avl_insert_cs")
+        yield from ctx.compute(700)
+
+
+@register
+class AvlTreeApp(Workload):
+    name = "avltree"
+    suite = "apps"
+    expected_type = "III"
+    description = "AVL tree with a reader lock taken inside lookup txns"
+
+    elide_read_lock = False
+
+    def build(self, sim, n_threads, scale, rng):
+        data = AvlAppData(sim, n_keys=self.params.get("n_keys", 256),
+                          seed=rng.randrange(1 << 30))
+        ops = self.iters(80, scale)
+        return [
+            (avlapp_worker, (data, ops, self.elide_read_lock), {})
+        ] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# bplustree — the standalone B+ tree benchmark
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def bplustree_worker(ctx, tree: BPlusTree, key_range: int, n_ops: int):
+    """55% lookups, 40% in-place updates, 5% leaf inserts."""
+    rng = ctx.rng
+    for _ in range(n_ops):
+        op = rng.random()
+        key = rng.randrange(key_range)
+        if op < 0.55:
+            def body(c, key=key):
+                r = yield from c.call(btree_lookup, tree, key)
+                return r
+            name = "btree_lookup_cs"
+        elif op < 0.95:
+            def body(c, key=key):
+                r = yield from c.call(btree_update, tree, key, key * 7)
+                return r
+            name = "btree_update_cs"
+        else:
+            def body(c, key=key):
+                r = yield from c.call(btree_insert_leaf, tree,
+                                      key_range + key, key)
+                return r
+            name = "btree_insert_cs"
+        yield from ctx.atomic(body, name=name)
+        yield from ctx.compute(25)
+
+
+@register
+class BPlusTreeApp(Workload):
+    name = "bplustree"
+    suite = "apps"
+    expected_type = "III"
+    description = "B+ tree under a mixed lookup/update/insert load"
+
+    def build(self, sim, n_threads, scale, rng):
+        tree = BPlusTree(sim.memory)
+        key_range = self.params.get("key_range", 48)
+        keys = list(range(key_range))
+        random.Random(rng.randrange(1 << 30)).shuffle(keys)
+        for k in keys:
+            tree.host_insert(k, k)
+        ops = self.iters(220, scale)
+        return [(bplustree_worker, (tree, key_range, ops), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# Lee-TM — circuit routing (longer expansions than labyrinth)
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def leetm_router(ctx, board: IntArray, width: int, n_routes: int,
+                 wavefront: int):
+    """Lee's algorithm: an expansion wave (reads) then backtrack claim
+    (writes).  Expansion footprints are big, so long routes abort a lot."""
+    rng = ctx.rng
+    height = board.length // width
+    for _ in range(n_routes):
+        x0, y0 = rng.randrange(width), rng.randrange(height)
+
+        def route(c, x0=x0, y0=y0):
+            # expansion: read a diamond wavefront around the source
+            claimed = []
+            for d in range(1, wavefront + 1):
+                for dx in range(-d, d + 1):
+                    x = (x0 + dx) % width
+                    y = (y0 + d - abs(dx)) % height
+                    idx = y * width + x
+                    v = yield from board.get(c, idx)
+                    if v == 0 and len(claimed) < wavefront:
+                        claimed.append(idx)
+            # backtrack: claim the chosen path cells
+            for idx in claimed:
+                yield from board.set(c, idx, c.tid + 1)
+
+        yield from ctx.atomic(route, name="leetm_route")
+        yield from ctx.compute(400)
+
+
+@register
+class LeeTm(Workload):
+    name = "leetm"
+    suite = "apps"
+    expected_type = "III"
+    description = "Lee circuit routing: expansion + backtrack transactions"
+
+    def build(self, sim, n_threads, scale, rng):
+        width = 48
+        board = IntArray(sim.memory, width * width)
+        routes = self.iters(25, scale)
+        wavefront = self.params.get("wavefront", 10)
+        return [(leetm_router, (board, width, routes, wavefront), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# KyotoCabinet — hash database with a write-heavy mix
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def kyoto_worker(ctx, db: HashTable, key_range: int, n_ops: int):
+    """50% get / 50% set on a chained hash DB."""
+    rng = ctx.rng
+    for _ in range(n_ops):
+        key = rng.randrange(key_range)
+        if rng.random() < 0.5:
+            def get(c, key=key):
+                node = yield from c.call(hashtable_search, db, key)
+                if node:
+                    v = yield from c.call(hashtable_bump, db, node, 0)
+                    return v
+                return None
+
+            yield from ctx.atomic(get, name="kyoto_get")
+        else:
+            def put(c, key=key):
+                node = yield from c.call(hashtable_search, db, key)
+                if node:
+                    yield from c.call(hashtable_set_value, db, node, key * 3)
+                else:
+                    yield from c.call(hashtable_insert, db, key, key * 3)
+
+            yield from ctx.atomic(put, name="kyoto_set")
+        yield from ctx.compute(20)
+
+
+@register
+class KyotoCabinet(Workload):
+    name = "kyotocabinet"
+    suite = "apps"
+    expected_type = "III"
+    description = "hash DB with a write-heavy get/set mix"
+
+    def build(self, sim, n_threads, scale, rng):
+        key_range = self.params.get("key_range", 24)
+        db = HashTable(sim.memory, 8, hash_fn=good_hash)
+        for k in range(0, key_range, 2):
+            db.host_insert(k, k)
+        ops = self.iters(70, scale)
+        return [(kyoto_worker, (db, key_range, ops), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# BerkeleyDB — read-mostly B-tree storage engine
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def berkeleydb_worker(ctx, tree: BPlusTree, key_range: int, n_ops: int):
+    """95% reads / 5% updates plus log-buffer bookkeeping per write."""
+    rng = ctx.rng
+    for _ in range(n_ops):
+        key = rng.randrange(key_range)
+        if rng.random() < 0.95:
+            def read(c, key=key):
+                r = yield from c.call(btree_lookup, tree, key)
+                return r
+
+            yield from ctx.atomic(read, name="bdb_get")
+        else:
+            def write(c, key=key):
+                yield from c.call(btree_update, tree, key, key + 1)
+                yield from c.compute(80)  # append to the in-memory log
+
+            yield from ctx.atomic(write, name="bdb_put")
+        yield from ctx.compute(220)  # cursor setup, cache management
+
+
+@register
+class BerkeleyDb(Workload):
+    name = "berkeleydb"
+    suite = "apps"
+    expected_type = "II"
+    description = "B-tree storage engine, read-mostly"
+
+    def build(self, sim, n_threads, scale, rng):
+        tree = BPlusTree(sim.memory)
+        key_range = self.params.get("key_range", 512)
+        keys = list(range(key_range))
+        random.Random(rng.randrange(1 << 30)).shuffle(keys)
+        for k in keys:
+            tree.host_insert(k, k)
+        ops = self.iters(60, scale)
+        return [(berkeleydb_worker, (tree, key_range, ops), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# Memcached — a read-dominated cache
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def memcached_worker(ctx, cache: HashTable, key_range: int, n_ops: int):
+    """90% GET / 10% SET, with request parsing outside the CS."""
+    rng = ctx.rng
+    for _ in range(n_ops):
+        yield from ctx.compute(260)  # parse request, compute hash
+        key = rng.randrange(key_range)
+        if rng.random() < 0.9:
+            def get(c, key=key):
+                node = yield from c.call(hashtable_search, cache, key)
+                return node
+
+            yield from ctx.atomic(get, name="memcached_get")
+        else:
+            def set_(c, key=key):
+                node = yield from c.call(hashtable_search, cache, key)
+                if node:
+                    yield from c.call(hashtable_set_value, cache, node, key)
+                else:
+                    yield from c.call(hashtable_insert, cache, key, key)
+
+            yield from ctx.atomic(set_, name="memcached_set")
+        yield from ctx.compute(120)  # build the response
+
+
+@register
+class Memcached(Workload):
+    name = "memcached"
+    suite = "apps"
+    expected_type = "II"
+    description = "in-memory cache, 90/10 GET/SET"
+
+    def build(self, sim, n_threads, scale, rng):
+        cache = HashTable(sim.memory, 256, hash_fn=good_hash)
+        key_range = self.params.get("key_range", 512)
+        for k in range(0, key_range, 2):
+            cache.host_insert(k, k)
+        ops = self.iters(70, scale)
+        return [(memcached_worker, (cache, key_range, ops), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# PBZip2 — parallel block compression with ordered output
+# ---------------------------------------------------------------------------
+
+
+class PBZip2Data:
+    def __init__(self, sim, n_blocks: int) -> None:
+        self.work = RingQueue(sim.memory, n_blocks + 1)
+        for b in range(n_blocks):
+            self.work.host_enqueue(b + 1)
+        self.next_out = IntArray(sim.memory, 1, line_per_element=True)
+        self.next_out.host_set(0, 1)
+        self.done = IntArray(sim.memory, n_blocks + 2)
+
+
+@simfn
+def pbzip2_worker(ctx, data: PBZip2Data):
+    """Pop a block, compress it (heavy compute), then publish it in
+    order: the output transaction spins until its turn."""
+    while True:
+        def pop(c):
+            r = yield from c.call(queue_dequeue, data.work)
+            return r
+
+        block = yield from ctx.atomic(pop, name="pbzip2_pop")
+        if block == EMPTY:
+            return
+        yield from ctx.compute(1500)  # BWT + huffman on the block
+
+        def mark_done(c, block=block):
+            yield from data.done.set(c, block, 1)
+
+        yield from ctx.atomic(mark_done, name="pbzip2_done")
+
+        # opportunistically advance the ordered output cursor
+        def flush(c):
+            cursor = yield from data.next_out.get(c, 0)
+            flushed = 0
+            while flushed < 4:
+                ready = yield from data.done.get(c, cursor)
+                if not ready:
+                    break
+                yield from data.next_out.set(c, 0, cursor + 1)
+                cursor += 1
+                flushed += 1
+            return flushed
+
+        yield from ctx.atomic(flush, name="pbzip2_flush")
+
+
+@register
+class PBZip2(Workload):
+    name = "pbzip2"
+    suite = "apps"
+    expected_type = "II"
+    description = "parallel bzip2: work queue + ordered output txns"
+
+    def build(self, sim, n_threads, scale, rng):
+        blocks = self.iters(12, scale) * n_threads
+        data = PBZip2Data(sim, blocks)
+        return [(pbzip2_worker, (data,), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# BART — MRI reconstruction (non-uniform FFT gridding)
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def bart_worker(ctx, kgrid: IntArray, n_samples: int, spread: int):
+    """Gridding: interpolate each k-space sample onto ``spread`` nearby
+    grid cells (transactional scattered accumulation)."""
+    rng = ctx.rng
+    n = kgrid.length
+    for _ in range(n_samples):
+        yield from ctx.compute(450)  # kernel weights for this sample
+        center = rng.randrange(n)
+
+        def scatter(c, center=center):
+            for d in range(spread):
+                yield from kgrid.add(c, (center + d) % n, d + 1)
+
+        yield from ctx.atomic(scatter, name="bart_gridding")
+
+
+@register
+class Bart(Workload):
+    name = "bart"
+    suite = "apps"
+    expected_type = "II"
+    description = "BART nuFFT gridding: scattered k-space accumulation"
+
+    def build(self, sim, n_threads, scale, rng):
+        kgrid = IntArray(sim.memory, self.params.get("grid_cells", 1024))
+        samples = self.iters(50, scale)
+        spread = self.params.get("spread", 8)
+        return [(bart_worker, (kgrid, samples, spread), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# QuakeTM — game-server frame loop
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def quaketm_worker(ctx, world: IntArray, regions: int, n_frames: int,
+                   actions_per_frame: int):
+    """Per frame: physics (compute) then transactional region updates;
+    entities mostly stay in their home region, occasionally crossing."""
+    rng = ctx.rng
+    region_words = world.length // regions
+    home = ctx.tid % regions
+    for _ in range(n_frames):
+        yield from ctx.compute(1400)  # physics, AI, visibility
+        for _ in range(actions_per_frame):
+            region = home if rng.random() < 0.85 else rng.randrange(regions)
+            slot = region * region_words + rng.randrange(region_words)
+
+            def update(c, slot=slot):
+                v = yield from world.get(c, slot)
+                yield from world.set(c, slot, (v + 1) % 9973)
+
+            yield from ctx.atomic(update, name="quaketm_update")
+
+
+@register
+class QuakeTm(Workload):
+    name = "quaketm"
+    suite = "apps"
+    expected_type = "II"
+    description = "game world updates partitioned into regions"
+
+    def build(self, sim, n_threads, scale, rng):
+        regions = max(4, n_threads)
+        world = IntArray(sim.memory, regions * 64)
+        frames = self.iters(15, scale)
+        return [
+            (quaketm_worker, (world, regions, frames, 6), {})
+        ] * n_threads

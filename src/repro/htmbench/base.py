@@ -1,0 +1,81 @@
+"""HTMBench workload registry.
+
+Every benchmark is a :class:`Workload`: it allocates its shared state in
+a simulator's memory and returns one program per thread.  Workloads are
+registered under their paper names (suite/name), carry the Figure 8 type
+the paper measured for them, and take a ``scale`` knob so tests run in
+milliseconds while benches run the full configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Type
+
+from ..sim.engine import Program, Simulator
+
+
+class Workload:
+    """Base class: subclass, set the metadata, implement :meth:`build`."""
+
+    #: short name (registry key), e.g. ``"dedup"``
+    name: str = ""
+    #: suite the paper groups it under, e.g. ``"parsec"``
+    suite: str = ""
+    #: Figure 8 category the paper reports ("I", "II" or "III")
+    expected_type: str = "II"
+    #: one-line description of what the program does
+    description: str = ""
+
+    def __init__(self, **params) -> None:
+        self.params = params
+
+    def build(self, sim: Simulator, n_threads: int, scale: float,
+              rng: random.Random) -> List[Program]:
+        """Allocate shared state in ``sim.memory``; return the programs."""
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def iters(base: int, scale: float, minimum: int = 1) -> int:
+        return max(minimum, int(round(base * scale)))
+
+    def __repr__(self) -> str:
+        return f"<workload {self.suite}/{self.name}>"
+
+
+#: the global registry: name -> workload class
+WORKLOADS: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls!r} has no name")
+    if cls.name in WORKLOADS:
+        raise ValueError(f"duplicate workload name {cls.name!r}")
+    WORKLOADS[cls.name] = cls
+    return cls
+
+
+def get_workload(name: str, **params) -> Workload:
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return cls(**params)
+
+
+def workload_names(suite: Optional[str] = None) -> List[str]:
+    names = [
+        n for n, cls in WORKLOADS.items()
+        if suite is None or cls.suite == suite
+    ]
+    return sorted(names)
+
+
+def suites() -> List[str]:
+    return sorted({cls.suite for cls in WORKLOADS.values()})

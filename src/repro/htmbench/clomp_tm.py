@@ -1,0 +1,155 @@
+"""CLOMP-TM (§7.2, Table 1, Figure 7): the controlled-behaviour benchmark.
+
+Threads repeatedly update "parts" of a shared array.  Two configurations
+times three inputs give the six bars of Figure 7:
+
+* **small** transactions: one element per transaction — transaction
+  begin/end overhead (T_oh) dominates regardless of input;
+* **large** transactions: a whole part per transaction — behaviour is
+  input-driven:
+
+  * input 1, *Adjacent*: each thread owns its part — rare conflicts,
+    compact footprint: time sits in T_tx, almost no aborts;
+  * input 2, *FirstParts*: every thread hammers the same few parts —
+    high conflicts, retries exhaust, the fallback lock serializes:
+    T_wait blows up and conflict aborts dominate;
+  * input 3, *Random*: elements scattered line-by-line across a large
+    region — the transactional write set overflows the L1 budget:
+    capacity aborts appear (the paper's "cache prefetch unfriendly"
+    input; in our model the performance-relevant effect of the scatter
+    is exactly the footprint blow-up).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..sim.config import CACHELINE
+from ..sim.engine import Program, Simulator
+from ..sim.memory import WORD
+from ..sim.program import simfn
+from .base import Workload, register
+
+SCATTER_ADJACENT = 1
+SCATTER_FIRSTPARTS = 2
+SCATTER_RANDOM = 3
+
+SCATTER_NAMES = {
+    SCATTER_ADJACENT: "Adjacent",
+    SCATTER_FIRSTPARTS: "FirstParts",
+    SCATTER_RANDOM: "Random",
+}
+
+
+class ClompData:
+    """Shared state: ``n_parts`` parts of ``part_elems`` words each, plus
+    a large scatter region for the Random input (one word per line so a
+    transaction's footprint grows one cache line per element)."""
+
+    def __init__(self, sim: Simulator, n_parts: int, part_elems: int,
+                 scatter_lines: int) -> None:
+        mem = sim.memory
+        self.n_parts = n_parts
+        self.part_elems = part_elems
+        self.parts_base = mem.alloc(
+            n_parts * part_elems * WORD, align=CACHELINE
+        )
+        self.scatter_lines = scatter_lines
+        self.scatter_base = mem.alloc(scatter_lines * CACHELINE,
+                                      align=CACHELINE)
+
+    def elem_addr(self, part: int, elem: int) -> int:
+        return self.parts_base + (part * self.part_elems + elem) * WORD
+
+    def scatter_addr(self, line: int) -> int:
+        return self.scatter_base + (line % self.scatter_lines) * CACHELINE
+
+
+def _pick_targets(data: ClompData, scatter: int, tid: int, round_: int,
+                  rng: random.Random) -> List[int]:
+    """Element addresses for one update round, per scatter mode."""
+    n = data.part_elems
+    if scatter == SCATTER_ADJACENT:
+        part = tid % data.n_parts
+        return [data.elem_addr(part, e) for e in range(n)]
+    if scatter == SCATTER_FIRSTPARTS:
+        part = round_ % 2  # everyone collides on the first two parts
+        return [data.elem_addr(part, e) for e in range(n)]
+    # Random: n distinct lines scattered over the big region
+    lines = rng.sample(range(data.scatter_lines), n)
+    return [data.scatter_addr(line) for line in lines]
+
+
+@simfn
+def clomp_small(ctx, data: ClompData, scatter: int, rounds: int):
+    """Small-transaction configuration: one element per transaction."""
+    rng = ctx.rng
+    for r in range(rounds):
+        targets = _pick_targets(data, scatter, ctx.tid, r, rng)
+        for addr in targets:
+            def body(c, a=addr):
+                v = yield from c.load(a)
+                yield from c.store(a, v + 1)
+            yield from ctx.atomic(body, name="clomp_update_small")
+        yield from ctx.compute(200)
+
+
+@simfn
+def clomp_large(ctx, data: ClompData, scatter: int, rounds: int):
+    """Large-transaction configuration: a whole part per transaction."""
+    rng = ctx.rng
+    for r in range(rounds):
+        targets = _pick_targets(data, scatter, ctx.tid, r, rng)
+        def body(c, ts=targets):
+            for a in ts:
+                v = yield from c.load(a)
+                yield from c.store(a, v + 1)
+        yield from ctx.atomic(body, name="clomp_update_large")
+        yield from ctx.compute(200)
+
+
+@register
+class ClompTm(Workload):
+    """CLOMP-TM with ``txn_size`` ("small"/"large") and ``scatter`` (1-3)."""
+
+    name = "clomp_tm"
+    suite = "coral"
+    expected_type = "III"
+    description = "controlled transactional update benchmark (CLOMP-TM)"
+
+    def build(self, sim, n_threads, scale, rng):
+        txn_size = self.params.get("txn_size", "large")
+        scatter = self.params.get("scatter", SCATTER_ADJACENT)
+        if txn_size not in ("small", "large"):
+            raise ValueError(f"txn_size must be small|large, not {txn_size!r}")
+        if scatter not in SCATTER_NAMES:
+            raise ValueError(f"scatter must be 1|2|3, not {scatter!r}")
+        # the Random input's per-transaction footprint must exceed the
+        # write-set budget for the large configuration
+        part_elems = self.params.get(
+            "part_elems", int(sim.config.wset_lines * 1.25)
+        )
+        # the scatter region is large enough that concurrent Random
+        # transactions rarely overlap: their aborts are then dominated by
+        # their own footprint (capacity), not by conflicts
+        data = ClompData(
+            sim,
+            n_parts=max(n_threads, 2),
+            part_elems=part_elems,
+            scatter_lines=part_elems * 400,
+        )
+        rounds = self.iters(12 if txn_size == "large" else 2, scale)
+        fn = clomp_small if txn_size == "small" else clomp_large
+        return [(fn, (data, scatter, rounds), {}) for _ in range(n_threads)]
+
+
+#: the six configurations of Figure 7, in presentation order
+FIGURE7_CONFIGS = [
+    ("small-1", "small", SCATTER_ADJACENT),
+    ("small-2", "small", SCATTER_FIRSTPARTS),
+    ("small-3", "small", SCATTER_RANDOM),
+    ("large-1", "large", SCATTER_ADJACENT),
+    ("large-2", "large", SCATTER_FIRSTPARTS),
+    ("large-3", "large", SCATTER_RANDOM),
+]

@@ -1,0 +1,211 @@
+"""Correctness microbenchmarks (§7.2).
+
+Each triggers one known behaviour — low / moderate / high abort ratios,
+true sharing, false sharing, synchronous aborts, capacity overflow — so
+TxSampler's sampled profiles can be validated against the instrumentation
+ground truth inside the RTM runtime.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import CACHELINE
+from ..sim.memory import WORD
+from ..sim.program import simfn
+from .base import Workload, register
+from ..dslib.array import IntArray
+
+
+@simfn
+def micro_private_counters(ctx, arr: IntArray, iters: int):
+    """Each thread transactionally bumps its own line-padded counter."""
+    idx = ctx.tid
+    for _ in range(iters):
+        def body(c, i=idx):
+            yield from arr.add(c, i)
+        yield from ctx.atomic(body, name="private_bump")
+        yield from ctx.compute(120)
+
+
+@register
+class MicroLowAbort(Workload):
+    name = "micro_low_abort"
+    suite = "micro"
+    expected_type = "II"
+    description = "private per-thread counters: near-zero abort ratio"
+
+    def build(self, sim, n_threads, scale, rng):
+        arr = IntArray(sim.memory, n_threads, line_per_element=True)
+        iters = self.iters(400, scale)
+        return [(micro_private_counters, (arr, iters), {})] * n_threads
+
+
+@simfn
+def micro_striped_counters(ctx, arr: IntArray, stripes: int, iters: int):
+    """Threads bump random stripes: conflicts happen but are not constant."""
+    rng = ctx.rng
+    for _ in range(iters):
+        idx = rng.randrange(stripes)
+        def body(c, i=idx):
+            yield from arr.add(c, i)
+            yield from c.compute(40)
+        yield from ctx.atomic(body, name="striped_bump")
+        yield from ctx.compute(150)
+
+
+@register
+class MicroModerateAbort(Workload):
+    name = "micro_moderate_abort"
+    suite = "micro"
+    expected_type = "II"
+    description = "randomly striped counters: moderate abort ratio"
+
+    def build(self, sim, n_threads, scale, rng):
+        stripes = max(4, n_threads)
+        arr = IntArray(sim.memory, stripes, line_per_element=True)
+        iters = self.iters(300, scale)
+        return [(micro_striped_counters, (arr, stripes, iters), {})] * n_threads
+
+
+@simfn
+def micro_hot_counter(ctx, arr: IntArray, iters: int):
+    """Everyone hammers one counter: the abort ratio goes through the roof."""
+    for _ in range(iters):
+        def body(c):
+            yield from arr.add(c, 0)
+            yield from c.compute(80)
+        yield from ctx.atomic(body, name="hot_bump")
+        yield from ctx.compute(30)
+
+
+@register
+class MicroHighAbort(Workload):
+    name = "micro_high_abort"
+    suite = "micro"
+    expected_type = "III"
+    description = "one hot counter: high abort ratio (true sharing)"
+
+    def build(self, sim, n_threads, scale, rng):
+        arr = IntArray(sim.memory, 1, line_per_element=True)
+        iters = self.iters(300, scale)
+        return [(micro_hot_counter, (arr, iters), {})] * n_threads
+
+
+@simfn
+def micro_false_sharing_worker(ctx, arr: IntArray, iters: int):
+    """Each thread bumps its *own word*, but the words share cache lines:
+    all the contention is false sharing."""
+    idx = ctx.tid
+    for _ in range(iters):
+        def body(c, i=idx):
+            yield from arr.add(c, i)
+            yield from c.compute(60)
+        yield from ctx.atomic(body, name="false_sharing_bump")
+        yield from ctx.compute(30)
+
+
+@register
+class MicroFalseSharing(Workload):
+    name = "micro_false_sharing"
+    suite = "micro"
+    expected_type = "III"
+    description = "per-thread words packed into shared cache lines"
+
+    def build(self, sim, n_threads, scale, rng):
+        # densely packed: 8 words per line -> threads 0-7 share line 0, ...
+        arr = IntArray(sim.memory, n_threads, line_per_element=False)
+        iters = self.iters(300, scale)
+        return [(micro_false_sharing_worker, (arr, iters), {})] * n_threads
+
+
+@simfn
+def micro_sync_worker(ctx, arr: IntArray, iters: int):
+    """A logging system call inside the transaction: synchronous aborts
+    on every attempt, so every execution lands in the fallback path."""
+    idx = ctx.tid
+    for _ in range(iters):
+        def body(c, i=idx):
+            yield from arr.add(c, i)
+            yield from c.syscall("write")
+        yield from ctx.atomic(body, name="sync_bump")
+        yield from ctx.compute(200)
+
+
+@register
+class MicroSync(Workload):
+    name = "micro_sync"
+    suite = "micro"
+    expected_type = "II"
+    description = "system call inside every transaction: synchronous aborts"
+
+    def build(self, sim, n_threads, scale, rng):
+        arr = IntArray(sim.memory, n_threads, line_per_element=True)
+        iters = self.iters(120, scale)
+        return [(micro_sync_worker, (arr, iters), {})] * n_threads
+
+
+@simfn
+def micro_capacity_worker(ctx, region_base: int, lines: int, iters: int,
+                          spacing: int):
+    """Write one word per line across more lines than the write-set
+    budget: guaranteed capacity aborts, all work in the fallback path."""
+    for it in range(iters):
+        def body(c, salt=it):
+            for i in range(lines):
+                addr = region_base + ((i * 7919 + salt) % lines) * CACHELINE
+                v = yield from c.load(addr)
+                yield from c.store(addr, v + 1)
+        yield from ctx.atomic(body, name="capacity_sweep")
+        # long randomized private phase between sweeps, scaled with the
+        # thread count so critical sections rarely overlap: the profile
+        # then isolates the capacity cause instead of fallback-lock
+        # conflict noise
+        yield from ctx.compute(spacing + ctx.rng.randrange(spacing))
+
+
+@register
+class MicroCapacity(Workload):
+    name = "micro_capacity"
+    suite = "micro"
+    expected_type = "II"
+    description = "write set larger than the HTM budget: capacity aborts"
+
+    def build(self, sim, n_threads, scale, rng):
+        lines = int(sim.config.wset_lines * 1.5)
+        iters = self.iters(24, scale)
+        spacing = 8_000 * max(4, n_threads)
+        programs = []
+        for _ in range(n_threads):
+            base = sim.memory.alloc(lines * CACHELINE, align=CACHELINE)
+            programs.append(
+                (micro_capacity_worker, (base, lines, iters, spacing), {})
+            )
+        return programs
+
+
+@simfn
+def micro_reader_worker(ctx, arr: IntArray, iters: int):
+    """Read-only transactions over shared data: always commit."""
+    n = arr.length
+    for it in range(iters):
+        def body(c, salt=it):
+            total = 0
+            for i in range(0, n, 4):
+                v = yield from arr.get(c, (i + salt) % n)
+                total += v
+            return total
+        yield from ctx.atomic(body, name="read_scan")
+        yield from ctx.compute(100)
+
+
+@register
+class MicroReadOnly(Workload):
+    name = "micro_read_only"
+    suite = "micro"
+    expected_type = "II"
+    description = "read-only transactions: reads never conflict"
+
+    def build(self, sim, n_threads, scale, rng):
+        arr = IntArray(sim.memory, 64)
+        arr.host_fill(range(64))
+        iters = self.iters(150, scale)
+        return [(micro_reader_worker, (arr, iters), {})] * n_threads

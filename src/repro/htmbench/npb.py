@@ -1,0 +1,64 @@
+"""NPB ``ua`` (Unstructured Adaptive).
+
+The paper's Table 2 entry: the transactional element updates sit inside
+deep loop nests, so the program spends a large fraction of its critical-
+section time on transaction begin/end overhead (high T_oh); merging the
+small transactions buys 1.05x.
+"""
+
+from __future__ import annotations
+
+from ..dslib.array import IntArray
+from ..sim.program import Barrier, simfn
+from .base import Workload, register
+
+
+@simfn
+def ua_worker(ctx, elements: IntArray, start: int, count: int,
+              bar: Barrier, timesteps: int, merge: int):
+    """Per timestep: adapt a band of mesh elements.  Each element update
+    is transactional; ``merge`` > 1 coalesces that many updates into one
+    transaction (the optimized variant)."""
+    n = elements.length
+    for _ in range(timesteps):
+        i = start
+        end = start + count
+        while i < end:
+            chunk = range(i, min(i + merge, end))
+
+            def adapt(c, chunk=chunk):
+                for j in chunk:
+                    idx = j % n
+                    v = yield from elements.get(c, idx)
+                    yield from elements.set(c, idx, (v * 5 + 1) % 4099)
+                    # small shared halo touch: neighbours may collide
+                    h = yield from elements.get(c, (idx + 1) % n)
+                    if h % 17 == 0:
+                        yield from elements.set(c, (idx + 1) % n, h + 1)
+
+            yield from ctx.atomic(adapt, name="ua_adapt")
+            # residual bookkeeping is per element, merged or not
+            yield from ctx.compute(260 * len(chunk))
+            i += merge
+        yield from ctx.barrier(bar)
+
+
+@register
+class Ua(Workload):
+    """``merge`` = 1 (naive, Table 2 symptom) or >1 (merged transactions)."""
+
+    name = "ua"
+    suite = "npb"
+    expected_type = "II"
+    description = "unstructured adaptive mesh: small txns in loop nests"
+
+    def build(self, sim, n_threads, scale, rng):
+        per_thread = self.iters(120, scale)
+        merge = self.params.get("merge", 1)
+        elements = IntArray(sim.memory, per_thread * n_threads)
+        bar = Barrier(n_threads)
+        return [
+            (ua_worker,
+             (elements, tid * per_thread, per_thread, bar, 3, merge), {})
+            for tid in range(n_threads)
+        ]

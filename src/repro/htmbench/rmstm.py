@@ -1,0 +1,150 @@
+"""RMS-TM benchmarks: UtilityMine and ScalParc (data-mining kernels).
+
+Both are Type II in Figure 8: critical sections matter (>20% of time)
+but conflicts are rare because the transactional updates scatter across
+many accumulators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..dslib.array import IntArray
+from ..sim.program import Barrier, simfn
+from .base import Workload, register
+
+
+# ---------------------------------------------------------------------------
+# UtilityMine — high-utility itemset mining
+# ---------------------------------------------------------------------------
+
+
+class UtilityData:
+    """A transaction database (host side) plus shared per-item utilities."""
+
+    def __init__(self, sim, n_items: int, n_rows: int, row_len: int,
+                 seed: int) -> None:
+        rng = random.Random(seed)
+        self.rows: List[List[Tuple[int, int]]] = [
+            [(rng.randrange(n_items), rng.randrange(1, 9))
+             for _ in range(row_len)]
+            for _ in range(n_rows)
+        ]
+        # per-item accumulators padded to their own lines: updates
+        # scatter, so concurrent rows rarely collide (Type II shape)
+        self.utilities = IntArray(sim.memory, n_items, line_per_element=True)
+
+
+@simfn
+def utilitymine_worker(ctx, data: UtilityData, start: int, count: int):
+    """Scan a slice of the transaction DB; each row's item utilities are
+    accumulated in one transaction (utilities scatter across items)."""
+    n_rows = len(data.rows)
+    for i in range(start, start + count):
+        row = data.rows[i % n_rows]
+        yield from ctx.compute(350)  # candidate generation / pruning
+
+        def accumulate(c, row=row):
+            for item, qty in row:
+                yield from data.utilities.add(c, item, qty)
+
+        yield from ctx.atomic(accumulate, name="utility_accumulate")
+
+
+@register
+class UtilityMine(Workload):
+    name = "utilitymine"
+    suite = "rmstm"
+    expected_type = "II"
+    description = "high-utility itemset mining: scattered accumulators"
+
+    def build(self, sim, n_threads, scale, rng):
+        per_thread = self.iters(60, scale)
+        data = UtilityData(
+            sim,
+            n_items=self.params.get("n_items", 512),
+            n_rows=per_thread * n_threads,
+            row_len=self.params.get("row_len", 6),
+            seed=rng.randrange(1 << 30),
+        )
+        return [
+            (utilitymine_worker, (data, tid * per_thread, per_thread), {})
+            for tid in range(n_threads)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# ScalParc — scalable decision-tree induction
+# ---------------------------------------------------------------------------
+
+
+class ScalParcData:
+    """Per-(attribute, split, class) histogram counts in shared memory."""
+
+    N_CLASSES = 2
+
+    def __init__(self, sim, n_attributes: int, n_splits: int, n_records: int,
+                 seed: int) -> None:
+        rng = random.Random(seed)
+        self.n_attributes = n_attributes
+        self.n_splits = n_splits
+        self.records = [
+            (
+                tuple(rng.randrange(n_splits) for _ in range(n_attributes)),
+                rng.randrange(self.N_CLASSES),
+            )
+            for _ in range(n_records)
+        ]
+        self.counts = IntArray(
+            sim.memory, n_attributes * n_splits * self.N_CLASSES,
+            line_per_element=True,
+        )
+
+    def count_index(self, attribute: int, split: int, cls: int) -> int:
+        return (attribute * self.n_splits + split) * self.N_CLASSES + cls
+
+
+@simfn
+def scalparc_worker(ctx, data: ScalParcData, start: int, count: int,
+                    bar: Barrier):
+    """Histogram a slice of records into the shared split counts, then
+    (after a barrier) evaluate split quality as pure compute."""
+    n = len(data.records)
+    for i in range(start, start + count):
+        attrs, cls = data.records[i % n]
+
+        def tally(c, attrs=attrs, cls=cls):
+            for a, split in enumerate(attrs):
+                yield from data.counts.add(
+                    c, data.count_index(a, split, cls), 1
+                )
+
+        yield from ctx.atomic(tally, name="scalparc_tally")
+        yield from ctx.compute(120)
+    yield from ctx.barrier(bar)
+    # Gini evaluation over the histograms — reads only, pure compute
+    yield from ctx.compute(80 * data.n_attributes * data.n_splits)
+
+
+@register
+class ScalParc(Workload):
+    name = "scalparc"
+    suite = "rmstm"
+    expected_type = "II"
+    description = "decision-tree induction: shared split histograms"
+
+    def build(self, sim, n_threads, scale, rng):
+        per_thread = self.iters(70, scale)
+        data = ScalParcData(
+            sim,
+            n_attributes=self.params.get("n_attributes", 8),
+            n_splits=self.params.get("n_splits", 16),
+            n_records=per_thread * n_threads,
+            seed=rng.randrange(1 << 30),
+        )
+        bar = Barrier(n_threads)
+        return [
+            (scalparc_worker, (data, tid * per_thread, per_thread, bar), {})
+            for tid in range(n_threads)
+        ]

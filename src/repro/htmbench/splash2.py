@@ -1,0 +1,219 @@
+"""SPLASH-2 benchmarks: barnes, fmm, ocean, water, raytrace.
+
+The paper's Figure 8 puts all five in Type I: critical sections are under
+20% of execution, so there is nothing HTM-worth optimizing — their role
+in the evaluation is to show TxSampler's time analysis *stopping early*.
+Each models its application's compute/synchronization shape: heavy
+numerical phases with occasional small transactional reductions.
+"""
+
+from __future__ import annotations
+
+from ..dslib.array import IntArray
+from ..sim.program import Barrier, simfn
+from .base import Workload, register
+
+
+# ---------------------------------------------------------------------------
+# barnes — Barnes-Hut N-body
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def barnes_worker(ctx, com: IntArray, n_bodies: int, interactions: int):
+    """Force computation per body (compute), then a transactional update
+    of the octree cell's center-of-mass accumulator."""
+    rng = ctx.rng
+    n_cells = com.length // 2
+    for _ in range(n_bodies):
+        yield from ctx.compute(160 * interactions)  # tree walk + forces
+        cell = rng.randrange(n_cells)
+
+        def update_com(c, cell=cell):
+            yield from com.add(c, cell * 2, 5)      # mass
+            yield from com.add(c, cell * 2 + 1, 3)  # moment
+
+        yield from ctx.atomic(update_com, name="barnes_com")
+
+
+@register
+class Barnes(Workload):
+    name = "barnes"
+    suite = "splash2"
+    expected_type = "I"
+    description = "Barnes-Hut N-body: rare cell-accumulator transactions"
+
+    def build(self, sim, n_threads, scale, rng):
+        com = IntArray(sim.memory, 64 * 2)
+        bodies = self.iters(40, scale)
+        return [(barnes_worker, (com, bodies, 40), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# fmm — fast multipole method
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def fmm_worker(ctx, multipoles: IntArray, boxes: int, bar: Barrier,
+               passes: int):
+    """Upward/downward passes over the box tree with transactional
+    multipole merges at shared boxes, barrier-separated."""
+    rng = ctx.rng
+    for _ in range(passes):
+        for _ in range(boxes):
+            yield from ctx.compute(2600)  # multipole expansion math
+            box = rng.randrange(multipoles.length)
+
+            def merge(c, box=box):
+                yield from multipoles.add(c, box, 7)
+
+            yield from ctx.atomic(merge, name="fmm_merge")
+        yield from ctx.barrier(bar)
+
+
+@register
+class Fmm(Workload):
+    name = "fmm"
+    suite = "splash2"
+    expected_type = "I"
+    description = "fast multipole method: barrier phases, rare merges"
+
+    def build(self, sim, n_threads, scale, rng):
+        multipoles = IntArray(sim.memory, 96)
+        bar = Barrier(n_threads)
+        boxes = self.iters(12, scale)
+        return [(fmm_worker, (multipoles, boxes, bar, 3), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# ocean — stencil relaxation with a global residual
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def ocean_worker(ctx, grid: IntArray, residual: IntArray, rows_base: int,
+                 rows: int, width: int, bar: Barrier, sweeps: int):
+    """Red-black relaxation over a private row band; only the residual
+    reduction at the end of each sweep is transactional."""
+    for _ in range(sweeps):
+        local_residual = 0
+        for r in range(rows):
+            row = rows_base + r
+            # read the row and its neighbours, write the relaxed row
+            for col in range(0, width, 8):
+                idx = (row * width + col) % grid.length
+                v = yield from grid.get(ctx, idx)
+                yield from grid.set(ctx, idx, (v * 3 + col) % 1000)
+                local_residual += v % 7
+            yield from ctx.compute(1500)
+
+        def reduce(c, lr=local_residual):
+            yield from residual.add(c, 0, lr)
+
+        yield from ctx.atomic(reduce, name="ocean_residual")
+        yield from ctx.barrier(bar)
+
+
+@register
+class Ocean(Workload):
+    name = "ocean"
+    suite = "splash2"
+    expected_type = "I"
+    description = "ocean simulation: stencil sweeps, one reduction per sweep"
+
+    def build(self, sim, n_threads, scale, rng):
+        width = 64
+        rows_per_thread = self.iters(6, scale)
+        grid = IntArray(sim.memory, width * rows_per_thread * n_threads)
+        residual = IntArray(sim.memory, 1, line_per_element=True)
+        bar = Barrier(n_threads)
+        return [
+            (ocean_worker,
+             (grid, residual, tid * rows_per_thread, rows_per_thread, width,
+              bar, 4), {})
+            for tid in range(n_threads)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# water — molecular dynamics with a global potential-energy sum
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def water_worker(ctx, energy: IntArray, molecules: int, bar: Barrier,
+                 steps: int):
+    """Pairwise intra/inter molecular forces (compute); the potential
+    energy accumulates transactionally once per molecule batch."""
+    rng = ctx.rng
+    for _ in range(steps):
+        batch_energy = 0
+        for _ in range(molecules):
+            yield from ctx.compute(1900)  # O(pairs) force evaluation
+            batch_energy += rng.randrange(20)
+
+        def accumulate(c, e=batch_energy):
+            yield from energy.add(c, 0, e)
+
+        yield from ctx.atomic(accumulate, name="water_energy")
+        yield from ctx.barrier(bar)
+
+
+@register
+class Water(Workload):
+    name = "water"
+    suite = "splash2"
+    expected_type = "I"
+    description = "water MD: heavy force math, one energy txn per batch"
+
+    def build(self, sim, n_threads, scale, rng):
+        energy = IntArray(sim.memory, 1, line_per_element=True)
+        bar = Barrier(n_threads)
+        molecules = self.iters(10, scale)
+        return [(water_worker, (energy, molecules, bar, 4), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# raytrace — tile renderer with a shared work counter
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def raytrace_worker(ctx, next_tile: IntArray, stats: IntArray,
+                    n_tiles: int, rays_per_tile: int):
+    """Self-scheduling tile loop: grab a tile id transactionally, trace
+    its rays (compute), bump the shared ray counter."""
+    while True:
+        def grab(c):
+            tile = yield from next_tile.get(c, 0)
+            if tile >= n_tiles:
+                return -1
+            yield from next_tile.set(c, 0, tile + 1)
+            return tile
+
+        tile = yield from ctx.atomic(grab, name="raytrace_grab")
+        if tile < 0:
+            return
+        yield from ctx.compute(120 * rays_per_tile)  # trace the tile
+
+        def account(c, tile=tile):
+            yield from stats.add(c, 0, rays_per_tile)
+
+        yield from ctx.atomic(account, name="raytrace_stats")
+
+
+@register
+class Raytrace(Workload):
+    name = "raytrace"
+    suite = "splash2"
+    expected_type = "I"
+    description = "ray tracing: self-scheduled tiles, tiny counter txns"
+
+    def build(self, sim, n_threads, scale, rng):
+        next_tile = IntArray(sim.memory, 1, line_per_element=True)
+        stats = IntArray(sim.memory, 1, line_per_element=True)
+        tiles = self.iters(8, scale) * n_threads
+        return [
+            (raytrace_worker, (next_tile, stats, tiles, 120), {})
+        ] * n_threads

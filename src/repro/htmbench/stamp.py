@@ -1,0 +1,473 @@
+"""STAMP benchmarks (Minh et al.), re-implemented over the simulator.
+
+Seven programs with the transactional behaviours the paper characterizes
+(all Type III except ``ssca``): travel reservations spanning several
+tables (vacation), shared-centroid updates (kmeans), segment
+deduplication and assembly (genome), path claiming over a grid
+(labyrinth), cavity re-triangulation (yada), packet reassembly
+(intruder), and a flood of tiny graph-update transactions (ssca).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..dslib.array import IntArray
+from ..dslib.hashtable import (
+    HashTable,
+    hashtable_bump,
+    hashtable_insert,
+    hashtable_search,
+)
+# (hashtable_bump is used by vacation and genome)
+from ..dslib.queue import EMPTY, RingQueue, queue_dequeue
+from ..sim.memory import WORD
+from ..sim.program import Barrier, simfn
+from .base import Workload, register
+
+
+# ---------------------------------------------------------------------------
+# vacation — travel reservation system
+# ---------------------------------------------------------------------------
+
+
+class VacationDb:
+    """Three resource tables plus a customer ledger."""
+
+    def __init__(self, sim, n_items: int, seed: int) -> None:
+        mem = sim.memory
+        self.n_items = n_items
+        self.tables = [HashTable(mem, n_items) for _ in range(3)]  # car/flight/room
+        self.customers = HashTable(mem, 256)
+        rng = random.Random(seed)
+        for table in self.tables:
+            for item in range(n_items):
+                table.host_insert(item, rng.randrange(5, 20))  # free seats
+        for cust in range(64):
+            self.customers.host_insert(cust, 0)
+
+
+@simfn
+def vacation_client(ctx, db: VacationDb, n_tasks: int, queries_per_task: int):
+    """STAMP's client loop: most tasks are multi-table reservations done
+    in one large transaction (the naive shape Table 2 optimizes)."""
+    rng = ctx.rng
+    for _ in range(n_tasks):
+        customer = rng.randrange(64)
+        picks = [
+            (rng.randrange(3), rng.randrange(db.n_items))
+            for _ in range(queries_per_task)
+        ]
+
+        def reserve(c, picks=picks, customer=customer):
+            total = 0
+            for table_idx, item in picks:
+                table = db.tables[table_idx]
+                node = yield from c.call(hashtable_search, table, item)
+                if node:
+                    free = yield from c.call(hashtable_bump, table, node, -1)
+                    if free < 0:
+                        # restore: no seats left on this resource
+                        yield from c.call(hashtable_bump, table, node, +1)
+                    else:
+                        total += 10 + item % 7
+            cnode = yield from c.call(hashtable_search, db.customers, customer)
+            if cnode:
+                yield from c.call(hashtable_bump, db.customers, cnode, total)
+
+        yield from ctx.atomic(reserve, name="vacation_reserve")
+        yield from ctx.compute(250)
+
+
+@register
+class Vacation(Workload):
+    name = "vacation"
+    suite = "stamp"
+    expected_type = "III"
+    description = "travel reservations spanning car/flight/room tables"
+
+    def build(self, sim, n_threads, scale, rng):
+        db = VacationDb(sim, n_items=self.params.get("n_items", 96),
+                        seed=rng.randrange(1 << 30))
+        tasks = self.iters(120, scale)
+        q = self.params.get("queries_per_task", 4)
+        return [(vacation_client, (db, tasks, q), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# kmeans — shared-centroid clustering
+# ---------------------------------------------------------------------------
+
+
+class KmeansData:
+    """K centroids with per-dimension sums and counts in shared memory."""
+
+    DIMS = 4
+
+    def __init__(self, sim, k: int, n_points: int, seed: int) -> None:
+        self.k = k
+        rng = random.Random(seed)
+        self.points = [
+            tuple(rng.randrange(100) for _ in range(self.DIMS))
+            for _ in range(n_points)
+        ]
+        self.centers = [
+            tuple(rng.randrange(100) for _ in range(self.DIMS))
+            for _ in range(k)
+        ]
+        # per-cluster accumulators: sums[dim] then count, one line each
+        self.sums = IntArray(sim.memory, k * (self.DIMS + 1),
+                             line_per_element=False)
+
+
+@simfn
+def kmeans_worker(ctx, data: KmeansData, start: int, count: int,
+                  bar: Barrier, iterations: int):
+    """Assign a chunk of points, accumulating into shared centroids."""
+    dims = data.DIMS
+    for _ in range(iterations):
+        for idx in range(start, start + count):
+            point = data.points[idx % len(data.points)]
+            # nearest-centroid scan is pure compute over host-cached centers
+            yield from ctx.compute(12 * data.k)
+            best, best_d = 0, None
+            for ci, center in enumerate(data.centers):
+                d = sum((a - b) ** 2 for a, b in zip(point, center))
+                if best_d is None or d < best_d:
+                    best, best_d = ci, d
+
+            def accumulate(c, ci=best, point=point):
+                base = ci * (dims + 1)
+                for d in range(dims):
+                    yield from data.sums.add(c, base + d, point[d])
+                yield from data.sums.add(c, base + dims, 1)
+
+            yield from ctx.atomic(accumulate, name="kmeans_accumulate")
+        yield from ctx.barrier(bar)
+
+
+@register
+class Kmeans(Workload):
+    name = "kmeans"
+    suite = "stamp"
+    expected_type = "III"
+    description = "k-means with transactional centroid accumulation"
+
+    def build(self, sim, n_threads, scale, rng):
+        k = self.params.get("k", 6)
+        per_thread = self.iters(60, scale)
+        data = KmeansData(sim, k, n_points=per_thread * n_threads,
+                          seed=rng.randrange(1 << 30))
+        bar = Barrier(n_threads)
+        iterations = self.params.get("iterations", 3)
+        return [
+            (kmeans_worker, (data, tid * per_thread, per_thread, bar,
+                             iterations), {})
+            for tid in range(n_threads)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# genome — segment deduplication + assembly
+# ---------------------------------------------------------------------------
+
+
+class GenomeData:
+    def __init__(self, sim, n_segments: int, n_unique: int, seed: int) -> None:
+        rng = random.Random(seed)
+        self.segments = [rng.randrange(n_unique) for _ in range(n_segments)]
+        self.unique = HashTable(sim.memory, max(16, n_unique // 8))
+        # assembly links: one word per unique segment
+        self.links = IntArray(sim.memory, n_unique)
+        self.n_unique = n_unique
+
+
+@simfn
+def genome_worker(ctx, data: GenomeData, start: int, count: int,
+                  bar: Barrier):
+    # phase 1: deduplicate segments into the hash set
+    for idx in range(start, start + count):
+        seg = data.segments[idx % len(data.segments)]
+
+        def dedup(c, seg=seg):
+            node = yield from c.call(hashtable_search, data.unique, seg)
+            if node:
+                # count the duplicate: a write on every hit
+                yield from c.call(hashtable_bump, data.unique, node)
+            else:
+                yield from c.call(hashtable_insert, data.unique, seg, 1)
+
+        yield from ctx.atomic(dedup, name="genome_dedup")
+        yield from ctx.compute(80)
+    yield from ctx.barrier(bar)
+    # phase 2: assemble — link segments by overlap (adjacent ids here)
+    rng = ctx.rng
+    for _ in range(count // 2):
+        seg = rng.randrange(data.n_unique - 1)
+
+        def link(c, seg=seg):
+            cur = yield from data.links.get(c, seg)
+            if cur == 0:
+                yield from data.links.set(c, seg, seg + 1)
+
+        yield from ctx.atomic(link, name="genome_link")
+        yield from ctx.compute(120)
+
+
+@register
+class Genome(Workload):
+    name = "genome"
+    suite = "stamp"
+    expected_type = "III"
+    description = "gene segment dedup and assembly"
+
+    def build(self, sim, n_threads, scale, rng):
+        per_thread = self.iters(150, scale)
+        data = GenomeData(
+            sim,
+            n_segments=per_thread * n_threads,
+            n_unique=max(32, (per_thread * n_threads) // 8),
+            seed=rng.randrange(1 << 30),
+        )
+        bar = Barrier(n_threads)
+        return [
+            (genome_worker, (data, tid * per_thread, per_thread, bar), {})
+            for tid in range(n_threads)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# labyrinth — transactional path claiming over a grid
+# ---------------------------------------------------------------------------
+
+
+class GridData:
+    """A W x H routing grid, one word per cell (row-major)."""
+
+    def __init__(self, sim, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self.cells = IntArray(sim.memory, width * height)
+
+    def cell_index(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def l_path(self, x0: int, y0: int, x1: int, y1: int) -> List[int]:
+        """An L-shaped route: horizontal then vertical (each vertical step
+        lands on a different cache line — big transactional footprints)."""
+        cells = []
+        step = 1 if x1 >= x0 else -1
+        for x in range(x0, x1 + step, step):
+            cells.append(self.cell_index(x, y0))
+        step = 1 if y1 >= y0 else -1
+        for y in range(y0 + step, y1 + step, step):
+            cells.append(self.cell_index(x1, y))
+        return cells
+
+
+@simfn
+def labyrinth_router(ctx, grid: GridData, n_paths: int, max_span: int):
+    """Claim L-shaped paths transactionally, with rip-up-and-reroute:
+    failed validations release earlier claims, keeping the grid — and
+    the conflict rate — alive for the whole run (as in STAMP)."""
+    rng = ctx.rng
+    routed = 0
+    claimed_paths = []
+    while routed < n_paths:
+        x0, y0 = rng.randrange(grid.width), rng.randrange(grid.height)
+        x1 = min(grid.width - 1, x0 + rng.randrange(1, max_span))
+        y1 = min(grid.height - 1, y0 + rng.randrange(1, max_span))
+        path = grid.l_path(x0, y0, x1, y1)
+
+        def claim(c, path=path):
+            for cell in path:
+                v = yield from grid.cells.get(c, cell)
+                if v:
+                    return False  # occupied: abandon this plan
+            for cell in path:
+                yield from grid.cells.set(c, cell, c.tid + 1)
+            return True
+
+        ok = yield from ctx.atomic(claim, name="labyrinth_claim")
+        if ok:
+            claimed_paths.append(path)
+        routed += 1
+        yield from ctx.compute(300)  # plan the next route
+        # rip-up: timing validation fails for half the routes, releasing
+        # their cells (keeps the board contended instead of saturating)
+        if claimed_paths and rng.random() < 0.5:
+            victim = claimed_paths.pop(rng.randrange(len(claimed_paths)))
+
+            def ripup(c, path=victim):
+                for cell in path:
+                    yield from grid.cells.set(c, cell, 0)
+
+            yield from ctx.atomic(ripup, name="labyrinth_ripup")
+
+
+@register
+class Labyrinth(Workload):
+    name = "labyrinth"
+    suite = "stamp"
+    expected_type = "III"
+    description = "maze routing with transactional path claims"
+
+    def build(self, sim, n_threads, scale, rng):
+        grid = GridData(sim, width=32, height=32)
+        n_paths = self.iters(40, scale)
+        max_span = self.params.get("max_span", 16)
+        return [(labyrinth_router, (grid, n_paths, max_span), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# yada — Delaunay refinement (cavity rewriting)
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def yada_refiner(ctx, mesh: IntArray, n_steps: int, cavity_size: int):
+    """Pick a bad triangle, read its cavity, re-triangulate (rewrite)."""
+    rng = ctx.rng
+    n = mesh.length
+    for _ in range(n_steps):
+        center = rng.randrange(n)
+        cavity = [(center + d) % n for d in range(cavity_size)]
+
+        def retriangulate(c, cavity=cavity):
+            quality = 0
+            for cell in cavity:
+                v = yield from mesh.get(c, cell)
+                quality += v
+            for cell in cavity:
+                yield from mesh.set(c, cell, (quality % 97) + 1)
+
+        yield from ctx.atomic(retriangulate, name="yada_cavity")
+        yield from ctx.compute(200)
+
+
+@register
+class Yada(Workload):
+    name = "yada"
+    suite = "stamp"
+    expected_type = "III"
+    description = "Delaunay mesh refinement: overlapping cavity rewrites"
+
+    def build(self, sim, n_threads, scale, rng):
+        mesh = IntArray(sim.memory, self.params.get("mesh_cells", 512))
+        mesh.host_fill(i % 13 + 1 for i in range(mesh.length))
+        steps = self.iters(80, scale)
+        cavity = self.params.get("cavity_size", 26)
+        return [(yada_refiner, (mesh, steps, cavity), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# intruder — packet reassembly and detection
+# ---------------------------------------------------------------------------
+
+
+class IntruderData:
+    def __init__(self, sim, n_flows: int, frags_per_flow: int,
+                 seed: int) -> None:
+        rng = random.Random(seed)
+        n_packets = n_flows * frags_per_flow
+        self.queue = RingQueue(sim.memory, n_packets + 1)
+        packets = [
+            flow * frags_per_flow + frag
+            for flow in range(n_flows)
+            for frag in range(frags_per_flow)
+        ]
+        rng.shuffle(packets)
+        for p in packets:
+            self.queue.host_enqueue(p + 1)  # 0 is the empty sentinel
+        self.frags_per_flow = frags_per_flow
+        self.fragments = HashTable(sim.memory, max(64, n_flows))
+
+
+@simfn
+def intruder_worker(ctx, data: IntruderData):
+    """Dequeue packets, count fragments per flow, run detection on
+    completed flows (pure compute outside the critical sections)."""
+    while True:
+        def pop(c):
+            value = yield from c.call(queue_dequeue, data.queue)
+            return value
+
+        packet = yield from ctx.atomic(pop, name="intruder_pop")
+        if packet == EMPTY:
+            return
+        flow = (packet - 1) // data.frags_per_flow
+
+        def reassemble(c, flow=flow):
+            node = yield from c.call(hashtable_search, data.fragments, flow)
+            if node:
+                count = yield from c.call(hashtable_bump, data.fragments, node)
+            else:
+                yield from c.call(hashtable_insert, data.fragments, flow, 1)
+                count = 1
+            return count
+
+        count = yield from ctx.atomic(reassemble, name="intruder_reassemble")
+        if count == data.frags_per_flow:
+            yield from ctx.compute(600)  # signature detection on the flow
+
+
+@register
+class Intruder(Workload):
+    name = "intruder"
+    suite = "stamp"
+    expected_type = "III"
+    description = "network intrusion detection: queue + reassembly txns"
+
+    def build(self, sim, n_threads, scale, rng):
+        flows = self.iters(60, scale)
+        data = IntruderData(sim, n_flows=flows, frags_per_flow=4,
+                            seed=rng.randrange(1 << 30))
+        return [(intruder_worker, (data,), {})] * n_threads
+
+
+# ---------------------------------------------------------------------------
+# ssca (STAMP's SSCA2 kernel) — tiny graph-update transactions
+# ---------------------------------------------------------------------------
+
+
+class SscaGraph:
+    """Adjacency storage: per-vertex degree counter + edge slots."""
+
+    MAX_DEGREE = 16
+
+    def __init__(self, sim, n_vertices: int) -> None:
+        self.n_vertices = n_vertices
+        self.degrees = IntArray(sim.memory, n_vertices)
+        self.edges = IntArray(sim.memory, n_vertices * self.MAX_DEGREE)
+
+
+@simfn
+def ssca_builder(ctx, graph: SscaGraph, n_edges: int):
+    """Insert random edges: one small transaction per edge."""
+    rng = ctx.rng
+    n = graph.n_vertices
+    for _ in range(n_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+
+        def add_edge(c, u=u, v=v):
+            deg = yield from graph.degrees.get(c, u)
+            if deg < graph.MAX_DEGREE:
+                yield from graph.edges.set(c, u * graph.MAX_DEGREE + deg, v)
+                yield from graph.degrees.set(c, u, deg + 1)
+
+        yield from ctx.atomic(add_edge, name="ssca_add_edge")
+        yield from ctx.compute(60)
+
+
+@register
+class StampSsca(Workload):
+    name = "ssca"
+    suite = "stamp"
+    expected_type = "II"
+    description = "STAMP SSCA2 kernel: a flood of tiny edge-insert txns"
+
+    def build(self, sim, n_threads, scale, rng):
+        graph = SscaGraph(sim, n_vertices=self.params.get("n_vertices", 512))
+        edges = self.iters(300, scale)
+        return [(ssca_builder, (graph, edges), {})] * n_threads

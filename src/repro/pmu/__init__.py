@@ -1,0 +1,33 @@
+"""Performance-monitoring-unit model: counters, sampling, LBR."""
+
+from .counters import CounterBank, PmuBank
+from .events import (
+    ADDRESS_EVENTS,
+    ALL_EVENTS,
+    CYCLES,
+    MEM_LOADS,
+    MEM_STORES,
+    RTM_ABORTED,
+    RTM_COMMIT,
+)
+from .lbr import KIND_ABORT, KIND_CALL, KIND_RET, KIND_SAMPLE, Lbr, LbrEntry
+from .sampling import Sample
+
+__all__ = [
+    "CounterBank",
+    "PmuBank",
+    "Sample",
+    "Lbr",
+    "LbrEntry",
+    "KIND_CALL",
+    "KIND_RET",
+    "KIND_ABORT",
+    "KIND_SAMPLE",
+    "CYCLES",
+    "MEM_LOADS",
+    "MEM_STORES",
+    "RTM_ABORTED",
+    "RTM_COMMIT",
+    "ALL_EVENTS",
+    "ADDRESS_EVENTS",
+]

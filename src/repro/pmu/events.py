@@ -1,0 +1,24 @@
+"""PMU event names.
+
+These mirror the hardware events TxSampler programs (§6):
+
+* ``cycles``        — unhalted core cycles (the timing event);
+* ``mem_loads`` / ``mem_stores`` — MEM_UOPS_RETIRED:ALL_LOADS / ALL_STORES,
+  precise events carrying the effective address (PEBS);
+* ``rtm_aborted`` / ``rtm_commit`` — RTM_RETIRED:ABORTED / COMMIT; aborted
+  samples additionally carry the abort *weight* (wasted cycles) and the
+  TSX status bits.
+"""
+
+from __future__ import annotations
+
+CYCLES = "cycles"
+MEM_LOADS = "mem_loads"
+MEM_STORES = "mem_stores"
+RTM_ABORTED = "rtm_aborted"
+RTM_COMMIT = "rtm_commit"
+
+ALL_EVENTS = (CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT)
+
+#: events whose PEBS record includes a data (effective) address
+ADDRESS_EVENTS = frozenset({MEM_LOADS, MEM_STORES})

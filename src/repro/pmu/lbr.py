@@ -1,0 +1,73 @@
+"""Last Branch Record (LBR) model.
+
+A per-core circular buffer of the most recent branches.  We model the
+configuration TxSampler uses: call/return filtering, plus the two TSX
+bits each entry carries on real hardware:
+
+* ``abort`` — this branch is the control transfer caused by a transaction
+  abort (target = the fallback address registered at ``xbegin``);
+* ``in_tsx`` — the branch executed inside a transaction.
+
+Following §3.1 of the paper, the most recent entry at a PMU interrupt
+"always records the triggering interrupt"; the engine pushes a ``sample``
+entry whose abort bit says whether that interrupt itself aborted a
+transaction — this is the bit Figure 4's algorithm reads.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+KIND_CALL = "call"
+KIND_RET = "ret"
+KIND_ABORT = "abort"
+KIND_SAMPLE = "sample"
+
+
+class LbrEntry(NamedTuple):
+    """One (from, to) branch record with its TSX flag bits."""
+
+    from_addr: int
+    to_addr: int
+    kind: str
+    abort: bool
+    in_tsx: bool
+
+
+class Lbr:
+    """Fixed-capacity, newest-first branch record stack for one thread."""
+
+    __slots__ = ("size", "_buf")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("LBR size must be positive")
+        self.size = size
+        self._buf: List[LbrEntry] = []
+
+    def push(self, entry: LbrEntry) -> None:
+        buf = self._buf
+        buf.append(entry)
+        if len(buf) > self.size:
+            del buf[0]
+
+    def push_call(self, from_addr: int, to_addr: int, in_tsx: bool) -> None:
+        self.push(LbrEntry(from_addr, to_addr, KIND_CALL, False, in_tsx))
+
+    def push_ret(self, from_addr: int, to_addr: int, in_tsx: bool) -> None:
+        self.push(LbrEntry(from_addr, to_addr, KIND_RET, False, in_tsx))
+
+    def push_abort(self, from_addr: int, to_addr: int) -> None:
+        """The abort control transfer: from the aborting IP to the fallback."""
+        self.push(LbrEntry(from_addr, to_addr, KIND_ABORT, True, True))
+
+    def push_sample(self, from_addr: int, aborted_txn: bool, in_tsx: bool) -> None:
+        """The PMU interrupt itself (target address is the signal handler)."""
+        self.push(LbrEntry(from_addr, 0, KIND_SAMPLE, aborted_txn, in_tsx))
+
+    def snapshot(self) -> Tuple[LbrEntry, ...]:
+        """Entries newest-first, as delivered with a PEBS record."""
+        return tuple(reversed(self._buf))
+
+    def __len__(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,59 @@
+"""PMU sample records — what a profiler is allowed to observe.
+
+A :class:`Sample` is the PEBS-like record delivered to the registered
+profiler's ``on_sample``.  It deliberately contains *only* information
+available on real hardware:
+
+* the precise instruction pointer at the sample point (PEBS) — for a
+  sample that aborted a transaction this IP is *inside* the transaction
+  even though the architectural state has rolled back (Challenge I);
+* the unwound architectural call stack (what a signal-context unwinder
+  sees — never the in-transaction path, because aborts restore the stack);
+* an LBR snapshot;
+* event-specific payload: effective address and access type for memory
+  events; abort weight and TSX status bits for ``rtm_aborted``;
+* the timestamp (the sampled core's cycle counter, like ``rdtsc``).
+
+Simulator-internal truths (which thread caused a conflict, the critical
+section id, exact per-context abort counts) are *not* present; the
+profiler must reconstruct everything the way TxSampler does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .lbr import LbrEntry
+
+
+@dataclass
+class Sample:
+    """One PMU sample as delivered to a profiler handler."""
+
+    event: str
+    tid: int
+    ts: int
+    #: precise instruction pointer at the sample point (PEBS)
+    ip: int
+    #: unwound architectural call path, outermost call site first
+    ustack: Tuple[int, ...]
+    #: architectural resume IP (the signal context's IP) — for a sample
+    #: that aborted a transaction this is the fallback address, while
+    #: :attr:`ip` is the precise in-transaction PEBS address
+    resume_ip: int = 0
+    #: LBR snapshot, newest entry first
+    lbr: Tuple[LbrEntry, ...] = ()
+    #: memory events: sampled effective address and access kind
+    eff_addr: Optional[int] = None
+    is_store: bool = False
+    #: rtm_aborted events: wasted cycles in the aborted attempt, and the
+    #: TSX status bits software would have seen in EAX
+    weight: int = 0
+    abort_eax: int = 0
+
+    @property
+    def aborted_by_sample(self) -> bool:
+        """Did *this* interrupt abort a transaction?  (LBR[0] abort bit —
+        the exact check from §3.1 / Figure 4.)"""
+        return bool(self.lbr) and self.lbr[0].abort

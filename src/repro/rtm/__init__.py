@@ -1,0 +1,39 @@
+"""RTM runtime library: TM_BEGIN/TM_END, fallback lock, state word."""
+
+from .hle import ElidedLock
+from .instrument import TxnInstrumentation
+from .lock import GlobalLock
+from .runtime import Body, CriticalSection, RtmRuntime
+from .state import (
+    IN_CS,
+    IN_FALLBACK,
+    IN_HTM,
+    IN_LOCKWAIT,
+    IN_OVERHEAD,
+    describe,
+    in_cs,
+    in_fallback,
+    in_htm,
+    in_lock_waiting,
+    in_overhead,
+)
+
+__all__ = [
+    "RtmRuntime",
+    "ElidedLock",
+    "CriticalSection",
+    "Body",
+    "GlobalLock",
+    "TxnInstrumentation",
+    "IN_CS",
+    "IN_HTM",
+    "IN_FALLBACK",
+    "IN_LOCKWAIT",
+    "IN_OVERHEAD",
+    "in_cs",
+    "in_htm",
+    "in_fallback",
+    "in_lock_waiting",
+    "in_overhead",
+    "describe",
+]

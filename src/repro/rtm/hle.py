@@ -1,0 +1,148 @@
+"""Hardware Lock Elision (HLE) — the paper's "trivial extension".
+
+Intel TSX's second interface: existing lock-based code keeps its
+``acquire``/``release`` calls, but the processor *elides* the lock —
+the acquire starts a transaction instead of writing the lock word, the
+release commits it.  On abort, the hardware re-executes the region
+acquiring the lock for real.
+
+We model an :class:`ElidedLock` whose :meth:`critical` combinator has
+exactly that protocol, reusing the TSX engine.  The differences from
+the RTM path (:meth:`~repro.rtm.runtime.RtmRuntime.execute`):
+
+* HLE hardware gives the software **no abort status** — after one
+  failed speculation it falls back to real lock acquisition (no
+  software retry policy);
+* each :class:`ElidedLock` is its own lock word, so independent locks
+  elide independently (unlike RTM's single global fallback lock);
+* the thread-private state word is maintained the same way, so
+  TxSampler's time decomposition works unchanged on HLE regions —
+  which is the paper's point about the extension being trivial.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..htm.status import ABORT_EXPLICIT, AbortStatus
+from ..sim.errors import AbortSignal
+from ..sim.program import simfn
+from .state import IN_CS, IN_FALLBACK, IN_HTM, IN_LOCKWAIT, IN_OVERHEAD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+    from ..sim.thread import ThreadContext
+
+
+@simfn(name="hle_acquire")
+def _hle_region(ctx, lock: "ElidedLock", body, name, callsite):
+    """The visible HLE entry frame (the XACQUIRE-prefixed acquire)."""
+    result = yield from lock._run(ctx, body, name, callsite)
+    return result
+
+
+class ElidedLock:
+    """A lock whose critical sections run elided under HTM.
+
+    Use :meth:`critical` the way RTM code uses ``ctx.atomic``::
+
+        lock = ElidedLock(sim)
+        ...
+        result = yield from lock.critical(ctx, body, name="update")
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "hle_lock") -> None:
+        self.sim = sim
+        self.name = name
+        self.addr = sim.memory.alloc_line()
+        # ground-truth statistics (engine-side)
+        self.elided_commits = 0
+        self.real_acquisitions = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def critical(self, ctx: "ThreadContext", body: Callable,
+                 name: Optional[str] = None):
+        """Run ``body`` under this lock, eliding it when possible."""
+        line = sys._getframe(1).f_lineno
+        frame = ctx.stack[-1]
+        frame[1] = line
+        callsite = frame[0].base + line
+        result = yield from ctx._call_at(
+            callsite, _hle_region, (self, body, name, callsite), {}
+        )
+        return result
+
+    # -- the HLE protocol --------------------------------------------------------
+
+    def _run(self, ctx: "ThreadContext", body, name, callsite):
+        cfg = self.sim.config
+        htm = self.sim.htm
+        rtm = self.sim.rtm
+        cs = rtm.section(name or f"{self.name}_region")
+        rtm.site_names.setdefault(callsite, cs.name)
+
+        ctx.state_word = IN_CS | IN_OVERHEAD
+        result = None
+
+        # ---- one elided attempt (hardware retries are not architectural) --
+        ctx.state_word = IN_CS | IN_LOCKWAIT
+        while True:
+            held = yield from ctx.load(self.addr)
+            if held == 0:
+                break
+            yield from ctx.compute(cfg.spin_quantum)
+
+        ctx.state_word = IN_CS | IN_HTM
+        txn = htm.begin(ctx, ctx.clock, cs.cs_id, callsite, callsite)
+        elided = False
+        try:
+            yield from ctx.compute(cfg.xbegin_cost)
+            # the elided acquire: the lock word joins the read set; any
+            # real acquisition by another thread aborts us
+            held = yield from ctx.load(self.addr)
+            if held != 0:
+                htm.doom(txn, AbortStatus(ABORT_EXPLICIT, detail="hle-held"))
+                yield from ctx.nop()
+            result = yield from body(ctx)
+            yield from ctx.compute(cfg.xend_cost)
+            if htm.commit(ctx, self.sim.memory.write):
+                self.sim.note_commit(ctx, cs)
+                self.elided_commits += 1
+                elided = True
+            else:
+                yield from ctx.nop()
+                raise RuntimeError("unreachable: doomed txn did not abort")
+        except AbortSignal:
+            # HLE exposes no status: fall straight back to the real lock
+            ctx.state_word = IN_CS | IN_OVERHEAD
+            yield from ctx.compute(cfg.tm_retry_overhead)
+
+        if not elided:
+            # ---- non-speculative path: really take the lock ----------------
+            ctx.state_word = IN_CS | IN_LOCKWAIT
+            while True:
+                held = yield from ctx.load(self.addr)
+                if held == 0:
+                    ok = yield from ctx.cas(self.addr, 0, ctx.tid + 1)
+                    if ok:
+                        break
+                yield from ctx.compute(cfg.spin_quantum)
+            yield from ctx.compute(cfg.lock_acquire_cost)
+            ctx.state_word = IN_CS | IN_FALLBACK
+            result = yield from body(ctx)
+            yield from ctx.store(self.addr, 0)
+            yield from ctx.compute(cfg.lock_release_cost)
+            self.real_acquisitions += 1
+
+        ctx.state_word = IN_CS | IN_OVERHEAD
+        yield from ctx.compute(cfg.tm_end_overhead)
+        ctx.state_word = 0
+        return result
+
+    @property
+    def elision_rate(self) -> float:
+        """Fraction of executions that committed speculatively."""
+        total = self.elided_commits + self.real_acquisitions
+        return self.elided_commits / total if total else 0.0

@@ -1,0 +1,51 @@
+"""The global fallback lock used by the RTM runtime.
+
+The lock word lives in *simulated* memory, which is what makes lock
+elision work: every transaction reads the word after ``xbegin`` (adding
+its cache line to the read set), so a fallback thread's acquiring CAS
+conflicts with — and aborts — all concurrent transactions, exactly the
+serialization mechanism of real TSX elision runtimes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.memory import Memory
+    from ..sim.thread import ThreadContext
+
+
+class GlobalLock:
+    """A test-and-test-and-set spin lock at a fixed simulated address."""
+
+    __slots__ = ("addr", "acquire_cost", "release_cost", "spin_quantum")
+
+    def __init__(self, addr: int, acquire_cost: int, release_cost: int,
+                 spin_quantum: int) -> None:
+        self.addr = addr
+        self.acquire_cost = acquire_cost
+        self.release_cost = release_cost
+        self.spin_quantum = spin_quantum
+
+    def is_free(self, memory: "Memory") -> bool:
+        return memory.read(self.addr) == 0
+
+    def acquire(self, ctx: "ThreadContext"):
+        """Spin until the lock is taken by this thread.
+
+        The successful CAS is a store to the lock line, dooming every
+        transaction that has elided the lock.
+        """
+        while True:
+            held = yield from ctx.load(self.addr)
+            if held == 0:
+                ok = yield from ctx.cas(self.addr, 0, ctx.tid + 1)
+                if ok:
+                    break
+            yield from ctx.compute(self.spin_quantum)
+        yield from ctx.compute(self.acquire_cost)
+
+    def release(self, ctx: "ThreadContext"):
+        yield from ctx.store(self.addr, 0)
+        yield from ctx.compute(self.release_cost)

@@ -1,0 +1,212 @@
+"""The RTM runtime library: TM_BEGIN/TM_END with retry and lock fallback.
+
+This is the library the paper adopts from Yoo et al. [40] and extends with
+the thread-private state word.  The protocol per critical section:
+
+1. **prepare** (``inOverhead``): set up the attempt;
+2. **wait** (``inLockWaiting``): spin until the global lock is free;
+3. **speculate** (``inHTM``): ``xbegin``; read the lock word (elision —
+   puts it in the read set, and aborts explicitly if the lock was grabbed
+   in the window); run the user body transactionally; ``xend``;
+4. on abort: **retry** up to ``max_retries`` times if the status carries
+   the RETRY hint, else go to 5;
+5. **fallback** (``inLockWaiting`` then ``inFallback``): acquire the
+   global lock, run the same body non-speculatively, release.
+
+The state word is updated at every phase change, which is all the paper's
+profiler needs for its Equation-2 time decomposition; ``query_state`` is
+the ~9-line query function of §3.2.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..htm.status import ABORT_EXPLICIT, AbortStatus
+from ..sim.errors import AbortSignal
+from ..sim.program import simfn
+from .lock import GlobalLock
+from .state import IN_CS, IN_FALLBACK, IN_HTM, IN_LOCKWAIT, IN_OVERHEAD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+    from ..sim.thread import ThreadContext
+
+#: a critical-section body: a callable returning a fresh op generator.
+Body = Callable[["ThreadContext"], object]
+
+
+@simfn(name="tm_begin")
+def tm_begin(ctx, body, name, callsite):
+    """The TM_BEGIN entry point — a *visible* runtime-library frame.
+
+    Being a real call frame means profilers see ``caller -> tm_begin`` in
+    unwound stacks during every phase of the critical section, which is
+    how the analyzer groups samples by critical section.
+    """
+    result = yield from ctx.sim.rtm.execute(ctx, body, name=name,
+                                            callsite=callsite)
+    return result
+
+
+class CriticalSection:
+    """Static identity of one TM_BEGIN/TM_END site."""
+
+    __slots__ = ("cs_id", "name")
+
+    def __init__(self, cs_id: int, name: str) -> None:
+        self.cs_id = cs_id
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<cs {self.cs_id}:{self.name}>"
+
+
+class RtmRuntime:
+    """One program's RTM runtime instance (one global elided lock)."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        cfg = sim.config
+        lock_addr = sim.memory.alloc_line()
+        self.lock = GlobalLock(
+            lock_addr, cfg.lock_acquire_cost, cfg.lock_release_cost,
+            cfg.spin_quantum,
+        )
+        self._sections: Dict[str, CriticalSection] = {}
+        self._by_id: List[CriticalSection] = []
+        self.instrument = None  # Optional[TxnInstrumentation]
+        self.tm_begin_fn = tm_begin
+        #: debug-info analogue: TM_BEGIN call-site address -> section name
+        self.site_names: Dict[int, str] = {}
+
+    # -- the paper's state query function (§3.2) -----------------------------
+
+    def query_state(self, tid: int) -> int:
+        """Return the thread-private state word — callable at any time,
+        costs the *application* nothing (only profilers invoke it)."""
+        return self.sim.threads[tid].state_word
+
+    # -- critical-section registry -------------------------------------------
+
+    def section(self, name: str) -> CriticalSection:
+        cs = self._sections.get(name)
+        if cs is None:
+            cs = CriticalSection(len(self._by_id), name)
+            self._sections[name] = cs
+            self._by_id.append(cs)
+        return cs
+
+    def section_by_id(self, cs_id: int) -> CriticalSection:
+        return self._by_id[cs_id]
+
+    # -- TM_BEGIN ... TM_END ----------------------------------------------------
+
+    def execute(self, ctx: "ThreadContext", body: Body,
+                name: Optional[str] = None, callsite: Optional[int] = None):
+        """Run ``body`` as one critical section (transaction + fallback).
+
+        ``body`` must be a callable producing a *fresh* generator on every
+        invocation, because an aborted attempt is re-executed from scratch
+        (speculative state is discarded, so re-running the closure is the
+        software analogue of the hardware register/memory rollback).
+        """
+        cfg = self.sim.config
+        htm = self.sim.htm
+        if callsite is None:
+            callsite = ctx.cur_ip
+        cs = self.section(name or getattr(body, "__name__", "cs"))
+        self.site_names.setdefault(callsite, cs.name)
+        instr = self.instrument
+
+        # ---- nested critical sections ---------------------------------------
+        # Flat nesting (TSX): a TM_BEGIN inside a live transaction only
+        # bumps the nest depth; aborts always unwind to the OUTERMOST
+        # begin, so the inner frame must not install retry/fallback
+        # handling — AbortSignal propagates through it untouched.
+        if htm.txn_of(ctx.tid) is not None:
+            htm.begin(ctx, ctx.clock, cs.cs_id, callsite, callsite)
+            yield from ctx.compute(cfg.xbegin_cost)
+            result = yield from body(ctx)
+            yield from ctx.compute(cfg.xend_cost)
+            htm.commit(ctx, self.sim.memory.write)  # nesting decrement
+            return result
+        # Reentrant fallback: if this thread already holds the global
+        # lock (an outer section fell back), the nested section runs
+        # inline under that lock — the runtime tracks lock ownership in
+        # thread-local state, so this check costs the application nothing.
+        if self.sim.memory.read(self.lock.addr) == ctx.tid + 1:
+            result = yield from body(ctx)
+            return result
+
+        # ---- prepare -------------------------------------------------------
+        ctx.state_word = IN_CS | IN_OVERHEAD
+        yield from ctx.compute(cfg.tm_begin_overhead)
+
+        result = None
+        attempt = 0
+        while True:
+            # ---- wait for the lock before speculating ----------------------
+            ctx.state_word = IN_CS | IN_LOCKWAIT
+            while True:
+                held = yield from ctx.load(self.lock.addr)
+                if held == 0:
+                    break
+                yield from ctx.compute(cfg.spin_quantum)
+
+            # ---- speculative attempt ---------------------------------------
+            ctx.state_word = IN_CS | IN_HTM
+            txn = htm.begin(ctx, ctx.clock, cs.cs_id, callsite, callsite)
+            if instr is not None:
+                ctx.extra_cost += instr.on_begin(ctx, cs, txn)
+            try:
+                yield from ctx.compute(cfg.xbegin_cost)
+                # lock elision: transactional read of the lock word
+                held = yield from ctx.load(self.lock.addr)
+                if held != 0:
+                    # lock was grabbed between our wait and xbegin
+                    htm.doom(txn, AbortStatus(ABORT_EXPLICIT, detail="lock-held"))
+                    yield from ctx.nop()  # engine delivers the abort here
+                result = yield from body(ctx)
+                yield from ctx.compute(cfg.xend_cost)
+                if htm.commit(ctx, self.sim.memory.write):
+                    self.sim.note_commit(ctx, cs)
+                    if instr is not None:
+                        ctx.extra_cost += instr.on_commit(ctx, cs)
+                    break  # committed
+                # doomed during/at commit: let the engine deliver the abort
+                yield from ctx.nop()
+                raise RuntimeError("unreachable: doomed txn did not abort")
+            except AbortSignal as sig:
+                status = sig.status
+                if instr is not None:
+                    ctx.extra_cost += instr.on_abort(
+                        ctx, cs, status, ctx.last_abort_weight
+                    )
+                ctx.state_word = IN_CS | IN_OVERHEAD
+                yield from ctx.compute(cfg.tm_retry_overhead)
+                attempt += 1
+                if status.may_retry and attempt <= cfg.max_retries:
+                    # randomized exponential backoff (as in Yoo et al.'s
+                    # runtime): desynchronizes conflicting retriers so
+                    # convoys do not livelock
+                    backoff = ctx.rng.randrange(16 << min(attempt, 5))
+                    if backoff:
+                        yield from ctx.compute(backoff)
+                    continue
+                # ---- fallback: the lock-protected slow path -----------------
+                ctx.state_word = IN_CS | IN_LOCKWAIT
+                yield from self.lock.acquire(ctx)
+                ctx.state_word = IN_CS | IN_FALLBACK
+                result = yield from body(ctx)
+                yield from self.lock.release(ctx)
+                if instr is not None:
+                    ctx.extra_cost += instr.on_fallback(ctx, cs)
+                break
+
+        # ---- cleanup ---------------------------------------------------------
+        ctx.state_word = IN_CS | IN_OVERHEAD
+        yield from ctx.compute(cfg.tm_end_overhead)
+        ctx.state_word = 0
+        return result

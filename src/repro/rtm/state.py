@@ -1,0 +1,48 @@
+"""The RTM runtime's thread-private state word (§3.2).
+
+The paper's ~20-line extension to the RTM library encodes five flags into
+one word that a profiler can query at any instant; the flags classify
+every cycle of a critical section into the components of Equation 2.
+"""
+
+from __future__ import annotations
+
+IN_CS = 1 << 0         # executing anywhere in a critical section
+IN_HTM = 1 << 1        # executing the speculative (transaction) path
+IN_FALLBACK = 1 << 2   # executing the lock-protected slow path
+IN_LOCKWAIT = 1 << 3   # waiting for the global lock to become available
+IN_OVERHEAD = 1 << 4   # initiating / retrying / cleaning up a transaction
+
+_NAMES = (
+    (IN_CS, "inCS"),
+    (IN_HTM, "inHTM"),
+    (IN_FALLBACK, "inFallback"),
+    (IN_LOCKWAIT, "inLockWaiting"),
+    (IN_OVERHEAD, "inOverhead"),
+)
+
+
+def in_cs(word: int) -> bool:
+    return bool(word & IN_CS)
+
+
+def in_htm(word: int) -> bool:
+    return bool(word & IN_HTM)
+
+
+def in_fallback(word: int) -> bool:
+    return bool(word & IN_FALLBACK)
+
+
+def in_lock_waiting(word: int) -> bool:
+    return bool(word & IN_LOCKWAIT)
+
+
+def in_overhead(word: int) -> bool:
+    return bool(word & IN_OVERHEAD)
+
+
+def describe(word: int) -> str:
+    """Human-readable flag list, e.g. ``inCS|inHTM``."""
+    names = [name for bit, name in _NAMES if word & bit]
+    return "|".join(names) if names else "outside"

@@ -1,0 +1,5 @@
+"""Shadow-memory contention analysis."""
+
+from .memory import FALSE_SHARING, TRUE_SHARING, ShadowMemory
+
+__all__ = ["ShadowMemory", "TRUE_SHARING", "FALSE_SHARING"]

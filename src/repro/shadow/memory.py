@@ -1,0 +1,75 @@
+"""Shadow memory for contention analysis (§3.3).
+
+Driven purely by sampled memory accesses (effective address, thread id,
+read/write flag, timestamp), the detector keeps two shadow maps:
+
+* **per cache line** — detects *contention*: the current sample touches a
+  line recently touched by a different thread, at least one of the two
+  accesses is a store, and the accesses are closer than the threshold
+  ``P``;
+* **per byte** — classifies contention: if the *same address* was last
+  touched by a different thread the sharing is **true**, otherwise the
+  threads collide on the line while using different bytes — **false**
+  sharing.
+
+The paper sets P = 100 ms empirically; we express it in simulated cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..sim.config import line_of
+
+TRUE_SHARING = "true"
+FALSE_SHARING = "false"
+
+#: shadow record: (tid, is_store, timestamp)
+Record = Tuple[int, bool, int]
+
+
+class ShadowMemory:
+    """Two-level shadow memory with the paper's sharing classifier."""
+
+    __slots__ = ("threshold", "by_byte", "by_line",
+                 "true_sharing_events", "false_sharing_events")
+
+    def __init__(self, threshold: int = 50_000) -> None:
+        #: max cycle distance between two accesses to count as contention
+        self.threshold = threshold
+        self.by_byte: Dict[int, Record] = {}
+        self.by_line: Dict[int, Record] = {}
+        self.true_sharing_events = 0
+        self.false_sharing_events = 0
+
+    def observe(self, addr: int, tid: int, is_store: bool,
+                ts: int) -> Optional[str]:
+        """Record one sampled access; returns the sharing class if the
+        access is contended, else None."""
+        line = line_of(addr)
+        verdict: Optional[str] = None
+        prev_line = self.by_line.get(line)
+        if prev_line is not None:
+            p_tid, p_store, p_ts = prev_line
+            if (
+                p_tid != tid
+                and (p_store or is_store)
+                and ts - p_ts < self.threshold
+            ):
+                prev_byte = self.by_byte.get(addr)
+                if prev_byte is not None and prev_byte[0] != tid:
+                    verdict = TRUE_SHARING
+                    self.true_sharing_events += 1
+                else:
+                    verdict = FALSE_SHARING
+                    self.false_sharing_events += 1
+        rec = (tid, is_store, ts)
+        self.by_byte[addr] = rec
+        self.by_line[line] = rec
+        return verdict
+
+    def reset(self) -> None:
+        self.by_byte.clear()
+        self.by_line.clear()
+        self.true_sharing_events = 0
+        self.false_sharing_events = 0

@@ -1,0 +1,40 @@
+"""Deterministic discrete-event multicore execution substrate."""
+
+from .config import CACHELINE, PAGE_SIZE, MachineConfig, line_of, page_of
+from .engine import Program, RunResult, Simulator
+from .errors import AbortSignal, SimDeadlock, SimError
+from .memory import DATA_BASE, WORD, Memory
+from .program import (
+    Barrier,
+    FunctionRegistry,
+    REGISTRY,
+    SimFunction,
+    describe_addr,
+    simfn,
+)
+from .thread import THREAD_ROOT, ThreadContext
+
+__all__ = [
+    "MachineConfig",
+    "CACHELINE",
+    "PAGE_SIZE",
+    "line_of",
+    "page_of",
+    "Simulator",
+    "RunResult",
+    "Program",
+    "SimError",
+    "SimDeadlock",
+    "AbortSignal",
+    "Memory",
+    "DATA_BASE",
+    "WORD",
+    "simfn",
+    "SimFunction",
+    "FunctionRegistry",
+    "REGISTRY",
+    "describe_addr",
+    "Barrier",
+    "ThreadContext",
+    "THREAD_ROOT",
+]

@@ -1,0 +1,147 @@
+"""Machine and runtime configuration for the simulated platform.
+
+The defaults model a scaled-down Intel Broadwell-class core (the paper's
+testbed is a 14-core Xeon E7-4830 v4): cacheline-granular conflict
+detection, an L1-bounded transactional write set, a larger read-set budget,
+a 16-entry LBR, and PMU sampling whose interrupts abort in-flight
+transactions.
+
+All costs are in simulated CPU cycles.  Absolute values are not meant to
+match silicon; what matters for the reproduction is the *relative* cost
+structure (transaction begin/end overhead vs. body work vs. abort penalty
+vs. sampling-handler cost), which drives every decomposition the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+#: Bytes per cache line; TSX detects conflicts at this granularity.
+CACHELINE = 64
+
+#: Bytes per page; first-touch page faults are synchronous abort causes.
+PAGE_SIZE = 4096
+
+
+@dataclass
+class MachineConfig:
+    """Static description of the simulated machine and RTM runtime.
+
+    Instances are immutable by convention; use :meth:`evolve` to derive
+    variants (e.g. for ablation benchmarks).
+    """
+
+    # ---- cores / threads -------------------------------------------------
+    n_threads: int = 14
+
+    # ---- instruction costs (cycles) --------------------------------------
+    load_cost: int = 4
+    store_cost: int = 4
+    cas_cost: int = 12
+    call_cost: int = 2
+    ret_cost: int = 2
+    syscall_cost: int = 400
+    pagefault_cost: int = 700
+
+    # ---- HTM (TSX) model --------------------------------------------------
+    #: cycles consumed by the xbegin instruction itself
+    xbegin_cost: int = 30
+    #: cycles consumed by the xend instruction (commit)
+    xend_cost: int = 20
+    #: fixed pipeline-rollback penalty charged on every abort
+    abort_rollback_cost: int = 50
+    #: max distinct cache lines in the transactional *write* set (L1-bound).
+    #: 64 KiB L1 / 64 B lines = 1024 lines; scaled down so capacity aborts
+    #: appear at simulation-friendly footprints.
+    wset_lines: int = 256
+    #: max distinct lines in the transactional *read* set.  Measured TSX
+    #: read capacity varies between L1-bound and a few MB depending on
+    #: eviction luck; we model the conservative (L1-eviction) regime,
+    #: scaled like the write set.
+    rset_lines: int = 320
+    #: set-associativity of the write-set buffer.  A transaction whose
+    #: writes map more than ``wset_assoc`` lines into one set overflows
+    #: early even when the total footprint is below ``wset_lines``.
+    wset_assoc: int = 8
+    #: conflict policy: "requester_wins" (TSX-like: the transaction that
+    #: *receives* the conflicting coherence request aborts) or
+    #: "responder_wins" (the requester aborts instead) for ablation.
+    conflict_policy: str = "requester_wins"
+    #: detect conflicts eagerly at access time (TSX) or lazily at commit.
+    eager_conflicts: bool = True
+
+    # ---- RTM runtime library ----------------------------------------------
+    #: software retries before falling back to the global lock (paper: 5)
+    max_retries: int = 5
+    #: software cost of preparing a transaction attempt (TM_BEGIN prologue)
+    tm_begin_overhead: int = 40
+    #: software cost of tearing down after commit (TM_END epilogue)
+    tm_end_overhead: int = 25
+    #: software cost of the retry decision path after an abort
+    tm_retry_overhead: int = 30
+    #: cycles burned per iteration while spinning on the fallback lock
+    spin_quantum: int = 8
+    lock_acquire_cost: int = 15
+    lock_release_cost: int = 10
+
+    # ---- LBR ----------------------------------------------------------------
+    #: number of Last Branch Record entries (16 Haswell/Broadwell, 32 Skylake+)
+    lbr_size: int = 16
+
+    # ---- PMU sampling --------------------------------------------------------
+    #: sampling period per event name; 0/absent disables the event.
+    #: Scaled so an attached profiler sees O(50-200) samples per "second"
+    #: of simulated work, matching the paper's guidance.
+    sample_periods: Dict[str, int] = field(
+        default_factory=lambda: {
+            "cycles": 20_000,
+            "mem_loads": 8_000,
+            "mem_stores": 8_000,
+            "rtm_aborted": 40,
+            "rtm_commit": 400,
+        }
+    )
+    #: cycles charged to the interrupted thread per delivered sample
+    #: (signal delivery + handler body + rearm).
+    handler_cost: int = 600
+    #: whether a PMU counter overflow aborts an in-flight transaction
+    #: (True on all real hardware; False models an idealized,
+    #: non-destructive PMU for ablation).
+    pmu_aborts_txn: bool = True
+    #: one-time per-thread cost charged when a profiler is attached:
+    #: LD_PRELOAD injection, PAPI/PMU programming, handler installation.
+    #: The paper's §7.1 notes this fixed cost dominates short-running
+    #: programs (15x on sub-0.1s SPLASH runs).  Defaults to 0 because the
+    #: simulated timescale is compressed; the short-program experiment
+    #: enables it explicitly.
+    profiler_setup_cost: int = 0
+
+    #: uniform random 0..cost_jitter extra cycles per instruction (seeded,
+    #: deterministic).  Real machines have timing noise from the memory
+    #: system and SMT arbitration; without it, identical per-iteration
+    #: costs phase-lock threads into resonant conflict storms whose
+    #: makespans are wildly bimodal.  0 disables (for ablation).
+    cost_jitter: int = 1
+
+    # ---- memory system ----------------------------------------------------
+    #: raise page faults on first touch of a page (sync abort cause when
+    #: the touch happens transactionally).
+    page_faults: bool = True
+
+    def evolve(self, **kw) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        if "sample_periods" not in kw:
+            kw["sample_periods"] = dict(self.sample_periods)
+        return replace(self, **kw)
+
+
+def line_of(addr: int) -> int:
+    """Cache line index containing byte address ``addr``."""
+    return addr >> 6
+
+
+def page_of(addr: int) -> int:
+    """Page index containing byte address ``addr``."""
+    return addr >> 12

@@ -1,0 +1,408 @@
+"""The discrete-event multicore execution engine.
+
+Scheduling: the runnable thread with the smallest local clock executes one
+instruction (deterministic tie-break on thread id), so cross-thread
+interleavings respect simulated time — which is what makes conflict
+windows, lock convoys and starvation behave like they do on silicon while
+every run stays exactly reproducible.
+
+Per step the engine:
+
+1. retires a doomed transaction (rollback cost, RTM_ABORTED count,
+   possibly an ``rtm_aborted`` PMU sample) and delivers
+   :class:`~repro.sim.errors.AbortSignal` into the thread, or resumes the
+   thread's generator with the previous instruction's result;
+2. interprets the yielded instruction: costs, memory effects, HTM
+   read/write-set tracking, conflict arbitration, page faults, barriers;
+3. drives the PMU: counts events, and on counter overflow delivers a
+   sampling interrupt — which **aborts an in-flight transaction** before
+   the profiler's handler observes the machine (the paper's Challenge I).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..htm.status import ABORT_INTERRUPT, ABORT_SYNC, AbortStatus
+# tsx / runtime are referenced through their modules (attribute lookup is
+# deferred to Simulator construction) so that importing any subpackage
+# first — core, htm, rtm or sim — resolves without a circular-import trap.
+from ..htm import tsx as _tsx
+from ..pmu.counters import PmuBank
+from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
+from ..pmu.sampling import Sample
+from ..rtm import runtime as _rtm_runtime
+from .config import MachineConfig
+from .errors import AbortSignal, SimDeadlock, SimError
+from .memory import Memory
+from .program import (
+    OP_BARRIER,
+    OP_CAS,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_NOP,
+    OP_STORE,
+    OP_SYSCALL,
+    SimFunction,
+)
+from .thread import ThreadContext
+
+#: a thread program: (function, positional args, keyword args)
+Program = Tuple[SimFunction, tuple, dict]
+
+
+@dataclass
+class RunResult:
+    """Everything a harness needs after a run."""
+
+    #: wall-clock analogue: the largest per-thread cycle count
+    makespan: int
+    #: total work W: cycles summed over threads (Equation 1's left side)
+    work: int
+    per_thread_cycles: List[int]
+    #: ground-truth HTM statistics (engine-side, not profiler-visible)
+    begins: int
+    commits: int
+    aborts: int
+    aborts_by_reason: Dict[str, int]
+    #: exact PMU event totals (empty when sampling was off)
+    pmu_totals: Dict[str, int] = field(default_factory=dict)
+    samples_delivered: int = 0
+
+    @property
+    def abort_commit_ratio(self) -> float:
+        return self.aborts / self.commits if self.commits else float("inf")
+
+
+class Simulator:
+    """One simulated machine executing one multithreaded program."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        programs: Optional[Sequence[Program]] = None,
+        seed: int = 0,
+        profiler=None,
+        n_threads: Optional[int] = None,
+    ) -> None:
+        if programs is None and n_threads is None:
+            raise SimError("give either programs or n_threads")
+        count = len(programs) if programs is not None else n_threads
+        if not count:
+            raise SimError("need at least one thread program")
+        self.config = config
+        self.seed = seed
+        self.memory = Memory(track_page_faults=config.page_faults)
+        self.htm = _tsx.TsxEngine(config)
+        self.threads: List[ThreadContext] = [
+            ThreadContext(tid, self, config.lbr_size) for tid in range(count)
+        ]
+        self.rtm = _rtm_runtime.RtmRuntime(self)
+        self.profiler = profiler
+        self.pmu: Optional[PmuBank] = None
+        if profiler is not None:
+            self.pmu = PmuBank(count, config.sample_periods, seed=seed)
+            for t in self.threads:
+                t.counters = self.pmu.banks[t.tid]
+        self.samples_delivered = 0
+        self._programs: List[Program] = list(programs) if programs else []
+        self._started = False
+        self._heap: List[Tuple[int, int]] = []
+        for tid, t in enumerate(self.threads):
+            t.rng = random.Random((seed + 1) * 1_000_003 + tid)
+        if profiler is not None and hasattr(profiler, "attach"):
+            profiler.attach(self)
+
+    def set_programs(self, programs: Sequence[Program]) -> None:
+        """Install thread programs (one per thread) before :meth:`run`.
+
+        Separate from construction so workloads can allocate their shared
+        data in ``sim.memory`` first.
+        """
+        if len(programs) != len(self.threads):
+            raise SimError(
+                f"{len(programs)} programs for {len(self.threads)} threads"
+            )
+        self._programs = list(programs)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, max_steps: int = 500_000_000) -> RunResult:
+        """Execute all thread programs to completion."""
+        if self._started:
+            raise SimError("a Simulator instance runs once; build a new one")
+        if not self._programs:
+            raise SimError("no programs installed; call set_programs() first")
+        self._started = True
+        setup = (self.config.profiler_setup_cost
+                 if self.profiler is not None else 0)
+        for t, (fn, args, kwargs) in zip(self.threads, self._programs):
+            t.start(fn, args, kwargs)
+            if setup:
+                # fixed profiling setup (preload + PMU programming)
+                t.clock += setup
+        heap: List[Tuple[int, int]] = [(0, t.tid) for t in self.threads]
+        heapq.heapify(heap)
+        self._heap = heap
+        step = self._step
+        push = heapq.heappush
+        pop = heapq.heappop
+        steps = 0
+        while heap:
+            _, tid = pop(heap)
+            t = self.threads[tid]
+            if t.done:
+                continue
+            step(t)
+            steps += 1
+            if steps > max_steps:
+                raise SimError(f"exceeded max_steps={max_steps}")
+            if not t.done and not t.blocked:
+                push(heap, (t.clock, tid))
+        if any(not t.done for t in self.threads):
+            stuck = [t.tid for t in self.threads if not t.done]
+            raise SimDeadlock(f"threads {stuck} blocked forever")
+        return self._result()
+
+    def _result(self) -> RunResult:
+        clocks = [t.clock for t in self.threads]
+        totals: Dict[str, int] = {}
+        if self.pmu is not None:
+            for ev in self.config.sample_periods:
+                totals[ev] = self.pmu.total(ev)
+        return RunResult(
+            makespan=max(clocks),
+            work=sum(clocks),
+            per_thread_cycles=clocks,
+            begins=self.htm.total_begins,
+            commits=self.htm.total_commits,
+            aborts=self.htm.total_aborts,
+            aborts_by_reason=dict(self.htm.aborts_by_reason),
+            pmu_totals=totals,
+            samples_delivered=self.samples_delivered,
+        )
+
+    # ----------------------------------------------------------------- step
+
+    def _step(self, t: ThreadContext) -> None:
+        cfg = self.config
+        htm = self.htm
+        memory = self.memory
+        tid = t.tid
+
+        # 1. retire a doomed transaction, if any
+        txn = htm.active.get(tid)
+        throw_sig: Optional[AbortSignal] = None
+        if txn is not None and txn.doomed is not None:
+            status = htm.rollback(t)
+            t.clock += cfg.abort_rollback_cost
+            weight = t.clock - txn.start_cycle
+            t.last_abort_weight = weight
+            t.last_abort_eax = status.eax
+            self._count(t, RTM_ABORTED, 1)
+            throw_sig = AbortSignal(status)
+
+        # 2. resume the generator
+        try:
+            if throw_sig is not None:
+                op = t.gen.throw(throw_sig)
+            else:
+                op = t.gen.send(t.last_value)
+        except StopIteration:
+            t.done = True
+            return
+
+        # 3. interpret the instruction
+        kind = op[0]
+        result = None
+        if kind == OP_COMPUTE:
+            cost = op[1]
+        elif kind == OP_LOAD:
+            addr = op[1]
+            cost = cfg.load_cost
+            htm.on_access(tid, addr, False)
+            txn = htm.active.get(tid)
+            if txn is not None:
+                if txn.doomed is not None:
+                    # squashed: the abort rewinds control flow next step
+                    result = 0
+                elif (memory.track_page_faults
+                        and memory.touch_would_fault(addr)):
+                    htm.doom(txn, AbortStatus(ABORT_SYNC, detail="pagefault"))
+                    result = 0
+                else:
+                    htm.track_read(txn, addr)
+                    result = htm.read_through(txn, addr, memory.read)
+            else:
+                if memory.touch(addr):
+                    cost += cfg.pagefault_cost
+                result = memory.read(addr)
+            self._count_mem(t, MEM_LOADS, addr, False)
+        elif kind == OP_STORE:
+            addr = op[1]
+            cost = cfg.store_cost
+            htm.on_access(tid, addr, True)
+            txn = htm.active.get(tid)
+            if txn is not None:
+                if txn.doomed is not None:
+                    pass  # squashed
+                elif (memory.track_page_faults
+                        and memory.touch_would_fault(addr)):
+                    htm.doom(txn, AbortStatus(ABORT_SYNC, detail="pagefault"))
+                else:
+                    htm.track_write(txn, addr, op[2])
+            else:
+                if memory.touch(addr):
+                    cost += cfg.pagefault_cost
+                memory.write(addr, op[2])
+            self._count_mem(t, MEM_STORES, addr, True)
+        elif kind == OP_CAS:
+            addr = op[1]
+            cost = cfg.cas_cost
+            htm.on_access(tid, addr, True)
+            txn = htm.active.get(tid)
+            if txn is not None:
+                if txn.doomed is not None:
+                    result = False  # squashed
+                elif (memory.track_page_faults
+                        and memory.touch_would_fault(addr)):
+                    htm.doom(txn, AbortStatus(ABORT_SYNC, detail="pagefault"))
+                    result = False
+                else:
+                    htm.track_read(txn, addr)
+                    cur = htm.read_through(txn, addr, memory.read)
+                    if cur == op[2]:
+                        htm.track_write(txn, addr, op[3])
+                        result = True
+                    else:
+                        result = False
+            else:
+                if memory.touch(addr):
+                    cost += cfg.pagefault_cost
+                cur = memory.read(addr)
+                if cur == op[2]:
+                    memory.write(addr, op[3])
+                    result = True
+                else:
+                    result = False
+            self._count_mem(t, MEM_LOADS, addr, False)
+            if result:
+                self._count_mem(t, MEM_STORES, addr, True)
+        elif kind == OP_SYSCALL:
+            txn = htm.active.get(tid)
+            if txn is not None and txn.doomed is None:
+                # unfriendly instruction: synchronous abort, syscall does
+                # not execute speculatively
+                htm.doom(txn, AbortStatus(ABORT_SYNC, detail=op[1]))
+                cost = 20
+            else:
+                cost = cfg.syscall_cost + (op[2] or 0)
+        elif kind == OP_BARRIER:
+            self._arrive_barrier(t, op[1])
+            return
+        elif kind == OP_NOP:
+            cost = 1
+        else:  # pragma: no cover - op protocol violation
+            raise SimError(f"unknown op {op!r} from thread {tid}")
+
+        # 4. account time and drive the PMU
+        if t.extra_cost:
+            cost += t.extra_cost
+            t.extra_cost = 0
+        jitter = cfg.cost_jitter
+        if jitter:
+            cost += t.rng.randrange(jitter + 1)
+        t.clock += cost
+        t.last_value = result
+        self._count(t, CYCLES, cost)
+
+    # -------------------------------------------------------------- barriers
+
+    def _arrive_barrier(self, t: ThreadContext, bar) -> None:
+        if self.htm.active.get(t.tid) is not None:
+            # a barrier cannot complete speculatively
+            txn = self.htm.active[t.tid]
+            if txn.doomed is None:
+                self.htm.doom(txn, AbortStatus(ABORT_SYNC, detail="barrier"))
+            t.clock += 1
+            t.last_value = None
+            return
+        bar._waiting.append((t.tid, t.clock))
+        t.last_value = None
+        if len(bar._waiting) < bar.parties:
+            t.blocked = True
+            return
+        # last arrival releases the cohort at its own clock
+        release = max(c for _, c in bar._waiting) + 20
+        waiting = bar._waiting
+        bar._waiting = []
+        bar.generation += 1
+        for tid_, arrived in waiting:
+            th = self.threads[tid_]
+            spun = release - arrived
+            th.clock = release
+            # barrier waits are spin loops: the burnt cycles are PMU-visible
+            self._count(th, CYCLES, spun)
+            if th.blocked:
+                th.blocked = False
+                if tid_ != t.tid:
+                    # re-enter the run queue (the current thread is pushed
+                    # by the main loop)
+                    heapq.heappush(self._heap, (th.clock, tid_))
+
+    # ------------------------------------------------------------------- PMU
+
+    def note_commit(self, ctx: ThreadContext, cs) -> None:
+        """Called by the RTM runtime when a transaction commits."""
+        self._count(ctx, RTM_COMMIT, 1)
+
+    def _count(self, t: ThreadContext, event: str, n: int) -> None:
+        bank = t.counters
+        if bank is None:
+            return
+        fired = bank.add(event, n)
+        while fired > 0:
+            fired -= 1
+            self._deliver_sample(t, event, None, False)
+
+    def _count_mem(self, t: ThreadContext, event: str, addr: int,
+                   is_store: bool) -> None:
+        bank = t.counters
+        if bank is None:
+            return
+        fired = bank.add(event, 1)
+        while fired > 0:
+            fired -= 1
+            self._deliver_sample(t, event, addr, is_store)
+
+    def _deliver_sample(self, t: ThreadContext, event: str,
+                        eff_addr: Optional[int], is_store: bool) -> None:
+        """A PMU interrupt: abort any in-flight transaction, then let the
+        registered profiler observe the machine."""
+        cfg = self.config
+        txn = self.htm.active.get(t.tid)
+        in_tsx = txn is not None and txn.doomed is None
+        aborted_now = False
+        if in_tsx and cfg.pmu_aborts_txn:
+            self.htm.doom(txn, AbortStatus(ABORT_INTERRUPT))
+            aborted_now = True
+        t.lbr.push_sample(t.cur_ip, aborted_now, in_tsx)
+        sample = Sample(
+            event=event,
+            tid=t.tid,
+            ts=t.clock,
+            ip=t.cur_ip,
+            ustack=t.unwind(),
+            resume_ip=t.arch_ip(),
+            lbr=t.lbr.snapshot(),
+            eff_addr=eff_addr,
+            is_store=is_store,
+            weight=t.last_abort_weight if event == RTM_ABORTED else 0,
+            abort_eax=t.last_abort_eax if event == RTM_ABORTED else 0,
+        )
+        t.clock += cfg.handler_cost
+        self.samples_delivered += 1
+        self.profiler.on_sample(sample)

@@ -1,0 +1,40 @@
+"""Control-flow signals and error types for the execution substrate.
+
+The simulator drives each thread as a Python generator.  Hardware-level
+control transfers that interrupt straight-line execution (transaction
+aborts) are delivered by throwing :class:`AbortSignal` into the suspended
+generator; the RTM runtime's ``execute`` combinator catches it and runs the
+retry / fallback policy, exactly like the abort handler address registered
+with ``xbegin`` on real TSX hardware.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for misuse of the simulator API."""
+
+
+class SimDeadlock(SimError):
+    """All runnable threads are blocked and no progress is possible."""
+
+
+class AbortSignal(Exception):
+    """A hardware transaction abort, delivered into the executing thread.
+
+    Instances carry the abort *status* (a :class:`repro.htm.status.AbortStatus`)
+    so that the RTM runtime can decide whether the abort is transient
+    (retry) or persistent (go to the fallback path immediately).
+
+    This exception must only ever be caught by the RTM runtime; workload
+    code never sees it.
+    """
+
+    __slots__ = ("status",)
+
+    def __init__(self, status) -> None:
+        super().__init__(status)
+        self.status = status
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AbortSignal({self.status!r})"

@@ -1,0 +1,120 @@
+"""Flat simulated address space with a cacheline-aware bump allocator.
+
+Data lives in a ``dict[int, int]`` keyed by byte address; workloads read
+and write 8-byte words.  Addresses are what matters: conflict detection,
+capacity accounting, shadow-memory profiling and false-sharing phenomena
+are all functions of *which cache lines* a program touches, so the
+allocator gives callers precise control over alignment and padding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .config import CACHELINE, PAGE_SIZE, line_of, page_of
+
+#: data segment base; far above the synthetic code segment
+DATA_BASE = 0x1000_0000
+
+WORD = 8
+
+
+class Memory:
+    """The shared simulated memory of one machine.
+
+    Committed transactional state and plain stores both land here; in-flight
+    transactional writes are buffered in the owning transaction (see
+    :mod:`repro.htm.tsx`) and only reach :class:`Memory` on commit.
+    """
+
+    __slots__ = ("data", "touched_pages", "_brk", "track_page_faults")
+
+    def __init__(self, track_page_faults: bool = True) -> None:
+        self.data: Dict[int, int] = {}
+        self.touched_pages: Set[int] = set()
+        self._brk = DATA_BASE
+        self.track_page_faults = track_page_faults
+
+    # -- raw access (engine use) -------------------------------------------
+
+    def read(self, addr: int) -> int:
+        return self.data.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self.data[addr] = value
+
+    def touch_would_fault(self, addr: int) -> bool:
+        """True if accessing ``addr`` would page-fault (first touch)."""
+        return (
+            self.track_page_faults and page_of(addr) not in self.touched_pages
+        )
+
+    def touch(self, addr: int) -> bool:
+        """Record the page of ``addr`` as resident.
+
+        Returns ``True`` if this access is a *first touch* (a page fault)
+        and page-fault tracking is enabled.
+        """
+        if not self.track_page_faults:
+            return False
+        page = page_of(addr)
+        if page in self.touched_pages:
+            return False
+        self.touched_pages.add(page)
+        return True
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(
+        self,
+        nbytes: int,
+        *,
+        align: int = WORD,
+        pretouch: bool = True,
+    ) -> int:
+        """Reserve ``nbytes`` and return the base address.
+
+        ``pretouch`` marks the backing pages resident so ordinary workload
+        data does not fault inside transactions; allocate with
+        ``pretouch=False`` to model cold, fault-prone regions.
+        """
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if align <= 0 or (align & (align - 1)):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        base = (self._brk + align - 1) & ~(align - 1)
+        self._brk = base + max(nbytes, 1)
+        if pretouch:
+            for page in range(page_of(base), page_of(self._brk - 1) + 1):
+                self.touched_pages.add(page)
+        return base
+
+    def alloc_line(self, nbytes: int = CACHELINE, **kw) -> int:
+        """Allocate cacheline-aligned storage (one line by default).
+
+        Padding data to its own line is the classic false-sharing fix; the
+        optimized Table-2 workloads rely on this.
+        """
+        return self.alloc(nbytes, align=CACHELINE, **kw)
+
+    def alloc_words(self, nwords: int, **kw) -> int:
+        return self.alloc(nwords * WORD, **kw)
+
+    def alloc_array(self, nwords: int, *, line_aligned: bool = True, **kw) -> int:
+        align = CACHELINE if line_aligned else WORD
+        return self.alloc(nwords * WORD, align=align, **kw)
+
+    # -- bulk helpers (initialisation outside the simulation) ----------------
+
+    def write_words(self, base: int, values: Iterable[int]) -> None:
+        data = self.data
+        for i, v in enumerate(values):
+            data[base + i * WORD] = v
+
+    def read_words(self, base: int, nwords: int) -> List[int]:
+        data = self.data
+        return [data.get(base + i * WORD, 0) for i in range(nwords)]
+
+    def footprint_lines(self) -> int:
+        """Number of distinct cache lines ever written (for diagnostics)."""
+        return len({line_of(a) for a in self.data})

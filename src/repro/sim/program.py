@@ -1,0 +1,154 @@
+"""Program representation: simulated functions, instruction ops, addresses.
+
+Workloads are written as ordinary Python generator functions decorated with
+:func:`simfn`.  Each decorated function receives a synthetic code-address
+range so that instruction pointers, call sites, and LBR ``(from, to)``
+pairs are plain integers, exactly like the addresses a real profiler deals
+with.  The executing :class:`~repro.sim.thread.ThreadContext` assigns every
+yielded instruction an IP of ``function_base + statement_offset``.
+
+Ops are small tuples ``(OPCODE, ...)`` rather than objects: the engine's
+inner loop dispatches on ``op[0]``, and avoiding per-instruction object
+construction keeps the hot path lean (the profiling guides' advice about
+allocation in inner loops applies doubly to a simulator that executes
+millions of instructions per run).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# opcodes (op tuples start with one of these single-character tags)
+# ---------------------------------------------------------------------------
+
+OP_COMPUTE = "c"   # ("c", cycles)
+OP_LOAD = "l"      # ("l", addr)
+OP_STORE = "s"     # ("s", addr, value)
+OP_CAS = "x"       # ("x", addr, expected, new)  -> bool success
+OP_SYSCALL = "y"   # ("y", kind)
+OP_BARRIER = "b"   # ("b", barrier)
+OP_NOP = "n"       # ("n",)
+
+
+#: size of the synthetic address range reserved per function
+FUNC_ADDR_SPAN = 0x10000
+#: base of the code segment (data addresses live far above; see memory.py)
+CODE_BASE = 0x40_0000
+
+
+class SimFunction:
+    """A simulated function: a generator factory plus a code-address range.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name used in reports and call paths.
+    base:
+        Synthetic base code address.  Statement ``k`` of the function has
+        IP ``base + k``.
+    """
+
+    __slots__ = ("name", "func", "base", "fid")
+
+    def __init__(self, name: str, func: Callable, base: int, fid: int) -> None:
+        self.name = name
+        self.func = func
+        self.base = base
+        self.fid = fid
+
+    def __call__(self, *args, **kwargs):
+        return self.func(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<simfn {self.name}@{self.base:#x}>"
+
+
+class FunctionRegistry:
+    """Global mapping between function names, ids and code addresses.
+
+    A single process-wide registry keeps addresses stable across simulator
+    instances, which makes profiles comparable between runs (and keeps
+    tests deterministic).
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, SimFunction] = {}
+        self._by_id: List[SimFunction] = []
+
+    def register(self, func: Callable, name: Optional[str] = None) -> SimFunction:
+        name = name or func.__name__
+        existing = self._by_name.get(name)
+        if existing is not None:
+            # Re-registration (e.g. module reload in tests) reuses the slot
+            # so addresses remain stable.
+            existing.func = func  # type: ignore[misc]
+            return existing
+        fid = len(self._by_id)
+        base = CODE_BASE + fid * FUNC_ADDR_SPAN
+        sf = SimFunction(name, func, base, fid)
+        self._by_id.append(sf)
+        self._by_name[name] = sf
+        return sf
+
+    def by_name(self, name: str) -> SimFunction:
+        return self._by_name[name]
+
+    def function_at(self, addr: int) -> Optional[SimFunction]:
+        """Resolve a code address to the function containing it."""
+        idx = (addr - CODE_BASE) // FUNC_ADDR_SPAN
+        if 0 <= idx < len(self._by_id):
+            return self._by_id[idx]
+        return None
+
+    def describe(self, addr: int) -> str:
+        """Render ``addr`` as ``function+offset`` (the report's source loc)."""
+        fn = self.function_at(addr)
+        if fn is None:
+            return f"{addr:#x}"
+        return f"{fn.name}+{addr - fn.base}"
+
+
+#: the process-wide registry used by :func:`simfn`
+REGISTRY = FunctionRegistry()
+
+
+def simfn(func: Callable = None, *, name: Optional[str] = None):
+    """Decorator registering a generator function as a simulated function.
+
+    The decorated object is a :class:`SimFunction`; call it through
+    ``ctx.call(fn, ...)`` so the call is visible to the call stack and LBR.
+    """
+
+    def wrap(f: Callable) -> SimFunction:
+        return REGISTRY.register(f, name)
+
+    if func is not None:
+        return wrap(func)
+    return wrap
+
+
+def describe_addr(addr: int) -> str:
+    """Module-level convenience wrapper over the global registry."""
+    return REGISTRY.describe(addr)
+
+
+class Barrier:
+    """A simulation-level barrier: threads yield ``("b", barrier)`` ops.
+
+    The engine parks arriving threads and releases the whole cohort at the
+    arrival time of the last one (plus a small synchronization cost).  It is
+    reusable (generation-counted), like ``pthread_barrier_t``.
+    """
+
+    __slots__ = ("parties", "generation", "_waiting")
+
+    def __init__(self, parties: int) -> None:
+        if parties <= 0:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.generation = 0
+        self._waiting: List[int] = []  # tids parked on the current generation
+
+    def __repr__(self) -> str:
+        return f"Barrier(parties={self.parties}, waiting={len(self._waiting)})"

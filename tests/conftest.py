@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import MachineConfig, Simulator, simfn
+
+
+def make_config(n_threads: int = 4, **kw) -> MachineConfig:
+    """A small, fast machine for tests (no sampling unless asked)."""
+    kw.setdefault("n_threads", n_threads)
+    return MachineConfig(**kw)
+
+
+def sampling_periods(fast: bool = True) -> dict:
+    """Aggressive periods so short test runs still collect samples."""
+    if fast:
+        return {
+            "cycles": 2_000,
+            "mem_loads": 400,
+            "mem_stores": 400,
+            "rtm_aborted": 8,
+            "rtm_commit": 25,
+        }
+    return {}
+
+
+@pytest.fixture
+def config():
+    return make_config()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+# ---------------------------------------------------------------------------
+# reusable simulated programs
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def _t_increment_worker(ctx, counter, iters, pad_cycles=50):
+    for _ in range(iters):
+        def body(c):
+            v = yield from c.load(counter)
+            yield from c.store(counter, v + 1)
+
+        yield from ctx.atomic(body, name="t_incr")
+        yield from ctx.compute(pad_cycles)
+
+
+@simfn
+def _t_plain_worker(ctx, addr, iters):
+    """Non-transactional read-modify-write (racy on purpose)."""
+    for _ in range(iters):
+        v = yield from ctx.load(addr)
+        yield from ctx.store(addr, v + 1)
+        yield from ctx.compute(10)
+
+
+def build_counter_sim(
+    n_threads: int = 4,
+    iters: int = 100,
+    profiler=None,
+    seed: int = 1,
+    config: MachineConfig = None,
+    pad_cycles: int = 50,
+):
+    """A simulator running the shared-counter increment workload."""
+    cfg = config or make_config(n_threads)
+    sim = Simulator(cfg, n_threads=n_threads, seed=seed, profiler=profiler)
+    counter = sim.memory.alloc_line()
+    sim.set_programs(
+        [(_t_increment_worker, (counter, iters, pad_cycles), {})] * n_threads
+    )
+    return sim, counter
+
+
+increment_worker = _t_increment_worker
+plain_worker = _t_plain_worker

@@ -1,0 +1,116 @@
+"""The offline analyzer: per-CS reports, program summaries, Equations 2-4."""
+
+import pytest
+
+from repro.core import TxSampler, metrics as m
+from repro.core.analyzer import CsReport, Profile, ProgramSummary
+from repro.cct.tree import new_root
+
+from tests.conftest import build_counter_sim, make_config, sampling_periods
+
+
+def _profile():
+    cfg = make_config(4, sample_periods=sampling_periods())
+    prof = TxSampler()
+    sim, _ = build_counter_sim(n_threads=4, iters=250, profiler=prof,
+                               config=cfg, pad_cycles=20)
+    sim.run()
+    return prof.profile()
+
+
+class TestCsReports:
+    def test_one_section_reported(self):
+        reports = _profile().cs_reports()
+        assert len(reports) == 1
+        assert "t_incr" in reports[0].name
+
+    def test_report_components_sum_to_t(self):
+        r = _profile().cs_reports()[0]
+        assert r.T == pytest.approx(r.T_tx + r.T_fb + r.T_wait + r.T_oh)
+
+    def test_time_fractions_sum_to_one(self):
+        r = _profile().cs_reports()[0]
+        if r.T:
+            assert sum(r.time_fractions().values()) == pytest.approx(1.0)
+
+    def test_w_t_equation3(self):
+        r = CsReport(site=1, name="x", aborts=4, abort_weight=200)
+        assert r.w_t == 50.0
+
+    def test_w_t_no_aborts(self):
+        assert CsReport(site=1, name="x").w_t == 0.0
+
+    def test_equation4_ratios(self):
+        r = CsReport(site=1, name="x", abort_weight=100)
+        r.weight_by_class = {"conflict": 60, "capacity": 30, "sync": 10}
+        assert r.r_conflict == pytest.approx(0.6)
+        assert r.r_capacity == pytest.approx(0.3)
+        assert r.r_synchronous == pytest.approx(0.1)
+
+    def test_ratios_zero_without_weight(self):
+        r = CsReport(site=1, name="x")
+        assert r.r_conflict == r.r_capacity == r.r_synchronous == 0.0
+
+    def test_abort_commit_ratio_estimation(self):
+        r = CsReport(site=1, name="x", est_aborts=50, est_commits=100)
+        assert r.abort_commit_ratio == pytest.approx(0.5)
+
+    def test_abort_commit_ratio_no_commits(self):
+        r = CsReport(site=1, name="x", est_aborts=5)
+        assert r.abort_commit_ratio == float("inf")
+        r2 = CsReport(site=1, name="x")
+        assert r2.abort_commit_ratio == 0.0
+
+    def test_dominant_component(self):
+        r = CsReport(site=1, name="x", T=10, T_tx=1, T_fb=2, T_wait=6,
+                     T_oh=1)
+        assert r.dominant_component() == m.T_WAIT
+
+    def test_reports_sorted_by_t(self):
+        profile = _profile()
+        reports = profile.cs_reports()
+        ts = [r.T for r in reports]
+        assert ts == sorted(ts, reverse=True)
+
+    def test_hottest_cs(self):
+        profile = _profile()
+        assert profile.hottest_cs().site == profile.cs_reports()[0].site
+
+    def test_estimates_scale_by_period(self):
+        profile = _profile()
+        r = profile.cs_reports()[0]
+        assert r.est_aborts == r.aborts * profile.periods["rtm_aborted"]
+        assert r.est_commits == r.commits * profile.periods["rtm_commit"]
+
+
+class TestProgramSummary:
+    def test_summary_consistent_with_tree(self):
+        profile = _profile()
+        s = profile.summary()
+        assert s.W == profile.root.total(m.W)
+        assert s.T == profile.root.total(m.T)
+
+    def test_r_cs_bounds(self):
+        s = _profile().summary()
+        assert 0.0 <= s.r_cs <= 1.0
+
+    def test_fractions_sum_to_one(self):
+        s = _profile().summary()
+        assert sum(s.time_fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_profile_summary(self):
+        p = Profile(root=new_root(), n_threads=1, periods={},
+                    site_names={}, samples_seen={})
+        s = p.summary()
+        assert s.W == 0 and s.r_cs == 0.0
+        assert s.abort_commit_ratio == 0.0
+
+    def test_describe_site_uses_debug_names(self):
+        profile = _profile()
+        site = profile.cs_reports()[0].site
+        described = profile.describe_site(site)
+        assert "t_incr" in described
+
+    def test_describe_unknown_site(self):
+        profile = _profile()
+        assert profile.describe_site(12345) != ""

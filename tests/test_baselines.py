@@ -1,0 +1,114 @@
+"""Comparator profilers: Perf-style, TSXProf-style, instrumentation."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    InstrumentationProfiler,
+    MISATTRIBUTED,
+    PerfProfiler,
+    TsxProfSim,
+)
+from repro.core import metrics as m
+from repro.htmbench import get_workload
+from repro.sim import MachineConfig, Simulator
+
+from tests.conftest import build_counter_sim, make_config, sampling_periods
+
+
+def _run_perf(n_threads=4, iters=200, pad_cycles=20):
+    cfg = make_config(n_threads, sample_periods=sampling_periods())
+    perf = PerfProfiler()
+    sim, counter = build_counter_sim(
+        n_threads=n_threads, iters=iters, profiler=perf, config=cfg,
+        pad_cycles=pad_cycles,
+    )
+    result = sim.run()
+    return perf, result
+
+
+class TestPerfProfiler:
+    def test_collects_samples(self):
+        perf, result = _run_perf()
+        assert sum(perf.samples_seen.values()) == result.samples_delivered
+
+    def test_hotspots_reported(self):
+        perf, _ = _run_perf()
+        hotspots = perf.hotspots()
+        assert hotspots and hotspots[0][0] >= hotspots[-1][0]
+
+    def test_misattribution_counted(self):
+        """Every sample that aborted a transaction lands at the post-abort
+        context — Perf cannot place it inside the transaction."""
+        perf, _ = _run_perf(pad_cycles=5)
+        root = perf.merged()
+        assert root.total(MISATTRIBUTED) > 0
+
+    def test_no_time_decomposition_metrics(self):
+        perf, _ = _run_perf()
+        root = perf.merged()
+        # the Equation-2 metrics simply do not exist in a perf profile
+        for metric in (m.T, m.T_TX, m.T_FB, m.T_WAIT, m.T_OH):
+            assert root.total(metric) == 0
+
+    def test_abort_commit_events_counted(self):
+        perf, _ = _run_perf(pad_cycles=5)
+        root = perf.merged()
+        assert root.total(m.ABORTS) > 0 or root.total(m.COMMITS) > 0
+
+    def test_merged_consumes_roots(self):
+        perf, _ = _run_perf()
+        perf.merged()
+        assert perf.roots == []
+
+
+class TestTsxProfSim:
+    @pytest.fixture(scope="class")
+    def tsx_result(self):
+        wl = get_workload("vacation")
+        return TsxProfSim().profile(wl, n_threads=6, scale=0.25, seed=4)
+
+    def test_three_runs_performed(self, tsx_result):
+        assert tsx_result.native.makespan > 0
+        assert tsx_result.record.makespan > 0
+        assert tsx_result.replay.makespan > 0
+
+    def test_replay_more_expensive_than_record(self, tsx_result):
+        assert tsx_result.replay.makespan > tsx_result.record.makespan
+
+    def test_total_overhead_exceeds_one_pass(self, tsx_result):
+        # two executions: total overhead must exceed 100% of one native run
+        assert tsx_result.total_overhead > 1.0
+
+    def test_trace_grows_with_attempts(self, tsx_result):
+        assert tsx_result.trace_bytes > 0
+
+    def test_ground_truth_recovered(self, tsx_result):
+        assert tsx_result.ground_truth.total_commits() + \
+            tsx_result.ground_truth.total_aborts() > 0
+
+    def test_replay_perturbs_abort_behaviour(self, tsx_result):
+        # the replay's per-access instrumentation inflates footprints:
+        # abort counts differ from native
+        assert tsx_result.replay.aborts != tsx_result.native.aborts
+
+
+class TestInstrumentationProfiler:
+    @pytest.fixture(scope="class")
+    def instr_result(self):
+        wl = get_workload("vacation")
+        return InstrumentationProfiler().profile(
+            wl, n_threads=6, scale=0.25, seed=4
+        )
+
+    def test_overhead_positive(self, instr_result):
+        assert instr_result.overhead > 0
+
+    def test_exact_counts_collected(self, instr_result):
+        assert instr_result.counts.total_commits() == \
+            instr_result.instrumented.commits
+
+    def test_abort_inflation_quantified(self, instr_result):
+        # perturbation may add or remove aborts; the metric must exist
+        assert isinstance(instr_result.abort_inflation, float)

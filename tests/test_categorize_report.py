@@ -1,0 +1,107 @@
+"""Figure 8 categorization and the textual report renderers."""
+
+import pytest
+
+from repro.cct.tree import call_key, ip_key, new_root
+from repro.core import (
+    TYPE_I,
+    TYPE_II,
+    TYPE_III,
+    TxSampler,
+    categorize,
+    metrics as m,
+)
+from repro.core.analyzer import Profile
+from repro.core.report import (
+    render_cct,
+    render_cs_table,
+    render_full_report,
+    render_summary,
+    render_thread_histogram,
+)
+
+from tests.conftest import build_counter_sim, make_config, sampling_periods
+from tests.test_decision_tree import synthetic_profile
+
+
+class TestCategorize:
+    def test_type_i_low_cs(self):
+        p = synthetic_profile(W=1000, T=100, aborts=50, commits=10)
+        cat = categorize("x", p)
+        assert cat.type_ == TYPE_I
+
+    def test_type_ii_hot_low_aborts(self):
+        p = synthetic_profile(W=100, T=50, aborts=1, commits=50)
+        assert categorize("x", p).type_ == TYPE_II
+
+    def test_type_iii_hot_high_aborts(self):
+        p = synthetic_profile(W=100, T=50, aborts=60, commits=10)
+        assert categorize("x", p).type_ == TYPE_III
+
+    def test_boundary_r_cs_exactly_threshold(self):
+        p = synthetic_profile(W=100, T=20, aborts=0, commits=50)
+        # r_cs == 0.2 is NOT below the threshold -> not Type I
+        assert categorize("x", p).type_ != TYPE_I
+
+    def test_custom_thresholds(self):
+        p = synthetic_profile(W=100, T=30, aborts=5, commits=10)
+        assert categorize("x", p, r_cs_threshold=0.5).type_ == TYPE_I
+
+    def test_category_str(self):
+        p = synthetic_profile()
+        assert "Type" in str(categorize("prog", p))
+        assert "prog" in str(categorize("prog", p))
+
+
+def _real_profile():
+    cfg = make_config(4, sample_periods=sampling_periods())
+    prof = TxSampler()
+    sim, _ = build_counter_sim(n_threads=4, iters=250, profiler=prof,
+                               config=cfg, pad_cycles=20)
+    sim.run()
+    return prof.profile()
+
+
+class TestReportRenderers:
+    def test_summary_mentions_components(self):
+        text = render_summary(_real_profile(), "demo")
+        for token in ("T_tx", "T_fb", "T_wait", "T_oh", "r_cs", "demo"):
+            assert token in text
+
+    def test_cs_table_contains_section_name(self):
+        text = render_cs_table(_real_profile())
+        assert "t_incr" in text
+
+    def test_cct_view_shows_structure(self):
+        text = render_cct(_real_profile(), metric=m.W, min_share=0.0)
+        assert "<thread root>" in text
+        assert "tm_begin" in text
+
+    def test_cct_view_shows_begin_in_tx(self):
+        text = render_cct(_real_profile(), metric=m.T_TX, min_share=0.0)
+        assert "[begin_in_tx]" in text
+
+    def test_thread_histogram_rows(self):
+        profile = _real_profile()
+        cs = profile.hottest_cs()
+        text = render_thread_histogram(cs, profile.n_threads)
+        for tid in range(4):
+            assert f"t{tid:02d}" in text
+
+    def test_full_report_combines_panes(self):
+        text = render_full_report(_real_profile(), "combo")
+        assert "TxSampler summary" in text
+        assert "calling context view" in text
+        assert "per-thread commits/aborts" in text
+
+    def test_min_share_filters_nodes(self):
+        profile = _real_profile()
+        full = render_cct(profile, metric=m.W, min_share=0.0)
+        filtered = render_cct(profile, metric=m.W, min_share=0.9)
+        assert len(filtered.splitlines()) <= len(full.splitlines())
+
+    def test_empty_profile_renders(self):
+        p = Profile(root=new_root(), n_threads=2, periods={},
+                    site_names={}, samples_seen={})
+        assert "TxSampler summary" in render_summary(p)
+        assert render_cs_table(p)  # header only, no crash

@@ -1,0 +1,265 @@
+"""CCT construction, merging, and LBR call-path reconstruction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cct.merge import merge_profiles
+from repro.cct.tree import CCTNode, call_key, ip_key, new_root, pseudo_key
+from repro.cct.unwind import BEGIN_IN_TX, reconstruct, txn_call_chain
+from repro.pmu.lbr import (
+    KIND_ABORT,
+    KIND_CALL,
+    KIND_RET,
+    KIND_SAMPLE,
+    LbrEntry,
+)
+from repro.pmu.sampling import Sample
+
+
+def _call(f, t, tsx=True):
+    return LbrEntry(f, t, KIND_CALL, False, tsx)
+
+
+def _ret(f, t, tsx=True):
+    return LbrEntry(f, t, KIND_RET, False, tsx)
+
+
+def _abort(f=900, t=500):
+    return LbrEntry(f, t, KIND_ABORT, True, True)
+
+
+def _sample(aborted=True, tsx=True):
+    return LbrEntry(111, 0, KIND_SAMPLE, aborted, tsx)
+
+
+class TestCCTNode:
+    def test_insert_builds_path(self):
+        root = new_root()
+        node = root.insert([call_key(1, 10), ip_key(11)])
+        assert node.key == ip_key(11)
+        assert node.parent.key == call_key(1, 10)
+
+    def test_insert_same_path_reuses_nodes(self):
+        root = new_root()
+        a = root.insert([call_key(1, 10)])
+        b = root.insert([call_key(1, 10)])
+        assert a is b
+
+    def test_metrics_accumulate(self):
+        root = new_root()
+        n = root.insert([ip_key(5)])
+        n.add("W")
+        n.add("W", 2.0)
+        assert n.metrics["W"] == 3.0
+
+    def test_per_thread_breakdown(self):
+        root = new_root()
+        n = root.insert([ip_key(5)])
+        n.add("commits", 1, tid=0)
+        n.add("commits", 1, tid=0)
+        n.add("commits", 1, tid=2)
+        assert n.per_thread["commits"] == {0: 2.0, 2: 1.0}
+
+    def test_total_is_inclusive(self):
+        root = new_root()
+        root.insert([call_key(1, 10)]).add("W", 1)
+        root.insert([call_key(1, 10), ip_key(11)]).add("W", 2)
+        root.insert([call_key(2, 20)]).add("W", 4)
+        assert root.child(call_key(1, 10)).total("W") == 3
+        assert root.total("W") == 7
+
+    def test_total_per_thread_inclusive(self):
+        root = new_root()
+        root.insert([call_key(1, 10)]).add("x", 1, tid=1)
+        root.insert([call_key(1, 10), ip_key(2)]).add("x", 2, tid=1)
+        assert root.total_per_thread("x") == {1: 3.0}
+
+    def test_walk_covers_all_nodes(self):
+        root = new_root()
+        root.insert([call_key(1, 10), ip_key(11)])
+        root.insert([call_key(2, 20)])
+        assert root.n_nodes() == 4  # root + 3
+
+    def test_path_from_root(self):
+        root = new_root()
+        node = root.insert([call_key(1, 10), ip_key(11)])
+        assert node.path_from_root() == (call_key(1, 10), ip_key(11))
+
+    def test_find(self):
+        root = new_root()
+        root.insert([call_key(1, 10), ip_key(11)])
+        hits = root.find(lambda n: n.key[0] == "ip")
+        assert len(hits) == 1
+
+
+class TestMerging:
+    def _tree(self, entries):
+        root = new_root()
+        for path, metric, value in entries:
+            root.insert(path).add(metric, value)
+        return root
+
+    def test_merge_sums_metrics(self):
+        a = self._tree([([ip_key(1)], "W", 1)])
+        b = self._tree([([ip_key(1)], "W", 2)])
+        merged = merge_profiles([a, b])
+        assert merged.insert([ip_key(1)]).metrics["W"] == 3
+
+    def test_merge_unions_structure(self):
+        a = self._tree([([ip_key(1)], "W", 1)])
+        b = self._tree([([ip_key(2)], "W", 1)])
+        merged = merge_profiles([a, b])
+        assert merged.n_nodes() == 3
+
+    def test_merge_empty_list(self):
+        assert merge_profiles([]).n_nodes() == 1
+
+    def test_merge_single(self):
+        a = self._tree([([ip_key(1)], "W", 1)])
+        assert merge_profiles([a]) is a
+
+    @given(n_trees=st.integers(min_value=1, max_value=9),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_reduction_tree_equals_sequential_fold(self, n_trees, seed):
+        import random
+
+        rng = random.Random(seed)
+
+        def random_entries():
+            return [
+                (
+                    [call_key(rng.randrange(3), 10), ip_key(rng.randrange(4))],
+                    "W",
+                    rng.randrange(1, 5),
+                )
+                for _ in range(rng.randrange(1, 6))
+            ]
+
+        entries = [random_entries() for _ in range(n_trees)]
+        reduced = merge_profiles([self._tree(e) for e in entries])
+        sequential = self._tree([x for e in entries for x in e])
+        assert reduced.total("W") == sequential.total("W")
+        # structure identical too
+        def shape(node):
+            return {
+                k: (v.metrics.get("W", 0), shape(v))
+                for k, v in node.children.items()
+            }
+
+        assert shape(reduced) == shape(sequential)
+
+
+class TestTxnCallChain:
+    """Figure 3's reconstruction from LBR snapshots (newest first)."""
+
+    def test_no_abort_entry_no_chain(self):
+        chain, truncated = txn_call_chain((_call(1, 10), _ret(2, 3)))
+        assert chain == [] and not truncated
+
+    def test_single_call_chain(self):
+        lbr = (
+            _sample(),            # the PMU interrupt record
+            _abort(),             # the abort branch
+            _call(100, 2000),     # in-txn call: the active frame
+            _call(50, 1000, tsx=False),  # pre-txn branch: boundary
+        )
+        chain, truncated = txn_call_chain(lbr)
+        assert chain == [(100, 2000)] and not truncated
+
+    def test_call_ret_pairs_cancel(self):
+        lbr = (
+            _sample(),
+            _abort(),
+            _ret(2100, 101),      # D returned
+            _call(100, 2100),     # call D
+            _call(50, 1000, tsx=False),
+        )
+        chain, truncated = txn_call_chain(lbr)
+        assert chain == []
+
+    def test_figure3_example(self):
+        """main->A->(C->D): stack unwind gives main->A; LBR has
+        call C, call D entries (newest first: D, C)."""
+        lbr = (
+            _sample(),
+            _abort(),
+            _call(3005, 4000),    # C calls D
+            _call(2003, 3000),    # A calls C
+            _call(10, 500, tsx=False),  # boundary
+        )
+        chain, _ = txn_call_chain(lbr)
+        assert chain == [(2003, 3000), (3005, 4000)]
+
+    def test_previous_attempt_bounded_by_abort_entry(self):
+        """Calls from an earlier aborted attempt must not leak into the
+        current attempt's chain."""
+        lbr = (
+            _sample(),
+            _abort(),               # current attempt's abort
+            _call(100, 2000),       # current attempt call
+            _abort(),               # PREVIOUS attempt's abort record
+            _call(999, 8000),       # stale call from the old attempt
+        )
+        chain, _ = txn_call_chain(lbr)
+        assert chain == [(100, 2000)]
+
+    def test_overflowed_lbr_flagged_truncated(self):
+        """No boundary entry within the buffer: the prefix may be lost."""
+        lbr = (
+            _sample(),
+            _abort(),
+            _call(100, 2000),
+            _call(90, 1900),
+        )
+        chain, truncated = txn_call_chain(lbr)
+        assert truncated
+
+    def test_unmatched_return_flagged_truncated(self):
+        lbr = (
+            _sample(),
+            _abort(),
+            _ret(2100, 101),      # return whose call was evicted
+            _call(50, 1000, tsx=False),
+        )
+        chain, truncated = txn_call_chain(lbr)
+        assert truncated
+
+    def test_sample_records_inside_window_skipped(self):
+        lbr = (
+            _sample(),
+            _abort(),
+            _call(100, 2000),
+            LbrEntry(70, 0, KIND_SAMPLE, False, True),  # older mem sample
+            _call(60, 1500),
+            _call(50, 1000, tsx=False),
+        )
+        chain, _ = txn_call_chain(lbr)
+        assert chain == [(60, 1500), (100, 2000)]
+
+
+class TestReconstruct:
+    def _sample_obj(self, lbr, in_ustack=((0, 7000),)):
+        return Sample(
+            event="cycles", tid=0, ts=10, ip=12345,
+            ustack=tuple(in_ustack), lbr=tuple(lbr),
+        )
+
+    def test_outside_txn_path(self):
+        s = self._sample_obj([_call(1, 10, tsx=False)])
+        rec = reconstruct(s, in_txn=False)
+        assert rec.path == (call_key(0, 7000), ip_key(12345))
+        assert not rec.in_txn
+
+    def test_inside_txn_inserts_pseudo_node(self):
+        lbr = (_sample(), _abort(), _call(100, 2000),
+               _call(50, 1000, tsx=False))
+        rec = reconstruct(self._sample_obj(lbr), in_txn=True)
+        assert BEGIN_IN_TX in rec.path
+        idx = rec.path.index(BEGIN_IN_TX)
+        assert rec.path[idx + 1] == call_key(100, 2000)
+        assert rec.path[-1] == ip_key(12345)
+
+    def test_truncation_propagates(self):
+        lbr = (_sample(), _abort(), _call(100, 2000), _call(90, 1900))
+        rec = reconstruct(self._sample_obj(lbr), in_txn=True)
+        assert rec.truncated

@@ -1,0 +1,108 @@
+"""The command-line interface (the artifact scripts' analogue)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv) -> "tuple[int, str]":
+    import contextlib
+    import io
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        rc = main(list(argv))
+    return rc, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(
+            ["run", "dedup", "--threads", "6", "--scale", "0.5",
+             "--seed", "9"]
+        )
+        assert (args.threads, args.scale, args.seed) == (6, 0.5, 9)
+
+
+class TestListCommand:
+    def test_lists_all_workloads(self):
+        rc, out = run_cli("list")
+        assert rc == 0
+        for name in ("dedup", "vacation", "linkedlist", "clomp_tm"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_run_with_report_and_guidance(self):
+        rc, out = run_cli(
+            "run", "micro_low_abort", "--threads", "4", "--scale", "0.3",
+            "--guidance",
+        )
+        assert rc == 0
+        assert "TxSampler summary" in out
+        assert "Decision-tree traversal" in out
+
+    def test_run_saves_database(self, tmp_path):
+        db = tmp_path / "p.json"
+        rc, out = run_cli(
+            "run", "micro_low_abort", "--threads", "2", "--scale", "0.2",
+            "--no-report", "--save-db", str(db),
+        )
+        assert rc == 0 and db.exists()
+        assert json.loads(db.read_text())["format"] == "txsampler-profile"
+
+    def test_view_renders_saved_database(self, tmp_path):
+        db = tmp_path / "p.json"
+        run_cli("run", "micro_low_abort", "--threads", "2", "--scale",
+                "0.2", "--no-report", "--save-db", str(db))
+        rc, out = run_cli("view", str(db), "--guidance")
+        assert rc == 0
+        assert "TxSampler summary" in out
+        assert "Decision-tree traversal" in out
+
+
+class TestMeasurementCommands:
+    def test_measure_overhead(self):
+        rc, out = run_cli(
+            "measure-overhead", "micro_low_abort", "--threads", "2",
+            "--scale", "0.2", "--runs", "2",
+        )
+        assert rc == 0
+        assert "micro_low_abort" in out and "MEAN" in out
+
+    def test_measure_speedup(self):
+        rc, out = run_cli(
+            "measure-speedup", "ua", "--threads", "6", "--scale", "0.4",
+        )
+        assert rc == 0
+        assert "ua" in out and "paper" in out
+
+    def test_measure_speedup_unknown_program(self):
+        rc, _ = run_cli("measure-speedup", "nonsense", "--threads", "2")
+        assert rc == 2
+
+    def test_table1(self):
+        rc, out = run_cli("table1")
+        assert rc == 0 and "Adjacent" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "dedup" in proc.stdout

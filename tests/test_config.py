@@ -1,0 +1,74 @@
+"""MachineConfig and address arithmetic."""
+
+import pytest
+
+from repro.sim.config import (
+    CACHELINE,
+    PAGE_SIZE,
+    MachineConfig,
+    line_of,
+    page_of,
+)
+
+
+class TestAddressMath:
+    def test_line_of_zero(self):
+        assert line_of(0) == 0
+
+    def test_line_of_within_first_line(self):
+        assert line_of(63) == 0
+
+    def test_line_of_boundary(self):
+        assert line_of(64) == 1
+
+    def test_line_of_large(self):
+        assert line_of(10 * CACHELINE + 5) == 10
+
+    def test_page_of_zero(self):
+        assert page_of(0) == 0
+
+    def test_page_of_boundary(self):
+        assert page_of(PAGE_SIZE) == 1
+        assert page_of(PAGE_SIZE - 1) == 0
+
+    def test_cacheline_is_64(self):
+        # TSX detects conflicts at 64-byte granularity
+        assert CACHELINE == 64
+
+
+class TestMachineConfig:
+    def test_defaults_sensible(self):
+        cfg = MachineConfig()
+        assert cfg.n_threads == 14  # the paper's machine
+        assert cfg.max_retries == 5  # the paper's retry policy
+        assert cfg.lbr_size == 16  # Broadwell
+        assert cfg.wset_lines > 0 and cfg.rset_lines >= cfg.wset_lines
+
+    def test_evolve_changes_field(self):
+        cfg = MachineConfig().evolve(n_threads=2)
+        assert cfg.n_threads == 2
+
+    def test_evolve_preserves_other_fields(self):
+        base = MachineConfig(max_retries=3)
+        cfg = base.evolve(n_threads=2)
+        assert cfg.max_retries == 3
+
+    def test_evolve_copies_sample_periods(self):
+        base = MachineConfig()
+        derived = base.evolve(n_threads=2)
+        derived.sample_periods["cycles"] = 1
+        assert base.sample_periods["cycles"] != 1
+
+    def test_evolve_sample_periods_override(self):
+        cfg = MachineConfig().evolve(sample_periods={"cycles": 7})
+        assert cfg.sample_periods == {"cycles": 7}
+
+    def test_conflict_policy_default_requester_wins(self):
+        assert MachineConfig().conflict_policy == "requester_wins"
+
+    def test_eager_conflicts_default(self):
+        assert MachineConfig().eager_conflicts is True
+
+    def test_pmu_aborts_txn_default_true(self):
+        # real hardware behaviour (Challenge I)
+        assert MachineConfig().pmu_aborts_txn is True

@@ -1,0 +1,187 @@
+"""The Figure 1 decision tree, driven by synthetic and real profiles."""
+
+import pytest
+
+from repro.cct.tree import call_key, ip_key, new_root, pseudo_key
+from repro.core import DecisionTree, TxSampler, metrics as m
+from repro.core.analyzer import Profile
+from repro.core.decision_tree import Thresholds
+from repro.rtm.runtime import tm_begin
+
+from tests.conftest import build_counter_sim, make_config, sampling_periods
+
+
+def synthetic_profile(
+    W=100,
+    T=80,
+    tx=10,
+    fb=10,
+    wait=50,
+    oh=10,
+    aborts=20,
+    commits=10,
+    weight_by_class=None,
+    true_sharing=0,
+    false_sharing=0,
+):
+    """Craft a profile with one critical section and chosen metrics."""
+    root = new_root()
+    site = 0x500000 + 33
+    cs_edge = call_key(site, tm_begin.base)
+    outside = root.insert([call_key(0, 0x400000), ip_key(0x400001)])
+    outside.add(m.W, W - T)
+    node = root.insert([
+        call_key(0, 0x400000), cs_edge, pseudo_key("begin_in_tx"),
+        ip_key(0x600000),
+    ])
+    node.add(m.W, T)
+    node.add(m.T, T)
+    node.add(m.T_TX, tx)
+    node.add(m.T_FB, fb)
+    node.add(m.T_WAIT, wait)
+    node.add(m.T_OH, oh)
+    node.add(m.ABORTS, aborts)
+    node.add(m.COMMITS, commits)
+    wbc = weight_by_class or {}
+    total_weight = sum(wbc.values())
+    node.add(m.ABORT_WEIGHT, total_weight)
+    for cls, w in wbc.items():
+        node.add(m.AW_BY_CLASS[cls], w)
+        node.add(m.AB_BY_CLASS[cls], max(1, aborts // max(1, len(wbc))))
+    node.add(m.TRUE_SHARING, true_sharing)
+    node.add(m.FALSE_SHARING, false_sharing)
+    return Profile(
+        root=root, n_threads=4,
+        periods={"rtm_aborted": 10, "rtm_commit": 10},
+        site_names={site: "synthetic_cs"}, samples_seen={},
+    )
+
+
+def step_nodes(guidance):
+    return [s.node for s in guidance.steps]
+
+
+class TestTimeAnalysisGate:
+    def test_cold_critical_sections_stop_early(self):
+        profile = synthetic_profile(W=1000, T=50, tx=50, fb=0, wait=0, oh=0)
+        g = DecisionTree().analyze(profile)
+        assert step_nodes(g) == ["time-analysis"]
+        assert "no HTM-related" in g.steps[0].detail
+
+    def test_hot_critical_sections_proceed(self):
+        g = DecisionTree().analyze(synthetic_profile())
+        assert len(g.steps) > 1
+
+    def test_threshold_is_tunable(self):
+        profile = synthetic_profile(W=1000, T=150)  # 15%
+        assert len(DecisionTree().analyze(profile).steps) == 1
+        loose = DecisionTree(Thresholds(r_cs=0.10))
+        assert len(loose.analyze(profile).steps) > 1
+
+
+class TestBranches:
+    def test_overhead_branch(self):
+        profile = synthetic_profile(tx=30, fb=5, wait=5, oh=40,
+                                    aborts=0, commits=50)
+        g = DecisionTree().analyze(profile)
+        assert "large-T_oh" in step_nodes(g)
+        assert any("Merge" in s for s in g.suggestions)
+
+    def test_wait_branch_runs_abort_analysis(self):
+        profile = synthetic_profile(
+            tx=10, fb=10, wait=55, oh=5,
+            weight_by_class={"conflict": 90, "capacity": 5, "sync": 5},
+        )
+        g = DecisionTree().analyze(profile)
+        nodes = step_nodes(g)
+        assert "large-T_wait" in nodes and "abort-analysis" in nodes
+
+    def test_fallback_branch_runs_abort_analysis(self):
+        profile = synthetic_profile(
+            tx=10, fb=55, wait=10, oh=5,
+            weight_by_class={"conflict": 100},
+        )
+        nodes = step_nodes(DecisionTree().analyze(profile))
+        assert "large-T_fb" in nodes and "abort-analysis" in nodes
+
+    def test_tx_dominant_benign(self):
+        profile = synthetic_profile(tx=70, fb=2, wait=4, oh=4,
+                                    aborts=1, commits=100)
+        g = DecisionTree().analyze(profile)
+        assert "large-T_tx" in step_nodes(g)
+        assert not g.suggestions
+
+    def test_high_abort_ratio_triggers_analysis_even_with_tx_dominant(self):
+        profile = synthetic_profile(
+            tx=70, fb=2, wait=4, oh=4, aborts=60, commits=10,
+            weight_by_class={"conflict": 100},
+        )
+        nodes = step_nodes(DecisionTree().analyze(profile))
+        assert "high-abort-ratio" in nodes
+
+
+class TestAbortCauses:
+    def test_conflict_true_sharing_suggestions(self):
+        profile = synthetic_profile(
+            wait=55, weight_by_class={"conflict": 95, "capacity": 5},
+            true_sharing=20, false_sharing=1,
+        )
+        g = DecisionTree().analyze(profile)
+        assert "shared-data-contention" in step_nodes(g)
+        assert any("Shrink transactions" in s for s in g.suggestions)
+
+    def test_conflict_false_sharing_suggestions(self):
+        profile = synthetic_profile(
+            wait=55, weight_by_class={"conflict": 95},
+            true_sharing=2, false_sharing=20,
+        )
+        g = DecisionTree().analyze(profile)
+        assert "false-sharing" in step_nodes(g)
+        assert any("cache lines" in s for s in g.suggestions)
+
+    def test_capacity_suggestions(self):
+        profile = synthetic_profile(
+            fb=60, wait=5, tx=10, oh=5,
+            weight_by_class={"capacity": 80, "conflict": 20},
+        )
+        g = DecisionTree().analyze(profile)
+        assert "footprint-large" in step_nodes(g)
+        assert any("footprint" in s or "smaller" in s
+                   for s in g.suggestions)
+
+    def test_sync_suggestions(self):
+        profile = synthetic_profile(
+            fb=60, wait=5, tx=10, oh=5,
+            weight_by_class={"sync": 90, "conflict": 10},
+        )
+        g = DecisionTree().analyze(profile)
+        assert "unfriendly-instructions" in step_nodes(g)
+        assert any("system calls" in s for s in g.suggestions)
+
+    def test_no_weight_sampled(self):
+        profile = synthetic_profile(wait=55, weight_by_class={})
+        g = DecisionTree().analyze(profile)
+        assert any(
+            s.node == "abort-analysis" and "no abort weight" in s.finding
+            for s in g.steps
+        )
+
+
+class TestOnRealProfiles:
+    def test_contended_counter_gets_guidance(self):
+        cfg = make_config(4, sample_periods=sampling_periods())
+        prof = TxSampler()
+        sim, _ = build_counter_sim(n_threads=4, iters=250, profiler=prof,
+                                   config=cfg, pad_cycles=10)
+        sim.run()
+        g = DecisionTree().analyze(prof.profile())
+        assert g.steps[0].node == "time-analysis"
+        assert g.cs is not None
+
+    def test_render_is_readable(self):
+        g = DecisionTree().analyze(synthetic_profile(
+            wait=55, weight_by_class={"conflict": 100}, true_sharing=5,
+        ))
+        text = g.render()
+        assert "Decision-tree traversal" in text
+        assert "(1)" in text and "Suggestions:" in text

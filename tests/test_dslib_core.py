@@ -1,0 +1,290 @@
+"""dslib: arrays, hash tables, queues (host + simulated semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dslib import (
+    EMPTY,
+    FULL,
+    HashTable,
+    IntArray,
+    RingQueue,
+    bad_hash,
+    good_hash,
+    hashtable_bump,
+    hashtable_insert,
+    hashtable_search,
+    queue_dequeue,
+    queue_enqueue,
+)
+from repro.sim import Memory, Simulator, simfn
+from repro.sim.config import CACHELINE
+
+from tests.conftest import make_config
+
+
+def run_single(fn, *args):
+    sim = Simulator(make_config(1), n_threads=1)
+    sim.set_programs([(fn, args, {})])
+    sim.run()
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# IntArray
+# ---------------------------------------------------------------------------
+
+
+class TestIntArray:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            IntArray(Memory(), 0)
+
+    def test_index_validation(self):
+        arr = IntArray(Memory(), 4)
+        with pytest.raises(IndexError):
+            arr.addr(4)
+        with pytest.raises(IndexError):
+            arr.addr(-1)
+
+    def test_host_fill_and_read(self):
+        arr = IntArray(Memory(), 5)
+        arr.host_fill([1, 2, 3, 4, 5])
+        assert arr.host_read() == [1, 2, 3, 4, 5]
+
+    def test_dense_layout_packs_per_line(self):
+        arr = IntArray(Memory(), 16, line_per_element=False)
+        assert (arr.addr(1) >> 6) == (arr.addr(0) >> 6)
+
+    def test_padded_layout_one_line_each(self):
+        arr = IntArray(Memory(), 4, line_per_element=True)
+        lines = {arr.addr(i) >> 6 for i in range(4)}
+        assert len(lines) == 4
+
+    def test_simulated_get_set_add(self):
+        @simfn(name="_td_arr_ops")
+        def worker(ctx, arr):
+            yield from arr.set(ctx, 0, 10)
+            v = yield from arr.get(ctx, 0)
+            assert v == 10
+            v = yield from arr.add(ctx, 0, 5)
+            assert v == 15
+
+        sim = Simulator(make_config(1), n_threads=1)
+        arr = IntArray(sim.memory, 4)
+        sim.set_programs([(worker, (arr,), {})])
+        sim.run()
+        assert arr.host_get(0) == 15
+
+
+# ---------------------------------------------------------------------------
+# HashTable
+# ---------------------------------------------------------------------------
+
+
+class TestHashTableHost:
+    def test_insert_lookup(self):
+        ht = HashTable(Memory(), 16)
+        ht.host_insert(5, 50)
+        assert ht.host_lookup(5) == 50
+
+    def test_missing_key(self):
+        assert HashTable(Memory(), 16).host_lookup(1) is None
+
+    def test_collisions_chain(self):
+        ht = HashTable(Memory(), 1)  # everything collides
+        for k in range(10):
+            ht.host_insert(k, k * 2)
+        for k in range(10):
+            assert ht.host_lookup(k) == k * 2
+        assert ht.chain_lengths() == [10]
+
+    def test_utilization(self):
+        ht = HashTable(Memory(), 4, hash_fn=lambda k, n: k % n)
+        ht.host_insert(0, 0)
+        ht.host_insert(4, 0)  # same bucket
+        assert ht.utilization() == 0.25
+
+    def test_bucket_count_validation(self):
+        with pytest.raises(ValueError):
+            HashTable(Memory(), 0)
+
+    def test_bad_hash_collapses_low_bit_keys(self):
+        """The Dedup pathology: keys sharing high bits all collide."""
+        base = 1 << 29
+        keys = [base + i * 8 for i in range(100)]
+        bad = {bad_hash(k, 128) for k in keys}
+        good = {good_hash(k, 128) for k in keys}
+        assert len(bad) <= 3
+        assert len(good) > 30
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10_000),
+                         unique=True, min_size=1, max_size=80))
+    def test_host_roundtrip_property(self, keys):
+        ht = HashTable(Memory(), 16)
+        for k in keys:
+            ht.host_insert(k, k + 1)
+        for k in keys:
+            assert ht.host_lookup(k) == k + 1
+        assert ht.n_items == len(keys)
+
+
+class TestHashTableSimulated:
+    def test_search_insert_bump_in_txn(self):
+        @simfn(name="_td_ht_ops")
+        def worker(ctx, ht):
+            def body(c):
+                node = yield from c.call(hashtable_search, ht, 7)
+                assert node == 0
+                yield from c.call(hashtable_insert, ht, 7, 70)
+                node = yield from c.call(hashtable_search, ht, 7)
+                assert node != 0
+                v = yield from c.call(hashtable_bump, ht, node, 3)
+                assert v == 73
+
+            yield from ctx.atomic(body, name="ht_ops")
+
+        sim = Simulator(make_config(1), n_threads=1)
+        ht = HashTable(sim.memory, 8)
+        sim.set_programs([(worker, (ht,), {})])
+        sim.run()
+        assert ht.host_lookup(7) == 73
+
+    def test_search_finds_host_inserted(self):
+        @simfn(name="_td_ht_find")
+        def worker(ctx, ht, out):
+            node = yield from ctx.call(hashtable_search, ht, 42)
+            out.append(node)
+
+        sim = Simulator(make_config(1), n_threads=1)
+        ht = HashTable(sim.memory, 8)
+        ht.host_insert(42, 1)
+        out = []
+        sim.set_programs([(worker, (ht, out), {})])
+        sim.run()
+        assert out[0] != 0
+
+    def test_line_aligned_nodes_one_line_each(self):
+        mem = Memory()
+        ht = HashTable(mem, 8, node_align=CACHELINE)
+        a = ht._new_node(1, 1)
+        b = ht._new_node(2, 2)
+        assert (a >> 6) != (b >> 6)
+
+
+# ---------------------------------------------------------------------------
+# RingQueue
+# ---------------------------------------------------------------------------
+
+
+class TestRingQueueHost:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingQueue(Memory(), 0)
+
+    def test_fifo_order(self):
+        q = RingQueue(Memory(), 4)
+        for v in (1, 2, 3):
+            assert q.host_enqueue(v)
+        assert q.host_drain() == [1, 2, 3]
+
+    def test_full_rejected(self):
+        q = RingQueue(Memory(), 2)
+        assert q.host_enqueue(1) and q.host_enqueue(2)
+        assert not q.host_enqueue(3)
+
+    def test_size(self):
+        q = RingQueue(Memory(), 4)
+        q.host_enqueue(1)
+        assert q.host_size() == 1
+
+    def test_head_tail_on_separate_lines(self):
+        q = RingQueue(Memory(), 4)
+        assert (q.head_addr >> 6) != (q.tail_addr >> 6)
+
+
+class TestRingQueueSimulated:
+    def test_enqueue_dequeue_in_txns(self):
+        @simfn(name="_td_q_ops")
+        def worker(ctx, q, out):
+            def push(c):
+                r = yield from c.call(queue_enqueue, q, 11)
+                return r
+
+            def pop(c):
+                r = yield from c.call(queue_dequeue, q)
+                return r
+
+            yield from ctx.atomic(push, name="q_push")
+            out.append((yield from ctx.atomic(pop, name="q_pop")))
+            out.append((yield from ctx.atomic(pop, name="q_pop")))
+
+        sim = Simulator(make_config(1), n_threads=1)
+        q = RingQueue(sim.memory, 4)
+        out = []
+        sim.set_programs([(worker, (q, out), {})])
+        sim.run()
+        assert out == [11, EMPTY]
+
+    def test_full_signalled(self):
+        @simfn(name="_td_q_full")
+        def worker(ctx, q, out):
+            for v in (1, 2, 3):
+                def push(c, v=v):
+                    r = yield from c.call(queue_enqueue, q, v)
+                    return r
+
+                out.append((yield from ctx.atomic(push, name="q_push2")))
+
+        sim = Simulator(make_config(1), n_threads=1)
+        q = RingQueue(sim.memory, 2)
+        out = []
+        sim.set_programs([(worker, (q, out), {})])
+        sim.run()
+        assert out == [0, 1, FULL]
+
+    def test_mpmc_no_loss_no_duplication(self):
+        """2 producers + 2 consumers: every item is consumed exactly once."""
+
+        @simfn(name="_td_q_producer")
+        def producer(ctx, q, base, count):
+            for i in range(count):
+                while True:
+                    def push(c, v=base + i):
+                        r = yield from c.call(queue_enqueue, q, v)
+                        return r
+
+                    r = yield from ctx.atomic(push, name="q_mp_push")
+                    if r != FULL:
+                        break
+                    yield from ctx.compute(20)
+
+        @simfn(name="_td_q_consumer")
+        def consumer(ctx, q, sink, count):
+            got = 0
+            while got < count:
+                def pop(c):
+                    r = yield from c.call(queue_dequeue, q)
+                    return r
+
+                v = yield from ctx.atomic(pop, name="q_mp_pop")
+                if v == EMPTY:
+                    yield from ctx.compute(20)
+                    continue
+                sink.append(v)
+                got += 1
+
+        sim = Simulator(make_config(4), n_threads=4, seed=5)
+        q = RingQueue(sim.memory, 8)
+        sink = []
+        per = 40
+        sim.set_programs([
+            (producer, (q, 1000, per), {}),
+            (producer, (q, 2000, per), {}),
+            (consumer, (q, sink, per), {}),
+            (consumer, (q, sink, per), {}),
+        ])
+        sim.run()
+        assert sorted(sink) == sorted(
+            list(range(1000, 1000 + per)) + list(range(2000, 2000 + per))
+        )

@@ -1,0 +1,447 @@
+"""dslib ordered structures: sorted list, skip list, AVL tree, B+ tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dslib import (
+    AvlTree,
+    BPlusTree,
+    BTREE_ORDER,
+    SkipList,
+    SortedList,
+    avl_insert,
+    avl_search,
+    btree_insert_leaf,
+    btree_lookup,
+    btree_update,
+    list_contains,
+    list_insert,
+    list_remove,
+    list_step,
+    skiplist_contains,
+    skiplist_insert,
+    skiplist_remove,
+)
+from repro.sim import Memory, Simulator, simfn
+
+from tests.conftest import make_config
+
+key_lists = st.lists(
+    st.integers(min_value=-10_000, max_value=10_000),
+    unique=True, min_size=1, max_size=120,
+)
+
+
+# ---------------------------------------------------------------------------
+# SortedList
+# ---------------------------------------------------------------------------
+
+
+class TestSortedListHost:
+    def test_insert_sorted(self):
+        lst = SortedList(Memory())
+        for k in (5, 1, 3):
+            assert lst.host_insert(k)
+        assert lst.host_keys() == [1, 3, 5]
+
+    def test_duplicate_rejected(self):
+        lst = SortedList(Memory())
+        assert lst.host_insert(5)
+        assert not lst.host_insert(5)
+
+    def test_contains(self):
+        lst = SortedList(Memory())
+        lst.host_insert(2)
+        assert lst.host_contains(2) and not lst.host_contains(3)
+
+    @given(keys=key_lists)
+    def test_host_insert_property(self, keys):
+        lst = SortedList(Memory())
+        for k in keys:
+            lst.host_insert(k)
+        assert lst.host_keys() == sorted(keys)
+
+
+@simfn
+def _to_list_ops(ctx, lst, out):
+    def ins(c):
+        r = yield from c.call(list_insert, lst, 7)
+        return r
+
+    def has(c):
+        r = yield from c.call(list_contains, lst, 7)
+        return r
+
+    def rem(c):
+        r = yield from c.call(list_remove, lst, 7)
+        return r
+
+    out.append((yield from ctx.atomic(ins, name="l_ins")))
+    out.append((yield from ctx.atomic(ins, name="l_ins")))   # duplicate
+    out.append((yield from ctx.atomic(has, name="l_has")))
+    out.append((yield from ctx.atomic(rem, name="l_rem")))
+    out.append((yield from ctx.atomic(rem, name="l_rem")))   # gone
+    out.append((yield from ctx.atomic(has, name="l_has")))
+
+
+class TestSortedListSimulated:
+    def test_full_op_cycle(self):
+        sim = Simulator(make_config(1), n_threads=1)
+        lst = SortedList(sim.memory)
+        out = []
+        sim.set_programs([(_to_list_ops, (lst, out), {})])
+        sim.run()
+        assert out == [True, False, True, True, False, False]
+
+    def test_list_step_bounded_walk(self):
+        @simfn(name="_to_step_walk")
+        def worker(ctx, lst, out):
+            def walk(c):
+                r = yield from c.call(list_step, lst, lst.head, 30, 3)
+                return r
+
+            prev, cur, done = yield from ctx.atomic(walk, name="l_step")
+            out.append(done)
+
+        sim = Simulator(make_config(1), n_threads=1)
+        lst = SortedList(sim.memory)
+        for k in range(0, 100, 10):
+            lst.host_insert(k)
+        out = []
+        sim.set_programs([(worker, (lst, out), {})])
+        sim.run()
+        assert out == [False]  # 3 hops cannot reach key 30 from head
+
+    def test_concurrent_inserts_all_present(self):
+        @simfn(name="_to_conc_ins")
+        def worker(ctx, lst, base, n):
+            for i in range(n):
+                def ins(c, k=base + i):
+                    r = yield from c.call(list_insert, lst, k)
+                    return r
+
+                yield from ctx.atomic(ins, name="l_conc")
+
+        sim = Simulator(make_config(4), n_threads=4, seed=2)
+        lst = SortedList(sim.memory)
+        sim.set_programs(
+            [(worker, (lst, tid * 100, 20), {}) for tid in range(4)]
+        )
+        sim.run()
+        assert len(lst.host_keys()) == 80
+        assert lst.host_keys() == sorted(lst.host_keys())
+
+
+# ---------------------------------------------------------------------------
+# SkipList
+# ---------------------------------------------------------------------------
+
+
+class TestSkipListHost:
+    def test_max_level_validation(self):
+        with pytest.raises(ValueError):
+            SkipList(Memory(), max_level=0)
+
+    def test_sorted_insert(self):
+        sl = SkipList(Memory(), seed=1)
+        for k in (9, 4, 6, 1):
+            assert sl.host_insert(k)
+        assert sl.host_keys() == [1, 4, 6, 9]
+
+    def test_duplicate_rejected(self):
+        sl = SkipList(Memory(), seed=1)
+        assert sl.host_insert(5) and not sl.host_insert(5)
+
+    def test_random_level_bounded(self):
+        sl = SkipList(Memory(), max_level=4, seed=0)
+        levels = {sl.random_level() for _ in range(200)}
+        assert max(levels) <= 4 and min(levels) >= 1
+
+    @given(keys=key_lists)
+    @settings(max_examples=30)
+    def test_host_insert_property(self, keys):
+        sl = SkipList(Memory(), seed=7)
+        for k in keys:
+            sl.host_insert(k)
+        assert sl.host_keys() == sorted(keys)
+
+
+class TestSkipListSimulated:
+    def test_insert_contains_remove(self):
+        @simfn(name="_to_sl_ops")
+        def worker(ctx, sl, out):
+            def ins(c):
+                r = yield from c.call(skiplist_insert, sl, 42)
+                return r
+
+            def has(c):
+                r = yield from c.call(skiplist_contains, sl, 42)
+                return r
+
+            def rem(c):
+                r = yield from c.call(skiplist_remove, sl, 42)
+                return r
+
+            out.append((yield from ctx.atomic(ins, name="sl_i")))
+            out.append((yield from ctx.atomic(has, name="sl_c")))
+            out.append((yield from ctx.atomic(rem, name="sl_r")))
+            out.append((yield from ctx.atomic(has, name="sl_c")))
+
+        sim = Simulator(make_config(1), n_threads=1)
+        sl = SkipList(sim.memory, seed=3)
+        out = []
+        sim.set_programs([(worker, (sl, out), {})])
+        sim.run()
+        assert out == [True, True, True, False]
+
+    def test_concurrent_mixed_ops_consistent(self):
+        @simfn(name="_to_sl_mix")
+        def worker(ctx, sl, n):
+            rng = ctx.rng
+            for _ in range(n):
+                k = rng.randrange(64)
+                op = rng.random()
+                if op < 0.5:
+                    def body(c, k=k):
+                        r = yield from c.call(skiplist_insert, sl, k)
+                        return r
+                elif op < 0.75:
+                    def body(c, k=k):
+                        r = yield from c.call(skiplist_remove, sl, k)
+                        return r
+                else:
+                    def body(c, k=k):
+                        r = yield from c.call(skiplist_contains, sl, k)
+                        return r
+
+                yield from ctx.atomic(body, name="sl_mix")
+
+        sim = Simulator(make_config(4), n_threads=4, seed=8)
+        sl = SkipList(sim.memory, seed=8)
+        sim.set_programs([(worker, (sl, 30), {})] * 4)
+        sim.run()
+        keys = sl.host_keys()
+        assert keys == sorted(set(keys))  # sorted, no duplicates
+
+
+# ---------------------------------------------------------------------------
+# AvlTree
+# ---------------------------------------------------------------------------
+
+
+class TestAvlHost:
+    def test_inorder_sorted_and_balanced(self):
+        tree = AvlTree(Memory())
+        keys = list(range(64))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.host_insert(k, k)
+        assert tree.host_keys_inorder() == sorted(keys)
+        assert tree.host_check_balanced()
+
+    def test_height_logarithmic(self):
+        tree = AvlTree(Memory())
+        for k in range(128):  # worst-case insertion order
+            tree.host_insert(k, k)
+        assert tree.host_height() <= 9  # 1.44*log2(128) ~ 10
+
+    def test_update_existing(self):
+        tree = AvlTree(Memory())
+        tree.host_insert(5, 1)
+        tree.host_insert(5, 2)
+        assert tree.host_lookup(5) == 2
+        assert tree.host_keys_inorder() == [5]
+
+    def test_lookup_missing(self):
+        assert AvlTree(Memory()).host_lookup(1) is None
+
+    @given(keys=key_lists)
+    @settings(max_examples=30)
+    def test_host_avl_property(self, keys):
+        tree = AvlTree(Memory())
+        for k in keys:
+            tree.host_insert(k, k * 2)
+        assert tree.host_keys_inorder() == sorted(keys)
+        assert tree.host_check_balanced()
+        for k in keys:
+            assert tree.host_lookup(k) == k * 2
+
+
+class TestAvlSimulated:
+    def test_insert_search(self):
+        @simfn(name="_to_avl_ops")
+        def worker(ctx, tree, out):
+            def ins(c):
+                yield from c.call(avl_insert, tree, 10, 100)
+
+            def find(c):
+                r = yield from c.call(avl_search, tree, 10)
+                return r
+
+            yield from ctx.atomic(ins, name="avl_i")
+            out.append((yield from ctx.atomic(find, name="avl_s")))
+
+        sim = Simulator(make_config(1), n_threads=1)
+        tree = AvlTree(sim.memory)
+        out = []
+        sim.set_programs([(worker, (tree, out), {})])
+        sim.run()
+        assert out == [100]
+
+    def test_simulated_inserts_keep_balance(self):
+        @simfn(name="_to_avl_many")
+        def worker(ctx, tree, keys):
+            for k in keys:
+                def ins(c, k=k):
+                    yield from c.call(avl_insert, tree, k, k)
+
+                yield from ctx.atomic(ins, name="avl_many")
+
+        sim = Simulator(make_config(1), n_threads=1)
+        tree = AvlTree(sim.memory)
+        keys = list(range(40))
+        random.Random(5).shuffle(keys)
+        sim.set_programs([(worker, (tree, keys), {})])
+        sim.run()
+        assert tree.host_keys_inorder() == sorted(keys)
+        assert tree.host_check_balanced()
+
+    def test_concurrent_inserts_stay_consistent(self):
+        @simfn(name="_to_avl_conc")
+        def worker(ctx, tree, base, n):
+            for i in range(n):
+                def ins(c, k=base + i):
+                    yield from c.call(avl_insert, tree, k, k)
+
+                yield from ctx.atomic(ins, name="avl_conc")
+                yield from ctx.compute(50)
+
+        sim = Simulator(make_config(3), n_threads=3, seed=4)
+        tree = AvlTree(sim.memory)
+        sim.set_programs(
+            [(worker, (tree, tid * 1000, 15), {}) for tid in range(3)]
+        )
+        sim.run()
+        keys = tree.host_keys_inorder()
+        assert len(keys) == 45 and keys == sorted(keys)
+        assert tree.host_check_balanced()
+
+
+# ---------------------------------------------------------------------------
+# BPlusTree
+# ---------------------------------------------------------------------------
+
+
+class TestBPlusTreeHost:
+    def test_insert_lookup(self):
+        tree = BPlusTree(Memory())
+        for k in range(50):
+            tree.host_insert(k, k * 3)
+        for k in range(50):
+            assert tree.host_lookup(k) == k * 3
+
+    def test_leaf_chain_sorted(self):
+        tree = BPlusTree(Memory())
+        keys = list(range(200))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.host_insert(k, k)
+        assert tree.host_keys() == sorted(keys)
+
+    def test_update_in_place(self):
+        tree = BPlusTree(Memory())
+        tree.host_insert(7, 1)
+        tree.host_insert(7, 2)
+        assert tree.host_lookup(7) == 2
+        assert tree.host_keys() == [7]
+
+    def test_lookup_missing(self):
+        assert BPlusTree(Memory()).host_lookup(9) is None
+
+    @given(keys=key_lists)
+    @settings(max_examples=30)
+    def test_host_btree_property(self, keys):
+        tree = BPlusTree(Memory())
+        for k in keys:
+            tree.host_insert(k, k + 13)
+        assert tree.host_keys() == sorted(keys)
+        for k in keys:
+            assert tree.host_lookup(k) == k + 13
+
+
+class TestBPlusTreeSimulated:
+    def _tree_sim(self, prefill=32):
+        sim = Simulator(make_config(1), n_threads=1)
+        tree = BPlusTree(sim.memory)
+        for k in range(prefill):
+            tree.host_insert(k, k)
+        return sim, tree
+
+    def test_lookup(self):
+        @simfn(name="_to_bt_lookup")
+        def worker(ctx, tree, out):
+            def find(c):
+                r = yield from c.call(btree_lookup, tree, 17)
+                return r
+
+            out.append((yield from ctx.atomic(find, name="bt_l")))
+
+        sim, tree = self._tree_sim()
+        out = []
+        sim.set_programs([(worker, (tree, out), {})])
+        sim.run()
+        assert out == [17]
+
+    def test_update(self):
+        @simfn(name="_to_bt_update")
+        def worker(ctx, tree, out):
+            def upd(c):
+                r = yield from c.call(btree_update, tree, 9, 999)
+                return r
+
+            out.append((yield from ctx.atomic(upd, name="bt_u")))
+
+        sim, tree = self._tree_sim()
+        out = []
+        sim.set_programs([(worker, (tree, out), {})])
+        sim.run()
+        assert out == [True]
+        assert tree.host_lookup(9) == 999
+
+    def test_insert_leaf_with_room(self):
+        @simfn(name="_to_bt_insert")
+        def worker(ctx, tree, out):
+            def ins(c):
+                r = yield from c.call(btree_insert_leaf, tree, 1_000, 5)
+                return r
+
+            out.append((yield from ctx.atomic(ins, name="bt_i")))
+
+        sim, tree = self._tree_sim(prefill=10)
+        out = []
+        sim.set_programs([(worker, (tree, out), {})])
+        sim.run()
+        assert out == [True]
+        assert tree.host_lookup(1_000) == 5
+        assert tree.host_keys() == sorted(tree.host_keys())
+
+    def test_insert_leaf_full_signals_false(self):
+        @simfn(name="_to_bt_full")
+        def worker(ctx, tree, out):
+            def ins(c):
+                r = yield from c.call(btree_insert_leaf, tree, 500, 5)
+                return r
+
+            out.append((yield from ctx.atomic(ins, name="bt_f")))
+
+        sim = Simulator(make_config(1), n_threads=1)
+        tree = BPlusTree(sim.memory)
+        # one full leaf, no splits yet
+        for k in range(BTREE_ORDER):
+            tree.host_insert(k, k)
+        out = []
+        sim.set_programs([(worker, (tree, out), {})])
+        sim.run()
+        assert out == [False]

@@ -1,0 +1,154 @@
+"""Red-black tree: LLRB invariants, host + simulated operations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dslib.rbtree import RedBlackTree, rbtree_insert, rbtree_lookup
+from repro.sim import Memory, Simulator, simfn
+
+from tests.conftest import make_config
+
+key_lists = st.lists(
+    st.integers(min_value=-10_000, max_value=10_000),
+    unique=True, min_size=1, max_size=150,
+)
+
+
+class TestHostOperations:
+    def test_insert_lookup(self):
+        tree = RedBlackTree(Memory())
+        for k in (5, 1, 9, 3):
+            tree.host_insert(k, k * 10)
+        for k in (5, 1, 9, 3):
+            assert tree.host_lookup(k) == k * 10
+        assert tree.host_lookup(7) is None
+
+    def test_inorder_sorted(self):
+        tree = RedBlackTree(Memory())
+        keys = list(range(100))
+        random.Random(2).shuffle(keys)
+        for k in keys:
+            tree.host_insert(k)
+        assert tree.host_keys_inorder() == sorted(keys)
+
+    def test_update_in_place(self):
+        tree = RedBlackTree(Memory())
+        tree.host_insert(4, 1)
+        tree.host_insert(4, 2)
+        assert tree.host_lookup(4) == 2
+        assert tree.host_keys_inorder() == [4]
+
+    def test_invariants_after_sequential_insert(self):
+        tree = RedBlackTree(Memory())
+        for k in range(200):  # adversarial (sorted) insertion order
+            tree.host_insert(k)
+            assert tree.host_check_invariants()
+
+    def test_height_logarithmic(self):
+        tree = RedBlackTree(Memory())
+        for k in range(256):
+            tree.host_insert(k)
+        # LLRB height bound: 2*log2(n+1) = 16 for n=256
+        assert tree.host_height() <= 16
+
+    def test_empty_tree(self):
+        tree = RedBlackTree(Memory())
+        assert tree.host_keys_inorder() == []
+        assert tree.host_check_invariants()
+        assert tree.host_height() == 0
+
+    @given(keys=key_lists)
+    @settings(max_examples=40)
+    def test_llrb_invariants_property(self, keys):
+        tree = RedBlackTree(Memory())
+        for k in keys:
+            tree.host_insert(k, k + 1)
+        assert tree.host_keys_inorder() == sorted(keys)
+        assert tree.host_check_invariants()
+        for k in keys:
+            assert tree.host_lookup(k) == k + 1
+
+
+class TestSimulatedOperations:
+    def test_insert_and_lookup_in_txn(self):
+        @simfn(name="_trb_ops")
+        def worker(ctx, tree, out):
+            def ins(c):
+                yield from c.call(rbtree_insert, tree, 42, 420)
+
+            def find(c):
+                r = yield from c.call(rbtree_lookup, tree, 42)
+                return r
+
+            yield from ctx.atomic(ins, name="rb_i")
+            out.append((yield from ctx.atomic(find, name="rb_l")))
+
+        sim = Simulator(make_config(1), n_threads=1)
+        tree = RedBlackTree(sim.memory)
+        out = []
+        sim.set_programs([(worker, (tree, out), {})])
+        sim.run()
+        assert out == [420]
+
+    def test_simulated_inserts_keep_invariants(self):
+        @simfn(name="_trb_many")
+        def worker(ctx, tree, keys):
+            for k in keys:
+                def ins(c, k=k):
+                    yield from c.call(rbtree_insert, tree, k, k)
+
+                yield from ctx.atomic(ins, name="rb_many")
+
+        sim = Simulator(make_config(1), n_threads=1)
+        tree = RedBlackTree(sim.memory)
+        keys = list(range(60))
+        random.Random(4).shuffle(keys)
+        sim.set_programs([(worker, (tree, keys), {})])
+        sim.run()
+        assert tree.host_keys_inorder() == sorted(keys)
+        assert tree.host_check_invariants()
+
+    def test_concurrent_inserts_stay_consistent(self):
+        @simfn(name="_trb_conc")
+        def worker(ctx, tree, base, n):
+            for i in range(n):
+                def ins(c, k=base + i):
+                    yield from c.call(rbtree_insert, tree, k, k)
+
+                yield from ctx.atomic(ins, name="rb_conc")
+                yield from ctx.compute(60)
+
+        sim = Simulator(make_config(3), n_threads=3, seed=6)
+        tree = RedBlackTree(sim.memory)
+        sim.set_programs(
+            [(worker, (tree, tid * 1000, 15), {}) for tid in range(3)]
+        )
+        sim.run()
+        keys = tree.host_keys_inorder()
+        assert len(keys) == 45 and keys == sorted(keys)
+        assert tree.host_check_invariants()
+
+    def test_lookup_reads_logarithmic_footprint(self):
+        """A transactional lookup's read set stays O(log n) lines."""
+
+        @simfn(name="_trb_footprint")
+        def worker(ctx, tree, out):
+            def find(c):
+                r = yield from c.call(rbtree_lookup, tree, 777)
+                txn = c.txn
+                out.append(len(txn.read_lines))
+                return r
+
+            yield from ctx.atomic(find, name="rb_fp")
+
+        sim = Simulator(make_config(1), n_threads=1)
+        tree = RedBlackTree(sim.memory)
+        for k in range(512):
+            tree.host_insert(k, k)
+        out = []
+        sim.set_programs([(worker, (tree, out), {})])
+        sim.run()
+        # path <= 2*log2(513) ~ 18 nodes, each <= 2 lines, + root cell
+        assert out[0] <= 40

@@ -1,0 +1,255 @@
+"""The execution engine: scheduling, instruction semantics, determinism."""
+
+import pytest
+
+from repro.sim import (
+    Barrier,
+    MachineConfig,
+    SimDeadlock,
+    SimError,
+    Simulator,
+    simfn,
+)
+
+from tests.conftest import build_counter_sim, increment_worker, make_config
+
+
+@simfn
+def _te_sequence(ctx, addr, log):
+    log.append(("start", ctx.tid))
+    yield from ctx.compute(10)
+    v = yield from ctx.load(addr)
+    yield from ctx.store(addr, v + ctx.tid + 1)
+    log.append(("end", ctx.tid))
+
+
+@simfn
+def _te_cas_worker(ctx, addr, iters):
+    done = 0
+    while done < iters:
+        v = yield from ctx.load(addr)
+        ok = yield from ctx.cas(addr, v, v + 1)
+        if ok:
+            done += 1
+        else:
+            yield from ctx.compute(5)
+
+
+@simfn
+def _te_barrier_worker(ctx, bar, log, phases):
+    for p in range(phases):
+        yield from ctx.compute(10 * (ctx.tid + 1))
+        yield from ctx.barrier(bar)
+        log.append((p, ctx.tid))
+
+
+@simfn
+def _te_syscall_worker(ctx):
+    yield from ctx.syscall("write")
+
+
+@simfn
+def _te_pagefault_worker(ctx, addr):
+    v = yield from ctx.load(addr)
+    return v
+
+
+@simfn
+def _te_spin_forever(ctx, addr):
+    while True:
+        v = yield from ctx.load(addr)
+        if v:
+            return
+        yield from ctx.compute(5)
+
+
+class TestBasicExecution:
+    def test_single_thread_runs_to_completion(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        log = []
+        addr = sim.memory.alloc_line()
+        sim.set_programs([(_te_sequence, (addr, log), {})])
+        result = sim.run()
+        assert log == [("start", 0), ("end", 0)]
+        assert sim.memory.read(addr) == 1
+
+    def test_clock_advances_by_costs(self):
+        cfg = make_config(1, cost_jitter=0)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        log = []
+        sim.set_programs([(_te_sequence, (addr, log), {})])
+        result = sim.run()
+        expected = 10 + cfg.load_cost + cfg.store_cost
+        assert result.makespan == expected
+
+    def test_work_is_sum_of_thread_clocks(self):
+        sim, _ = build_counter_sim(n_threads=3, iters=10)
+        result = sim.run()
+        assert result.work == sum(result.per_thread_cycles)
+        assert result.makespan == max(result.per_thread_cycles)
+
+    def test_all_threads_execute(self):
+        cfg = make_config(4)
+        sim = Simulator(cfg, n_threads=4)
+        addr = sim.memory.alloc_line()
+        log = []
+        sim.set_programs([(_te_sequence, (addr, log), {})] * 4)
+        sim.run()
+        assert {tid for _, tid in log} == {0, 1, 2, 3}
+
+
+class TestLifecycle:
+    def test_run_requires_programs(self):
+        sim = Simulator(make_config(2), n_threads=2)
+        with pytest.raises(SimError, match="no programs"):
+            sim.run()
+
+    def test_run_twice_rejected(self):
+        sim, _ = build_counter_sim(n_threads=2, iters=5)
+        sim.run()
+        with pytest.raises(SimError, match="runs once"):
+            sim.run()
+
+    def test_program_count_must_match_threads(self):
+        sim = Simulator(make_config(3), n_threads=3)
+        with pytest.raises(SimError, match="programs for"):
+            sim.set_programs([(increment_worker, (0, 1), {})])
+
+    def test_needs_programs_or_thread_count(self):
+        with pytest.raises(SimError):
+            Simulator(make_config(2))
+
+    def test_max_steps_guard(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        sim.set_programs([(_te_spin_forever, (addr,), {})])
+        with pytest.raises(SimError, match="max_steps"):
+            sim.run(max_steps=500)
+
+
+class TestCas:
+    def test_cas_success_and_failure(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        sim.set_programs([(_te_cas_worker, (addr, 5), {})])
+        sim.run()
+        assert sim.memory.read(addr) == 5
+
+    def test_concurrent_cas_increments_never_lost(self):
+        cfg = make_config(4)
+        sim = Simulator(cfg, n_threads=4, seed=3)
+        addr = sim.memory.alloc_line()
+        sim.set_programs([(_te_cas_worker, (addr, 50), {})] * 4)
+        sim.run()
+        assert sim.memory.read(addr) == 200
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_phases(self):
+        cfg = make_config(3)
+        sim = Simulator(cfg, n_threads=3)
+        bar = Barrier(3)
+        log = []
+        sim.set_programs([(_te_barrier_worker, (bar, log, 4), {})] * 3)
+        sim.run()
+        # all phase-p entries precede all phase-(p+1) entries
+        phases = [p for p, _ in log]
+        assert phases == sorted(phases)
+        assert len(log) == 12
+
+    def test_barrier_release_aligns_clocks(self):
+        cfg = make_config(2, cost_jitter=0)
+        sim = Simulator(cfg, n_threads=2)
+        bar = Barrier(2)
+        log = []
+        sim.set_programs([(_te_barrier_worker, (bar, log, 1), {})] * 2)
+        result = sim.run()
+        assert result.per_thread_cycles[0] == result.per_thread_cycles[1]
+
+    def test_single_party_barrier_does_not_block(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        bar = Barrier(1)
+        log = []
+        sim.set_programs([(_te_barrier_worker, (bar, log, 3), {})])
+        sim.run()
+        assert len(log) == 3
+
+    def test_unsatisfiable_barrier_deadlocks(self):
+        cfg = make_config(2)
+        sim = Simulator(cfg, n_threads=2)
+        bar = Barrier(3)  # a third party never arrives
+        log = []
+        sim.set_programs([(_te_barrier_worker, (bar, log, 1), {})] * 2)
+        with pytest.raises(SimDeadlock):
+            sim.run()
+
+
+class TestSyscallsAndFaults:
+    def test_syscall_outside_txn_just_costs(self):
+        cfg = make_config(1, cost_jitter=0)
+        sim = Simulator(cfg, n_threads=1)
+        sim.set_programs([(_te_syscall_worker, (), {})])
+        result = sim.run()
+        assert result.makespan == cfg.syscall_cost
+
+    def test_page_fault_on_cold_load(self):
+        from repro.sim.config import PAGE_SIZE
+
+        cfg = make_config(1, cost_jitter=0)
+        sim = Simulator(cfg, n_threads=1)
+        # skip past the page the runtime's own allocations pre-touched
+        addr = sim.memory.alloc(3 * PAGE_SIZE, pretouch=False) + 2 * PAGE_SIZE
+        sim.set_programs([(_te_pagefault_worker, (addr,), {})])
+        result = sim.run()
+        assert result.makespan == cfg.load_cost + cfg.pagefault_cost
+
+    def test_warm_load_does_not_fault(self):
+        cfg = make_config(1, cost_jitter=0)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc(8)  # pretouched
+        sim.set_programs([(_te_pagefault_worker, (addr,), {})])
+        result = sim.run()
+        assert result.makespan == cfg.load_cost
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        r1 = build_counter_sim(n_threads=4, iters=60, seed=9)[0].run()
+        r2 = build_counter_sim(n_threads=4, iters=60, seed=9)[0].run()
+        assert r1.makespan == r2.makespan
+        assert r1.commits == r2.commits
+        assert r1.aborts_by_reason == r2.aborts_by_reason
+        assert r1.per_thread_cycles == r2.per_thread_cycles
+
+    def test_different_seed_different_interleaving(self):
+        r1 = build_counter_sim(n_threads=4, iters=60, seed=1)[0].run()
+        r2 = build_counter_sim(n_threads=4, iters=60, seed=2)[0].run()
+        # with contention, the timing must differ between seeds
+        assert (r1.makespan, r1.aborts) != (r2.makespan, r2.aborts)
+
+    def test_jitter_zero_is_also_deterministic(self):
+        cfg = make_config(4, cost_jitter=0)
+        r1 = build_counter_sim(4, 40, seed=5, config=cfg)[0].run()
+        r2 = build_counter_sim(4, 40, seed=5, config=cfg)[0].run()
+        assert r1.makespan == r2.makespan
+
+
+class TestAtomicityUnderContention:
+    @pytest.mark.parametrize("n_threads", [2, 4, 8])
+    def test_transactional_increments_never_lost(self, n_threads):
+        sim, counter = build_counter_sim(n_threads=n_threads, iters=80)
+        result = sim.run()
+        assert sim.memory.read(counter) == n_threads * 80
+        # every execution either committed or went through the fallback
+        assert result.commits <= n_threads * 80
+
+    def test_ground_truth_stats_consistent(self):
+        sim, _ = build_counter_sim(n_threads=4, iters=80)
+        result = sim.run()
+        assert result.begins >= result.commits
+        assert sum(result.aborts_by_reason.values()) == result.aborts

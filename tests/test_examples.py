@@ -1,0 +1,107 @@
+"""The example scripts must run end to end and print their findings."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("quickstart.py")
+
+    def test_counter_correct(self, output):
+        assert "final counter: 2400 (expected 2400)" in output
+
+    def test_report_rendered(self, output):
+        assert "TxSampler summary" in output
+        assert "calling context view" in output
+
+    def test_decision_tree_spoke(self, output):
+        assert "Decision-tree traversal" in output
+
+
+class TestCustomWorkload:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("custom_workload.py")
+
+    def test_money_conserved_and_diagnosed(self, output):
+        assert "buggy layout" in output and "fixed layout" in output
+
+    def test_false_sharing_found_in_buggy_layout(self, output):
+        # the buggy section reports false sharing; the decision tree
+        # suggests relocating data
+        assert "false-sharing" in output or "cache lines" in output
+
+    def test_padding_speeds_up(self, output):
+        import re
+
+        m = re.search(r"padding speedup: ([0-9.]+)x", output)
+        assert m and float(m.group(1)) > 1.0
+
+
+class TestDiagnoseDedup:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("diagnose_dedup.py")
+
+    def test_hash_quality_shown(self, output):
+        assert "bad hash" in output and "good hash" in output
+
+    def test_figure9_view(self, output):
+        assert "hashtable_search" in output
+        assert "begin_in_tx" in output
+
+    def test_fix_speeds_up(self, output):
+        import re
+
+        m = re.search(r"speedup: ([0-9.]+)x", output)
+        assert m and float(m.group(1)) > 1.0
+
+
+class TestCharacterizeSuite:
+    def test_subset_runs(self):
+        output = run_example("characterize_suite.py", "barnes", "histo")
+        assert "Figure 8" in output
+        assert "barnes" in output and "histo" in output
+
+
+class TestHleLocks:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("hle_locks.py")
+
+    def test_elision_reported(self, output):
+        import re
+
+        m = re.search(r"elision rate: ([0-9.]+)%", output)
+        assert m and float(m.group(1)) > 50.0
+
+    def test_elision_beats_plain_lock(self, output):
+        import re
+
+        m = re.search(r"lock elision speedup: ([0-9.]+)x", output)
+        assert m and float(m.group(1)) > 1.0
+
+
+@pytest.mark.slow
+class TestCompareProfilers:
+    def test_comparison_runs(self):
+        output = run_example("compare_profilers.py", timeout=400)
+        assert "TxSampler (one pass)" in output
+        assert "record-and-replay" in output
+        assert "misattribution" in output or "filed under" in output

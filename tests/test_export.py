@@ -1,0 +1,116 @@
+"""Profile databases: save / load / merge round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import TxSampler, metrics as m
+from repro.core.export import (
+    ProfileFormatError,
+    load_profile,
+    merge_databases,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+from tests.conftest import build_counter_sim, make_config, sampling_periods
+
+
+@pytest.fixture(scope="module")
+def profile():
+    cfg = make_config(4, sample_periods=sampling_periods())
+    prof = TxSampler()
+    sim, _ = build_counter_sim(n_threads=4, iters=200, profiler=prof,
+                               config=cfg, pad_cycles=30)
+    sim.run()
+    return prof.profile()
+
+
+class TestRoundTrip:
+    def test_save_creates_file(self, profile, tmp_path):
+        path = save_profile(profile, tmp_path / "db" / "profile.json")
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert data["format"] == "txsampler-profile"
+
+    def test_metrics_survive_round_trip(self, profile, tmp_path):
+        path = save_profile(profile, tmp_path / "p.json")
+        loaded = load_profile(path)
+        for metric in (m.W, m.T, m.T_TX, m.T_OH, m.ABORTS, m.COMMITS,
+                       m.ABORT_WEIGHT):
+            assert loaded.root.total(metric) == profile.root.total(metric)
+
+    def test_structure_survives(self, profile, tmp_path):
+        path = save_profile(profile, tmp_path / "p.json")
+        loaded = load_profile(path)
+        assert loaded.root.n_nodes() == profile.root.n_nodes()
+
+    def test_per_thread_breakdowns_survive(self, profile, tmp_path):
+        path = save_profile(profile, tmp_path / "p.json")
+        loaded = load_profile(path)
+        assert loaded.root.total_per_thread(m.COMMITS) == \
+            profile.root.total_per_thread(m.COMMITS)
+
+    def test_metadata_survives(self, profile, tmp_path):
+        loaded = load_profile(save_profile(profile, tmp_path / "p.json"))
+        assert loaded.n_threads == profile.n_threads
+        assert loaded.periods == profile.periods
+        assert loaded.site_names == profile.site_names
+
+    def test_analysis_works_on_loaded_profile(self, profile, tmp_path):
+        loaded = load_profile(save_profile(profile, tmp_path / "p.json"))
+        reports = loaded.cs_reports()
+        assert reports and reports[0].T == profile.cs_reports()[0].T
+
+    def test_symbols_embedded(self, profile, tmp_path):
+        path = save_profile(profile, tmp_path / "p.json")
+        data = json.loads(path.read_text())
+        assert any("tm_begin" in v for v in data["symbols"].values())
+
+
+class TestValidation:
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ProfileFormatError, match="not a"):
+            profile_from_dict({"format": "something-else"})
+
+    def test_rejects_newer_version(self):
+        with pytest.raises(ProfileFormatError, match="newer"):
+            profile_from_dict({"format": "txsampler-profile",
+                               "version": 999})
+
+    def test_dict_round_trip_without_disk(self, profile):
+        loaded = profile_from_dict(profile_to_dict(profile))
+        assert loaded.root.total(m.W) == profile.root.total(m.W)
+
+
+class TestMergeDatabases:
+    def _make_profile(self, seed):
+        cfg = make_config(2, sample_periods=sampling_periods())
+        prof = TxSampler()
+        sim, _ = build_counter_sim(n_threads=2, iters=150, profiler=prof,
+                                   config=cfg, seed=seed)
+        sim.run()
+        return prof.profile()
+
+    def test_merge_sums_metrics(self, tmp_path):
+        a = self._make_profile(1)
+        b = self._make_profile(2)
+        pa = save_profile(a, tmp_path / "a.json")
+        pb = save_profile(b, tmp_path / "b.json")
+        merged = merge_databases([pa, pb])
+        assert merged.root.total(m.W) == \
+            a.root.total(m.W) + b.root.total(m.W)
+
+    def test_merge_rejects_mismatched_periods(self, tmp_path):
+        a = self._make_profile(1)
+        pa = save_profile(a, tmp_path / "a.json")
+        b = self._make_profile(2)
+        b.periods["cycles"] = 123456
+        pb = save_profile(b, tmp_path / "b.json")
+        with pytest.raises(ProfileFormatError, match="different periods"):
+            merge_databases([pa, pb])
+
+    def test_merge_requires_input(self):
+        with pytest.raises(ValueError):
+            merge_databases([])

@@ -1,0 +1,364 @@
+"""The TSX engine: isolation, conflicts, capacity, abort semantics."""
+
+import pytest
+
+from repro.htm.status import (
+    ABORT_CAPACITY,
+    ABORT_CONFLICT,
+    ABORT_INTERRUPT,
+    ABORT_SYNC,
+    AbortStatus,
+    XABORT_CAPACITY,
+    XABORT_CONFLICT,
+    XABORT_RETRY,
+)
+from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim.config import CACHELINE
+
+from tests.conftest import make_config
+
+
+# ---------------------------------------------------------------------------
+# AbortStatus semantics
+# ---------------------------------------------------------------------------
+
+
+class TestAbortStatus:
+    def test_conflict_bits(self):
+        s = AbortStatus(ABORT_CONFLICT)
+        assert s.is_conflict and not s.is_capacity
+        assert s.may_retry  # conflicts are transient
+
+    def test_capacity_is_persistent(self):
+        s = AbortStatus(ABORT_CAPACITY)
+        assert s.is_capacity and not s.may_retry
+
+    def test_sync_has_no_cause_bits(self):
+        s = AbortStatus(ABORT_SYNC)
+        assert s.eax == 0 and s.is_sync and not s.may_retry
+
+    def test_interrupt_only_retry_bit(self):
+        s = AbortStatus(ABORT_INTERRUPT)
+        assert s.eax == XABORT_RETRY
+        assert s.may_retry and not s.is_conflict and not s.is_capacity
+
+    def test_explicit_bits(self):
+        from repro.htm.status import ABORT_EXPLICIT, XABORT_EXPLICIT
+
+        s = AbortStatus(ABORT_EXPLICIT)
+        assert s.eax & XABORT_EXPLICIT and s.may_retry
+
+    def test_str_contains_reason(self):
+        assert "conflict" in str(AbortStatus(ABORT_CONFLICT))
+
+
+# ---------------------------------------------------------------------------
+# behavioural tests through the public API
+# ---------------------------------------------------------------------------
+
+
+@simfn
+def _th_writer_then_signal(ctx, data_addr, flag_addr, log):
+    """Transactionally write, then raise a flag outside the txn."""
+
+    def body(c):
+        yield from c.store(data_addr, 111)
+        log.append(("buffered_visible_globally", c.sim.memory.read(data_addr)))
+
+    yield from ctx.atomic(body, name="th_write")
+    log.append(("after_commit", ctx.sim.memory.read(data_addr)))
+    yield from ctx.store(flag_addr, 1)
+
+
+@simfn
+def _th_read_own_write(ctx, addr, log):
+    def body(c):
+        yield from c.store(addr, 5)
+        v = yield from c.load(addr)
+        log.append(("own_write", v))
+
+    yield from ctx.atomic(body, name="th_rot")
+
+
+@simfn
+def _th_capacity_txn(ctx, base, lines, log):
+    def body(c):
+        for i in range(lines):
+            yield from c.store(base + i * CACHELINE, i)
+
+    yield from ctx.atomic(body, name="th_cap")
+    log.append("done")
+
+
+@simfn
+def _th_sync_txn(ctx, log):
+    def body(c):
+        yield from c.syscall("write")
+        log.append("body_completed")  # reached only in the fallback
+
+    yield from ctx.atomic(body, name="th_sync")
+
+
+@simfn
+def _th_pagefault_txn(ctx, cold_addr, log):
+    def body(c):
+        v = yield from c.load(cold_addr)
+        log.append(("loaded", v))
+
+    yield from ctx.atomic(body, name="th_fault")
+
+
+def _run(cfg, programs):
+    sim = Simulator(cfg, n_threads=len(programs), seed=2)
+    sim.set_programs(programs)
+    return sim, sim.run()
+
+
+class TestIsolationAndCommit:
+    def test_transactional_stores_are_buffered(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        data = sim.memory.alloc_line()
+        flag = sim.memory.alloc_line()
+        log = []
+        sim.set_programs([(_th_writer_then_signal, (data, flag, log), {})])
+        sim.run()
+        # while inside the txn, global memory did not yet see the store
+        assert ("buffered_visible_globally", 0) in log
+        assert ("after_commit", 111) in log
+
+    def test_transaction_reads_its_own_writes(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        log = []
+        sim.set_programs([(_th_read_own_write, (addr, log), {})])
+        sim.run()
+        assert ("own_write", 5) in log
+
+    def test_commit_statistics(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        sim.set_programs([(_th_read_own_write, (addr, []), {})])
+        result = sim.run()
+        assert result.begins == 1 and result.commits == 1
+        assert result.aborts == 0
+
+
+class TestCapacityAborts:
+    def test_write_set_overflow_aborts(self):
+        cfg = make_config(1, wset_lines=16, wset_assoc=16)
+        sim = Simulator(cfg, n_threads=1)
+        base = sim.memory.alloc(64 * CACHELINE, align=CACHELINE)
+        log = []
+        sim.set_programs([(_th_capacity_txn, (base, 32, log), {})])
+        result = sim.run()
+        assert result.aborts_by_reason.get("capacity", 0) == 1
+        assert log == ["done"]  # the fallback still completed the work
+        # capacity is persistent: exactly one speculative attempt
+        assert result.begins == 1
+
+    def test_within_budget_commits(self):
+        cfg = make_config(1, wset_lines=64, wset_assoc=64)
+        sim = Simulator(cfg, n_threads=1)
+        base = sim.memory.alloc(64 * CACHELINE, align=CACHELINE)
+        log = []
+        sim.set_programs([(_th_capacity_txn, (base, 32, log), {})])
+        result = sim.run()
+        assert result.aborts == 0 and result.commits == 1
+
+    def test_associativity_overflow_aborts_early(self):
+        # 64 total lines but only 2 ways x 8 sets: 17 lines striding one
+        # set must overflow even though the total footprint fits
+        cfg = make_config(1, wset_lines=16, wset_assoc=2)
+        sim = Simulator(cfg, n_threads=1)
+        n_sets = 16 // 2
+        base = sim.memory.alloc(64 * n_sets * CACHELINE, align=CACHELINE)
+        log = []
+
+        @simfn(name="_th_stride_txn")
+        def strided(ctx, base, n_sets, log):
+            def body(c):
+                for i in range(4):
+                    # all stores land in set 0
+                    yield from c.store(base + i * n_sets * CACHELINE, i)
+
+            yield from ctx.atomic(body, name="th_stride")
+            log.append("done")
+
+        sim.set_programs([(strided, (base, n_sets, log), {})])
+        result = sim.run()
+        assert result.aborts_by_reason.get("capacity", 0) == 1
+
+    def test_read_set_overflow_aborts(self):
+        cfg = make_config(1, rset_lines=8)
+        sim = Simulator(cfg, n_threads=1)
+        base = sim.memory.alloc(32 * CACHELINE, align=CACHELINE)
+
+        @simfn(name="_th_read_scan_txn")
+        def scanner(ctx, base):
+            def body(c):
+                for i in range(16):
+                    yield from c.load(base + i * CACHELINE)
+
+            yield from ctx.atomic(body, name="th_rscan")
+
+        sim.set_programs([(scanner, (base,), {})])
+        result = sim.run()
+        assert result.aborts_by_reason.get("capacity", 0) == 1
+
+
+class TestSyncAborts:
+    def test_syscall_aborts_and_falls_back(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        log = []
+        sim.set_programs([(_th_sync_txn, (log,), {})])
+        result = sim.run()
+        assert result.aborts_by_reason.get("sync", 0) == 1
+        assert log == ["body_completed"]
+        assert result.commits == 0  # never committed speculatively
+        assert result.begins == 1  # sync aborts are not retried
+
+    def test_page_fault_in_txn_is_sync_abort(self):
+        from repro.sim.config import PAGE_SIZE
+
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        cold = sim.memory.alloc(3 * PAGE_SIZE, pretouch=False) + 2 * PAGE_SIZE
+        log = []
+        sim.set_programs([(_th_pagefault_txn, (cold, log), {})])
+        result = sim.run()
+        assert result.aborts_by_reason.get("sync", 0) == 1
+        # the fallback touched the page and completed the read
+        assert log == [("loaded", 0)]
+
+
+class TestConflicts:
+    def _conflict_pair(self, cfg):
+        """Two threads transactionally RMW the same line."""
+        sim = Simulator(cfg, n_threads=2, seed=7)
+        addr = sim.memory.alloc_line()
+
+        @simfn(name="_th_conflict_worker")
+        def worker(ctx, addr, iters):
+            for _ in range(iters):
+                def body(c):
+                    v = yield from c.load(addr)
+                    yield from c.compute(40)
+                    yield from c.store(addr, v + 1)
+
+                yield from ctx.atomic(body, name="th_conflict")
+
+        sim.set_programs([(worker, (addr, 40), {})] * 2)
+        return sim, addr
+
+    def test_conflicting_rmw_aborts_but_stays_correct(self):
+        cfg = make_config(2)
+        sim, addr = self._conflict_pair(cfg)
+        result = sim.run()
+        assert result.aborts_by_reason.get("conflict", 0) > 0
+        assert sim.memory.read(addr) == 80
+
+    def test_responder_wins_policy_also_correct(self):
+        cfg = make_config(2, conflict_policy="responder_wins")
+        sim, addr = self._conflict_pair(cfg)
+        result = sim.run()
+        assert sim.memory.read(addr) == 80
+
+    def test_lazy_detection_also_correct(self):
+        cfg = make_config(2, eager_conflicts=False)
+        sim, addr = self._conflict_pair(cfg)
+        result = sim.run()
+        assert sim.memory.read(addr) == 80
+
+    def test_disjoint_lines_never_conflict(self):
+        cfg = make_config(2)
+        sim = Simulator(cfg, n_threads=2, seed=7)
+        a = sim.memory.alloc_line()
+        b = sim.memory.alloc_line()
+
+        @simfn(name="_th_private_worker")
+        def worker(ctx, addr, iters):
+            for _ in range(iters):
+                def body(c):
+                    v = yield from c.load(addr)
+                    yield from c.store(addr, v + 1)
+
+                yield from ctx.atomic(body, name="th_private")
+
+        sim.set_programs([
+            (worker, (a, 40), {}),
+            (worker, (b, 40), {}),
+        ])
+        result = sim.run()
+        assert result.aborts_by_reason.get("conflict", 0) == 0
+
+    def test_read_read_sharing_never_conflicts(self):
+        cfg = make_config(2)
+        sim = Simulator(cfg, n_threads=2, seed=7)
+        addr = sim.memory.alloc_line()
+
+        @simfn(name="_th_reader_worker")
+        def reader(ctx, addr, iters):
+            for _ in range(iters):
+                def body(c):
+                    yield from c.load(addr)
+                    yield from c.compute(30)
+
+                yield from ctx.atomic(body, name="th_reader")
+
+        sim.set_programs([(reader, (addr, 40), {})] * 2)
+        result = sim.run()
+        assert result.aborts_by_reason.get("conflict", 0) == 0
+        assert result.commits == 80
+
+    def test_nontransactional_store_aborts_transactions(self):
+        cfg = make_config(2)
+        sim = Simulator(cfg, n_threads=2, seed=7)
+        addr = sim.memory.alloc_line()
+
+        @simfn(name="_th_long_reader")
+        def long_reader(ctx, addr):
+            def body(c):
+                yield from c.load(addr)
+                yield from c.compute(2_000)
+
+            yield from ctx.atomic(body, name="th_long_reader")
+
+        @simfn(name="_th_plain_storer")
+        def plain_storer(ctx, addr):
+            yield from ctx.compute(200)  # let the reader enter its txn
+            yield from ctx.store(addr, 9)
+
+        sim.set_programs([
+            (long_reader, (addr,), {}),
+            (plain_storer, (addr,), {}),
+        ])
+        result = sim.run()
+        assert result.aborts_by_reason.get("conflict", 0) >= 1
+
+
+class TestNesting:
+    def test_flat_nesting_commits_once(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+
+        @simfn(name="_th_nested_worker")
+        def worker(ctx, addr):
+            def inner(c):
+                yield from c.store(addr, 2)
+
+            def outer(c):
+                yield from c.store(addr, 1)
+                yield from c.atomic(inner, name="th_inner")
+
+            yield from ctx.atomic(outer, name="th_outer")
+
+        sim.set_programs([(worker, (addr,), {})])
+        result = sim.run()
+        assert sim.memory.read(addr) == 2
+        # flat nesting: one hardware transaction, one commit
+        assert result.begins == 1 and result.commits == 1

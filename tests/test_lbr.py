@@ -1,0 +1,74 @@
+"""Last Branch Record buffer semantics."""
+
+import pytest
+
+from repro.pmu.lbr import (
+    KIND_ABORT,
+    KIND_CALL,
+    KIND_RET,
+    KIND_SAMPLE,
+    Lbr,
+    LbrEntry,
+)
+
+
+class TestLbrBuffer:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Lbr(0)
+
+    def test_empty_snapshot(self):
+        assert Lbr(4).snapshot() == ()
+
+    def test_snapshot_newest_first(self):
+        lbr = Lbr(4)
+        lbr.push_call(1, 10, False)
+        lbr.push_call(2, 20, False)
+        snap = lbr.snapshot()
+        assert snap[0].from_addr == 2 and snap[1].from_addr == 1
+
+    def test_capacity_evicts_oldest(self):
+        lbr = Lbr(3)
+        for i in range(5):
+            lbr.push_call(i, i * 10, False)
+        snap = lbr.snapshot()
+        assert len(snap) == 3
+        assert [e.from_addr for e in snap] == [4, 3, 2]
+
+    def test_len(self):
+        lbr = Lbr(3)
+        assert len(lbr) == 0
+        lbr.push_call(1, 2, False)
+        assert len(lbr) == 1
+
+    def test_call_entry_fields(self):
+        lbr = Lbr(4)
+        lbr.push_call(7, 70, True)
+        e = lbr.snapshot()[0]
+        assert e.kind == KIND_CALL and e.in_tsx and not e.abort
+        assert e.from_addr == 7 and e.to_addr == 70
+
+    def test_ret_entry_fields(self):
+        lbr = Lbr(4)
+        lbr.push_ret(9, 91, False)
+        e = lbr.snapshot()[0]
+        assert e.kind == KIND_RET and not e.in_tsx and not e.abort
+
+    def test_abort_entry_always_in_tsx(self):
+        lbr = Lbr(4)
+        lbr.push_abort(100, 200)
+        e = lbr.snapshot()[0]
+        assert e.kind == KIND_ABORT and e.abort and e.in_tsx
+        assert e.to_addr == 200  # the fallback address
+
+    def test_sample_entry_abort_bit_reflects_induced_abort(self):
+        lbr = Lbr(4)
+        lbr.push_sample(50, aborted_txn=True, in_tsx=True)
+        assert lbr.snapshot()[0].abort
+        lbr.push_sample(51, aborted_txn=False, in_tsx=False)
+        assert not lbr.snapshot()[0].abort
+
+    def test_entries_are_immutable_tuples(self):
+        e = LbrEntry(1, 2, KIND_CALL, False, True)
+        with pytest.raises(AttributeError):
+            e.from_addr = 5

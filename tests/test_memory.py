@@ -1,0 +1,132 @@
+"""Simulated memory: allocation, alignment, page faults, bulk helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.config import CACHELINE, PAGE_SIZE, line_of, page_of
+from repro.sim.memory import DATA_BASE, WORD, Memory
+
+
+class TestReadWrite:
+    def test_uninitialized_reads_zero(self):
+        assert Memory().read(DATA_BASE + 8) == 0
+
+    def test_write_then_read(self):
+        mem = Memory()
+        mem.write(100, 42)
+        assert mem.read(100) == 42
+
+    def test_distinct_addresses_independent(self):
+        mem = Memory()
+        mem.write(0, 1)
+        mem.write(8, 2)
+        assert mem.read(0) == 1 and mem.read(8) == 2
+
+    def test_write_words_and_read_words(self):
+        mem = Memory()
+        mem.write_words(1000, [5, 6, 7])
+        assert mem.read_words(1000, 3) == [5, 6, 7]
+        assert mem.read_words(1000, 4) == [5, 6, 7, 0]
+
+
+class TestAlloc:
+    def test_alloc_returns_data_segment_address(self):
+        assert Memory().alloc(8) >= DATA_BASE
+
+    def test_alloc_word_aligned_by_default(self):
+        assert Memory().alloc(8) % WORD == 0
+
+    def test_alloc_line_is_cacheline_aligned(self):
+        assert Memory().alloc_line() % CACHELINE == 0
+
+    def test_allocations_do_not_overlap(self):
+        mem = Memory()
+        a = mem.alloc(24)
+        b = mem.alloc(24)
+        assert b >= a + 24
+
+    def test_alloc_respects_custom_alignment(self):
+        mem = Memory()
+        mem.alloc(1)
+        addr = mem.alloc(8, align=256)
+        assert addr % 256 == 0
+
+    def test_alloc_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            Memory().alloc(8, align=3)
+
+    def test_alloc_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Memory().alloc(-1)
+
+    def test_alloc_zero_bytes_still_advances(self):
+        mem = Memory()
+        a = mem.alloc(0)
+        b = mem.alloc(0)
+        assert a != b
+
+    def test_alloc_words(self):
+        mem = Memory()
+        a = mem.alloc_words(4)
+        b = mem.alloc_words(1)
+        assert b - a >= 4 * WORD
+
+    def test_alloc_array_line_aligned(self):
+        assert Memory().alloc_array(10) % CACHELINE == 0
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=512),
+                          min_size=2, max_size=30))
+    def test_alloc_never_overlaps_property(self, sizes):
+        mem = Memory()
+        regions = []
+        for n in sizes:
+            base = mem.alloc(n)
+            regions.append((base, base + n))
+        regions.sort()
+        for (s1, e1), (s2, _) in zip(regions, regions[1:]):
+            assert e1 <= s2
+
+
+class TestPageFaults:
+    def test_fresh_page_faults(self):
+        mem = Memory()
+        addr = DATA_BASE + 123 * PAGE_SIZE
+        assert mem.touch_would_fault(addr)
+
+    def test_touch_marks_resident(self):
+        mem = Memory()
+        addr = DATA_BASE + 123 * PAGE_SIZE
+        assert mem.touch(addr) is True
+        assert mem.touch(addr) is False
+        assert not mem.touch_would_fault(addr)
+
+    def test_same_page_different_addr_no_fault(self):
+        mem = Memory()
+        mem.touch(DATA_BASE)
+        assert not mem.touch_would_fault(DATA_BASE + 100)
+
+    def test_pretouch_alloc_does_not_fault(self):
+        mem = Memory()
+        base = mem.alloc(3 * PAGE_SIZE)
+        for off in (0, PAGE_SIZE, 3 * PAGE_SIZE - 1):
+            assert not mem.touch_would_fault(base + off)
+
+    def test_cold_alloc_faults(self):
+        mem = Memory()
+        base = mem.alloc(PAGE_SIZE * 2, pretouch=False)
+        # at least the last page of a large cold region is unmapped
+        assert mem.touch_would_fault(base + PAGE_SIZE)
+
+    def test_tracking_disabled(self):
+        mem = Memory(track_page_faults=False)
+        assert not mem.touch_would_fault(DATA_BASE + 999 * PAGE_SIZE)
+        assert mem.touch(DATA_BASE + 999 * PAGE_SIZE) is False
+
+
+class TestDiagnostics:
+    def test_footprint_lines_counts_distinct_lines(self):
+        mem = Memory()
+        mem.write(0, 1)
+        mem.write(8, 1)     # same line
+        mem.write(64, 1)    # next line
+        assert mem.footprint_lines() == 2

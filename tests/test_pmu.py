@@ -1,0 +1,248 @@
+"""PMU counters, sampling delivery, interrupt-abort behaviour (Challenge I)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pmu.counters import CounterBank, PmuBank
+from repro.pmu.events import CYCLES, MEM_LOADS, RTM_ABORTED, RTM_COMMIT
+from repro.pmu.sampling import Sample
+from repro.sim import MachineConfig, Simulator, simfn
+
+from tests.conftest import build_counter_sim, make_config, sampling_periods
+
+
+class TestCounterBank:
+    def test_no_overflow_below_period(self):
+        bank = CounterBank({"cycles": 100}, randomize=False)
+        assert bank.add("cycles", 99) == 0
+
+    def test_overflow_at_period(self):
+        bank = CounterBank({"cycles": 100}, randomize=False)
+        assert bank.add("cycles", 100) == 1
+
+    def test_multiple_overflows_in_one_add(self):
+        bank = CounterBank({"cycles": 10}, randomize=False)
+        assert bank.add("cycles", 35) == 3
+
+    def test_remainder_carries(self):
+        bank = CounterBank({"cycles": 10}, randomize=False)
+        bank.add("cycles", 7)
+        assert bank.add("cycles", 7) == 1  # 14 total
+        assert bank.add("cycles", 5) == 0  # 19 total
+        assert bank.add("cycles", 1) == 1  # 20 total
+
+    def test_unconfigured_event_ignored(self):
+        bank = CounterBank({"cycles": 10})
+        assert bank.add("mem_loads", 1000) == 0
+
+    def test_zero_period_disables(self):
+        bank = CounterBank({"cycles": 0})
+        assert bank.add("cycles", 1000) == 0
+
+    def test_totals_accumulate(self):
+        bank = CounterBank({"cycles": 10}, randomize=False)
+        bank.add("cycles", 25)
+        assert bank.totals["cycles"] == 25
+        assert bank.overflows["cycles"] == 2
+
+    @given(adds=st.lists(st.integers(min_value=1, max_value=50),
+                         min_size=1, max_size=60),
+           period=st.integers(min_value=1, max_value=37))
+    def test_overflow_count_invariant(self, adds, period):
+        """Without randomization: overflows == floor(counted / period)."""
+        bank = CounterBank({"ev": period}, randomize=False)
+        fired = sum(bank.add("ev", n) for n in adds)
+        assert fired == sum(adds) // period
+
+    @given(adds=st.lists(st.integers(min_value=1, max_value=50),
+                         min_size=5, max_size=80),
+           period=st.integers(min_value=8, max_value=64),
+           seed=st.integers(min_value=0, max_value=99))
+    def test_randomized_overflow_count_bounded(self, adds, period, seed):
+        """Randomized periods stay within +-12.5% of nominal, so the
+        overflow count is bracketed by the extreme-period counts."""
+        bank = CounterBank({"ev": period}, seed=seed)
+        fired = sum(bank.add("ev", n) for n in adds)
+        total = sum(adds)
+        lo = total // (period + (period >> 3)) - 1
+        hi = total // max(1, period - (period >> 3)) + 1
+        assert lo <= fired <= hi
+
+    def test_pmu_bank_totals(self):
+        bank = PmuBank(3, {"cycles": 10})
+        bank.add(0, "cycles", 5)
+        bank.add(2, "cycles", 7)
+        assert bank.total("cycles") == 12
+
+
+class _CollectingProfiler:
+    def __init__(self):
+        self.samples = []
+
+    def attach(self, sim):
+        self.sim = sim
+
+    def on_sample(self, s):
+        self.samples.append(s)
+
+    def by_event(self, event):
+        return [s for s in self.samples if s.event == event]
+
+
+class TestSamplingDelivery:
+    def _run(self, n_threads=4, iters=120, **cfg_kw):
+        cfg_kw.setdefault("sample_periods", sampling_periods())
+        cfg = make_config(n_threads, **cfg_kw)
+        prof = _CollectingProfiler()
+        sim, counter = build_counter_sim(
+            n_threads=n_threads, iters=iters, profiler=prof, config=cfg
+        )
+        result = sim.run()
+        return result, prof, sim
+
+    def test_no_profiler_no_sampling(self):
+        sim, _ = build_counter_sim(n_threads=2, iters=20)
+        result = sim.run()
+        assert result.samples_delivered == 0
+        assert result.pmu_totals == {}
+
+    def test_samples_delivered_for_each_event(self):
+        result, prof, _ = self._run()
+        events = {s.event for s in prof.samples}
+        assert CYCLES in events
+        assert RTM_COMMIT in events or RTM_ABORTED in events
+
+    def test_sample_counts_match_result(self):
+        result, prof, _ = self._run()
+        assert result.samples_delivered == len(prof.samples)
+
+    def test_pmu_totals_reported(self):
+        result, prof, _ = self._run()
+        assert result.pmu_totals[CYCLES] > 0
+
+    def test_sample_fields_populated(self):
+        _, prof, _ = self._run()
+        s = prof.samples[0]
+        assert s.tid >= 0 and s.ts > 0 and s.ip > 0
+        assert isinstance(s.ustack, tuple) and s.ustack
+
+    def test_handler_cost_charged(self):
+        r_with, _, _ = self._run(handler_cost=2_000)
+        r_cheap, _, _ = self._run(handler_cost=0)
+        assert r_with.makespan > r_cheap.makespan
+
+
+class TestInterruptAbortsTxn:
+    """Challenge I: a PMU overflow inside a transaction aborts it."""
+
+    def test_interrupt_aborts_appear(self):
+        cfg = make_config(
+            1, sample_periods={"cycles": 200}, cost_jitter=0
+        )
+        prof = _CollectingProfiler()
+        sim, counter = build_counter_sim(
+            n_threads=1, iters=200, profiler=prof, config=cfg
+        )
+        result = sim.run()
+        # a single thread has no conflicts: every abort is PMU-induced
+        assert result.aborts_by_reason.get("interrupt", 0) > 0
+        assert set(result.aborts_by_reason) <= {"interrupt"}
+        assert sim.memory.read(counter) == 200
+
+    def test_idealized_pmu_never_aborts(self):
+        cfg = make_config(
+            1, sample_periods={"cycles": 200}, pmu_aborts_txn=False
+        )
+        prof = _CollectingProfiler()
+        sim, counter = build_counter_sim(
+            n_threads=1, iters=200, profiler=prof, config=cfg
+        )
+        result = sim.run()
+        assert result.aborts == 0
+        assert len(prof.samples) > 0
+
+    def test_aborting_sample_flagged_in_lbr(self):
+        cfg = make_config(1, sample_periods={"cycles": 200})
+        prof = _CollectingProfiler()
+        sim, _ = build_counter_sim(
+            n_threads=1, iters=200, profiler=prof, config=cfg
+        )
+        sim.run()
+        aborting = [s for s in prof.samples if s.aborted_by_sample]
+        assert aborting, "some samples must land inside transactions"
+        for s in aborting:
+            assert s.lbr[0].abort and s.lbr[0].in_tsx
+
+    def test_non_aborting_sample_not_flagged(self):
+        cfg = make_config(1, sample_periods={"cycles": 200})
+        prof = _CollectingProfiler()
+        sim, _ = build_counter_sim(
+            n_threads=1, iters=200, profiler=prof, config=cfg,
+            pad_cycles=5_000,  # most time outside critical sections
+        )
+        sim.run()
+        outside = [s for s in prof.samples if not s.aborted_by_sample]
+        assert len(outside) > 0
+
+    def test_post_abort_unwound_stack_is_shallow(self):
+        """After a sampling abort, the architectural stack must show only
+        the path to tm_begin, never the in-transaction frames."""
+        from repro.rtm.runtime import tm_begin
+
+        cfg = make_config(1, sample_periods={"cycles": 150})
+        prof = _CollectingProfiler()
+        sim, _ = build_counter_sim(
+            n_threads=1, iters=150, profiler=prof, config=cfg
+        )
+        sim.run()
+        for s in prof.samples:
+            if s.aborted_by_sample:
+                # innermost unwound frame is the runtime entry point
+                assert s.ustack[-1][1] == tm_begin.base
+
+
+class TestAbortSamples:
+    def test_abort_samples_carry_weight_and_eax(self):
+        cfg = make_config(
+            4, sample_periods={"cycles": 5_000, "rtm_aborted": 3}
+        )
+        prof = _CollectingProfiler()
+        sim, _ = build_counter_sim(
+            n_threads=4, iters=150, profiler=prof, config=cfg, pad_cycles=10
+        )
+        sim.run()
+        aborted = prof.by_event(RTM_ABORTED)
+        assert aborted, "contention must produce abort samples"
+        for s in aborted:
+            assert s.weight > 0
+            assert s.abort_eax != 0 or True  # sync aborts have eax 0
+
+    def test_commit_samples_have_cs_context(self):
+        from repro.rtm.runtime import tm_begin
+
+        cfg = make_config(2, sample_periods={"rtm_commit": 5})
+        prof = _CollectingProfiler()
+        sim, _ = build_counter_sim(
+            n_threads=2, iters=100, profiler=prof, config=cfg,
+            pad_cycles=500,
+        )
+        sim.run()
+        commits = prof.by_event(RTM_COMMIT)
+        assert commits
+        for s in commits:
+            assert any(callee == tm_begin.base for _, callee in s.ustack)
+
+
+class TestMemSamples:
+    def test_mem_samples_carry_effective_address(self):
+        cfg = make_config(2, sample_periods={"mem_loads": 20,
+                                             "mem_stores": 20})
+        prof = _CollectingProfiler()
+        sim, counter = build_counter_sim(
+            n_threads=2, iters=150, profiler=prof, config=cfg
+        )
+        sim.run()
+        mem = prof.by_event(MEM_LOADS)
+        assert mem
+        for s in mem:
+            assert s.eff_addr is not None and not s.is_store

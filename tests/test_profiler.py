@@ -1,0 +1,198 @@
+"""TxSampler end-to-end: Figure 4's algorithm, attribution, merging."""
+
+import pytest
+
+from repro.cct.unwind import BEGIN_IN_TX
+from repro.core import TxSampler, metrics as m
+from repro.rtm.runtime import tm_begin
+from repro.sim import MachineConfig, Simulator, simfn
+
+from tests.conftest import build_counter_sim, make_config, sampling_periods
+
+
+def profiled_counter_run(n_threads=4, iters=200, pad_cycles=50, **cfg_kw):
+    cfg_kw.setdefault("sample_periods", sampling_periods())
+    cfg = make_config(n_threads, **cfg_kw)
+    prof = TxSampler()
+    sim, counter = build_counter_sim(
+        n_threads=n_threads, iters=iters, profiler=prof, config=cfg,
+        pad_cycles=pad_cycles,
+    )
+    result = sim.run()
+    return prof.profile(), result, sim
+
+
+class TestTimeAnalysis:
+    def test_w_equals_cycles_samples(self):
+        profile, result, _ = profiled_counter_run()
+        assert profile.root.total(m.W) == profile.samples_seen["cycles"]
+
+    def test_t_is_subset_of_w(self):
+        profile, _, _ = profiled_counter_run()
+        assert 0 < profile.root.total(m.T) <= profile.root.total(m.W)
+
+    def test_components_sum_to_t(self):
+        profile, _, _ = profiled_counter_run()
+        root = profile.root
+        components = sum(root.total(c) for c in m.TIME_COMPONENTS)
+        assert components == root.total(m.T)
+
+    def test_equation1_w_is_t_plus_s(self):
+        profile, _, _ = profiled_counter_run()
+        s = profile.summary()
+        assert s.W == s.T + s.S
+
+    def test_heavy_outside_work_pushes_samples_outside(self):
+        hot_profile, _, _ = profiled_counter_run(pad_cycles=10)
+        cold_profile, _, _ = profiled_counter_run(pad_cycles=5_000)
+        assert cold_profile.summary().r_cs < hot_profile.summary().r_cs
+
+    def test_in_txn_samples_attributed_under_begin_in_tx(self):
+        profile, _, _ = profiled_counter_run()
+        txn_nodes = profile.root.find(lambda n: n.key == BEGIN_IN_TX)
+        assert txn_nodes
+        assert sum(n.total(m.T_TX) for n in txn_nodes) == \
+            profile.root.total(m.T_TX)
+
+    def test_single_thread_no_waiting(self):
+        profile, _, _ = profiled_counter_run(n_threads=1)
+        # an uncontended lock is never waited on; the odd sample may land
+        # on the lock-check load, but never on a fallback execution
+        assert profile.root.total(m.T_WAIT) <= max(
+            2.0, profile.root.total(m.T) * 0.1
+        )
+        assert profile.root.total(m.T_FB) == 0
+
+
+class TestAbortAnalysis:
+    def test_abort_samples_attributed(self):
+        profile, result, _ = profiled_counter_run()
+        assert profile.root.total(m.ABORTS) == \
+            profile.samples_seen.get("rtm_aborted", 0)
+
+    def test_abort_weight_positive_when_aborts_sampled(self):
+        profile, _, _ = profiled_counter_run()
+        if profile.root.total(m.ABORTS):
+            assert profile.root.total(m.ABORT_WEIGHT) > 0
+
+    def test_conflict_class_dominates_contended_counter(self):
+        profile, _, _ = profiled_counter_run(pad_cycles=10)
+        conf = profile.root.total(m.AB_CONFLICT)
+        cap = profile.root.total(m.AB_CAPACITY)
+        sync = profile.root.total(m.AB_SYNC)
+        assert conf > cap and conf > sync
+
+    def test_class_counts_sum_to_aborts(self):
+        profile, _, _ = profiled_counter_run()
+        root = profile.root
+        total = sum(root.total(m.AB_BY_CLASS[c]) for c in m.ABORT_CLASSES)
+        assert total == root.total(m.ABORTS)
+
+    def test_per_thread_abort_histogram(self):
+        profile, _, _ = profiled_counter_run(pad_cycles=10)
+        by_thread = profile.root.total_per_thread(m.ABORTS)
+        assert sum(by_thread.values()) == profile.root.total(m.ABORTS)
+
+
+class TestCommitAttribution:
+    def test_commit_samples_counted(self):
+        profile, _, _ = profiled_counter_run()
+        assert profile.root.total(m.COMMITS) == \
+            profile.samples_seen.get("rtm_commit", 0)
+
+    def test_commit_context_under_tm_begin(self):
+        profile, _, _ = profiled_counter_run()
+        for node in profile.root.find(
+            lambda n: n.metrics.get(m.COMMITS)
+        ):
+            keys = [k for k in node.path_from_root() if k[0] == "call"]
+            assert any(k[2] == tm_begin.base for k in keys)
+
+
+class TestProfileLifecycle:
+    def test_profile_is_cached(self):
+        cfg = make_config(2, sample_periods=sampling_periods())
+        prof = TxSampler()
+        sim, _ = build_counter_sim(n_threads=2, iters=50, profiler=prof,
+                                   config=cfg)
+        sim.run()
+        assert prof.profile() is prof.profile()
+
+    def test_unattached_profiler_rejects_profile(self):
+        with pytest.raises(RuntimeError):
+            TxSampler().profile()
+
+    def test_profile_merges_all_threads(self):
+        profile, _, _ = profiled_counter_run(n_threads=4)
+        tids = set(profile.root.total_per_thread(m.COMMITS)) | set(
+            profile.root.total_per_thread(m.ABORTS)
+        )
+        assert tids <= {0, 1, 2, 3} and tids
+
+    def test_site_names_in_profile(self):
+        profile, _, _ = profiled_counter_run()
+        assert "t_incr" in profile.site_names.values()
+
+
+class TestContentionAttribution:
+    def test_false_sharing_attributed(self):
+        """Threads hammer adjacent words of one line: the profiler must
+        classify the contention as false sharing."""
+
+        @simfn(name="_tp_false_share")
+        def worker(ctx, base, iters):
+            addr = base + ctx.tid * 8
+            for _ in range(iters):
+                def body(c, a=addr):
+                    v = yield from c.load(a)
+                    yield from c.store(a, v + 1)
+
+                yield from ctx.atomic(body, name="tp_fs")
+                yield from ctx.compute(30)
+
+        cfg = make_config(4, sample_periods={
+            "cycles": 2_000, "mem_loads": 40, "mem_stores": 40,
+            "rtm_aborted": 10, "rtm_commit": 50,
+        })
+        prof = TxSampler(contention_threshold=100_000)
+        sim = Simulator(cfg, n_threads=4, seed=6, profiler=prof)
+        base = sim.memory.alloc_line()
+        sim.set_programs([(worker, (base, 300), {})] * 4)
+        sim.run()
+        profile = prof.profile()
+        fs = profile.root.total(m.FALSE_SHARING)
+        ts = profile.root.total(m.TRUE_SHARING)
+        assert fs > 0 and fs >= ts
+
+    def test_true_sharing_attributed(self):
+        profile, _, _ = profiled_counter_run(
+            pad_cycles=10,
+            sample_periods={
+                "cycles": 2_000, "mem_loads": 40, "mem_stores": 40,
+                "rtm_aborted": 10, "rtm_commit": 50,
+            },
+        )
+        ts = profile.root.total(m.TRUE_SHARING)
+        fs = profile.root.total(m.FALSE_SHARING)
+        assert ts > 0 and ts >= fs
+
+
+class TestClassifyAbortEax:
+    def test_conflict(self):
+        from repro.htm.status import XABORT_CONFLICT, XABORT_RETRY
+
+        assert m.classify_abort_eax(XABORT_CONFLICT | XABORT_RETRY) == \
+            "conflict"
+
+    def test_capacity(self):
+        from repro.htm.status import XABORT_CAPACITY
+
+        assert m.classify_abort_eax(XABORT_CAPACITY) == "capacity"
+
+    def test_sync_is_zero_eax(self):
+        assert m.classify_abort_eax(0) == "sync"
+
+    def test_retry_only_is_other(self):
+        from repro.htm.status import XABORT_RETRY
+
+        assert m.classify_abort_eax(XABORT_RETRY) == "other"

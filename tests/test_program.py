@@ -1,0 +1,91 @@
+"""Function registry, synthetic code addresses, barriers."""
+
+import pytest
+
+from repro.sim.program import (
+    Barrier,
+    CODE_BASE,
+    FUNC_ADDR_SPAN,
+    FunctionRegistry,
+    REGISTRY,
+    describe_addr,
+    simfn,
+)
+
+
+def _gen_a(ctx):
+    yield ("n",)
+
+
+def _gen_b(ctx):
+    yield ("n",)
+
+
+class TestRegistry:
+    def test_register_assigns_disjoint_ranges(self):
+        reg = FunctionRegistry()
+        a = reg.register(_gen_a, "ta_a")
+        b = reg.register(_gen_b, "ta_b")
+        assert b.base - a.base == FUNC_ADDR_SPAN
+
+    def test_reregistration_keeps_address(self):
+        reg = FunctionRegistry()
+        first = reg.register(_gen_a, "stable")
+        again = reg.register(_gen_b, "stable")
+        assert again.base == first.base
+        assert again is first
+
+    def test_by_name(self):
+        reg = FunctionRegistry()
+        fn = reg.register(_gen_a, "lookup_me")
+        assert reg.by_name("lookup_me") is fn
+
+    def test_function_at_start_and_interior(self):
+        reg = FunctionRegistry()
+        fn = reg.register(_gen_a, "span")
+        assert reg.function_at(fn.base) is fn
+        assert reg.function_at(fn.base + 100) is fn
+
+    def test_function_at_outside_code(self):
+        reg = FunctionRegistry()
+        reg.register(_gen_a, "only")
+        assert reg.function_at(0) is None
+        assert reg.function_at(CODE_BASE - 1) is None
+
+    def test_describe(self):
+        reg = FunctionRegistry()
+        fn = reg.register(_gen_a, "pretty")
+        assert reg.describe(fn.base + 12) == "pretty+12"
+
+    def test_describe_unknown_is_hex(self):
+        reg = FunctionRegistry()
+        assert reg.describe(4) == "0x4"
+
+    def test_simfn_decorator_registers_globally(self):
+        @simfn(name="t_prog_decorated")
+        def decorated(ctx):
+            yield ("n",)
+
+        assert REGISTRY.by_name("t_prog_decorated") is decorated
+        assert "t_prog_decorated" in describe_addr(decorated.base + 1)
+
+    def test_simfn_callable_passthrough(self):
+        @simfn(name="t_prog_callable")
+        def fn(ctx):
+            yield ("n",)
+            return 7
+
+        gen = fn(None)
+        assert next(gen) == ("n",)
+
+
+class TestBarrier:
+    def test_positive_parties_required(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+    def test_repr(self):
+        assert "parties=3" in repr(Barrier(3))
+
+    def test_initial_generation(self):
+        assert Barrier(2).generation == 0

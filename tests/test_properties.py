@@ -1,0 +1,167 @@
+"""Property-based tests over the whole stack (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cct.merge import merge_profiles
+from repro.cct.tree import call_key, ip_key, new_root
+from repro.sim import MachineConfig, Simulator, simfn
+
+from tests.conftest import make_config
+
+
+@simfn
+def _tq_mixed_worker(ctx, counter, private, ops):
+    """A scripted mix of transactional increments and private work."""
+    for op in ops:
+        if op == 0:
+            def body(c):
+                v = yield from c.load(counter)
+                yield from c.store(counter, v + 1)
+
+            yield from ctx.atomic(body, name="tq_incr")
+        elif op == 1:
+            yield from ctx.compute(17)
+        else:
+            v = yield from ctx.load(private)
+            yield from ctx.store(private, v + 1)
+
+
+class TestEngineAtomicityProperty:
+    @given(
+        n_threads=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        ops=st.lists(st.integers(min_value=0, max_value=2),
+                     min_size=1, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_increment_ever_lost(self, n_threads, seed, ops):
+        """Under any op mix, thread count and seed, transactional
+        increments are never lost and private state stays private."""
+        cfg = make_config(n_threads)
+        sim = Simulator(cfg, n_threads=n_threads, seed=seed)
+        counter = sim.memory.alloc_line()
+        privates = [sim.memory.alloc_line() for _ in range(n_threads)]
+        sim.set_programs([
+            (_tq_mixed_worker, (counter, privates[tid], ops), {})
+            for tid in range(n_threads)
+        ])
+        result = sim.run()
+        expected_incr = ops.count(0) * n_threads
+        assert sim.memory.read(counter) == expected_incr
+        for tid in range(n_threads):
+            assert sim.memory.read(privates[tid]) == ops.count(2)
+        assert result.commits + result.aborts == 0 or result.begins > 0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        retries=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_retry_budget_never_breaks_atomicity(self, seed, retries):
+        cfg = make_config(4, max_retries=retries)
+        sim = Simulator(cfg, n_threads=4, seed=seed)
+        counter = sim.memory.alloc_line()
+        ops = [0] * 20
+        sim.set_programs(
+            [(_tq_mixed_worker, (counter, sim.memory.alloc_line(), ops),
+              {})] * 4
+        )
+        sim.run()
+        assert sim.memory.read(counter) == 80
+
+
+class TestCCTMergeProperties:
+    paths = st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 3)),
+        min_size=1, max_size=4,
+    )
+    entries = st.lists(st.tuples(paths, st.integers(1, 9)),
+                       min_size=0, max_size=12)
+
+    @staticmethod
+    def _tree(entry_list):
+        root = new_root()
+        for path, value in entry_list:
+            keys = [call_key(a, b) for a, b in path[:-1]]
+            keys.append(ip_key(path[-1][0]))
+            root.insert(keys).add("W", value)
+        return root
+
+    @given(a=entries, b=entries)
+    @settings(max_examples=50)
+    def test_merge_total_is_sum_of_totals(self, a, b):
+        ta, tb = self._tree(a), self._tree(b)
+        total = ta.total("W") + tb.total("W")
+        merged = merge_profiles([ta, tb])
+        assert merged.total("W") == total
+
+    @given(a=entries, b=entries)
+    @settings(max_examples=30)
+    def test_merge_is_commutative(self, a, b):
+        left = merge_profiles([self._tree(a), self._tree(b)])
+        right = merge_profiles([self._tree(b), self._tree(a)])
+
+        def shape(node):
+            return (
+                sorted(node.metrics.items()),
+                sorted(
+                    (k, shape(v)) for k, v in node.children.items()
+                ),
+            )
+
+        assert shape(left) == shape(right)
+
+
+class TestDeterminismProperty:
+    @given(seed=st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_runs_for_any_seed(self, seed):
+        def run():
+            cfg = make_config(3)
+            sim = Simulator(cfg, n_threads=3, seed=seed)
+            counter = sim.memory.alloc_line()
+            sim.set_programs(
+                [(_tq_mixed_worker,
+                  (counter, sim.memory.alloc_line(), [0, 1, 2] * 5), {})] * 3
+            )
+            r = sim.run()
+            return (r.makespan, r.commits, r.aborts,
+                    tuple(r.per_thread_cycles))
+
+        assert run() == run()
+
+
+class TestHtmFootprintProperty:
+    @given(
+        n_lines=st.integers(min_value=1, max_value=40),
+        budget=st.integers(min_value=4, max_value=32),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    def test_capacity_abort_iff_over_budget(self, n_lines, budget):
+        """A single-threaded transaction aborts exactly when its write
+        footprint exceeds the budget (with associativity == budget, the
+        set model cannot fire early)."""
+
+        @simfn(name="_tq_footprint")
+        def worker(ctx, base, n):
+            def body(c):
+                for i in range(n):
+                    yield from c.store(base + i * 64, i)
+
+            yield from ctx.atomic(body, name="tq_cap")
+
+        cfg = make_config(1, wset_lines=budget, wset_assoc=budget)
+        sim = Simulator(cfg, n_threads=1, seed=1)
+        base = sim.memory.alloc(64 * n_lines, align=64)
+        sim.set_programs([(worker, (base, n_lines), {})])
+        result = sim.run()
+        if n_lines > budget:
+            assert result.aborts_by_reason.get("capacity", 0) == 1
+        else:
+            assert result.aborts == 0
+        # the data is written either way (txn or fallback)
+        assert sim.memory.read(base + (n_lines - 1) * 64) == n_lines - 1

@@ -1,0 +1,238 @@
+"""The RTM runtime: state word, retries, fallback, lock elision."""
+
+import pytest
+
+from repro.rtm import state as st
+from repro.rtm.instrument import TxnInstrumentation
+from repro.sim import MachineConfig, Simulator, simfn
+
+from tests.conftest import build_counter_sim, make_config
+
+
+class TestStateWord:
+    def test_bits_are_distinct(self):
+        bits = [st.IN_CS, st.IN_HTM, st.IN_FALLBACK, st.IN_LOCKWAIT,
+                st.IN_OVERHEAD]
+        assert len({*bits}) == 5
+        for a in bits:
+            for b in bits:
+                if a is not b:
+                    assert a & b == 0
+
+    def test_predicates(self):
+        w = st.IN_CS | st.IN_HTM
+        assert st.in_cs(w) and st.in_htm(w)
+        assert not st.in_fallback(w) and not st.in_lock_waiting(w)
+        assert not st.in_overhead(w)
+
+    def test_describe(self):
+        assert st.describe(0) == "outside"
+        assert st.describe(st.IN_CS | st.IN_HTM) == "inCS|inHTM"
+
+
+@simfn
+def _tr_state_spy(ctx, addr, states):
+    """Record the state word at each phase of one critical section."""
+    states.append(("before", ctx.state_word))
+
+    def body(c):
+        states.append(("in_body", c.state_word))
+        v = yield from c.load(addr)
+        yield from c.store(addr, v + 1)
+
+    yield from ctx.atomic(body, name="tr_spy")
+    states.append(("after", ctx.state_word))
+
+
+@simfn
+def _tr_sync_body(ctx, states):
+    def body(c):
+        yield from c.syscall("write")
+        states.append(("fallback_state", c.state_word))
+
+    yield from ctx.atomic(body, name="tr_sync")
+
+
+class TestStateTransitions:
+    def test_outside_cs_state_is_zero(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        states = []
+        sim.set_programs([(_tr_state_spy, (addr, states), {})])
+        sim.run()
+        assert ("before", 0) in states and ("after", 0) in states
+
+    def test_body_runs_in_htm_state(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        states = []
+        sim.set_programs([(_tr_state_spy, (addr, states), {})])
+        sim.run()
+        in_body = dict(states)["in_body"]
+        assert st.in_cs(in_body) and st.in_htm(in_body)
+
+    def test_fallback_body_runs_in_fallback_state(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        states = []
+        sim.set_programs([(_tr_sync_body, (states,), {})])
+        sim.run()
+        w = dict(states)["fallback_state"]
+        assert st.in_cs(w) and st.in_fallback(w) and not st.in_htm(w)
+
+    def test_query_state_function(self):
+        cfg = make_config(2)
+        sim = Simulator(cfg, n_threads=2)
+        assert sim.rtm.query_state(0) == 0
+        assert sim.rtm.query_state(1) == 0
+
+
+class TestRetryPolicy:
+    def _sim_with_conflicts(self, max_retries):
+        cfg = make_config(4, max_retries=max_retries)
+        return build_counter_sim(n_threads=4, iters=60, config=cfg,
+                                 pad_cycles=10)
+
+    def test_more_retries_fewer_fallbacks(self):
+        sim_low, c_low = self._sim_with_conflicts(0)
+        sim_high, c_high = self._sim_with_conflicts(6)
+        r_low = sim_low.run()
+        r_high = sim_high.run()
+        # both correct
+        assert sim_low.memory.read(c_low) == 240
+        assert sim_high.memory.read(c_high) == 240
+        # with zero retries, fewer commits happen speculatively
+        assert r_low.commits <= r_high.commits
+
+    def test_sync_abort_never_retried(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        states = []
+        sim.set_programs([(_tr_sync_body, (states,), {})])
+        result = sim.run()
+        assert result.begins == 1  # exactly one speculative attempt
+
+
+class TestCriticalSectionRegistry:
+    def test_sections_registered_by_name(self):
+        sim, _ = build_counter_sim(n_threads=2, iters=3)
+        sim.run()
+        cs = sim.rtm.section("t_incr")
+        assert cs.name == "t_incr"
+        assert sim.rtm.section_by_id(cs.cs_id) is cs
+
+    def test_same_name_same_section(self):
+        sim, _ = build_counter_sim(n_threads=2, iters=3)
+        assert sim.rtm.section("x") is sim.rtm.section("x")
+
+    def test_site_names_recorded(self):
+        sim, _ = build_counter_sim(n_threads=2, iters=3)
+        sim.run()
+        assert "t_incr" in sim.rtm.site_names.values()
+
+
+class TestAtomicReturnValue:
+    def test_committed_body_value_returned(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        out = []
+
+        @simfn(name="_tr_retval")
+        def worker(ctx):
+            def body(c):
+                yield from c.compute(5)
+                return 123
+
+            r = yield from ctx.atomic(body, name="tr_ret")
+            out.append(r)
+
+        sim.set_programs([(worker, (), {})])
+        sim.run()
+        assert out == [123]
+
+    def test_fallback_body_value_returned(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        out = []
+
+        @simfn(name="_tr_retval_fb")
+        def worker(ctx):
+            def body(c):
+                yield from c.syscall("read")  # forces the fallback
+                return 321
+
+            r = yield from ctx.atomic(body, name="tr_ret_fb")
+            out.append(r)
+
+        sim.set_programs([(worker, (), {})])
+        sim.run()
+        assert out == [321]
+
+
+class TestInstrumentation:
+    def _run_instrumented(self, cost=0, extra_lines=0, n_threads=2, iters=30):
+        cfg = make_config(n_threads)
+        sim = Simulator(cfg, n_threads=n_threads, seed=3)
+        instr = TxnInstrumentation(cost_per_event=cost,
+                                   extra_wset_lines=extra_lines)
+        sim.rtm.instrument = instr
+        counter = sim.memory.alloc_line()
+        from tests.conftest import increment_worker
+
+        sim.set_programs(
+            [(increment_worker, (counter, iters), {})] * n_threads
+        )
+        return sim.run(), instr, sim
+
+    def test_counts_match_engine_truth(self):
+        result, instr, _ = self._run_instrumented()
+        assert instr.total_commits() == result.commits
+        assert instr.total_aborts() == result.aborts
+        assert instr.begins["t_incr"] == result.begins
+
+    def test_per_thread_histograms_cover_all_threads(self):
+        result, instr, _ = self._run_instrumented(n_threads=3)
+        assert set(instr.commits_by_thread) | set(instr.aborts_by_thread) \
+            <= {0, 1, 2}
+        assert sum(instr.commits_by_thread.values()) == result.commits
+
+    def test_abort_commit_ratio(self):
+        _, instr, _ = self._run_instrumented()
+        ratio = instr.abort_commit_ratio()
+        assert ratio >= 0
+
+    def test_instrumentation_cost_slows_execution(self):
+        r_free, _, _ = self._run_instrumented(cost=0)
+        r_paid, _, _ = self._run_instrumented(cost=500)
+        assert r_paid.makespan > r_free.makespan
+
+    def test_wset_perturbation_can_cause_capacity_aborts(self):
+        # with the budget tiny and instrumentation adding lines, the act
+        # of measuring manufactures capacity aborts
+        cfg = make_config(1, wset_lines=4, wset_assoc=4)
+        sim = Simulator(cfg, n_threads=1, seed=3)
+        instr = TxnInstrumentation(extra_wset_lines=8)
+        sim.rtm.instrument = instr
+        counter = sim.memory.alloc_line()
+        from tests.conftest import increment_worker
+
+        sim.set_programs([(increment_worker, (counter, 5), {})])
+        result = sim.run()
+        assert result.aborts_by_reason.get("capacity", 0) > 0
+
+
+class TestLockElision:
+    def test_fallback_serializes_against_transactions(self):
+        """While one thread holds the fallback lock, no transaction can
+        commit (the lock word is in every txn's read set)."""
+        cfg = make_config(4, max_retries=2)
+        sim, counter = build_counter_sim(
+            n_threads=4, iters=50, config=cfg, pad_cycles=5
+        )
+        result = sim.run()
+        assert sim.memory.read(counter) == 200
+        # under this contention some executions must have used the lock
+        total_execs = 200
+        assert result.commits < total_execs

@@ -1,0 +1,107 @@
+"""Shadow-memory contention detection (§3.3's exact rule)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.shadow.memory import FALSE_SHARING, TRUE_SHARING, ShadowMemory
+
+
+class TestDetectionRule:
+    def test_first_access_never_contended(self):
+        sh = ShadowMemory(threshold=1000)
+        assert sh.observe(100, tid=0, is_store=True, ts=0) is None
+
+    def test_same_thread_never_contended(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, True, 0)
+        assert sh.observe(100, 0, True, 10) is None
+
+    def test_two_loads_never_contended(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, False, 0)
+        assert sh.observe(100, 1, False, 10) is None
+
+    def test_store_then_load_true_sharing(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, True, 0)
+        assert sh.observe(100, 1, False, 10) == TRUE_SHARING
+
+    def test_load_then_store_true_sharing(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, False, 0)
+        assert sh.observe(100, 1, True, 10) == TRUE_SHARING
+
+    def test_different_bytes_same_line_false_sharing(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, True, 0)
+        # address 108 shares the cache line but not the byte
+        assert sh.observe(108, 1, True, 10) == FALSE_SHARING
+
+    def test_different_lines_not_contended(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, True, 0)
+        assert sh.observe(100 + 64, 1, True, 10) is None
+
+    def test_stale_access_not_contended(self):
+        sh = ShadowMemory(threshold=100)
+        sh.observe(100, 0, True, 0)
+        assert sh.observe(100, 1, True, 100) is None  # exactly at threshold
+        sh2 = ShadowMemory(threshold=100)
+        sh2.observe(100, 0, True, 0)
+        assert sh2.observe(100, 1, True, 99) == TRUE_SHARING
+
+    def test_same_byte_after_third_thread_line_touch(self):
+        """The per-line record is the most recent access: classification
+        uses the per-byte record for true/false discrimination."""
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, True, 0)    # byte 100 <- t0
+        sh.observe(108, 1, True, 5)    # byte 108 <- t1 (false sharing)
+        # t2 hits byte 100: line contended vs t1, byte record says t0 != t2
+        assert sh.observe(100, 2, True, 10) == TRUE_SHARING
+
+    def test_event_counters(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, True, 0)
+        sh.observe(100, 1, True, 1)
+        sh.observe(108, 0, True, 2)
+        assert sh.true_sharing_events == 1
+        assert sh.false_sharing_events == 1
+
+    def test_reset(self):
+        sh = ShadowMemory(threshold=1000)
+        sh.observe(100, 0, True, 0)
+        sh.observe(100, 1, True, 1)
+        sh.reset()
+        assert sh.true_sharing_events == 0
+        assert sh.observe(100, 1, True, 2) is None
+
+
+class TestProperties:
+    @given(
+        accesses=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),   # addr
+                st.integers(min_value=0, max_value=3),     # tid
+                st.booleans(),                             # is_store
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_verdicts_only_when_line_shared(self, accesses):
+        """A verdict requires a prior access to the same line by another
+        thread; and TRUE requires a prior access to the same byte."""
+        sh = ShadowMemory(threshold=10_000)
+        last_line = {}
+        last_byte = {}
+        for ts, (addr, tid, is_store) in enumerate(accesses):
+            line = addr >> 6
+            verdict = sh.observe(addr, tid, is_store, ts)
+            if verdict is not None:
+                prev = last_line.get(line)
+                assert prev is not None and prev[0] != tid
+                assert prev[1] or is_store
+            if verdict == TRUE_SHARING:
+                assert last_byte[addr][0] != tid
+            last_line[line] = (tid, is_store)
+            last_byte[addr] = (tid, is_store)

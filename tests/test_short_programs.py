@@ -1,0 +1,39 @@
+"""§7.1's short-running-program observation: the profiler's fixed setup
+cost dominates tiny executions (the paper measured 15x on sub-0.1s
+SPLASH runs) and amortizes away on long ones."""
+
+from repro.core import TxSampler
+from repro.sim import Simulator
+
+from tests.conftest import build_counter_sim, make_config
+
+
+def _overhead(iters: int, setup: int) -> float:
+    cfg_native = make_config(2)
+    native, _ = build_counter_sim(n_threads=2, iters=iters,
+                                  config=cfg_native)
+    native_result = native.run()
+    cfg_prof = make_config(2, profiler_setup_cost=setup)
+    prof_sim, _ = build_counter_sim(n_threads=2, iters=iters,
+                                    profiler=TxSampler(), config=cfg_prof)
+    prof_result = prof_sim.run()
+    return prof_result.makespan / native_result.makespan - 1.0
+
+
+class TestFixedSetupCost:
+    def test_short_runs_dominated_by_setup(self):
+        short = _overhead(iters=5, setup=60_000)
+        assert short > 5.0  # the paper's "15x on short programs" regime
+
+    def test_long_runs_amortize_setup(self):
+        long_ = _overhead(iters=3_000, setup=60_000)
+        assert long_ < 0.35
+
+    def test_setup_disabled_by_default(self):
+        assert make_config(2).profiler_setup_cost == 0
+
+    def test_setup_not_charged_without_profiler(self):
+        cfg = make_config(2, profiler_setup_cost=60_000)
+        sim, _ = build_counter_sim(n_threads=2, iters=5, config=cfg)
+        result = sim.run()
+        assert result.makespan < 60_000

@@ -1,0 +1,161 @@
+"""ThreadContext: call stacks, instruction pointers, unwinding, snapshots."""
+
+import pytest
+
+from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim.thread import THREAD_ROOT
+
+from tests.conftest import make_config
+
+
+@simfn
+def _tt_leaf(ctx, trace):
+    trace.append(("leaf_stack_depth", len(ctx.stack)))
+    yield from ctx.compute(5)
+    return 42
+
+
+@simfn
+def _tt_mid(ctx, trace):
+    r = yield from ctx.call(_tt_leaf, trace)
+    yield from ctx.compute(1)
+    return r + 1
+
+
+@simfn
+def _tt_main(ctx, trace):
+    trace.append(("main_stack_depth", len(ctx.stack)))
+    r = yield from ctx.call(_tt_mid, trace)
+    trace.append(("result", r))
+    trace.append(("unwind", ctx.unwind()))
+    yield from ctx.compute(1)
+
+
+@simfn
+def _tt_loop_ips(ctx, ips):
+    for _ in range(4):
+        ips.append(ctx.cur_ip)  # before the op updates it
+        yield from ctx.compute(3)
+        ips.append(ctx.cur_ip)
+
+
+@simfn
+def _tt_snapshot_check(ctx, out):
+    yield from ctx.call(_tt_leaf, [])
+    snap = ctx.snapshot_stack()
+    yield from ctx.call(_tt_leaf, [])
+    ctx.restore_stack(snap)
+    out.append(ctx.unwind())
+    yield from ctx.compute(1)
+
+
+def _run_single(fn, *args, cfg=None):
+    cfg = cfg or make_config(1)
+    sim = Simulator(cfg, n_threads=1)
+    sim.set_programs([(fn, args, {})])
+    sim.run()
+    return sim
+
+
+class TestCallStack:
+    def test_nested_calls_grow_stack(self):
+        trace = []
+        _run_single(_tt_main, trace)
+        depths = dict(t for t in trace if t[0].endswith("depth"))
+        assert depths["main_stack_depth"] == 1
+        assert depths["leaf_stack_depth"] == 3  # main -> mid -> leaf
+
+    def test_return_values_propagate(self):
+        trace = []
+        _run_single(_tt_main, trace)
+        assert ("result", 43) in trace
+
+    def test_stack_pops_after_return(self):
+        trace = []
+        _run_single(_tt_main, trace)
+        unwind = dict((t[0], t[1]) for t in trace if t[0] == "unwind")["unwind"]
+        assert len(unwind) == 1  # only the main frame remains
+
+    def test_unwind_root_frame_callsite(self):
+        trace = []
+        _run_single(_tt_main, trace)
+        unwind = [t for t in trace if t[0] == "unwind"][0][1]
+        callsite, callee = unwind[0]
+        assert callsite == THREAD_ROOT
+        assert callee == _tt_main.base
+
+
+class TestInstructionPointers:
+    def test_ip_stable_across_loop_iterations(self):
+        """The same source line must map to the same synthetic address in
+        every iteration — otherwise the CCT would explode per iteration."""
+        ips = []
+        _run_single(_tt_loop_ips, ips)
+        after_op = ips[1::2]
+        assert len(set(after_op)) == 1
+
+    def test_ip_within_function_range(self):
+        ips = []
+        _run_single(_tt_loop_ips, ips)
+        base = _tt_loop_ips.base
+        for ip in ips[1::2]:
+            assert base < ip < base + 0x10000
+
+
+class TestSnapshots:
+    def test_restore_rewinds_stack(self):
+        out = []
+        _run_single(_tt_snapshot_check, out)
+        # after restore, only the main frame is on the stack
+        assert len(out[0]) == 1
+
+    def test_snapshot_is_immutable_copy(self):
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        t = sim.threads[0]
+        t.start(_tt_main, ([],), {})
+        snap = t.snapshot_stack()
+        t.stack[0][1] = 999
+        assert snap[0][1] != 999
+
+
+class TestHelpers:
+    def test_add_helper_read_modify_write(self):
+        @simfn(name="_tt_add_helper")
+        def worker(ctx, addr):
+            r = yield from ctx.add(addr, 5)
+            assert r == 5
+            r = yield from ctx.add(addr, -2)
+            assert r == 3
+
+        cfg = make_config(1)
+        sim = Simulator(cfg, n_threads=1)
+        addr = sim.memory.alloc_line()
+        sim.set_programs([(worker, (addr,), {})])
+        sim.run()
+        assert sim.memory.read(addr) == 3
+
+    def test_arch_ip_tracks_current_frame(self):
+        @simfn(name="_tt_archip")
+        def worker(ctx, out):
+            yield from ctx.compute(1)
+            out.append(ctx.arch_ip())
+
+        out = []
+        _run_single(worker, out)
+        assert _tt_loop_ips.base < out[0] or out[0] > 0
+        fn_base = worker.base
+        assert fn_base < out[0] < fn_base + 0x10000
+
+    def test_rng_is_seeded_per_thread(self):
+        cfg = make_config(2)
+        sim1 = Simulator(cfg, n_threads=2, seed=4)
+        sim2 = Simulator(cfg, n_threads=2, seed=4)
+        assert (
+            sim1.threads[0].rng.random() == sim2.threads[0].rng.random()
+        )
+        sim3 = Simulator(cfg, n_threads=2, seed=5)
+        assert (
+            Simulator(cfg, n_threads=2, seed=4).threads[1].rng.random()
+            != sim3.threads[1].rng.random()
+        )

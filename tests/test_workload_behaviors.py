@@ -1,0 +1,203 @@
+"""Per-workload behavioural invariants: each HTMBench program must
+actually compute what its domain says, under full HTM concurrency."""
+
+import random
+
+import pytest
+
+from repro.htmbench import get_workload
+from repro.sim import MachineConfig, Simulator
+
+from tests.conftest import make_config
+
+N = 6
+SCALE = 0.25
+
+
+def build_and_run(name, seed=5, n_threads=N, scale=SCALE, **params):
+    """Run a workload and return (result, sim, programs)."""
+    cfg = make_config(n_threads)
+    sim = Simulator(cfg, n_threads=n_threads, seed=seed)
+    wl = get_workload(name, **params)
+    programs = wl.build(sim, n_threads, scale, random.Random(seed))
+    sim.set_programs(programs)
+    result = sim.run()
+    return result, sim, programs
+
+
+class TestHisto:
+    def test_histogram_sums_to_counted_pixels(self):
+        from repro.htmbench.parboil import MAX_COUNT, N_BINS
+
+        result, sim, programs = build_and_run("histo")
+        histo_arr = programs[0][1][0]
+        image = programs[0][1][1]
+        bins = histo_arr.host_read()
+        assert all(0 <= b <= MAX_COUNT for b in bins)
+        # every bin equals min(pixels of that value, clamp)
+        import collections
+
+        expected = collections.Counter(image)
+        for value in range(N_BINS):
+            assert bins[value] == min(expected.get(value, 0), MAX_COUNT)
+
+    def test_coalesced_variant_computes_same_histogram(self):
+        _, _, p1 = build_and_run("histo", seed=9)
+        _, _, p2 = build_and_run("histo", seed=9, txn_gran=16)
+        assert p1[0][1][0].host_read() == p2[0][1][0].host_read()
+
+
+class TestKmeans:
+    def test_accumulators_cover_every_point(self):
+        result, sim, programs = build_and_run("kmeans")
+        data = programs[0][1][0]
+        iterations = programs[0][1][4]
+        counts = [
+            data.sums.host_get(ci * (data.DIMS + 1) + data.DIMS)
+            for ci in range(data.k)
+        ]
+        per_thread = programs[0][1][2]
+        assert sum(counts) == per_thread * N * iterations
+
+
+class TestGenome:
+    def test_every_unique_segment_registered_once(self):
+        result, sim, programs = build_and_run("genome")
+        data = programs[0][1][0]
+        seen = set(data.segments)
+        for seg in seen:
+            assert data.unique.host_lookup(seg) is not None
+        # chains contain no duplicate keys
+        for length, keys in [(None, None)]:
+            pass
+        counted = sum(data.unique.chain_lengths())
+        assert counted == len(seen)
+
+
+class TestIntruder:
+    def test_all_packets_consumed_and_flows_complete(self):
+        result, sim, programs = build_and_run("intruder")
+        data = programs[0][1][0]
+        assert data.queue.host_size() == 0
+        # every flow's fragment count reached exactly frags_per_flow
+        lengths = data.fragments.chain_lengths()
+        total_flows = sum(lengths)
+        assert total_flows > 0
+        for flow in range(total_flows):
+            count = data.fragments.host_lookup(flow)
+            if count is not None:
+                assert count == data.frags_per_flow
+
+
+class TestLabyrinth:
+    def test_claimed_cells_have_valid_owners(self):
+        result, sim, programs = build_and_run("labyrinth")
+        grid = programs[0][1][0]
+        owners = set(grid.cells.host_read())
+        assert owners <= set(range(N + 1))  # 0 = free, 1..N = tid+1
+
+
+class TestSsca2:
+    def test_degrees_match_stored_edges(self):
+        result, sim, programs = build_and_run("ssca2")
+        graph = programs[0][1][0]
+        for u in range(graph.n_vertices):
+            deg = graph.degrees.host_get(u)
+            assert 0 <= deg <= graph.MAX_DEGREE
+
+    def test_split_and_batched_insert_same_edge_count(self):
+        r1, _, p1 = build_and_run("ssca2", seed=3)
+        r2, _, p2 = build_and_run("ssca2_opt", seed=3)
+        g1, g2 = p1[0][1][0], p2[0][1][0]
+        # same seed -> same edge stream -> same total weight mass
+        assert sum(g1.weights.host_read()) == sum(g2.weights.host_read())
+
+
+class TestPBZip2:
+    def test_every_block_flushed_in_order(self):
+        result, sim, programs = build_and_run("pbzip2")
+        data = programs[0][1][0]
+        n_blocks = data.done.length - 2
+        # output cursor advanced past every block
+        assert data.next_out.host_get(0) == n_blocks + 1
+        assert all(data.done.host_get(b + 1) == 1 for b in range(n_blocks))
+
+
+class TestUtilityMine:
+    def test_utility_mass_conserved(self):
+        result, sim, programs = build_and_run("utilitymine")
+        data = programs[0][1][0]
+        per_thread = programs[0][1][2]
+        processed = [data.rows[(start + i) % len(data.rows)]
+                     for (_, (d, start, count), _) in programs
+                     for i in range(count)]
+        expected = sum(qty for row in processed for _, qty in row)
+        assert sum(data.utilities.host_read()) == expected
+
+
+class TestScalParc:
+    def test_tally_counts_equal_records_times_attributes(self):
+        result, sim, programs = build_and_run("scalparc")
+        data = programs[0][1][0]
+        per_thread = programs[0][1][2]
+        total = sum(data.counts.host_read())
+        assert total == per_thread * N * data.n_attributes
+
+
+class TestLevelDb:
+    def test_refcounts_return_to_initial(self):
+        result, sim, programs = build_and_run("leveldb")
+        db = programs[0][1][0]
+        # every Get refs then unrefs: the counters end where they started
+        assert db.refs.host_read() == [1, 1, 1]
+
+    def test_split_variant_also_balances(self):
+        result, sim, programs = build_and_run("leveldb_opt")
+        db = programs[0][1][0]
+        assert db.refs.host_read() == [1, 1, 1]
+
+
+class TestAvlTreeApp:
+    def test_tree_stays_balanced_under_mixed_load(self):
+        result, sim, programs = build_and_run("avltree")
+        data = programs[0][1][0]
+        assert data.tree.host_check_balanced()
+        keys = data.tree.host_keys_inorder()
+        assert keys == sorted(set(keys))
+
+    def test_read_lock_returns_to_zero(self):
+        result, sim, programs = build_and_run("avltree")
+        data = programs[0][1][0]
+        assert data.read_lock.host_get(0) == 0
+
+
+class TestQuakeTm:
+    def test_world_updates_land_in_region_bounds(self):
+        result, sim, programs = build_and_run("quaketm")
+        world = programs[0][1][0]
+        assert all(0 <= v < 9973 for v in world.host_read())
+
+
+class TestDedupPipeline:
+    def test_all_chunks_flow_through_every_stage(self):
+        result, sim, programs = build_and_run("dedup")
+        data = programs[0][1][0]
+        # both queues fully drained
+        assert data.q_anchors.host_size() == 0
+        assert data.q_compress.host_size() == 0
+
+    def test_cache_hit_counts_track_duplicates(self):
+        result, sim, programs = build_and_run("dedup")
+        data = programs[0][1][0]
+        # prefilled entries started at 1 and only grow
+        for fp in data.fingerprints[:20]:
+            count = data.cache.host_lookup(fp)
+            assert count is not None and count >= 1
+
+
+class TestBart:
+    def test_gridding_mass(self):
+        result, sim, programs = build_and_run("bart")
+        kgrid, n_samples, spread = programs[0][1]
+        expected = N * n_samples * sum(range(1, spread + 1))
+        assert sum(kgrid.host_read()) == expected

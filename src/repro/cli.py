@@ -2,30 +2,65 @@
 
 The PPoPP artifact ships ``measure_overhead.py``, ``measure_speedup.py``
 and ``generate_profile.py``; this CLI mirrors them (plus the figure
-harnesses and a viewer for saved profile databases)::
+harnesses, a viewer for saved profile databases, and the ``repro.obs``
+event tracer)::
 
     python -m repro list
     python -m repro run dedup --guidance --save-db dedup.json
+    python -m repro trace dedup --trace-out dedup-trace.json
     python -m repro view dedup.json
     python -m repro measure-overhead vacation histo
     python -m repro measure-speedup all
     python -m repro table1 | figure7 | figure8 | correctness
 
-All commands accept ``--threads``, ``--scale`` and ``--seed``.
+All commands accept ``--threads``, ``--scale`` and ``--seed``; the
+global ``-v``/``-q`` flags (before the subcommand) adjust verbosity.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 from . import htmbench
 from .core import DecisionTree
-from .core.export import load_profile, save_profile
-from .core.report import render_full_report
+from .core.export import load_profile, load_run_metrics, save_profile
+from .core.report import render_full_report, render_self_diagnostics
 from .experiments.runner import run_workload, trimmed_mean_overhead
 from .experiments.runner import speedup as measure_speedup_pair
+from .obs.metrics import format_snapshot
+from .obs.selfprof import diagnose
+
+_log = logging.getLogger("repro.cli")
+
+
+class _ConsoleHandler(logging.Handler):
+    """A ``print()``-compatible handler: bare messages, INFO and below to
+    stdout, ERROR and above to stderr.  Streams are resolved per record,
+    so ``contextlib.redirect_stdout`` (and test capture) keeps working.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = (sys.stderr if record.levelno >= logging.ERROR
+                      else sys.stdout)
+            stream.write(record.getMessage() + "\n")
+        except Exception:  # pragma: no cover - defensive, as logging does
+            self.handleError(record)
+
+
+def _setup_logging(verbose: bool, quiet: bool) -> None:
+    if not any(isinstance(h, _ConsoleHandler) for h in _log.handlers):
+        _log.addHandler(_ConsoleHandler())
+    _log.propagate = False
+    if quiet:
+        _log.setLevel(logging.ERROR)
+    elif verbose:
+        _log.setLevel(logging.DEBUG)
+    else:
+        _log.setLevel(logging.INFO)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -43,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="TxSampler reproduction: profile HTM programs on the "
                     "simulated TSX substrate",
     )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also emit debug detail")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress normal output (errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the HTMBench workloads")
@@ -56,11 +95,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the profile database (JSON)")
     p.add_argument("--no-report", action="store_true",
                    help="suppress the textual report")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="record engine events and write a Chrome trace "
+                        "(chrome://tracing / Perfetto)")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect run metrics and print them with the "
+                        "profiler self-diagnostics")
+    _add_common(p)
+
+    p = sub.add_parser("trace",
+                       help="run a workload with the repro.obs event "
+                            "tracer and write a Chrome trace")
+    p.add_argument("workload")
+    p.add_argument("--trace-out", metavar="PATH", default="trace.json",
+                   help="output path (default trace.json)")
+    p.add_argument("--no-profile", action="store_true",
+                   help="trace a native run (no TxSampler, so no PMU "
+                        "sample events on the timeline)")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the run metrics snapshot")
     _add_common(p)
 
     p = sub.add_parser("view", help="render a saved profile database")
     p.add_argument("database")
     p.add_argument("--guidance", action="store_true")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the stored run-metrics snapshot, if any")
 
     p = sub.add_parser("measure-overhead",
                        help="native-vs-sampled overhead "
@@ -68,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workloads", nargs="+",
                    help="workload names, or 'all' for the Figure 5 list")
     p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--metrics", action="store_true",
+                   help="run each workload once more with metrics on and "
+                        "print a brief per-workload metrics line")
     _add_common(p)
 
     p = sub.add_parser("measure-speedup",
@@ -75,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(measure_speedup.py analogue)")
     p.add_argument("programs", nargs="+",
                    help="naive program names from Table 2, or 'all'")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect run metrics and print a brief "
+                        "naive-vs-optimized comparison per program")
     _add_common(p)
 
     for name, helptext in (
@@ -89,6 +155,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _metrics_brief(snapshot: dict) -> str:
+    """One-line digest of the headline counters in a metrics snapshot."""
+
+    def val(name: str) -> int:
+        return snapshot.get(name, {}).get("value", 0)
+
+    return (f"commits={val('htm.commits')} aborts={val('htm.aborts')} "
+            f"retries={val('rtm.retries')} fallbacks={val('rtm.fallbacks')} "
+            f"samples={val('pmu.samples')}")
+
+
+# ---------------------------------------------------------------------------
 # commands
 # ---------------------------------------------------------------------------
 
@@ -96,39 +178,77 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_list(args) -> int:
     for suite in htmbench.suites():
         names = htmbench.workload_names(suite)
-        print(f"{suite}:")
+        _log.info(f"{suite}:")
         for name in names:
             cls = htmbench.WORKLOADS[name]
-            print(f"  {name:22s} Type {cls.expected_type:3s} "
-                  f"{cls.description}")
+            _log.info(f"  {name:22s} Type {cls.expected_type:3s} "
+                      f"{cls.description}")
     return 0
 
 
 def cmd_run(args) -> int:
+    _log.debug(f"run: workload={args.workload} threads={args.threads} "
+               f"scale={args.scale} seed={args.seed}")
     out = run_workload(args.workload, n_threads=args.threads,
-                       scale=args.scale, seed=args.seed, profile=True)
+                       scale=args.scale, seed=args.seed, profile=True,
+                       trace=bool(args.trace_out), metrics=args.metrics)
     r = out.result
-    print(f"makespan={r.makespan} commits={r.commits} aborts={r.aborts} "
-          f"by reason={r.aborts_by_reason}")
+    _log.info(f"makespan={r.makespan} commits={r.commits} aborts={r.aborts} "
+              f"by reason={r.aborts_by_reason}")
     profile = out.profile
     if not args.no_report:
-        print()
-        print(render_full_report(profile, args.workload))
+        _log.info("")
+        _log.info(render_full_report(profile, args.workload))
     if args.guidance:
-        print()
-        print(DecisionTree().analyze(profile).render())
+        _log.info("")
+        _log.info(DecisionTree().analyze(profile).render())
+    if args.metrics:
+        _log.info("")
+        _log.info(format_snapshot(r.metrics))
+        _log.info("")
+        _log.info(render_self_diagnostics(diagnose(out.profiler, out.sim)))
+    if args.trace_out:
+        path = out.obs.tracer.write(args.trace_out)
+        _log.info(f"\nchrome trace written to {path} "
+                  f"({len(out.obs.tracer)} events, "
+                  f"{out.obs.tracer.total_dropped} dropped)")
     if args.save_db:
-        path = save_profile(profile, args.save_db)
-        print(f"\nprofile database written to {path}")
+        path = save_profile(profile, args.save_db, run_metrics=r.metrics)
+        _log.info(f"\nprofile database written to {path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    out = run_workload(args.workload, n_threads=args.threads,
+                       scale=args.scale, seed=args.seed,
+                       profile=not args.no_profile,
+                       trace=True, metrics=True)
+    r = out.result
+    tracer = out.obs.tracer
+    path = tracer.write(args.trace_out)
+    _log.info(f"makespan={r.makespan} commits={r.commits} aborts={r.aborts} "
+              f"by reason={r.aborts_by_reason}")
+    _log.info(f"captured {len(tracer)} events on "
+              f"{len(r.per_thread_cycles)} threads "
+              f"({tracer.total_dropped} dropped by the ring buffers)")
+    if args.metrics:
+        _log.info("")
+        _log.info(format_snapshot(r.metrics))
+    _log.info(f"\nchrome trace written to {path}")
+    _log.info("open it in chrome://tracing or https://ui.perfetto.dev "
+              "(timestamps are simulated cycles)")
     return 0
 
 
 def cmd_view(args) -> int:
     profile = load_profile(args.database)
-    print(render_full_report(profile, args.database))
+    _log.info(render_full_report(profile, args.database))
     if args.guidance:
-        print()
-        print(DecisionTree().analyze(profile).render())
+        _log.info("")
+        _log.info(DecisionTree().analyze(profile).render())
+    if args.metrics:
+        _log.info("")
+        _log.info(format_snapshot(load_run_metrics(args.database)))
     return 0
 
 
@@ -147,8 +267,13 @@ def cmd_measure_overhead(args) -> int:
         )
         total += mean
         spread = f"[{min(runs):+.1%}, {max(runs):+.1%}]"
-        print(f"{name:22s} {mean:+8.2%}  {spread}")
-    print(f"{'MEAN':22s} {total / len(names):+8.2%}")
+        _log.info(f"{name:22s} {mean:+8.2%}  {spread}")
+        if args.metrics:
+            extra = run_workload(name, n_threads=args.threads,
+                                 scale=args.scale, seed=args.seed,
+                                 profile=True, metrics=True)
+            _log.info(f"{'':22s}   {_metrics_brief(extra.result.metrics)}")
+    _log.info(f"{'MEAN':22s} {total / len(names):+8.2%}")
     return 0
 
 
@@ -160,23 +285,33 @@ def cmd_measure_speedup(args) -> int:
     rc = 0
     for name in names:
         if name not in pairs:
-            print(f"{name}: not a Table 2 program "
-                  f"(known: {', '.join(pairs)})", file=sys.stderr)
+            _log.error(f"{name}: not a Table 2 program "
+                       f"(known: {', '.join(pairs)})")
             rc = 2
             continue
         opt, paper = pairs[name]
-        s, _, _ = measure_speedup_pair(
+        from .sim.config import MachineConfig
+
+        config = None
+        if args.metrics:
+            config = MachineConfig(
+                n_threads=args.threads).evolve(metrics_enabled=True)
+        s, base, optimized = measure_speedup_pair(
             name, opt, n_threads=args.threads, scale=args.scale,
-            seed=args.seed,
+            seed=args.seed, config=config,
         )
-        print(f"{name:14s} {s:5.2f}x   (paper: {paper:.2f}x)")
+        _log.info(f"{name:14s} {s:5.2f}x   (paper: {paper:.2f}x)")
+        if args.metrics:
+            _log.info(f"  naive    : {_metrics_brief(base.result.metrics)}")
+            _log.info(f"  optimized: "
+                      f"{_metrics_brief(optimized.result.metrics)}")
     return rc
 
 
 def cmd_table1(args) -> int:
     from .experiments.clomp import render_table1
 
-    print(render_table1())
+    _log.info(render_table1())
     return 0
 
 
@@ -184,14 +319,14 @@ def cmd_figure7(args) -> int:
     from .experiments.clomp import check_expectations, figure7, render_figure7
 
     rows = figure7(n_threads=args.threads, scale=args.scale, seed=args.seed)
-    print(render_figure7(rows))
+    _log.info(render_figure7(rows))
     problems = check_expectations(rows)
     if problems:
-        print("\nnarrative check FAILED:")
+        _log.info("\nnarrative check FAILED:")
         for prob in problems:
-            print(f"  ! {prob}")
+            _log.info(f"  ! {prob}")
         return 1
-    print("\nnarrative check: OK (all Figure 7 observations hold)")
+    _log.info("\nnarrative check: OK (all Figure 7 observations hold)")
     return 0
 
 
@@ -199,7 +334,7 @@ def cmd_figure8(args) -> int:
     from .experiments.categorize import figure8, render_figure8
 
     rows = figure8(n_threads=args.threads, scale=args.scale, seed=args.seed)
-    print(render_figure8(rows))
+    _log.info(render_figure8(rows))
     return 0
 
 
@@ -208,13 +343,14 @@ def cmd_correctness(args) -> int:
 
     rows = section72(n_threads=args.threads, scale=args.scale,
                      seed=args.seed)
-    print(render_section72(rows))
+    _log.info(render_section72(rows))
     return 0 if all(r.ok for r in rows) else 1
 
 
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
+    "trace": cmd_trace,
     "view": cmd_view,
     "measure-overhead": cmd_measure_overhead,
     "measure-speedup": cmd_measure_speedup,
@@ -227,4 +363,5 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_logging(args.verbose, args.quiet)
     return COMMANDS[args.command](args)

@@ -10,12 +10,13 @@ from . import metrics
 from .analyzer import CsReport, Profile, ProgramSummary
 from .categorize import TYPE_I, TYPE_II, TYPE_III, Category, categorize
 from .decision_tree import DecisionTree, Guidance, Step, Thresholds
-from .export import load_profile, merge_databases, save_profile
+from .export import load_profile, load_run_metrics, merge_databases, save_profile
 from .profiler import TxSampler
 from .report import (
     render_cct,
     render_cs_table,
     render_full_report,
+    render_self_diagnostics,
     render_summary,
     render_thread_histogram,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "Category",
     "save_profile",
     "load_profile",
+    "load_run_metrics",
     "merge_databases",
     "TYPE_I",
     "TYPE_II",
@@ -43,4 +45,5 @@ __all__ = [
     "render_cct",
     "render_thread_histogram",
     "render_full_report",
+    "render_self_diagnostics",
 ]

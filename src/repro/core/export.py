@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from ..cct.tree import CCTNode, new_root
 from ..sim.program import REGISTRY
@@ -70,9 +70,17 @@ def _symbols_for(profile: Profile) -> Dict[str, str]:
     return {str(a): REGISTRY.describe(a) for a in addrs}
 
 
-def profile_to_dict(profile: Profile) -> dict:
-    """The complete database document for one profile."""
-    return {
+def profile_to_dict(profile: Profile,
+                    run_metrics: Optional[Dict[str, dict]] = None) -> dict:
+    """The complete database document for one profile.
+
+    ``run_metrics`` is an optional engine-side metrics snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`, also carried on
+    ``RunResult.metrics``); it rides along as ground-truth context and
+    is ignored by the profile loader, so the profiler-visible content of
+    a database is unchanged by its presence.
+    """
+    doc = {
         "format": FORMAT,
         "version": VERSION,
         "n_threads": profile.n_threads,
@@ -83,14 +91,18 @@ def profile_to_dict(profile: Profile) -> dict:
         "symbols": _symbols_for(profile),
         "cct": _node_to_dict(profile.root),
     }
+    if run_metrics:
+        doc["run_metrics"] = run_metrics
+    return doc
 
 
-def save_profile(profile: Profile, path: Union[str, Path]) -> Path:
+def save_profile(profile: Profile, path: Union[str, Path],
+                 run_metrics: Optional[Dict[str, dict]] = None) -> Path:
     """Write a profile database; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as fh:
-        json.dump(profile_to_dict(profile), fh, indent=1)
+        json.dump(profile_to_dict(profile, run_metrics), fh, indent=1)
     return path
 
 
@@ -133,6 +145,17 @@ def profile_from_dict(data: dict) -> Profile:
 def load_profile(path: Union[str, Path]) -> Profile:
     with Path(path).open() as fh:
         return profile_from_dict(json.load(fh))
+
+
+def load_run_metrics(path: Union[str, Path]) -> Dict[str, dict]:
+    """The engine-side metrics snapshot stored in a database, if any."""
+    with Path(path).open() as fh:
+        data = json.load(fh)
+    if data.get("format") != FORMAT:
+        raise ProfileFormatError(
+            f"not a {FORMAT} document (format={data.get('format')!r})"
+        )
+    return data.get("run_metrics", {})
 
 
 def merge_databases(paths: List[Union[str, Path]]) -> Profile:

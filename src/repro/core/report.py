@@ -8,17 +8,22 @@ Renders:
   with a chosen metric and its percentage of the program total, with
   ``begin_in_tx`` pseudo nodes marking speculative paths;
 * a **per-thread histogram** of commits/aborts for one context (§5's
-  contention metrics view).
+  contention metrics view);
+* a **profiler self-diagnostics** pane (``repro.obs.selfprof``): is the
+  profiler itself healthy and cheap enough to trust?
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..cct.tree import CCTNode
 from ..sim.program import REGISTRY
 from . import metrics as m
 from .analyzer import CsReport, Profile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.selfprof import SelfDiagnostics
 
 
 def _describe_key(key, site_names: Dict[int, str]) -> str:
@@ -132,7 +137,41 @@ def render_thread_histogram(cs: CsReport, n_threads: int) -> str:
     return "\n".join(lines)
 
 
-def render_full_report(profile: Profile, title: str = "program") -> str:
+def render_self_diagnostics(diag: "SelfDiagnostics") -> str:
+    """The profiler self-diagnostics pane (``repro.obs.selfprof``)."""
+    lines = ["=== profiler self-diagnostics ==="]
+    total = diag.total_samples
+    lines.append(f"samples seen         : {total}")
+    for event in sorted(diag.samples_by_event):
+        n = diag.samples_by_event[event]
+        share = n / total if total else 0.0
+        lines.append(f"  {event:18s} {n:8d}  ({share:.1%})")
+    lines.append(
+        f"handler invocations  : {diag.handler_invocations}"
+        f"  (~{diag.handler_overhead_cycles} cycles of handler overhead)"
+    )
+    if diag.setup_overhead_cycles:
+        lines.append(
+            f"setup overhead       : {diag.setup_overhead_cycles} cycles"
+        )
+    lines.append(
+        f"path reconstructions : {diag.stack_reconstructions}"
+        f"  (truncated {diag.truncated_paths}, "
+        f"rate {diag.truncation_rate:.1%})"
+    )
+    lines.append(
+        f"shadow memory        : {diag.shadow_bytes} bytes / "
+        f"{diag.shadow_lines} lines tracked, "
+        f"{diag.sharing_verdicts} sharing verdicts"
+    )
+    return "\n".join(lines)
+
+
+def render_full_report(
+    profile: Profile,
+    title: str = "program",
+    diagnostics: Optional["SelfDiagnostics"] = None,
+) -> str:
     parts = [
         render_summary(profile, title),
         "",
@@ -143,4 +182,6 @@ def render_full_report(profile: Profile, title: str = "program") -> str:
     hottest = profile.hottest_cs()
     if hottest is not None:
         parts += ["", render_thread_histogram(hottest, profile.n_threads)]
+    if diagnostics is not None:
+        parts += ["", render_self_diagnostics(diagnostics)]
     return "\n".join(parts)

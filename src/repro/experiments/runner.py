@@ -14,6 +14,7 @@ from ..core.analyzer import Profile
 from ..core.profiler import TxSampler
 from .. import htmbench  # noqa: F401  (imports register all workloads)
 from ..htmbench.base import Workload, get_workload
+from ..obs.hooks import Observability
 from ..rtm.instrument import TxnInstrumentation
 from ..sim.config import MachineConfig
 from ..sim.engine import RunResult, Simulator
@@ -30,6 +31,8 @@ class Outcome:
     profile: Optional[Profile] = None
     profiler: Optional[TxSampler] = None
     instrument: Optional[TxnInstrumentation] = None
+    #: the run's observability bundle (tracer/metrics), when enabled
+    obs: Optional[Observability] = None
 
 
 def _resolve(workload: WorkloadLike, params: dict) -> Workload:
@@ -47,11 +50,23 @@ def run_workload(
     profile: bool = False,
     instrument: bool = False,
     contention_threshold: int = 50_000,
+    trace: bool = False,
+    metrics: bool = False,
     **params,
 ) -> Outcome:
     """Build + run one workload; optionally attach TxSampler and/or the
-    ground-truth instrumentation."""
+    ground-truth instrumentation.
+
+    ``trace``/``metrics`` switch on the ``repro.obs`` tracer and metrics
+    registry for this run (in addition to whatever the config enables);
+    the resulting bundle is returned as ``Outcome.obs``.
+    """
     cfg = config or MachineConfig(n_threads=n_threads)
+    if trace or metrics:
+        cfg = cfg.evolve(
+            trace_enabled=cfg.trace_enabled or trace,
+            metrics_enabled=cfg.metrics_enabled or metrics,
+        )
     wl = _resolve(workload, params)
     profiler = TxSampler(contention_threshold) if profile else None
     sim = Simulator(cfg, n_threads=n_threads, seed=seed, profiler=profiler)
@@ -68,6 +83,7 @@ def run_workload(
         profile=profiler.profile() if profiler else None,
         profiler=profiler,
         instrument=instr,
+        obs=sim.obs,
     )
 
 

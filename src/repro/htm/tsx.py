@@ -93,6 +93,8 @@ class TsxEngine:
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
+        #: observability bundle (attached by the Simulator; None when off)
+        self.obs = None
         #: active (not yet committed/rolled-back) transaction per tid
         self.active: Dict[int, Transaction] = {}
         self._n_sets = max(1, config.wset_lines // max(1, config.wset_assoc))
@@ -115,6 +117,8 @@ class TsxEngine:
         txn = Transaction(thread, cs_id, now, begin_ip, fallback_ip)
         self.active[thread.tid] = txn
         self.total_begins += 1
+        if self.obs is not None:
+            self.obs.on_txn_begin(thread.tid, now, cs_id, len(self.active))
         return txn
 
     # ----------------------------------------------------------------- access
@@ -230,6 +234,8 @@ class TsxEngine:
             memory_write(addr, value)
         del self.active[thread.tid]
         self.total_commits += 1
+        if self.obs is not None:
+            self.obs.on_txn_commit(thread.tid, thread.clock, txn)
         return True
 
     def _validate_lazy(self, txn: Transaction) -> None:

@@ -1,0 +1,45 @@
+"""``repro.obs`` — observability for the simulated substrate.
+
+Three parts, all zero-dependency and off by default
+(:class:`~repro.sim.config.MachineConfig` gates them):
+
+* :mod:`repro.obs.trace` — ring-buffered structured event tracer with
+  Chrome trace-event JSON export (one track per simulated thread);
+* :mod:`repro.obs.metrics` — named counters / gauges / fixed-bucket
+  histograms snapshotted into ``RunResult`` and profile databases;
+* :mod:`repro.obs.selfprof` — self-diagnostics of the TxSampler
+  profiler (samples per handler, LBR truncation rate, shadow-memory
+  occupancy, sampling overhead).
+
+Everything here is engine-side **ground truth** infrastructure, like
+``RunResult``: it observes simulator internals freely but never feeds
+data into an attached profiler, so the paper's profiler-legal
+observation boundary is unaffected.
+"""
+
+from .hooks import Observability
+from .metrics import (
+    COUNT_BUCKETS,
+    CYCLE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+)
+from .selfprof import SelfDiagnostics, diagnose
+from .trace import Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "CYCLE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "SelfDiagnostics",
+    "Tracer",
+    "diagnose",
+    "format_snapshot",
+]

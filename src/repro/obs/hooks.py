@@ -1,0 +1,174 @@
+"""The observability facade the engine layers call into.
+
+One :class:`Observability` instance bundles the (optional) event tracer
+and (optional) metrics registry for a run.  Instrumentation sites in
+``sim/engine.py``, ``htm/tsx.py`` and ``rtm/runtime.py`` hold a single
+reference and call the ``on_*`` hooks; when observability is disabled
+the reference is ``None`` and the only residual cost is the pointer
+test at each site.
+
+Hooks are strictly *read-only* with respect to the simulation: they
+charge no cycles, consume no seeded randomness, and never hand data to
+an attached profiler — the profiler-legal observation boundary of
+DESIGN.md is preserved bit-for-bit (tested by
+``tests/test_obs.py::TestObservationBoundary``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from .metrics import COUNT_BUCKETS, MetricsRegistry
+from .trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..htm.tsx import Transaction
+    from ..sim.config import MachineConfig
+
+
+class Observability:
+    """Tracer + metrics bundle; either part may be absent."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @classmethod
+    def from_config(cls, config: "MachineConfig") -> Optional["Observability"]:
+        """Build the bundle a config asks for; None when everything is
+        off, so disabled runs carry no observability state at all."""
+        tracer = Tracer(config.trace_capacity) if config.trace_enabled else None
+        metrics = MetricsRegistry() if config.metrics_enabled else None
+        if tracer is None and metrics is None:
+            return None
+        return cls(tracer, metrics)
+
+    # ------------------------------------------------------ thread lifecycle
+
+    def on_thread_start(self, tid: int, ts: int) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(tid, ts, "thread_start")
+        if self.metrics is not None:
+            self.metrics.counter("sim.threads").inc()
+
+    def on_thread_end(self, tid: int, ts: int) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(tid, ts, "thread_end")
+
+    def on_run_end(self, steps: int) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("sim.steps").inc(steps)
+
+    # ----------------------------------------------------------- HTM engine
+
+    def label_cs(self, cs_id: int, name: str) -> None:
+        if self.tracer is not None:
+            self.tracer.label_cs(cs_id, name)
+
+    def on_txn_begin(self, tid: int, ts: int, cs_id: int, live: int) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(tid, ts, "xbegin",
+                                {"cs": self.tracer.cs_label(cs_id)})
+        if self.metrics is not None:
+            self.metrics.counter("htm.begins").inc()
+            self.metrics.gauge("htm.max_live_txns").track_max(live)
+
+    def on_txn_commit(self, tid: int, ts: int, txn: "Transaction") -> None:
+        reads = len(txn.read_lines)
+        writes = len(txn.write_lines)
+        if self.tracer is not None:
+            self.tracer.span(
+                tid, txn.start_cycle, ts,
+                f"txn:{self.tracer.cs_label(txn.cs_id)}",
+                {"outcome": "commit", "read_lines": reads,
+                 "write_lines": writes},
+            )
+        if self.metrics is not None:
+            self.metrics.counter("htm.commits").inc()
+            self.metrics.histogram("htm.txn_cycles").observe(
+                ts - txn.start_cycle)
+            self.metrics.histogram(
+                "htm.read_set_lines", COUNT_BUCKETS).observe(reads)
+            self.metrics.histogram(
+                "htm.write_set_lines", COUNT_BUCKETS).observe(writes)
+
+    def on_txn_abort(self, tid: int, ts: int, txn: "Transaction",
+                     reason: str, weight: int) -> None:
+        if self.tracer is not None:
+            self.tracer.span(
+                tid, txn.start_cycle, ts,
+                f"txn:{self.tracer.cs_label(txn.cs_id)}",
+                {"outcome": "abort", "reason": reason, "weight": weight,
+                 "read_lines": len(txn.read_lines),
+                 "write_lines": len(txn.write_lines)},
+            )
+        if self.metrics is not None:
+            self.metrics.counter("htm.aborts").inc()
+            self.metrics.counter(f"htm.aborts.{reason}").inc()
+            self.metrics.histogram("htm.abort_weight").observe(weight)
+
+    # ----------------------------------------------------------- RTM runtime
+
+    def on_retry(self, tid: int) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("rtm.retries").inc()
+
+    def on_lock_wait(self, tid: int, start: int, end: int) -> None:
+        if self.tracer is not None:
+            self.tracer.span(tid, start, end, "lock_wait")
+        if self.metrics is not None:
+            self.metrics.histogram("rtm.lock_wait_cycles").observe(end - start)
+
+    def on_lock_acquire(self, tid: int, ts: int) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(tid, ts, "lock_acquire")
+        if self.metrics is not None:
+            self.metrics.counter("rtm.lock_acquires").inc()
+
+    def on_lock_release(self, tid: int, ts: int) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(tid, ts, "lock_release")
+
+    def on_fallback(self, tid: int, start: int, end: int,
+                    retries: int) -> None:
+        if self.tracer is not None:
+            self.tracer.span(tid, start, end, "fallback",
+                             {"retries": retries})
+        if self.metrics is not None:
+            self.metrics.counter("rtm.fallbacks").inc()
+            self.metrics.histogram(
+                "rtm.retries_before_fallback", COUNT_BUCKETS).observe(retries)
+
+    # ------------------------------------------------------------------- PMU
+
+    def on_sample(self, tid: int, ts: int, fields: dict) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(tid, ts, "pmu_sample", fields)
+        if self.metrics is not None:
+            self.metrics.counter("pmu.samples").inc()
+            self.metrics.counter(f"pmu.samples.{fields['event']}").inc()
+            if fields.get("aborted_txn"):
+                self.metrics.counter("pmu.txn_aborting_samples").inc()
+
+    # ------------------------------------------------------- engine events
+
+    def on_syscall(self, tid: int, ts: int, kind: str,
+                   in_txn: bool) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(tid, ts, "syscall",
+                                {"kind": kind, "in_txn": in_txn})
+        if self.metrics is not None:
+            self.metrics.counter("sim.syscalls").inc()
+
+    def on_barrier_wait(self, tid: int, start: int, end: int,
+                        generation: int) -> None:
+        if self.tracer is not None:
+            self.tracer.span(tid, start, end, "barrier_wait",
+                             {"generation": generation})
+        if self.metrics is not None:
+            self.metrics.counter("sim.barrier_waits").inc()
+            self.metrics.histogram("sim.barrier_wait_cycles").observe(
+                end - start)

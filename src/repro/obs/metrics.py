@@ -1,0 +1,181 @@
+"""Named counters, gauges and fixed-bucket histograms for run metrics.
+
+A :class:`MetricsRegistry` is the engine-side metrics sink: hooks in the
+simulator, HTM engine and RTM runtime record ground-truth quantities
+(transaction durations, retries before fallback, abort weight, lock-wait
+cycles, ...) into get-or-create instruments.  Snapshots are plain dicts
+of builtins so they serialize into :class:`~repro.sim.engine.RunResult`
+and profile databases unchanged.
+
+Everything is deterministic: no wall-clock timestamps, snapshot keys are
+sorted, histogram buckets are fixed at creation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+#: default histogram bucket upper bounds for cycle-valued quantities
+CYCLE_BUCKETS: Tuple[int, ...] = (
+    16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+#: bucket bounds for small-integer quantities (retry counts, set sizes)
+COUNT_BUCKETS: Tuple[int, ...] = (0, 1, 2, 3, 5, 8, 16, 32, 64, 128, 256)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (with a high-water helper)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, v: Union[int, float]) -> None:
+        self.value = v
+
+    def track_max(self, v: Union[int, float]) -> None:
+        if v > self.value:
+            self.value = v
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus an overflow bucket.
+
+    ``observe(v)`` lands ``v`` in the first bucket whose bound satisfies
+    ``v <= bound`` (binary search), or in the overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, bounds: Iterable[int] = CYCLE_BUCKETS) -> None:
+        self.bounds: Tuple[int, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts: List[int] = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[Union[int, float]] = None
+        self.max: Optional[Union[int, float]] = None
+
+    def observe(self, v: Union[int, float]) -> None:
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if v <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = factory()
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Iterable[int] = CYCLE_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(bounds))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All instruments as plain dicts, keyed by name, sorted."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+
+def format_snapshot(snapshot: Dict[str, dict]) -> str:
+    """Render a snapshot as an aligned text block (CLI ``--metrics``)."""
+    lines = ["=== run metrics ==="]
+    if not snapshot:
+        return "\n".join(lines + ["  (none recorded)"])
+    width = max(len(name) for name in snapshot)
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        if kind == "histogram":
+            detail = (
+                f"count={data['count']} sum={data['sum']} "
+                f"min={data['min']} max={data['max']}"
+            )
+        else:
+            detail = f"{data.get('value')}"
+        lines.append(f"  {name:{width}s} {kind:9s} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Profiler self-diagnostics: meta-instrumentation of TxSampler itself.
+
+Where ``obs.trace``/``obs.metrics`` watch the simulated machine, this
+module watches the *profiler*: how many samples each handler saw, how
+often LBR call-path reconstruction came back truncated, how much shadow
+memory the contention analyzer is holding, and what the sampling
+machinery cost the profiled program in simulated cycles (handler bodies
+plus attach-time setup).  That is exactly the information needed to
+answer "is the profiler itself healthy / cheap enough?" before trusting
+a decomposition — and it reads only profiler outputs plus engine ground
+truth, so it feeds nothing back into TxSampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, TYPE_CHECKING
+
+from ..pmu.events import CYCLES, RTM_ABORTED, RTM_COMMIT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.profiler import TxSampler
+    from ..sim.engine import Simulator
+
+
+@dataclass
+class SelfDiagnostics:
+    """One run's profiler health report."""
+
+    #: samples the profiler's dispatcher saw, per PMU event name
+    samples_by_event: Dict[str, int] = field(default_factory=dict)
+    #: sampling interrupts the engine delivered (== handler invocations)
+    handler_invocations: int = 0
+    #: simulated cycles charged to the program by the handlers
+    handler_overhead_cycles: int = 0
+    #: simulated cycles charged at attach time (preload + PMU programming)
+    setup_overhead_cycles: int = 0
+    #: call paths the profiler reconstructed (unwind + LBR concatenation)
+    stack_reconstructions: int = 0
+    #: reconstructions that hit LBR capacity and came back truncated
+    truncated_paths: int = 0
+    #: contention-analysis shadow-memory occupancy
+    shadow_bytes: int = 0
+    shadow_lines: int = 0
+    #: sampled accesses the shadow memory classified as contended
+    sharing_verdicts: int = 0
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples_by_event.values())
+
+    @property
+    def truncation_rate(self) -> float:
+        """Fraction of reconstructed paths that were LBR-truncated."""
+        if not self.stack_reconstructions:
+            return 0.0
+        return self.truncated_paths / self.stack_reconstructions
+
+
+def diagnose(profiler: "TxSampler", sim: "Simulator") -> SelfDiagnostics:
+    """Build the self-diagnostics for a finished profiled run.
+
+    ``profiler`` supplies its own bookkeeping (samples seen, truncated
+    paths, shadow maps); ``sim`` supplies the engine-side ground truth
+    about what sampling cost the program.
+    """
+    seen = dict(profiler.samples_seen)
+    shadow = profiler.shadow
+    verdicts = shadow.true_sharing_events + shadow.false_sharing_events
+    # every cycles/abort/commit sample reconstructs a call path; memory
+    # samples only do so when the shadow memory flags contention
+    reconstructions = (
+        seen.get(CYCLES, 0)
+        + seen.get(RTM_ABORTED, 0)
+        + seen.get(RTM_COMMIT, 0)
+        + verdicts
+    )
+    cfg = sim.config
+    return SelfDiagnostics(
+        samples_by_event=seen,
+        handler_invocations=sim.samples_delivered,
+        handler_overhead_cycles=sim.samples_delivered * cfg.handler_cost,
+        setup_overhead_cycles=cfg.profiler_setup_cost * len(sim.threads),
+        stack_reconstructions=reconstructions,
+        truncated_paths=profiler.truncated_paths,
+        shadow_bytes=len(shadow.by_byte),
+        shadow_lines=len(shadow.by_line),
+        sharing_verdicts=verdicts,
+    )

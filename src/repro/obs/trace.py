@@ -1,0 +1,148 @@
+"""Structured event tracing: ring-buffered per-thread timelines.
+
+The tracer records what the *engine* knows — transaction begin/commit/
+abort (with reason and read/write-set sizes), fallback-lock activity,
+PMU sample delivery, barriers, syscalls, thread lifecycle — keyed by the
+simulated cycle clock.  It is ground-truth tooling in the same sense as
+:class:`~repro.sim.engine.RunResult`: data flows *out of* the simulator
+into the trace and never into the profiler, so the profiler-legal
+observation boundary (DESIGN.md) is untouched.
+
+Events live in one bounded ring per simulated thread (oldest dropped
+first, with a drop counter), so tracing a long run has a fixed memory
+ceiling.  The export format is Chrome trace-event JSON: load the file in
+``chrome://tracing`` or https://ui.perfetto.dev and each simulated
+thread renders as its own track, with simulated cycles as timestamps
+(the viewer labels them microseconds; only relative spacing matters).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+#: Chrome trace-event phase codes used by this tracer.
+PH_INSTANT = "i"
+PH_COMPLETE = "X"
+PH_METADATA = "M"
+
+#: one ring record: (phase, start_ts, duration, name, args-or-None)
+Record = Tuple[str, int, int, str, Optional[dict]]
+
+
+class Tracer:
+    """Bounded per-thread event rings with Chrome trace-event export."""
+
+    __slots__ = ("capacity", "_rings", "dropped", "_cs_names")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        #: max events retained per thread; older events are dropped
+        self.capacity = capacity
+        self._rings: Dict[int, Deque[Record]] = {}
+        #: events evicted from each thread's ring (ring overflow)
+        self.dropped: Dict[int, int] = {}
+        self._cs_names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def _ring(self, tid: int) -> Deque[Record]:
+        ring = self._rings.get(tid)
+        if ring is None:
+            ring = self._rings[tid] = deque(maxlen=self.capacity)
+            self.dropped[tid] = 0
+        return ring
+
+    def instant(self, tid: int, ts: int, name: str,
+                args: Optional[dict] = None) -> None:
+        """Record a point event on thread ``tid`` at cycle ``ts``."""
+        ring = self._ring(tid)
+        if len(ring) == self.capacity:
+            self.dropped[tid] += 1
+        ring.append((PH_INSTANT, ts, 0, name, args))
+
+    def span(self, tid: int, start: int, end: int, name: str,
+             args: Optional[dict] = None) -> None:
+        """Record a duration event covering cycles ``[start, end]``."""
+        ring = self._ring(tid)
+        if len(ring) == self.capacity:
+            self.dropped[tid] += 1
+        ring.append((PH_COMPLETE, start, end - start, name, args))
+
+    # ----------------------------------------------------- critical sections
+
+    def label_cs(self, cs_id: int, name: str) -> None:
+        """Remember a critical section's debug name for span labels."""
+        self._cs_names.setdefault(cs_id, name)
+
+    def cs_label(self, cs_id: int) -> str:
+        return self._cs_names.get(cs_id, f"cs{cs_id}")
+
+    # ------------------------------------------------------------ inspection
+
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._rings.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    def events(self) -> List[Tuple[int, int, int, str, str, int,
+                                   Optional[dict]]]:
+        """The merged event stream, deterministically ordered.
+
+        Returns ``(ts, tid, seq, phase, name, dur, args)`` tuples sorted
+        by ``(ts, tid, seq)`` where ``seq`` is the per-thread emission
+        index — so two runs of the same seeded simulation compare equal
+        with plain ``==``.
+        """
+        merged = []
+        for tid in sorted(self._rings):
+            for seq, (ph, ts, dur, name, args) in enumerate(self._rings[tid]):
+                merged.append((ts, tid, seq, ph, name, dur, args))
+        merged.sort(key=lambda ev: (ev[0], ev[1], ev[2]))
+        return merged
+
+    # ---------------------------------------------------------------- export
+
+    def chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event JSON document (dict form)."""
+        trace_events: List[dict] = []
+        for tid in sorted(self._rings):
+            trace_events.append({
+                "ph": PH_METADATA,
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"sim-thread-{tid}"},
+            })
+        for ts, tid, _seq, ph, name, dur, args in self.events():
+            ev = {"name": name, "ph": ph, "pid": 0, "tid": tid, "ts": ts}
+            if ph == PH_COMPLETE:
+                ev["dur"] = dur
+            elif ph == PH_INSTANT:
+                ev["s"] = "t"  # thread-scoped instant
+            if args:
+                ev["args"] = args
+            trace_events.append(ev)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "source": "repro.obs",
+                "time_unit": "simulated cycles",
+                "events_dropped": self.total_dropped,
+            },
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace JSON; returns the path written."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            json.dump(self.chrome_trace(), fh)
+        return path

@@ -22,7 +22,7 @@ profiler must reconstruct everything the way TxSampler does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .lbr import LbrEntry
 
@@ -57,3 +57,23 @@ class Sample:
         """Did *this* interrupt abort a transaction?  (LBR[0] abort bit —
         the exact check from §3.1 / Figure 4.)"""
         return bool(self.lbr) and self.lbr[0].abort
+
+    def trace_fields(self) -> Dict[str, object]:
+        """Compact description of this sample for the event tracer.
+
+        Consumed by :mod:`repro.obs` when the engine records sample
+        delivery on the ground-truth timeline; every field here is
+        already profiler-visible, so exposing it to the tracer does not
+        widen the profiler's observational interface.
+        """
+        fields: Dict[str, object] = {
+            "event": self.event,
+            "ip": self.ip,
+            "aborted_txn": self.aborted_by_sample,
+        }
+        if self.eff_addr is not None:
+            fields["addr"] = self.eff_addr
+            fields["store"] = self.is_store
+        if self.weight:
+            fields["weight"] = self.weight
+        return fields

@@ -119,6 +119,9 @@ class RtmRuntime:
         cs = self.section(name or getattr(body, "__name__", "cs"))
         self.site_names.setdefault(callsite, cs.name)
         instr = self.instrument
+        obs = self.sim.obs
+        if obs is not None:
+            obs.label_cs(cs.cs_id, cs.name)
 
         # ---- nested critical sections ---------------------------------------
         # Flat nesting (TSX): a TM_BEGIN inside a live transaction only
@@ -149,11 +152,16 @@ class RtmRuntime:
         while True:
             # ---- wait for the lock before speculating ----------------------
             ctx.state_word = IN_CS | IN_LOCKWAIT
+            wait_start = ctx.clock
+            spun = False
             while True:
                 held = yield from ctx.load(self.lock.addr)
                 if held == 0:
                     break
+                spun = True
                 yield from ctx.compute(cfg.spin_quantum)
+            if obs is not None and spun:
+                obs.on_lock_wait(ctx.tid, wait_start, ctx.clock)
 
             # ---- speculative attempt ---------------------------------------
             ctx.state_word = IN_CS | IN_HTM
@@ -188,6 +196,8 @@ class RtmRuntime:
                 yield from ctx.compute(cfg.tm_retry_overhead)
                 attempt += 1
                 if status.may_retry and attempt <= cfg.max_retries:
+                    if obs is not None:
+                        obs.on_retry(ctx.tid)
                     # randomized exponential backoff (as in Yoo et al.'s
                     # runtime): desynchronizes conflicting retriers so
                     # convoys do not livelock
@@ -197,10 +207,18 @@ class RtmRuntime:
                     continue
                 # ---- fallback: the lock-protected slow path -----------------
                 ctx.state_word = IN_CS | IN_LOCKWAIT
+                wait_start = ctx.clock
                 yield from self.lock.acquire(ctx)
+                if obs is not None:
+                    obs.on_lock_wait(ctx.tid, wait_start, ctx.clock)
+                    obs.on_lock_acquire(ctx.tid, ctx.clock)
                 ctx.state_word = IN_CS | IN_FALLBACK
+                fb_start = ctx.clock
                 result = yield from body(ctx)
                 yield from self.lock.release(ctx)
+                if obs is not None:
+                    obs.on_lock_release(ctx.tid, ctx.clock)
+                    obs.on_fallback(ctx.tid, fb_start, ctx.clock, attempt)
                 if instr is not None:
                     ctx.extra_cost += instr.on_fallback(ctx, cs)
                 break

@@ -130,6 +130,17 @@ class MachineConfig:
     #: the touch happens transactionally).
     page_faults: bool = True
 
+    # ---- observability (repro.obs) -----------------------------------------
+    #: record structured engine events (txn begin/commit/abort, lock
+    #: activity, samples, barriers, syscalls) into per-thread ring
+    #: buffers, exportable as Chrome trace-event JSON.  Off by default:
+    #: a disabled run carries no observability state at all.
+    trace_enabled: bool = False
+    #: collect named counters/gauges/histograms into the RunResult.
+    metrics_enabled: bool = False
+    #: max retained trace events per simulated thread (ring capacity)
+    trace_capacity: int = 65536
+
     def evolve(self, **kw) -> "MachineConfig":
         """Return a copy with the given fields replaced."""
         if "sample_periods" not in kw:

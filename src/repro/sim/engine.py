@@ -31,6 +31,7 @@ from ..htm.status import ABORT_INTERRUPT, ABORT_SYNC, AbortStatus
 # deferred to Simulator construction) so that importing any subpackage
 # first — core, htm, rtm or sim — resolves without a circular-import trap.
 from ..htm import tsx as _tsx
+from ..obs.hooks import Observability
 from ..pmu.counters import PmuBank
 from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
 from ..pmu.sampling import Sample
@@ -71,10 +72,18 @@ class RunResult:
     #: exact PMU event totals (empty when sampling was off)
     pmu_totals: Dict[str, int] = field(default_factory=dict)
     samples_delivered: int = 0
+    #: snapshot of the run's metrics registry (empty unless
+    #: ``MachineConfig.metrics_enabled``); see :mod:`repro.obs.metrics`
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def abort_commit_ratio(self) -> float:
-        return self.aborts / self.commits if self.commits else float("inf")
+        if self.commits:
+            return self.aborts / self.commits
+        # no commits: only an all-aborted run is infinite; a run that
+        # never transacted (or committed nothing because it never began)
+        # has a ratio of zero, not infinity
+        return float("inf") if self.aborts else 0.0
 
 
 class Simulator:
@@ -87,6 +96,7 @@ class Simulator:
         seed: int = 0,
         profiler=None,
         n_threads: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if programs is None and n_threads is None:
             raise SimError("give either programs or n_threads")
@@ -96,7 +106,11 @@ class Simulator:
         self.config = config
         self.seed = seed
         self.memory = Memory(track_page_faults=config.page_faults)
+        #: observability bundle (tracer/metrics); None when disabled so
+        #: the hot paths pay only a pointer test
+        self.obs = obs if obs is not None else Observability.from_config(config)
         self.htm = _tsx.TsxEngine(config)
+        self.htm.obs = self.obs
         self.threads: List[ThreadContext] = [
             ThreadContext(tid, self, config.lbr_size) for tid in range(count)
         ]
@@ -144,6 +158,8 @@ class Simulator:
             if setup:
                 # fixed profiling setup (preload + PMU programming)
                 t.clock += setup
+            if self.obs is not None:
+                self.obs.on_thread_start(t.tid, t.clock)
         heap: List[Tuple[int, int]] = [(0, t.tid) for t in self.threads]
         heapq.heapify(heap)
         self._heap = heap
@@ -165,6 +181,8 @@ class Simulator:
         if any(not t.done for t in self.threads):
             stuck = [t.tid for t in self.threads if not t.done]
             raise SimDeadlock(f"threads {stuck} blocked forever")
+        if self.obs is not None:
+            self.obs.on_run_end(steps)
         return self._result()
 
     def _result(self) -> RunResult:
@@ -173,6 +191,9 @@ class Simulator:
         if self.pmu is not None:
             for ev in self.config.sample_periods:
                 totals[ev] = self.pmu.total(ev)
+        metrics: Dict[str, dict] = {}
+        if self.obs is not None and self.obs.metrics is not None:
+            metrics = self.obs.metrics.snapshot()
         return RunResult(
             makespan=max(clocks),
             work=sum(clocks),
@@ -183,6 +204,7 @@ class Simulator:
             aborts_by_reason=dict(self.htm.aborts_by_reason),
             pmu_totals=totals,
             samples_delivered=self.samples_delivered,
+            metrics=metrics,
         )
 
     # ----------------------------------------------------------------- step
@@ -202,6 +224,9 @@ class Simulator:
             weight = t.clock - txn.start_cycle
             t.last_abort_weight = weight
             t.last_abort_eax = status.eax
+            if self.obs is not None:
+                self.obs.on_txn_abort(tid, t.clock, txn, status.reason,
+                                      weight)
             self._count(t, RTM_ABORTED, 1)
             throw_sig = AbortSignal(status)
 
@@ -213,6 +238,8 @@ class Simulator:
                 op = t.gen.send(t.last_value)
         except StopIteration:
             t.done = True
+            if self.obs is not None:
+                self.obs.on_thread_end(tid, t.clock)
             return
 
         # 3. interpret the instruction
@@ -293,13 +320,16 @@ class Simulator:
                 self._count_mem(t, MEM_STORES, addr, True)
         elif kind == OP_SYSCALL:
             txn = htm.active.get(tid)
-            if txn is not None and txn.doomed is None:
+            speculative = txn is not None and txn.doomed is None
+            if speculative:
                 # unfriendly instruction: synchronous abort, syscall does
                 # not execute speculatively
                 htm.doom(txn, AbortStatus(ABORT_SYNC, detail=op[1]))
                 cost = 20
             else:
                 cost = cfg.syscall_cost + (op[2] or 0)
+            if self.obs is not None:
+                self.obs.on_syscall(tid, t.clock, op[1], speculative)
         elif kind == OP_BARRIER:
             self._arrive_barrier(t, op[1])
             return
@@ -344,6 +374,9 @@ class Simulator:
             th = self.threads[tid_]
             spun = release - arrived
             th.clock = release
+            if self.obs is not None:
+                self.obs.on_barrier_wait(tid_, arrived, release,
+                                         bar.generation)
             # barrier waits are spin loops: the burnt cycles are PMU-visible
             self._count(th, CYCLES, spun)
             if th.blocked:
@@ -403,6 +436,8 @@ class Simulator:
             weight=t.last_abort_weight if event == RTM_ABORTED else 0,
             abort_eax=t.last_abort_eax if event == RTM_ABORTED else 0,
         )
+        if self.obs is not None:
+            self.obs.on_sample(t.tid, t.clock, sample.trace_fields())
         t.clock += cfg.handler_cost
         self.samples_delivered += 1
         self.profiler.on_sample(sample)

@@ -106,3 +106,68 @@ class TestModuleEntryPoint:
         )
         assert proc.returncode == 0
         assert "dedup" in proc.stdout
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        rc, out = run_cli(
+            "trace", "micro_low_abort", "--threads", "4", "--scale", "0.3",
+            "--trace-out", str(path),
+        )
+        assert rc == 0
+        assert f"chrome trace written to {path}" in out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must contain events"
+        for ev in events:
+            assert "ph" in ev and "tid" in ev
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], int)
+        assert any(ev["ph"] == "X" and "dur" in ev for ev in events)
+        assert any(ev["ph"] == "i" for ev in events)
+
+    def test_run_with_metrics_and_trace_out(self, tmp_path):
+        path = tmp_path / "t.json"
+        rc, out = run_cli(
+            "run", "micro_low_abort", "--threads", "2", "--scale", "0.2",
+            "--no-report", "--metrics", "--trace-out", str(path),
+        )
+        assert rc == 0
+        assert "=== run metrics ===" in out
+        assert "=== profiler self-diagnostics ===" in out
+        assert path.exists()
+
+    def test_saved_database_carries_run_metrics(self, tmp_path):
+        db = tmp_path / "p.json"
+        rc, _ = run_cli(
+            "run", "micro_low_abort", "--threads", "2", "--scale", "0.2",
+            "--no-report", "--metrics", "--save-db", str(db),
+        )
+        assert rc == 0
+        rc, out = run_cli("view", str(db), "--metrics")
+        assert rc == 0
+        assert "=== run metrics ===" in out
+        assert "htm.commits" in out
+
+
+class TestVerbosityFlags:
+    def test_quiet_suppresses_stdout(self):
+        rc, out = run_cli("-q", "list")
+        assert rc == 0
+        assert out == ""
+
+    def test_quiet_keeps_errors_on_stderr(self, capsys):
+        rc, out = run_cli("-q", "measure-speedup", "nonsense",
+                          "--threads", "2")
+        assert rc == 2
+        assert out == ""
+        assert "not a Table 2 program" in capsys.readouterr().err
+
+    def test_verbose_adds_debug_detail(self):
+        rc, out = run_cli(
+            "-v", "run", "micro_low_abort", "--threads", "2",
+            "--scale", "0.2", "--no-report",
+        )
+        assert rc == 0
+        assert "run: workload=micro_low_abort" in out

@@ -253,3 +253,23 @@ class TestAtomicityUnderContention:
         result = sim.run()
         assert result.begins >= result.commits
         assert sum(result.aborts_by_reason.values()) == result.aborts
+
+
+class TestAbortCommitRatio:
+    def _result(self, commits, aborts):
+        from repro.sim.engine import RunResult
+
+        return RunResult(
+            makespan=0, work=0, per_thread_cycles=[], begins=0,
+            commits=commits, aborts=aborts, aborts_by_reason={},
+        )
+
+    def test_no_activity_is_zero_not_inf(self):
+        assert self._result(commits=0, aborts=0).abort_commit_ratio == 0.0
+
+    def test_all_aborted_is_infinite(self):
+        r = self._result(commits=0, aborts=3)
+        assert r.abort_commit_ratio == float("inf")
+
+    def test_normal_division(self):
+        assert self._result(commits=4, aborts=2).abort_commit_ratio == 0.5

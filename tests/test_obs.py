@@ -1,0 +1,274 @@
+"""The repro.obs subsystem: tracer, metrics, self-diagnostics, and the
+profiler-legal observation boundary (tracing must never change what the
+profiler sees or what the engine computes)."""
+
+import json
+
+import pytest
+
+from repro.core.export import (
+    load_profile,
+    load_run_metrics,
+    profile_to_dict,
+    save_profile,
+)
+from repro.core.report import render_self_diagnostics
+from repro.experiments.runner import run_workload
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+)
+from repro.obs.selfprof import diagnose
+from repro.obs.trace import PH_COMPLETE, PH_INSTANT, PH_METADATA, Tracer
+
+
+# ---------------------------------------------------------------------------
+# tracer unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_records_instants_and_spans(self):
+        tr = Tracer()
+        tr.instant(0, 5, "tick")
+        tr.span(0, 10, 25, "work", {"k": 1})
+        evs = tr.events()
+        assert evs == [
+            (5, 0, 0, PH_INSTANT, "tick", 0, None),
+            (10, 0, 1, PH_COMPLETE, "work", 15, {"k": 1}),
+        ]
+        assert len(tr) == 2
+        assert tr.total_dropped == 0
+
+    def test_ring_bounds_memory_and_counts_drops(self):
+        tr = Tracer(capacity=4)
+        for i in range(10):
+            tr.instant(0, i, f"e{i}")
+        assert len(tr) == 4
+        assert tr.total_dropped == 6
+        # the ring keeps the newest events
+        assert [ev[4] for ev in tr.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_events_merge_threads_in_timestamp_order(self):
+        tr = Tracer()
+        tr.instant(1, 20, "b")
+        tr.instant(0, 10, "a")
+        tr.instant(0, 30, "c")
+        assert [(ev[0], ev[1], ev[4]) for ev in tr.events()] == [
+            (10, 0, "a"), (20, 1, "b"), (30, 0, "c"),
+        ]
+
+    def test_cs_labels(self):
+        tr = Tracer()
+        tr.label_cs(3, "hot_lock")
+        tr.label_cs(3, "ignored-second-label")
+        assert tr.cs_label(3) == "hot_lock"
+        assert tr.cs_label(99) == "cs99"
+
+    def test_chrome_trace_structure(self):
+        tr = Tracer()
+        tr.instant(2, 7, "tick")
+        tr.span(2, 10, 30, "work")
+        doc = tr.chrome_trace()
+        evs = doc["traceEvents"]
+        # metadata track naming + every event carries ph/pid/tid
+        meta = [e for e in evs if e["ph"] == PH_METADATA]
+        assert meta[0]["name"] == "thread_name"
+        assert meta[0]["args"]["name"] == "sim-thread-2"
+        for ev in evs:
+            assert {"ph", "pid", "tid"} <= set(ev)
+        inst = next(e for e in evs if e["ph"] == PH_INSTANT)
+        assert inst["ts"] == 7 and inst["s"] == "t"
+        span = next(e for e in evs if e["ph"] == PH_COMPLETE)
+        assert span["ts"] == 10 and span["dur"] == 20
+        assert doc["otherData"]["events_dropped"] == 0
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        tr = Tracer()
+        tr.span(0, 0, 5, "x")
+        path = tr.write(tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+
+
+# ---------------------------------------------------------------------------
+# metrics unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_dict() == {"type": "counter", "value": 5}
+
+    def test_gauge_set_and_track_max(self):
+        g = Gauge()
+        g.set(3)
+        g.track_max(1)
+        g.track_max(7)
+        assert g.value == 7
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram(bounds=(10, 100))
+        for v in (5, 10, 50, 5000):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["counts"] == [2, 1]  # <=10, <=100
+        assert d["overflow"] == 1
+        assert (d["count"], d["sum"]) == (4, 5065)
+        assert (d["min"], d["max"]) == (5, 5000)
+        assert h.mean == pytest.approx(5065 / 4)
+
+    def test_histogram_count_buckets_start_at_zero(self):
+        h = Histogram(bounds=COUNT_BUCKETS)
+        h.observe(0)
+        assert h.to_dict()["counts"][0] == 1
+
+    def test_registry_get_or_create_and_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        assert reg.counter("a") is reg.counter("a")
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["a"]["value"] == 2
+
+    def test_registry_rejects_type_mismatch(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_format_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("htm.commits").inc(3)
+        text = format_snapshot(reg.snapshot())
+        assert "=== run metrics ===" in text
+        assert "htm.commits" in text
+
+
+# ---------------------------------------------------------------------------
+# traced runs
+# ---------------------------------------------------------------------------
+
+
+WORKLOAD = dict(n_threads=4, scale=0.3, seed=3)
+
+
+class TestTracedRun:
+    def test_trace_captures_engine_events(self):
+        out = run_workload("micro_low_abort", profile=True, trace=True,
+                           **WORKLOAD)
+        names = {ev[4] for ev in out.obs.tracer.events()}
+        assert {"thread_start", "thread_end", "xbegin",
+                "pmu_sample"} <= names
+        assert any(n.startswith("txn:") for n in names)
+
+    def test_event_stream_deterministic_across_runs(self):
+        a = run_workload("micro_low_abort", profile=True, trace=True,
+                         **WORKLOAD)
+        b = run_workload("micro_low_abort", profile=True, trace=True,
+                         **WORKLOAD)
+        assert a.obs.tracer.events() == b.obs.tracer.events()
+        assert a.obs.tracer.chrome_trace() == b.obs.tracer.chrome_trace()
+
+    def test_obs_disabled_by_default_and_costs_nothing(self):
+        out = run_workload("micro_low_abort", profile=True, **WORKLOAD)
+        assert out.obs is None
+        assert out.result.metrics == {}
+
+    def test_tracing_does_not_change_ground_truth(self):
+        plain = run_workload("micro_low_abort", profile=True, **WORKLOAD)
+        traced = run_workload("micro_low_abort", profile=True, trace=True,
+                              metrics=True, **WORKLOAD)
+        assert traced.result.makespan == plain.result.makespan
+        assert traced.result.commits == plain.result.commits
+        assert traced.result.aborts_by_reason == plain.result.aborts_by_reason
+        assert (traced.result.per_thread_cycles
+                == plain.result.per_thread_cycles)
+        assert traced.result.pmu_totals == plain.result.pmu_totals
+
+    def test_observation_boundary_profiles_bit_identical(self):
+        """The tentpole invariant: the tracer observes the engine but
+        must never feed the profiler, so TxSampler's profile database is
+        bit-identical with tracing on vs off."""
+        plain = run_workload("micro_low_abort", profile=True, **WORKLOAD)
+        traced = run_workload("micro_low_abort", profile=True, trace=True,
+                              metrics=True, **WORKLOAD)
+        assert (json.dumps(profile_to_dict(plain.profile), sort_keys=True)
+                == json.dumps(profile_to_dict(traced.profile),
+                              sort_keys=True))
+
+    def test_metrics_match_ground_truth(self):
+        out = run_workload("micro_low_abort", profile=True, metrics=True,
+                           **WORKLOAD)
+        m = out.result.metrics
+        assert m["htm.commits"]["value"] == out.result.commits
+        assert (m.get("htm.aborts", {}).get("value", 0)
+                == out.result.aborts)
+        assert m["pmu.samples"]["value"] == out.result.samples_delivered
+        assert m["sim.threads"]["value"] == 4
+
+    def test_contended_run_traces_fallback_and_lock_wait(self):
+        out = run_workload("micro_capacity", n_threads=4, scale=0.5, seed=1,
+                           profile=True, trace=True, metrics=True)
+        names = {ev[4] for ev in out.obs.tracer.events()}
+        assert "fallback" in names
+        assert "lock_wait" in names
+        m = out.result.metrics
+        assert m["rtm.fallbacks"]["value"] > 0
+        # the fallback lock is only ever taken on the fallback path
+        assert (m["rtm.lock_acquires"]["value"]
+                == m["rtm.fallbacks"]["value"])
+
+
+# ---------------------------------------------------------------------------
+# self-diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestSelfDiagnostics:
+    def test_diagnose_and_render(self):
+        out = run_workload("micro_low_abort", profile=True, **WORKLOAD)
+        diag = diagnose(out.profiler, out.sim)
+        assert diag.total_samples == sum(out.profiler.samples_seen.values())
+        assert diag.handler_invocations == out.result.samples_delivered
+        assert 0.0 <= diag.truncation_rate <= 1.0
+        pane = render_self_diagnostics(diag)
+        assert "=== profiler self-diagnostics ===" in pane
+        assert "handler invocations" in pane
+        assert "shadow memory" in pane
+
+
+# ---------------------------------------------------------------------------
+# export integration
+# ---------------------------------------------------------------------------
+
+
+class TestExportRunMetrics:
+    def test_run_metrics_round_trip(self, tmp_path):
+        out = run_workload("micro_low_abort", profile=True, metrics=True,
+                           **WORKLOAD)
+        path = tmp_path / "db.json"
+        save_profile(out.profile, path, run_metrics=out.result.metrics)
+        assert load_run_metrics(path) == out.result.metrics
+        # the profile loader ignores the extra key entirely
+        reloaded = load_profile(path)
+        assert reloaded.samples_seen == out.profile.samples_seen
+
+    def test_run_metrics_absent_is_empty(self, tmp_path):
+        out = run_workload("micro_low_abort", profile=True, **WORKLOAD)
+        path = tmp_path / "db.json"
+        save_profile(out.profile, path)
+        assert load_run_metrics(path) == {}

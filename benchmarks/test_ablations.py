@@ -14,14 +14,11 @@ Each ablation flips one mechanism and measures what it buys:
 * **retry budget**: more retries convert fallbacks into commits.
 """
 
-import random
 
 from conftest import SCALE, THREADS, emit, once
 
-from repro.core import TxSampler
 from repro.experiments.runner import run_workload
-from repro.htmbench import get_workload
-from repro.sim import MachineConfig, Simulator
+from repro.sim import MachineConfig
 
 
 def test_ablation_pmu_abort_behaviour(benchmark):

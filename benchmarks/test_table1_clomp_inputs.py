@@ -8,7 +8,7 @@ bound (our model's analogue of "cache prefetch unfriendly").
 
 from conftest import SCALE, THREADS, emit, once
 
-from repro.experiments.clomp import TABLE1, render_table1
+from repro.experiments.clomp import render_table1
 from repro.experiments.runner import run_workload
 from repro.htmbench.clomp_tm import (
     SCATTER_ADJACENT,

@@ -19,7 +19,6 @@ def test_table2_optimizations(benchmark):
     rows = once(benchmark, table2, n_threads=THREADS, scale=SCALE, seed=2)
     emit(render_table2(rows))
 
-    by_name = {r.program: r for r in rows}
     # every published fix helps
     for r in rows:
         assert r.measured_speedup > 1.0, (

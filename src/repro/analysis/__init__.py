@@ -1,0 +1,69 @@
+"""repro.analysis — static TSX-lint over workload IR.
+
+TxSampler (the dynamic profiler in :mod:`repro.core`) diagnoses *why*
+transactions abort only after paying for a run.  This package is its
+static companion: it recovers an intermediate representation of each
+workload by **symbolically driving** the ``simfn`` generators (feeding
+deterministic stub results for loads/CAS, bounding the drive), summarizes
+every ``TM_BEGIN`` region's cacheline footprint, and predicts the same
+abort classes the paper's decision tree categorizes — capacity,
+unfriendly-instruction (synchronous), conflict — plus lemming-fallback
+and lockset-style race hazards, *without executing the simulator*.
+
+Disagreement between the static prediction and the dynamic profile is a
+correctness oracle for both sides; :mod:`repro.analysis.crossval` runs
+the profiler on the same workload and scores precision/recall of the
+static predictions against the observed abort categorization.
+
+Layers:
+
+* :mod:`repro.analysis.ir` — symbolic extraction: per-function op
+  traces, the callgraph, and per-region access records;
+* :mod:`repro.analysis.summarize` — per-critical-section footprint /
+  nesting / unfriendly-op summaries at cacheline granularity;
+* :mod:`repro.analysis.lint` — the diagnostic engine emitting typed
+  :class:`~repro.analysis.lint.Finding` objects;
+* :mod:`repro.analysis.crossval` — static-vs-dynamic cross-validation.
+
+Surfaced through ``python -m repro check`` (text and ``--json``).
+"""
+
+from .crossval import ClassCheck, CrossValidation, cross_validate
+from .ir import (
+    AnalysisLimits,
+    FunctionIR,
+    ProgramIR,
+    RegionInstance,
+    ThreadTrace,
+    extract_workload,
+)
+from .lint import (
+    CODES,
+    SEVERITIES,
+    AnalysisReport,
+    Finding,
+    analyze_workload,
+    severity_rank,
+)
+from .summarize import SectionSummary, WorkloadSummary, summarize
+
+__all__ = [
+    "AnalysisLimits",
+    "AnalysisReport",
+    "ClassCheck",
+    "CODES",
+    "CrossValidation",
+    "Finding",
+    "FunctionIR",
+    "ProgramIR",
+    "RegionInstance",
+    "SEVERITIES",
+    "SectionSummary",
+    "ThreadTrace",
+    "WorkloadSummary",
+    "analyze_workload",
+    "cross_validate",
+    "extract_workload",
+    "severity_rank",
+    "summarize",
+]

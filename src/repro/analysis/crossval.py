@@ -1,0 +1,226 @@
+"""Cross-validation: score static predictions against the dynamic profiler.
+
+The linter's error-class findings are predictions that TxSampler will
+observe a specific abort class (capacity / sync / conflict) at a specific
+``TM_BEGIN`` site.  This module runs the *dynamic* profiler on the same
+workload build (same seed, same thread count, same machine config) and
+joins the two by site address — which works because the symbolic extractor
+synthesizes instruction pointers exactly the way the engine does.
+
+Sampling note: the validation run boosts the ``rtm_aborted`` /
+``rtm_commit`` sampling rates well above the production defaults.  The
+PMU banks are per-thread, so a workload with a few dozen aborts per
+thread yields *zero* abort samples at the default period — fine for
+overhead-bounded profiling, useless as an oracle.  Boosting the rate
+costs simulated time, not analysis fidelity (each sample still carries
+the abort-cause categorization of §5's decision tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim.config import MachineConfig
+from .ir import AnalysisLimits
+from .lint import AnalysisReport, analyze_workload
+
+#: the paper's three root abort causes — the classes worth predicting
+PREDICTABLE_CLASSES = ("conflict", "capacity", "sync")
+
+#: validation-run sampling periods (dense oracle, see module docstring)
+VALIDATION_PERIODS = {
+    "cycles": 20_000,
+    "mem_loads": 8_000,
+    "mem_stores": 8_000,
+    "rtm_aborted": 5,
+    "rtm_commit": 100,
+}
+
+
+@dataclass
+class ClassCheck:
+    """Static-vs-dynamic confusion counts for one abort class."""
+
+    cls: str
+    predicted_sites: set[int] = field(default_factory=set)
+    observed_sites: set[int] = field(default_factory=set)
+
+    @property
+    def tp(self) -> int:
+        return len(self.predicted_sites & self.observed_sites)
+
+    @property
+    def fp(self) -> int:
+        return len(self.predicted_sites - self.observed_sites)
+
+    @property
+    def fn(self) -> int:
+        return len(self.observed_sites - self.predicted_sites)
+
+    @property
+    def precision(self) -> float:
+        denom = len(self.predicted_sites)
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = len(self.observed_sites)
+        return self.tp / denom if denom else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "class": self.cls,
+            "predicted_sites": sorted(self.predicted_sites),
+            "observed_sites": sorted(self.observed_sites),
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+
+@dataclass
+class CrossValidation:
+    """The joined static/dynamic verdict for one workload."""
+
+    workload: str
+    report: AnalysisReport
+    checks: dict[str, ClassCheck] = field(default_factory=dict)
+    #: every TM_BEGIN site seen by either side
+    sites: set[int] = field(default_factory=set)
+    site_names: dict[int, str] = field(default_factory=dict)
+    #: dynamic abort-class observations per site (sampled counts > 0)
+    observed: dict[int, set[str]] = field(default_factory=dict)
+    #: static predictions per site
+    predicted: dict[int, set[str]] = field(default_factory=dict)
+    #: sampled abort events per class, whole run (oracle density gauge)
+    sampled_aborts: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cells(self) -> int:
+        return len(self.sites) * len(PREDICTABLE_CLASSES)
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of (site, class) cells where both sides agree."""
+        if not self.sites:
+            return 1.0
+        match = 0
+        for site in self.sites:
+            pred = self.predicted.get(site, set())
+            obs = self.observed.get(site, set())
+            for cls in PREDICTABLE_CLASSES:
+                if (cls in pred) == (cls in obs):
+                    match += 1
+        return match / self.cells
+
+    def disagreements(self) -> list[dict[str, Any]]:
+        """Every (site, class) cell where the two sides differ."""
+        out: list[dict[str, Any]] = []
+        for site in sorted(self.sites):
+            pred = self.predicted.get(site, set())
+            obs = self.observed.get(site, set())
+            for cls in PREDICTABLE_CLASSES:
+                if (cls in pred) == (cls in obs):
+                    continue
+                out.append({
+                    "site": site,
+                    "section": self.site_names.get(site, f"{site:#x}"),
+                    "class": cls,
+                    "static": cls in pred,
+                    "dynamic": cls in obs,
+                })
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "agreement": self.agreement,
+            "cells": self.cells,
+            "sites": sorted(self.sites),
+            "site_names": {str(k): v for k, v in self.site_names.items()},
+            "predicted": {
+                str(k): sorted(v) for k, v in self.predicted.items()
+            },
+            "observed": {
+                str(k): sorted(v) for k, v in self.observed.items()
+            },
+            "checks": {cls: c.to_dict() for cls, c in self.checks.items()},
+            "disagreements": self.disagreements(),
+            "sampled_aborts": dict(self.sampled_aborts),
+        }
+
+
+def cross_validate(
+    workload: Any,
+    n_threads: int = 14,
+    scale: float = 1.0,
+    seed: int = 0,
+    config: MachineConfig | None = None,
+    limits: AnalysisLimits | None = None,
+    report: AnalysisReport | None = None,
+    **params: Any,
+) -> CrossValidation:
+    """Lint statically, profile dynamically, and join the two by site."""
+    from ..experiments.runner import run_workload
+
+    cfg = config or MachineConfig(n_threads=n_threads)
+    if report is None:
+        report = analyze_workload(
+            workload,
+            n_threads=n_threads,
+            scale=scale,
+            seed=seed,
+            config=cfg,
+            limits=limits,
+            **params,
+        )
+
+    dyn_cfg = cfg.evolve(sample_periods=dict(VALIDATION_PERIODS))
+    outcome = run_workload(
+        workload,
+        n_threads=n_threads,
+        scale=scale,
+        seed=seed,
+        config=dyn_cfg,
+        profile=True,
+        **params,
+    )
+    profile = outcome.profile
+    assert profile is not None  # profile=True guarantees it
+
+    cv = CrossValidation(workload=report.workload, report=report)
+    cv.predicted = {
+        site: set(classes)
+        for site, classes in report.predicted_classes().items()
+    }
+    for rep in profile.cs_reports():
+        observed = {
+            cls
+            for cls in PREDICTABLE_CLASSES
+            if rep.aborts_by_class.get(cls, 0.0) > 0.0
+        }
+        cv.observed[rep.site] = observed
+        cv.site_names[rep.site] = rep.name
+        for cls in PREDICTABLE_CLASSES:
+            cv.sampled_aborts[cls] = (
+                cv.sampled_aborts.get(cls, 0.0)
+                + rep.aborts_by_class.get(cls, 0.0)
+            )
+    if report.summary is not None:
+        for s in report.summary.section_list():
+            cv.site_names.setdefault(s.site, s.name)
+    cv.sites = set(cv.predicted) | set(cv.observed)
+    for cls in PREDICTABLE_CLASSES:
+        cv.checks[cls] = ClassCheck(
+            cls=cls,
+            predicted_sites={
+                s for s, classes in cv.predicted.items() if cls in classes
+            },
+            observed_sites={
+                s for s, classes in cv.observed.items() if cls in classes
+            },
+        )
+    return cv

@@ -1,0 +1,409 @@
+"""Symbolic IR extraction: drive ``simfn`` generators without the engine.
+
+Workload code is already an op-level IR — generators yielding the typed
+instruction tuples of :mod:`repro.sim.program`.  The extractor runs each
+thread's generator against a :class:`SymbolicContext` that mimics the
+:class:`~repro.sim.thread.ThreadContext` instruction API but interprets
+ops *abstractly*:
+
+* loads return the workload's initial memory image overlaid with this
+  thread's own prior stores (a deterministic stub — no interleaving, no
+  aborts, no faults), so data-structure traversals follow real pointers;
+* CAS succeeds or fails against that same sequential view;
+* ``atomic`` bodies execute exactly once (no retry, no fallback) and are
+  recorded as :class:`RegionInstance` access sets;
+* barriers never block; they advance a per-thread *epoch* counter that
+  the race checker uses as a happens-before phase boundary.
+
+The drive is bounded by :class:`AnalysisLimits` — a spin loop that only a
+concurrent thread could break (e.g. a consumer polling an empty queue)
+burns its op budget and the trace is marked ``truncated`` rather than
+hanging.  Instruction pointers are synthesized identically to the real
+engine (function base + source line), so the extracted region *sites* are
+the very addresses the dynamic profiler keys its critical-section table
+by — which is what makes static findings and dynamic profiles joinable.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from random import Random
+from collections.abc import Callable, Generator
+from typing import Any
+
+from ..sim.config import MachineConfig, line_of
+from ..sim.engine import Program, Simulator
+from ..sim.memory import Memory
+from ..sim.program import (
+    MEMORY_OPS,
+    OP_BARRIER,
+    OP_CAS,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_NOP,
+    OP_STORE,
+    OP_SYSCALL,
+    Barrier,
+    SimFunction,
+)
+
+
+@dataclass
+class AnalysisLimits:
+    """Bounds on one symbolic drive (loop-unrolling budget)."""
+
+    #: op budget per thread; a drive that exhausts it is truncated
+    max_ops: int = 120_000
+    #: ops retained verbatim (kind, ip, addr) per function IR trace
+    max_trace_ops: int = 64
+
+
+@dataclass(eq=False)  # identity semantics: the region stack tests membership
+class RegionInstance:
+    """One symbolic execution of a ``TM_BEGIN`` critical section."""
+
+    #: TM_BEGIN call-site address (joins with the dynamic profile)
+    site: int
+    #: section name (the ``name=`` given to ``ctx.atomic``)
+    name: str
+    tid: int
+    #: nesting depth at begin (1 = outermost = the hardware transaction)
+    depth: int
+    #: barrier epoch the region began in
+    epoch: int
+    read_addrs: set[int] = field(default_factory=set)
+    write_addrs: set[int] = field(default_factory=set)
+    #: unfriendly ops issued while the region was open: (op, detail, ip)
+    unfriendly: list[tuple[str, str, int]] = field(default_factory=list)
+    #: deepest nesting observed while this (outermost) region was open
+    max_depth: int = 1
+    ops: int = 0
+    truncated: bool = False
+
+    def read_lines(self) -> set[int]:
+        return {line_of(a) for a in self.read_addrs}
+
+    def write_lines(self) -> set[int]:
+        return {line_of(a) for a in self.write_addrs}
+
+    def footprint_lines(self) -> int:
+        return len(self.read_lines() | self.write_lines())
+
+
+@dataclass
+class FunctionIR:
+    """Per-function op trace recovered from the symbolic drive."""
+
+    name: str
+    base: int
+    op_counts: dict[str, int] = field(default_factory=dict)
+    #: first ``max_trace_ops`` ops issued from this function: (kind, ip, addr)
+    trace: list[tuple[str, int, int | None]] = field(default_factory=list)
+    callees: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ThreadTrace:
+    """Everything one thread's drive observed."""
+
+    tid: int
+    regions: list[RegionInstance] = field(default_factory=list)
+    #: out-of-region accesses: addr -> set of barrier epochs
+    out_reads: dict[int, set[int]] = field(default_factory=dict)
+    out_writes: dict[int, set[int]] = field(default_factory=dict)
+    #: in-region accesses (any region open): addr -> set of barrier epochs
+    in_reads: dict[int, set[int]] = field(default_factory=dict)
+    in_writes: dict[int, set[int]] = field(default_factory=dict)
+    total_ops: int = 0
+    barriers: int = 0
+    truncated: bool = False
+
+
+@dataclass
+class ProgramIR:
+    """The whole workload's recovered IR."""
+
+    workload: str
+    config: MachineConfig
+    threads: list[ThreadTrace] = field(default_factory=list)
+    functions: dict[str, FunctionIR] = field(default_factory=dict)
+    #: caller-name -> callee-name edges (includes the tm_begin pseudo-edge)
+    call_edges: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def truncated(self) -> bool:
+        return any(t.truncated for t in self.threads)
+
+
+class _DriveStop(Exception):
+    """Internal: the op budget ran out; unwind the drive."""
+
+
+def _tm_begin_fn() -> SimFunction:
+    # imported lazily: rtm.runtime registers the tm_begin frame function
+    from ..rtm.runtime import tm_begin
+
+    return tm_begin
+
+
+class SymbolicContext:
+    """A :class:`~repro.sim.thread.ThreadContext` stand-in for extraction.
+
+    Exposes the identical instruction API (``load``/``store``/``cas``/
+    ``compute``/``syscall``/``barrier``/``nop``/``call``/``atomic``/
+    ``add`` plus ``tid`` and ``rng``), synthesizes the same instruction
+    pointers, and mirrors the visible ``tm_begin`` frame the runtime
+    pushes — so extracted stacks, call edges and region sites line up
+    with what the dynamic profiler sees.
+    """
+
+    def __init__(
+        self,
+        tid: int,
+        memory: Memory,
+        limits: AnalysisLimits,
+        seed: int,
+        trace: ThreadTrace,
+        functions: dict[str, FunctionIR],
+        call_edges: set[tuple[str, str]],
+    ) -> None:
+        self.tid = tid
+        # the engine's per-thread stream, reproduced bit-for-bit so data-
+        # dependent control flow (striped indices, backoffs) matches runs
+        self.rng = Random((seed + 1) * 1_000_003 + tid)
+        self.stack: list[list[Any]] = []
+        self.cur_ip = 0
+        self._memory = memory
+        self._limits = limits
+        self._trace = trace
+        self._functions = functions
+        self._call_edges = call_edges
+        self._overlay: dict[int, int] = {}
+        self._open_regions: list[RegionInstance] = []
+        self._epoch = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _ip(self) -> int:
+        """IP of the instruction being issued (engine-identical)."""
+        line = sys._getframe(2).f_lineno
+        frame = self.stack[-1]
+        frame[1] = line
+        ip = frame[0].base + line
+        self.cur_ip = ip
+        return ip
+
+    def _function_ir(self, fn: SimFunction) -> FunctionIR:
+        fir = self._functions.get(fn.name)
+        if fir is None:
+            fir = FunctionIR(name=fn.name, base=fn.base)
+            self._functions[fn.name] = fir
+        return fir
+
+    def _record_access(self, addr: int, is_write: bool) -> None:
+        if self._open_regions:
+            for region in self._open_regions:
+                (region.write_addrs if is_write else region.read_addrs).add(addr)
+            target = self._trace.in_writes if is_write else self._trace.in_reads
+        else:
+            target = self._trace.out_writes if is_write else self._trace.out_reads
+        target.setdefault(addr, set()).add(self._epoch)
+
+    def _record_unfriendly(self, op: str, detail: str) -> None:
+        for region in self._open_regions:
+            region.unfriendly.append((op, detail, self.cur_ip))
+
+    def _interpret(self, op: tuple) -> Any:
+        trace = self._trace
+        trace.total_ops += 1
+        if trace.total_ops > self._limits.max_ops:
+            raise _DriveStop
+        kind = op[0]
+        fir = self._function_ir(self.stack[-1][0])
+        fir.op_counts[kind] = fir.op_counts.get(kind, 0) + 1
+        if len(fir.trace) < self._limits.max_trace_ops:
+            addr = op[1] if kind in MEMORY_OPS else None
+            fir.trace.append((kind, self.cur_ip, addr))
+        for region in self._open_regions:
+            region.ops += 1
+        if kind == OP_LOAD:
+            addr = op[1]
+            self._record_access(addr, False)
+            return self._overlay.get(addr, self._memory.read(addr))
+        if kind == OP_STORE:
+            self._record_access(op[1], True)
+            self._overlay[op[1]] = op[2]
+            return None
+        if kind == OP_CAS:
+            addr = op[1]
+            self._record_access(addr, False)
+            cur = self._overlay.get(addr, self._memory.read(addr))
+            if cur == op[2]:
+                self._record_access(addr, True)
+                self._overlay[addr] = op[3]
+                return True
+            return False
+        if kind == OP_SYSCALL:
+            self._record_unfriendly(OP_SYSCALL, str(op[1]))
+            return None
+        if kind == OP_BARRIER:
+            self._record_unfriendly(OP_BARRIER, "barrier")
+            self._epoch += 1
+            trace.barriers += 1
+            return None
+        if kind in (OP_COMPUTE, OP_NOP):
+            return None
+        raise ValueError(f"unknown op {op!r} in symbolic drive")
+
+    # ------------------------------------------- the ThreadContext op API
+
+    def compute(self, cycles: int) -> Generator[Tuple, Any, None]:
+        self._ip()
+        yield (OP_COMPUTE, cycles)
+
+    def load(self, addr: int) -> Generator[Tuple, Any, int]:
+        self._ip()
+        value = yield (OP_LOAD, addr)
+        return value
+
+    def store(self, addr: int, value: int) -> Generator[Tuple, Any, None]:
+        self._ip()
+        yield (OP_STORE, addr, value)
+
+    def cas(self, addr: int, expected: int, new: int) -> Generator[Tuple, Any, bool]:
+        self._ip()
+        ok = yield (OP_CAS, addr, expected, new)
+        return ok
+
+    def syscall(self, kind: str = "write", cycles: int = 0) -> Generator[Tuple, Any, None]:
+        self._ip()
+        yield (OP_SYSCALL, kind, cycles)
+
+    def barrier(self, barrier: Barrier) -> Generator[Tuple, Any, None]:
+        self._ip()
+        yield (OP_BARRIER, barrier)
+
+    def nop(self) -> Generator[Tuple, Any, None]:
+        self._ip()
+        yield (OP_NOP,)
+
+    def add(self, addr: int, delta: int = 1) -> Generator[Tuple, Any, int]:
+        value = yield from self.load(addr)
+        yield from self.store(addr, value + delta)
+        return value + delta
+
+    # ----------------------------------------------------- calls / regions
+
+    def call(self, fn: SimFunction, *args: Any, **kwargs: Any) -> Generator[Tuple, Any, Any]:
+        line = sys._getframe(1).f_lineno
+        frame = self.stack[-1]
+        frame[1] = line
+        callsite = frame[0].base + line
+        self.cur_ip = callsite
+        self._call_edges.add((frame[0].name, fn.name))
+        self._function_ir(frame[0]).callees.add(fn.name)
+        self.stack.append([fn, 0, callsite])
+        try:
+            result = yield from fn.func(self, *args, **kwargs)
+        finally:
+            self.stack.pop()
+        return result
+
+    def atomic(self, body: Callable, name: str | None = None) -> Generator[Tuple, Any, Any]:
+        """Record a TM_BEGIN region and run ``body`` exactly once.
+
+        Mirrors the real runtime's visible ``tm_begin`` frame so ops in
+        the body synthesize the same IPs as under the engine; there is no
+        retry loop and no fallback — one symbolic attempt is the IR.
+        """
+        line = sys._getframe(1).f_lineno
+        frame = self.stack[-1]
+        frame[1] = line
+        callsite = frame[0].base + line
+        self.cur_ip = callsite
+        tm_begin = _tm_begin_fn()
+        self._call_edges.add((frame[0].name, tm_begin.name))
+        self._function_ir(frame[0]).callees.add(tm_begin.name)
+        region = RegionInstance(
+            site=callsite,
+            name=name or getattr(body, "__name__", "cs"),
+            tid=self.tid,
+            depth=len(self._open_regions) + 1,
+            epoch=self._epoch,
+        )
+        if self._open_regions:
+            root = self._open_regions[0]
+            root.max_depth = max(root.max_depth, region.depth)
+        self._open_regions.append(region)
+        self._trace.regions.append(region)
+        self.stack.append([tm_begin, 0, callsite])
+        try:
+            result = yield from body(self)
+        finally:
+            self.stack.pop()
+            if region in self._open_regions:
+                self._open_regions.remove(region)
+        return result
+
+    # -------------------------------------------------------------- driver
+
+    def drive(self, fn: SimFunction, args: tuple, kwargs: dict) -> None:
+        """Run ``fn`` to completion (or budget exhaustion), recording IR."""
+        self.stack = [[fn, 0, 0]]
+        self._function_ir(fn)
+        gen = fn.func(self, *args, **kwargs)
+        value: Any = None
+        try:
+            while True:
+                try:
+                    op = gen.send(value)
+                except StopIteration:
+                    break
+                value = self._interpret(op)
+        except _DriveStop:
+            self._trace.truncated = True
+            for region in self._open_regions:
+                region.truncated = True
+            gen.close()
+
+
+def extract_workload(
+    workload: Any,
+    n_threads: int = 14,
+    scale: float = 1.0,
+    seed: int = 0,
+    config: MachineConfig | None = None,
+    limits: AnalysisLimits | None = None,
+    **params: Any,
+) -> ProgramIR:
+    """Build a workload and recover its :class:`ProgramIR` symbolically.
+
+    The workload allocates its shared state in a real (never-run)
+    simulator's memory, so the extractor sees genuine addresses — the
+    same cachelines the dynamic run would touch — while the generators
+    are driven by :class:`SymbolicContext` stubs instead of the engine.
+    """
+    from ..htmbench.base import Workload, get_workload
+
+    cfg = config or MachineConfig(n_threads=n_threads)
+    lim = limits or AnalysisLimits()
+    wl = workload if isinstance(workload, Workload) else get_workload(str(workload), **params)
+    sim = Simulator(cfg, n_threads=n_threads, seed=seed)
+    build_rng = Random(seed * 7919 + 13)  # the runner's stream, reproduced
+    programs: list[Program] = wl.build(sim, n_threads, scale, build_rng)
+    ir = ProgramIR(workload=wl.name or str(workload), config=cfg)
+    for tid, (fn, args, kwargs) in enumerate(programs):
+        trace = ThreadTrace(tid=tid)
+        ctx = SymbolicContext(
+            tid=tid,
+            memory=sim.memory,
+            limits=lim,
+            seed=seed,
+            trace=trace,
+            functions=ir.functions,
+            call_edges=ir.call_edges,
+        )
+        ctx.drive(fn, args, kwargs)
+        ir.threads.append(trace)
+    return ir

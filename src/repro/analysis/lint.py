@@ -1,0 +1,415 @@
+"""The diagnostic engine: typed findings over critical-section summaries.
+
+Each check projects a static property of the summarized IR onto the abort
+taxonomy the dynamic profiler (and the paper's decision tree) uses, so a
+finding is simultaneously a lint diagnostic *and* a prediction that the
+profiler will observe a specific abort class at the same TM_BEGIN site —
+which is what :mod:`repro.analysis.crossval` scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim.config import MachineConfig
+from .ir import AnalysisLimits, extract_workload
+from .summarize import (
+    WorkloadSummary,
+    line_overlap,
+    shares_words,
+    summarize,
+)
+
+#: severity levels, mildest first
+SEVERITIES: tuple[str, ...] = ("info", "warning", "error")
+
+#: finding code -> (severity, predicted dynamic abort class or None, summary)
+CODES: dict[str, tuple[str, str | None, str]] = {
+    "capacity-risk": (
+        "error",
+        "capacity",
+        "a critical section's cacheline footprint exceeds a speculative "
+        "buffer budget (write lines, write-set ways, or read lines)",
+    ),
+    "unfriendly-op-in-txn": (
+        "error",
+        "sync",
+        "a critical section issues an HTM-unfriendly operation (syscall "
+        "or barrier) that raises a persistent synchronous abort",
+    ),
+    "nesting-overflow": (
+        "error",
+        "capacity",
+        "critical sections nest deeper than the hardware nest-count "
+        "limit, overflowing the outer transaction",
+    ),
+    "cross-section-conflict": (
+        "warning",
+        "conflict",
+        "two threads' critical sections touch common cache lines with at "
+        "least one writer — the precursor of conflict aborts",
+    ),
+    "lemming-risk": (
+        "warning",
+        None,
+        "a section every attempt of which aborts persistently is run by "
+        "several threads; each falls back to the global lock, and the "
+        "lock's coherence traffic aborts the others (lemming cascade)",
+    ),
+    "unprotected-shared-access": (
+        "warning",
+        None,
+        "an address protected by a critical section in one thread is "
+        "accessed outside any section by another thread in the same "
+        "barrier epoch (lockset-style race hazard)",
+    ),
+}
+
+
+def severity_rank(severity: str) -> int:
+    """Position of ``severity`` in :data:`SEVERITIES` (higher = worse)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        ) from None
+
+
+@dataclass
+class Finding:
+    """One typed diagnostic, tied to TM_BEGIN site(s) when applicable."""
+
+    code: str
+    severity: str
+    message: str
+    #: TM_BEGIN call-site addresses this finding implicates (may be empty)
+    sites: tuple[int, ...] = ()
+    #: section names matching ``sites``
+    sections: tuple[str, ...] = ()
+    #: dynamic abort class this finding predicts at ``sites`` (or None)
+    prediction: str | None = None
+    #: machine-readable evidence (budgets, line counts, sample addresses)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "sites": list(self.sites),
+            "sections": list(self.sections),
+            "prediction": self.prediction,
+            "data": self.data,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one workload, plus the summary they derive from."""
+
+    workload: str
+    findings: list[Finding] = field(default_factory=list)
+    summary: WorkloadSummary | None = None
+    truncated: bool = False
+
+    def max_severity(self) -> str | None:
+        worst: str | None = None
+        for f in self.findings:
+            if worst is None or severity_rank(f.severity) > severity_rank(worst):
+                worst = f.severity
+        return worst
+
+    def by_code(self, code: str) -> list[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def predicted_classes(self) -> dict[int, set[str]]:
+        """Predicted abort classes per TM_BEGIN site (crossval's input)."""
+        out: dict[int, set[str]] = {}
+        for f in self.findings:
+            if f.prediction is None:
+                continue
+            for site in f.sites:
+                out.setdefault(site, set()).add(f.prediction)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "workload": self.workload,
+            "truncated": self.truncated,
+            "max_severity": self.max_severity(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        if self.summary is not None:
+            d["sections"] = [
+                {
+                    "site": s.site,
+                    "name": s.name,
+                    "instances": s.instances,
+                    "threads": len(s.tids),
+                    "max_read_lines": s.max_read_lines,
+                    "max_write_lines": s.max_write_lines,
+                    "max_ways": s.max_ways,
+                    "max_depth": s.max_depth,
+                    "unfriendly_instances": s.unfriendly_instances,
+                }
+                for s in self.summary.section_list()
+            ]
+        return d
+
+
+def _finding(code: str, message: str, sites: tuple[int, ...] = (),
+             sections: tuple[str, ...] = (), **data: Any) -> Finding:
+    severity, prediction, _ = CODES[code]
+    return Finding(
+        code=code,
+        severity=severity,
+        message=message,
+        sites=sites,
+        sections=sections,
+        prediction=prediction,
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------- checks
+
+
+def _check_capacity(ws: WorkloadSummary) -> list[Finding]:
+    cfg = ws.config
+    out: list[Finding] = []
+    for s in ws.section_list():
+        reasons: list[str] = []
+        if s.max_write_lines > cfg.wset_lines:
+            reasons.append(
+                f"write set {s.max_write_lines} lines > budget {cfg.wset_lines}"
+            )
+        if s.max_ways > cfg.wset_assoc:
+            reasons.append(
+                f"write set maps {s.max_ways} lines into one cache set "
+                f"(> {cfg.wset_assoc} ways)"
+            )
+        if s.max_read_lines > cfg.rset_lines:
+            reasons.append(
+                f"read set {s.max_read_lines} lines > budget {cfg.rset_lines}"
+            )
+        if not reasons:
+            continue
+        always = s.always_overflows(cfg, ws.n_sets)
+        qual = "every attempt overflows" if always else "worst attempt overflows"
+        out.append(_finding(
+            "capacity-risk",
+            f"section '{s.name}': {'; '.join(reasons)} ({qual})",
+            sites=(s.site,),
+            sections=(s.name,),
+            max_read_lines=s.max_read_lines,
+            max_write_lines=s.max_write_lines,
+            max_ways=s.max_ways,
+            wset_lines=cfg.wset_lines,
+            wset_assoc=cfg.wset_assoc,
+            rset_lines=cfg.rset_lines,
+            always=always,
+        ))
+    return out
+
+
+def _check_unfriendly(ws: WorkloadSummary) -> list[Finding]:
+    out: list[Finding] = []
+    for s in ws.section_list():
+        if not s.unfriendly:
+            continue
+        kinds = sorted({f"{op}:{detail}" for op, detail, _ip in s.unfriendly})
+        out.append(_finding(
+            "unfriendly-op-in-txn",
+            f"section '{s.name}' issues {', '.join(kinds)} inside the "
+            f"transaction ({s.unfriendly_instances}/{s.instances} attempts)",
+            sites=(s.site,),
+            sections=(s.name,),
+            ops=[[op, detail, ip] for op, detail, ip in s.unfriendly],
+            always=s.always_unfriendly(),
+        ))
+    return out
+
+
+def _check_nesting(ws: WorkloadSummary) -> list[Finding]:
+    cfg = ws.config
+    out: list[Finding] = []
+    for s in ws.section_list():
+        if s.max_depth <= cfg.max_nesting:
+            continue
+        out.append(_finding(
+            "nesting-overflow",
+            f"section '{s.name}' nests {s.max_depth} deep "
+            f"(> MAX_RTM_NEST_COUNT {cfg.max_nesting}); the outer "
+            "transaction aborts with a persistent capacity status",
+            sites=(s.site,),
+            sections=(s.name,),
+            max_depth=s.max_depth,
+            max_nesting=cfg.max_nesting,
+        ))
+    return out
+
+
+def _check_conflicts(ws: WorkloadSummary) -> list[Finding]:
+    sections = ws.section_list()
+    out: list[Finding] = []
+    for i, a in enumerate(sections):
+        for b in sections[i:]:
+            overlaps = line_overlap(a, b)
+            if not overlaps:
+                continue
+            lines: set[int] = set()
+            ww = False
+            pairs = 0
+            for _ta, _tb, ls, has_ww in overlaps:
+                lines |= ls
+                ww = ww or has_ww
+                pairs += 1
+            true_sharing = shares_words(a, b, lines)
+            sharing = ("true sharing" if true_sharing
+                       else "false sharing (same line, different words)")
+            where = (
+                f"sections '{a.name}' and '{b.name}'"
+                if a.site != b.site
+                else f"section '{a.name}' across {len(a.tids)} threads"
+            )
+            out.append(_finding(
+                "cross-section-conflict",
+                f"{where} contend on {len(lines)} cache line(s) "
+                f"({'write-write' if ww else 'read-write'}, {sharing})",
+                sites=(a.site,) if a.site == b.site else (a.site, b.site),
+                sections=(a.name,) if a.site == b.site else (a.name, b.name),
+                lines=sorted(lines)[:16],
+                n_lines=len(lines),
+                write_write=ww,
+                true_sharing=true_sharing,
+                thread_pairs=pairs,
+            ))
+    return out
+
+
+def _check_lemming(ws: WorkloadSummary) -> list[Finding]:
+    cfg = ws.config
+    out: list[Finding] = []
+    for s in ws.section_list():
+        if len(s.tids) < 2:
+            continue
+        persistent = s.always_unfriendly() or s.always_overflows(cfg, ws.n_sets)
+        if not persistent:
+            continue
+        cause = "unfriendly op" if s.always_unfriendly() else "capacity overflow"
+        out.append(_finding(
+            "lemming-risk",
+            f"section '{s.name}' aborts persistently on every attempt "
+            f"({cause}) and is run by {len(s.tids)} threads: all of them "
+            "serialize on the fallback lock, and the lock's coherence "
+            "traffic aborts concurrent speculation (lemming effect)",
+            sites=(s.site,),
+            sections=(s.name,),
+            threads=len(s.tids),
+            cause=cause,
+        ))
+    return out
+
+
+def _check_unprotected(ws: WorkloadSummary) -> list[Finding]:
+    # lockset-style: an address some thread only touches inside a critical
+    # section, while another thread touches it *outside* any section in an
+    # overlapping barrier epoch, with a writer involved.  Barrier-phased
+    # init/verify accesses (disjoint epochs) do not trigger it.
+    protected_writes: dict[int, dict[int, set[int]]] = {}  # addr -> tid -> epochs
+    protected_reads: dict[int, dict[int, set[int]]] = {}
+    bare_writes: dict[int, dict[int, set[int]]] = {}
+    bare_reads: dict[int, dict[int, set[int]]] = {}
+    for t in ws.threads:
+        for src, dst in (
+            (t.in_writes, protected_writes),
+            (t.in_reads, protected_reads),
+            (t.out_writes, bare_writes),
+            (t.out_reads, bare_reads),
+        ):
+            for addr, epochs in src.items():
+                dst.setdefault(addr, {})[t.tid] = set(epochs)
+
+    def _overlapping(addr: int, me: int, epochs: set[int],
+                     table: dict[int, dict[int, set[int]]]) -> bool:
+        return any(
+            tid != me and epochs & other_epochs
+            for tid, other_epochs in table.get(addr, {}).items()
+        )
+
+    racy: list[int] = []
+    for addr, by_tid in protected_writes.items():
+        for tid, epochs in by_tid.items():
+            if (
+                _overlapping(addr, tid, epochs, bare_writes)
+                or _overlapping(addr, tid, epochs, bare_reads)
+            ):
+                racy.append(addr)
+                break
+    for addr, by_tid in bare_writes.items():
+        if addr in set(racy):
+            continue
+        for tid, epochs in by_tid.items():
+            if _overlapping(addr, tid, epochs, protected_reads) or _overlapping(
+                addr, tid, epochs, protected_writes
+            ):
+                racy.append(addr)
+                break
+    if not racy:
+        return []
+    racy.sort()
+    return [_finding(
+        "unprotected-shared-access",
+        f"{len(racy)} address(es) are accessed under a critical section "
+        "by one thread and outside any section by another in the same "
+        "barrier epoch; the unprotected access neither aborts nor waits "
+        "for concurrent transactions",
+        addrs=racy[:16],
+        n_addrs=len(racy),
+    )]
+
+
+#: check registry, in report order
+_CHECKS = (
+    _check_capacity,
+    _check_unfriendly,
+    _check_nesting,
+    _check_conflicts,
+    _check_lemming,
+    _check_unprotected,
+)
+
+
+def lint_summary(ws: WorkloadSummary) -> AnalysisReport:
+    """Run every check over an existing summary."""
+    report = AnalysisReport(workload=ws.workload, summary=ws, truncated=ws.truncated)
+    for check in _CHECKS:
+        report.findings.extend(check(ws))
+    report.findings.sort(
+        key=lambda f: (-severity_rank(f.severity), f.code, f.sites)
+    )
+    return report
+
+
+def analyze_workload(
+    workload: Any,
+    n_threads: int = 14,
+    scale: float = 1.0,
+    seed: int = 0,
+    config: MachineConfig | None = None,
+    limits: AnalysisLimits | None = None,
+    **params: Any,
+) -> AnalysisReport:
+    """Extract, summarize and lint one workload end to end."""
+    ir = extract_workload(
+        workload,
+        n_threads=n_threads,
+        scale=scale,
+        seed=seed,
+        config=config,
+        limits=limits,
+        **params,
+    )
+    return lint_summary(summarize(ir))

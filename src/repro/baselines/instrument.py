@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from ..rtm.instrument import TxnInstrumentation
 from ..sim.config import MachineConfig
@@ -46,7 +45,7 @@ class InstrumentationProfiler:
 
     def profile(self, workload, n_threads: int = 14, scale: float = 1.0,
                 seed: int = 0,
-                config: Optional[MachineConfig] = None) -> InstrumentationResult:
+                config: MachineConfig | None = None) -> InstrumentationResult:
         cfg = config or MachineConfig(n_threads=n_threads)
 
         def run(instr):

@@ -18,11 +18,11 @@ as the case studies show.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..cct.merge import merge_profiles
 from ..cct.tree import CCTNode, call_key, ip_key, new_root
-from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
+from ..pmu.events import CYCLES, RTM_ABORTED, RTM_COMMIT
 from ..pmu.sampling import Sample
 from ..core import metrics as m
 
@@ -38,9 +38,9 @@ class PerfProfiler:
     """State-unaware sampling profiler, for head-to-head comparisons."""
 
     def __init__(self) -> None:
-        self.sim: Optional["Simulator"] = None
+        self.sim: "Simulator" | None = None
         self.roots = []
-        self.samples_seen: Dict[str, int] = {}
+        self.samples_seen: dict[str, int] = {}
 
     def attach(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -75,7 +75,7 @@ class PerfProfiler:
         self.roots = []
         return root
 
-    def hotspots(self, root: Optional[CCTNode] = None, limit: int = 10):
+    def hotspots(self, root: CCTNode | None = None, limit: int = 10):
         """Top contexts by cycles samples (what ``perf report`` shows)."""
         root = root or self.merged()
         nodes = [

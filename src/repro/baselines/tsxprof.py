@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from ..rtm.instrument import TxnInstrumentation
 from ..sim.config import MachineConfig
@@ -79,7 +78,7 @@ class TsxProfSim:
 
     def _run(self, workload, n_threads: int, scale: float, seed: int,
              config: MachineConfig,
-             instrument: Optional[TxnInstrumentation],
+             instrument: TxnInstrumentation | None,
              access_cost: int) -> RunResult:
         cfg = config if access_cost == 0 else config.evolve(
             load_cost=config.load_cost + access_cost,
@@ -94,7 +93,7 @@ class TsxProfSim:
 
     def profile(self, workload, n_threads: int = 14, scale: float = 1.0,
                 seed: int = 0,
-                config: Optional[MachineConfig] = None) -> TsxProfResult:
+                config: MachineConfig | None = None) -> TsxProfResult:
         cfg = config or MachineConfig(n_threads=n_threads)
         native = self._run(workload, n_threads, scale, seed, cfg, None, 0)
         # pass 1: record — timestamp every txn event

@@ -9,7 +9,7 @@ the result to the sequential fold.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from .tree import CCTNode, new_root
 
@@ -29,9 +29,9 @@ def merge_profiles(roots: Sequence[CCTNode]) -> CCTNode:
     """
     if not roots:
         return new_root()
-    level: List[CCTNode] = list(roots)
+    level: list[CCTNode] = list(roots)
     while len(level) > 1:
-        nxt: List[CCTNode] = []
+        nxt: list[CCTNode] = []
         for i in range(0, len(level) - 1, 2):
             nxt.append(merge_pair(level[i], level[i + 1]))
         if len(level) % 2:

@@ -14,10 +14,10 @@ keeps the per-thread breakdown needed for §5's commit/abort histograms.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from collections.abc import Callable, Iterable, Iterator
 
-Key = Tuple
-Path = Tuple[Key, ...]
+Key = tuple
+Path = tuple[Key, ...]
 
 
 def call_key(callsite: int, callee_base: int) -> Key:
@@ -37,12 +37,12 @@ class CCTNode:
 
     __slots__ = ("key", "parent", "children", "metrics", "per_thread")
 
-    def __init__(self, key: Key, parent: Optional["CCTNode"] = None) -> None:
+    def __init__(self, key: Key, parent: "CCTNode" | None = None) -> None:
         self.key = key
         self.parent = parent
-        self.children: Dict[Key, CCTNode] = {}
-        self.metrics: Dict[str, float] = {}
-        self.per_thread: Dict[str, Dict[int, float]] = {}
+        self.children: dict[Key, CCTNode] = {}
+        self.metrics: dict[str, float] = {}
+        self.per_thread: dict[str, dict[int, float]] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -59,7 +59,7 @@ class CCTNode:
             node = node.child(key)
         return node
 
-    def add(self, metric: str, value: float = 1.0, tid: Optional[int] = None) -> None:
+    def add(self, metric: str, value: float = 1.0, tid: int | None = None) -> None:
         self.metrics[metric] = self.metrics.get(metric, 0.0) + value
         if tid is not None:
             by_tid = self.per_thread.setdefault(metric, {})
@@ -69,7 +69,7 @@ class CCTNode:
 
     def walk(self) -> Iterator["CCTNode"]:
         """Depth-first iteration over this subtree (self included)."""
-        stack: List[CCTNode] = [self]
+        stack: list[CCTNode] = [self]
         while stack:
             node = stack.pop()
             yield node
@@ -79,19 +79,19 @@ class CCTNode:
         """Inclusive metric: sum over this subtree."""
         return sum(n.metrics.get(metric, 0.0) for n in self.walk())
 
-    def total_per_thread(self, metric: str) -> Dict[int, float]:
-        out: Dict[int, float] = {}
+    def total_per_thread(self, metric: str) -> dict[int, float]:
+        out: dict[int, float] = {}
         for n in self.walk():
             for tid, v in n.per_thread.get(metric, {}).items():
                 out[tid] = out.get(tid, 0.0) + v
         return out
 
-    def find(self, pred: Callable[["CCTNode"], bool]) -> List["CCTNode"]:
+    def find(self, pred: Callable[["CCTNode"], bool]) -> list["CCTNode"]:
         return [n for n in self.walk() if pred(n)]
 
     def path_from_root(self) -> Path:
-        keys: List[Key] = []
-        node: Optional[CCTNode] = self
+        keys: list[Key] = []
+        node: CCTNode | None = self
         while node is not None and node.key != ("root",):
             keys.append(node.key)
             node = node.parent

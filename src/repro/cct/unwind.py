@@ -20,7 +20,7 @@ tool admits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..pmu.lbr import KIND_ABORT, KIND_CALL, KIND_RET, KIND_SAMPLE, LbrEntry
 from ..pmu.sampling import Sample
@@ -34,14 +34,14 @@ BEGIN_IN_TX = pseudo_key("begin_in_tx")
 class Reconstruction:
     """The full context for one sample."""
 
-    path: Tuple[Key, ...]
+    path: tuple[Key, ...]
     in_txn: bool
     truncated: bool
 
 
 def txn_call_chain(
     lbr: Sequence[LbrEntry],
-) -> Tuple[List[Tuple[int, int]], bool]:
+) -> tuple[list[tuple[int, int]], bool]:
     """Active in-transaction call chain from an LBR snapshot (newest first).
 
     Returns ``(chain, truncated)`` where ``chain`` is a list of
@@ -62,7 +62,7 @@ def txn_call_chain(
     # 2. collect this attempt's in-TSX call/ret entries: everything older
     #    than the abort record until the previous attempt's abort record or
     #    the first non-transactional branch.
-    attempt: List[LbrEntry] = []
+    attempt: list[LbrEntry] = []
     hit_boundary = False
     for e in lbr[idx + 1:]:
         if e.kind == KIND_ABORT or not e.in_tsx:
@@ -73,7 +73,7 @@ def txn_call_chain(
         # sample records inside the window are ignored
     truncated = not hit_boundary and len(lbr) >= 1
     # 3. replay oldest -> newest, pairing calls with returns.
-    stack: List[Tuple[int, int]] = []
+    stack: list[tuple[int, int]] = []
     unmatched_rets = False
     for e in reversed(attempt):
         if e.kind == KIND_CALL:
@@ -94,7 +94,7 @@ def reconstruct(sample: Sample, in_txn: bool) -> Reconstruction:
     observed transactional execution (Figure 4 reads LBR[0]'s abort bit
     for cycles samples; abort samples are transactional by definition).
     """
-    base: List[Key] = [call_key(cs, cb) for cs, cb in sample.ustack]
+    base: list[Key] = [call_key(cs, cb) for cs, cb in sample.ustack]
     truncated = False
     if in_txn:
         chain, truncated = txn_call_chain(sample.lbr)
@@ -105,7 +105,7 @@ def reconstruct(sample: Sample, in_txn: bool) -> Reconstruction:
 
 
 def prefix_matches(
-    chain: Sequence[Tuple[int, int]],
+    chain: Sequence[tuple[int, int]],
     innermost_frame_base: int,
     function_span: int,
 ) -> bool:

@@ -6,6 +6,7 @@ harnesses, a viewer for saved profile databases, and the ``repro.obs``
 event tracer)::
 
     python -m repro list
+    python -m repro check micro_capacity --json
     python -m repro run dedup --guidance --save-db dedup.json
     python -m repro trace dedup --trace-out dedup-trace.json
     python -m repro view dedup.json
@@ -22,7 +23,6 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
-from typing import List, Optional
 
 from . import htmbench
 from .core import DecisionTree
@@ -85,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the HTMBench workloads")
+
+    p = sub.add_parser("check",
+                       help="static TSX-lint (repro.analysis): predict "
+                            "abort causes without running, optionally "
+                            "cross-validated against the profiler")
+    p.add_argument("workloads", nargs="+",
+                   help="workload names, a suite name, or 'all'")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit one JSON document instead of text panes")
+    p.add_argument("--fail-on", choices=["info", "warning", "error"],
+                   default="error", metavar="SEVERITY",
+                   help="exit 1 on findings at or above this severity "
+                        "that the workload is not documented to trigger "
+                        "(default: error)")
+    p.add_argument("--static-only", action="store_true",
+                   help="skip the dynamic cross-validation run")
+    _add_common(p)
 
     p = sub.add_parser("run", help="run a workload under TxSampler "
                                    "(generate_profile.py analogue)")
@@ -186,6 +203,92 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _check_names(tokens: list[str]) -> list[str]:
+    """Expand 'all' / suite names / workload names into workload names."""
+    names: list[str] = []
+    known_suites = set(htmbench.suites())
+    for token in tokens:
+        if token == "all":
+            names.extend(htmbench.workload_names())
+        elif token in known_suites:
+            names.extend(htmbench.workload_names(token))
+        else:
+            names.append(token)
+    # de-duplicate, preserving order
+    return list(dict.fromkeys(names))
+
+
+def cmd_check(args) -> int:
+    import json
+
+    from .analysis import analyze_workload, cross_validate, severity_rank
+    from .core.report import render_analysis, render_crossval
+
+    names = _check_names(args.workloads)
+    threshold = severity_rank(args.fail_on)
+    crashed: list[str] = []
+    unexpected: list[str] = []
+    docs: dict = {}
+    for i, name in enumerate(names):
+        try:
+            cls = htmbench.WORKLOADS.get(name)
+            expected = set(getattr(cls, "expected_findings", ()) or ())
+            report = analyze_workload(name, n_threads=args.threads,
+                                      scale=args.scale, seed=args.seed)
+            cv = None
+            if not args.static_only:
+                cv = cross_validate(name, n_threads=args.threads,
+                                    scale=args.scale, seed=args.seed,
+                                    report=report)
+        except Exception as exc:
+            crashed.append(name)
+            _log.error(f"{name}: analyzer crashed: "
+                       f"{type(exc).__name__}: {exc}")
+            _log.debug("traceback:", exc_info=True)
+            continue
+        surprises = sorted({
+            f.code for f in report.findings
+            if severity_rank(f.severity) >= threshold
+            and f.code not in expected
+        })
+        if surprises:
+            unexpected.append(name)
+        if args.as_json:
+            entry = report.to_dict()
+            entry["expected_findings"] = sorted(expected)
+            entry["unexpected_codes"] = surprises
+            if cv is not None:
+                entry["crossval"] = cv.to_dict()
+            docs[name] = entry
+        else:
+            if i:
+                _log.info("")
+            _log.info(render_analysis(report))
+            if expected:
+                _log.info(f"documented findings  : {sorted(expected)}")
+            if surprises:
+                _log.info(f"UNEXPECTED (>= {args.fail_on}): {surprises}")
+            if cv is not None:
+                _log.info("")
+                _log.info(render_crossval(cv))
+    if args.as_json:
+        _log.info(json.dumps({
+            "fail_on": args.fail_on,
+            "crashed": crashed,
+            "unexpected": unexpected,
+            "workloads": docs,
+        }, indent=2, sort_keys=True))
+    else:
+        clean = len(names) - len(crashed) - len(unexpected)
+        _log.info("")
+        _log.info(f"checked {len(names)} workload(s): {clean} clean or "
+                  f"as documented, {len(unexpected)} with unexpected "
+                  f">={args.fail_on} findings, {len(crashed)} crashed")
+    if crashed:
+        return 2
+    return 1 if unexpected else 0
+
+
 def cmd_run(args) -> int:
     _log.debug(f"run: workload={args.workload} threads={args.threads} "
                f"scale={args.scale} seed={args.seed}")
@@ -255,7 +358,7 @@ def cmd_view(args) -> int:
 def cmd_measure_overhead(args) -> int:
     from .experiments.overhead import FIG5_BENCHMARKS
 
-    names: List[str] = (
+    names: list[str] = (
         list(FIG5_BENCHMARKS) if args.workloads == ["all"]
         else args.workloads
     )
@@ -349,6 +452,7 @@ def cmd_correctness(args) -> int:
 
 COMMANDS = {
     "list": cmd_list,
+    "check": cmd_check,
     "run": cmd_run,
     "trace": cmd_trace,
     "view": cmd_view,
@@ -361,7 +465,7 @@ COMMANDS = {
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _setup_logging(args.verbose, args.quiet)
     return COMMANDS[args.command](args)

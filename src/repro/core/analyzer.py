@@ -8,7 +8,6 @@ summary the decision tree and reports consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..cct.tree import CCTNode
 from ..pmu.events import RTM_ABORTED, RTM_COMMIT
@@ -39,14 +38,14 @@ class CsReport:
     aborts: float = 0.0
     commits: float = 0.0
     abort_weight: float = 0.0
-    aborts_by_class: Dict[str, float] = field(default_factory=dict)
-    weight_by_class: Dict[str, float] = field(default_factory=dict)
+    aborts_by_class: dict[str, float] = field(default_factory=dict)
+    weight_by_class: dict[str, float] = field(default_factory=dict)
     # contention
     true_sharing: float = 0.0
     false_sharing: float = 0.0
     # per-thread histograms (§5's contention metrics)
-    commits_by_thread: Dict[int, float] = field(default_factory=dict)
-    aborts_by_thread: Dict[int, float] = field(default_factory=dict)
+    commits_by_thread: dict[int, float] = field(default_factory=dict)
+    aborts_by_thread: dict[int, float] = field(default_factory=dict)
     # estimated true event counts (sample counts x sampling period)
     est_aborts: float = 0.0
     est_commits: float = 0.0
@@ -100,7 +99,7 @@ class CsReport:
         }
         return max(comps, key=comps.get)
 
-    def time_fractions(self) -> Dict[str, float]:
+    def time_fractions(self) -> dict[str, float]:
         """Each component as a fraction of this section's T."""
         total = self.T or 1.0
         return {
@@ -139,7 +138,7 @@ class ProgramSummary:
             return self.est_aborts / self.est_commits
         return float("inf") if self.est_aborts else 0.0
 
-    def time_fractions(self) -> Dict[str, float]:
+    def time_fractions(self) -> dict[str, float]:
         """non-CS / HTM / fallback / lock-wait / overhead fractions of W
         (the stacked bars of Figure 7, top)."""
         total = self.W or 1.0
@@ -158,28 +157,28 @@ class Profile:
 
     root: CCTNode
     n_threads: int
-    periods: Dict[str, int]
-    site_names: Dict[int, str]
-    samples_seen: Dict[str, int]
+    periods: dict[str, int]
+    site_names: dict[int, str]
+    samples_seen: dict[str, int]
     truncated_paths: int = 0
 
     # -- critical-section grouping -------------------------------------------------
 
-    def cs_nodes(self) -> Dict[int, List[CCTNode]]:
+    def cs_nodes(self) -> dict[int, list[CCTNode]]:
         """All ``tm_begin`` call-edge nodes, grouped by call site."""
         base = _tm_begin_base()
-        groups: Dict[int, List[CCTNode]] = {}
+        groups: dict[int, list[CCTNode]] = {}
         for node in self.root.walk():
             key = node.key
             if key[0] == "call" and key[2] == base:
                 groups.setdefault(key[1], []).append(node)
         return groups
 
-    def cs_reports(self) -> List[CsReport]:
+    def cs_reports(self) -> list[CsReport]:
         """Per-critical-section derived metrics, hottest (largest T) first."""
         p_ab = self.periods.get(RTM_ABORTED, 0)
         p_cm = self.periods.get(RTM_COMMIT, 0)
-        reports: List[CsReport] = []
+        reports: list[CsReport] = []
         for site, nodes in self.cs_nodes().items():
             rep = CsReport(site=site, name=self.describe_site(site))
             for node in nodes:
@@ -216,7 +215,7 @@ class Profile:
         reports.sort(key=lambda r: r.T, reverse=True)
         return reports
 
-    def hottest_cs(self) -> Optional[CsReport]:
+    def hottest_cs(self) -> CsReport | None:
         reports = self.cs_reports()
         return reports[0] if reports else None
 

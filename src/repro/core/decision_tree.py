@@ -23,7 +23,6 @@ red dotted path of Figure 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 from . import metrics as m
 from .analyzer import CsReport, Profile, ProgramSummary
@@ -42,9 +41,9 @@ class Step:
 class Guidance:
     """The traversal outcome: the path taken plus concrete suggestions."""
 
-    steps: List[Step] = field(default_factory=list)
-    suggestions: List[str] = field(default_factory=list)
-    cs: Optional[CsReport] = None
+    steps: list[Step] = field(default_factory=list)
+    suggestions: list[str] = field(default_factory=list)
+    cs: CsReport | None = None
 
     def step(self, node: str, finding: str, detail: str = "") -> None:
         self.steps.append(Step(node, finding, detail))
@@ -85,7 +84,7 @@ class Thresholds:
 class DecisionTree:
     """Figure 1's analysis, parameterized by :class:`Thresholds`."""
 
-    def __init__(self, thresholds: Optional[Thresholds] = None) -> None:
+    def __init__(self, thresholds: Thresholds | None = None) -> None:
         self.th = thresholds or Thresholds()
 
     # -- entry point --------------------------------------------------------

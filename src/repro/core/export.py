@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
 
 from ..cct.tree import CCTNode, new_root
 from ..sim.program import REGISTRY
@@ -57,7 +56,7 @@ def _node_from_dict(data: dict, parent: CCTNode) -> None:
         _node_from_dict(child, node)
 
 
-def _symbols_for(profile: Profile) -> Dict[str, str]:
+def _symbols_for(profile: Profile) -> dict[str, str]:
     """Function names for every code address the profile references."""
     addrs = set()
     for node in profile.root.walk():
@@ -71,7 +70,7 @@ def _symbols_for(profile: Profile) -> Dict[str, str]:
 
 
 def profile_to_dict(profile: Profile,
-                    run_metrics: Optional[Dict[str, dict]] = None) -> dict:
+                    run_metrics: dict[str, dict] | None = None) -> dict:
     """The complete database document for one profile.
 
     ``run_metrics`` is an optional engine-side metrics snapshot
@@ -96,8 +95,8 @@ def profile_to_dict(profile: Profile,
     return doc
 
 
-def save_profile(profile: Profile, path: Union[str, Path],
-                 run_metrics: Optional[Dict[str, dict]] = None) -> Path:
+def save_profile(profile: Profile, path: str | Path,
+                 run_metrics: dict[str, dict] | None = None) -> Path:
     """Write a profile database; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -142,12 +141,12 @@ def profile_from_dict(data: dict) -> Profile:
     )
 
 
-def load_profile(path: Union[str, Path]) -> Profile:
+def load_profile(path: str | Path) -> Profile:
     with Path(path).open() as fh:
         return profile_from_dict(json.load(fh))
 
 
-def load_run_metrics(path: Union[str, Path]) -> Dict[str, dict]:
+def load_run_metrics(path: str | Path) -> dict[str, dict]:
     """The engine-side metrics snapshot stored in a database, if any."""
     with Path(path).open() as fh:
         data = json.load(fh)
@@ -158,7 +157,7 @@ def load_run_metrics(path: Union[str, Path]) -> Dict[str, dict]:
     return data.get("run_metrics", {})
 
 
-def merge_databases(paths: List[Union[str, Path]]) -> Profile:
+def merge_databases(paths: list[str | Path]) -> Profile:
     """Aggregate several databases (e.g. one per run) into one profile.
 
     Metrics sum; metadata (periods, symbols) must agree and is taken from

@@ -19,7 +19,7 @@ profile per thread); :meth:`profile` runs the offline merge.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..cct.merge import merge_profiles
 from ..cct.tree import CCTNode, new_root
@@ -42,13 +42,13 @@ class TxSampler:
 
     def __init__(self, contention_threshold: int = 50_000) -> None:
         self.contention_threshold = contention_threshold
-        self.sim: Optional["Simulator"] = None
+        self.sim: "Simulator" | None = None
         self.rtm = None
-        self.roots: List[CCTNode] = []
+        self.roots: list[CCTNode] = []
         self.shadow = ShadowMemory(contention_threshold)
-        self.samples_seen: Dict[str, int] = {}
+        self.samples_seen: dict[str, int] = {}
         self.truncated_paths = 0
-        self._profile: Optional[Profile] = None
+        self._profile: Profile | None = None
 
     # -- wiring ------------------------------------------------------------
 

@@ -11,11 +11,14 @@ Renders:
   contention metrics view);
 * a **profiler self-diagnostics** pane (``repro.obs.selfprof``): is the
   profiler itself healthy and cheap enough to trust?
+* a **static analysis** pane (``repro.analysis``): the TSX-lint findings
+  for the workload, and a **cross-validation** pane scoring the static
+  abort-class predictions against what the profiler observed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..cct.tree import CCTNode
 from ..sim.program import REGISTRY
@@ -26,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs.selfprof import SelfDiagnostics
 
 
-def _describe_key(key, site_names: Dict[int, str]) -> str:
+def _describe_key(key, site_names: dict[int, str]) -> str:
     kind = key[0]
     if kind == "root":
         return "<thread root>"
@@ -97,7 +100,7 @@ def render_cct(
     inclusive metric and its percentage of the program total."""
     root = profile.root
     total = root.total(metric) or 1.0
-    lines: List[str] = [f"=== calling context view (metric: {metric}) ==="]
+    lines: list[str] = [f"=== calling context view (metric: {metric}) ==="]
 
     def visit(node: CCTNode, depth: int) -> None:
         if depth > max_depth:
@@ -167,10 +170,72 @@ def render_self_diagnostics(diag: "SelfDiagnostics") -> str:
     return "\n".join(lines)
 
 
+def render_analysis(report) -> str:
+    """The static-analysis pane: ``repro.analysis`` findings for a workload.
+
+    ``report`` is a :class:`repro.analysis.AnalysisReport` (typed loosely
+    to keep ``repro.core`` importable without the analysis package).
+    """
+    lines = [f"=== static analysis: {report.workload} ==="]
+    if report.truncated:
+        lines.append("  (symbolic drive truncated at the op budget; "
+                     "findings may be incomplete)")
+    if not report.findings:
+        lines.append("no findings: no statically predictable abort causes")
+        return "\n".join(lines)
+    for f in report.findings:
+        lines.append(f"{f.severity.upper():8s} {f.code}")
+        lines.append(f"         {f.message}")
+        if f.prediction:
+            sites = ", ".join(f"{s:#x}" for s in f.sites)
+            lines.append(f"         predicts '{f.prediction}' aborts "
+                         f"at {sites}")
+    worst = report.max_severity()
+    lines.append(f"{len(report.findings)} finding(s), max severity "
+                 f"{worst or 'none'}")
+    return "\n".join(lines)
+
+
+def render_crossval(cv) -> str:
+    """The cross-validation pane: static predictions vs the dynamic run.
+
+    ``cv`` is a :class:`repro.analysis.CrossValidation`.
+    """
+    lines = [f"=== static vs dynamic cross-validation: {cv.workload} ==="]
+    lines.append(
+        f"agreement            : {cv.agreement:.1%} "
+        f"({len(cv.sites)} site(s) x {len(cv.checks)} abort classes)"
+    )
+    header = (f"  {'class':10s} {'tp':>4s} {'fp':>4s} {'fn':>4s} "
+              f"{'precision':>10s} {'recall':>8s}")
+    lines.append(header)
+    for cls, check in cv.checks.items():
+        lines.append(
+            f"  {cls:10s} {check.tp:4d} {check.fp:4d} {check.fn:4d} "
+            f"{check.precision:10.1%} {check.recall:8.1%}"
+        )
+    disagreements = cv.disagreements()
+    if disagreements:
+        lines.append("disagreements (each is an oracle lead, not noise):")
+        for d in disagreements:
+            side = ("static predicts, dynamic did not observe"
+                    if d["static"] else
+                    "dynamic observed, static did not predict")
+            lines.append(f"  {d['section']} / {d['class']}: {side}")
+    else:
+        lines.append("no disagreements: every prediction was observed "
+                     "and every observation predicted")
+    sampled = ", ".join(
+        f"{cls}={n:.0f}" for cls, n in sorted(cv.sampled_aborts.items())
+    )
+    lines.append(f"sampled abort events : {sampled or 'none'}")
+    return "\n".join(lines)
+
+
 def render_full_report(
     profile: Profile,
     title: str = "program",
-    diagnostics: Optional["SelfDiagnostics"] = None,
+    diagnostics: "SelfDiagnostics" | None = None,
 ) -> str:
     parts = [
         render_summary(profile, title),

@@ -8,7 +8,8 @@ study exhibits).
 
 from __future__ import annotations
 
-from typing import Iterable, List, TYPE_CHECKING
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from ..sim.config import CACHELINE
 from ..sim.memory import WORD, Memory
@@ -60,7 +61,7 @@ class IntArray:
         for i, v in enumerate(values):
             self.memory.write(self.addr(i), v)
 
-    def host_read(self) -> List[int]:
+    def host_read(self) -> list[int]:
         return [self.memory.read(self.addr(i)) for i in range(self.length)]
 
     def host_get(self, i: int) -> int:

@@ -13,7 +13,7 @@ concurrently (1.21x).
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..sim.memory import WORD, Memory
 from ..sim.program import simfn
@@ -114,7 +114,7 @@ class AvlTree:
             return self._host_rot_left(node)
         return node
 
-    def host_lookup(self, key: int) -> Optional[int]:
+    def host_lookup(self, key: int) -> int | None:
         mem = self.memory
         node = mem.read(self.root_cell)
         while node:
@@ -124,8 +124,8 @@ class AvlTree:
             node = mem.read(node + (_LEFT if key < k else _RIGHT))
         return None
 
-    def host_keys_inorder(self) -> List[int]:
-        out: List[int] = []
+    def host_keys_inorder(self) -> list[int]:
+        out: list[int] = []
 
         def rec(node: int) -> None:
             if not node:

@@ -15,7 +15,7 @@ how index hot paths produce occasional capacity/conflict spikes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..sim.memory import WORD, Memory
 from ..sim.program import simfn
@@ -70,7 +70,7 @@ class BPlusTree:
             mem.write(self.root_cell, new_root)
 
     def _host_insert(self, node: int, key: int,
-                     value: int) -> Optional[Tuple[int, int]]:
+                     value: int) -> tuple[int, int] | None:
         mem = self.memory
         n = mem.read(node + _NKEYS)
         if mem.read(node + _IS_LEAF):
@@ -112,7 +112,7 @@ class BPlusTree:
             return None
         return self._host_split_internal(node)
 
-    def _host_split_leaf(self, node: int) -> Tuple[int, int]:
+    def _host_split_leaf(self, node: int) -> tuple[int, int]:
         mem = self.memory
         n = mem.read(node + _NKEYS)
         right = self._new_node(is_leaf=True)
@@ -128,7 +128,7 @@ class BPlusTree:
         mem.write(node + _NEXT, right)
         return mem.read(right + _KEYS), right
 
-    def _host_split_internal(self, node: int) -> Tuple[int, int]:
+    def _host_split_internal(self, node: int) -> tuple[int, int]:
         mem = self.memory
         n = mem.read(node + _NKEYS)
         right = self._new_node(is_leaf=False)
@@ -144,7 +144,7 @@ class BPlusTree:
         mem.write(node + _NKEYS, half)
         return mid_key, right
 
-    def host_lookup(self, key: int) -> Optional[int]:
+    def host_lookup(self, key: int) -> int | None:
         mem = self.memory
         node = mem.read(self.root_cell)
         while not mem.read(node + _IS_LEAF):
@@ -159,13 +159,13 @@ class BPlusTree:
                 return mem.read(node + _PTRS + i * WORD)
         return None
 
-    def host_keys(self) -> List[int]:
+    def host_keys(self) -> list[int]:
         """All keys left-to-right via the leaf chain."""
         mem = self.memory
         node = mem.read(self.root_cell)
         while not mem.read(node + _IS_LEAF):
             node = mem.read(node + _PTRS)
-        keys: List[int] = []
+        keys: list[int] = []
         while node:
             n = mem.read(node + _NKEYS)
             keys.extend(mem.read(node + _KEYS + i * WORD) for i in range(n))

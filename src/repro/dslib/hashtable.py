@@ -14,7 +14,8 @@ them through ``ctx.call``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..sim.memory import WORD, Memory
 from ..sim.program import simfn
@@ -86,7 +87,7 @@ class HashTable:
         mem.write(head_addr, node)
         self.n_items += 1
 
-    def host_lookup(self, key: int) -> Optional[int]:
+    def host_lookup(self, key: int) -> int | None:
         mem = self.memory
         node = mem.read(self.bucket_addr(key))
         while node:
@@ -106,7 +107,7 @@ class HashTable:
         )
         return used / self.n_buckets
 
-    def chain_lengths(self) -> List[int]:
+    def chain_lengths(self) -> list[int]:
         mem = self.memory
         lengths = []
         for i in range(self.n_buckets):

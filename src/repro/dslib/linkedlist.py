@@ -13,7 +13,7 @@ Node layout: ``(key, next)`` — two words.
 
 from __future__ import annotations
 
-from typing import List, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..sim.memory import WORD, Memory
 from ..sim.program import simfn
@@ -58,7 +58,7 @@ class SortedList:
         mem.write(prev + _OFF_NEXT, node)
         return True
 
-    def host_keys(self) -> List[int]:
+    def host_keys(self) -> list[int]:
         mem = self.memory
         keys = []
         node = mem.read(self.head + _OFF_NEXT)

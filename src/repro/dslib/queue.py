@@ -11,7 +11,7 @@ cache lines to avoid producer/consumer false sharing.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..sim.config import CACHELINE
 from ..sim.memory import WORD, Memory

@@ -21,7 +21,7 @@ write set than the AVL tree's rotations, useful as a contrast subject.
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..sim.memory import WORD, Memory
 from ..sim.program import simfn
@@ -119,7 +119,7 @@ class RedBlackTree:
         mem.write(root + _COLOR, BLACK)
         mem.write(self.root_cell, root)
 
-    def host_lookup(self, key: int) -> Optional[int]:
+    def host_lookup(self, key: int) -> int | None:
         mem = self.memory
         node = mem.read(self.root_cell)
         while node:
@@ -129,8 +129,8 @@ class RedBlackTree:
             node = mem.read(node + (_LEFT if key < k else _RIGHT))
         return None
 
-    def host_keys_inorder(self) -> List[int]:
-        out: List[int] = []
+    def host_keys_inorder(self) -> list[int]:
+        out: list[int] = []
         mem = self.memory
 
         def rec(node: int) -> None:

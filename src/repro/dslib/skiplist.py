@@ -12,7 +12,7 @@ profile so differently despite similar APIs.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..sim.memory import WORD, Memory
 from ..sim.program import simfn
@@ -86,7 +86,7 @@ class SkipList:
             mem.write(prev + _NEXT0 + lvl * WORD, fresh)
         return True
 
-    def host_keys(self) -> List[int]:
+    def host_keys(self) -> list[int]:
         mem = self.memory
         keys = []
         node = mem.read(self.head + _NEXT0)

@@ -8,7 +8,6 @@ visible, apply the published fix, and measure the improvement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 from ..core import metrics as m
 from ..core.decision_tree import DecisionTree, Guidance
@@ -23,9 +22,9 @@ class CaseStudy:
     name: str
     guidance: Guidance
     naive_report: str
-    findings: List[str] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
     speedup: float = 1.0
-    problems: List[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -41,7 +40,7 @@ class CaseStudy:
 
 
 def dedup_case_study(n_threads: int = 14, scale: float = 1.0, seed: int = 0,
-                     config: Optional[MachineConfig] = None) -> CaseStudy:
+                     config: MachineConfig | None = None) -> CaseStudy:
     """§8.1: the decision-tree walk of Figure 1's red dotted path.
 
     Expected findings: significant time in critical sections, the
@@ -106,7 +105,7 @@ def dedup_case_study(n_threads: int = 14, scale: float = 1.0, seed: int = 0,
 
 def leveldb_case_study(n_threads: int = 14, scale: float = 1.0,
                        seed: int = 0,
-                       config: Optional[MachineConfig] = None) -> CaseStudy:
+                       config: MachineConfig | None = None) -> CaseStudy:
     """§8.2: ReadRandom's abort/commit ratio collapses once the refcount
     transactions are split (paper: 2.8 -> 0.38, 1.05x overall)."""
     naive = run_workload("leveldb", n_threads=n_threads, scale=scale,
@@ -134,7 +133,7 @@ def leveldb_case_study(n_threads: int = 14, scale: float = 1.0,
 
 
 def histo_case_study(n_threads: int = 14, scale: float = 1.0, seed: int = 0,
-                     config: Optional[MachineConfig] = None) -> CaseStudy:
+                     config: MachineConfig | None = None) -> CaseStudy:
     """§8.3: input 1 — coalescing fixes the T_oh pathology; input 2 —
     coalescing alone false-shares, sorting the input repairs it."""
     naive = run_workload("histo", n_threads=n_threads, scale=scale,
@@ -194,7 +193,7 @@ def histo_case_study(n_threads: int = 14, scale: float = 1.0, seed: int = 0,
 
 
 def figure9(n_threads: int = 14, scale: float = 1.0, seed: int = 0,
-            config: Optional[MachineConfig] = None) -> str:
+            config: MachineConfig | None = None) -> str:
     """The dedup calling-context view annotated with abort weight."""
     out = run_workload("dedup", n_threads=n_threads, scale=scale, seed=seed,
                        config=config, profile=True)

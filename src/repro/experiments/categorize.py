@@ -9,7 +9,7 @@ paper reports for each program.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..core.categorize import Category, categorize
 from ..htmbench.base import WORKLOADS
@@ -18,7 +18,7 @@ from .runner import run_workload
 
 #: programs included in Figure 8 (everything except optimized variants
 #: and the controlled microbenchmarks)
-def figure8_names() -> List[str]:
+def figure8_names() -> list[str]:
     return sorted(
         name
         for name, cls in WORKLOADS.items()
@@ -39,12 +39,12 @@ class CategorizedRow:
 
 
 def figure8(
-    names: Optional[Sequence[str]] = None,
+    names: Sequence[str] | None = None,
     n_threads: int = 14,
     scale: float = 1.0,
     seed: int = 0,
-    config: Optional[MachineConfig] = None,
-) -> List[CategorizedRow]:
+    config: MachineConfig | None = None,
+) -> list[CategorizedRow]:
     if config is None:
         # characterization needs statistically meaningful abort/commit
         # estimates even for programs with few transactions per run
@@ -55,7 +55,7 @@ def figure8(
                 "rtm_aborted": 5, "rtm_commit": 25,
             },
         )
-    rows: List[CategorizedRow] = []
+    rows: list[CategorizedRow] = []
     for name in names or figure8_names():
         out = run_workload(
             name, n_threads=n_threads, scale=scale, seed=seed,
@@ -75,8 +75,8 @@ def agreement(rows: Sequence[CategorizedRow]) -> float:
     return sum(1 for r in rows if r.agrees) / len(rows)
 
 
-def by_type(rows: Sequence[CategorizedRow]) -> Dict[str, List[str]]:
-    out: Dict[str, List[str]] = {"I": [], "II": [], "III": []}
+def by_type(rows: Sequence[CategorizedRow]) -> dict[str, list[str]]:
+    out: dict[str, list[str]] = {"I": [], "II": [], "III": []}
     for r in rows:
         out[r.category.type_].append(r.category.name)
     return out

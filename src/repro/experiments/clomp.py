@@ -10,10 +10,9 @@ machine-checkable assertions (used by both tests and benches).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from ..core import metrics as m
-from ..htmbench.clomp_tm import FIGURE7_CONFIGS, SCATTER_NAMES
+from ..htmbench.clomp_tm import FIGURE7_CONFIGS
 from ..sim.config import MachineConfig
 from .runner import run_workload
 
@@ -32,9 +31,9 @@ class ClompRow:
     label: str                      # e.g. "large-2"
     txn_size: str
     scatter: int
-    time_fractions: Dict[str, float] = field(default_factory=dict)
-    aborts_by_class: Dict[str, float] = field(default_factory=dict)
-    weight_by_class: Dict[str, float] = field(default_factory=dict)
+    time_fractions: dict[str, float] = field(default_factory=dict)
+    aborts_by_class: dict[str, float] = field(default_factory=dict)
+    weight_by_class: dict[str, float] = field(default_factory=dict)
     commits: int = 0
     aborts: int = 0
 
@@ -55,8 +54,8 @@ def figure7(
     n_threads: int = 14,
     scale: float = 1.0,
     seed: int = 0,
-    config: Optional[MachineConfig] = None,
-) -> List[ClompRow]:
+    config: MachineConfig | None = None,
+) -> list[ClompRow]:
     """Collect TxSampler data for the six CLOMP-TM configurations."""
     if config is None:
         # a controlled experiment: sample abort events densely so the
@@ -69,7 +68,7 @@ def figure7(
                 "rtm_aborted": 3, "rtm_commit": 40,
             },
         )
-    rows: List[ClompRow] = []
+    rows: list[ClompRow] = []
     for label, size, scatter in FIGURE7_CONFIGS:
         out = run_workload(
             "clomp_tm", n_threads=n_threads, scale=scale, seed=seed,
@@ -93,10 +92,10 @@ def figure7(
     return rows
 
 
-def check_expectations(rows: List[ClompRow]) -> List[str]:
+def check_expectations(rows: list[ClompRow]) -> list[str]:
     """The paper's Figure 7 narrative as checks; returns violations."""
     by_label = {r.label: r for r in rows}
-    problems: List[str] = []
+    problems: list[str] = []
 
     def expect(cond: bool, msg: str) -> None:
         if not cond:
@@ -139,8 +138,8 @@ def check_expectations(rows: List[ClompRow]) -> List[str]:
     expect(
         r.abort_share("capacity")
         > max(
-            by_label[l].abort_share("capacity")
-            for l in ("small-1", "small-2", "small-3", "large-1", "large-2")
+            by_label[lbl].abort_share("capacity")
+            for lbl in ("small-1", "small-2", "small-3", "large-1", "large-2")
         ),
         f"large-3: expected the largest capacity-abort share, got "
         f"{r.aborts_by_class}",
@@ -153,7 +152,7 @@ def check_expectations(rows: List[ClompRow]) -> List[str]:
     return problems
 
 
-def render_figure7(rows: List[ClompRow]) -> str:
+def render_figure7(rows: list[ClompRow]) -> str:
     lines = ["=== Figure 7: CLOMP-TM decompositions (TxSampler data) ==="]
     lines.append("-- time decomposition (fractions of W) --")
     for r in rows:

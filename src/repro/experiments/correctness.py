@@ -12,7 +12,6 @@ quantitatively through the sampling-period scaling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from ..core import metrics as m
 from ..sim.config import MachineConfig
@@ -37,14 +36,14 @@ class CorrectnessRow:
     #: ground truth (exact)
     true_commits: int
     true_aborts: int
-    true_aborts_by_reason: Dict[str, int]
+    true_aborts_by_reason: dict[str, int]
     #: sampled estimates
     est_commits: float
     est_aborts: float
-    sampled_weight_by_class: Dict[str, float] = field(default_factory=dict)
+    sampled_weight_by_class: dict[str, float] = field(default_factory=dict)
     true_sharing: float = 0.0
     false_sharing: float = 0.0
-    problems: List[str] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
 
     @property
     def true_ratio(self) -> float:
@@ -163,12 +162,12 @@ def section72(
     n_threads: int = 14,
     scale: float = 1.0,
     seed: int = 0,
-    config: Optional[MachineConfig] = None,
-) -> List[CorrectnessRow]:
+    config: MachineConfig | None = None,
+) -> list[CorrectnessRow]:
     """Run every microbenchmark with TxSampler + ground truth attached."""
     if config is None:
         config = validation_config(n_threads)
-    rows: List[CorrectnessRow] = []
+    rows: list[CorrectnessRow] = []
     for name in MICRO_EXPECTATIONS:
         out = run_workload(
             name, n_threads=n_threads, scale=scale, seed=seed, config=config,
@@ -180,7 +179,7 @@ def section72(
     return rows
 
 
-def render_section72(rows: List[CorrectnessRow]) -> str:
+def render_section72(rows: list[CorrectnessRow]) -> str:
     lines = ["=== §7.2: TxSampler vs instrumentation ground truth ==="]
     for r in rows:
         status = "OK " if r.ok else "FAIL"

@@ -16,14 +16,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..sim.config import MachineConfig
 from .runner import trimmed_mean_overhead
 
 #: the Figure 5 benchmark list (every non-optimized HTMBench program that
 #: the paper's figure covers)
-FIG5_BENCHMARKS: Tuple[str, ...] = (
+FIG5_BENCHMARKS: tuple[str, ...] = (
     # STAMP
     "vacation", "kmeans", "genome", "labyrinth", "yada", "intruder", "ssca",
     # PARSEC
@@ -42,11 +42,11 @@ FIG5_BENCHMARKS: Tuple[str, ...] = (
 )
 
 #: the STAMP subset used for Figure 6
-FIG6_BENCHMARKS: Tuple[str, ...] = (
+FIG6_BENCHMARKS: tuple[str, ...] = (
     "vacation", "kmeans", "genome", "labyrinth", "yada", "intruder", "ssca",
 )
 
-FIG6_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 14)
+FIG6_THREAD_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 14)
 
 
 @dataclass
@@ -57,18 +57,18 @@ class OverheadRow:
     mean: float
     min_: float
     max_: float
-    runs: List[float]
+    runs: list[float]
 
 
 def figure5(
-    benchmarks: Optional[Sequence[str]] = None,
+    benchmarks: Sequence[str] | None = None,
     n_threads: int = 14,
     scale: float = 1.0,
     runs: int = 5,
-    config: Optional[MachineConfig] = None,
-) -> List[OverheadRow]:
+    config: MachineConfig | None = None,
+) -> list[OverheadRow]:
     """Per-benchmark sampling overhead (the bars of Figure 5)."""
-    rows: List[OverheadRow] = []
+    rows: list[OverheadRow] = []
     for name in benchmarks or FIG5_BENCHMARKS:
         mean, all_runs = trimmed_mean_overhead(
             name, n_threads=n_threads, scale=scale, runs=runs, drop=1,
@@ -90,9 +90,9 @@ def figure6(
     benchmarks: Sequence[str] = FIG6_BENCHMARKS,
     scale: float = 1.0,
     runs: int = 3,
-) -> Dict[int, Tuple[float, float]]:
+) -> dict[int, tuple[float, float]]:
     """STAMP-average overhead per thread count: {threads: (mean, spread)}."""
-    out: Dict[int, Tuple[float, float]] = {}
+    out: dict[int, tuple[float, float]] = {}
     for n in thread_counts:
         means = []
         for name in benchmarks:
@@ -117,7 +117,7 @@ def render_figure5(rows: Sequence[OverheadRow]) -> str:
     return "\n".join(lines)
 
 
-def render_figure6(data: Dict[int, Tuple[float, float]]) -> str:
+def render_figure6(data: dict[int, tuple[float, float]]) -> str:
     lines = ["=== Figure 6: overhead vs thread count (STAMP average) ==="]
     for n, (mean, spread) in sorted(data.items()):
         lines.append(f"  {n:2d} threads: {mean:7.2%} +- {spread:.2%}")

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
 
 from ..core.analyzer import Profile
 from ..core.profiler import TxSampler
@@ -19,7 +18,7 @@ from ..rtm.instrument import TxnInstrumentation
 from ..sim.config import MachineConfig
 from ..sim.engine import RunResult, Simulator
 
-WorkloadLike = Union[str, Workload]
+WorkloadLike = str | Workload
 
 
 @dataclass
@@ -28,11 +27,11 @@ class Outcome:
 
     result: RunResult
     sim: Simulator
-    profile: Optional[Profile] = None
-    profiler: Optional[TxSampler] = None
-    instrument: Optional[TxnInstrumentation] = None
+    profile: Profile | None = None
+    profiler: TxSampler | None = None
+    instrument: TxnInstrumentation | None = None
     #: the run's observability bundle (tracer/metrics), when enabled
-    obs: Optional[Observability] = None
+    obs: Observability | None = None
 
 
 def _resolve(workload: WorkloadLike, params: dict) -> Workload:
@@ -46,7 +45,7 @@ def run_workload(
     n_threads: int = 14,
     scale: float = 1.0,
     seed: int = 0,
-    config: Optional[MachineConfig] = None,
+    config: MachineConfig | None = None,
     profile: bool = False,
     instrument: bool = False,
     contention_threshold: int = 50_000,
@@ -91,15 +90,15 @@ def trimmed_mean_overhead(
     workload: WorkloadLike,
     n_threads: int = 14,
     scale: float = 1.0,
-    config: Optional[MachineConfig] = None,
+    config: MachineConfig | None = None,
     runs: int = 7,
     drop: int = 1,
     **params,
-) -> Tuple[float, List[float]]:
+) -> tuple[float, list[float]]:
     """§7.1's protocol: run ``runs`` seeds native and sampled, compute the
     per-seed makespan overhead, drop the ``drop`` smallest and largest,
     and average the rest.  Returns ``(mean_overhead, all_overheads)``."""
-    overheads: List[float] = []
+    overheads: list[float] = []
     for seed in range(runs):
         native = run_workload(
             workload, n_threads=n_threads, scale=scale, seed=seed,
@@ -124,10 +123,10 @@ def speedup(
     n_threads: int = 14,
     scale: float = 1.0,
     seed: int = 0,
-    config: Optional[MachineConfig] = None,
-    baseline_params: Optional[dict] = None,
-    optimized_params: Optional[dict] = None,
-) -> Tuple[float, Outcome, Outcome]:
+    config: MachineConfig | None = None,
+    baseline_params: dict | None = None,
+    optimized_params: dict | None = None,
+) -> tuple[float, Outcome, Outcome]:
     """Makespan ratio baseline/optimized (>1 means the fix helps)."""
     base = run_workload(
         baseline, n_threads=n_threads, scale=scale, seed=seed, config=config,

@@ -8,7 +8,6 @@ profile — i.e. TxSampler would actually have led you to the fix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from ..core import metrics as m
 from ..core.analyzer import Profile
@@ -55,9 +54,9 @@ def table2(
     n_threads: int = 14,
     scale: float = 1.0,
     seed: int = 0,
-    config: Optional[MachineConfig] = None,
-) -> List[SpeedupRow]:
-    rows: List[SpeedupRow] = []
+    config: MachineConfig | None = None,
+) -> list[SpeedupRow]:
+    rows: list[SpeedupRow] = []
     for naive, opt, paper, symptom in TABLE2:
         s, _, _ = measure_speedup(
             naive, opt, n_threads=n_threads, scale=scale, seed=seed,
@@ -78,7 +77,7 @@ def table2(
     return rows
 
 
-def render_table2(rows: List[SpeedupRow]) -> str:
+def render_table2(rows: list[SpeedupRow]) -> str:
     lines = [
         "=== Table 2: optimization overview ===",
         f"  {'program':12s} {'paper':>6s} {'ours':>6s}  symptom (paper) "

@@ -28,7 +28,7 @@ rolled back immediately at doom time, as on hardware).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..sim.config import MachineConfig, line_of
 from .status import (
@@ -76,9 +76,9 @@ class Transaction:
         self.start_cycle = start_cycle
         self.read_lines: set = set()
         self.write_lines: set = set()
-        self.writes: Dict[int, int] = {}
-        self.wset_by_set: Dict[int, int] = {}
-        self.doomed: Optional[AbortStatus] = None
+        self.writes: dict[int, int] = {}
+        self.wset_by_set: dict[int, int] = {}
+        self.doomed: AbortStatus | None = None
         self.stack_snapshot = thread.snapshot_stack()
         self.begin_ip = begin_ip
         self.fallback_ip = fallback_ip
@@ -96,13 +96,13 @@ class TsxEngine:
         #: observability bundle (attached by the Simulator; None when off)
         self.obs = None
         #: active (not yet committed/rolled-back) transaction per tid
-        self.active: Dict[int, Transaction] = {}
+        self.active: dict[int, Transaction] = {}
         self._n_sets = max(1, config.wset_lines // max(1, config.wset_assoc))
         # engine-level statistics (ground truth, not profiler-visible)
         self.total_begins = 0
         self.total_commits = 0
         self.total_aborts = 0
-        self.aborts_by_reason: Dict[str, int] = {}
+        self.aborts_by_reason: dict[str, int] = {}
 
     # ------------------------------------------------------------------ begin
 
@@ -113,6 +113,15 @@ class TsxEngine:
         if txn is not None:
             # flat nesting, as on TSX: inner begins just bump a depth count
             txn.nesting += 1
+            if txn.nesting > self.config.max_nesting and txn.doomed is None:
+                # nest-count overflow: persistent abort (no RETRY bit), so
+                # the runtime goes straight to the lock fallback, where
+                # nested sections run inline under the held lock
+                self.doom(txn, AbortStatus(
+                    ABORT_CAPACITY,
+                    eax=XABORT_CAPACITY,
+                    detail="nesting-overflow",
+                ))
             return txn
         txn = Transaction(thread, cs_id, now, begin_ip, fallback_ip)
         self.active[thread.tid] = txn
@@ -123,7 +132,7 @@ class TsxEngine:
 
     # ----------------------------------------------------------------- access
 
-    def txn_of(self, tid: int) -> Optional[Transaction]:
+    def txn_of(self, tid: int) -> Transaction | None:
         return self.active.get(tid)
 
     def on_access(self, tid: int, addr: int, is_write: bool) -> None:

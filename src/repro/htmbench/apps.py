@@ -17,7 +17,6 @@ The two Table-2 apps get faithful naive shapes:
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..dslib.array import IntArray
 from ..dslib.avltree import AvlTree, avl_insert, avl_search
@@ -35,7 +34,7 @@ from ..dslib.hashtable import (
     hashtable_search,
     hashtable_set_value,
 )
-from ..dslib.queue import EMPTY, FULL, RingQueue, queue_dequeue, queue_enqueue
+from ..dslib.queue import EMPTY, RingQueue, queue_dequeue
 from ..sim.program import simfn
 from .base import Workload, register
 

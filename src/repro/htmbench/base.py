@@ -10,7 +10,6 @@ milliseconds while benches run the full configuration.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Type
 
 from ..sim.engine import Program, Simulator
 
@@ -26,12 +25,18 @@ class Workload:
     expected_type: str = "II"
     #: one-line description of what the program does
     description: str = ""
+    #: static-analysis finding codes (``repro.analysis``) this workload is
+    #: *documented* to trigger — e.g. a capacity microbenchmark is built to
+    #: overflow the write set, so ``capacity-risk`` is its purpose, not a
+    #: defect.  ``python -m repro check --fail-on`` only fails on findings
+    #: outside this list.
+    expected_findings: tuple = ()
 
     def __init__(self, **params) -> None:
         self.params = params
 
     def build(self, sim: Simulator, n_threads: int, scale: float,
-              rng: random.Random) -> List[Program]:
+              rng: random.Random) -> list[Program]:
         """Allocate shared state in ``sim.memory``; return the programs."""
         raise NotImplementedError
 
@@ -46,10 +51,10 @@ class Workload:
 
 
 #: the global registry: name -> workload class
-WORKLOADS: Dict[str, Type[Workload]] = {}
+WORKLOADS: dict[str, type[Workload]] = {}
 
 
-def register(cls: Type[Workload]) -> Type[Workload]:
+def register(cls: type[Workload]) -> type[Workload]:
     """Class decorator adding a workload to the registry."""
     if not cls.name:
         raise ValueError(f"{cls!r} has no name")
@@ -69,7 +74,7 @@ def get_workload(name: str, **params) -> Workload:
     return cls(**params)
 
 
-def workload_names(suite: Optional[str] = None) -> List[str]:
+def workload_names(suite: str | None = None) -> list[str]:
     names = [
         n for n, cls in WORKLOADS.items()
         if suite is None or cls.suite == suite
@@ -77,5 +82,5 @@ def workload_names(suite: Optional[str] = None) -> List[str]:
     return sorted(names)
 
 
-def suites() -> List[str]:
+def suites() -> list[str]:
     return sorted({cls.suite for cls in WORKLOADS.values()})

@@ -23,10 +23,9 @@ times three inputs give the six bars of Figure 7:
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..sim.config import CACHELINE
-from ..sim.engine import Program, Simulator
+from ..sim.engine import Simulator
 from ..sim.memory import WORD
 from ..sim.program import simfn
 from .base import Workload, register
@@ -67,7 +66,7 @@ class ClompData:
 
 
 def _pick_targets(data: ClompData, scatter: int, tid: int, round_: int,
-                  rng: random.Random) -> List[int]:
+                  rng: random.Random) -> list[int]:
     """Element addresses for one update round, per scatter mode."""
     n = data.part_elems
     if scatter == SCATTER_ADJACENT:

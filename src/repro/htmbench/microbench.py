@@ -9,7 +9,6 @@ ground truth inside the RTM runtime.
 from __future__ import annotations
 
 from ..sim.config import CACHELINE
-from ..sim.memory import WORD
 from ..sim.program import simfn
 from .base import Workload, register
 from ..dslib.array import IntArray
@@ -58,6 +57,7 @@ class MicroModerateAbort(Workload):
     suite = "micro"
     expected_type = "II"
     description = "randomly striped counters: moderate abort ratio"
+    expected_findings = ("cross-section-conflict",)
 
     def build(self, sim, n_threads, scale, rng):
         stripes = max(4, n_threads)
@@ -83,6 +83,7 @@ class MicroHighAbort(Workload):
     suite = "micro"
     expected_type = "III"
     description = "one hot counter: high abort ratio (true sharing)"
+    expected_findings = ("cross-section-conflict",)
 
     def build(self, sim, n_threads, scale, rng):
         arr = IntArray(sim.memory, 1, line_per_element=True)
@@ -109,6 +110,7 @@ class MicroFalseSharing(Workload):
     suite = "micro"
     expected_type = "III"
     description = "per-thread words packed into shared cache lines"
+    expected_findings = ("cross-section-conflict",)
 
     def build(self, sim, n_threads, scale, rng):
         # densely packed: 8 words per line -> threads 0-7 share line 0, ...
@@ -136,6 +138,7 @@ class MicroSync(Workload):
     suite = "micro"
     expected_type = "II"
     description = "system call inside every transaction: synchronous aborts"
+    expected_findings = ("unfriendly-op-in-txn", "lemming-risk")
 
     def build(self, sim, n_threads, scale, rng):
         arr = IntArray(sim.memory, n_threads, line_per_element=True)
@@ -168,6 +171,7 @@ class MicroCapacity(Workload):
     suite = "micro"
     expected_type = "II"
     description = "write set larger than the HTM budget: capacity aborts"
+    expected_findings = ("capacity-risk", "lemming-risk")
 
     def build(self, sim, n_threads, scale, rng):
         lines = int(sim.config.wset_lines * 1.5)

@@ -20,8 +20,6 @@ linkedlist     limit txn size with auxiliary locks         3.78x
 
 from __future__ import annotations
 
-import random
-
 from ..dslib.hashtable import good_hash, hashtable_bump, hashtable_search
 from ..dslib.linkedlist import SortedList
 from ..sim.program import simfn
@@ -31,7 +29,7 @@ from .npb import Ua
 from .parboil import Histo, INPUT_SKEWED, INPUT_UNIFORM
 from .parsec import Dedup, NetDedup, _dedup_build
 from .ssca2 import Ssca2
-from .stamp import VacationDb, vacation_client
+from .stamp import VacationDb
 from .synchro import SynchroLinkedList, linkedlist_bounded_worker
 
 

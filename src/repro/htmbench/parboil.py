@@ -19,7 +19,6 @@ Two inputs, as in the paper:
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..dslib.array import IntArray
 from ..sim.program import simfn
@@ -32,7 +31,7 @@ INPUT_SKEWED = 1
 INPUT_UNIFORM = 2
 
 
-def make_image(n_pixels: int, input_kind: int, seed: int) -> List[int]:
+def make_image(n_pixels: int, input_kind: int, seed: int) -> list[int]:
     """Pixel values in [0, N_BINS)."""
     rng = random.Random(seed)
     if input_kind == INPUT_SKEWED:
@@ -48,7 +47,7 @@ def make_image(n_pixels: int, input_kind: int, seed: int) -> List[int]:
 
 
 @simfn
-def histo_naive(ctx, histo: IntArray, image: List[int], start: int,
+def histo_naive(ctx, histo: IntArray, image: list[int], start: int,
                 count: int):
     """Listing 3: one transaction per pixel."""
     n = len(image)
@@ -64,7 +63,7 @@ def histo_naive(ctx, histo: IntArray, image: List[int], start: int,
 
 
 @simfn
-def histo_coalesced(ctx, histo: IntArray, image: List[int], start: int,
+def histo_coalesced(ctx, histo: IntArray, image: list[int], start: int,
                     count: int, txn_gran: int):
     """Listing 4: ``txn_gran`` pixels per transaction."""
     n = len(image)

@@ -14,7 +14,6 @@ aborts).  Both defects are exactly what the optimized variant
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..dslib.array import IntArray
 from ..dslib.hashtable import (
@@ -200,7 +199,7 @@ def _dedup_build(self_, sim, n_threads, scale, rng, *, hash_fn,
         n_unique=self_.params.get("n_unique", 760),
         seed=rng.randrange(1 << 30),
     )
-    programs: List = []
+    programs: list = []
     for _ in range(producers):
         programs.append((ChunkProcess, (data, per_producer), {}))
     share, extra = divmod(total, anchors)
@@ -224,6 +223,8 @@ class Dedup(Workload):
     suite = "parsec"
     expected_type = "II"
     description = "dedup pipeline; bad hash -> capacity aborts, syscall in CS"
+    expected_findings = ("capacity-risk", "unfriendly-op-in-txn",
+                         "cross-section-conflict", "lemming-risk")
 
     def build(self, sim, n_threads, scale, rng):
         return _dedup_build(self, sim, n_threads, scale, rng,
@@ -278,6 +279,8 @@ class NetDedup(Workload):
     suite = "parsec"
     expected_type = "II"
     description = "networked dedup; recv() inside the critical section"
+    expected_findings = ("unfriendly-op-in-txn", "cross-section-conflict",
+                         "lemming-risk")
 
     syscall_in_cs = True
     hash_fn = staticmethod(good_hash)
@@ -294,7 +297,7 @@ class NetDedup(Workload):
             n_chunks_total=total, n_unique=256,
             seed=rng.randrange(1 << 30),
         )
-        programs: List = []
+        programs: list = []
         for _ in range(producers):
             programs.append(
                 (NetReceive, (data, per_producer, self.syscall_in_cs), {})
@@ -380,7 +383,7 @@ class FerretData:
 def ferret_worker(ctx, data: FerretData, n_queries: int):
     """Rank candidates (compute) and merge into the shared top-K list."""
     rng = ctx.rng
-    for q in range(n_queries):
+    for _q in range(n_queries):
         yield from ctx.compute(600)  # feature extraction + ranking
         score = rng.randrange(1, 1 << 20)
 

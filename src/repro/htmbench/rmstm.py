@@ -8,7 +8,6 @@ many accumulators.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
 
 from ..dslib.array import IntArray
 from ..sim.program import Barrier, simfn
@@ -26,7 +25,7 @@ class UtilityData:
     def __init__(self, sim, n_items: int, n_rows: int, row_len: int,
                  seed: int) -> None:
         rng = random.Random(seed)
-        self.rows: List[List[Tuple[int, int]]] = [
+        self.rows: list[list[tuple[int, int]]] = [
             [(rng.randrange(n_items), rng.randrange(1, 9))
              for _ in range(row_len)]
             for _ in range(n_rows)

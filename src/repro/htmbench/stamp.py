@@ -11,7 +11,6 @@ deduplication and assembly (genome), path claiming over a grid
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..dslib.array import IntArray
 from ..dslib.hashtable import (
@@ -22,7 +21,6 @@ from ..dslib.hashtable import (
 )
 # (hashtable_bump is used by vacation and genome)
 from ..dslib.queue import EMPTY, RingQueue, queue_dequeue
-from ..sim.memory import WORD
 from ..sim.program import Barrier, simfn
 from .base import Workload, register
 
@@ -133,7 +131,7 @@ def kmeans_worker(ctx, data: KmeansData, start: int, count: int,
             yield from ctx.compute(12 * data.k)
             best, best_d = 0, None
             for ci, center in enumerate(data.centers):
-                d = sum((a - b) ** 2 for a, b in zip(point, center))
+                d = sum((a - b) ** 2 for a, b in zip(point, center, strict=True))
                 if best_d is None or d < best_d:
                     best, best_d = ci, d
 
@@ -253,7 +251,7 @@ class GridData:
     def cell_index(self, x: int, y: int) -> int:
         return y * self.width + x
 
-    def l_path(self, x0: int, y0: int, x1: int, y1: int) -> List[int]:
+    def l_path(self, x0: int, y0: int, x1: int, y1: int) -> list[int]:
         """An L-shaped route: horizontal then vertical (each vertical step
         lands on a different cache line — big transactional footprints)."""
         cells = []

@@ -16,7 +16,7 @@ DESIGN.md is preserved bit-for-bit (tested by
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from .metrics import COUNT_BUCKETS, MetricsRegistry
 from .trace import Tracer
@@ -31,13 +31,13 @@ class Observability:
 
     __slots__ = ("tracer", "metrics")
 
-    def __init__(self, tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.tracer = tracer
         self.metrics = metrics
 
     @classmethod
-    def from_config(cls, config: "MachineConfig") -> Optional["Observability"]:
+    def from_config(cls, config: "MachineConfig") -> "Observability" | None:
         """Build the bundle a config asks for; None when everything is
         off, so disabled runs carry no observability state at all."""
         tracer = Tracer(config.trace_capacity) if config.trace_enabled else None

@@ -13,15 +13,15 @@ sorted, histogram buckets are fixed at creation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from collections.abc import Iterable
 
 #: default histogram bucket upper bounds for cycle-valued quantities
-CYCLE_BUCKETS: Tuple[int, ...] = (
+CYCLE_BUCKETS: tuple[int, ...] = (
     16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
 )
 
 #: bucket bounds for small-integer quantities (retry counts, set sizes)
-COUNT_BUCKETS: Tuple[int, ...] = (0, 1, 2, 3, 5, 8, 16, 32, 64, 128, 256)
+COUNT_BUCKETS: tuple[int, ...] = (0, 1, 2, 3, 5, 8, 16, 32, 64, 128, 256)
 
 
 class Counter:
@@ -47,10 +47,10 @@ class Gauge:
     def __init__(self) -> None:
         self.value = 0
 
-    def set(self, v: Union[int, float]) -> None:
+    def set(self, v: int | float) -> None:
         self.value = v
 
-    def track_max(self, v: Union[int, float]) -> None:
+    def track_max(self, v: int | float) -> None:
         if v > self.value:
             self.value = v
 
@@ -69,17 +69,17 @@ class Histogram:
                  "min", "max")
 
     def __init__(self, bounds: Iterable[int] = CYCLE_BUCKETS) -> None:
-        self.bounds: Tuple[int, ...] = tuple(sorted(bounds))
+        self.bounds: tuple[int, ...] = tuple(sorted(bounds))
         if not self.bounds:
             raise ValueError("histogram needs at least one bucket bound")
-        self.counts: List[int] = [0] * len(self.bounds)
+        self.counts: list[int] = [0] * len(self.bounds)
         self.overflow = 0
         self.count = 0
         self.sum = 0
-        self.min: Optional[Union[int, float]] = None
-        self.max: Optional[Union[int, float]] = None
+        self.min: int | float | None = None
+        self.max: int | float | None = None
 
-    def observe(self, v: Union[int, float]) -> None:
+    def observe(self, v: int | float) -> None:
         self.count += 1
         self.sum += v
         if self.min is None or v < self.min:
@@ -115,7 +115,7 @@ class Histogram:
         }
 
 
-Instrument = Union[Counter, Gauge, Histogram]
+Instrument = Counter | Gauge | Histogram
 
 
 class MetricsRegistry:
@@ -124,7 +124,7 @@ class MetricsRegistry:
     __slots__ = ("_instruments",)
 
     def __init__(self) -> None:
-        self._instruments: Dict[str, Instrument] = {}
+        self._instruments: dict[str, Instrument] = {}
 
     def _get(self, name: str, cls, factory):
         inst = self._instruments.get(name)
@@ -153,7 +153,7 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._instruments)
 
-    def snapshot(self) -> Dict[str, dict]:
+    def snapshot(self) -> dict[str, dict]:
         """All instruments as plain dicts, keyed by name, sorted."""
         return {
             name: self._instruments[name].to_dict()
@@ -161,7 +161,7 @@ class MetricsRegistry:
         }
 
 
-def format_snapshot(snapshot: Dict[str, dict]) -> str:
+def format_snapshot(snapshot: dict[str, dict]) -> str:
     """Render a snapshot as an aligned text block (CLI ``--metrics``)."""
     lines = ["=== run metrics ==="]
     if not snapshot:

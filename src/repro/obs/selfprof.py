@@ -14,7 +14,7 @@ truth, so it feeds nothing back into TxSampler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..pmu.events import CYCLES, RTM_ABORTED, RTM_COMMIT
 
@@ -28,7 +28,7 @@ class SelfDiagnostics:
     """One run's profiler health report."""
 
     #: samples the profiler's dispatcher saw, per PMU event name
-    samples_by_event: Dict[str, int] = field(default_factory=dict)
+    samples_by_event: dict[str, int] = field(default_factory=dict)
     #: sampling interrupts the engine delivered (== handler invocations)
     handler_invocations: int = 0
     #: simulated cycles charged to the program by the handlers

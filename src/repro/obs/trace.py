@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Tuple, Union
+from collections import deque
 
 #: Chrome trace-event phase codes used by this tracer.
 PH_INSTANT = "i"
@@ -29,7 +29,7 @@ PH_COMPLETE = "X"
 PH_METADATA = "M"
 
 #: one ring record: (phase, start_ts, duration, name, args-or-None)
-Record = Tuple[str, int, int, str, Optional[dict]]
+Record = tuple[str, int, int, str, dict | None]
 
 
 class Tracer:
@@ -42,14 +42,14 @@ class Tracer:
             raise ValueError(f"trace capacity must be positive, got {capacity}")
         #: max events retained per thread; older events are dropped
         self.capacity = capacity
-        self._rings: Dict[int, Deque[Record]] = {}
+        self._rings: dict[int, deque[Record]] = {}
         #: events evicted from each thread's ring (ring overflow)
-        self.dropped: Dict[int, int] = {}
-        self._cs_names: Dict[int, str] = {}
+        self.dropped: dict[int, int] = {}
+        self._cs_names: dict[int, str] = {}
 
     # ------------------------------------------------------------- recording
 
-    def _ring(self, tid: int) -> Deque[Record]:
+    def _ring(self, tid: int) -> deque[Record]:
         ring = self._rings.get(tid)
         if ring is None:
             ring = self._rings[tid] = deque(maxlen=self.capacity)
@@ -57,7 +57,7 @@ class Tracer:
         return ring
 
     def instant(self, tid: int, ts: int, name: str,
-                args: Optional[dict] = None) -> None:
+                args: dict | None = None) -> None:
         """Record a point event on thread ``tid`` at cycle ``ts``."""
         ring = self._ring(tid)
         if len(ring) == self.capacity:
@@ -65,7 +65,7 @@ class Tracer:
         ring.append((PH_INSTANT, ts, 0, name, args))
 
     def span(self, tid: int, start: int, end: int, name: str,
-             args: Optional[dict] = None) -> None:
+             args: dict | None = None) -> None:
         """Record a duration event covering cycles ``[start, end]``."""
         ring = self._ring(tid)
         if len(ring) == self.capacity:
@@ -90,8 +90,8 @@ class Tracer:
     def total_dropped(self) -> int:
         return sum(self.dropped.values())
 
-    def events(self) -> List[Tuple[int, int, int, str, str, int,
-                                   Optional[dict]]]:
+    def events(self) -> list[tuple[int, int, int, str, str, int,
+                                   dict | None]]:
         """The merged event stream, deterministically ordered.
 
         Returns ``(ts, tid, seq, phase, name, dur, args)`` tuples sorted
@@ -110,7 +110,7 @@ class Tracer:
 
     def chrome_trace(self) -> dict:
         """The trace as a Chrome trace-event JSON document (dict form)."""
-        trace_events: List[dict] = []
+        trace_events: list[dict] = []
         for tid in sorted(self._rings):
             trace_events.append({
                 "ph": PH_METADATA,
@@ -138,7 +138,7 @@ class Tracer:
             },
         }
 
-    def write(self, path: Union[str, Path]) -> Path:
+    def write(self, path: str | Path) -> Path:
         """Write the Chrome trace JSON; returns the path written."""
         path = Path(path)
         if path.parent != Path(""):

@@ -10,7 +10,7 @@ decomposition.
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping
+from collections.abc import Mapping
 
 
 class CounterBank:
@@ -26,16 +26,16 @@ class CounterBank:
 
     def __init__(self, periods: Mapping[str, int], seed: int = 0,
                  randomize: bool = True) -> None:
-        self.periods: Dict[str, int] = {
+        self.periods: dict[str, int] = {
             ev: p for ev, p in periods.items() if p and p > 0
         }
         self.randomize = randomize
         self._rng = random.Random(seed * 1_000_003 + 17)
-        self.remaining: Dict[str, int] = {
+        self.remaining: dict[str, int] = {
             ev: self._next_period(p) for ev, p in self.periods.items()
         }
-        self.totals: Dict[str, int] = {ev: 0 for ev in self.periods}
-        self.overflows: Dict[str, int] = {ev: 0 for ev in self.periods}
+        self.totals: dict[str, int] = {ev: 0 for ev in self.periods}
+        self.overflows: dict[str, int] = {ev: 0 for ev in self.periods}
 
     def _next_period(self, period: int) -> int:
         spread = period >> 3 if self.randomize else 0

@@ -16,7 +16,7 @@ transaction — this is the bit Figure 4's algorithm reads.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Tuple
+from typing import NamedTuple
 
 KIND_CALL = "call"
 KIND_RET = "ret"
@@ -43,7 +43,7 @@ class Lbr:
         if size <= 0:
             raise ValueError("LBR size must be positive")
         self.size = size
-        self._buf: List[LbrEntry] = []
+        self._buf: list[LbrEntry] = []
 
     def push(self, entry: LbrEntry) -> None:
         buf = self._buf
@@ -65,7 +65,7 @@ class Lbr:
         """The PMU interrupt itself (target address is the signal handler)."""
         self.push(LbrEntry(from_addr, 0, KIND_SAMPLE, aborted_txn, in_tsx))
 
-    def snapshot(self) -> Tuple[LbrEntry, ...]:
+    def snapshot(self) -> tuple[LbrEntry, ...]:
         """Entries newest-first, as delivered with a PEBS record."""
         return tuple(reversed(self._buf))
 

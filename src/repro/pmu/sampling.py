@@ -22,7 +22,6 @@ profiler must reconstruct everything the way TxSampler does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
 
 from .lbr import LbrEntry
 
@@ -37,15 +36,15 @@ class Sample:
     #: precise instruction pointer at the sample point (PEBS)
     ip: int
     #: unwound architectural call path, outermost call site first
-    ustack: Tuple[int, ...]
+    ustack: tuple[int, ...]
     #: architectural resume IP (the signal context's IP) — for a sample
     #: that aborted a transaction this is the fallback address, while
     #: :attr:`ip` is the precise in-transaction PEBS address
     resume_ip: int = 0
     #: LBR snapshot, newest entry first
-    lbr: Tuple[LbrEntry, ...] = ()
+    lbr: tuple[LbrEntry, ...] = ()
     #: memory events: sampled effective address and access kind
-    eff_addr: Optional[int] = None
+    eff_addr: int | None = None
     is_store: bool = False
     #: rtm_aborted events: wasted cycles in the aborted attempt, and the
     #: TSX status bits software would have seen in EAX
@@ -58,7 +57,7 @@ class Sample:
         the exact check from §3.1 / Figure 4.)"""
         return bool(self.lbr) and self.lbr[0].abort
 
-    def trace_fields(self) -> Dict[str, object]:
+    def trace_fields(self) -> dict[str, object]:
         """Compact description of this sample for the event tracer.
 
         Consumed by :mod:`repro.obs` when the engine records sample
@@ -66,7 +65,7 @@ class Sample:
         already profiler-visible, so exposing it to the tracer does not
         widen the profiler's observational interface.
         """
-        fields: Dict[str, object] = {
+        fields: dict[str, object] = {
             "event": self.event,
             "ip": self.ip,
             "aborted_txn": self.aborted_by_sample,

@@ -23,7 +23,8 @@ the RTM path (:meth:`~repro.rtm.runtime.RtmRuntime.execute`):
 from __future__ import annotations
 
 import sys
-from typing import Callable, Optional, TYPE_CHECKING
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..htm.status import ABORT_EXPLICIT, AbortStatus
 from ..sim.errors import AbortSignal
@@ -63,7 +64,7 @@ class ElidedLock:
     # -- public API -----------------------------------------------------------
 
     def critical(self, ctx: "ThreadContext", body: Callable,
-                 name: Optional[str] = None):
+                 name: str | None = None):
         """Run ``body`` under this lock, eliding it when possible."""
         line = sys._getframe(1).f_lineno
         frame = ctx.stack[-1]

@@ -15,7 +15,7 @@ Two uses, mirroring the paper:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..htm.status import AbortStatus
@@ -33,14 +33,14 @@ class TxnInstrumentation:
         #: synthetic cache lines added to each transaction's write set,
         #: modeling instrumentation buffers inflating the footprint
         self.extra_wset_lines = extra_wset_lines
-        self.begins: Dict[str, int] = defaultdict(int)
-        self.commits: Dict[str, int] = defaultdict(int)
-        self.fallbacks: Dict[str, int] = defaultdict(int)
-        self.aborts: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
-        self.abort_weight: Dict[str, int] = defaultdict(int)
+        self.begins: dict[str, int] = defaultdict(int)
+        self.commits: dict[str, int] = defaultdict(int)
+        self.fallbacks: dict[str, int] = defaultdict(int)
+        self.aborts: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self.abort_weight: dict[str, int] = defaultdict(int)
         #: per-thread commit/abort counts (for §5's contention histograms)
-        self.commits_by_thread: Dict[int, int] = defaultdict(int)
-        self.aborts_by_thread: Dict[int, int] = defaultdict(int)
+        self.commits_by_thread: dict[int, int] = defaultdict(int)
+        self.aborts_by_thread: dict[int, int] = defaultdict(int)
         self._next_fake_line = 1 << 40  # outside any real data line range
 
     # -- hooks called by the runtime ----------------------------------------
@@ -74,7 +74,7 @@ class TxnInstrumentation:
     def total_commits(self) -> int:
         return sum(self.commits.values())
 
-    def total_aborts(self, reason: Optional[str] = None) -> int:
+    def total_aborts(self, reason: str | None = None) -> int:
         if reason is None:
             return sum(sum(d.values()) for d in self.aborts.values())
         return sum(d.get(reason, 0) for d in self.aborts.values())

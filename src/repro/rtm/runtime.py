@@ -20,8 +20,8 @@ the ~9-line query function of §3.2.
 
 from __future__ import annotations
 
-import sys
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..htm.status import ABORT_EXPLICIT, AbortStatus
 from ..sim.errors import AbortSignal
@@ -74,12 +74,12 @@ class RtmRuntime:
             lock_addr, cfg.lock_acquire_cost, cfg.lock_release_cost,
             cfg.spin_quantum,
         )
-        self._sections: Dict[str, CriticalSection] = {}
-        self._by_id: List[CriticalSection] = []
-        self.instrument = None  # Optional[TxnInstrumentation]
+        self._sections: dict[str, CriticalSection] = {}
+        self._by_id: list[CriticalSection] = []
+        self.instrument = None  # TxnInstrumentation | None
         self.tm_begin_fn = tm_begin
         #: debug-info analogue: TM_BEGIN call-site address -> section name
-        self.site_names: Dict[int, str] = {}
+        self.site_names: dict[int, str] = {}
 
     # -- the paper's state query function (§3.2) -----------------------------
 
@@ -104,7 +104,7 @@ class RtmRuntime:
     # -- TM_BEGIN ... TM_END ----------------------------------------------------
 
     def execute(self, ctx: "ThreadContext", body: Body,
-                name: Optional[str] = None, callsite: Optional[int] = None):
+                name: str | None = None, callsite: int | None = None):
         """Run ``body`` as one critical section (transaction + fallback).
 
         ``body`` must be a callable producing a *fresh* generator on every

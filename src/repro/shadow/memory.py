@@ -17,7 +17,6 @@ The paper sets P = 100 ms empirically; we express it in simulated cycles.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
 
 from ..sim.config import line_of
 
@@ -25,7 +24,7 @@ TRUE_SHARING = "true"
 FALSE_SHARING = "false"
 
 #: shadow record: (tid, is_store, timestamp)
-Record = Tuple[int, bool, int]
+Record = tuple[int, bool, int]
 
 
 class ShadowMemory:
@@ -37,17 +36,17 @@ class ShadowMemory:
     def __init__(self, threshold: int = 50_000) -> None:
         #: max cycle distance between two accesses to count as contention
         self.threshold = threshold
-        self.by_byte: Dict[int, Record] = {}
-        self.by_line: Dict[int, Record] = {}
+        self.by_byte: dict[int, Record] = {}
+        self.by_line: dict[int, Record] = {}
         self.true_sharing_events = 0
         self.false_sharing_events = 0
 
     def observe(self, addr: int, tid: int, is_store: bool,
-                ts: int) -> Optional[str]:
+                ts: int) -> str | None:
         """Record one sampled access; returns the sharing class if the
         access is contended, else None."""
         line = line_of(addr)
-        verdict: Optional[str] = None
+        verdict: str | None = None
         prev_line = self.by_line.get(line)
         if prev_line is not None:
             p_tid, p_store, p_ts = prev_line

@@ -16,7 +16,6 @@ reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
 
 #: Bytes per cache line; TSX detects conflicts at this granularity.
 CACHELINE = 64
@@ -65,6 +64,10 @@ class MachineConfig:
     #: writes map more than ``wset_assoc`` lines into one set overflows
     #: early even when the total footprint is below ``wset_lines``.
     wset_assoc: int = 8
+    #: maximum flat-nesting depth (Intel's MAX_RTM_NEST_COUNT, typically 7).
+    #: A TM_BEGIN nested deeper than this aborts the outer transaction with
+    #: a persistent (non-RETRY) status, like real TSX nest-count overflow.
+    max_nesting: int = 7
     #: conflict policy: "requester_wins" (TSX-like: the transaction that
     #: *receives* the conflicting coherence request aborts) or
     #: "responder_wins" (the requester aborts instead) for ablation.
@@ -94,7 +97,7 @@ class MachineConfig:
     #: sampling period per event name; 0/absent disables the event.
     #: Scaled so an attached profiler sees O(50-200) samples per "second"
     #: of simulated work, matching the paper's guidance.
-    sample_periods: Dict[str, int] = field(
+    sample_periods: dict[str, int] = field(
         default_factory=lambda: {
             "cycles": 20_000,
             "mem_loads": 8_000,

@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..htm.status import ABORT_INTERRUPT, ABORT_SYNC, AbortStatus
 # tsx / runtime are referenced through their modules (attribute lookup is
@@ -52,7 +52,7 @@ from .program import (
 from .thread import ThreadContext
 
 #: a thread program: (function, positional args, keyword args)
-Program = Tuple[SimFunction, tuple, dict]
+Program = tuple[SimFunction, tuple, dict]
 
 
 @dataclass
@@ -63,18 +63,18 @@ class RunResult:
     makespan: int
     #: total work W: cycles summed over threads (Equation 1's left side)
     work: int
-    per_thread_cycles: List[int]
+    per_thread_cycles: list[int]
     #: ground-truth HTM statistics (engine-side, not profiler-visible)
     begins: int
     commits: int
     aborts: int
-    aborts_by_reason: Dict[str, int]
+    aborts_by_reason: dict[str, int]
     #: exact PMU event totals (empty when sampling was off)
-    pmu_totals: Dict[str, int] = field(default_factory=dict)
+    pmu_totals: dict[str, int] = field(default_factory=dict)
     samples_delivered: int = 0
     #: snapshot of the run's metrics registry (empty unless
     #: ``MachineConfig.metrics_enabled``); see :mod:`repro.obs.metrics`
-    metrics: Dict[str, dict] = field(default_factory=dict)
+    metrics: dict[str, dict] = field(default_factory=dict)
 
     @property
     def abort_commit_ratio(self) -> float:
@@ -92,11 +92,11 @@ class Simulator:
     def __init__(
         self,
         config: MachineConfig,
-        programs: Optional[Sequence[Program]] = None,
+        programs: Sequence[Program] | None = None,
         seed: int = 0,
         profiler=None,
-        n_threads: Optional[int] = None,
-        obs: Optional[Observability] = None,
+        n_threads: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if programs is None and n_threads is None:
             raise SimError("give either programs or n_threads")
@@ -111,20 +111,20 @@ class Simulator:
         self.obs = obs if obs is not None else Observability.from_config(config)
         self.htm = _tsx.TsxEngine(config)
         self.htm.obs = self.obs
-        self.threads: List[ThreadContext] = [
+        self.threads: list[ThreadContext] = [
             ThreadContext(tid, self, config.lbr_size) for tid in range(count)
         ]
         self.rtm = _rtm_runtime.RtmRuntime(self)
         self.profiler = profiler
-        self.pmu: Optional[PmuBank] = None
+        self.pmu: PmuBank | None = None
         if profiler is not None:
             self.pmu = PmuBank(count, config.sample_periods, seed=seed)
             for t in self.threads:
                 t.counters = self.pmu.banks[t.tid]
         self.samples_delivered = 0
-        self._programs: List[Program] = list(programs) if programs else []
+        self._programs: list[Program] = list(programs) if programs else []
         self._started = False
-        self._heap: List[Tuple[int, int]] = []
+        self._heap: list[tuple[int, int]] = []
         for tid, t in enumerate(self.threads):
             t.rng = random.Random((seed + 1) * 1_000_003 + tid)
         if profiler is not None and hasattr(profiler, "attach"):
@@ -153,14 +153,14 @@ class Simulator:
         self._started = True
         setup = (self.config.profiler_setup_cost
                  if self.profiler is not None else 0)
-        for t, (fn, args, kwargs) in zip(self.threads, self._programs):
+        for t, (fn, args, kwargs) in zip(self.threads, self._programs, strict=True):
             t.start(fn, args, kwargs)
             if setup:
                 # fixed profiling setup (preload + PMU programming)
                 t.clock += setup
             if self.obs is not None:
                 self.obs.on_thread_start(t.tid, t.clock)
-        heap: List[Tuple[int, int]] = [(0, t.tid) for t in self.threads]
+        heap: list[tuple[int, int]] = [(0, t.tid) for t in self.threads]
         heapq.heapify(heap)
         self._heap = heap
         step = self._step
@@ -187,11 +187,11 @@ class Simulator:
 
     def _result(self) -> RunResult:
         clocks = [t.clock for t in self.threads]
-        totals: Dict[str, int] = {}
+        totals: dict[str, int] = {}
         if self.pmu is not None:
             for ev in self.config.sample_periods:
                 totals[ev] = self.pmu.total(ev)
-        metrics: Dict[str, dict] = {}
+        metrics: dict[str, dict] = {}
         if self.obs is not None and self.obs.metrics is not None:
             metrics = self.obs.metrics.snapshot()
         return RunResult(
@@ -217,7 +217,7 @@ class Simulator:
 
         # 1. retire a doomed transaction, if any
         txn = htm.active.get(tid)
-        throw_sig: Optional[AbortSignal] = None
+        throw_sig: AbortSignal | None = None
         if txn is not None and txn.doomed is not None:
             status = htm.rollback(t)
             t.clock += cfg.abort_rollback_cost
@@ -412,7 +412,7 @@ class Simulator:
             self._deliver_sample(t, event, addr, is_store)
 
     def _deliver_sample(self, t: ThreadContext, event: str,
-                        eff_addr: Optional[int], is_store: bool) -> None:
+                        eff_addr: int | None, is_store: bool) -> None:
         """A PMU interrupt: abort any in-flight transaction, then let the
         registered profiler observe the machine."""
         cfg = self.config

@@ -9,9 +9,9 @@ allocator gives callers precise control over alignment and padding.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from collections.abc import Iterable
 
-from .config import CACHELINE, PAGE_SIZE, line_of, page_of
+from .config import CACHELINE, line_of, page_of
 
 #: data segment base; far above the synthetic code segment
 DATA_BASE = 0x1000_0000
@@ -30,8 +30,8 @@ class Memory:
     __slots__ = ("data", "touched_pages", "_brk", "track_page_faults")
 
     def __init__(self, track_page_faults: bool = True) -> None:
-        self.data: Dict[int, int] = {}
-        self.touched_pages: Set[int] = set()
+        self.data: dict[int, int] = {}
+        self.touched_pages: set[int] = set()
         self._brk = DATA_BASE
         self.track_page_faults = track_page_faults
 
@@ -111,7 +111,7 @@ class Memory:
         for i, v in enumerate(values):
             data[base + i * WORD] = v
 
-    def read_words(self, base: int, nwords: int) -> List[int]:
+    def read_words(self, base: int, nwords: int) -> list[int]:
         data = self.data
         return [data.get(base + i * WORD, 0) for i in range(nwords)]
 

@@ -16,7 +16,7 @@ millions of instructions per run).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from collections.abc import Callable
 
 # ---------------------------------------------------------------------------
 # opcodes (op tuples start with one of these single-character tags)
@@ -29,6 +29,33 @@ OP_CAS = "x"       # ("x", addr, expected, new)  -> bool success
 OP_SYSCALL = "y"   # ("y", kind)
 OP_BARRIER = "b"   # ("b", barrier)
 OP_NOP = "n"       # ("n",)
+
+# ---------------------------------------------------------------------------
+# op classification (trace-extraction hooks)
+#
+# Consumers that interpret op streams outside the engine — notably the
+# static analyzer (repro.analysis), which drives simfn generators
+# symbolically — classify ops through these sets instead of hard-coding
+# tag characters, so adding an opcode only requires updating this table.
+# ---------------------------------------------------------------------------
+
+#: ops that carry a data address in op[1]
+MEMORY_OPS = frozenset((OP_LOAD, OP_STORE, OP_CAS))
+#: memory ops that (may) write their target
+WRITE_OPS = frozenset((OP_STORE, OP_CAS))
+#: ops that abort a hardware transaction synchronously when issued
+#: speculatively (TSX "unfriendly instructions")
+UNFRIENDLY_OPS = frozenset((OP_SYSCALL, OP_BARRIER))
+
+
+def op_kind(op: tuple) -> str:
+    """The opcode tag of one yielded instruction tuple."""
+    return op[0]
+
+
+def op_addr(op: tuple) -> int | None:
+    """The data address an op touches, or None for non-memory ops."""
+    return op[1] if op[0] in MEMORY_OPS else None
 
 
 #: size of the synthetic address range reserved per function
@@ -73,15 +100,30 @@ class FunctionRegistry:
     """
 
     def __init__(self) -> None:
-        self._by_name: Dict[str, SimFunction] = {}
-        self._by_id: List[SimFunction] = []
+        self._by_name: dict[str, SimFunction] = {}
+        self._by_id: list[SimFunction] = []
 
-    def register(self, func: Callable, name: Optional[str] = None) -> SimFunction:
+    def register(self, func: Callable, name: str | None = None) -> SimFunction:
         name = name or func.__name__
         existing = self._by_name.get(name)
         if existing is not None:
-            # Re-registration (e.g. module reload in tests) reuses the slot
-            # so addresses remain stable.
+            # Re-registration of the *same* source function (module reload,
+            # re-executed test body) reuses the slot so addresses remain
+            # stable.  A *different* function claiming a taken name would
+            # silently alias two code ranges — every profile row and
+            # analyzer finding for either function would attribute to
+            # whichever registered last — so that is a hard error.
+            old = existing.func
+            if (getattr(old, "__module__", None) != getattr(func, "__module__", None)
+                    or getattr(old, "__qualname__", None) != getattr(func, "__qualname__", None)):
+                raise ValueError(
+                    f"duplicate simfn name {name!r}: already registered by "
+                    f"{getattr(old, '__module__', '?')}."
+                    f"{getattr(old, '__qualname__', '?')}, now claimed by "
+                    f"{getattr(func, '__module__', '?')}."
+                    f"{getattr(func, '__qualname__', '?')}; "
+                    f"pass simfn(name=...) to disambiguate"
+                )
             existing.func = func  # type: ignore[misc]
             return existing
         fid = len(self._by_id)
@@ -94,7 +136,11 @@ class FunctionRegistry:
     def by_name(self, name: str) -> SimFunction:
         return self._by_name[name]
 
-    def function_at(self, addr: int) -> Optional[SimFunction]:
+    def functions(self) -> tuple[SimFunction, ...]:
+        """All registered functions, in registration (fid) order."""
+        return tuple(self._by_id)
+
+    def function_at(self, addr: int) -> SimFunction | None:
         """Resolve a code address to the function containing it."""
         idx = (addr - CODE_BASE) // FUNC_ADDR_SPAN
         if 0 <= idx < len(self._by_id):
@@ -113,7 +159,7 @@ class FunctionRegistry:
 REGISTRY = FunctionRegistry()
 
 
-def simfn(func: Callable = None, *, name: Optional[str] = None):
+def simfn(func: Callable = None, *, name: str | None = None):
     """Decorator registering a generator function as a simulated function.
 
     The decorated object is a :class:`SimFunction`; call it through
@@ -148,7 +194,7 @@ class Barrier:
             raise ValueError("barrier needs at least one party")
         self.parties = parties
         self.generation = 0
-        self._waiting: List[int] = []  # tids parked on the current generation
+        self._waiting: list[int] = []  # tids parked on the current generation
 
     def __repr__(self) -> str:
         return f"Barrier(parties={self.parties}, waiting={len(self._waiting)})"

@@ -13,7 +13,8 @@ binary: their lines attribute to the innermost *visible* frame.
 from __future__ import annotations
 
 import sys
-from typing import Any, Iterator, List, Optional, Tuple, TYPE_CHECKING
+from collections.abc import Iterator
+from typing import Any, TYPE_CHECKING
 
 from ..pmu.lbr import Lbr
 from .program import (
@@ -35,9 +36,9 @@ if TYPE_CHECKING:  # pragma: no cover
 THREAD_ROOT = 0
 
 #: a stack frame: [function, current_line, callsite_addr]
-Frame = List[Any]
+Frame = list[Any]
 #: immutable snapshot of one frame
-FrameSnap = Tuple[SimFunction, int, int]
+FrameSnap = tuple[SimFunction, int, int]
 
 
 class ThreadContext:
@@ -76,11 +77,11 @@ class ThreadContext:
         self.sim = sim
         self.rng = None  # seeded by the simulator
         self.clock = 0
-        self.stack: List[Frame] = []
+        self.stack: list[Frame] = []
         self.cur_ip = THREAD_ROOT
         self.lbr = Lbr(lbr_size)
         self.state_word = 0
-        self.gen: Optional[Iterator] = None
+        self.gen: Iterator | None = None
         self.done = False
         self.blocked = False
         self.last_value: Any = None
@@ -98,13 +99,13 @@ class ThreadContext:
         self.stack = [[fn, 0, THREAD_ROOT]]
         self.gen = fn.func(self, *args, **kwargs)
 
-    def snapshot_stack(self) -> Tuple[FrameSnap, ...]:
+    def snapshot_stack(self) -> tuple[FrameSnap, ...]:
         return tuple((f[0], f[1], f[2]) for f in self.stack)
 
-    def restore_stack(self, snap: Tuple[FrameSnap, ...]) -> None:
+    def restore_stack(self, snap: tuple[FrameSnap, ...]) -> None:
         self.stack = [[fn, line, cs] for fn, line, cs in snap]
 
-    def unwind(self) -> Tuple[Tuple[int, int], ...]:
+    def unwind(self) -> tuple[tuple[int, int], ...]:
         """Architectural call path: ``(callsite, callee_base)`` per frame,
         outermost first — exactly what a signal-context unwinder yields."""
         return tuple((f[2], f[0].base) for f in self.stack)

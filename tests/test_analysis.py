@@ -1,0 +1,266 @@
+"""Static analysis (repro.analysis): IR extraction, summaries, findings."""
+
+import pytest
+
+import repro.htmbench  # noqa: F401  (registers the workloads)
+from repro.analysis import (
+    AnalysisLimits,
+    analyze_workload,
+    extract_workload,
+    severity_rank,
+    summarize,
+)
+from repro.dslib.array import IntArray
+from repro.htmbench.base import Workload
+from repro.sim.config import MachineConfig
+from repro.sim.program import simfn
+
+
+def _codes(report):
+    return {f.code for f in report.findings}
+
+
+class TestExtraction:
+    def test_regions_and_callgraph(self):
+        ir = extract_workload("micro_low_abort", n_threads=4, scale=0.5)
+        assert len(ir.threads) == 4
+        assert not ir.truncated
+        # every thread runs the same section at the same synthesized site
+        sites = {r.site for t in ir.threads for r in t.regions}
+        assert len(sites) == 1
+        assert all(t.regions for t in ir.threads)
+        assert "micro_private_counters" in ir.functions
+        assert ("micro_private_counters", "tm_begin") in ir.call_edges
+
+    def test_region_footprints_are_disjoint_for_private_counters(self):
+        ir = extract_workload("micro_low_abort", n_threads=4, scale=0.5)
+        per_tid = [
+            set().union(*(r.write_lines() for r in t.regions))
+            for t in ir.threads
+        ]
+        for i, a in enumerate(per_tid):
+            for b in per_tid[i + 1:]:
+                assert not (a & b)
+
+    def test_overlay_memory_sees_own_stores(self):
+        @simfn
+        def _overlay_worker(ctx, addr):
+            yield from ctx.store(addr, 41)
+            v = yield from ctx.load(addr)
+            yield from ctx.store(addr, v + 1)
+
+        class Overlay(Workload):
+            name = "test_overlay"
+            suite = "test"
+
+            def build(self, sim, n_threads, scale, rng):
+                addr = sim.memory.alloc(8)
+                return [(_overlay_worker, (addr,), {})] * n_threads
+
+        ir = extract_workload(Overlay(), n_threads=1, scale=1.0)
+        fir = ir.functions["_overlay_worker"]
+        assert fir.op_counts["s"] == 2
+        assert fir.op_counts["l"] == 1
+
+    def test_budget_truncates_unbounded_spin(self):
+        @simfn
+        def _spinner(ctx, addr):
+            while True:
+                v = yield from ctx.load(addr)
+                if v:  # only another thread could set it
+                    break
+
+        class Spin(Workload):
+            name = "test_spin"
+            suite = "test"
+
+            def build(self, sim, n_threads, scale, rng):
+                addr = sim.memory.alloc(8)
+                return [(_spinner, (addr,), {})] * n_threads
+
+        ir = extract_workload(
+            Spin(), n_threads=1, scale=1.0,
+            limits=AnalysisLimits(max_ops=500),
+        )
+        assert ir.truncated
+        assert ir.threads[0].total_ops <= 501
+
+
+class TestSummaries:
+    def test_capacity_summary_exceeds_budget(self):
+        cfg = MachineConfig(n_threads=2)
+        ir = extract_workload("micro_capacity", n_threads=2, scale=0.5,
+                              config=cfg)
+        ws = summarize(ir)
+        (section,) = ws.section_list()
+        assert section.name == "capacity_sweep"
+        assert section.max_write_lines > cfg.wset_lines
+        assert section.min_write_lines > cfg.wset_lines
+        assert section.always_overflows(cfg, ws.n_sets)
+
+    def test_sync_summary_flags_every_instance(self):
+        ir = extract_workload("micro_sync", n_threads=2, scale=0.5)
+        ws = summarize(ir)
+        (section,) = ws.section_list()
+        assert section.always_unfriendly()
+        assert any(op == "y" for op, _d, _ip in section.unfriendly)
+
+
+class TestFindings:
+    def test_capacity_golden(self):
+        report = analyze_workload("micro_capacity", n_threads=4, scale=0.5)
+        assert "capacity-risk" in _codes(report)
+        (finding,) = report.by_code("capacity-risk")
+        assert finding.severity == "error"
+        assert finding.prediction == "capacity"
+        assert finding.data["always"]
+
+    def test_sync_golden(self):
+        report = analyze_workload("micro_sync", n_threads=4, scale=0.5)
+        (finding,) = report.by_code("unfriendly-op-in-txn")
+        assert finding.severity == "error"
+        assert finding.prediction == "sync"
+        # a persistent abort shared by all threads is also a lemming risk
+        assert "lemming-risk" in _codes(report)
+
+    def test_conflict_golden(self):
+        report = analyze_workload("micro_high_abort", n_threads=4, scale=0.5)
+        (finding,) = report.by_code("cross-section-conflict")
+        assert finding.prediction == "conflict"
+        assert finding.data["true_sharing"]
+        assert finding.data["write_write"]
+
+    def test_false_sharing_detected_as_such(self):
+        report = analyze_workload("micro_false_sharing", n_threads=4,
+                                  scale=0.5)
+        (finding,) = report.by_code("cross-section-conflict")
+        assert not finding.data["true_sharing"]
+
+    def test_clean_workload_has_zero_findings(self):
+        report = analyze_workload("micro_low_abort", n_threads=4, scale=0.5)
+        assert report.findings == []
+        assert report.max_severity() is None
+
+    def test_nesting_overflow(self):
+        @simfn
+        def _nest_worker(ctx, addr, depth, iters):
+            for _ in range(iters):
+                yield from _nested(ctx, addr, depth)
+                yield from ctx.compute(100)
+
+        def _nested(c, addr, remaining):
+            if remaining == 0:
+                v = yield from c.load(addr)
+                yield from c.store(addr, v + 1)
+                return
+            def body(cc, r=remaining):
+                yield from _nested(cc, addr, r - 1)
+            yield from c.atomic(body, name="nest")
+
+        class Nest(Workload):
+            name = "test_nesting"
+            suite = "test"
+
+            def build(self, sim, n_threads, scale, rng):
+                addr = sim.memory.alloc(8)
+                return [(_nest_worker, (addr, 9, 3), {})] * n_threads
+
+        cfg = MachineConfig(n_threads=2)
+        report = analyze_workload(Nest(), n_threads=2, config=cfg)
+        findings = report.by_code("nesting-overflow")
+        assert len(findings) == 1  # outermost site only
+        assert findings[0].prediction == "capacity"
+        assert findings[0].data["max_depth"] == 9
+
+    def test_unprotected_shared_access(self):
+        @simfn(name="race_protected_worker")
+        def _protected(ctx, arr: IntArray):
+            for _ in range(10):
+                def body(c):
+                    yield from arr.add(c, 0)
+                yield from ctx.atomic(body, name="guarded_bump")
+                yield from ctx.compute(50)
+
+        @simfn(name="race_bare_worker")
+        def _bare(ctx, arr: IntArray):
+            for _ in range(10):
+                yield from arr.add(ctx, 0)  # no critical section
+                yield from ctx.compute(50)
+
+        class Racy(Workload):
+            name = "test_racy"
+            suite = "test"
+
+            def build(self, sim, n_threads, scale, rng):
+                arr = IntArray(sim.memory, 1, line_per_element=True)
+                return [
+                    (_protected, (arr,), {}),
+                    (_bare, (arr,), {}),
+                ]
+
+        report = analyze_workload(Racy(), n_threads=2)
+        (finding,) = report.by_code("unprotected-shared-access")
+        assert finding.severity == "warning"
+        assert finding.data["n_addrs"] == 1
+
+    def test_barrier_phased_accesses_are_not_racy(self):
+        from repro.sim.program import Barrier
+
+        @simfn(name="phased_worker")
+        def _phased(ctx, arr: IntArray, bar: Barrier):
+            # phase 0: everyone initializes its own slot, unprotected
+            yield from arr.set(ctx, ctx.tid, ctx.tid)
+            yield from ctx.barrier(bar)
+            # phase 1: transactional bumps of a shared slot
+            for _ in range(5):
+                def body(c):
+                    yield from arr.add(c, 0)
+                yield from ctx.atomic(body, name="phase1_bump")
+
+        class Phased(Workload):
+            name = "test_phased"
+            suite = "test"
+
+            def build(self, sim, n_threads, scale, rng):
+                arr = IntArray(sim.memory, n_threads, line_per_element=True)
+                bar = Barrier(n_threads)
+                return [(_phased, (arr, bar), {})] * n_threads
+
+        report = analyze_workload(Phased(), n_threads=2)
+        assert report.by_code("unprotected-shared-access") == []
+
+
+class TestReportObject:
+    def test_severity_rank_ordering(self):
+        assert (severity_rank("info")
+                < severity_rank("warning")
+                < severity_rank("error"))
+        with pytest.raises(ValueError):
+            severity_rank("catastrophic")
+
+    def test_to_dict_roundtrips_json(self):
+        import json
+
+        report = analyze_workload("micro_capacity", n_threads=2, scale=0.5)
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["workload"] == "micro_capacity"
+        assert doc["max_severity"] == "error"
+        assert doc["findings"]
+        assert doc["sections"][0]["name"] == "capacity_sweep"
+
+    def test_predicted_classes_keyed_by_site(self):
+        report = analyze_workload("micro_capacity", n_threads=2, scale=0.5)
+        preds = report.predicted_classes()
+        (classes,) = preds.values()
+        assert "capacity" in classes
+
+
+class TestWholeSuite:
+    def test_analyzer_never_crashes_on_registered_workloads(self):
+        # cheap parameters: this is a crash sweep, not a findings check
+        from repro.htmbench.base import WORKLOADS
+
+        for name in sorted(WORKLOADS):
+            # pipeline workloads need a minimum thread count
+            report = analyze_workload(name, n_threads=4, scale=0.05)
+            assert report.workload

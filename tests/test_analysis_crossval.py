@@ -1,0 +1,89 @@
+"""Golden cross-validation: static predictions vs the dynamic profiler.
+
+These are the PR's acceptance tests: on the microbenchmarks built to
+trigger one abort cause each, the static analyzer must predict exactly
+the class the profiler observes, at the same TM_BEGIN site.
+"""
+
+import repro.htmbench  # noqa: F401
+from repro.analysis import cross_validate
+from repro.htmbench.base import Workload
+from repro.sim.config import MachineConfig
+from repro.sim.program import simfn
+
+N = 4
+SCALE = 0.5
+
+
+class TestGoldenAgreement:
+    def test_capacity_microbench(self):
+        cv = cross_validate("micro_capacity", n_threads=N, scale=SCALE)
+        check = cv.checks["capacity"]
+        assert check.tp >= 1
+        assert check.fp == 0 and check.fn == 0
+        assert cv.agreement == 1.0
+        # the prediction and the observation are at the same site
+        assert check.predicted_sites == check.observed_sites
+
+    def test_sync_microbench(self):
+        cv = cross_validate("micro_sync", n_threads=N, scale=SCALE)
+        check = cv.checks["sync"]
+        assert check.tp >= 1
+        assert check.fp == 0 and check.fn == 0
+        assert cv.agreement == 1.0
+
+    def test_conflict_microbench(self):
+        cv = cross_validate("micro_high_abort", n_threads=N, scale=SCALE)
+        check = cv.checks["conflict"]
+        assert check.tp >= 1
+        assert check.fp == 0 and check.fn == 0
+        assert cv.agreement == 1.0
+        # the dynamic side actually sampled conflict aborts (the oracle
+        # is dense enough to be trusted)
+        assert cv.sampled_aborts["conflict"] > 0
+
+    def test_clean_workload_agrees_on_nothing_to_report(self):
+        cv = cross_validate("micro_low_abort", n_threads=N, scale=SCALE)
+        assert not any(cv.predicted.values())
+        assert not any(cv.observed.values())
+        assert cv.agreement == 1.0
+
+    def test_nesting_overflow_validates_dynamically(self):
+        @simfn
+        def _deep_nest_worker(ctx, addr, depth, iters):
+            for _ in range(iters):
+                yield from _nested(ctx, addr, depth)
+                yield from ctx.compute(200)
+
+        def _nested(c, addr, remaining):
+            if remaining == 0:
+                v = yield from c.load(addr)
+                yield from c.store(addr, v + 1)
+                return
+            def body(cc, r=remaining):
+                yield from _nested(cc, addr, r - 1)
+            yield from c.atomic(body, name="deep_nest")
+
+        class DeepNest(Workload):
+            name = "test_deep_nesting"
+            suite = "test"
+
+            def build(self, sim, n_threads, scale, rng):
+                addr = sim.memory.alloc(8)
+                return [(_deep_nest_worker, (addr, 9, 40), {})] * n_threads
+
+        cv = cross_validate(DeepNest(), n_threads=2,
+                            config=MachineConfig(n_threads=2))
+        check = cv.checks["capacity"]
+        assert check.tp >= 1, (
+            "static nest-overflow prediction not confirmed dynamically: "
+            f"{cv.to_dict()}"
+        )
+
+    def test_to_dict_is_json_clean(self):
+        import json
+
+        cv = cross_validate("micro_capacity", n_threads=N, scale=SCALE)
+        doc = json.loads(json.dumps(cv.to_dict()))
+        assert doc["agreement"] == 1.0
+        assert doc["checks"]["capacity"]["tp"] >= 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import TxSampler, metrics as m
-from repro.core.analyzer import CsReport, Profile, ProgramSummary
+from repro.core.analyzer import CsReport, Profile
 from repro.cct.tree import new_root
 
 from tests.conftest import build_counter_sim, make_config, sampling_periods

@@ -1,6 +1,5 @@
 """Comparator profilers: Perf-style, TSXProf-style, instrumentation."""
 
-import random
 
 import pytest
 
@@ -12,7 +11,6 @@ from repro.baselines import (
 )
 from repro.core import metrics as m
 from repro.htmbench import get_workload
-from repro.sim import MachineConfig, Simulator
 
 from tests.conftest import build_counter_sim, make_config, sampling_periods
 

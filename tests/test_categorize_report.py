@@ -1,8 +1,7 @@
 """Figure 8 categorization and the textual report renderers."""
 
-import pytest
 
-from repro.cct.tree import call_key, ip_key, new_root
+from repro.cct.tree import new_root
 from repro.core import (
     TYPE_I,
     TYPE_II,

@@ -1,10 +1,9 @@
 """CCT construction, merging, and LBR call-path reconstruction."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.cct.merge import merge_profiles
-from repro.cct.tree import CCTNode, call_key, ip_key, new_root, pseudo_key
+from repro.cct.tree import call_key, ip_key, new_root
 from repro.cct.unwind import BEGIN_IN_TX, reconstruct, txn_call_chain
 from repro.pmu.lbr import (
     KIND_ABORT,

@@ -171,3 +171,65 @@ class TestVerbosityFlags:
         )
         assert rc == 0
         assert "run: workload=micro_low_abort" in out
+
+
+class TestCheckCommand:
+    def test_static_only_text_report(self):
+        rc, out = run_cli("check", "micro_capacity", "--static-only",
+                          "--threads", "2", "--scale", "0.5")
+        assert rc == 0
+        assert "=== static analysis: micro_capacity ===" in out
+        assert "capacity-risk" in out
+        assert "predicts 'capacity' aborts" in out
+        assert "documented findings" in out
+
+    def test_crossval_pane_present_by_default(self):
+        rc, out = run_cli("check", "micro_sync", "--threads", "2",
+                          "--scale", "0.3")
+        assert rc == 0
+        assert "cross-validation: micro_sync" in out
+        assert "agreement" in out
+
+    def test_json_output(self):
+        rc, out = run_cli("check", "micro_capacity", "micro_low_abort",
+                          "--static-only", "--json",
+                          "--threads", "2", "--scale", "0.5")
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["crashed"] == []
+        assert doc["unexpected"] == []
+        caps = doc["workloads"]["micro_capacity"]
+        assert caps["max_severity"] == "error"
+        assert caps["unexpected_codes"] == []
+        assert doc["workloads"]["micro_low_abort"]["findings"] == []
+
+    def test_clean_workload_has_no_findings(self):
+        rc, out = run_cli("check", "micro_low_abort", "--static-only",
+                          "--threads", "2", "--scale", "0.5")
+        assert rc == 0
+        assert "no findings" in out
+
+    def test_fail_on_undocumented_findings(self):
+        # vacation's conflict warning is real but not documented
+        rc, out = run_cli("check", "vacation", "--static-only",
+                          "--fail-on", "warning",
+                          "--threads", "4", "--scale", "0.2")
+        assert rc == 1
+        assert "UNEXPECTED" in out
+
+    def test_documented_findings_do_not_fail(self):
+        rc, _ = run_cli("check", "micro_capacity", "--static-only",
+                        "--fail-on", "warning",
+                        "--threads", "2", "--scale", "0.5")
+        assert rc == 0
+
+    def test_suite_token_expands(self):
+        rc, out = run_cli("check", "micro", "--static-only",
+                          "--threads", "2", "--scale", "0.2")
+        assert rc == 0
+        assert "checked 7 workload(s)" in out
+
+    def test_unknown_workload_is_a_crash_not_a_traceback(self, capsys):
+        rc, out = run_cli("check", "no_such_workload", "--static-only")
+        assert rc == 2
+        assert "analyzer crashed" in capsys.readouterr().err

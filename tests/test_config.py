@@ -1,6 +1,5 @@
 """MachineConfig and address arithmetic."""
 
-import pytest
 
 from repro.sim.config import (
     CACHELINE,

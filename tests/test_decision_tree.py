@@ -1,6 +1,5 @@
 """The Figure 1 decision tree, driven by synthetic and real profiles."""
 
-import pytest
 
 from repro.cct.tree import call_key, ip_key, new_root, pseudo_key
 from repro.core import DecisionTree, TxSampler, metrics as m

@@ -1,7 +1,7 @@
 """dslib: arrays, hash tables, queues (host + simulated semantics)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.dslib import (
     EMPTY,

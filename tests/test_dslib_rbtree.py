@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dslib.rbtree import RedBlackTree, rbtree_insert, rbtree_lookup

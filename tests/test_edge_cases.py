@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.htm.status import ABORT_SYNC
 from repro.rtm.runtime import tm_begin
 from repro.sim import Barrier, SimDeadlock, Simulator, simfn
-from repro.sim.errors import SimError
 
 from tests.conftest import build_counter_sim, make_config
 
@@ -170,7 +168,6 @@ class TestLazyValidation:
 class TestDoomIdempotence:
     def test_double_doom_keeps_first_status(self):
         from repro.htm.status import ABORT_CAPACITY, ABORT_CONFLICT, AbortStatus
-        from repro.htm.tsx import TsxEngine
 
         cfg = make_config(2)
         sim = Simulator(cfg, n_threads=2, seed=1)

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    Barrier,
-    MachineConfig,
-    SimDeadlock,
-    SimError,
-    Simulator,
-    simfn,
-)
+from repro.sim import Barrier, SimDeadlock, SimError, Simulator, simfn
 
 from tests.conftest import build_counter_sim, increment_worker, make_config
 
@@ -70,7 +63,7 @@ class TestBasicExecution:
         log = []
         addr = sim.memory.alloc_line()
         sim.set_programs([(_te_sequence, (addr, log), {})])
-        result = sim.run()
+        sim.run()
         assert log == [("start", 0), ("end", 0)]
         assert sim.memory.read(addr) == 1
 

@@ -39,7 +39,6 @@ from repro.experiments.runner import (
     trimmed_mean_overhead,
 )
 from repro.experiments.speedup import render_table2, table2
-from repro.sim import MachineConfig
 
 
 class TestRunner:

@@ -1,10 +1,9 @@
 """Hardware Lock Elision (HLE): the paper's trivial extension."""
 
-import pytest
 
 from repro.core import TxSampler, metrics as m
 from repro.rtm.hle import ElidedLock
-from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim import Simulator, simfn
 
 from tests.conftest import make_config, sampling_periods
 
@@ -97,7 +96,7 @@ class TestElision:
             [(_hle_two_locks_worker,
               (lock_a, lock_b, addr_a, addr_b, 50), {})] * 4
         )
-        result = sim.run()
+        sim.run()
         assert sim.memory.read(addr_a) == 100
         assert sim.memory.read(addr_b) == 100
         # same-lock threads share data here, so conflicts exist, but the

@@ -1,6 +1,5 @@
 """The TSX engine: isolation, conflicts, capacity, abort semantics."""
 
-import pytest
 
 from repro.htm.status import (
     ABORT_CAPACITY,
@@ -8,11 +7,9 @@ from repro.htm.status import (
     ABORT_INTERRUPT,
     ABORT_SYNC,
     AbortStatus,
-    XABORT_CAPACITY,
-    XABORT_CONFLICT,
     XABORT_RETRY,
 )
-from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim import Simulator, simfn
 from repro.sim.config import CACHELINE
 
 from tests.conftest import make_config
@@ -264,13 +261,13 @@ class TestConflicts:
     def test_responder_wins_policy_also_correct(self):
         cfg = make_config(2, conflict_policy="responder_wins")
         sim, addr = self._conflict_pair(cfg)
-        result = sim.run()
+        sim.run()
         assert sim.memory.read(addr) == 80
 
     def test_lazy_detection_also_correct(self):
         cfg = make_config(2, eager_conflicts=False)
         sim, addr = self._conflict_pair(cfg)
-        result = sim.run()
+        sim.run()
         assert sim.memory.read(addr) == 80
 
     def test_disjoint_lines_never_conflict(self):

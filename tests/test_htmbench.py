@@ -142,9 +142,6 @@ class TestCharacteristicBehaviours:
     def test_histo_commit_counts_match_pixels_before_saturation(self):
         out = run_workload("histo", n_threads=4, scale=0.05, seed=1)
         # each pixel is one critical section execution
-        executions = out.result.commits + sum(
-            1 for _ in range(0)
-        )
         assert out.result.begins >= out.result.commits
 
     def test_clomp_validates_params(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DecisionTree, TxSampler, metrics as m
+from repro.core import DecisionTree, TxSampler
 from repro.experiments.runner import run_workload
 from repro.sim import MachineConfig, Simulator, simfn
 
@@ -167,12 +167,8 @@ class TestInTxnContextRecovery:
 
 class TestWorkloadInvariants:
     def test_histo_counts_clamped(self):
-        from repro.htmbench.parboil import MAX_COUNT
-
         out = run_workload("histo", n_threads=6, scale=0.5, seed=4)
         # find the histogram contents: all bins must respect the clamp
-        mem = out.sim.memory
-        values = [v for v in mem.data.values() if isinstance(v, int)]
         # (bins live among other data; the clamp bound still holds for
         # any address the histogram wrote)
         assert out.result.commits > 0

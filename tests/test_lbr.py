@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.pmu.lbr import (
-    KIND_ABORT,
-    KIND_CALL,
-    KIND_RET,
-    KIND_SAMPLE,
-    Lbr,
-    LbrEntry,
-)
+from repro.pmu.lbr import KIND_ABORT, KIND_CALL, KIND_RET, Lbr, LbrEntry
 
 
 class TestLbrBuffer:

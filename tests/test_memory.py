@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.config import CACHELINE, PAGE_SIZE, line_of, page_of
+from repro.sim.config import CACHELINE, PAGE_SIZE
 from repro.sim.memory import DATA_BASE, WORD, Memory
 
 
@@ -83,7 +83,7 @@ class TestAlloc:
             base = mem.alloc(n)
             regions.append((base, base + n))
         regions.sort()
-        for (s1, e1), (s2, _) in zip(regions, regions[1:]):
+        for (_s1, e1), (s2, _) in zip(regions, regions[1:], strict=False):
             assert e1 <= s2
 
 

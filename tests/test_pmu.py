@@ -1,12 +1,9 @@
 """PMU counters, sampling delivery, interrupt-abort behaviour (Challenge I)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.pmu.counters import CounterBank, PmuBank
 from repro.pmu.events import CYCLES, MEM_LOADS, RTM_ABORTED, RTM_COMMIT
-from repro.pmu.sampling import Sample
-from repro.sim import MachineConfig, Simulator, simfn
 
 from tests.conftest import build_counter_sim, make_config, sampling_periods
 

@@ -5,7 +5,7 @@ import pytest
 from repro.cct.unwind import BEGIN_IN_TX
 from repro.core import TxSampler, metrics as m
 from repro.rtm.runtime import tm_begin
-from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim import Simulator, simfn
 
 from tests.conftest import build_counter_sim, make_config, sampling_periods
 

@@ -29,11 +29,24 @@ class TestRegistry:
         assert b.base - a.base == FUNC_ADDR_SPAN
 
     def test_reregistration_keeps_address(self):
+        # same source function (e.g. module reload): reuse the slot
         reg = FunctionRegistry()
         first = reg.register(_gen_a, "stable")
-        again = reg.register(_gen_b, "stable")
+        again = reg.register(_gen_a, "stable")
         assert again.base == first.base
         assert again is first
+
+    def test_duplicate_name_different_function_rejected(self):
+        reg = FunctionRegistry()
+        reg.register(_gen_a, "clash")
+        with pytest.raises(ValueError, match="duplicate simfn name 'clash'"):
+            reg.register(_gen_b, "clash")
+
+    def test_functions_snapshot(self):
+        reg = FunctionRegistry()
+        a = reg.register(_gen_a, "snap_a")
+        b = reg.register(_gen_b, "snap_b")
+        assert reg.functions() == (a, b)
 
     def test_by_name(self):
         reg = FunctionRegistry()

@@ -1,13 +1,11 @@
 """Property-based tests over the whole stack (hypothesis)."""
 
-import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cct.merge import merge_profiles
 from repro.cct.tree import call_key, ip_key, new_root
-from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim import Simulator, simfn
 
 from tests.conftest import make_config
 

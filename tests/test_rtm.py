@@ -1,10 +1,9 @@
 """The RTM runtime: state word, retries, fallback, lock elision."""
 
-import pytest
 
 from repro.rtm import state as st
 from repro.rtm.instrument import TxnInstrumentation
-from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim import Simulator, simfn
 
 from tests.conftest import build_counter_sim, make_config
 

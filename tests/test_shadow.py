@@ -1,6 +1,5 @@
 """Shadow-memory contention detection (§3.3's exact rule)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.shadow.memory import FALSE_SHARING, TRUE_SHARING, ShadowMemory

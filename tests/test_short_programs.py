@@ -3,7 +3,6 @@ cost dominates tiny executions (the paper measured 15x on sub-0.1s
 SPLASH runs) and amortizes away on long ones."""
 
 from repro.core import TxSampler
-from repro.sim import Simulator
 
 from tests.conftest import build_counter_sim, make_config
 

@@ -1,8 +1,7 @@
 """ThreadContext: call stacks, instruction pointers, unwinding, snapshots."""
 
-import pytest
 
-from repro.sim import MachineConfig, Simulator, simfn
+from repro.sim import Simulator, simfn
 from repro.sim.thread import THREAD_ROOT
 
 from tests.conftest import make_config

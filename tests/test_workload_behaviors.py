@@ -3,10 +3,9 @@ actually compute what its domain says, under full HTM concurrency."""
 
 import random
 
-import pytest
 
 from repro.htmbench import get_workload
-from repro.sim import MachineConfig, Simulator
+from repro.sim import Simulator
 
 from tests.conftest import make_config
 
@@ -68,8 +67,6 @@ class TestGenome:
         for seg in seen:
             assert data.unique.host_lookup(seg) is not None
         # chains contain no duplicate keys
-        for length, keys in [(None, None)]:
-            pass
         counted = sum(data.unique.chain_lengths())
         assert counted == len(seen)
 
@@ -127,7 +124,6 @@ class TestUtilityMine:
     def test_utility_mass_conserved(self):
         result, sim, programs = build_and_run("utilitymine")
         data = programs[0][1][0]
-        per_thread = programs[0][1][2]
         processed = [data.rows[(start + i) % len(data.rows)]
                      for (_, (d, start, count), _) in programs
                      for i in range(count)]

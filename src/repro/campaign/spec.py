@@ -1,0 +1,251 @@
+"""Declarative job specifications and campaign DAGs.
+
+A :class:`JobSpec` is everything needed to reproduce one unit of work:
+either a single simulated run (``kind="run"``) or a pure reduction over
+other jobs' records (``kind="overhead"``, ``kind="speedup"``, ...).  Its
+identity is a stable SHA-256 content hash over the canonical JSON form,
+so the same experiment always maps to the same key in the result store
+— across processes, sessions, and machines.
+
+A :class:`Campaign` is a set of specs addressed by key, plus the list of
+*target* keys whose records the driver will consume.  Dependencies are
+part of a spec (``deps`` holds the keys of the jobs it reduces over), so
+the DAG is content-addressed too: change any input and every dependent
+job's key — and therefore its cache slot — changes with it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..sim.config import DEFAULT_THREADS, MachineConfig
+
+#: bump when the record layout produced by the worker changes
+#: incompatibly; old cache entries then miss instead of misleading.
+SPEC_VERSION = 1
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class JobSpec:
+    """One content-addressed unit of campaign work.
+
+    ``kind="run"`` executes :func:`repro.experiments.runner.run_workload`
+    with the given parameters; reducer kinds compute derived records
+    from the dependency records listed in ``deps``.  ``extra`` carries
+    reducer arguments (e.g. ``runs``/``drop`` for the trimmed mean).
+
+    ``inject`` is a fault-injection hook for tests and chaos drills
+    (see :mod:`repro.campaign.worker`); it is deliberately *excluded*
+    from the content hash because it alters how a job executes, never
+    what it computes.
+    """
+
+    kind: str = "run"
+    workload: str = ""
+    n_threads: int = DEFAULT_THREADS
+    scale: float = 1.0
+    seed: int = 0
+    profile: bool = False
+    instrument: bool = False
+    trace: bool = False
+    metrics: bool = False
+    #: MachineConfig field overrides (applied with ``evolve``)
+    config: dict | None = None
+    #: workload build parameters (e.g. clomp_tm's txn_size/scatter)
+    params: dict | None = None
+    #: keys of the jobs this one reduces over, in reduction order
+    deps: tuple[str, ...] = ()
+    #: reducer arguments / labels riding along with the job
+    extra: dict | None = None
+    #: fault injection (worker-side); excluded from the content hash
+    inject: dict | None = None
+
+    def identity(self) -> dict:
+        """The hash-relevant content of this spec."""
+        return {
+            "v": SPEC_VERSION,
+            "kind": self.kind,
+            "workload": self.workload,
+            "n_threads": self.n_threads,
+            "scale": self.scale,
+            "seed": self.seed,
+            "profile": self.profile,
+            "instrument": self.instrument,
+            "trace": self.trace,
+            "metrics": self.metrics,
+            "config": self.config,
+            "params": self.params,
+            "deps": list(self.deps),
+            "extra": self.extra,
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable content hash; the job's address in the store."""
+        digest = hashlib.sha256(canonical_json(self.identity()).encode())
+        return digest.hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Human-oriented short name for logs and status panes."""
+        tag = (self.extra or {}).get("label")
+        if tag:
+            return str(tag)
+        mode = "profiled" if self.profile else "native"
+        if self.kind == "run":
+            return f"run:{self.workload}:{mode}:seed{self.seed}"
+        return f"{self.kind}:{self.workload or '-'}"
+
+    def to_dict(self) -> dict:
+        doc = self.identity()
+        if self.inject is not None:
+            doc["inject"] = self.inject
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> JobSpec:
+        return cls(
+            kind=doc["kind"],
+            workload=doc.get("workload", ""),
+            n_threads=doc.get("n_threads", DEFAULT_THREADS),
+            scale=doc.get("scale", 1.0),
+            seed=doc.get("seed", 0),
+            profile=doc.get("profile", False),
+            instrument=doc.get("instrument", False),
+            trace=doc.get("trace", False),
+            metrics=doc.get("metrics", False),
+            config=doc.get("config"),
+            params=doc.get("params"),
+            deps=tuple(doc.get("deps", ())),
+            extra=doc.get("extra"),
+            inject=doc.get("inject"),
+        )
+
+
+def config_to_overrides(config: MachineConfig | dict | None,
+                        n_threads: int) -> dict | None:
+    """Canonicalize a machine config into the minimal override dict.
+
+    Only fields differing from ``MachineConfig(n_threads=n_threads)``
+    survive, so a full :class:`MachineConfig` object and a hand-written
+    override dict describing the same machine hash to the same spec —
+    the property that lets different harnesses share cached runs.
+    """
+    if config is None:
+        return None
+    base = asdict(MachineConfig(n_threads=n_threads))
+    given = asdict(config) if isinstance(config, MachineConfig) else \
+        dict(config)
+    # n_threads needs no special casing: the base is built with the
+    # spec's thread count, so a matching value diffs away and a
+    # deliberately different engine thread count is preserved
+    overrides = {
+        k: v for k, v in given.items()
+        if k not in base or base[k] != v
+    }
+    return overrides or None
+
+
+def make_run_spec(
+    workload: str,
+    *,
+    n_threads: int = DEFAULT_THREADS,
+    scale: float = 1.0,
+    seed: int = 0,
+    profile: bool = False,
+    metrics: bool = False,
+    config: MachineConfig | dict | None = None,
+    params: dict | None = None,
+) -> JobSpec:
+    """The canonical run-job spec every harness builds its keys from."""
+    return JobSpec(
+        kind="run",
+        workload=workload,
+        n_threads=n_threads,
+        scale=scale,
+        seed=seed,
+        profile=profile,
+        metrics=metrics,
+        config=config_to_overrides(config, n_threads),
+        params=params or None,
+    )
+
+
+class CampaignGraphError(ValueError):
+    """The campaign DAG is malformed (missing dep or cycle)."""
+
+
+@dataclass
+class Campaign:
+    """A named set of jobs plus the target keys the driver consumes.
+
+    ``meta`` is builder-defined assembly context (e.g. the (label, key)
+    pairs a figure assembler iterates); the scheduler never reads it.
+    """
+
+    name: str
+    jobs: dict[str, JobSpec] = field(default_factory=dict)
+    targets: list[str] = field(default_factory=list)
+    meta: list = field(default_factory=list)
+
+    def add(self, spec: JobSpec, target: bool = False) -> str:
+        """Register ``spec``; returns its key.  Adding the same content
+        twice is a no-op (jobs are deduplicated by hash), which is what
+        lets e.g. a speedup job and an overhead job share one native
+        run."""
+        key = spec.key
+        self.jobs.setdefault(key, spec)
+        if target and key not in self.targets:
+            self.targets.append(key)
+        return key
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def topo_order(self) -> list[str]:
+        """All job keys, dependencies first.  Raises
+        :class:`CampaignGraphError` on unknown deps or cycles."""
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(key: str, chain: tuple[str, ...]) -> None:
+            mark = state.get(key)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise CampaignGraphError(
+                    f"dependency cycle through job {key[:12]}"
+                )
+            if key not in self.jobs:
+                raise CampaignGraphError(
+                    f"job {chain[-1][:12] if chain else '?'} depends on "
+                    f"unknown job {key[:12]}"
+                )
+            state[key] = 0
+            for dep in self.jobs[key].deps:
+                visit(dep, chain + (key,))
+            state[key] = 1
+            order.append(key)
+
+        for key in self.jobs:
+            visit(key, ())
+        return order
+
+    def describe(self) -> dict:
+        """Status-pane summary: job counts by kind."""
+        by_kind: dict[str, int] = {}
+        for spec in self.jobs.values():
+            by_kind[spec.kind] = by_kind.get(spec.kind, 0) + 1
+        return {
+            "name": self.name,
+            "jobs": len(self.jobs),
+            "targets": len(self.targets),
+            "by_kind": by_kind,
+        }

@@ -1,0 +1,336 @@
+"""The on-disk, content-addressed result store (toy-LSM shape).
+
+Layout under the cache root (default ``.repro-cache/``)::
+
+    MANIFEST              write-ahead segment ledger (JSON lines)
+    seg-00000001.jsonl    append-only record segments (JSON lines)
+    seg-00000002.jsonl
+
+Every record is one JSON line ``{"seq": n, "key": h, "record": {...}}``
+appended to the current segment; ``key`` is a :class:`JobSpec` content
+hash, so the store is content-addressed — re-running an identical job
+lands on the same key and is a cache hit.  The in-memory index maps key
+to ``(segment, offset, length)`` and is rebuilt on open by replaying the
+manifest and scanning the live segments in ledger order; the *last*
+occurrence of a key wins, which makes rewrites (``--refresh``) simple
+appends.
+
+Durability is crash-tolerant in the append-only style:
+
+* the manifest is written (and flushed + fsynced) *before* a segment
+  receives its first record, so a segment file is never live-unknown;
+* a torn trailing line — the signature of a hard kill mid-append — is
+  detected on replay (JSON parse failure) and ignored, for both the
+  manifest and the segments;
+* compaction writes the folded segment and manifests it *before*
+  dropping the old ones, so a crash at any point leaves a replayable
+  ledger (at worst with duplicate records, which last-wins absorbs).
+
+Compaction (:meth:`ResultStore.compact`) folds all live segments into
+one, keeping only the newest record per key and dropping superseded
+ones.  The store is single-writer by design: only the campaign driver
+process touches it (workers hand records back over the pool's result
+channel), so no cross-process locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+
+class StoreError(RuntimeError):
+    """The store directory is unusable or the ledger is inconsistent."""
+
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{8})\.jsonl$")
+
+
+def _fsync(fh) -> None:
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+class MemoryStore:
+    """Dict-backed stand-in with the same interface (``--no-cache``)."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def root(self) -> None:
+        return None
+
+    def probe(self, key: str) -> bool:
+        return key in self._data
+
+    def fetch(self, key: str) -> dict | None:
+        return self._data.get(key)
+
+    def get(self, key: str) -> dict | None:
+        record = self._data.get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        self._data[key] = record
+
+    def keys(self) -> list[str]:
+        return list(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def compact(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+    def stats(self) -> dict:
+        return {"backend": "memory", "records": len(self._data),
+                "hits": self.hits, "misses": self.misses}
+
+
+class ResultStore:
+    """Append-only segmented store with a write-ahead manifest."""
+
+    MANIFEST = "MANIFEST"
+
+    def __init__(self, root: str | Path,
+                 segment_bytes: int = 8 << 20) -> None:
+        self.root = Path(root)
+        self.segment_bytes = segment_bytes
+        self.hits = 0
+        self.misses = 0
+        #: records made unreachable by a later write with the same key
+        self.superseded = 0
+        self._index: dict[str, tuple[str, int, int]] = {}
+        self._live: list[str] = []          # live segments, ledger order
+        self._next_seq = 1
+        self._next_segment_no = 1
+        self._current: str | None = None    # segment receiving appends
+        self._current_size = 0
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:  # pragma: no cover - depends on the fs
+            raise StoreError(f"cannot create store at {self.root}: {exc}") \
+                from exc
+        self._recover()
+
+    # ------------------------------------------------------------ recovery
+
+    def _replay_lines(self, path: Path) -> list[dict]:
+        """Parse JSON lines, stopping at the first torn/corrupt line."""
+        entries: list[dict] = []
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return entries
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # torn tail from a hard kill mid-append; everything
+                # before it is intact, everything after is garbage
+                break
+        return entries
+
+    def _recover(self) -> None:
+        live: list[str] = []
+        for entry in self._replay_lines(self.root / self.MANIFEST):
+            op, segment = entry.get("op"), entry.get("segment")
+            if not isinstance(segment, str):
+                continue
+            if op == "add" and segment not in live:
+                live.append(segment)
+            elif op == "drop" and segment in live:
+                live.remove(segment)
+            m = _SEGMENT_RE.match(segment)
+            if m:
+                self._next_segment_no = max(self._next_segment_no,
+                                            int(m.group(1)) + 1)
+        self._live = live
+        valid_sizes = {segment: self._scan_segment(segment)
+                       for segment in live}
+        if live:
+            tail = self.root / live[-1]
+            size = tail.stat().st_size if tail.exists() else 0
+            valid = valid_sizes[live[-1]]
+            if size > valid:
+                # torn tail from a hard kill mid-append: cut the garbage
+                # off before continuing to append, or the next record
+                # would land on the same unterminated line and be lost
+                with tail.open("ab") as fh:
+                    fh.truncate(valid)
+                size = valid
+            if size < self.segment_bytes:
+                self._current, self._current_size = live[-1], size
+
+    def _scan_segment(self, segment: str) -> int:
+        """Index one segment; returns the length of its valid prefix."""
+        path = self.root / segment
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            # manifested before its first write, then crashed: legal,
+            # just empty
+            return 0
+        offset = 0
+        for line in raw.split(b"\n"):
+            length = len(line)
+            if line.strip():
+                try:
+                    entry = json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    return offset  # torn tail starts here
+                key = entry.get("key")
+                if isinstance(key, str):
+                    if key in self._index:
+                        self.superseded += 1
+                    self._index[key] = (segment, offset, length)
+                    self._next_seq = max(self._next_seq,
+                                         int(entry.get("seq", 0)) + 1)
+            offset += length + 1  # the newline
+        return min(offset, len(raw))
+
+    # ------------------------------------------------------------- writing
+
+    def _append_manifest(self, op: str, segment: str) -> None:
+        with (self.root / self.MANIFEST).open("ab") as fh:
+            fh.write(json.dumps({"op": op, "segment": segment})
+                     .encode() + b"\n")
+            _fsync(fh)
+
+    def _rotate(self) -> None:
+        segment = f"seg-{self._next_segment_no:08d}.jsonl"
+        self._next_segment_no += 1
+        # WAL discipline: ledger first, data file second
+        self._append_manifest("add", segment)
+        (self.root / segment).touch()
+        self._live.append(segment)
+        self._current, self._current_size = segment, 0
+
+    def put(self, key: str, record: dict) -> None:
+        if self._current is None or self._current_size >= self.segment_bytes:
+            self._rotate()
+        line = json.dumps(
+            {"seq": self._next_seq, "key": key, "record": record},
+            sort_keys=True,
+        ).encode()
+        self._next_seq += 1
+        assert self._current is not None
+        path = self.root / self._current
+        offset = self._current_size
+        with path.open("ab") as fh:
+            fh.write(line + b"\n")
+            _fsync(fh)
+        if key in self._index:
+            self.superseded += 1
+        self._index[key] = (self._current, offset, len(line))
+        self._current_size += len(line) + 1
+
+    # ------------------------------------------------------------- reading
+
+    def probe(self, key: str) -> bool:
+        """Presence test that does not touch the hit/miss counters."""
+        return key in self._index
+
+    def fetch(self, key: str) -> dict | None:
+        """Read without touching the hit/miss counters (plumbing reads:
+        dependency handoff, target delivery, compaction)."""
+        loc = self._index.get(key)
+        if loc is None:
+            return None
+        segment, offset, length = loc
+        with (self.root / segment).open("rb") as fh:
+            fh.seek(offset)
+            line = fh.read(length)
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt record for {key[:12]} in {segment}@{offset}"
+            ) from exc
+        return entry["record"]
+
+    def get(self, key: str) -> dict | None:
+        loc = self._index.get(key)
+        if loc is None:
+            self.misses += 1
+            return None
+        segment, offset, length = loc
+        with (self.root / segment).open("rb") as fh:
+            fh.seek(offset)
+            line = fh.read(length)
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt record for {key[:12]} in {segment}@{offset}"
+            ) from exc
+        self.hits += 1
+        return entry["record"]
+
+    def keys(self) -> list[str]:
+        return list(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # ---------------------------------------------------------- compaction
+
+    def compact(self) -> int:
+        """Fold live segments into one, dropping superseded records.
+        Returns the number of records dropped."""
+        if not self._live:
+            return 0
+        old = list(self._live)
+        dropped = self.superseded
+        # fold: newest record per key, written in stable key order
+        folded: list[tuple[str, dict]] = []
+        for key in sorted(self._index):
+            folded.append((key, self.fetch(key) or {}))
+        self._current = None  # force a fresh segment
+        self._index.clear()
+        self._live = []
+        for key, record in folded:
+            self.put(key, record)
+        self.superseded = 0
+        for segment in old:
+            self._append_manifest("drop", segment)
+        for segment in old:
+            try:
+                (self.root / segment).unlink()
+            except FileNotFoundError:
+                pass
+        return dropped
+
+    def close(self) -> None:
+        pass
+
+    def stats(self) -> dict:
+        return {
+            "backend": "disk",
+            "root": str(self.root),
+            "records": len(self._index),
+            "segments": len(self._live),
+            "superseded": self.superseded,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

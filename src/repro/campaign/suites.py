@@ -1,0 +1,231 @@
+"""Campaign builders for the paper's measurement suites.
+
+Each builder expands one evaluation protocol into a content-addressed
+job DAG; each assembler turns the resulting records into exactly the
+text the serial ``python -m repro`` command prints.  Because every
+harness goes through :func:`repro.campaign.spec.make_run_spec`, runs
+shared between suites (e.g. a speedup baseline and an overhead native
+run for the same seed) occupy a single store slot and execute once.
+
+Suites:
+
+``table1``
+    materializes the six CLOMP-TM configurations of Table 1 / Figure 7
+    (profile databases land in the store) and renders the static table.
+``figure7``
+    the same six runs, assembled into the three Figure 7 decompositions
+    plus the paper-narrative check.
+``figure8``
+    one profiled run per (non-optimized) HTMBench program, assembled
+    into the Type I/II/III categorization.
+``overhead``
+    §7.1's trimmed-mean protocol: per workload, ``runs`` seeds ×
+    (native, sampled) run jobs feeding one ``overhead`` reducer job.
+``speedup``
+    Table 2: per program, (naive, optimized) run jobs feeding one
+    ``speedup`` reducer job.
+"""
+
+from __future__ import annotations
+
+from ..core.export import profile_from_dict
+from ..htmbench.clomp_tm import FIGURE7_CONFIGS
+from ..sim.config import DEFAULT_THREADS
+from .spec import Campaign, JobSpec, make_run_spec
+
+SUITES = ("table1", "figure7", "figure8", "overhead", "speedup")
+
+
+class SuiteError(ValueError):
+    """Unknown suite or invalid suite arguments."""
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+
+def _clomp_jobs(campaign: Campaign, n_threads: int, scale: float,
+                seed: int) -> None:
+    """The six profiled CLOMP-TM runs; records (label, size, scatter,
+    key) in Figure 7 order into ``campaign.meta``."""
+    from ..experiments.clomp import FIG7_SAMPLE_PERIODS
+
+    for label, size, scatter in FIGURE7_CONFIGS:
+        spec = make_run_spec(
+            "clomp_tm", n_threads=n_threads, scale=scale, seed=seed,
+            profile=True,
+            config={"sample_periods": dict(FIG7_SAMPLE_PERIODS)},
+            params={"txn_size": size, "scatter": scatter},
+        )
+        key = campaign.add(spec, target=True)
+        campaign.meta.append((label, size, scatter, key))
+
+
+def build_table1(n_threads: int = DEFAULT_THREADS, scale: float = 1.0,
+                 seed: int = 0, **_: object) -> Campaign:
+    campaign = Campaign(name="table1")
+    _clomp_jobs(campaign, n_threads, scale, seed)
+    return campaign
+
+
+def build_figure7(n_threads: int = DEFAULT_THREADS, scale: float = 1.0,
+                  seed: int = 0, **_: object) -> Campaign:
+    campaign = Campaign(name="figure7")
+    _clomp_jobs(campaign, n_threads, scale, seed)
+    return campaign
+
+
+def build_figure8(n_threads: int = DEFAULT_THREADS, scale: float = 1.0,
+                  seed: int = 0, workloads: list[str] | None = None,
+                  **_: object) -> Campaign:
+    from ..experiments.categorize import FIG8_SAMPLE_PERIODS, figure8_names
+
+    campaign = Campaign(name="figure8")
+    names = list(workloads) if workloads else figure8_names()
+    for name in names:
+        spec = make_run_spec(
+            name, n_threads=n_threads, scale=scale, seed=seed,
+            profile=True,
+            config={"sample_periods": dict(FIG8_SAMPLE_PERIODS)},
+        )
+        key = campaign.add(spec, target=True)
+        campaign.meta.append((name, key))
+    return campaign
+
+
+def build_overhead(n_threads: int = DEFAULT_THREADS, scale: float = 1.0,
+                   seed: int = 0, workloads: list[str] | None = None,
+                   runs: int = 7, drop: int = 1, **_: object) -> Campaign:
+    from ..experiments.overhead import FIG5_BENCHMARKS
+
+    if drop and runs <= 2 * drop:
+        raise SuiteError(
+            f"runs must exceed 2*drop to leave a mean: got runs={runs}, "
+            f"drop={drop} (need runs > {2 * drop})"
+        )
+    campaign = Campaign(name="overhead")
+    names = list(workloads) if workloads else list(FIG5_BENCHMARKS)
+    for name in names:
+        deps: list[str] = []
+        for run_seed in range(runs):
+            for profiled in (False, True):
+                deps.append(campaign.add(make_run_spec(
+                    name, n_threads=n_threads, scale=scale,
+                    seed=run_seed, profile=profiled,
+                )))
+        key = campaign.add(JobSpec(
+            kind="overhead", workload=name, n_threads=n_threads,
+            scale=scale, deps=tuple(deps),
+            extra={"runs": runs, "drop": drop},
+        ), target=True)
+        campaign.meta.append((name, key))
+    return campaign
+
+
+def build_speedup(n_threads: int = DEFAULT_THREADS, scale: float = 1.0,
+                  seed: int = 0, workloads: list[str] | None = None,
+                  **_: object) -> Campaign:
+    from ..htmbench.optimized import TABLE2
+
+    pairs = {naive: (opt, paper) for naive, opt, paper, _ in TABLE2}
+    names = list(workloads) if workloads else list(pairs)
+    unknown = [n for n in names if n not in pairs]
+    if unknown:
+        raise SuiteError(
+            f"not Table 2 programs: {', '.join(unknown)} "
+            f"(known: {', '.join(pairs)})"
+        )
+    campaign = Campaign(name="speedup")
+    for name in names:
+        opt, paper = pairs[name]
+        base_key = campaign.add(make_run_spec(
+            name, n_threads=n_threads, scale=scale, seed=seed,
+        ))
+        opt_key = campaign.add(make_run_spec(
+            opt, n_threads=n_threads, scale=scale, seed=seed,
+        ))
+        key = campaign.add(JobSpec(
+            kind="speedup", workload=name, n_threads=n_threads,
+            scale=scale, seed=seed, deps=(base_key, opt_key),
+            extra={"optimized": opt},
+        ), target=True)
+        campaign.meta.append((name, opt, paper, key))
+    return campaign
+
+
+BUILDERS = {
+    "table1": build_table1,
+    "figure7": build_figure7,
+    "figure8": build_figure8,
+    "overhead": build_overhead,
+    "speedup": build_speedup,
+}
+
+
+def build_campaign(suite: str, **kw) -> Campaign:
+    builder = BUILDERS.get(suite)
+    if builder is None:
+        raise SuiteError(
+            f"unknown suite {suite!r} (known: {', '.join(SUITES)})"
+        )
+    return builder(**kw)
+
+
+# ---------------------------------------------------------------------------
+# assembly: records → the serial commands' data structures
+# ---------------------------------------------------------------------------
+
+
+def clomp_rows_from_records(campaign: Campaign,
+                            records: dict[str, dict]) -> list:
+    """Figure 7 rows from cached clomp records — same code path as the
+    serial harness, so the rendered output is identical."""
+    from ..experiments.clomp import clomp_row
+
+    rows = []
+    for label, size, scatter, key in campaign.meta:
+        record = records[key]
+        rows.append(clomp_row(
+            label, size, scatter,
+            profile_from_dict(record["profile_db"]),
+            record["result"]["commits"],
+            record["result"]["aborts_by_reason"],
+        ))
+    return rows
+
+
+def figure8_rows_from_records(campaign: Campaign,
+                              records: dict[str, dict]) -> list:
+    from ..core.categorize import categorize
+    from ..experiments.categorize import CategorizedRow
+    from ..htmbench.base import WORKLOADS
+
+    rows = []
+    for name, key in campaign.meta:
+        profile = profile_from_dict(records[key]["profile_db"])
+        rows.append(CategorizedRow(
+            category=categorize(name, profile),
+            expected_type=WORKLOADS[name].expected_type,
+        ))
+    return rows
+
+
+def overhead_rows_from_records(campaign: Campaign,
+                               records: dict[str, dict]) \
+        -> list[tuple[str, float, list[float]]]:
+    """(name, trimmed mean, per-seed overheads) per workload."""
+    return [
+        (name, records[key]["mean"], records[key]["overheads"])
+        for name, key in campaign.meta
+    ]
+
+
+def speedup_rows_from_records(campaign: Campaign,
+                              records: dict[str, dict]) \
+        -> list[tuple[str, str, float, float]]:
+    """(naive, optimized, paper speedup, measured speedup) per program."""
+    return [
+        (name, opt, paper, records[key]["speedup"])
+        for name, opt, paper, key in campaign.meta
+    ]

@@ -1,0 +1,228 @@
+"""Job execution: what actually runs inside a campaign worker.
+
+:func:`execute_job` is the single entry point the scheduler submits to
+the process pool (it must stay a module-level function so it pickles).
+It dispatches on :attr:`JobSpec.kind`:
+
+``run``
+    one :func:`repro.experiments.runner.run_workload` invocation; the
+    record carries the full :class:`RunResult` plus the profile
+    database (when ``profile=True``) so a cache hit can reconstruct a
+    usable :class:`Outcome` without re-simulating.
+``overhead``
+    §7.1's trimmed mean over interleaved (native, sampled) run deps.
+``speedup``
+    makespan ratio of its (baseline, optimized) run deps.
+``noop`` / ``sum``
+    trivial self-test kinds used by the scheduler's own test suite and
+    chaos drills; ``noop`` echoes ``extra``, ``sum`` adds dep values.
+
+Determinism: a run job seeds every RNG it uses from the spec alone, so
+executing it in a pool worker is bit-identical to executing it serially
+in the driver process.
+
+Fault injection (``JobSpec.inject``) makes the retry/crash machinery
+testable: a marker file counts attempts across processes, and while the
+count is below ``fail_times`` the worker raises, hard-exits, or sleeps
+(``mode``: ``raise`` / ``exit`` / ``sleep``) before doing real work.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from contextlib import contextmanager
+from dataclasses import asdict
+from pathlib import Path
+
+from ..core.export import profile_from_dict, profile_to_dict
+from ..sim.config import MachineConfig
+from ..sim.engine import RunResult
+from .spec import JobSpec
+
+
+class JobTimeout(Exception):
+    """The job exceeded the scheduler's per-job timeout (retryable)."""
+
+
+class InjectedFault(RuntimeError):
+    """A test-injected failure (see ``JobSpec.inject``)."""
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`JobTimeout` after ``seconds`` of wall time.
+
+    Uses ``SIGALRM``, so it only arms on platforms that have it and in
+    a main thread — exactly the situation of a pool worker process.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not in the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _on_alarm(signum, frame):
+    raise JobTimeout("per-job timeout expired")
+
+
+def _apply_injection(inject: dict) -> None:
+    """Misbehave until the attempt counter reaches ``fail_times``."""
+    marker = inject.get("marker")
+    fail_times = int(inject.get("fail_times", 0))
+    if not marker or fail_times <= 0:
+        return
+    path = Path(marker)
+    attempts = len(path.read_text().splitlines()) if path.exists() else 0
+    if attempts >= fail_times:
+        return
+    with path.open("a") as fh:
+        fh.write(f"attempt {attempts + 1} pid {os.getpid()}\n")
+    mode = inject.get("mode", "raise")
+    if mode == "exit":
+        # simulate a segfaulting / OOM-killed worker: the pool sees a
+        # BrokenProcessPool, not an exception
+        os._exit(66)
+    if mode == "sleep":
+        import time
+
+        time.sleep(float(inject.get("sleep", 60.0)))
+        return
+    raise InjectedFault(f"injected failure (attempt {attempts + 1} of "
+                        f"{fail_times})")
+
+
+# ---------------------------------------------------------------------------
+# kind handlers
+# ---------------------------------------------------------------------------
+
+
+def _run_job(spec: JobSpec, deps: dict[str, dict]) -> dict:
+    # imported here: repro.experiments.runner lazily imports this
+    # package for its store-aware paths, so a module-level import would
+    # be circular
+    from ..experiments.runner import run_workload
+
+    config = None
+    if spec.config is not None:
+        config = MachineConfig(n_threads=spec.n_threads).evolve(**spec.config)
+    out = run_workload(
+        spec.workload,
+        n_threads=spec.n_threads,
+        scale=spec.scale,
+        seed=spec.seed,
+        config=config,
+        profile=spec.profile,
+        instrument=spec.instrument,
+        trace=spec.trace,
+        metrics=spec.metrics,
+        **(spec.params or {}),
+    )
+    record: dict = {
+        "kind": "run",
+        "spec": spec.identity(),
+        "result": asdict(out.result),
+    }
+    if out.profile is not None:
+        record["profile_db"] = profile_to_dict(out.profile)
+    return record
+
+
+def _makespan(record: dict) -> int:
+    return record["result"]["makespan"]
+
+
+def _overhead_job(spec: JobSpec, deps: dict[str, dict]) -> dict:
+    """Trimmed-mean overhead over interleaved (native, sampled) deps."""
+    extra = spec.extra or {}
+    drop = int(extra.get("drop", 0))
+    pairs = [(spec.deps[i], spec.deps[i + 1])
+             for i in range(0, len(spec.deps), 2)]
+    overheads = [
+        _makespan(deps[sampled]) / _makespan(deps[native]) - 1.0
+        for native, sampled in pairs
+    ]
+    trimmed = sorted(overheads)
+    if drop and len(trimmed) > 2 * drop:
+        trimmed = trimmed[drop:-drop]
+    return {
+        "kind": "overhead",
+        "spec": spec.identity(),
+        "mean": sum(trimmed) / len(trimmed),
+        "overheads": overheads,
+        "runs": len(overheads),
+        "drop": drop,
+    }
+
+
+def _speedup_job(spec: JobSpec, deps: dict[str, dict]) -> dict:
+    base_key, opt_key = spec.deps
+    return {
+        "kind": "speedup",
+        "spec": spec.identity(),
+        "speedup": _makespan(deps[base_key]) / _makespan(deps[opt_key]),
+        "baseline_makespan": _makespan(deps[base_key]),
+        "optimized_makespan": _makespan(deps[opt_key]),
+    }
+
+
+def _noop_job(spec: JobSpec, deps: dict[str, dict]) -> dict:
+    return {"kind": "noop", "spec": spec.identity(),
+            "value": (spec.extra or {}).get("value")}
+
+
+def _sum_job(spec: JobSpec, deps: dict[str, dict]) -> dict:
+    return {"kind": "sum", "spec": spec.identity(),
+            "value": sum(deps[d]["value"] for d in spec.deps)}
+
+
+HANDLERS = {
+    "run": _run_job,
+    "overhead": _overhead_job,
+    "speedup": _speedup_job,
+    "noop": _noop_job,
+    "sum": _sum_job,
+}
+
+
+def execute_job(spec_dict: dict, dep_records: dict[str, dict],
+                timeout: float | None = None) -> dict:
+    """Execute one job; the scheduler's pool entry point."""
+    spec = JobSpec.from_dict(spec_dict)
+    handler = HANDLERS.get(spec.kind)
+    if handler is None:
+        raise ValueError(f"unknown job kind {spec.kind!r}")
+    with _deadline(timeout):
+        if spec.inject:
+            _apply_injection(spec.inject)
+        return handler(spec, dep_records)
+
+
+# ---------------------------------------------------------------------------
+# record → Outcome reconstruction
+# ---------------------------------------------------------------------------
+
+
+def outcome_from_record(record: dict):
+    """Rebuild a harness-usable :class:`Outcome` from a cached run
+    record.  ``sim``/``profiler``/``instrument``/``obs`` are ``None`` —
+    a cache hit has no live simulator — but ``result`` and ``profile``
+    are exact reconstructions of the original run's."""
+    from ..experiments.runner import Outcome
+
+    if record.get("kind") != "run":
+        raise ValueError(f"not a run record (kind={record.get('kind')!r})")
+    profile = None
+    if "profile_db" in record:
+        profile = profile_from_dict(record["profile_db"])
+    return Outcome(result=RunResult(**record["result"]), profile=profile)

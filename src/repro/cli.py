@@ -2,8 +2,8 @@
 
 The PPoPP artifact ships ``measure_overhead.py``, ``measure_speedup.py``
 and ``generate_profile.py``; this CLI mirrors them (plus the figure
-harnesses, a viewer for saved profile databases, and the ``repro.obs``
-event tracer)::
+harnesses, a viewer for saved profile databases, the ``repro.obs``
+event tracer, and the ``repro.campaign`` batch orchestrator)::
 
     python -m repro list
     python -m repro check micro_capacity --json
@@ -13,25 +13,47 @@ event tracer)::
     python -m repro measure-overhead vacation histo
     python -m repro measure-speedup all
     python -m repro table1 | figure7 | figure8 | correctness
+    python -m repro campaign figure8 --jobs 8
 
 All commands accept ``--threads``, ``--scale`` and ``--seed``; the
 global ``-v``/``-q`` flags (before the subcommand) adjust verbosity.
+
+The measurement commands (``measure-overhead``, ``measure-speedup``,
+``table1``, ``figure7``, ``figure8``) submit their runs through the
+campaign layer: results are cached content-addressed under
+``.repro-cache/`` (override with ``--cache-dir`` or ``REPRO_CACHE_DIR``,
+disable with ``--no-cache``), re-runs are incremental, and ``--jobs N``
+executes independent runs on N worker processes.  The campaign summary
+(cache hits, retries) goes to stderr so stdout stays byte-identical to
+the serial output.
 """
 
 from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 
 from . import htmbench
+from .campaign.scheduler import CampaignError, CampaignRunner, RetryPolicy
+from .campaign.store import MemoryStore, ResultStore
+from .campaign.suites import (
+    SUITES,
+    SuiteError,
+    build_campaign,
+    clomp_rows_from_records,
+    figure8_rows_from_records,
+    overhead_rows_from_records,
+    speedup_rows_from_records,
+)
 from .core import DecisionTree
 from .core.export import load_profile, load_run_metrics, save_profile
 from .core.report import render_full_report, render_self_diagnostics
-from .experiments.runner import run_workload, trimmed_mean_overhead
-from .experiments.runner import speedup as measure_speedup_pair
+from .experiments.runner import cached_run, run_workload
 from .obs.metrics import format_snapshot
 from .obs.selfprof import diagnose
+from .sim.config import DEFAULT_THREADS
 
 _log = logging.getLogger("repro.cli")
 
@@ -64,12 +86,32 @@ def _setup_logging(verbose: bool, quiet: bool) -> None:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--threads", type=int, default=14,
-                        help="simulated thread count (default 14)")
+    parser.add_argument("--threads", type=int, default=DEFAULT_THREADS,
+                        help="simulated thread count "
+                             f"(default {DEFAULT_THREADS})")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--seed", type=int, default=0,
                         help="deterministic seed (default 0)")
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser,
+                        jobs_default: int = 1) -> None:
+    """Flags shared by every command that submits runs through the
+    campaign layer."""
+    parser.add_argument("--jobs", type=int, default=jobs_default,
+                        help="worker processes for independent runs "
+                             f"(default {jobs_default}; 1 = serial "
+                             "in-process)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result-store directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="keep results in memory only (nothing "
+                             "persisted, runs still deduplicated)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute everything, superseding any "
+                             "cached records")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,11 +186,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(measure_overhead.py / Figure 5)")
     p.add_argument("workloads", nargs="+",
                    help="workload names, or 'all' for the Figure 5 list")
-    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--runs", type=int, default=3,
+                   help="seeds per workload (default 3; the paper "
+                        "uses 7)")
+    p.add_argument("--drop", type=int, default=None,
+                   help="trim this many smallest and largest overheads "
+                        "before averaging (default: 1 when runs > 2, "
+                        "else 0; requires runs > 2*drop)")
     p.add_argument("--metrics", action="store_true",
                    help="run each workload once more with metrics on and "
                         "print a brief per-workload metrics line")
     _add_common(p)
+    _add_campaign_flags(p)
 
     p = sub.add_parser("measure-speedup",
                        help="Table 2 optimizations "
@@ -159,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect run metrics and print a brief "
                         "naive-vs-optimized comparison per program")
     _add_common(p)
+    _add_campaign_flags(p)
 
     for name, helptext in (
         ("table1", "CLOMP-TM inputs (Table 1)"),
@@ -168,6 +218,41 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=helptext)
         _add_common(p)
+        if name in ("figure7", "figure8"):
+            _add_campaign_flags(p)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a measurement suite through the campaign "
+             "orchestrator (parallel, cached, resumable)")
+    p.add_argument("suite", metavar="SUITE",
+                   help=f"one of: {', '.join(SUITES)}")
+    p.add_argument("workloads", nargs="*",
+                   help="restrict the suite to these workloads/programs "
+                        "(figure8, overhead, speedup)")
+    p.add_argument("--runs", type=int, default=7,
+                   help="overhead suite: seeds per workload (default 7, "
+                        "the paper's protocol)")
+    p.add_argument("--drop", type=int, default=1,
+                   help="overhead suite: trim count (default 1)")
+    p.add_argument("--status", action="store_true",
+                   help="show what is cached vs pending, then exit "
+                        "without running anything")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted campaign (cached jobs "
+                        "are skipped; prints the resume point)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-job wall-clock timeout (timed-out jobs are "
+                        "retried)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per job after its first failure "
+                        "(default 2)")
+    p.add_argument("--compact", action="store_true",
+                   help="compact the result store after the run")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome trace of scheduler decisions")
+    _add_common(p)
+    _add_campaign_flags(p, jobs_default=os.cpu_count() or 1)
     return parser
 
 
@@ -185,6 +270,58 @@ def _metrics_brief(snapshot: dict) -> str:
     return (f"commits={val('htm.commits')} aborts={val('htm.aborts')} "
             f"retries={val('rtm.retries')} fallbacks={val('rtm.fallbacks')} "
             f"samples={val('pmu.samples')}")
+
+
+def _make_runner(args, tracer=None) -> CampaignRunner:
+    """A campaign runner wired to the CLI's store/parallelism flags.
+
+    Store resolution: ``--no-cache`` keeps results in memory;
+    otherwise ``--cache-dir``, then ``$REPRO_CACHE_DIR``, then
+    ``.repro-cache``."""
+    if getattr(args, "no_cache", False):
+        store = MemoryStore()
+    else:
+        root = (getattr(args, "cache_dir", None)
+                or os.environ.get("REPRO_CACHE_DIR")
+                or ".repro-cache")
+        store = ResultStore(root)
+    retries = getattr(args, "retries", None)
+    return CampaignRunner(
+        store=store,
+        jobs=getattr(args, "jobs", 1),
+        timeout=getattr(args, "timeout", None),
+        retry=RetryPolicy(max_attempts=retries + 1)
+        if retries is not None else None,
+        refresh=getattr(args, "refresh", False),
+        tracer=tracer,
+    )
+
+
+def _campaign_note(runner: CampaignRunner, name: str) -> None:
+    """End-of-run status line — on stderr, so a campaign command's
+    stdout stays byte-identical to its serial counterpart."""
+    if _log.level > logging.INFO:
+        return
+    s = runner.summary()
+    print(f"[campaign {name}] jobs={s['jobs']} cache-hits={s['hits']} "
+          f"executed={s['executed']} retries={s['retries']} "
+          f"hit-rate={s['hit_rate']:.0%}", file=sys.stderr)
+
+
+def _render_figure7_rows(rows) -> int:
+    """Figure 7 rendering + narrative check, shared by the serial and
+    campaign paths so both produce the same stdout and exit code."""
+    from .experiments.clomp import check_expectations, render_figure7
+
+    _log.info(render_figure7(rows))
+    problems = check_expectations(rows)
+    if problems:
+        _log.info("\nnarrative check FAILED:")
+        for prob in problems:
+            _log.info(f"  ! {prob}")
+        return 1
+    _log.info("\nnarrative check: OK (all Figure 7 observations hold)")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -362,21 +499,39 @@ def cmd_measure_overhead(args) -> int:
         list(FIG5_BENCHMARKS) if args.workloads == ["all"]
         else args.workloads
     )
-    total = 0.0
-    for name in names:
-        mean, runs = trimmed_mean_overhead(
-            name, n_threads=args.threads, scale=args.scale, runs=args.runs,
-            drop=1 if args.runs > 2 else 0,
+    drop = args.drop if args.drop is not None else \
+        (1 if args.runs > 2 else 0)
+    if args.runs < 1 or drop < 0:
+        _log.error(f"--runs must be >= 1 and --drop >= 0: "
+                   f"got runs={args.runs}, drop={drop}")
+        return 2
+    if drop and args.runs <= 2 * drop:
+        _log.error(f"--runs must exceed 2*--drop to leave a mean: got "
+                   f"runs={args.runs}, drop={drop} "
+                   f"(need runs > {2 * drop})")
+        return 2
+    runner = _make_runner(args)
+    try:
+        campaign = build_campaign(
+            "overhead", n_threads=args.threads, scale=args.scale,
+            workloads=names, runs=args.runs, drop=drop,
         )
+        records = runner.run(campaign)
+    except CampaignError as exc:
+        _log.error(str(exc))
+        return 2
+    total = 0.0
+    for name, mean, runs in overhead_rows_from_records(campaign, records):
         total += mean
         spread = f"[{min(runs):+.1%}, {max(runs):+.1%}]"
         _log.info(f"{name:22s} {mean:+8.2%}  {spread}")
         if args.metrics:
-            extra = run_workload(name, n_threads=args.threads,
-                                 scale=args.scale, seed=args.seed,
-                                 profile=True, metrics=True)
+            extra = cached_run(runner.store, name, n_threads=args.threads,
+                               scale=args.scale, seed=args.seed,
+                               profile=True, metrics=True)
             _log.info(f"{'':22s}   {_metrics_brief(extra.result.metrics)}")
     _log.info(f"{'MEAN':22s} {total / len(names):+8.2%}")
+    _campaign_note(runner, campaign.name)
     return 0
 
 
@@ -386,32 +541,47 @@ def cmd_measure_speedup(args) -> int:
     pairs = {naive: (opt, paper) for naive, opt, paper, _ in TABLE2}
     names = list(pairs) if args.programs == ["all"] else args.programs
     rc = 0
+    known: list[str] = []
     for name in names:
         if name not in pairs:
             _log.error(f"{name}: not a Table 2 program "
                        f"(known: {', '.join(pairs)})")
             rc = 2
-            continue
-        opt, paper = pairs[name]
-        from .sim.config import MachineConfig
-
-        config = None
-        if args.metrics:
-            config = MachineConfig(
-                n_threads=args.threads).evolve(metrics_enabled=True)
-        s, base, optimized = measure_speedup_pair(
-            name, opt, n_threads=args.threads, scale=args.scale,
-            seed=args.seed, config=config,
+        else:
+            known.append(name)
+    if not known:
+        return rc
+    runner = _make_runner(args)
+    try:
+        campaign = build_campaign(
+            "speedup", n_threads=args.threads, scale=args.scale,
+            seed=args.seed, workloads=known,
         )
+        records = runner.run(campaign)
+    except CampaignError as exc:
+        _log.error(str(exc))
+        return 2
+    for name, opt, paper, s in speedup_rows_from_records(campaign, records):
         _log.info(f"{name:14s} {s:5.2f}x   (paper: {paper:.2f}x)")
         if args.metrics:
+            base = cached_run(runner.store, name, n_threads=args.threads,
+                              scale=args.scale, seed=args.seed,
+                              metrics=True)
+            optimized = cached_run(runner.store, opt,
+                                   n_threads=args.threads,
+                                   scale=args.scale, seed=args.seed,
+                                   metrics=True)
             _log.info(f"  naive    : {_metrics_brief(base.result.metrics)}")
             _log.info(f"  optimized: "
                       f"{_metrics_brief(optimized.result.metrics)}")
+    _campaign_note(runner, campaign.name)
     return rc
 
 
 def cmd_table1(args) -> int:
+    # Table 1 is the static CLOMP-TM configuration listing — no runs
+    # needed.  ``repro campaign table1`` renders the same table *and*
+    # materializes the six profile databases into the result store.
     from .experiments.clomp import render_table1
 
     _log.info(render_table1())
@@ -419,26 +589,120 @@ def cmd_table1(args) -> int:
 
 
 def cmd_figure7(args) -> int:
-    from .experiments.clomp import check_expectations, figure7, render_figure7
-
-    rows = figure7(n_threads=args.threads, scale=args.scale, seed=args.seed)
-    _log.info(render_figure7(rows))
-    problems = check_expectations(rows)
-    if problems:
-        _log.info("\nnarrative check FAILED:")
-        for prob in problems:
-            _log.info(f"  ! {prob}")
-        return 1
-    _log.info("\nnarrative check: OK (all Figure 7 observations hold)")
-    return 0
+    runner = _make_runner(args)
+    try:
+        campaign = build_campaign("figure7", n_threads=args.threads,
+                                  scale=args.scale, seed=args.seed)
+        records = runner.run(campaign)
+    except CampaignError as exc:
+        _log.error(str(exc))
+        return 2
+    rc = _render_figure7_rows(clomp_rows_from_records(campaign, records))
+    _campaign_note(runner, campaign.name)
+    return rc
 
 
 def cmd_figure8(args) -> int:
-    from .experiments.categorize import figure8, render_figure8
+    from .experiments.categorize import render_figure8
 
-    rows = figure8(n_threads=args.threads, scale=args.scale, seed=args.seed)
-    _log.info(render_figure8(rows))
+    runner = _make_runner(args)
+    try:
+        campaign = build_campaign("figure8", n_threads=args.threads,
+                                  scale=args.scale, seed=args.seed)
+        records = runner.run(campaign)
+    except CampaignError as exc:
+        _log.error(str(exc))
+        return 2
+    _log.info(render_figure8(figure8_rows_from_records(campaign, records)))
+    _campaign_note(runner, campaign.name)
     return 0
+
+
+def cmd_campaign(args) -> int:
+    kwargs: dict = {
+        "n_threads": args.threads, "scale": args.scale, "seed": args.seed,
+        "workloads": args.workloads or None,
+        "runs": args.runs, "drop": args.drop,
+    }
+    try:
+        campaign = build_campaign(args.suite, **kwargs)
+    except SuiteError as exc:
+        _log.error(str(exc))
+        return 2
+    tracer = None
+    if args.trace_out:
+        from .obs.trace import Tracer
+
+        tracer = Tracer()
+    runner = _make_runner(args, tracer=tracer)
+    if args.status:
+        st = runner.status(campaign)
+        kinds = " ".join(f"{k}={n}" for k, n in
+                         sorted(st["by_kind"].items()))
+        _log.info(f"=== campaign {st['name']} ===")
+        _log.info(f"jobs     : {st['jobs']} ({kinds})")
+        _log.info(f"targets  : {st['targets']}")
+        _log.info(f"cached   : {st['cached']}")
+        _log.info(f"pending  : {st['pending']}")
+        _log.info(f"hit-rate : {st['hit_rate']:.0%}")
+        store = st["store"]
+        detail = " ".join(f"{k}={v}" for k, v in sorted(store.items())
+                          if k not in ("backend", "root"))
+        where = store.get("root") or "memory"
+        _log.info(f"store    : {store['backend']} {where} ({detail})")
+        return 0
+    if args.resume and _log.level <= logging.INFO:
+        plan = runner.plan(campaign)
+        done = len(plan.cached)
+        print(f"[campaign {campaign.name}] resuming: {done}/"
+              f"{done + len(plan.to_run)} jobs already cached",
+              file=sys.stderr)
+    try:
+        records = runner.run(campaign)
+    except CampaignError as exc:
+        _log.error(str(exc))
+        return 1
+    if args.suite == "table1":
+        from .experiments.clomp import render_table1
+
+        _log.info(render_table1())
+        rc = 0
+    elif args.suite == "figure7":
+        rc = _render_figure7_rows(
+            clomp_rows_from_records(campaign, records))
+    elif args.suite == "figure8":
+        from .experiments.categorize import render_figure8
+
+        _log.info(render_figure8(
+            figure8_rows_from_records(campaign, records)))
+        rc = 0
+    elif args.suite == "overhead":
+        total = 0.0
+        rows = overhead_rows_from_records(campaign, records)
+        for name, mean, runs in rows:
+            total += mean
+            spread = f"[{min(runs):+.1%}, {max(runs):+.1%}]"
+            _log.info(f"{name:22s} {mean:+8.2%}  {spread}")
+        _log.info(f"{'MEAN':22s} {total / len(rows):+8.2%}")
+        rc = 0
+    else:  # speedup
+        for name, _opt, paper, s in \
+                speedup_rows_from_records(campaign, records):
+            _log.info(f"{name:14s} {s:5.2f}x   (paper: {paper:.2f}x)")
+        rc = 0
+    _campaign_note(runner, campaign.name)
+    if args.compact:
+        dropped = runner.store.compact()
+        if _log.level <= logging.INFO:
+            print(f"[campaign {campaign.name}] compacted store: "
+                  f"{dropped} superseded record(s) dropped",
+                  file=sys.stderr)
+    if tracer is not None:
+        path = tracer.write(args.trace_out)
+        if _log.level <= logging.INFO:
+            print(f"[campaign {campaign.name}] scheduler trace written "
+                  f"to {path}", file=sys.stderr)
+    return rc
 
 
 def cmd_correctness(args) -> int:
@@ -462,6 +726,7 @@ COMMANDS = {
     "figure7": cmd_figure7,
     "figure8": cmd_figure8,
     "correctness": cmd_correctness,
+    "campaign": cmd_campaign,
 }
 
 

@@ -13,8 +13,17 @@ from collections.abc import Sequence
 
 from ..core.categorize import Category, categorize
 from ..htmbench.base import WORKLOADS
-from ..sim.config import MachineConfig
+from ..sim.config import DEFAULT_THREADS, MachineConfig
 from .runner import run_workload
+
+#: characterization needs statistically meaningful abort/commit
+#: estimates even for programs with few transactions per run.  Shared
+#: by the serial harness and the campaign suite so both address the
+#: same cached runs.
+FIG8_SAMPLE_PERIODS = {
+    "cycles": 5_000, "mem_loads": 4_000, "mem_stores": 4_000,
+    "rtm_aborted": 5, "rtm_commit": 25,
+}
 
 #: programs included in Figure 8 (everything except optimized variants
 #: and the controlled microbenchmarks)
@@ -40,20 +49,15 @@ class CategorizedRow:
 
 def figure8(
     names: Sequence[str] | None = None,
-    n_threads: int = 14,
+    n_threads: int = DEFAULT_THREADS,
     scale: float = 1.0,
     seed: int = 0,
     config: MachineConfig | None = None,
 ) -> list[CategorizedRow]:
     if config is None:
-        # characterization needs statistically meaningful abort/commit
-        # estimates even for programs with few transactions per run
         config = MachineConfig(
             n_threads=n_threads,
-            sample_periods={
-                "cycles": 5_000, "mem_loads": 4_000, "mem_stores": 4_000,
-                "rtm_aborted": 5, "rtm_commit": 25,
-            },
+            sample_periods=dict(FIG8_SAMPLE_PERIODS),
         )
     rows: list[CategorizedRow] = []
     for name in names or figure8_names():

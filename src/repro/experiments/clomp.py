@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core import metrics as m
+from ..core.analyzer import Profile
 from ..htmbench.clomp_tm import FIGURE7_CONFIGS
-from ..sim.config import MachineConfig
+from ..sim.config import DEFAULT_THREADS, MachineConfig
 from .runner import run_workload
 
 #: Table 1, verbatim
@@ -22,6 +23,15 @@ TABLE1 = [
     (2, "FirstParts", "High conflicts, cache prefetch friendly"),
     (3, "Random", "Rare conflicts, cache prefetch unfriendly"),
 ]
+
+#: the controlled experiment samples abort events densely so the
+#: per-cause decomposition is statistically stable (§6: periods are
+#: tunable).  Shared by the serial harness and the campaign suite so
+#: both address the same cached runs.
+FIG7_SAMPLE_PERIODS = {
+    "cycles": 6_000, "mem_loads": 3_000, "mem_stores": 3_000,
+    "rtm_aborted": 3, "rtm_commit": 40,
+}
 
 
 @dataclass
@@ -50,23 +60,41 @@ class ClompRow:
         return self.weight_by_class.get(cls, 0.0) / total if total else 0.0
 
 
+def clomp_row(label: str, size: str, scatter: int, profile: Profile,
+              commits: int, aborts_by_reason: dict[str, int]) -> ClompRow:
+    """One Figure 7 bar group from a profiled clomp_tm run's artifacts.
+
+    Shared by the serial harness (live profile) and the campaign
+    assembly (profile reconstructed from a cached database), so both
+    paths compute identical rows.
+    """
+    summary = profile.summary()
+    row = ClompRow(label=label, txn_size=size, scatter=scatter)
+    row.time_fractions = summary.time_fractions()
+    root = profile.root
+    for cls in m.ABORT_CLASSES:
+        row.aborts_by_class[cls] = root.total(m.AB_BY_CLASS[cls])
+        row.weight_by_class[cls] = root.total(m.AW_BY_CLASS[cls])
+    row.commits = commits
+    # application-caused aborts only (exclude profiler-induced
+    # interrupt aborts and lock-held explicit retries)
+    row.aborts = sum(
+        aborts_by_reason.get(r, 0) for r in ("conflict", "capacity", "sync")
+    )
+    return row
+
+
 def figure7(
-    n_threads: int = 14,
+    n_threads: int = DEFAULT_THREADS,
     scale: float = 1.0,
     seed: int = 0,
     config: MachineConfig | None = None,
 ) -> list[ClompRow]:
     """Collect TxSampler data for the six CLOMP-TM configurations."""
     if config is None:
-        # a controlled experiment: sample abort events densely so the
-        # per-cause decomposition is statistically stable (§6: periods
-        # are tunable)
         config = MachineConfig(
             n_threads=n_threads,
-            sample_periods={
-                "cycles": 6_000, "mem_loads": 3_000, "mem_stores": 3_000,
-                "rtm_aborted": 3, "rtm_commit": 40,
-            },
+            sample_periods=dict(FIG7_SAMPLE_PERIODS),
         )
     rows: list[ClompRow] = []
     for label, size, scatter in FIGURE7_CONFIGS:
@@ -74,21 +102,9 @@ def figure7(
             "clomp_tm", n_threads=n_threads, scale=scale, seed=seed,
             config=config, profile=True, txn_size=size, scatter=scatter,
         )
-        summary = out.profile.summary()
-        row = ClompRow(label=label, txn_size=size, scatter=scatter)
-        row.time_fractions = summary.time_fractions()
-        root = out.profile.root
-        for cls in m.ABORT_CLASSES:
-            row.aborts_by_class[cls] = root.total(m.AB_BY_CLASS[cls])
-            row.weight_by_class[cls] = root.total(m.AW_BY_CLASS[cls])
-        row.commits = out.result.commits
-        # application-caused aborts only (exclude profiler-induced
-        # interrupt aborts and lock-held explicit retries)
-        reasons = out.result.aborts_by_reason
-        row.aborts = sum(
-            reasons.get(r, 0) for r in ("conflict", "capacity", "sync")
-        )
-        rows.append(row)
+        rows.append(clomp_row(label, size, scatter, out.profile,
+                              out.result.commits,
+                              out.result.aborts_by_reason))
     return rows
 
 

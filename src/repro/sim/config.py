@@ -17,6 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+#: Default simulated thread count: the paper's testbed is a 14-core
+#: Xeon E7-4830 v4, and every harness defaults to one thread per core.
+DEFAULT_THREADS = 14
+
 #: Bytes per cache line; TSX detects conflicts at this granularity.
 CACHELINE = 64
 
@@ -33,7 +37,7 @@ class MachineConfig:
     """
 
     # ---- cores / threads -------------------------------------------------
-    n_threads: int = 14
+    n_threads: int = DEFAULT_THREADS
 
     # ---- instruction costs (cycles) --------------------------------------
     load_cost: int = 4

@@ -28,6 +28,14 @@ def sampling_periods(fast: bool = True) -> dict:
     return {}
 
 
+@pytest.fixture(autouse=True)
+def _isolated_repro_cache(tmp_path, monkeypatch):
+    """Point the campaign result store at a per-test directory so CLI
+    tests never create ``.repro-cache/`` inside the repo (and never see
+    each other's cached runs)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def config():
     return make_config()

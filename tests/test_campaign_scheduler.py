@@ -1,0 +1,203 @@
+"""The dependency-aware campaign executor: DAGs, caching, retries,
+crashed workers, timeouts, and serial/parallel determinism."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignRunner,
+    JobFailed,
+    JobSpec,
+    MemoryStore,
+    ResultStore,
+    RetryPolicy,
+)
+from repro.campaign.spec import CampaignGraphError, make_run_spec
+
+
+def sum_dag(tag="toy"):
+    """Four noop leaves feeding one sum target (value 0+1+2+3 = 6)."""
+    c = Campaign(name=tag)
+    leaves = [c.add(JobSpec(kind="noop", extra={"value": i, "tag": tag}))
+              for i in range(4)]
+    c.add(JobSpec(kind="sum", deps=tuple(leaves), extra={"tag": tag}),
+          target=True)
+    return c
+
+
+def fast_retry():
+    return RetryPolicy(max_attempts=3, backoff=0.001)
+
+
+class TestExecution:
+    def test_serial_dag(self):
+        runner = CampaignRunner(store=MemoryStore(), jobs=1)
+        records = runner.run(sum_dag())
+        (record,) = records.values()
+        assert record["value"] == 6
+
+    def test_pool_dag(self):
+        runner = CampaignRunner(store=MemoryStore(), jobs=2)
+        records = runner.run(sum_dag())
+        (record,) = records.values()
+        assert record["value"] == 6
+
+    def test_diamond_dependencies(self):
+        c = Campaign(name="diamond")
+        a = c.add(JobSpec(kind="noop", extra={"value": 1}))
+        b = c.add(JobSpec(kind="sum", deps=(a,), extra={"side": "l"}))
+        d = c.add(JobSpec(kind="sum", deps=(a,), extra={"side": "r"}))
+        c.add(JobSpec(kind="sum", deps=(b, d)), target=True)
+        runner = CampaignRunner(store=MemoryStore(), jobs=2)
+        (record,) = runner.run(c).values()
+        assert record["value"] == 2
+
+    def test_run_job_serial_vs_pool_bit_identical(self):
+        spec = make_run_spec("micro_low_abort", n_threads=2, scale=0.1,
+                             seed=3, profile=True)
+        serial = CampaignRunner(store=MemoryStore(), jobs=1)
+        pooled = CampaignRunner(store=MemoryStore(), jobs=2)
+        for runner in (serial, pooled):
+            c = Campaign(name="one")
+            c.add(spec, target=True)
+            runner.run(c)
+        a = serial.store.fetch(spec.key)
+        b = pooled.store.fetch(spec.key)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestCachingAndPlanning:
+    def test_second_run_is_all_hits(self):
+        store = MemoryStore()
+        CampaignRunner(store=store, jobs=1).run(sum_dag())
+        second = CampaignRunner(store=store, jobs=1)
+        second.run(sum_dag())
+        s = second.summary()
+        assert s["hit_rate"] == 1.0
+        assert s["executed"] == 0
+
+    def test_cached_target_prunes_subtree(self):
+        store = MemoryStore()
+        CampaignRunner(store=store, jobs=1).run(sum_dag())
+        plan = CampaignRunner(store=store).plan(sum_dag())
+        # the cached sum target is hit; its four leaves are never visited
+        assert len(plan.cached) == 1
+        assert plan.to_run == []
+
+    def test_refresh_recomputes(self):
+        store = MemoryStore()
+        CampaignRunner(store=store, jobs=1).run(sum_dag())
+        again = CampaignRunner(store=store, jobs=1, refresh=True)
+        again.run(sum_dag())
+        assert again.summary()["executed"] == 5
+
+    def test_interrupted_campaign_resumes(self, tmp_path):
+        # simulate an interruption by pre-running only the leaves
+        store = ResultStore(tmp_path / "cache")
+        full = sum_dag()
+        partial = Campaign(name="leaves")
+        for key, spec in full.jobs.items():
+            if spec.kind == "noop":
+                partial.add(spec, target=True)
+        CampaignRunner(store=store, jobs=1).run(partial)
+        resumed = CampaignRunner(store=ResultStore(tmp_path / "cache"),
+                                 jobs=1)
+        (record,) = resumed.run(sum_dag()).values()
+        assert record["value"] == 6
+        assert resumed.summary()["executed"] == 1  # just the sum
+
+    def test_status_reports_without_running(self):
+        runner = CampaignRunner(store=MemoryStore())
+        st = runner.status(sum_dag())
+        assert st["pending"] == 5 and st["cached"] == 0
+        assert runner.summary()["executed"] == 0
+
+
+class TestGraphValidation:
+    def test_missing_dependency(self):
+        c = Campaign(name="bad")
+        c.add(JobSpec(kind="sum", deps=("0" * 64,)), target=True)
+        with pytest.raises(CampaignGraphError, match="unknown job"):
+            CampaignRunner(store=MemoryStore()).run(c)
+
+    def test_cycle_detected(self):
+        c = Campaign(name="cycle")
+        spec = JobSpec(kind="sum", extra={"x": 1})
+        spec.deps = (spec.key,)  # depend on itself, post-hash
+        c.jobs[spec.deps[0]] = spec
+        c.targets.append(spec.deps[0])
+        with pytest.raises(CampaignGraphError, match="cycle"):
+            CampaignRunner(store=MemoryStore()).run(c)
+
+
+class TestFailurePolicy:
+    def _flaky(self, marker, mode, fail_times, **extra_inject):
+        c = Campaign(name="flaky")
+        c.add(JobSpec(kind="noop", extra={"value": 42},
+                      inject={"marker": str(marker), "mode": mode,
+                              "fail_times": fail_times, **extra_inject}),
+              target=True)
+        return c
+
+    def test_raise_is_retried_until_success(self, tmp_path):
+        marker = tmp_path / "attempts"
+        runner = CampaignRunner(store=MemoryStore(), jobs=1,
+                                retry=fast_retry())
+        (record,) = runner.run(self._flaky(marker, "raise", 2)).values()
+        assert record["value"] == 42
+        assert len(marker.read_text().splitlines()) == 2
+        assert runner.summary()["retries"] == 2
+
+    def test_exhausted_retries_raise_jobfailed(self, tmp_path):
+        runner = CampaignRunner(store=MemoryStore(), jobs=1,
+                                retry=RetryPolicy(max_attempts=2,
+                                                  backoff=0.001))
+        with pytest.raises(JobFailed, match="after 2 attempt"):
+            runner.run(self._flaky(tmp_path / "m", "raise", 99))
+
+    def test_pool_retries_raise(self, tmp_path):
+        marker = tmp_path / "attempts"
+        runner = CampaignRunner(store=MemoryStore(), jobs=2,
+                                retry=fast_retry())
+        (record,) = runner.run(self._flaky(marker, "raise", 1)).values()
+        assert record["value"] == 42
+
+    def test_crashed_worker_pool_is_rebuilt(self, tmp_path):
+        # mode="exit" hard-exits the worker: the pool breaks
+        # (segfault/OOM-kill analogue) and must be rebuilt
+        marker = tmp_path / "attempts"
+        runner = CampaignRunner(store=MemoryStore(), jobs=2,
+                                retry=fast_retry())
+        records = runner.run(self._flaky(marker, "exit", 1))
+        (record,) = records.values()
+        assert record["value"] == 42
+        snap = runner.metrics.snapshot()
+        assert snap["campaign.pool.broken"]["value"] >= 1
+
+    def test_timeout_is_retried(self, tmp_path):
+        marker = tmp_path / "attempts"
+        runner = CampaignRunner(store=MemoryStore(), jobs=2, timeout=0.2,
+                                retry=fast_retry())
+        records = runner.run(
+            self._flaky(marker, "sleep", 1, sleep=30.0))
+        (record,) = records.values()
+        assert record["value"] == 42
+        assert runner.metrics.snapshot()["campaign.timeouts"]["value"] >= 1
+
+    def test_siblings_survive_a_crashing_job(self, tmp_path):
+        # one job crashes the pool; unrelated in-flight jobs must still
+        # deliver their records after the rebuild
+        c = Campaign(name="mixed")
+        keys = [c.add(JobSpec(kind="noop", extra={"value": i}), target=True)
+                for i in range(4)]
+        crash = c.add(JobSpec(kind="noop", extra={"value": 99},
+                              inject={"marker": str(tmp_path / "m"),
+                                      "mode": "exit", "fail_times": 1}),
+                      target=True)
+        runner = CampaignRunner(store=MemoryStore(), jobs=2,
+                                retry=fast_retry())
+        records = runner.run(c)
+        assert records[crash]["value"] == 99
+        assert [records[k]["value"] for k in keys] == [0, 1, 2, 3]

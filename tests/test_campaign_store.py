@@ -1,0 +1,161 @@
+"""The on-disk content-addressed result store (toy-LSM)."""
+
+import json
+
+from repro.campaign.store import MemoryStore, ResultStore
+
+
+def seg_files(root):
+    return sorted(p.name for p in root.glob("seg-*.jsonl"))
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"a": 1})
+        assert store.get("k1") == {"a": 1}
+        assert store.get("nope") is None
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_probe_and_fetch_do_not_count(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"a": 1})
+        assert store.probe("k1") and not store.probe("k2")
+        assert store.fetch("k1") == {"a": 1}
+        assert (store.hits, store.misses) == (0, 0)
+
+    def test_container_protocol(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {})
+        store.put("k2", {})
+        assert "k1" in store and "zz" not in store
+        assert len(store) == 2
+        assert sorted(store.keys()) == ["k1", "k2"]
+
+    def test_reopen_recovers_index(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"a": 1})
+        store.put("k2", {"b": [1, 2, 3]})
+        again = ResultStore(tmp_path / "s")
+        assert again.fetch("k1") == {"a": 1}
+        assert again.fetch("k2") == {"b": [1, 2, 3]}
+
+    def test_last_write_wins_and_counts_superseded(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k", {"v": 1})
+        store.put("k", {"v": 2})
+        assert store.fetch("k") == {"v": 2}
+        assert store.superseded == 1
+        again = ResultStore(tmp_path / "s")
+        assert again.fetch("k") == {"v": 2}
+        assert again.superseded == 1
+
+
+class TestCrashTolerance:
+    def test_torn_segment_tail_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"a": 1})
+        store.put("k2", {"b": 2})
+        seg = tmp_path / "s" / seg_files(tmp_path / "s")[-1]
+        with seg.open("ab") as fh:
+            fh.write(b'{"seq": 99, "key": "k3", "rec')  # hard kill mid-append
+        again = ResultStore(tmp_path / "s")
+        assert again.fetch("k1") == {"a": 1}
+        assert again.fetch("k2") == {"b": 2}
+        assert not again.probe("k3")
+
+    def test_writes_continue_after_torn_tail_recovery(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"a": 1})
+        seg = tmp_path / "s" / seg_files(tmp_path / "s")[-1]
+        with seg.open("ab") as fh:
+            fh.write(b"garbage-no-json")
+        again = ResultStore(tmp_path / "s")
+        again.put("k2", {"b": 2})
+        third = ResultStore(tmp_path / "s")
+        assert third.fetch("k1") == {"a": 1}
+        assert third.fetch("k2") == {"b": 2}
+
+    def test_torn_manifest_tail_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"a": 1})
+        with (tmp_path / "s" / ResultStore.MANIFEST).open("ab") as fh:
+            fh.write(b'{"op": "add", "seg')
+        again = ResultStore(tmp_path / "s")
+        assert again.fetch("k1") == {"a": 1}
+
+    def test_manifested_but_never_written_segment_is_legal(self, tmp_path):
+        # WAL discipline: the ledger entry lands before the data file,
+        # so a crash between the two leaves an add for a missing file.
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"a": 1})
+        with (tmp_path / "s" / ResultStore.MANIFEST).open("ab") as fh:
+            fh.write(json.dumps(
+                {"op": "add", "segment": "seg-00000099.jsonl"}
+            ).encode() + b"\n")
+        again = ResultStore(tmp_path / "s")
+        assert again.fetch("k1") == {"a": 1}
+        again.put("k2", {"b": 2})
+        assert ResultStore(tmp_path / "s").fetch("k2") == {"b": 2}
+
+
+class TestSegmentsAndCompaction:
+    def test_rotation_creates_segments(self, tmp_path):
+        store = ResultStore(tmp_path / "s", segment_bytes=64)
+        for i in range(6):
+            store.put(f"k{i}", {"v": i})
+        assert len(seg_files(tmp_path / "s")) > 1
+        again = ResultStore(tmp_path / "s", segment_bytes=64)
+        for i in range(6):
+            assert again.fetch(f"k{i}") == {"v": i}
+
+    def test_compaction_drops_superseded(self, tmp_path):
+        store = ResultStore(tmp_path / "s", segment_bytes=64)
+        for i in range(4):
+            store.put(f"k{i}", {"v": i})
+        for i in range(4):
+            store.put(f"k{i}", {"v": i + 100})
+        before = seg_files(tmp_path / "s")
+        dropped = store.compact()
+        assert dropped == 4
+        assert store.superseded == 0
+        after = seg_files(tmp_path / "s")
+        assert not set(before) & set(after)
+        for i in range(4):
+            assert store.fetch(f"k{i}") == {"v": i + 100}
+
+    def test_compacted_store_reopens(self, tmp_path):
+        store = ResultStore(tmp_path / "s", segment_bytes=64)
+        for i in range(5):
+            store.put(f"k{i}", {"v": i})
+        store.put("k0", {"v": 999})
+        store.compact()
+        again = ResultStore(tmp_path / "s", segment_bytes=64)
+        assert again.fetch("k0") == {"v": 999}
+        assert len(again) == 5
+        assert again.superseded == 0
+
+    def test_compact_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / "s").compact() == 0
+
+    def test_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k", {})
+        st = store.stats()
+        assert st["backend"] == "disk"
+        assert st["records"] == 1
+        assert st["segments"] == 1
+
+
+class TestMemoryStore:
+    def test_same_interface(self):
+        store = MemoryStore()
+        store.put("k", {"v": 1})
+        assert store.probe("k")
+        assert store.fetch("k") == {"v": 1}
+        assert store.get("k") == {"v": 1}
+        assert store.get("zz") is None
+        assert (store.hits, store.misses) == (1, 1)
+        assert "k" in store and len(store) == 1
+        assert store.compact() == 0
+        assert store.stats()["backend"] == "memory"

@@ -1,0 +1,223 @@
+"""Campaign suites must reproduce the serial harnesses exactly, and the
+CLI rewiring must keep stdout byte-identical to the serial commands."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, MemoryStore
+from repro.campaign.suites import (
+    SuiteError,
+    build_campaign,
+    clomp_rows_from_records,
+    figure8_rows_from_records,
+    overhead_rows_from_records,
+    speedup_rows_from_records,
+)
+from repro.experiments.runner import speedup, trimmed_mean_overhead
+
+from tests.test_cli import run_cli
+
+SMALL = {"n_threads": 2, "scale": 0.2, "seed": 0}
+
+
+def run_suite(suite, jobs=1, store=None, **kw):
+    campaign = build_campaign(suite, **kw)
+    runner = CampaignRunner(
+        store=store if store is not None else MemoryStore(), jobs=jobs)
+    return campaign, runner.run(campaign), runner
+
+
+class TestSuiteBuilders:
+    def test_unknown_suite(self):
+        with pytest.raises(SuiteError, match="unknown suite"):
+            build_campaign("nope")
+
+    def test_overhead_validates_runs_vs_drop(self):
+        with pytest.raises(SuiteError, match="exceed 2\\*drop"):
+            build_campaign("overhead", runs=4, drop=2)
+
+    def test_speedup_rejects_unknown_program(self):
+        with pytest.raises(SuiteError, match="not Table 2"):
+            build_campaign("speedup", workloads=["nonsense"])
+
+    def test_shared_runs_are_deduplicated(self):
+        # the same six profiled runs back both table1 and figure7
+        t1 = build_campaign("table1", **SMALL)
+        f7 = build_campaign("figure7", **SMALL)
+        assert set(t1.jobs) == set(f7.jobs)
+
+    def test_overhead_dag_shape(self):
+        c = build_campaign("overhead", workloads=["micro_low_abort"],
+                           runs=3, drop=1, **SMALL)
+        assert len(c.targets) == 1
+        (target,) = c.targets
+        assert len(c.jobs[target].deps) == 6  # 3 seeds x (native, sampled)
+
+
+class TestAssemblyMatchesSerial:
+    def test_figure7_rows_match_direct(self):
+        from repro.experiments.clomp import figure7, render_figure7
+
+        direct = figure7(**SMALL)
+        campaign, records, _ = run_suite("figure7", **SMALL)
+        assembled = clomp_rows_from_records(campaign, records)
+        assert render_figure7(assembled) == render_figure7(direct)
+
+    def test_figure8_rows_match_direct(self):
+        from repro.experiments.categorize import figure8, render_figure8
+
+        names = ["dedup", "histo"]
+        direct = figure8(names=names, n_threads=4, scale=0.2, seed=0)
+        campaign, records, _ = run_suite("figure8", workloads=names,
+                                         n_threads=4, scale=0.2, seed=0)
+        assembled = figure8_rows_from_records(campaign, records)
+        assert render_figure8(assembled) == render_figure8(direct)
+
+    def test_overhead_matches_direct(self):
+        direct_mean, direct_runs = trimmed_mean_overhead(
+            "micro_low_abort", n_threads=2, scale=0.2, runs=3, drop=1)
+        campaign, records, _ = run_suite(
+            "overhead", workloads=["micro_low_abort"], runs=3, drop=1,
+            n_threads=2, scale=0.2)
+        ((name, mean, runs),) = overhead_rows_from_records(campaign,
+                                                          records)
+        assert name == "micro_low_abort"
+        assert mean == direct_mean
+        assert runs == direct_runs
+
+    def test_speedup_matches_direct(self):
+        from repro.htmbench.optimized import TABLE2
+
+        naive, opt, paper, _ = next(r for r in TABLE2 if r[0] == "ua")
+        direct, _, _ = speedup(naive, opt, **SMALL)
+        campaign, records, _ = run_suite("speedup", workloads=[naive],
+                                         **SMALL)
+        ((name, opt_name, paper_got, s),) = \
+            speedup_rows_from_records(campaign, records)
+        assert (name, opt_name, paper_got) == (naive, opt, paper)
+        assert s == direct
+
+
+class TestDeterminismAndCaching:
+    def test_parallel_records_bit_identical_to_serial(self):
+        _, serial, _ = run_suite("table1", jobs=1, **SMALL)
+        _, pooled, _ = run_suite("table1", jobs=4, **SMALL)
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(pooled, sort_keys=True)
+
+    def test_second_invocation_all_hits(self):
+        store = MemoryStore()
+        run_suite("figure7", store=store, **SMALL)
+        _, _, second = run_suite("figure7", store=store, **SMALL)
+        s = second.summary()
+        assert s["hit_rate"] == 1.0 and s["executed"] == 0
+
+
+class TestSharedNativeRuns:
+    """Satellite: overhead and speedup share (workload, seed, native)
+    runs through the store, and cached results equal fresh ones."""
+
+    def test_speedup_native_feeds_overhead(self):
+        from repro.htmbench.optimized import TABLE2
+
+        naive, opt, _, _ = next(r for r in TABLE2 if r[0] == "ua")
+        store = MemoryStore()
+        speedup(naive, opt, n_threads=2, scale=0.2, seed=0, store=store)
+        runs_before = len(store)
+        store.hits = store.misses = 0
+        mean_cached, overheads_cached = trimmed_mean_overhead(
+            naive, n_threads=2, scale=0.2, runs=3, drop=1, store=store)
+        # seed-0 native was already computed by the speedup measurement
+        assert store.hits >= 1
+        assert len(store) == runs_before + 5  # 6 runs needed, 1 shared
+        mean_fresh, overheads_fresh = trimmed_mean_overhead(
+            naive, n_threads=2, scale=0.2, runs=3, drop=1)
+        assert mean_cached == mean_fresh
+        assert overheads_cached == overheads_fresh
+
+    def test_cached_equals_fresh_on_rerun(self):
+        store = MemoryStore()
+        first = trimmed_mean_overhead("micro_low_abort", n_threads=2,
+                                      scale=0.2, runs=3, store=store)
+        hits_before = store.hits
+        again = trimmed_mean_overhead("micro_low_abort", n_threads=2,
+                                      scale=0.2, runs=3, store=store)
+        assert again == first
+        assert store.hits == hits_before + 6  # every run was a hit
+
+
+class TestCampaignCLI:
+    def test_campaign_table1_stdout_identical_to_serial(self, capsys):
+        rc_a, serial = run_cli("table1")
+        rc_b, parallel = run_cli("campaign", "table1", "--threads", "2",
+                                 "--scale", "0.2", "--jobs", "4")
+        assert rc_a == rc_b == 0
+        assert parallel == serial
+        # same cache dir (per-test REPRO_CACHE_DIR): rerun is all hits
+        rc_c, again = run_cli("campaign", "table1", "--threads", "2",
+                              "--scale", "0.2", "--jobs", "4")
+        assert rc_c == 0 and again == serial
+        assert "hit-rate=100%" in capsys.readouterr().err
+
+    def test_campaign_figure7_stdout_identical_to_serial(self):
+        rc_a, serial = run_cli("figure7", "--threads", "2",
+                               "--scale", "0.2")
+        rc_b, parallel = run_cli("campaign", "figure7", "--threads", "2",
+                                 "--scale", "0.2", "--jobs", "2")
+        assert rc_a == rc_b
+        assert parallel == serial
+
+    def test_campaign_status_does_not_run(self, capsys):
+        rc, out = run_cli("campaign", "figure7", "--threads", "2",
+                          "--scale", "0.2", "--status")
+        assert rc == 0
+        assert "pending  : 6" in out
+        assert "cached   : 0" in out
+
+    def test_campaign_resume_reports_cached_jobs(self, capsys):
+        run_cli("campaign", "figure8", "dedup", "--threads", "4",
+                "--scale", "0.2")
+        capsys.readouterr()
+        rc, _ = run_cli("campaign", "figure8", "dedup", "histo",
+                        "--threads", "4", "--scale", "0.2", "--resume")
+        assert rc == 0
+        assert "resuming: 1/2 jobs already cached" in \
+            capsys.readouterr().err
+
+    def test_campaign_unknown_suite(self, capsys):
+        rc, out = run_cli("campaign", "nope")
+        assert rc == 2 and out == ""
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_measure_overhead_validates_drop(self, capsys):
+        rc, out = run_cli("measure-overhead", "micro_low_abort",
+                          "--runs", "4", "--drop", "2")
+        assert rc == 2 and out == ""
+        assert "exceed 2*--drop" in capsys.readouterr().err
+
+    def test_measure_overhead_explicit_runs_and_drop(self):
+        rc, out = run_cli("measure-overhead", "micro_low_abort",
+                          "--threads", "2", "--scale", "0.2",
+                          "--runs", "3", "--drop", "0")
+        assert rc == 0
+        assert "micro_low_abort" in out and "MEAN" in out
+
+    def test_measure_overhead_caches_across_invocations(self, capsys):
+        args = ("measure-overhead", "micro_low_abort", "--threads", "2",
+                "--scale", "0.2", "--runs", "3")
+        rc_a, first = run_cli(*args)
+        capsys.readouterr()
+        rc_b, second = run_cli(*args)
+        assert rc_a == rc_b == 0
+        assert first == second
+        assert "hit-rate=100%" in capsys.readouterr().err
+
+    def test_no_cache_skips_the_disk_store(self, tmp_path, monkeypatch):
+        cache = tmp_path / "never-created"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        rc, _ = run_cli("measure-overhead", "micro_low_abort",
+                        "--threads", "2", "--scale", "0.2", "--runs", "2",
+                        "--no-cache")
+        assert rc == 0
+        assert not cache.exists()

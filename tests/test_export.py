@@ -8,6 +8,7 @@ from repro.core import TxSampler, metrics as m
 from repro.core.export import (
     ProfileFormatError,
     load_profile,
+    load_run_metrics,
     merge_databases,
     profile_from_dict,
     profile_to_dict,
@@ -84,6 +85,28 @@ class TestValidation:
         assert loaded.root.total(m.W) == profile.root.total(m.W)
 
 
+class TestRunMetricsRoundTrip:
+    def test_metrics_snapshot_survives(self, profile, tmp_path):
+        snapshot = {
+            "htm.commits": {"type": "counter", "value": 812},
+            "pmu.samples": {"type": "counter", "value": 40},
+        }
+        path = save_profile(profile, tmp_path / "p.json",
+                            run_metrics=snapshot)
+        assert load_run_metrics(path) == snapshot
+
+    def test_database_without_metrics_yields_empty(self, profile,
+                                                   tmp_path):
+        path = save_profile(profile, tmp_path / "p.json")
+        assert load_run_metrics(path) == {}
+
+    def test_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ProfileFormatError, match="not a"):
+            load_run_metrics(path)
+
+
 class TestMergeDatabases:
     def _make_profile(self, seed):
         cfg = make_config(2, sample_periods=sampling_periods())
@@ -114,3 +137,27 @@ class TestMergeDatabases:
     def test_merge_requires_input(self):
         with pytest.raises(ValueError):
             merge_databases([])
+
+    def test_merged_round_trips_through_disk(self, tmp_path):
+        a = self._make_profile(1)
+        b = self._make_profile(2)
+        pa = save_profile(a, tmp_path / "a.json")
+        pb = save_profile(b, tmp_path / "b.json")
+        merged = merge_databases([pa, pb])
+        loaded = load_profile(save_profile(merged, tmp_path / "m.json"))
+        assert loaded.root.total(m.W) == merged.root.total(m.W)
+        assert loaded.root.n_nodes() == merged.root.n_nodes()
+        assert loaded.periods == merged.periods
+
+    def test_view_renders_merged_database(self, tmp_path):
+        from tests.test_cli import run_cli
+
+        a = self._make_profile(1)
+        b = self._make_profile(2)
+        pa = save_profile(a, tmp_path / "a.json")
+        pb = save_profile(b, tmp_path / "b.json")
+        merged_path = save_profile(merge_databases([pa, pb]),
+                                   tmp_path / "merged.json")
+        rc, out = run_cli("view", str(merged_path))
+        assert rc == 0
+        assert "TxSampler summary" in out

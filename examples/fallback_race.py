@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""The asymmetric race of hand-rolled lock elision, caught statically.
+
+One thread updates a two-word record under its own little spin lock.
+The other threads read the record inside hardware transactions — which
+looks safe, runs fast, and is *wrong*: the transactions never load the
+spin-lock word, so they are not subscribed to it.  Speculation neither
+aborts nor waits while the lock is held, and a reader can commit having
+seen the record half-updated.  (The RTM runtime's global fallback lock
+never has this problem: every transaction reads it right after xbegin.)
+
+``python -m repro check --races`` finds the bug without running the
+program, names the racing words, the unsubscribed lock, and the
+functions whose footprints reach them — and stops reporting it once the
+readers subscribe by transactionally loading the lock word first.
+
+Run:  python examples/fallback_race.py
+"""
+
+from repro import simfn
+from repro.analysis import analyze_workload
+from repro.core.report import render_analysis, render_races
+from repro.dslib import IntArray
+from repro.htmbench.base import Workload
+
+
+@simfn
+def fr_spin_writer(ctx, lock_addr: int, arr: IntArray, iters: int):
+    """Two-word update under a hand-rolled TTAS spin lock."""
+    for _ in range(iters):
+        while True:
+            held = yield from ctx.load(lock_addr)
+            if held == 0:
+                ok = yield from ctx.cas(lock_addr, 0, ctx.tid + 1)
+                if ok:
+                    break
+            yield from ctx.compute(60)
+        v = yield from arr.get(ctx, 0)
+        yield from arr.set(ctx, 0, v + 1)
+        yield from ctx.compute(40)          # the record is torn right here
+        yield from arr.set(ctx, 1, v + 1)
+        yield from ctx.store(lock_addr, 0)
+        yield from ctx.compute(200)
+
+
+@simfn
+def fr_unsubscribed_reader(ctx, lock_addr: int, arr: IntArray, iters: int):
+    """BUGGY: reads the record transactionally, ignoring the lock."""
+    for _ in range(iters):
+        def body(c):
+            a = yield from arr.get(c, 0)
+            b = yield from arr.get(c, 1)
+            yield from c.compute(40)
+            return a + b
+        yield from ctx.atomic(body, name="unsubscribed_read")
+        yield from ctx.compute(80)
+
+
+@simfn
+def fr_subscribed_reader(ctx, lock_addr: int, arr: IntArray, iters: int):
+    """FIXED: loads the lock word inside the transaction first.
+
+    That puts the lock in the transaction's read set — if the writer
+    grabs the lock mid-speculation, the CAS dooms the reader, which is
+    exactly the elision protocol the runtime uses for its own fallback
+    lock.  Aborting when the lock is *already* held keeps the retry
+    from reading a torn record on the fallback path too.
+    """
+    for _ in range(iters):
+        def body(c):
+            held = yield from c.load(lock_addr)
+            if held:
+                yield from c.compute(5)     # give the writer room
+                return None
+            a = yield from arr.get(c, 0)
+            b = yield from arr.get(c, 1)
+            yield from c.compute(40)
+            return a + b
+        yield from ctx.atomic(body, name="subscribed_read")
+        yield from ctx.compute(80)
+
+
+class FallbackRaceDemo(Workload):
+    """The demo workload, parameterized by which reader it uses."""
+
+    suite = "example"
+    description = "spin-lock writer vs transactional readers"
+
+    def __init__(self, reader, name, expected_findings=()):
+        super().__init__()
+        self.reader = reader
+        self.name = name
+        # same gating contract as registered HTMBench workloads: every
+        # emitted code must be documented here, or the check fails
+        self.expected_findings = tuple(expected_findings)
+
+    def build(self, sim, n_threads, scale, rng):
+        lock_addr = sim.memory.alloc_line()
+        arr = IntArray(sim.memory, 2, line_per_element=False)
+        iters = self.iters(150, scale)
+        programs = [(fr_spin_writer, (lock_addr, arr, iters), {})]
+        programs += [
+            (self.reader, (lock_addr, arr, iters), {})
+        ] * (n_threads - 1)
+        return programs
+
+
+def main() -> None:
+    for reader, name, expected in (
+        (fr_unsubscribed_reader, "buggy_unsubscribed",
+         ("asymmetric-fallback-race",)),
+        (fr_subscribed_reader, "fixed_subscribed", ()),
+    ):
+        wl = FallbackRaceDemo(reader, name, expected)
+        report = analyze_workload(wl, n_threads=4, scale=0.5, races=True)
+        surprises = sorted(
+            {f.code for f in report.findings} - set(wl.expected_findings)
+        )
+        assert not surprises, f"undocumented finding codes: {surprises}"
+        print(render_analysis(report))
+        print(render_races(report.races))
+        races = [f for f in report.findings
+                 if f.code == "asymmetric-fallback-race"]
+        if races:
+            f = races[0]
+            print(f"=> race on {f.data['n_addrs']} word(s) "
+                  f"{[hex(a) for a in f.data['addrs']]} guarded by "
+                  f"unsubscribed lock {f.data['lock']:#x}; reachable from: "
+                  f"{', '.join(f.data['functions'])}")
+        else:
+            print("=> no asymmetric race: the readers subscribe to the lock")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -23,9 +23,15 @@ Layers:
   nesting / unfriendly-op summaries at cacheline granularity;
 * :mod:`repro.analysis.lint` — the diagnostic engine emitting typed
   :class:`~repro.analysis.lint.Finding` objects;
-* :mod:`repro.analysis.crossval` — static-vs-dynamic cross-validation.
+* :mod:`repro.analysis.races` — interprocedural lockset race detection
+  (call-graph footprints, asymmetric-race / elision-safety checks);
+* :mod:`repro.analysis.predict` — static decision-tree prediction
+  mapping each TM_BEGIN site onto Figure 1 leaves;
+* :mod:`repro.analysis.crossval` — static-vs-dynamic cross-validation,
+  including the leaf-agreement pane.
 
-Surfaced through ``python -m repro check`` (text and ``--json``).
+Surfaced through ``python -m repro check`` (text, ``--json``, ``--races``,
+``--predict-tree``, and ``--sarif`` export).
 """
 
 from .crossval import ClassCheck, CrossValidation, cross_validate
@@ -44,26 +50,52 @@ from .lint import (
     Finding,
     analyze_workload,
     severity_rank,
+    to_sarif,
+)
+from .predict import (
+    PREDICTABLE_LEAVES,
+    SitePrediction,
+    StaticPrediction,
+    predict_workload,
+)
+from .races import (
+    AddrSet,
+    CallGraph,
+    RaceAnalysis,
+    StridedInterval,
+    WordClass,
+    analyze_races,
 )
 from .summarize import SectionSummary, WorkloadSummary, summarize
 
 __all__ = [
+    "AddrSet",
     "AnalysisLimits",
     "AnalysisReport",
+    "CallGraph",
     "ClassCheck",
     "CODES",
     "CrossValidation",
     "Finding",
     "FunctionIR",
+    "PREDICTABLE_LEAVES",
     "ProgramIR",
+    "RaceAnalysis",
     "RegionInstance",
     "SEVERITIES",
     "SectionSummary",
+    "SitePrediction",
+    "StaticPrediction",
+    "StridedInterval",
     "ThreadTrace",
+    "WordClass",
     "WorkloadSummary",
+    "analyze_races",
     "analyze_workload",
     "cross_validate",
     "extract_workload",
+    "predict_workload",
     "severity_rank",
     "summarize",
+    "to_sarif",
 ]

@@ -21,9 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..core.decision_tree import DecisionTree, Leaf
 from ..sim.config import MachineConfig
 from .ir import AnalysisLimits
 from .lint import AnalysisReport, analyze_workload
+from .predict import PREDICTABLE_LEAVES, StaticPrediction, predict_workload
 
 #: the paper's three root abort causes — the classes worth predicting
 PREDICTABLE_CLASSES = ("conflict", "capacity", "sync")
@@ -97,6 +99,21 @@ class CrossValidation:
     predicted: dict[int, set[str]] = field(default_factory=dict)
     #: sampled abort events per class, whole run (oracle density gauge)
     sampled_aborts: dict[str, float] = field(default_factory=dict)
+    # -- leaf-agreement pane (``--predict-tree``) --------------------------
+    #: the static predictor's output, when the leaf pane was requested
+    prediction: StaticPrediction | None = None
+    #: statically predicted decision-tree leaves per site
+    predicted_leaves: dict[int, set[str]] = field(default_factory=dict)
+    #: leaves the dynamic tree reaches per sampled section
+    observed_leaves: dict[int, set[str]] = field(default_factory=dict)
+    #: per-site leaves excluded from scoring because the oracle had no
+    #: evidence for them: when the dynamic tree takes the conflict branch
+    #: with *zero* sampled sharing events, its true-sharing terminal is a
+    #: default guess, not an observation — scoring a static prediction
+    #: against it would be noise in either direction
+    leaf_unscored: dict[int, set[str]] = field(default_factory=dict)
+    #: per-leaf confusion counts (same shape as the abort-class checks)
+    leaf_checks: dict[str, ClassCheck] = field(default_factory=dict)
 
     @property
     def cells(self) -> int:
@@ -134,8 +151,79 @@ class CrossValidation:
                 })
         return out
 
+    # -- leaf pane ----------------------------------------------------------
+
+    @property
+    def leaf_sites(self) -> set[int]:
+        return set(self.predicted_leaves) | set(self.observed_leaves)
+
+    @property
+    def leaf_cells(self) -> int:
+        """Scored (site, leaf) cells — unscored cells are excluded."""
+        return sum(
+            1
+            for site in self.leaf_sites
+            for leaf in PREDICTABLE_LEAVES
+            if leaf not in self.leaf_unscored.get(site, set())
+        )
+
+    @property
+    def leaf_agreement(self) -> float:
+        """Fraction of scored (site, leaf) cells where both sides agree."""
+        cells = self.leaf_cells
+        if not cells:
+            return 1.0
+        match = 0
+        for site in self.leaf_sites:
+            pred = self.predicted_leaves.get(site, set())
+            obs = self.observed_leaves.get(site, set())
+            skip = self.leaf_unscored.get(site, set())
+            for leaf in PREDICTABLE_LEAVES:
+                if leaf in skip:
+                    continue
+                if (leaf in pred) == (leaf in obs):
+                    match += 1
+        return match / cells
+
+    def leaf_disagreements(self) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        for site in sorted(self.leaf_sites):
+            pred = self.predicted_leaves.get(site, set())
+            obs = self.observed_leaves.get(site, set())
+            skip = self.leaf_unscored.get(site, set())
+            for leaf in PREDICTABLE_LEAVES:
+                if leaf in skip:
+                    continue
+                if (leaf in pred) == (leaf in obs):
+                    continue
+                out.append({
+                    "site": site,
+                    "section": self.site_names.get(site, f"{site:#x}"),
+                    "leaf": leaf,
+                    "static": leaf in pred,
+                    "dynamic": leaf in obs,
+                })
+        return out
+
+    @staticmethod
+    def _micro_pr(checks: dict[str, ClassCheck]) -> tuple[float, float]:
+        tp = sum(c.tp for c in checks.values())
+        fp = sum(c.fp for c in checks.values())
+        fn = sum(c.fn for c in checks.values())
+        precision = tp / (tp + fp) if (tp + fp) else 1.0
+        recall = tp / (tp + fn) if (tp + fn) else 1.0
+        return precision, recall
+
+    def class_precision_recall(self) -> tuple[float, float]:
+        """Micro-averaged P/R of the abort-class pane (the baseline)."""
+        return self._micro_pr(self.checks)
+
+    def leaf_precision_recall(self) -> tuple[float, float]:
+        """Micro-averaged P/R of the leaf-agreement pane."""
+        return self._micro_pr(self.leaf_checks)
+
     def to_dict(self) -> dict[str, Any]:
-        return {
+        d: dict[str, Any] = {
             "workload": self.workload,
             "agreement": self.agreement,
             "cells": self.cells,
@@ -151,6 +239,32 @@ class CrossValidation:
             "disagreements": self.disagreements(),
             "sampled_aborts": dict(self.sampled_aborts),
         }
+        if self.prediction is not None:
+            lp, lr = self.leaf_precision_recall()
+            cp, cr = self.class_precision_recall()
+            d["leaves"] = {
+                "agreement": self.leaf_agreement,
+                "cells": self.leaf_cells,
+                "precision": lp,
+                "recall": lr,
+                "class_precision": cp,
+                "class_recall": cr,
+                "predicted": {
+                    str(k): sorted(v) for k, v in self.predicted_leaves.items()
+                },
+                "observed": {
+                    str(k): sorted(v) for k, v in self.observed_leaves.items()
+                },
+                "unscored": {
+                    str(k): sorted(v) for k, v in self.leaf_unscored.items()
+                },
+                "checks": {
+                    leaf: c.to_dict() for leaf, c in self.leaf_checks.items()
+                },
+                "disagreements": self.leaf_disagreements(),
+                "incomplete": self.prediction.incomplete,
+            }
+        return d
 
 
 def cross_validate(
@@ -161,9 +275,15 @@ def cross_validate(
     config: MachineConfig | None = None,
     limits: AnalysisLimits | None = None,
     report: AnalysisReport | None = None,
+    predict_leaves: bool = False,
     **params: Any,
 ) -> CrossValidation:
-    """Lint statically, profile dynamically, and join the two by site."""
+    """Lint statically, profile dynamically, and join the two by site.
+
+    With ``predict_leaves`` (or a ``report`` that already carries a
+    static prediction), the dynamic decision tree is additionally
+    traversed per sampled section and the leaf-agreement pane is scored.
+    """
     from ..experiments.runner import run_workload
 
     cfg = config or MachineConfig(n_threads=n_threads)
@@ -196,6 +316,10 @@ def cross_validate(
         site: set(classes)
         for site, classes in report.predicted_classes().items()
     }
+    prediction: StaticPrediction | None = getattr(report, "prediction", None)
+    if prediction is None and predict_leaves and report.summary is not None:
+        prediction = predict_workload(report.summary)
+    tree = DecisionTree() if prediction is not None else None
     for rep in profile.cs_reports():
         observed = {
             cls
@@ -209,6 +333,19 @@ def cross_validate(
                 cv.sampled_aborts.get(cls, 0.0)
                 + rep.aborts_by_class.get(cls, 0.0)
             )
+        if tree is not None:
+            g = tree.analyze_cs(rep)
+            cv.observed_leaves[rep.site] = {
+                leaf for leaf in g.leaf_values() if leaf in PREDICTABLE_LEAVES
+            }
+            if g.sharing_samples == 0.0:
+                # conflict branch taken with zero sampled sharing pairs:
+                # the tree's sharing terminal is a default guess, so the
+                # two sharing cells of this site are not scorable
+                cv.leaf_unscored[rep.site] = {
+                    Leaf.TRUE_SHARING.value,
+                    Leaf.FALSE_SHARING.value,
+                }
     if report.summary is not None:
         for s in report.summary.section_list():
             cv.site_names.setdefault(s.site, s.name)
@@ -223,4 +360,22 @@ def cross_validate(
                 s for s, classes in cv.observed.items() if cls in classes
             },
         )
+    if prediction is not None:
+        cv.prediction = prediction
+        cv.predicted_leaves = {
+            site: {leaf for leaf in leaves if leaf in PREDICTABLE_LEAVES}
+            for site, leaves in prediction.predicted_leaves().items()
+        }
+        for leaf in PREDICTABLE_LEAVES:
+            cv.leaf_checks[leaf] = ClassCheck(
+                cls=leaf,
+                predicted_sites={
+                    s for s, ls in cv.predicted_leaves.items()
+                    if leaf in ls and leaf not in cv.leaf_unscored.get(s, set())
+                },
+                observed_sites={
+                    s for s, ls in cv.observed_leaves.items()
+                    if leaf in ls and leaf not in cv.leaf_unscored.get(s, set())
+                },
+            )
     return cv

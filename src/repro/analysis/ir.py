@@ -57,6 +57,9 @@ class AnalysisLimits:
     max_ops: int = 120_000
     #: ops retained verbatim (kind, ip, addr) per function IR trace
     max_trace_ops: int = 64
+    #: concrete addresses retained per function before the whole-program
+    #: pass (repro.analysis.races) widens the set to strided intervals
+    max_fn_addrs: int = 4096
 
 
 @dataclass(eq=False)  # identity semantics: the region stack tests membership
@@ -79,6 +82,9 @@ class RegionInstance:
     #: deepest nesting observed while this (outermost) region was open
     max_depth: int = 1
     ops: int = 0
+    #: estimated body cycles (instruction costs, no aborts/retries) — the
+    #: static stand-in for the dynamic T_tx of one attempt
+    cycles: int = 0
     truncated: bool = False
 
     def read_lines(self) -> set[int]:
@@ -101,6 +107,13 @@ class FunctionIR:
     #: first ``max_trace_ops`` ops issued from this function: (kind, ip, addr)
     trace: list[tuple[str, int, int | None]] = field(default_factory=list)
     callees: set[str] = field(default_factory=set)
+    #: concrete addresses touched by ops issued *from this function's
+    #: frame* (callee accesses land on the callee), capped at
+    #: ``AnalysisLimits.max_fn_addrs``
+    read_addrs: set[int] = field(default_factory=set)
+    write_addrs: set[int] = field(default_factory=set)
+    #: True when the address cap dropped at least one access
+    addrs_truncated: bool = False
 
 
 @dataclass
@@ -115,8 +128,18 @@ class ThreadTrace:
     #: in-region accesses (any region open): addr -> set of barrier epochs
     in_reads: dict[int, set[int]] = field(default_factory=dict)
     in_writes: dict[int, set[int]] = field(default_factory=dict)
+    #: out-of-region accesses made while holding a hand-rolled spin lock
+    #: (a word CAS-acquired 0 -> nonzero): addr -> lock word -> epochs.
+    #: A subset of ``out_*``; the lockset pass subtracts them to find
+    #: truly bare accesses.
+    locked_reads: dict[int, dict[int, set[int]]] = field(default_factory=dict)
+    locked_writes: dict[int, dict[int, set[int]]] = field(default_factory=dict)
+    #: words this thread treated as spin locks (acquire-CAS observed)
+    lock_words: set[int] = field(default_factory=set)
     total_ops: int = 0
     barriers: int = 0
+    #: estimated cycles for the whole drive (instruction costs only)
+    est_cycles: int = 0
     truncated: bool = False
 
 
@@ -130,6 +153,11 @@ class ProgramIR:
     functions: dict[str, FunctionIR] = field(default_factory=dict)
     #: caller-name -> callee-name edges (includes the tm_begin pseudo-edge)
     call_edges: set[tuple[str, str]] = field(default_factory=set)
+    #: address of the runtime's global fallback lock word (0 = unknown).
+    #: Every hardware transaction subscribes to it, which is what makes
+    #: the runtime's own elision race-free — and what the lockset pass
+    #: exploits to tell safe elision from hand-rolled variants.
+    lock_addr: int = 0
 
     @property
     def truncated(self) -> bool:
@@ -167,6 +195,7 @@ class SymbolicContext:
         trace: ThreadTrace,
         functions: dict[str, FunctionIR],
         call_edges: set[tuple[str, str]],
+        config: MachineConfig | None = None,
     ) -> None:
         self.tid = tid
         # the engine's per-thread stream, reproduced bit-for-bit so data-
@@ -176,12 +205,16 @@ class SymbolicContext:
         self.cur_ip = 0
         self._memory = memory
         self._limits = limits
+        self._config = config or MachineConfig()
         self._trace = trace
         self._functions = functions
         self._call_edges = call_edges
         self._overlay: dict[int, int] = {}
         self._open_regions: list[RegionInstance] = []
         self._epoch = 0
+        #: hand-rolled spin locks currently held (CAS 0 -> nonzero seen
+        #: outside any region, not yet released by a store of 0)
+        self._locks_held: list[int] = []
 
     # ------------------------------------------------------------- plumbing
 
@@ -201,14 +234,25 @@ class SymbolicContext:
             self._functions[fn.name] = fir
         return fir
 
-    def _record_access(self, addr: int, is_write: bool) -> None:
+    def _record_access(self, addr: int, is_write: bool, fir: FunctionIR | None = None) -> None:
         if self._open_regions:
             for region in self._open_regions:
                 (region.write_addrs if is_write else region.read_addrs).add(addr)
             target = self._trace.in_writes if is_write else self._trace.in_reads
         else:
             target = self._trace.out_writes if is_write else self._trace.out_reads
+            if self._locks_held:
+                ldict = self._trace.locked_writes if is_write else self._trace.locked_reads
+                per_lock = ldict.setdefault(addr, {})
+                for lock in self._locks_held:
+                    per_lock.setdefault(lock, set()).add(self._epoch)
         target.setdefault(addr, set()).add(self._epoch)
+        if fir is not None:
+            fn_addrs = fir.write_addrs if is_write else fir.read_addrs
+            if len(fn_addrs) < self._limits.max_fn_addrs or addr in fn_addrs:
+                fn_addrs.add(addr)
+            else:
+                fir.addrs_truncated = True
 
     def _record_unfriendly(self, op: str, detail: str) -> None:
         for region in self._open_regions:
@@ -225,23 +269,52 @@ class SymbolicContext:
         if len(fir.trace) < self._limits.max_trace_ops:
             addr = op[1] if kind in MEMORY_OPS else None
             fir.trace.append((kind, self.cur_ip, addr))
+        cfg = self._config
+        cost = 0
+        if kind == OP_COMPUTE:
+            cost = op[1]
+        elif kind == OP_LOAD:
+            cost = cfg.load_cost
+        elif kind == OP_STORE:
+            cost = cfg.store_cost
+        elif kind == OP_CAS:
+            cost = cfg.cas_cost
+        elif kind == OP_SYSCALL:
+            cost = cfg.syscall_cost + (op[2] or 0)
+        trace.est_cycles += cost
         for region in self._open_regions:
             region.ops += 1
+            region.cycles += cost
         if kind == OP_LOAD:
             addr = op[1]
-            self._record_access(addr, False)
+            self._record_access(addr, False, fir)
             return self._overlay.get(addr, self._memory.read(addr))
         if kind == OP_STORE:
-            self._record_access(op[1], True)
-            self._overlay[op[1]] = op[2]
+            addr = op[1]
+            self._record_access(addr, True, fir)
+            self._overlay[addr] = op[2]
+            # a store of 0 into a word this thread CAS-acquired is the
+            # hand-rolled spin-lock release
+            if op[2] == 0 and addr in self._locks_held:
+                self._locks_held.remove(addr)
             return None
         if kind == OP_CAS:
             addr = op[1]
-            self._record_access(addr, False)
+            self._record_access(addr, False, fir)
             cur = self._overlay.get(addr, self._memory.read(addr))
             if cur == op[2]:
-                self._record_access(addr, True)
+                self._record_access(addr, True, fir)
                 self._overlay[addr] = op[3]
+                # acquire-shaped CAS (0 -> nonzero) outside any region:
+                # treat the word as a hand-rolled spin lock held from now
+                if (
+                    not self._open_regions
+                    and op[2] == 0
+                    and op[3] != 0
+                    and addr not in self._locks_held
+                ):
+                    self._locks_held.append(addr)
+                    trace.lock_words.add(addr)
                 return True
             return False
         if kind == OP_SYSCALL:
@@ -258,44 +331,44 @@ class SymbolicContext:
 
     # ------------------------------------------- the ThreadContext op API
 
-    def compute(self, cycles: int) -> Generator[Tuple, Any, None]:
+    def compute(self, cycles: int) -> Generator[tuple, Any, None]:
         self._ip()
         yield (OP_COMPUTE, cycles)
 
-    def load(self, addr: int) -> Generator[Tuple, Any, int]:
+    def load(self, addr: int) -> Generator[tuple, Any, int]:
         self._ip()
         value = yield (OP_LOAD, addr)
         return value
 
-    def store(self, addr: int, value: int) -> Generator[Tuple, Any, None]:
+    def store(self, addr: int, value: int) -> Generator[tuple, Any, None]:
         self._ip()
         yield (OP_STORE, addr, value)
 
-    def cas(self, addr: int, expected: int, new: int) -> Generator[Tuple, Any, bool]:
+    def cas(self, addr: int, expected: int, new: int) -> Generator[tuple, Any, bool]:
         self._ip()
         ok = yield (OP_CAS, addr, expected, new)
         return ok
 
-    def syscall(self, kind: str = "write", cycles: int = 0) -> Generator[Tuple, Any, None]:
+    def syscall(self, kind: str = "write", cycles: int = 0) -> Generator[tuple, Any, None]:
         self._ip()
         yield (OP_SYSCALL, kind, cycles)
 
-    def barrier(self, barrier: Barrier) -> Generator[Tuple, Any, None]:
+    def barrier(self, barrier: Barrier) -> Generator[tuple, Any, None]:
         self._ip()
         yield (OP_BARRIER, barrier)
 
-    def nop(self) -> Generator[Tuple, Any, None]:
+    def nop(self) -> Generator[tuple, Any, None]:
         self._ip()
         yield (OP_NOP,)
 
-    def add(self, addr: int, delta: int = 1) -> Generator[Tuple, Any, int]:
+    def add(self, addr: int, delta: int = 1) -> Generator[tuple, Any, int]:
         value = yield from self.load(addr)
         yield from self.store(addr, value + delta)
         return value + delta
 
     # ----------------------------------------------------- calls / regions
 
-    def call(self, fn: SimFunction, *args: Any, **kwargs: Any) -> Generator[Tuple, Any, Any]:
+    def call(self, fn: SimFunction, *args: Any, **kwargs: Any) -> Generator[tuple, Any, Any]:
         line = sys._getframe(1).f_lineno
         frame = self.stack[-1]
         frame[1] = line
@@ -310,7 +383,7 @@ class SymbolicContext:
             self.stack.pop()
         return result
 
-    def atomic(self, body: Callable, name: str | None = None) -> Generator[Tuple, Any, Any]:
+    def atomic(self, body: Callable, name: str | None = None) -> Generator[tuple, Any, Any]:
         """Record a TM_BEGIN region and run ``body`` exactly once.
 
         Mirrors the real runtime's visible ``tm_begin`` frame so ops in
@@ -393,6 +466,7 @@ def extract_workload(
     build_rng = Random(seed * 7919 + 13)  # the runner's stream, reproduced
     programs: list[Program] = wl.build(sim, n_threads, scale, build_rng)
     ir = ProgramIR(workload=wl.name or str(workload), config=cfg)
+    ir.lock_addr = sim.rtm.lock.addr
     for tid, (fn, args, kwargs) in enumerate(programs):
         trace = ThreadTrace(tid=tid)
         ctx = SymbolicContext(
@@ -403,6 +477,7 @@ def extract_workload(
             trace=trace,
             functions=ir.functions,
             call_edges=ir.call_edges,
+            config=cfg,
         )
         ctx.drive(fn, args, kwargs)
         ir.threads.append(trace)

@@ -9,8 +9,9 @@ which is what :mod:`repro.analysis.crossval` scores.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..sim.config import MachineConfig
 from .ir import AnalysisLimits, extract_workload
@@ -20,6 +21,10 @@ from .summarize import (
     shares_words,
     summarize,
 )
+
+if TYPE_CHECKING:
+    from .predict import StaticPrediction
+    from .races import RaceAnalysis
 
 #: severity levels, mildest first
 SEVERITIES: tuple[str, ...] = ("info", "warning", "error")
@@ -63,6 +68,29 @@ CODES: dict[str, tuple[str, str | None, str]] = {
         "an address protected by a critical section in one thread is "
         "accessed outside any section by another thread in the same "
         "barrier epoch (lockset-style race hazard)",
+    ),
+    # -- lockset race codes (repro.analysis.races, ``check --races``) ------
+    "asymmetric-fallback-race": (
+        "error",
+        "conflict",
+        "a transactional access races an access made under a lock the "
+        "transaction does not subscribe to: the elided transaction can "
+        "read/commit in the middle of the lock-holder's critical section "
+        "(the asymmetric-race hazard of hand-rolled lock elision)",
+    ),
+    "elision-unsafe-access": (
+        "error",
+        "conflict",
+        "a shared word written with an empty lockset: one thread reaches "
+        "it outside both any transaction and any lock while another "
+        "thread holds it protected in the same barrier epoch",
+    ),
+    "lock-footprint-conflict": (
+        "warning",
+        "conflict",
+        "non-lock data shares the global fallback lock's cache line; "
+        "every transaction subscribes to that line, so any write to it "
+        "aborts all concurrent speculation",
     ),
 }
 
@@ -113,6 +141,11 @@ class AnalysisReport:
     findings: list[Finding] = field(default_factory=list)
     summary: WorkloadSummary | None = None
     truncated: bool = False
+    #: the interprocedural lockset pass's result (``--races``); its
+    #: findings are also merged into :attr:`findings`
+    races: RaceAnalysis | None = None
+    #: the static decision-tree prediction (``--predict-tree``)
+    prediction: StaticPrediction | None = None
 
     def max_severity(self) -> str | None:
         worst: str | None = None
@@ -156,6 +189,10 @@ class AnalysisReport:
                 }
                 for s in self.summary.section_list()
             ]
+        if self.races is not None:
+            d["races"] = self.races.to_dict()
+        if self.prediction is not None:
+            d["prediction"] = self.prediction.to_dict()
         return d
 
 
@@ -400,9 +437,17 @@ def analyze_workload(
     seed: int = 0,
     config: MachineConfig | None = None,
     limits: AnalysisLimits | None = None,
+    races: bool = False,
+    predict: bool = False,
     **params: Any,
 ) -> AnalysisReport:
-    """Extract, summarize and lint one workload end to end."""
+    """Extract, summarize and lint one workload end to end.
+
+    ``races`` additionally runs the interprocedural lockset pass
+    (:mod:`repro.analysis.races`), merging its findings into the report;
+    ``predict`` attaches the static decision-tree prediction
+    (:mod:`repro.analysis.predict`).
+    """
     ir = extract_workload(
         workload,
         n_threads=n_threads,
@@ -412,4 +457,117 @@ def analyze_workload(
         limits=limits,
         **params,
     )
-    return lint_summary(summarize(ir))
+    ws = summarize(ir)
+    report = lint_summary(ws)
+    if races:
+        from .races import analyze_races
+
+        report.races = analyze_races(ir, ws)
+        # the lockset pass refines the coarse in-region/out-of-region
+        # heuristic (it knows about hand-rolled locks and subscription),
+        # so the generic finding is superseded: every hazard it could
+        # flag is either re-reported with a precise code or provably safe
+        report.findings = [
+            f for f in report.findings if f.code != "unprotected-shared-access"
+        ]
+        report.findings.extend(report.races.findings)
+        report.findings.sort(
+            key=lambda f: (-severity_rank(f.severity), f.code, f.sites)
+        )
+    if predict:
+        from .predict import predict_workload
+
+        # the lockset pass (when run) sharpens race-implicated sites'
+        # leaves from the overhead branch to the abort branch
+        report.prediction = predict_workload(ws, races=report.races)
+    return report
+
+
+# ------------------------------------------------------------------ SARIF
+
+#: finding severity -> SARIF result level
+_SARIF_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def _sarif_location(site: int) -> dict[str, Any] | None:
+    """Physical source location of one TM_BEGIN site, if resolvable.
+
+    Site addresses are ``function_base + python_line``, so the region is
+    the *actual* source line of the ``with ctx.atomic(...)`` statement in
+    the workload file — clickable in code-scanning UIs.
+    """
+    from ..sim.program import REGISTRY
+
+    fn = REGISTRY.function_at(site)
+    if fn is None:
+        return None
+    code = getattr(fn.func, "__code__", None)
+    uri = code.co_filename if code is not None else fn.name
+    rel = os.path.relpath(uri, os.getcwd())
+    if not rel.startswith(".."):
+        uri = rel.replace(os.sep, "/")
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": uri},
+            "region": {"startLine": max(1, site - fn.base)},
+        },
+        "logicalLocations": [
+            {"name": fn.name, "fullyQualifiedName": REGISTRY.describe(site)}
+        ],
+    }
+
+
+def to_sarif(reports: list[AnalysisReport]) -> dict[str, Any]:
+    """Render analysis reports as one SARIF 2.1.0 log (one run, one tool).
+
+    Every entry of :data:`CODES` becomes a rule; every finding becomes a
+    result whose locations resolve TM_BEGIN sites back to workload source
+    lines.  Uploadable to GitHub code scanning as-is.
+    """
+    rules = []
+    for rule_id in sorted(CODES):
+        severity, prediction, summary = CODES[rule_id]
+        rule: dict[str, Any] = {
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[severity]},
+        }
+        if prediction is not None:
+            rule["properties"] = {"predictedAbortClass": prediction}
+        rules.append(rule)
+    results = []
+    for report in reports:
+        for f in report.findings:
+            locations = [
+                loc for site in f.sites
+                if (loc := _sarif_location(site)) is not None
+            ]
+            result: dict[str, Any] = {
+                "ruleId": f.code,
+                "level": _SARIF_LEVELS.get(f.severity, "note"),
+                "message": {"text": f"[{report.workload}] {f.message}"},
+                "properties": {"workload": report.workload, **f.data},
+            }
+            if f.prediction is not None:
+                result["properties"]["predictedAbortClass"] = f.prediction
+            if locations:
+                result["locations"] = locations
+            results.append(result)
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

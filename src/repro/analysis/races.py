@@ -1,0 +1,779 @@
+"""Interprocedural lockset race analysis over the symbolic IR.
+
+The hazard specific to lock elision is the *asymmetric race*: a
+transaction and a lock-based critical section both access a word, and the
+transaction does not subscribe to the lock, so speculation neither aborts
+nor waits when the lock is held — the transaction can read a half-updated
+structure and commit in the middle of the lock-holder's critical section.
+The runtime's own elision (:mod:`repro.rtm.lock`) is immune because every
+hardware transaction issues a transactional load of the global fallback
+lock word right after ``xbegin``; a hand-rolled fallback around a private
+spin lock has no such subscription and is exactly what this pass flags.
+
+Three layers:
+
+* **Call graph + abstract footprints** — :class:`CallGraph` folds the
+  per-function address sets of :class:`~repro.analysis.ir.FunctionIR`
+  into transitive whole-program footprints, represented by
+  :class:`AddrSet` (exact up to a budget, widened to
+  :class:`StridedInterval` summaries beyond it, the classic sound
+  over-approximation for array sweeps).  Findings use it to name every
+  function whose transitive footprint reaches a racy word, so a diagnosis
+  points at callees, not just the thread entry.
+
+* **Lockset classification** — every shared word is classified by the
+  weakest protection under which any thread reaches it: ``both``
+  (only inside ``atomic`` regions: runs as a transaction *or* under the
+  fallback lock), ``lock`` (only under hand-rolled spin locks the drive
+  observed being CAS-acquired), ``txn``/``lock`` mixtures, or ``neither``
+  (some access with an empty lockset).
+
+* **Checks** — :data:`CODE_ASYMMETRIC` (txn vs. unsubscribed lock),
+  :data:`CODE_ELISION_UNSAFE` (empty-lockset access to a protected
+  word), :data:`CODE_LOCK_FOOTPRINT` (non-lock data on the fallback
+  lock's cache line; the lock word itself is suppressed — subscribing to
+  it is the protocol, not a bug).
+
+When the symbolic drive was truncated (`ProgramIR.truncated`), every
+finding is downgraded to ``info`` with an explicit "analysis incomplete"
+note: a partial trace proves neither presence nor absence of a race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Any
+
+from ..sim.config import line_of
+from .ir import ProgramIR, ThreadTrace
+from .lint import CODES, Finding, _finding
+from .summarize import WorkloadSummary
+
+#: finding codes emitted by this pass (wired into :data:`lint.CODES`)
+CODE_ASYMMETRIC = "asymmetric-fallback-race"
+CODE_ELISION_UNSAFE = "elision-unsafe-access"
+CODE_LOCK_FOOTPRINT = "lock-footprint-conflict"
+
+#: lockset classes: the *common* protection across all of a word's
+#: accesses (the lockset intersection).  An ``atomic`` body runs either
+#: as a hardware transaction or under the runtime's fallback lock, so an
+#: in-region access is protected by "both"; a hand-rolled spin-lock
+#: section contributes only its lock; a bare access contributes nothing.
+CLASS_BOTH = "both"          # every access inside atomic (txn + fallback lock)
+CLASS_TXN = "txn"            # txn-protected only (not expressible by the runtime;
+                             # kept so the lattice is complete in reports)
+CLASS_LOCK = "lock"          # every access under one common hand-rolled lock
+CLASS_NEITHER = "neither"    # empty intersection: some access is unprotected
+                             # relative to the others (race candidate)
+
+#: exact addresses an :class:`AddrSet` holds before widening
+ADDRSET_BUDGET = 2048
+#: strided intervals a widened :class:`AddrSet` is reduced to
+MAX_INTERVALS = 8
+
+
+# ------------------------------------------------------- abstract domain
+
+
+@dataclass(frozen=True)
+class StridedInterval:
+    """``{base + k*stride : 0 <= k < count}`` — a footprint summary."""
+
+    base: int
+    stride: int
+    count: int
+
+    @property
+    def last(self) -> int:
+        return self.base + self.stride * (self.count - 1)
+
+    def contains(self, addr: int) -> bool:
+        if addr < self.base or addr > self.last:
+            return False
+        if self.stride == 0:
+            return addr == self.base
+        return (addr - self.base) % self.stride == 0
+
+    def join(self, other: StridedInterval) -> StridedInterval:
+        """Smallest strided interval covering both (sound, may over-approximate)."""
+        base = min(self.base, other.base)
+        last = max(self.last, other.last)
+        stride = gcd(gcd(self.stride, other.stride), abs(self.base - other.base))
+        if stride == 0:
+            return StridedInterval(base, 0, 1)
+        count = (last - base) // stride + 1
+        return StridedInterval(base, stride, count)
+
+    def to_dict(self) -> dict[str, int]:
+        return {"base": self.base, "stride": self.stride, "count": self.count}
+
+
+def infer_intervals(
+    addrs: list[int], max_intervals: int = MAX_INTERVALS
+) -> tuple[StridedInterval, ...]:
+    """Summarize a sorted address list as at most ``max_intervals`` strided
+    intervals.  Greedy: split on stride changes, then join the two
+    adjacent intervals with the cheapest covering join until under budget.
+    """
+    if not addrs:
+        return ()
+    runs: list[StridedInterval] = []
+    base = prev = addrs[0]
+    stride = 0
+    count = 1
+    for a in addrs[1:]:
+        step = a - prev
+        if count == 1:
+            stride, prev, count = step, a, 2
+        elif step == stride:
+            prev, count = a, count + 1
+        else:
+            runs.append(StridedInterval(base, stride, count))
+            base = prev = a
+            stride, count = 0, 1
+    runs.append(StridedInterval(base, stride, count))
+    while len(runs) > max_intervals:
+        best, best_cost = 1, None
+        for i in range(1, len(runs)):
+            joined = runs[i - 1].join(runs[i])
+            cost = joined.count - runs[i - 1].count - runs[i].count
+            if best_cost is None or cost < best_cost:
+                best, best_cost = i, cost
+        runs[best - 1 : best + 1] = [runs[best - 1].join(runs[best])]
+    return tuple(runs)
+
+
+class AddrSet:
+    """Address set: exact up to a budget, widened to strided intervals.
+
+    The widened form is a sound over-approximation — ``contains`` may
+    answer True for an address never touched, never False for one that
+    was.  That is the right polarity for race *attribution* (a function
+    is listed as possibly reaching a word, not falsely exonerated).
+    """
+
+    __slots__ = ("_exact", "_intervals", "budget")
+
+    def __init__(self, addrs: Any = (), budget: int = ADDRSET_BUDGET) -> None:
+        self.budget = budget
+        self._exact: set[int] | None = set(addrs)
+        self._intervals: tuple[StridedInterval, ...] = ()
+        if len(self._exact) > budget:
+            self._widen()
+
+    @property
+    def widened(self) -> bool:
+        return self._exact is None
+
+    def _widen(self) -> None:
+        assert self._exact is not None
+        new = infer_intervals(sorted(self._exact))
+        for iv in self._intervals:
+            merged = False
+            for i, have in enumerate(new):
+                j = have.join(iv)
+                if j.count <= have.count + iv.count:
+                    new = new[:i] + (j,) + new[i + 1 :]
+                    merged = True
+                    break
+            if not merged:
+                new = new + (iv,)
+        if len(new) > MAX_INTERVALS:
+            new = tuple(infer_intervals(sorted({iv.base for iv in new} | {iv.last for iv in new})))
+        self._intervals = new
+        self._exact = None
+
+    def add(self, addr: int) -> None:
+        if self._exact is not None:
+            self._exact.add(addr)
+            if len(self._exact) > self.budget:
+                self._widen()
+        elif not self.contains(addr):
+            self._intervals = self._intervals + (StridedInterval(addr, 0, 1),)
+            if len(self._intervals) > MAX_INTERVALS:
+                merged = self._intervals[-2].join(self._intervals[-1])
+                self._intervals = self._intervals[:-2] + (merged,)
+
+    def union(self, other: AddrSet) -> bool:
+        """Absorb ``other``; returns True when this set grew."""
+        before = self.approx_len()
+        if other._exact is not None:
+            for a in other._exact:
+                self.add(a)
+        else:
+            if self._exact is not None:
+                self._widen()
+            for iv in other._intervals:
+                if not any(h.contains(iv.base) and h.contains(iv.last) and
+                           (iv.stride == 0 or (h.stride and iv.stride % h.stride == 0))
+                           for h in self._intervals):
+                    self._intervals = self._intervals + (iv,)
+            while len(self._intervals) > MAX_INTERVALS:
+                merged = self._intervals[-2].join(self._intervals[-1])
+                self._intervals = self._intervals[:-2] + (merged,)
+        return self.approx_len() != before or self.widened
+
+    def contains(self, addr: int) -> bool:
+        if self._exact is not None:
+            return addr in self._exact
+        return any(iv.contains(addr) for iv in self._intervals)
+
+    def approx_len(self) -> int:
+        if self._exact is not None:
+            return len(self._exact)
+        return sum(iv.count for iv in self._intervals)
+
+    def to_dict(self) -> dict[str, Any]:
+        if self._exact is not None:
+            return {"exact": len(self._exact)}
+        return {
+            "widened": True,
+            "approx": self.approx_len(),
+            "intervals": [iv.to_dict() for iv in self._intervals],
+        }
+
+
+# ------------------------------------------------------------ call graph
+
+
+@dataclass
+class FunctionFootprint:
+    """Transitive whole-program footprint of one function."""
+
+    name: str
+    reads: AddrSet
+    writes: AddrSet
+    #: True when the per-function address cap dropped accesses somewhere
+    #: in this function's transitive closure
+    truncated: bool = False
+
+    def touches(self, addr: int) -> bool:
+        return self.reads.contains(addr) or self.writes.contains(addr)
+
+
+class CallGraph:
+    """The workload's interprocedural structure with abstract footprints."""
+
+    def __init__(self, ir: ProgramIR) -> None:
+        self.edges: set[tuple[str, str]] = set(ir.call_edges)
+        self._callees: dict[str, set[str]] = {}
+        self._callers: dict[str, set[str]] = {}
+        for caller, callee in self.edges:
+            self._callees.setdefault(caller, set()).add(callee)
+            self._callers.setdefault(callee, set()).add(caller)
+        self.functions: dict[str, FunctionFootprint] = {}
+        for name, fir in ir.functions.items():
+            self.functions[name] = FunctionFootprint(
+                name=name,
+                reads=AddrSet(fir.read_addrs),
+                writes=AddrSet(fir.write_addrs),
+                truncated=fir.addrs_truncated,
+            )
+        self._close()
+
+    def callees(self, name: str) -> set[str]:
+        return self._callees.get(name, set())
+
+    def callers(self, name: str) -> set[str]:
+        return self._callers.get(name, set())
+
+    def roots(self) -> list[str]:
+        return sorted(n for n in self.functions if not self._callers.get(n))
+
+    def _close(self) -> None:
+        """Fixpoint: absorb callee footprints into callers.
+
+        Widening inside :class:`AddrSet` bounds every set's growth, so
+        even recursive cycles converge; the pass cap is a belt on top.
+        """
+        for _ in range(len(self.functions) + 2):
+            changed = False
+            for caller, fp in self.functions.items():
+                for callee in self._callees.get(caller, ()):
+                    cfp = self.functions.get(callee)
+                    if cfp is None or cfp is fp:
+                        continue
+                    grew_r = fp.reads.union(cfp.reads)
+                    grew_w = fp.writes.union(cfp.writes)
+                    if cfp.truncated and not fp.truncated:
+                        fp.truncated = True
+                        changed = True
+                    changed = changed or grew_r or grew_w
+            if not changed:
+                break
+
+    def functions_touching(self, addr: int) -> list[str]:
+        """Names whose *transitive* footprint may reach ``addr``."""
+        return sorted(n for n, fp in self.functions.items() if fp.touches(addr))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_functions": len(self.functions),
+            "n_edges": len(self.edges),
+            "roots": self.roots(),
+            "widened": sorted(
+                n for n, fp in self.functions.items()
+                if fp.reads.widened or fp.writes.widened
+            ),
+            "footprints": {
+                n: {"reads": fp.reads.to_dict(), "writes": fp.writes.to_dict()}
+                for n, fp in sorted(self.functions.items())
+            },
+        }
+
+
+# ------------------------------------------------------ lockset analysis
+
+
+@dataclass
+class _ThreadAccess:
+    """One thread's protection-classified epochs for one word."""
+
+    tid: int
+    txn_read: set[int] = field(default_factory=set)
+    txn_write: set[int] = field(default_factory=set)
+    #: lock word -> epochs accessed while holding it (outside regions)
+    locked_read: dict[int, set[int]] = field(default_factory=dict)
+    locked_write: dict[int, set[int]] = field(default_factory=dict)
+    bare_read: set[int] = field(default_factory=set)
+    bare_write: set[int] = field(default_factory=set)
+
+    @property
+    def writes(self) -> bool:
+        return bool(self.txn_write or self.locked_write or self.bare_write)
+
+
+@dataclass
+class WordClass:
+    """Lockset classification of one shared word."""
+
+    addr: int
+    #: protection class: both / txn / lock / neither
+    classification: str
+    tids: tuple[int, ...]
+    written: bool
+    locks: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "addr": self.addr,
+            "class": self.classification,
+            "tids": list(self.tids),
+            "written": self.written,
+            "locks": list(self.locks),
+        }
+
+
+@dataclass
+class RaceAnalysis:
+    """The lockset pass's full result for one workload."""
+
+    workload: str
+    lock_addr: int
+    #: every word treated as a lock (fallback + detected spin locks)
+    lock_words: tuple[int, ...] = ()
+    #: classification of every *shared* data word (>= 2 threads)
+    words: list[WordClass] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    callgraph: CallGraph | None = None
+    truncated: bool = False
+
+    def classification_counts(self) -> dict[str, int]:
+        out = {CLASS_BOTH: 0, CLASS_TXN: 0, CLASS_LOCK: 0, CLASS_NEITHER: 0}
+        for w in self.words:
+            out[w.classification] += 1
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "lock_addr": self.lock_addr,
+            "lock_words": list(self.lock_words),
+            "classification": self.classification_counts(),
+            "n_shared_words": len(self.words),
+            "words": [w.to_dict() for w in self.words[:64]],
+            "findings": [f.to_dict() for f in self.findings],
+            "callgraph": self.callgraph.to_dict() if self.callgraph else None,
+            "truncated": self.truncated,
+        }
+
+
+def _bare_epochs(trace: ThreadTrace, addr: int, is_write: bool) -> set[int]:
+    """Out-of-region epochs with *no* lock held (out minus locked)."""
+    out = (trace.out_writes if is_write else trace.out_reads).get(addr, set())
+    locked = (trace.locked_writes if is_write else trace.locked_reads).get(addr, {})
+    held: set[int] = set()
+    for epochs in locked.values():
+        held |= epochs
+    return set(out) - held
+
+
+def _collect_accesses(
+    ir: ProgramIR, lock_words: set[int]
+) -> dict[int, dict[int, _ThreadAccess]]:
+    """addr -> tid -> classified access epochs, lock words excluded."""
+    table: dict[int, dict[int, _ThreadAccess]] = {}
+
+    def acc(addr: int, tid: int) -> _ThreadAccess:
+        per = table.setdefault(addr, {})
+        ta = per.get(tid)
+        if ta is None:
+            ta = per[tid] = _ThreadAccess(tid=tid)
+        return ta
+
+    for t in ir.threads:
+        for addr, epochs in t.in_reads.items():
+            if addr not in lock_words:
+                acc(addr, t.tid).txn_read |= epochs
+        for addr, epochs in t.in_writes.items():
+            if addr not in lock_words:
+                acc(addr, t.tid).txn_write |= epochs
+        for addr, by_lock in t.locked_reads.items():
+            if addr in lock_words:
+                continue
+            ta = acc(addr, t.tid)
+            for lock, epochs in by_lock.items():
+                ta.locked_read.setdefault(lock, set()).update(epochs)
+        for addr, by_lock in t.locked_writes.items():
+            if addr in lock_words:
+                continue
+            ta = acc(addr, t.tid)
+            for lock, epochs in by_lock.items():
+                ta.locked_write.setdefault(lock, set()).update(epochs)
+        for addr in t.out_reads:
+            if addr in lock_words:
+                continue
+            bare = _bare_epochs(t, addr, False)
+            if bare:
+                acc(addr, t.tid).bare_read |= bare
+        for addr in t.out_writes:
+            if addr in lock_words:
+                continue
+            bare = _bare_epochs(t, addr, True)
+            if bare:
+                acc(addr, t.tid).bare_write |= bare
+    return table
+
+
+#: synthetic lockset members for in-region accesses
+_TXN = "txn"
+_FALLBACK = "fallback"
+
+
+def _classify_word(addr: int, per_tid: dict[int, _ThreadAccess]) -> WordClass | None:
+    """Lockset-intersection classification for one word shared by >= 2 threads."""
+    if len(per_tid) < 2:
+        return None
+    common: set[str] | None = None
+    locks: set[int] = set()
+    for ta in per_tid.values():
+        locksets: list[set[str]] = []
+        if ta.txn_read or ta.txn_write:
+            locksets.append({_TXN, _FALLBACK})
+        held = set(ta.locked_read) | set(ta.locked_write)
+        if held:
+            # per-lock epochs cannot recover the exact per-access lockset;
+            # the union of locks the thread held for this word is a sound
+            # over-approximation of each locked access's protection
+            locksets.append({f"lock:{lock:#x}" for lock in held})
+            locks |= held
+        if ta.bare_read or ta.bare_write:
+            locksets.append(set())
+        for ls in locksets:
+            common = set(ls) if common is None else common & ls
+    if not common:
+        cls = CLASS_NEITHER
+    elif _TXN in common:
+        cls = CLASS_BOTH if _FALLBACK in common else CLASS_TXN
+    else:
+        cls = CLASS_LOCK
+    return WordClass(
+        addr=addr,
+        classification=cls,
+        tids=tuple(sorted(per_tid)),
+        written=any(ta.writes for ta in per_tid.values()),
+        locks=tuple(sorted(locks)),
+    )
+
+
+def _txn_sites_for(ir: ProgramIR, tid: int, addr: int) -> tuple[set[int], set[str], bool]:
+    """TM_BEGIN sites of ``tid`` whose regions touch ``addr``, and whether
+    *all* of them subscribe is decided per lock by the caller."""
+    sites: set[int] = set()
+    names: set[str] = set()
+    for t in ir.threads:
+        if t.tid != tid:
+            continue
+        for region in t.regions:
+            if addr in region.read_addrs or addr in region.write_addrs:
+                sites.add(region.site)
+                names.add(region.name)
+    return sites, names, bool(sites)
+
+
+def _subscribes(ir: ProgramIR, tid: int, addr: int, lock: int) -> bool:
+    """Do all of ``tid``'s regions touching ``addr`` read ``lock``?
+
+    The runtime's global fallback lock is implicitly subscribed by the
+    xbegin protocol; a custom lock only counts when the region's own read
+    set contains the lock word (an explicit transactional load).
+    """
+    if lock == ir.lock_addr:
+        return True
+    subscribed = False
+    for t in ir.threads:
+        if t.tid != tid:
+            continue
+        for region in t.regions:
+            if addr in region.read_addrs or addr in region.write_addrs:
+                if lock not in region.read_addrs:
+                    return False
+                subscribed = True
+    return subscribed
+
+
+def analyze_races(ir: ProgramIR, ws: WorkloadSummary | None = None) -> RaceAnalysis:
+    """Run the whole lockset pass over one workload's IR."""
+    lock_words: set[int] = set()
+    if ir.lock_addr:
+        lock_words.add(ir.lock_addr)
+    for t in ir.threads:
+        lock_words |= t.lock_words
+    ra = RaceAnalysis(
+        workload=ir.workload,
+        lock_addr=ir.lock_addr,
+        lock_words=tuple(sorted(lock_words)),
+        callgraph=CallGraph(ir),
+        truncated=ir.truncated,
+    )
+    table = _collect_accesses(ir, lock_words)
+    for addr in sorted(table):
+        wc = _classify_word(addr, table[addr])
+        if wc is not None:
+            ra.words.append(wc)
+    ra.findings.extend(_check_asymmetric(ir, table, ra))
+    ra.findings.extend(_check_elision_unsafe(ir, table, ra))
+    ra.findings.extend(_check_lock_footprint(ir, table, ws, ra))
+    if ir.truncated:
+        ra.findings = [downgrade_incomplete(f) for f in ra.findings]
+    return ra
+
+
+#: appended to findings derived from a truncated (incomplete) drive
+INCOMPLETE_NOTE = (
+    "analysis incomplete: the symbolic drive hit its op budget and was "
+    "truncated; this finding may be spurious or the trace may hide others"
+)
+
+
+def downgrade_incomplete(f: Finding) -> Finding:
+    """Info-severity copy of ``f`` carrying the truncation caveat."""
+    return Finding(
+        code=f.code,
+        severity="info",
+        message=f"{f.message} [{INCOMPLETE_NOTE}]",
+        sites=f.sites,
+        sections=f.sections,
+        prediction=f.prediction,
+        data={**f.data, "analysis_incomplete": True},
+    )
+
+
+def _attribution(ra: RaceAnalysis, addrs: list[int], cap: int = 3) -> list[str]:
+    """Functions whose transitive footprint reaches any sample address."""
+    if ra.callgraph is None:
+        return []
+    names: set[str] = set()
+    for addr in addrs[:cap]:
+        names.update(ra.callgraph.functions_touching(addr))
+    return sorted(names)
+
+
+def _check_asymmetric(
+    ir: ProgramIR,
+    table: dict[int, dict[int, _ThreadAccess]],
+    ra: RaceAnalysis,
+) -> list[Finding]:
+    #: lock word -> (addrs, sites, sections, tid pairs)
+    by_lock: dict[int, tuple[set[int], set[int], set[str], set[tuple[int, int]]]] = {}
+    for addr, per_tid in table.items():
+        for ta in per_tid.values():
+            txn_epochs = ta.txn_read | ta.txn_write
+            if not txn_epochs:
+                continue
+            for other in per_tid.values():
+                if other.tid == ta.tid:
+                    continue
+                for lock in set(other.locked_read) | set(other.locked_write):
+                    le = other.locked_read.get(lock, set()) | other.locked_write.get(
+                        lock, set()
+                    )
+                    if not (txn_epochs & le):
+                        continue
+                    writes = bool(
+                        ta.txn_write
+                        or other.locked_write.get(lock)
+                    )
+                    if not writes:
+                        continue
+                    if _subscribes(ir, ta.tid, addr, lock):
+                        continue
+                    sites, names, _ = _txn_sites_for(ir, ta.tid, addr)
+                    entry = by_lock.setdefault(lock, (set(), set(), set(), set()))
+                    entry[0].add(addr)
+                    entry[1].update(sites)
+                    entry[2].update(names)
+                    entry[3].add((ta.tid, other.tid))
+    out: list[Finding] = []
+    for lock in sorted(by_lock):
+        addrs, sites, names, pairs = by_lock[lock]
+        sample = sorted(addrs)
+        out.append(_finding(
+            CODE_ASYMMETRIC,
+            f"{len(addrs)} word(s) are accessed transactionally in "
+            f"section(s) {', '.join(sorted(names)) or '?'} and under the "
+            f"unsubscribed lock 0x{lock:x} by another thread in the same "
+            "barrier epoch; the transaction neither aborts nor waits while "
+            "the lock is held, so it can observe (or publish) a "
+            "half-updated structure",
+            sites=tuple(sorted(sites)),
+            sections=tuple(sorted(names)),
+            lock=lock,
+            addrs=sample[:16],
+            n_addrs=len(addrs),
+            thread_pairs=sorted(pairs)[:8],
+            functions=_attribution(ra, sample),
+        ))
+    return out
+
+
+def _check_elision_unsafe(
+    ir: ProgramIR,
+    table: dict[int, dict[int, _ThreadAccess]],
+    ra: RaceAnalysis,
+) -> list[Finding]:
+    racy: set[int] = set()
+    sites: set[int] = set()
+    names: set[str] = set()
+    for addr, per_tid in table.items():
+        hit = False
+        for ta in per_tid.values():
+            prot_r = set(ta.txn_read)
+            for epochs in ta.locked_read.values():
+                prot_r |= epochs
+            prot_w = set(ta.txn_write)
+            for epochs in ta.locked_write.values():
+                prot_w |= epochs
+            if not (prot_r or prot_w):
+                continue
+            for other in per_tid.values():
+                if other.tid == ta.tid:
+                    continue
+                # a write on at least one side
+                if (prot_w & (other.bare_read | other.bare_write)) or (
+                    (prot_r | prot_w) & other.bare_write
+                ):
+                    hit = True
+                    s, n, _ = _txn_sites_for(ir, ta.tid, addr)
+                    sites |= s
+                    names |= n
+            if hit:
+                break
+        if hit:
+            racy.add(addr)
+    if not racy:
+        return []
+    sample = sorted(racy)
+    return [_finding(
+        CODE_ELISION_UNSAFE,
+        f"{len(racy)} shared word(s) are reachable with an empty lockset: "
+        "one thread accesses them outside both any transaction and any "
+        "lock while another thread holds them protected in the same "
+        "barrier epoch; the unprotected access never aborts, waits, or "
+        "serializes",
+        sites=tuple(sorted(sites)),
+        sections=tuple(sorted(names)),
+        addrs=sample[:16],
+        n_addrs=len(racy),
+        functions=_attribution(ra, sample),
+    )]
+
+
+def _check_lock_footprint(
+    ir: ProgramIR,
+    table: dict[int, dict[int, _ThreadAccess]],
+    ws: WorkloadSummary | None,
+    ra: RaceAnalysis,
+) -> list[Finding]:
+    if not ir.lock_addr:
+        return []
+    lock_line = line_of(ir.lock_addr)
+    offenders: set[int] = set()
+    written: set[int] = set()
+    for addr, per_tid in table.items():
+        if addr == ir.lock_addr or line_of(addr) != lock_line:
+            continue
+        offenders.add(addr)
+        if any(ta.writes for ta in per_tid.values()):
+            written.add(addr)
+    # single-thread words never enter `table`'s shared view above — scan
+    # raw traces too so a lone stats counter next to the lock still trips
+    for t in ir.threads:
+        for src in (t.in_writes, t.out_writes):
+            for addr in src:
+                if addr != ir.lock_addr and addr not in t.lock_words \
+                        and line_of(addr) == lock_line:
+                    offenders.add(addr)
+                    written.add(addr)
+        for src_r in (t.in_reads, t.out_reads):
+            for addr in src_r:
+                if addr != ir.lock_addr and addr not in t.lock_words \
+                        and line_of(addr) == lock_line:
+                    offenders.add(addr)
+    if not written:
+        # read-only neighbours never invalidate the subscribers' line
+        return []
+    all_sites: set[int] = set()
+    all_names: set[str] = set()
+    for t in ir.threads:
+        for region in t.regions:
+            all_sites.add(region.site)
+            all_names.add(region.name)
+    sample = sorted(offenders)
+    return [_finding(
+        CODE_LOCK_FOOTPRINT,
+        f"{len(offenders)} non-lock word(s) share the fallback lock's "
+        f"cache line {lock_line:#x} and {len(written)} of them are "
+        "written; every transaction subscribes to that line after xbegin, "
+        "so each write aborts all concurrent speculation (the lock word "
+        "itself is exempt — subscribing to it is the elision protocol)",
+        sites=tuple(sorted(all_sites)),
+        sections=tuple(sorted(all_names)),
+        lock_addr=ir.lock_addr,
+        lock_line=lock_line,
+        addrs=sample[:16],
+        written=sorted(written)[:16],
+        n_addrs=len(offenders),
+        functions=_attribution(ra, sample),
+    )]
+
+
+__all__ = [
+    "AddrSet",
+    "CallGraph",
+    "FunctionFootprint",
+    "RaceAnalysis",
+    "StridedInterval",
+    "WordClass",
+    "analyze_races",
+    "downgrade_incomplete",
+    "infer_intervals",
+    "CODE_ASYMMETRIC",
+    "CODE_ELISION_UNSAFE",
+    "CODE_LOCK_FOOTPRINT",
+    "INCOMPLETE_NOTE",
+]
+
+# keep the imported CODES referenced: the codes above must stay wired in
+assert all(c in CODES for c in (CODE_ASYMMETRIC, CODE_ELISION_UNSAFE, CODE_LOCK_FOOTPRINT))

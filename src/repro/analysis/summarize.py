@@ -72,6 +72,9 @@ class WorkloadSummary:
     threads: list[ThreadTrace] = field(default_factory=list)
     #: associativity sets in the modeled write buffer (engine formula)
     n_sets: int = 1
+    #: the runtime's global fallback lock word (0 = unknown), forwarded
+    #: from :class:`~repro.analysis.ir.ProgramIR` for the lockset pass
+    lock_addr: int = 0
     truncated: bool = False
 
     def section_list(self) -> list[SectionSummary]:
@@ -100,6 +103,7 @@ def summarize(ir: ProgramIR) -> WorkloadSummary:
         config=cfg,
         threads=ir.threads,
         n_sets=n_sets,
+        lock_addr=ir.lock_addr,
         truncated=ir.truncated,
     )
     for trace in ir.threads:

@@ -143,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: error)")
     p.add_argument("--static-only", action="store_true",
                    help="skip the dynamic cross-validation run")
+    p.add_argument("--races", action="store_true",
+                   help="run the interprocedural lockset race pass "
+                        "(repro.analysis.races): asymmetric-fallback-race, "
+                        "elision-unsafe-access, lock-footprint-conflict")
+    p.add_argument("--predict-tree", action="store_true", dest="predict_tree",
+                   help="statically predict Figure 1 decision-tree leaves "
+                        "per TM_BEGIN site; with cross-validation, score "
+                        "them against the dynamic traversal")
+    p.add_argument("--sarif", metavar="PATH",
+                   help="also write every finding as a SARIF 2.1.0 log "
+                        "(GitHub code-scanning compatible)")
     _add_common(p)
 
     p = sub.add_parser("run", help="run a workload under TxSampler "
@@ -359,19 +370,28 @@ def cmd_check(args) -> int:
     import json
 
     from .analysis import analyze_workload, cross_validate, severity_rank
-    from .core.report import render_analysis, render_crossval
+    from .core.report import (
+        render_analysis,
+        render_crossval,
+        render_prediction,
+        render_races,
+    )
 
     names = _check_names(args.workloads)
     threshold = severity_rank(args.fail_on)
     crashed: list[str] = []
     unexpected: list[str] = []
     docs: dict = {}
+    reports: list = []
     for i, name in enumerate(names):
         try:
             cls = htmbench.WORKLOADS.get(name)
             expected = set(getattr(cls, "expected_findings", ()) or ())
             report = analyze_workload(name, n_threads=args.threads,
-                                      scale=args.scale, seed=args.seed)
+                                      scale=args.scale, seed=args.seed,
+                                      races=args.races,
+                                      predict=args.predict_tree)
+            reports.append(report)
             cv = None
             if not args.static_only:
                 cv = cross_validate(name, n_threads=args.threads,
@@ -405,9 +425,22 @@ def cmd_check(args) -> int:
                 _log.info(f"documented findings  : {sorted(expected)}")
             if surprises:
                 _log.info(f"UNEXPECTED (>= {args.fail_on}): {surprises}")
+            if report.races is not None:
+                _log.info("")
+                _log.info(render_races(report.races))
+            if report.prediction is not None:
+                _log.info("")
+                _log.info(render_prediction(report.prediction))
             if cv is not None:
                 _log.info("")
                 _log.info(render_crossval(cv))
+    if args.sarif:
+        from .analysis import to_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            json.dump(to_sarif(reports), fh, indent=2, sort_keys=True)
+        # status goes to stderr so --json stdout stays machine-parseable
+        print(f"SARIF log written to {args.sarif}", file=sys.stderr)
     if args.as_json:
         _log.info(json.dumps({
             "fail_on": args.fail_on,

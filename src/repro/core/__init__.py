@@ -9,7 +9,7 @@ report renderers (the GUI's panes).
 from . import metrics
 from .analyzer import CsReport, Profile, ProgramSummary
 from .categorize import TYPE_I, TYPE_II, TYPE_III, Category, categorize
-from .decision_tree import DecisionTree, Guidance, Step, Thresholds
+from .decision_tree import DecisionTree, Guidance, Leaf, Step, Thresholds
 from .export import load_profile, load_run_metrics, merge_databases, save_profile
 from .profiler import TxSampler
 from .report import (
@@ -28,6 +28,7 @@ __all__ = [
     "ProgramSummary",
     "DecisionTree",
     "Guidance",
+    "Leaf",
     "Step",
     "Thresholds",
     "categorize",

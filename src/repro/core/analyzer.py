@@ -97,7 +97,7 @@ class CsReport:
             m.T_WAIT: self.T_wait,
             m.T_OH: self.T_oh,
         }
-        return max(comps, key=comps.get)
+        return max(comps, key=lambda c: comps[c])
 
     def time_fractions(self) -> dict[str, float]:
         """Each component as a fraction of this section's T."""

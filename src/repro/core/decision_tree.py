@@ -23,9 +23,43 @@ red dotted path of Figure 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from enum import Enum
 
 from . import metrics as m
 from .analyzer import CsReport, Profile, ProgramSummary
+
+
+class Leaf(str, Enum):
+    """Terminal outcomes of the Figure 1 traversal.
+
+    Each value is a stable identifier shared by the dynamic traversal
+    (:meth:`DecisionTree.analyze` / :meth:`DecisionTree.analyze_cs`) and
+    the static predictor (``repro.analysis.predict``), so cross-validation
+    compares leaf *identities* rather than substrings of free-form step
+    text.  The string values appear verbatim in JSON reports and golden
+    files; treat them as a public interface.
+    """
+
+    #: time analysis: r_cs below threshold, transactions are cold
+    NO_HTM_BOTTLENECK = "no-htm-bottleneck"
+    #: no critical sections were sampled at all
+    NO_SECTIONS = "no-sections"
+    #: begin/end overhead dominates: merge small transactions
+    MERGE_TRANSACTIONS = "merge-transactions"
+    #: lock waiting dominates: relax the serialization algorithm
+    RELAX_SERIALIZATION = "relax-serialization"
+    #: conflict aborts from true sharing: redesign/shrink/split
+    TRUE_SHARING = "true-sharing"
+    #: conflict aborts from false sharing: relocate/pad data
+    FALSE_SHARING = "false-sharing"
+    #: capacity aborts: shrink/split transactions, improve locality
+    CAPACITY_OVERFLOW = "capacity-overflow"
+    #: synchronous aborts: move unfriendly instructions out
+    UNFRIENDLY_INSTRUCTIONS = "unfriendly-instructions"
+    #: speculation succeeds; no transaction-level pathology
+    SPECULATION_OK = "speculation-ok"
+    #: abort analysis requested but no abort weight was sampled
+    NO_ABORT_WEIGHT = "no-abort-weight"
 
 
 @dataclass
@@ -43,7 +77,13 @@ class Guidance:
 
     steps: list[Step] = field(default_factory=list)
     suggestions: list[str] = field(default_factory=list)
+    leaves: list[Leaf] = field(default_factory=list)
     cs: CsReport | None = None
+    #: sampled sharing events behind a true/false-sharing leaf, or None
+    #: when the conflict branch was never taken.  Zero means the sharing
+    #: leaf is the tree's *default guess*, not an observation — consumers
+    #: validating against the traversal should treat it accordingly.
+    sharing_samples: float | None = None
 
     def step(self, node: str, finding: str, detail: str = "") -> None:
         self.steps.append(Step(node, finding, detail))
@@ -51,11 +91,21 @@ class Guidance:
     def suggest(self, *texts: str) -> None:
         self.suggestions.extend(texts)
 
+    def reach(self, leaf: Leaf) -> None:
+        """Record arrival at a terminal ``leaf`` (idempotent)."""
+        if leaf not in self.leaves:
+            self.leaves.append(leaf)
+
+    def leaf_values(self) -> list[str]:
+        return [leaf.value for leaf in self.leaves]
+
     def render(self) -> str:
         lines = ["Decision-tree traversal:"]
         for i, s in enumerate(self.steps, 1):
             detail = f" ({s.detail})" if s.detail else ""
             lines.append(f"  ({i}) {s.node}: {s.finding}{detail}")
+        if self.leaves:
+            lines.append(f"Leaves: {', '.join(self.leaf_values())}")
         if self.suggestions:
             lines.append("Suggestions:")
             for s in self.suggestions:
@@ -97,7 +147,22 @@ class DecisionTree:
         cs = profile.hottest_cs()
         if cs is None:
             g.step("time", "no critical sections sampled")
+            g.reach(Leaf.NO_SECTIONS)
             return g
+        g.cs = cs
+        self._decompose(g, cs)
+        return g
+
+    def analyze_cs(self, cs: CsReport) -> Guidance:
+        """Traverse stages 2-3 for one critical section.
+
+        Skips the program-level time analysis (the caller already decided
+        this section matters) and runs the per-section decomposition and
+        abort analysis, recording the same steps and leaves as
+        :meth:`analyze` would for the hottest section.  This is what the
+        static predictor's cross-validation drives per TM_BEGIN site.
+        """
+        g = Guidance()
         g.cs = cs
         self._decompose(g, cs)
         return g
@@ -113,6 +178,7 @@ class DecisionTree:
                 "no HTM-related bottleneck; optimizing transactions "
                 "would gain little",
             )
+            g.reach(Leaf.NO_HTM_BOTTLENECK)
             return False
         g.step("time-analysis", f"T/W = {r:.1%}: critical sections are hot")
         return True
@@ -135,6 +201,7 @@ class DecisionTree:
                 "Merge multiple small transactions into a larger one to "
                 "amortize begin/end overhead"
             )
+            g.reach(Leaf.MERGE_TRANSACTIONS)
             acted = True
         if fr[m.T_WAIT] >= self.th.dominant:
             g.step("large-T_wait", f"lock waiting is {fr[m.T_WAIT]:.0%} of T")
@@ -142,6 +209,7 @@ class DecisionTree:
                 "Relax the serialization algorithm (e.g. elide read locks, "
                 "use fine-grained locks to serialize)"
             )
+            g.reach(Leaf.RELAX_SERIALIZATION)
             self._abort_analysis(g, cs)
             acted = ran_abort_analysis = True
         elif fr[m.T_FB] >= self.th.dominant:
@@ -165,12 +233,14 @@ class DecisionTree:
                 f"speculative path dominates ({fr[m.T_TX]:.0%}); "
                 "no transaction-level pathology",
             )
+            g.reach(Leaf.SPECULATION_OK)
 
     # -- stage 3: abort analysis ------------------------------------------------------
 
     def _abort_analysis(self, g: Guidance, cs: CsReport) -> None:
         if not cs.abort_weight:
             g.step("abort-analysis", "no abort weight sampled")
+            g.reach(Leaf.NO_ABORT_WEIGHT)
             return
         g.step(
             "abort-analysis",
@@ -184,6 +254,7 @@ class DecisionTree:
         )
         if r_conf >= self.th.cause_share:
             sharing_total = cs.true_sharing + cs.false_sharing
+            g.sharing_samples = sharing_total
             if (
                 sharing_total
                 and cs.false_sharing / sharing_total >= self.th.false_share
@@ -198,6 +269,7 @@ class DecisionTree:
                     "(pad/align per-thread data)",
                     "Relocate data based on threads (partition by owner)",
                 )
+                g.reach(Leaf.FALSE_SHARING)
             else:
                 g.step("shared-data-contention", "conflicts from true sharing")
                 g.suggest(
@@ -206,6 +278,7 @@ class DecisionTree:
                     "Split transactions so independent updates commit "
                     "separately",
                 )
+                g.reach(Leaf.TRUE_SHARING)
         if r_cap >= self.th.cause_share:
             g.step("footprint-large", "capacity aborts dominate the weight")
             g.suggest(
@@ -214,11 +287,13 @@ class DecisionTree:
                 "Relocate data to shared cache lines (improve locality of "
                 "the working set)",
             )
+            g.reach(Leaf.CAPACITY_OVERFLOW)
         if r_sync >= self.th.cause_share:
             g.step(
                 "unfriendly-instructions",
                 "synchronous aborts dominate the weight",
             )
+            g.reach(Leaf.UNFRIENDLY_INSTRUCTIONS)
             g.suggest(
                 "Move unfriendly instructions/calls (system calls, page "
                 "faults) out of the transaction",

@@ -58,7 +58,7 @@ def _node_from_dict(data: dict, parent: CCTNode) -> None:
 
 def _symbols_for(profile: Profile) -> dict[str, str]:
     """Function names for every code address the profile references."""
-    addrs = set()
+    addrs: set[int] = set()
     for node in profile.root.walk():
         key = node.key
         if key[0] == "call":

@@ -31,6 +31,7 @@ from ..shadow.memory import ShadowMemory, TRUE_SHARING as SH_TRUE
 from . import metrics as m
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..rtm.runtime import RTMRuntime
     from ..sim.engine import Simulator
 
 from .analyzer import Profile
@@ -43,7 +44,7 @@ class TxSampler:
     def __init__(self, contention_threshold: int = 50_000) -> None:
         self.contention_threshold = contention_threshold
         self.sim: "Simulator" | None = None
-        self.rtm = None
+        self.rtm: "RTMRuntime" | None = None
         self.roots: list[CCTNode] = []
         self.shadow = ShadowMemory(contention_threshold)
         self.samples_seen: dict[str, int] = {}
@@ -73,6 +74,7 @@ class TxSampler:
             self._on_mem(s)
 
     def _on_cycles(self, s: Sample) -> None:
+        assert self.rtm is not None, "profiler was never attached"
         root = self.roots[s.tid]
         # query the runtime's thread-private state word (§3.2)
         state = self.rtm.query_state(s.tid)
@@ -136,7 +138,7 @@ class TxSampler:
         """Merge the per-thread profiles (reduction tree, §6) and return
         the aggregate :class:`~repro.core.analyzer.Profile`."""
         if self._profile is None:
-            if self.sim is None:
+            if self.sim is None or self.rtm is None:
                 raise RuntimeError("profiler was never attached")
             merged = merge_profiles(self.roots)
             self.roots = []  # consumed by the merge

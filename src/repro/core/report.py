@@ -20,16 +20,20 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..cct.tree import CCTNode
+from ..cct.tree import CCTNode, Key
 from ..sim.program import REGISTRY
 from . import metrics as m
 from .analyzer import CsReport, Profile
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.crossval import CrossValidation
+    from ..analysis.lint import AnalysisReport
+    from ..analysis.predict import StaticPrediction
+    from ..analysis.races import RaceAnalysis
     from ..obs.selfprof import SelfDiagnostics
 
 
-def _describe_key(key, site_names: dict[int, str]) -> str:
+def _describe_key(key: Key, site_names: dict[int, str]) -> str:
     kind = key[0]
     if kind == "root":
         return "<thread root>"
@@ -170,11 +174,11 @@ def render_self_diagnostics(diag: "SelfDiagnostics") -> str:
     return "\n".join(lines)
 
 
-def render_analysis(report) -> str:
+def render_analysis(report: "AnalysisReport") -> str:
     """The static-analysis pane: ``repro.analysis`` findings for a workload.
 
-    ``report`` is a :class:`repro.analysis.AnalysisReport` (typed loosely
-    to keep ``repro.core`` importable without the analysis package).
+    The annotation is deferred (``TYPE_CHECKING``) to keep ``repro.core``
+    importable without the analysis package.
     """
     lines = [f"=== static analysis: {report.workload} ==="]
     if report.truncated:
@@ -196,11 +200,57 @@ def render_analysis(report) -> str:
     return "\n".join(lines)
 
 
-def render_crossval(cv) -> str:
-    """The cross-validation pane: static predictions vs the dynamic run.
+def render_races(ra: "RaceAnalysis") -> str:
+    """The lockset pane: ``repro.analysis.races`` results for a workload.
 
-    ``cv`` is a :class:`repro.analysis.CrossValidation`.
+    Race findings themselves are merged into the main findings pane; this
+    pane shows the classification and interprocedural evidence behind them.
     """
+    lines = [f"=== lockset race analysis: {ra.workload} ==="]
+    if ra.truncated:
+        lines.append("  (symbolic drive truncated: findings downgraded "
+                     "to info, analysis incomplete)")
+    locks = ", ".join(f"{w:#x}" for w in ra.lock_words) or "none"
+    lines.append(f"lock words           : {locks} "
+                 f"(fallback lock {ra.lock_addr:#x})")
+    counts = ra.classification_counts()
+    summary = ", ".join(f"{k}={v}" for k, v in counts.items())
+    lines.append(f"shared-word locksets : {summary} "
+                 f"({len(ra.words)} shared word(s))")
+    if ra.callgraph is not None:
+        cg = ra.callgraph
+        widened = sum(
+            1 for fp in cg.functions.values()
+            if fp.reads.widened or fp.writes.widened
+        )
+        roots = ", ".join(cg.roots()[:6]) or "none"
+        lines.append(f"call graph           : {len(cg.functions)} "
+                     f"function(s), {len(cg.edges)} edge(s), "
+                     f"{widened} widened footprint(s); roots: {roots}")
+    n_races = len(ra.findings)
+    lines.append(f"{n_races} race finding(s)" if n_races else
+                 "no races: every shared word carries a consistent lockset")
+    return "\n".join(lines)
+
+
+def render_prediction(sp: "StaticPrediction") -> str:
+    """The static decision-tree pane: predicted Figure 1 leaves per site."""
+    lines = [f"=== static decision-tree prediction: {sp.workload} ==="]
+    if sp.incomplete:
+        lines.append("  (symbolic drive truncated: predictions are "
+                     "low-confidence)")
+    program = ", ".join(sp.program_leaves) or "sections are hot"
+    lines.append(f"est r_cs             : {sp.est_r_cs:.1%} ({program})")
+    for p in sorted(sp.sites.values(), key=lambda p: p.site):
+        leaves = ", ".join(p.leaves)
+        lines.append(f"  {p.name} @ {p.site:#x}: {leaves}")
+        for why in p.rationale:
+            lines.append(f"    - {why}")
+    return "\n".join(lines)
+
+
+def render_crossval(cv: "CrossValidation") -> str:
+    """The cross-validation pane: static predictions vs the dynamic run."""
     lines = [f"=== static vs dynamic cross-validation: {cv.workload} ==="]
     lines.append(
         f"agreement            : {cv.agreement:.1%} "
@@ -229,6 +279,41 @@ def render_crossval(cv) -> str:
         f"{cls}={n:.0f}" for cls, n in sorted(cv.sampled_aborts.items())
     )
     lines.append(f"sampled abort events : {sampled or 'none'}")
+    if cv.prediction is not None:
+        lp, lr = cv.leaf_precision_recall()
+        cp, cr = cv.class_precision_recall()
+        lines.append("--- decision-tree leaf agreement ---")
+        lines.append(
+            f"leaf agreement       : {cv.leaf_agreement:.1%} "
+            f"({cv.leaf_cells} scored cell(s)); micro P/R "
+            f"{lp:.1%}/{lr:.1%} vs abort-class {cp:.1%}/{cr:.1%}"
+        )
+        header = (f"  {'leaf':24s} {'tp':>4s} {'fp':>4s} {'fn':>4s} "
+                  f"{'precision':>10s} {'recall':>8s}")
+        lines.append(header)
+        for leaf, check in cv.leaf_checks.items():
+            lines.append(
+                f"  {leaf:24s} {check.tp:4d} {check.fp:4d} {check.fn:4d} "
+                f"{check.precision:10.1%} {check.recall:8.1%}"
+            )
+        unscored = sorted(
+            (cv.site_names.get(site, f"{site:#x}"), sorted(leaves))
+            for site, leaves in cv.leaf_unscored.items()
+        )
+        for name, leaves in unscored:
+            lines.append(f"  unscored {name}: {', '.join(leaves)} "
+                         "(oracle sampled no sharing evidence)")
+        leaf_dis = cv.leaf_disagreements()
+        if leaf_dis:
+            lines.append("leaf disagreements:")
+            for d in leaf_dis:
+                side = ("static predicts, dynamic did not reach"
+                        if d["static"] else
+                        "dynamic reached, static did not predict")
+                lines.append(f"  {d['section']} / {d['leaf']}: {side}")
+        else:
+            lines.append("no leaf disagreements: the static predictor "
+                         "reaches the traversal's leaves")
     return "\n".join(lines)
 
 

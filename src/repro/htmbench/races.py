@@ -1,0 +1,198 @@
+"""Race-hazard reproducers for the lockset pass (``check --races``).
+
+Three microbenchmarks, each engineered to trip exactly one of the
+lockset finding codes of :mod:`repro.analysis.races`:
+
+* ``micro_fallback_race`` — one thread updates a two-word record under a
+  *hand-rolled* spin lock while the others read the record
+  transactionally.  The transactions never load the custom lock word, so
+  they are not subscribed to it: speculation neither aborts nor waits
+  while the lock is held and can observe the record mid-update
+  (``asymmetric-fallback-race``).  The runtime's own fallback lock is
+  immune — every transaction subscribes to it right after ``xbegin``.
+
+* ``micro_elision_unsafe`` — one thread updates the shared record with
+  *no* protection at all (empty lockset) while the others access it
+  transactionally (``elision-unsafe-access``).
+
+* ``micro_lock_line`` — a stats counter deliberately placed in the
+  padding of the global fallback lock's cache line and bumped
+  non-transactionally.  Every transaction subscribes to that line, so
+  each bump aborts all concurrent speculation
+  (``lock-footprint-conflict``, observable as conflict aborts in the
+  dynamic profile).  The lock word itself is exempt — subscribing to it
+  is the elision protocol, not a bug.
+
+All three are honest races *of the workload*, not of the runtime; they
+document what the analyzer is for and anchor its golden tests.
+"""
+
+from __future__ import annotations
+
+from ..sim.memory import WORD
+from ..sim.program import simfn
+from ..dslib.array import IntArray
+from .base import Workload, register
+
+
+# ------------------------------------------------- asymmetric-fallback-race
+
+
+@simfn
+def races_spin_writer(ctx, lock_addr: int, arr: IntArray, iters: int):
+    """Update a two-word record under a hand-rolled TTAS spin lock.
+
+    The two stores are atomic for every thread that takes this lock —
+    and for nobody else: a transaction that does not subscribe to
+    ``lock_addr`` can commit between them.
+    """
+    for _ in range(iters):
+        while True:
+            held = yield from ctx.load(lock_addr)
+            if held == 0:
+                ok = yield from ctx.cas(lock_addr, 0, ctx.tid + 1)
+                if ok:
+                    break
+            yield from ctx.compute(60)
+        v = yield from arr.get(ctx, 0)
+        yield from arr.set(ctx, 0, v + 1)
+        yield from ctx.compute(40)        # the record is torn right here
+        yield from arr.set(ctx, 1, v + 1)
+        yield from ctx.store(lock_addr, 0)
+        yield from ctx.compute(200)
+
+
+@simfn
+def races_txn_reader(ctx, arr: IntArray, iters: int):
+    """Read the record transactionally — without reading the spin lock."""
+    for _ in range(iters):
+        def body(c):
+            a = yield from arr.get(c, 0)
+            b = yield from arr.get(c, 1)
+            yield from c.compute(40)
+            return a + b
+        yield from ctx.atomic(body, name="race_pair_read")
+        yield from ctx.compute(80)
+
+
+@register
+class MicroFallbackRace(Workload):
+    name = "micro_fallback_race"
+    suite = "micro"
+    expected_type = "II"
+    description = ("hand-rolled lock writer vs unsubscribed transactional "
+                   "readers: the asymmetric race of lock elision")
+    expected_findings = (
+        "asymmetric-fallback-race",
+        "unprotected-shared-access",
+    )
+
+    def build(self, sim, n_threads, scale, rng):
+        lock_addr = sim.memory.alloc_line()      # the custom lock's own line
+        arr = IntArray(sim.memory, 2, line_per_element=False)
+        iters = self.iters(150, scale)
+        programs = [(races_spin_writer, (lock_addr, arr, iters), {})]
+        programs += [
+            (races_txn_reader, (arr, iters), {})
+        ] * max(1, n_threads - 1)
+        return programs[:n_threads] if n_threads > 1 else programs
+
+
+# --------------------------------------------------- elision-unsafe-access
+
+
+@simfn
+def races_bare_writer(ctx, arr: IntArray, iters: int):
+    """Update the shared record with an empty lockset: no transaction,
+    no lock — nothing serializes this against anybody."""
+    for _ in range(iters):
+        v = yield from arr.get(ctx, 0)
+        yield from arr.set(ctx, 0, v + 1)
+        yield from arr.set(ctx, 1, v + 1)
+        yield from ctx.compute(180)
+
+
+@simfn
+def races_txn_updater(ctx, arr: IntArray, iters: int):
+    """Update the record transactionally (protected, as intended)."""
+    for _ in range(iters):
+        def body(c):
+            a = yield from arr.get(c, 0)
+            yield from arr.set(c, 1, a)
+            yield from c.compute(30)
+        yield from ctx.atomic(body, name="race_guarded_update")
+        yield from ctx.compute(90)
+
+
+@register
+class MicroElisionUnsafe(Workload):
+    name = "micro_elision_unsafe"
+    suite = "micro"
+    expected_type = "II"
+    description = ("bare writer vs transactional updaters on one record: "
+                   "a shared word reachable with an empty lockset")
+    expected_findings = (
+        "elision-unsafe-access",
+        "unprotected-shared-access",
+        "cross-section-conflict",
+    )
+
+    def build(self, sim, n_threads, scale, rng):
+        arr = IntArray(sim.memory, 2, line_per_element=False)
+        iters = self.iters(150, scale)
+        programs = [(races_bare_writer, (arr, iters), {})]
+        programs += [
+            (races_txn_updater, (arr, iters), {})
+        ] * max(1, n_threads - 1)
+        return programs[:n_threads] if n_threads > 1 else programs
+
+
+# --------------------------------------------------- lock-footprint-conflict
+
+
+@simfn
+def races_lock_line_stats(ctx, stats_addr: int, iters: int):
+    """Bump a counter that (deliberately) lives on the fallback lock's
+    cache line — every bump invalidates the line every transaction
+    subscribes to."""
+    for _ in range(iters):
+        v = yield from ctx.load(stats_addr)
+        yield from ctx.store(stats_addr, v + 1)
+        yield from ctx.compute(120)
+
+
+@simfn
+def races_lock_line_txn(ctx, arr: IntArray, iters: int):
+    """Perfectly private transactional counters — speculation would
+    always succeed, were the lock line left alone."""
+    idx = ctx.tid
+    for _ in range(iters):
+        def body(c, i=idx):
+            yield from arr.add(c, i)
+            yield from c.compute(50)
+        yield from ctx.atomic(body, name="lock_line_bump")
+        yield from ctx.compute(60)
+
+
+@register
+class MicroLockLine(Workload):
+    name = "micro_lock_line"
+    suite = "micro"
+    expected_type = "III"
+    description = ("a stats counter in the fallback lock's cacheline "
+                   "padding: every write aborts all speculation")
+    expected_findings = ("lock-footprint-conflict",)
+
+    def build(self, sim, n_threads, scale, rng):
+        # the runtime allocates the lock with alloc_line(), so the rest
+        # of its line is reserved padding nobody else can be handed —
+        # exactly where a "harmless" diagnostics counter ends up when a
+        # struct packs it next to the lock word
+        stats_addr = sim.rtm.lock.addr + WORD
+        arr = IntArray(sim.memory, max(1, n_threads), line_per_element=True)
+        iters = self.iters(200, scale)
+        programs = [(races_lock_line_stats, (stats_addr, iters), {})]
+        programs += [
+            (races_lock_line_txn, (arr, iters), {})
+        ] * max(1, n_threads - 1)
+        return programs[:n_threads] if n_threads > 1 else programs

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate tests/golden/crossval_baseline.json.
+
+Runs the full ``--races --predict-tree`` analysis plus dynamic
+cross-validation over every micro-suite workload and records both
+scoring panes.  Re-run after an *intentional* analyzer change:
+
+    PYTHONPATH=src python tests/golden/regen_crossval_baseline.py
+
+and review the diff — the leaf-agreement pane must stay at least as
+precise as the abort-class pane (tests/test_golden_baseline.py).
+"""
+
+import json
+from pathlib import Path
+
+import repro.htmbench as hb
+from repro.analysis import analyze_workload, cross_validate
+
+N_THREADS = 4
+SCALE = 0.5
+OUT = Path(__file__).resolve().parent / "crossval_baseline.json"
+
+
+def build() -> dict:
+    doc = {
+        "_comment": (
+            "Golden cross-validation baseline over the micro suite "
+            "(analyze_workload(races=True, predict=True) + dynamic "
+            "profile). Regenerate with this directory's "
+            "regen_crossval_baseline.py after an intentional analyzer "
+            "change; the leaf pane must stay >= the abort-class pane."
+        ),
+        "n_threads": N_THREADS,
+        "scale": SCALE,
+        "workloads": {},
+    }
+    for name in hb.workload_names("micro"):
+        report = analyze_workload(
+            name, n_threads=N_THREADS, scale=SCALE, races=True, predict=True
+        )
+        cv = cross_validate(name, n_threads=N_THREADS, scale=SCALE,
+                            report=report)
+        cp, cr = cv.class_precision_recall()
+        lp, lr = cv.leaf_precision_recall()
+        doc["workloads"][name] = {
+            "agreement": round(cv.agreement, 4),
+            "class_precision": round(cp, 4),
+            "class_recall": round(cr, 4),
+            "leaf_agreement": round(cv.leaf_agreement, 4),
+            "leaf_precision": round(lp, 4),
+            "leaf_recall": round(lr, 4),
+            "leaf_cells": cv.leaf_cells,
+        }
+        print(f"{name:24s} class P/R {cp:.2f}/{cr:.2f}  "
+              f"leaf P/R {lp:.2f}/{lr:.2f}  cells {cv.leaf_cells}")
+    return doc
+
+
+if __name__ == "__main__":
+    doc = build()
+    OUT.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")

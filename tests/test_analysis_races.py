@@ -1,0 +1,297 @@
+"""Golden tests for the interprocedural lockset pass and the static
+decision-tree predictor.
+
+The three race microbenchmarks in :mod:`repro.htmbench.races` were built
+to trip exactly one lockset finding code each; these tests pin that
+behaviour down, including the two subtleties the pass exists for:
+
+* the runtime's own fallback lock is *correctly elided* — its word must
+  be reported as a detected lock and **suppressed** as a data word (no
+  false positive on the elision protocol itself);
+* a non-lock word on the fallback lock's cache line *is* a finding.
+
+Truncated drives must downgrade race findings to info severity with an
+explicit "analysis incomplete" note (never silently report low-
+confidence errors), and the static predictor must mark its leaves
+incomplete the same way.
+"""
+
+import repro.htmbench  # noqa: F401
+from repro.analysis import (
+    CODES,
+    AnalysisLimits,
+    analyze_workload,
+    extract_workload,
+    predict_workload,
+    summarize,
+    to_sarif,
+)
+from repro.analysis.races import INCOMPLETE_NOTE, analyze_races
+from repro.core.decision_tree import Leaf
+from repro.sim.memory import WORD
+
+N = 4
+SCALE = 0.5
+
+
+def _report(name, **kw):
+    kw.setdefault("n_threads", N)
+    kw.setdefault("scale", SCALE)
+    return analyze_workload(name, races=True, **kw)
+
+
+def _codes(report):
+    return {f.code for f in report.findings}
+
+
+class TestLocksetClassification:
+    def test_fallback_race_detected(self):
+        report = _report("micro_fallback_race")
+        ra = report.races
+        findings = [f for f in report.findings
+                    if f.code == "asymmetric-fallback-race"]
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.severity == "error"
+        assert f.prediction == "conflict"
+        # the implicated lock is the hand-rolled one, not the runtime's
+        assert f.data["lock"] != ra.lock_addr
+        assert f.data["lock"] in ra.lock_words
+        # both record words race, at the reader's TM_BEGIN site
+        assert f.data["n_addrs"] == 2
+        assert f.sites and f.sections == ("race_pair_read",)
+        # interprocedural attribution names both sides of the race
+        assert any("races_spin_writer" in fn for fn in f.data["functions"])
+        assert any("races_txn_reader" in fn for fn in f.data["functions"])
+
+    def test_fallback_race_word_classification(self):
+        ra = _report("micro_fallback_race").races
+        # txn readers vs lock-holding writer: lockset intersection empty
+        counts = ra.classification_counts()
+        assert counts["neither"] == 2
+        assert len(ra.words) == 2
+        # detected locks: the runtime fallback lock AND the custom lock
+        assert ra.lock_addr in ra.lock_words
+        assert len(ra.lock_words) == 2
+
+    def test_lock_words_suppressed_as_data(self):
+        """The lock words themselves never appear as classified data
+        words or racy addresses — subscribing to a lock is the elision
+        protocol, not a race."""
+        ra = _report("micro_fallback_race").races
+        data_addrs = {w.addr for w in ra.words}
+        assert not (data_addrs & set(ra.lock_words))
+        for f in ra.findings:
+            assert not (set(f.data.get("addrs", ())) & set(ra.lock_words))
+
+    def test_elision_unsafe_detected(self):
+        report = _report("micro_elision_unsafe")
+        findings = [f for f in report.findings
+                    if f.code == "elision-unsafe-access"]
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.severity == "error"
+        assert f.prediction == "conflict"
+        assert f.data["n_addrs"] >= 1
+        # the bare writer reaches the words with an empty lockset
+        counts = report.races.classification_counts()
+        assert counts["neither"] >= 1
+
+    def test_races_flag_supersedes_generic_lint(self):
+        """--races replaces unprotected-shared-access with precise codes."""
+        report = _report("micro_elision_unsafe")
+        assert "unprotected-shared-access" not in _codes(report)
+        plain = analyze_workload(
+            "micro_elision_unsafe", n_threads=N, scale=SCALE
+        )
+        assert "unprotected-shared-access" in _codes(plain)
+
+
+class TestLockFootprint:
+    def test_lock_line_neighbour_reported(self):
+        report = _report("micro_lock_line")
+        ra = report.races
+        findings = [f for f in report.findings
+                    if f.code == "lock-footprint-conflict"]
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.severity == "warning"
+        assert f.prediction == "conflict"
+        # the stats counter sits one word past the lock, on its line
+        stats = ra.lock_addr + WORD
+        assert stats in f.data["addrs"]
+        assert stats in f.data["written"]
+        assert f.data["lock_addr"] == ra.lock_addr
+
+    def test_lock_word_itself_exempt(self):
+        """Every transaction reads the fallback lock word after xbegin;
+        that must never be reported as a footprint conflict."""
+        report = _report("micro_lock_line")
+        ra = report.races
+        for f in ra.findings:
+            assert ra.lock_addr not in f.data.get("addrs", ())
+            assert ra.lock_addr not in f.data.get("written", ())
+
+    def test_runtime_elision_is_race_free(self):
+        """Workloads using only ctx.atomic never trip the race codes:
+        the runtime's fallback lock is subscribed by construction."""
+        race_codes = {"asymmetric-fallback-race", "elision-unsafe-access",
+                      "lock-footprint-conflict"}
+        for name in ("micro_low_abort", "micro_high_abort",
+                     "micro_capacity", "micro_false_sharing"):
+            report = _report(name)
+            assert not (_codes(report) & race_codes), name
+
+
+class TestTruncationDowngrade:
+    TIGHT = AnalysisLimits(max_ops=400)
+
+    def test_truncated_race_findings_downgraded(self):
+        report = _report("micro_fallback_race", limits=self.TIGHT)
+        assert report.races.truncated
+        assert report.summary.truncated
+        race = [f for f in report.races.findings]
+        # whatever survived the tiny budget must be info + caveated
+        for f in race:
+            assert f.severity == "info"
+            assert f.data["analysis_incomplete"] is True
+            assert INCOMPLETE_NOTE in f.message
+
+    def test_complete_drive_keeps_error_severity(self):
+        report = _report("micro_fallback_race")
+        assert not report.races.truncated
+        f = next(f for f in report.findings
+                 if f.code == "asymmetric-fallback-race")
+        assert f.severity == "error"
+        assert "analysis_incomplete" not in f.data
+
+    def test_truncated_prediction_marked_incomplete(self):
+        ir = extract_workload("micro_capacity", n_threads=2, scale=SCALE,
+                              limits=self.TIGHT)
+        assert ir.truncated
+        sp = predict_workload(summarize(ir))
+        assert sp.incomplete
+        for pred in sp.sites.values():
+            assert pred.incomplete
+            assert "incomplete" in pred.note
+
+    def test_complete_prediction_not_marked(self):
+        ir = extract_workload("micro_capacity", n_threads=2, scale=SCALE)
+        sp = predict_workload(summarize(ir))
+        assert not sp.incomplete
+        assert all(not p.incomplete for p in sp.sites.values())
+
+
+class TestStaticPrediction:
+    def test_capacity_site_maps_to_capacity_leaf(self):
+        ir = extract_workload("micro_capacity", n_threads=2, scale=SCALE)
+        sp = predict_workload(summarize(ir))
+        leaves = {leaf for p in sp.sites.values() for leaf in p.leaves}
+        assert Leaf.CAPACITY_OVERFLOW.value in leaves
+
+    def test_clean_site_predicts_no_abort_pathology(self):
+        ir = extract_workload("micro_low_abort", n_threads=2, scale=SCALE)
+        sp = predict_workload(summarize(ir))
+        assert sp.sites
+        pathology = {Leaf.TRUE_SHARING.value, Leaf.FALSE_SHARING.value,
+                     Leaf.CAPACITY_OVERFLOW.value,
+                     Leaf.UNFRIENDLY_INSTRUCTIONS.value}
+        for p in sp.sites.values():
+            assert not (set(p.leaves) & pathology)
+
+    def test_long_private_body_maps_to_speculation_ok(self):
+        from repro.htmbench.base import Workload
+        from repro.sim.program import simfn
+
+        @simfn
+        def _fat_private(ctx, addr, iters):
+            for _ in range(iters):
+                def body(c):
+                    v = yield from c.load(addr)
+                    yield from c.compute(4000)   # body dwarfs begin/end
+                    yield from c.store(addr, v + 1)
+                yield from ctx.atomic(body, name="fat_private")
+                yield from ctx.compute(100)
+
+        class FatPrivate(Workload):
+            name = "test_fat_private"
+            suite = "test"
+
+            def build(self, sim, n_threads, scale, rng):
+                return [
+                    (_fat_private, (sim.memory.alloc_line(), 20), {})
+                    for _ in range(n_threads)
+                ]
+
+        ir = extract_workload(FatPrivate(), n_threads=2)
+        sp = predict_workload(summarize(ir))
+        assert sp.sites
+        for p in sp.sites.values():
+            assert p.leaves == (Leaf.SPECULATION_OK.value,)
+
+    def test_every_rationale_entry_matches_a_leaf(self):
+        ir = extract_workload("micro_sync", n_threads=2, scale=SCALE)
+        sp = predict_workload(summarize(ir))
+        for p in sp.sites.values():
+            assert len(p.rationale) == len(p.leaves)
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        ir = extract_workload("micro_capacity", n_threads=2, scale=SCALE)
+        sp = predict_workload(summarize(ir))
+        doc = json.loads(json.dumps(sp.to_dict()))
+        assert doc["workload"] == "micro_capacity"
+        assert doc["sites"]
+
+
+class TestInterprocedural:
+    def test_callgraph_closes_over_registry_calls(self):
+        ir = extract_workload("micro_fallback_race",
+                              n_threads=N, scale=SCALE)
+        ra = analyze_races(ir, summarize(ir))
+        cg = ra.callgraph
+        assert cg is not None
+        doc = cg.to_dict()
+        roots = set(doc["roots"])
+        assert any("races_spin_writer" in r for r in roots)
+        assert any("races_txn_reader" in r for r in roots)
+
+    def test_analysis_report_to_dict_includes_races(self):
+        import json
+
+        report = _report("micro_fallback_race")
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["races"]["classification"]["neither"] == 2
+        assert doc["races"]["findings"]
+
+
+class TestSarifExport:
+    def test_sarif_rules_cover_codes(self):
+        report = _report("micro_lock_line")
+        log = to_sarif([report])
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids == set(CODES)
+
+    def test_sarif_results_resolve_to_real_sources(self):
+        import os
+
+        report = _report("micro_lock_line")
+        run = to_sarif([report])["runs"][0]
+        results = [r for r in run["results"]
+                   if r["ruleId"] == "lock-footprint-conflict"]
+        assert results
+        loc = results[0]["locations"][0]["physicalLocation"]
+        uri = loc["artifactLocation"]["uri"]
+        assert uri.endswith("races.py")
+        path = uri if os.path.isabs(uri) else os.path.join(os.getcwd(), uri)
+        assert os.path.exists(path)
+        assert loc["region"]["startLine"] >= 1
+
+    def test_sarif_severity_mapping(self):
+        report = _report("micro_fallback_race")
+        run = to_sarif([report])["runs"][0]
+        by_rule = {r["ruleId"]: r for r in run["results"]}
+        assert by_rule["asymmetric-fallback-race"]["level"] == "error"

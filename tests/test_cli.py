@@ -227,7 +227,7 @@ class TestCheckCommand:
         rc, out = run_cli("check", "micro", "--static-only",
                           "--threads", "2", "--scale", "0.2")
         assert rc == 0
-        assert "checked 7 workload(s)" in out
+        assert "checked 10 workload(s)" in out
 
     def test_unknown_workload_is_a_crash_not_a_traceback(self, capsys):
         rc, out = run_cli("check", "no_such_workload", "--static-only")

@@ -105,3 +105,20 @@ class TestCompareProfilers:
         assert "TxSampler (one pass)" in output
         assert "record-and-replay" in output
         assert "misattribution" in output or "filed under" in output
+
+
+class TestFallbackRace:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("fallback_race.py")
+
+    def test_buggy_reader_races(self, output):
+        assert "asymmetric-fallback-race" in output
+        assert "guarded by unsubscribed lock" in output
+
+    def test_subscribed_reader_is_clean(self, output):
+        assert "no asymmetric race: the readers subscribe to the lock" in output
+
+    def test_race_attributed_interprocedurally(self, output):
+        assert "reachable from:" in output
+        assert "fr_spin_writer" in output

@@ -1,0 +1,81 @@
+"""The committed leaf-agreement baseline is an acceptance gate.
+
+``tests/golden/crossval_baseline.json`` records, per micro-suite
+workload, both cross-validation panes: the abort-class pane (static
+abort-class predictions vs sampled abort classes) and the newer
+decision-tree leaf pane (static leaf predictions vs the dynamic tree's
+per-site traversal).  This test recomputes both and asserts
+
+* the leaf pane's precision/recall is **at least** the abort-class
+  pane's committed baseline (the PR's acceptance criterion), and
+* neither pane regressed below its own committed value.
+
+The profiler is seeded and deterministic, so these are exact
+comparisons, not tolerances.  Regenerate the baseline with
+``tests/golden/regen_crossval_baseline.py`` after an intentional
+analyzer change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.htmbench as hb
+from repro.analysis import analyze_workload, cross_validate
+
+BASELINE = Path(__file__).resolve().parent / "golden" / "crossval_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE.read_text())
+
+
+def _crossval(name, base):
+    report = analyze_workload(
+        name, n_threads=base["n_threads"], scale=base["scale"],
+        races=True, predict=True,
+    )
+    return cross_validate(
+        name, n_threads=base["n_threads"], scale=base["scale"], report=report
+    )
+
+
+def test_baseline_covers_the_whole_micro_suite(baseline):
+    assert set(baseline["workloads"]) == set(hb.workload_names("micro"))
+
+
+@pytest.mark.parametrize("name", [
+    "micro_fallback_race",
+    "micro_lock_line",
+    "micro_capacity",
+    "micro_low_abort",
+])
+def test_leaf_pane_meets_abort_class_baseline(baseline, name):
+    base = baseline["workloads"][name]
+    cv = _crossval(name, baseline)
+    cp, cr = cv.class_precision_recall()
+    lp, lr = cv.leaf_precision_recall()
+    # acceptance criterion: leaf pane >= the abort-class pane's baseline
+    assert lp >= base["class_precision"], (name, lp, base)
+    assert lr >= base["class_recall"], (name, lr, base)
+    # and no pane regressed below its own committed value
+    assert cp >= base["class_precision"] and cr >= base["class_recall"]
+    assert lp >= base["leaf_precision"] and lr >= base["leaf_recall"]
+    assert cv.agreement >= base["agreement"]
+    assert cv.leaf_agreement >= base["leaf_agreement"]
+    assert cv.leaf_cells == base["leaf_cells"]
+
+
+def test_baseline_is_perfect_on_the_golden_suite(baseline):
+    """The committed numbers themselves: both panes at 1.0 everywhere.
+
+    If an analyzer change makes a regeneration drop below this, the
+    change is a regression, not a new baseline.
+    """
+    for name, w in baseline["workloads"].items():
+        for key in ("agreement", "class_precision", "class_recall",
+                    "leaf_agreement", "leaf_precision", "leaf_recall"):
+            assert w[key] == 1.0, (name, key, w[key])
+        assert w["leaf_cells"] > 0, name

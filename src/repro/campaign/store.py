@@ -130,27 +130,46 @@ class ResultStore:
 
     # ------------------------------------------------------------ recovery
 
-    def _replay_lines(self, path: Path) -> list[dict]:
-        """Parse JSON lines, stopping at the first torn/corrupt line."""
+    def _replay_lines(self, path: Path) -> tuple[list[dict], int]:
+        """Parse JSON lines, stopping at the first torn/corrupt line.
+
+        Returns ``(entries, valid_bytes)`` — the intact prefix length,
+        so the caller can amputate a torn tail before appending again.
+        """
         entries: list[dict] = []
         try:
             raw = path.read_bytes()
         except FileNotFoundError:
-            return entries
+            return entries, 0
+        offset = 0
         for line in raw.split(b"\n"):
-            if not line.strip():
-                continue
-            try:
-                entries.append(json.loads(line))
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                # torn tail from a hard kill mid-append; everything
-                # before it is intact, everything after is garbage
-                break
-        return entries
+            length = len(line)
+            if line.strip():
+                try:
+                    entry = json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    # torn tail from a hard kill mid-append; everything
+                    # before it is intact, everything after is garbage
+                    return entries, offset
+                if not isinstance(entry, dict):
+                    # parseable junk (a bare scalar) is still junk
+                    return entries, offset
+                entries.append(entry)
+            offset += length + 1  # the newline
+        return entries, min(offset, len(raw))
 
     def _recover(self) -> None:
         live: list[str] = []
-        for entry in self._replay_lines(self.root / self.MANIFEST):
+        manifest = self.root / self.MANIFEST
+        manifest_entries, manifest_valid = self._replay_lines(manifest)
+        if (manifest.exists()
+                and manifest.stat().st_size > manifest_valid):
+            # cut the torn tail off NOW: the next manifest append would
+            # otherwise glue onto the unterminated line, and both the
+            # garbage and the new entry would be unreadable on replay
+            with manifest.open("ab") as fh:
+                fh.truncate(manifest_valid)
+        for entry in manifest_entries:
             op, segment = entry.get("op"), entry.get("segment")
             if not isinstance(segment, str):
                 continue
@@ -159,6 +178,15 @@ class ResultStore:
             elif op == "drop" and segment in live:
                 live.remove(segment)
             m = _SEGMENT_RE.match(segment)
+            if m:
+                self._next_segment_no = max(self._next_segment_no,
+                                            int(m.group(1)) + 1)
+        # never reuse the number of ANY segment file on disk: an
+        # amputated manifest (external corruption) can orphan segment
+        # files, and rotating onto one would append fresh records to a
+        # file whose old bytes the index knows nothing about
+        for path in self.root.glob("seg-*.jsonl"):
+            m = _SEGMENT_RE.match(path.name)
             if m:
                 self._next_segment_no = max(self._next_segment_no,
                                             int(m.group(1)) + 1)
@@ -196,6 +224,8 @@ class ResultStore:
                     entry = json.loads(line)
                 except (json.JSONDecodeError, UnicodeDecodeError):
                     return offset  # torn tail starts here
+                if not isinstance(entry, dict):
+                    return offset  # parseable junk: still a torn tail
                 key = entry.get("key")
                 if isinstance(key, str):
                     if key in self._index:

@@ -24,7 +24,12 @@ in the driver process.
 Fault injection (``JobSpec.inject``) makes the retry/crash machinery
 testable: a marker file counts attempts across processes, and while the
 count is below ``fail_times`` the worker raises, hard-exits, or sleeps
-(``mode``: ``raise`` / ``exit`` / ``sleep``) before doing real work.
+(``mode``: ``raise`` / ``exit`` / ``sleep``) before doing real work —
+or, with ``mode="kill_mid_run"``, arms a :mod:`repro.faults` kill so
+the simulation dies from *inside* after ``after_samples`` delivered
+samples (``kill_mode`` ``"raise"`` for an in-process crash the
+scheduler retries, ``"exit"`` for a hard worker death the pool sees as
+``BrokenProcessPool``).
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from __future__ import annotations
 import os
 import signal
 from contextlib import contextmanager
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from pathlib import Path
 
 from ..core.export import profile_from_dict, profile_to_dict
@@ -76,19 +81,32 @@ def _on_alarm(signum, frame):
     raise JobTimeout("per-job timeout expired")
 
 
-def _apply_injection(inject: dict) -> None:
-    """Misbehave until the attempt counter reaches ``fail_times``."""
+def _apply_injection(inject: dict) -> dict | None:
+    """Misbehave until the attempt counter reaches ``fail_times``.
+
+    Returns fault-plan overrides to arm on the run's config (mode
+    ``kill_mid_run``), or ``None`` when the injection acts — or does
+    nothing — before the job body runs.
+    """
     marker = inject.get("marker")
     fail_times = int(inject.get("fail_times", 0))
     if not marker or fail_times <= 0:
-        return
+        return None
     path = Path(marker)
     attempts = len(path.read_text().splitlines()) if path.exists() else 0
     if attempts >= fail_times:
-        return
+        return None
     with path.open("a") as fh:
         fh.write(f"attempt {attempts + 1} pid {os.getpid()}\n")
     mode = inject.get("mode", "raise")
+    if mode == "kill_mid_run":
+        # die *during* the simulation, not before it: arm the faults
+        # layer to kill after N delivered samples (WorkerKilled for
+        # "raise", a hard exit for "exit")
+        return {
+            "kill_after_samples": int(inject.get("after_samples", 50)),
+            "kill_mode": inject.get("kill_mode", "raise"),
+        }
     if mode == "exit":
         # simulate a segfaulting / OOM-killed worker: the pool sees a
         # BrokenProcessPool, not an exception
@@ -97,9 +115,22 @@ def _apply_injection(inject: dict) -> None:
         import time
 
         time.sleep(float(inject.get("sleep", 60.0)))
-        return
+        return None
     raise InjectedFault(f"injected failure (attempt {attempts + 1} of "
                         f"{fail_times})")
+
+
+def _arm_kill(spec: JobSpec, overrides: dict) -> JobSpec:
+    """Merge mid-run kill overrides into the spec's config fault plan.
+
+    Only this attempt's in-memory spec changes; the stored record key is
+    the scheduler's, and an armed attempt dies before producing one.
+    """
+    config = dict(spec.config or {})
+    plan = dict(config.get("fault_plan") or {})
+    plan.update(overrides)
+    config["fault_plan"] = plan
+    return replace(spec, config=config)
 
 
 # ---------------------------------------------------------------------------
@@ -204,7 +235,9 @@ def execute_job(spec_dict: dict, dep_records: dict[str, dict],
         raise ValueError(f"unknown job kind {spec.kind!r}")
     with _deadline(timeout):
         if spec.inject:
-            _apply_injection(spec.inject)
+            overrides = _apply_injection(spec.inject)
+            if overrides is not None:
+                spec = _arm_kill(spec, overrides)
         return handler(spec, dep_records)
 
 

@@ -29,6 +29,14 @@ from .tree import Key, call_key, ip_key, pseudo_key
 #: pseudo node anchoring in-transaction paths (name from the paper's GUI)
 BEGIN_IN_TX = pseudo_key("begin_in_tx")
 
+#: per-sample confidence tags: "high" means the full in-transaction
+#: path was rebuilt from complete LBR evidence (or the sample was
+#: non-transactional, where the architectural stack is authoritative);
+#: "low" means the LBR was truncated, stale, or empty and the path
+#: falls back — wholly or partly — to the architectural stack
+CONF_HIGH = "high"
+CONF_LOW = "low"
+
 
 @dataclass
 class Reconstruction:
@@ -37,6 +45,9 @@ class Reconstruction:
     path: tuple[Key, ...]
     in_txn: bool
     truncated: bool
+    #: :data:`CONF_HIGH` or :data:`CONF_LOW` — how much of the claimed
+    #: context is backed by branch-record evidence
+    confidence: str = CONF_HIGH
 
 
 def txn_call_chain(
@@ -96,12 +107,33 @@ def reconstruct(sample: Sample, in_txn: bool) -> Reconstruction:
     """
     base: list[Key] = [call_key(cs, cb) for cs, cb in sample.ustack]
     truncated = False
+    confidence = CONF_HIGH
     if in_txn:
+        if not sample.lbr:
+            # zero LBR entries for a transactional sample: there is no
+            # branch evidence at all (hardware would never deliver this,
+            # but a lossy/fault-injected substrate can).  Fall back to
+            # the architectural stack alone, explicitly low-confidence —
+            # never an exception, never a silently-empty chain.
+            base.append(BEGIN_IN_TX)
+            base.append(ip_key(sample.ip))
+            return Reconstruction(path=tuple(base), in_txn=True,
+                                  truncated=True, confidence=CONF_LOW)
         chain, truncated = txn_call_chain(sample.lbr)
         base.append(BEGIN_IN_TX)
         base.extend(call_key(cs, cb) for cs, cb in chain)
+        if truncated:
+            confidence = CONF_LOW
+        elif not chain and not any(e.kind == KIND_ABORT for e in sample.lbr):
+            # the caller asserts a transactional context but the LBR
+            # holds no abort transfer to anchor the attempt window — a
+            # stale or over-truncated snapshot.  The architectural-stack
+            # fallback is still correct up to the transaction begin, so
+            # keep the path but tag it.
+            confidence = CONF_LOW
     base.append(ip_key(sample.ip))
-    return Reconstruction(path=tuple(base), in_txn=in_txn, truncated=truncated)
+    return Reconstruction(path=tuple(base), in_txn=in_txn,
+                          truncated=truncated, confidence=confidence)
 
 
 def prefix_matches(

@@ -10,6 +10,7 @@ event tracer, and the ``repro.campaign`` batch orchestrator)::
     python -m repro run dedup --guidance --save-db dedup.json
     python -m repro trace dedup --trace-out dedup-trace.json
     python -m repro view dedup.json
+    python -m repro chaos --rates 0.25,0.5
     python -m repro measure-overhead vacation histo
     python -m repro measure-speedup all
     python -m repro table1 | figure7 | figure8 | correctness
@@ -48,7 +49,12 @@ from .campaign.suites import (
     speedup_rows_from_records,
 )
 from .core import DecisionTree
-from .core.export import load_profile, load_run_metrics, save_profile
+from .core.export import (
+    ProfileFormatError,
+    load_profile,
+    load_run_metrics,
+    save_profile,
+)
 from .core.report import render_full_report, render_self_diagnostics
 from .experiments.runner import cached_run, run_workload
 from .obs.metrics import format_snapshot
@@ -191,6 +197,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--guidance", action="store_true")
     p.add_argument("--metrics", action="store_true",
                    help="print the stored run-metrics snapshot, if any")
+
+    p = sub.add_parser(
+        "chaos",
+        help="degradation-invariant sweep (repro.faults): re-profile "
+             "under injected sample loss and LBR truncation, assert the "
+             "per-site abort attribution matches the clean run")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: the scored micro-suite "
+                        "trio)")
+    p.add_argument("--rates", default=None, metavar="R[,R...]",
+                   help="sample-loss rates to sweep "
+                        "(default 0.1,0.25,0.5)")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="allowed fraction of flipped (site, check) pairs "
+                        "per cell (default 0.0: any flip fails)")
+    p.add_argument("--min-aborts", type=float, default=5.0,
+                   dest="min_aborts", metavar="N",
+                   help="clean-run sampled-abort floor to score a site "
+                        "(default 5)")
+    p.add_argument("--fault-seed", type=int, default=1, dest="fault_seed",
+                   help="seed for the injected fault streams (default 1)")
+    p.add_argument("--lbr-keep", type=int, default=2, dest="lbr_keep",
+                   help="LBR entries surviving the truncation cell "
+                        "(default 2)")
+    p.add_argument("--skip-passthrough", action="store_true",
+                   help="skip the zero-plan byte-identity check")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the report as one JSON document")
+    _add_common(p)
 
     p = sub.add_parser("measure-overhead",
                        help="native-vs-sampled overhead "
@@ -514,15 +549,62 @@ def cmd_trace(args) -> int:
 
 
 def cmd_view(args) -> int:
-    profile = load_profile(args.database)
+    import json
+
+    try:
+        profile = load_profile(args.database)
+    except ProfileFormatError as exc:
+        _log.error(f"cannot read profile database: {exc}")
+        return 2
     _log.info(render_full_report(profile, args.database))
     if args.guidance:
         _log.info("")
         _log.info(DecisionTree().analyze(profile).render())
     if args.metrics:
         _log.info("")
-        _log.info(format_snapshot(load_run_metrics(args.database)))
+        try:
+            snapshot = load_run_metrics(args.database)
+        except (OSError, json.JSONDecodeError, ProfileFormatError) as exc:
+            _log.error(f"cannot read run metrics: {exc}")
+            return 2
+        _log.info(format_snapshot(snapshot))
     return 0
+
+
+def cmd_chaos(args) -> int:
+    import json
+
+    from .faults.chaos import DEFAULT_LOSS_RATES, DEFAULT_WORKLOADS, run_sweep
+
+    if args.rates is None:
+        rates = DEFAULT_LOSS_RATES
+    else:
+        try:
+            rates = tuple(float(tok) for tok in args.rates.split(",") if tok)
+        except ValueError:
+            _log.error(f"--rates must be comma-separated floats: "
+                       f"got {args.rates!r}")
+            return 2
+        if not rates or not all(0.0 <= r <= 1.0 for r in rates):
+            _log.error(f"--rates must be in [0, 1]: got {args.rates!r}")
+            return 2
+    report = run_sweep(
+        workloads=tuple(args.workloads) or DEFAULT_WORKLOADS,
+        loss_rates=rates,
+        n_threads=args.threads,
+        scale=args.scale,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        tolerance=args.tolerance,
+        min_aborts=args.min_aborts,
+        lbr_keep_max=args.lbr_keep,
+        check_passthrough=not args.skip_passthrough,
+    )
+    if args.as_json:
+        _log.info(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _log.info(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_measure_overhead(args) -> int:
@@ -753,6 +835,7 @@ COMMANDS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "view": cmd_view,
+    "chaos": cmd_chaos,
     "measure-overhead": cmd_measure_overhead,
     "measure-speedup": cmd_measure_speedup,
     "table1": cmd_table1,

@@ -161,6 +161,38 @@ class Profile:
     site_names: dict[int, str]
     samples_seen: dict[str, int]
     truncated_paths: int = 0
+    #: reconstructions that fell back (wholly or partly) to the
+    #: architectural stack for lack of LBR evidence
+    low_confidence_paths: int = 0
+    #: malformed samples the handler rejected, by quarantine reason
+    quarantined: dict[str, int] = field(default_factory=dict)
+
+    # -- data quality ----------------------------------------------------------
+
+    @property
+    def samples_kept(self) -> int:
+        """Samples that survived validation and were attributed."""
+        return sum(self.samples_seen.values())
+
+    @property
+    def samples_quarantined(self) -> int:
+        return sum(self.quarantined.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of received records the profiler could use."""
+        total = self.samples_kept + self.samples_quarantined
+        return self.samples_kept / total if total else 1.0
+
+    @property
+    def attribution_confidence(self) -> float:
+        """Share of kept samples whose context attribution rests on full
+        LBR evidence (1.0 when nothing fell back to the architectural
+        stack)."""
+        kept = self.samples_kept
+        if not kept:
+            return 1.0
+        return max(0.0, 1.0 - self.low_confidence_paths / kept)
 
     # -- critical-section grouping -------------------------------------------------
 

@@ -87,6 +87,8 @@ def profile_to_dict(profile: Profile,
         "site_names": {str(k): v for k, v in profile.site_names.items()},
         "samples_seen": profile.samples_seen,
         "truncated_paths": profile.truncated_paths,
+        "low_confidence_paths": profile.low_confidence_paths,
+        "quarantined": profile.quarantined,
         "symbols": _symbols_for(profile),
         "cct": _node_to_dict(profile.root),
     }
@@ -138,12 +140,37 @@ def profile_from_dict(data: dict) -> Profile:
         site_names={int(k): v for k, v in data.get("site_names", {}).items()},
         samples_seen=dict(data.get("samples_seen", {})),
         truncated_paths=data.get("truncated_paths", 0),
+        low_confidence_paths=data.get("low_confidence_paths", 0),
+        quarantined=dict(data.get("quarantined", {})),
     )
 
 
 def load_profile(path: str | Path) -> Profile:
-    with Path(path).open() as fh:
-        return profile_from_dict(json.load(fh))
+    """Load one profile database.
+
+    Raises :class:`ProfileFormatError` — with the offending path in the
+    message — for a missing, empty, torn, or non-profile file, so CLI
+    consumers can turn any bad input into a one-line diagnostic.
+    """
+    path = Path(path)
+    try:
+        with path.open() as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise ProfileFormatError(f"{path}: no such profile database") \
+            from None
+    except OSError as exc:
+        raise ProfileFormatError(f"{path}: unreadable ({exc})") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProfileFormatError(
+            f"{path}: not valid JSON (empty or torn database?): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ProfileFormatError(f"{path}: not a profile document")
+    try:
+        return profile_from_dict(data)
+    except ProfileFormatError as exc:
+        raise ProfileFormatError(f"{path}: {exc}") from None
 
 
 def load_run_metrics(path: str | Path) -> dict[str, dict]:
@@ -161,10 +188,13 @@ def merge_databases(paths: list[str | Path]) -> Profile:
     """Aggregate several databases (e.g. one per run) into one profile.
 
     Metrics sum; metadata (periods, symbols) must agree and is taken from
-    the first database.
+    the first database.  An empty input list yields an empty profile
+    rather than an error, so callers globbing for databases degrade
+    gracefully when a run produced none.
     """
     if not paths:
-        raise ValueError("no databases given")
+        return Profile(root=new_root(), n_threads=0, periods={},
+                       site_names={}, samples_seen={})
     merged = load_profile(paths[0])
     for extra_path in paths[1:]:
         extra = load_profile(extra_path)
@@ -177,4 +207,7 @@ def merge_databases(paths: list[str | Path]) -> Profile:
         for ev, n in extra.samples_seen.items():
             merged.samples_seen[ev] = merged.samples_seen.get(ev, 0) + n
         merged.truncated_paths += extra.truncated_paths
+        merged.low_confidence_paths += extra.low_confidence_paths
+        for reason, n in extra.quarantined.items():
+            merged.quarantined[reason] = merged.quarantined.get(reason, 0) + n
     return merged

@@ -23,8 +23,9 @@ from typing import TYPE_CHECKING
 
 from ..cct.merge import merge_profiles
 from ..cct.tree import CCTNode, new_root
-from ..cct.unwind import reconstruct
+from ..cct.unwind import CONF_LOW, Reconstruction, reconstruct
 from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
+from ..pmu.lbr import LbrEntry
 from ..pmu.sampling import Sample
 from ..rtm import state as rtm_state
 from ..shadow.memory import ShadowMemory, TRUE_SHARING as SH_TRUE
@@ -35,6 +36,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
 
 from .analyzer import Profile
+
+#: the PMU events this handler understands; anything else is a
+#: malformed record (e.g. fault-injected corruption) and is quarantined
+KNOWN_EVENTS = frozenset(
+    (CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT)
+)
 
 
 class TxSampler:
@@ -49,6 +56,12 @@ class TxSampler:
         self.shadow = ShadowMemory(contention_threshold)
         self.samples_seen: dict[str, int] = {}
         self.truncated_paths = 0
+        #: reconstructions that fell back to the architectural stack
+        #: (truncated/stale/empty LBR evidence) — see repro.cct.unwind
+        self.low_confidence_paths = 0
+        #: malformed samples rejected by :meth:`on_sample`, by reason
+        self.quarantined: dict[str, int] = {}
+        self._obs = None
         self._profile: Profile | None = None
 
     # -- wiring ------------------------------------------------------------
@@ -58,20 +71,69 @@ class TxSampler:
         self.sim = sim
         self.rtm = sim.rtm
         self.roots = [new_root() for _ in sim.threads]
+        self._obs = sim.obs
+
+    # -- sample validation (graceful degradation) -----------------------------
+
+    def _validate(self, s: Sample) -> str | None:
+        """Reject malformed records a real handler would choke on.
+
+        Returns the quarantine reason, or ``None`` for a sane sample.
+        The checks mirror the corruption classes a lossy PMU produces
+        (torn PEBS records): unknown event encodings, impossible
+        timestamps/weights, out-of-range CPU ids, junk in the LBR.
+        """
+        if s.event not in KNOWN_EVENTS:
+            return "unknown-event"
+        if not 0 <= s.tid < len(self.roots):
+            return "bad-tid"
+        if s.ts < 0:
+            return "bad-timestamp"
+        if s.ip < 0:
+            return "bad-ip"
+        if s.weight < 0:
+            return "bad-weight"
+        if s.lbr and not isinstance(s.lbr[0], LbrEntry):
+            return "bad-lbr"
+        return None
+
+    def _quarantine(self, reason: str) -> None:
+        self.quarantined[reason] = self.quarantined.get(reason, 0) + 1
+        if self._obs is not None:
+            self._obs.on_quarantine(reason)
 
     # -- the sampling handler (Figure 4) --------------------------------------
 
     def on_sample(self, s: Sample) -> None:
+        reason = self._validate(s)
+        if reason is not None:
+            self._quarantine(reason)
+            return
         ev = s.event
+        try:
+            if ev == CYCLES:
+                self._on_cycles(s)
+            elif ev == RTM_ABORTED:
+                self._on_abort(s)
+            elif ev == RTM_COMMIT:
+                self._on_commit(s)
+            elif ev in (MEM_LOADS, MEM_STORES):
+                self._on_mem(s)
+        except (AssertionError, KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            # a malformation the explicit checks did not anticipate: a
+            # profiler must never take down the program it watches, so
+            # the record is quarantined and the handler returns
+            self._quarantine(f"handler-error:{type(exc).__name__}")
+            return
         self.samples_seen[ev] = self.samples_seen.get(ev, 0) + 1
-        if ev == CYCLES:
-            self._on_cycles(s)
-        elif ev == RTM_ABORTED:
-            self._on_abort(s)
-        elif ev == RTM_COMMIT:
-            self._on_commit(s)
-        elif ev in (MEM_LOADS, MEM_STORES):
-            self._on_mem(s)
+
+    def _note_path(self, rec: Reconstruction) -> None:
+        if rec.truncated:
+            self.truncated_paths += 1
+        if rec.confidence == CONF_LOW:
+            self.low_confidence_paths += 1
 
     def _on_cycles(self, s: Sample) -> None:
         assert self.rtm is not None, "profiler was never attached"
@@ -81,8 +143,7 @@ class TxSampler:
         # LBR[0]'s abort bit: did *this* interrupt abort a transaction?
         in_txn = s.aborted_by_sample
         rec = reconstruct(s, in_txn)
-        if rec.truncated:
-            self.truncated_paths += 1
+        self._note_path(rec)
         node = root.insert(rec.path)
         node.add(m.W)
         if rtm_state.in_cs(state):
@@ -99,8 +160,7 @@ class TxSampler:
     def _on_abort(self, s: Sample) -> None:
         root = self.roots[s.tid]
         rec = reconstruct(s, True)
-        if rec.truncated:
-            self.truncated_paths += 1
+        self._note_path(rec)
         node = root.insert(rec.path)
         cls = m.classify_abort_eax(s.abort_eax)
         node.add(m.ABORTS, 1, tid=s.tid)
@@ -129,6 +189,7 @@ class TxSampler:
             return
         in_txn = s.aborted_by_sample
         rec = reconstruct(s, in_txn)
+        self._note_path(rec)
         node = self.roots[s.tid].insert(rec.path)
         node.add(m.TRUE_SHARING if verdict == SH_TRUE else m.FALSE_SHARING)
 
@@ -149,5 +210,7 @@ class TxSampler:
                 site_names=dict(self.rtm.site_names),
                 samples_seen=dict(self.samples_seen),
                 truncated_paths=self.truncated_paths,
+                low_confidence_paths=self.low_confidence_paths,
+                quarantined=dict(self.quarantined),
             )
         return self._profile

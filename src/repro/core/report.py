@@ -9,6 +9,9 @@ Renders:
   ``begin_in_tx`` pseudo nodes marking speculative paths;
 * a **per-thread histogram** of commits/aborts for one context (§5's
   contention metrics view);
+* a **data-quality pane**: kept/quarantined sample counts, coverage and
+  attribution confidence — shown whenever the record stream degraded
+  (lossy PMU or an injected :mod:`repro.faults` plan);
 * a **profiler self-diagnostics** pane (``repro.obs.selfprof``): is the
   profiler itself healthy and cheap enough to trust?
 * a **static analysis** pane (``repro.analysis``): the TSX-lint findings
@@ -141,6 +144,38 @@ def render_thread_histogram(cs: CsReport, n_threads: int) -> str:
         a_bar = "!" * int(round(20 * a / max_v))
         lines.append(f"  t{tid:02d} commits {c:6.0f} {c_bar:20s} "
                      f"aborts {a:6.0f} {a_bar}")
+    return "\n".join(lines)
+
+
+def render_data_quality(profile: Profile) -> str:
+    """The data-quality pane: how trustworthy is this profile?
+
+    A lossy PMU (or an injected :mod:`repro.faults` plan) degrades the
+    record stream; this pane quantifies what survived — kept vs
+    quarantined counts, coverage, and the share of attributions backed
+    by full LBR evidence — so a reader can judge the profile the way
+    §7.2 judges sampling accuracy.
+    """
+    kept = profile.samples_kept
+    quarantined = profile.samples_quarantined
+    lines = ["=== data quality ==="]
+    lines.append(f"samples kept         : {kept}")
+    if quarantined:
+        detail = ", ".join(
+            f"{reason}={n}"
+            for reason, n in sorted(profile.quarantined.items())
+        )
+        lines.append(f"samples quarantined  : {quarantined}  ({detail})")
+    else:
+        lines.append("samples quarantined  : 0")
+    lines.append(f"coverage             : {profile.coverage:.1%}")
+    lines.append(
+        f"low-confidence paths : {profile.low_confidence_paths}"
+        f"  (truncated {profile.truncated_paths})"
+    )
+    lines.append(
+        f"attribution conf.    : {profile.attribution_confidence:.1%}"
+    )
     return "\n".join(lines)
 
 
@@ -332,6 +367,10 @@ def render_full_report(
     hottest = profile.hottest_cs()
     if hottest is not None:
         parts += ["", render_thread_histogram(hottest, profile.n_threads)]
+    if profile.samples_quarantined or profile.low_confidence_paths:
+        # degraded input: surface the data-quality pane so nobody reads
+        # a lossy profile as if it were pristine
+        parts += ["", render_data_quality(profile)]
     if diagnostics is not None:
         parts += ["", render_self_diagnostics(diagnostics)]
     return "\n".join(parts)

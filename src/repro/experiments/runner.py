@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..core.analyzer import Profile
 from ..core.profiler import TxSampler
+from ..faults.plan import FaultPlan, coerce_plan
 from .. import htmbench  # noqa: F401  (imports register all workloads)
 from ..htmbench.base import Workload, get_workload
 from ..obs.hooks import Observability
@@ -63,6 +64,7 @@ def run_workload(
     contention_threshold: int = 50_000,
     trace: bool = False,
     metrics: bool = False,
+    faults: FaultPlan | dict | None = None,
     **params,
 ) -> Outcome:
     """Build + run one workload; optionally attach TxSampler and/or the
@@ -71,8 +73,17 @@ def run_workload(
     ``trace``/``metrics`` switch on the ``repro.obs`` tracer and metrics
     registry for this run (in addition to whatever the config enables);
     the resulting bundle is returned as ``Outcome.obs``.
+
+    ``faults`` is an optional :class:`repro.faults.FaultPlan` (or its
+    dict form) injected at the observation boundary; it overrides any
+    plan already on ``config``.
     """
     cfg = config or MachineConfig(n_threads=n_threads)
+    if faults is not None:
+        plan = coerce_plan(faults)
+        cfg = cfg.evolve(
+            fault_plan=plan.to_dict() if plan is not None else None,
+        )
     if trace or metrics:
         cfg = cfg.evolve(
             trace_enabled=cfg.trace_enabled or trace,

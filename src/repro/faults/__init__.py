@@ -1,0 +1,35 @@
+"""Deterministic fault injection (``repro.faults``).
+
+The simulated PMU is perfect: every counter overflow delivers exactly
+one pristine sample record.  Real hardware is not — PEBS buffers drop
+records under interrupt pressure, precise IPs skid, LBR snapshots are
+truncated or stale by the time the handler reads them, and timer
+interrupts abort transactions that the profiler never asked about.
+TxSampler's central claim is that *lossy, statistical* sampling still
+yields correct abort attribution, so this package makes every one of
+those fault classes injectable — reproducibly, from a seed, at the
+exact observation boundary the profiler is allowed to see.
+
+* :class:`FaultPlan` — a declarative, JSON-serializable description of
+  which faults to inject at which rates.  It travels inside
+  ``MachineConfig.fault_plan`` and therefore hashes into campaign
+  ``JobSpec`` identity: two runs with different plans never share a
+  cache slot.
+* :class:`FaultInjector` — the runtime that executes a plan.  An
+  all-zero plan never constructs an injector at all, so the fault layer
+  is provably pass-through (byte-identical profile databases).
+* :mod:`repro.faults.chaos` — the degradation-invariant harness: sweep
+  sample-loss and LBR-truncation rates over the micro suite and assert
+  the dominant abort category and decision-tree leaf per TM site stay
+  within a documented tolerance of the clean run.
+"""
+
+from .inject import FaultInjector, WorkerKilled
+from .plan import FaultPlan, FaultPlanError
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "WorkerKilled",
+]

@@ -1,0 +1,297 @@
+"""Degradation-invariant harness: profiling conclusions under injected loss.
+
+TxSampler's §5 argument is that *sampled* abort profiles preserve the
+abort-cause ranking a full trace would give.  This harness makes that a
+testable invariant of the reproduction: for each workload it takes a
+clean fixed-seed profile, derives the per-critical-section **signature**
+— the dominant abort class (largest share of sampled abort weight) and
+the Figure 1 decision-tree leaf — then re-profiles under a sweep of
+observation-layer fault plans (sample loss up to 50%, LBR truncation)
+and asserts the signature of every scored site survives.
+
+Sites are scored only when the clean run sampled at least
+``min_aborts`` abort events there; below that the signature is noise
+and the paper makes no claim about it.  ``tolerance`` is the fraction
+of (site, check) pairs allowed to flip before a sweep cell fails —
+0.0 by default: the documented claim is that the conclusions are
+*stable*, so any flip is a finding.
+
+The harness also proves the pass-through contract: an all-zero
+:class:`~repro.faults.plan.FaultPlan` must yield a profile database
+byte-identical to a run with no plan at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..core.decision_tree import DecisionTree, Guidance, Leaf
+from ..core.export import profile_to_dict
+from .plan import FaultPlan
+
+#: default sample-loss sweep (the acceptance envelope tops out at 50%)
+DEFAULT_LOSS_RATES = (0.1, 0.25, 0.5)
+
+#: default workloads: the micro suite members whose clean fixed-seed
+#: profiles sample enough abort events to score a site (micro_capacity
+#: only clears the gate at scale >= 4, so it is opt-in via --workloads)
+DEFAULT_WORKLOADS = (
+    "micro_high_abort",
+    "micro_sync",
+    "micro_false_sharing",
+)
+
+#: terminal leaves produced by the tree's stage-3 *abort analysis*.
+#: The signature compares this leaf — the paper's robustness claim is
+#: about abort attribution.  The stage-2 time-decomposition leaves
+#: (merge-transactions / relax-serialization) ride on cycles-sample
+#: ratios that sit arbitrarily close to a threshold at borderline
+#: sites, where uniform sample loss legitimately tips them; comparing
+#: them would test the thresholds, not the attribution.
+ABORT_LEAVES = frozenset((
+    Leaf.TRUE_SHARING.value,
+    Leaf.FALSE_SHARING.value,
+    Leaf.CAPACITY_OVERFLOW.value,
+    Leaf.UNFRIENDLY_INSTRUCTIONS.value,
+    Leaf.NO_ABORT_WEIGHT.value,
+))
+
+
+def _leaf_of(guidance: Guidance) -> str:
+    """The traversal's abort-analysis leaf, falling back to the first
+    leaf when the tree never descended into abort analysis."""
+    for leaf in guidance.leaves:
+        if leaf.value in ABORT_LEAVES:
+            return leaf.value
+    return guidance.leaves[0].value if guidance.leaves else "none"
+
+
+@dataclass(frozen=True)
+class SiteSignature:
+    """What the profile concluded about one TM site."""
+
+    site: str            # critical-section name (stable across runs)
+    #: abort *cause* class (conflict/capacity/sync) with the largest
+    #: sampled weight.  "other" (RETRY-only: the profiler's own
+    #: sampling interrupts, lock-elision retries) is excluded exactly
+    #: as Equation 4 excludes it — its weight scales with the
+    #: profiler's self-interference, not with the program — unless no
+    #: cause class was sampled at all.
+    dominant: str
+    leaf: str            # abort-analysis leaf of the per-site traversal
+    aborts: float        # sampled abort events (clean-run scoring gate)
+
+
+@dataclass
+class CellResult:
+    """One (workload, fault plan) cell of the sweep."""
+
+    workload: str
+    label: str                      # e.g. "drop=0.50" / "lbr-truncate"
+    plan: dict
+    checked: int = 0                # (site, check) pairs compared
+    flips: list[str] = field(default_factory=list)
+    #: scored sites absent from the degraded profile (site disappeared)
+    lost_sites: list[str] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> int:
+        return len(self.flips) + len(self.lost_sites)
+
+    def passed(self, tolerance: float) -> bool:
+        if not self.checked:
+            return True
+        return self.mismatches / self.checked <= tolerance
+
+
+@dataclass
+class ChaosReport:
+    """The whole sweep: per-cell results plus the pass-through check."""
+
+    tolerance: float
+    min_aborts: float
+    cells: list[CellResult] = field(default_factory=list)
+    #: workloads whose all-zero-plan database was NOT byte-identical
+    #: to the uninjected run (must stay empty)
+    passthrough_failures: list[str] = field(default_factory=list)
+    #: workloads skipped because the clean run scored no site
+    unscored: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.passthrough_failures and all(
+            c.passed(self.tolerance) for c in self.cells
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "min_aborts": self.min_aborts,
+            "passthrough_failures": self.passthrough_failures,
+            "unscored": self.unscored,
+            "cells": [
+                {
+                    "workload": c.workload,
+                    "label": c.label,
+                    "plan": c.plan,
+                    "checked": c.checked,
+                    "flips": c.flips,
+                    "lost_sites": c.lost_sites,
+                    "ok": c.passed(self.tolerance),
+                }
+                for c in self.cells
+            ],
+        }
+
+    def render(self) -> str:
+        lines = ["=== chaos: degradation invariants ==="]
+        for c in self.cells:
+            verdict = "ok" if c.passed(self.tolerance) else "FLIP"
+            lines.append(
+                f"{c.workload:22s} {c.label:18s} "
+                f"checks={c.checked:3d} mismatches={c.mismatches:2d}  "
+                f"{verdict}"
+            )
+            for flip in c.flips:
+                lines.append(f"    ! {flip}")
+            for site in c.lost_sites:
+                lines.append(f"    ! site vanished: {site}")
+        for wl in self.unscored:
+            lines.append(f"{wl:22s} {'(no scored sites)':18s} skipped")
+        lines.append("")
+        pt = ("FAILED for " + ", ".join(self.passthrough_failures)
+              if self.passthrough_failures else "ok (byte-identical)")
+        lines.append(f"zero-plan pass-through: {pt}")
+        lines.append(f"verdict: {'PASS' if self.ok else 'FAIL'} "
+                     f"(tolerance {self.tolerance:.0%})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# signatures
+# ---------------------------------------------------------------------------
+
+
+def signature(profile, min_aborts: float = 5.0) -> dict[str, SiteSignature]:
+    """Per-site signatures for every TM site with enough sampled aborts."""
+    tree = DecisionTree()
+    out: dict[str, SiteSignature] = {}
+    for cs in profile.cs_reports():
+        if cs.aborts < min_aborts:
+            continue
+        weights = {c: w for c, w in cs.weight_by_class.items() if w > 0}
+        if not weights:
+            continue
+        causes = {c: w for c, w in weights.items() if c != "other"}
+        pool = causes or weights
+        dominant = max(pool, key=lambda c: pool[c])
+        leaf = _leaf_of(tree.analyze_cs(cs))
+        out[cs.name] = SiteSignature(
+            site=cs.name, dominant=dominant, leaf=leaf, aborts=cs.aborts,
+        )
+    return out
+
+
+def compare(clean: dict[str, SiteSignature],
+            degraded: dict[str, SiteSignature],
+            cell: CellResult) -> None:
+    """Score ``degraded`` against the clean baseline into ``cell``.
+
+    Every clean scored site contributes two checks (dominant class,
+    tree leaf); a site the degraded profile lost entirely counts as one
+    mismatch.  The degraded side is *not* re-gated on ``min_aborts`` —
+    losing samples is the point — only on existence.
+    """
+    for name, base in clean.items():
+        if name not in degraded:
+            cell.checked += 1
+            cell.lost_sites.append(name)
+            continue
+        got = degraded[name]
+        cell.checked += 2
+        if got.dominant != base.dominant:
+            cell.flips.append(
+                f"{cell.workload}/{name}: dominant abort class "
+                f"{base.dominant} -> {got.dominant}"
+            )
+        if got.leaf != base.leaf:
+            cell.flips.append(
+                f"{cell.workload}/{name}: decision-tree leaf "
+                f"{base.leaf} -> {got.leaf}"
+            )
+
+
+def degraded_signature(profile) -> dict[str, SiteSignature]:
+    """Signatures with the abort gate off (loss already thinned them)."""
+    return signature(profile, min_aborts=1.0)
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+def _profile_bytes(profile) -> bytes:
+    return json.dumps(profile_to_dict(profile), sort_keys=True).encode()
+
+
+def run_sweep(
+    workloads=DEFAULT_WORKLOADS,
+    loss_rates=DEFAULT_LOSS_RATES,
+    n_threads: int = 4,
+    scale: float = 1.0,
+    seed: int = 0,
+    fault_seed: int = 1,
+    tolerance: float = 0.0,
+    min_aborts: float = 5.0,
+    lbr_keep_max: int = 2,
+    check_passthrough: bool = True,
+) -> ChaosReport:
+    """Run the degradation-invariant sweep and return the report.
+
+    Each workload is profiled clean once, then once per sweep cell:
+    every sample-loss rate in ``loss_rates`` plus one LBR-truncation
+    plan (``lbr_truncate_rate=1.0, lbr_keep_max=lbr_keep_max``).  All
+    runs share ``seed`` so the simulated machine is identical; only the
+    observation layer differs.
+    """
+    from ..experiments.runner import run_workload
+
+    report = ChaosReport(tolerance=tolerance, min_aborts=min_aborts)
+    for wl in workloads:
+        clean = run_workload(wl, n_threads=n_threads, scale=scale,
+                             seed=seed, profile=True)
+        assert clean.profile is not None
+        base_sig = signature(clean.profile, min_aborts=min_aborts)
+        if check_passthrough:
+            zero = run_workload(wl, n_threads=n_threads, scale=scale,
+                                seed=seed, profile=True,
+                                faults=FaultPlan(seed=fault_seed))
+            assert zero.profile is not None
+            if (_profile_bytes(zero.profile)
+                    != _profile_bytes(clean.profile)):
+                report.passthrough_failures.append(wl)
+        if not base_sig:
+            report.unscored.append(wl)
+            continue
+        plans = [
+            (f"drop={rate:.2f}", FaultPlan(seed=fault_seed,
+                                           drop_rate=rate))
+            for rate in loss_rates
+        ]
+        plans.append((
+            f"lbr-keep<={lbr_keep_max}",
+            FaultPlan(seed=fault_seed, lbr_truncate_rate=1.0,
+                      lbr_keep_max=lbr_keep_max),
+        ))
+        for label, plan in plans:
+            out = run_workload(wl, n_threads=n_threads, scale=scale,
+                               seed=seed, profile=True, faults=plan)
+            assert out.profile is not None
+            cell = CellResult(workload=wl, label=label,
+                              plan=plan.to_dict())
+            compare(base_sig, degraded_signature(out.profile), cell)
+            report.cells.append(cell)
+    return report

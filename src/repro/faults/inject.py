@@ -1,0 +1,201 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector sits at the *observation boundary*: the engine builds the
+true :class:`~repro.pmu.sampling.Sample` (after the interrupt has
+already aborted any in-flight transaction — that part of reality is not
+optional), then hands it to :meth:`FaultInjector.observe`, which
+returns the possibly-empty list of records the profiler actually
+receives.  Observation-layer faults therefore never perturb the
+simulated machine: ground-truth ``RunResult`` fields are identical with
+and without them, only the profiler's view degrades.
+
+Machine-layer faults (timer-interrupt storms, mid-run kills) *do*
+perturb the machine, deliberately: storms inflate async ("other"
+class) aborts the way a noisy host inflates them under hybrid-TM
+fallback pressure, and kills exercise the campaign scheduler's
+crash-recovery path.
+
+Determinism: every decision draws from a per-thread
+``random.Random((seed + 1) * 2_000_003 + tid)`` stream, so fault
+sequences are a pure function of (plan, tid, per-thread sample order)
+— independent of cross-thread scheduling and of each other.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..pmu.lbr import LbrEntry
+from ..pmu.sampling import Sample
+from .plan import FaultPlan, coerce_plan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.config import MachineConfig
+
+
+class WorkerKilled(RuntimeError):
+    """An injected mid-run death (``FaultPlan.kill_mode="raise"``)."""
+
+
+#: counter names exposed by :meth:`FaultInjector.summary`
+COUNTERS = (
+    "delivered",
+    "dropped",
+    "duplicated",
+    "skidded",
+    "lbr_truncated",
+    "lbr_stale",
+    "corrupted",
+    "skewed",
+    "storm_interrupts",
+)
+
+
+class FaultInjector:
+    """Runtime state for one simulated run under a fault plan."""
+
+    def __init__(self, plan: FaultPlan, n_threads: int, obs=None) -> None:
+        plan.validate()
+        self.plan = plan
+        self.obs = obs
+        self._rngs = [
+            random.Random((plan.seed + 1) * 2_000_003 + tid)
+            for tid in range(n_threads)
+        ]
+        #: previous true LBR snapshot per thread (staleness source)
+        self._prev_lbr: list[tuple[LbrEntry, ...] | None] = [None] * n_threads
+        #: per-thread ppm skew, drawn once so each simulated core's
+        #: ``rdtsc`` runs consistently fast or slow for the whole run
+        self._skew_ppm = [
+            rng.randint(-plan.clock_skew_ppm, plan.clock_skew_ppm)
+            if plan.clock_skew_ppm else 0
+            for rng in self._rngs
+        ]
+        self._storm_left = [plan.storm_period] * n_threads
+        self._seen = 0
+        self.counts: dict[str, int] = {name: 0 for name in COUNTERS}
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def from_config(cls, config: "MachineConfig", n_threads: int,
+                    obs=None) -> "FaultInjector" | None:
+        """Build the injector a config asks for.
+
+        Returns ``None`` for a missing or all-zero plan, so the
+        fault-free engine carries no injector state at all — the
+        pass-through property is structural, not behavioral.
+        """
+        plan = coerce_plan(getattr(config, "fault_plan", None))
+        if plan is None or plan.is_zero():
+            return None
+        return cls(plan, n_threads, obs=obs)
+
+    # ---------------------------------------------------------- accounting
+
+    def _note(self, kind: str, n: int = 1) -> None:
+        self.counts[kind] += n
+        if self.obs is not None:
+            self.obs.on_fault(kind, n)
+
+    def summary(self) -> dict[str, int]:
+        """Ground-truth injection counts (never shown to the profiler)."""
+        return {k: v for k, v in self.counts.items() if v}
+
+    # ------------------------------------------------- observation boundary
+
+    def observe(self, tid: int, sample: Sample) -> list[Sample]:
+        """Filter one true sample into what the profiler receives."""
+        plan = self.plan
+        rng = self._rngs[tid]
+        self._seen += 1
+        if plan.kill_after_samples and self._seen >= plan.kill_after_samples:
+            self._kill()
+
+        lbr = sample.lbr
+        stale = (plan.lbr_stale_rate
+                 and rng.random() < plan.lbr_stale_rate)
+        if stale and self._prev_lbr[tid] is not None:
+            lbr = self._prev_lbr[tid]
+            self._note("lbr_stale")
+        self._prev_lbr[tid] = sample.lbr
+        if (plan.lbr_truncate_rate and lbr
+                and rng.random() < plan.lbr_truncate_rate):
+            keep = rng.randint(0, min(plan.lbr_keep_max, len(lbr)))
+            lbr = lbr[:keep]
+            self._note("lbr_truncated")
+
+        ip = sample.ip
+        if (plan.skid_rate and plan.skid_max
+                and rng.random() < plan.skid_rate):
+            ip += rng.randint(1, plan.skid_max)
+            self._note("skidded")
+
+        ts = sample.ts
+        skew = self._skew_ppm[tid]
+        if skew:
+            ts += (ts * skew) // 1_000_000
+            self._note("skewed")
+
+        out = sample
+        if lbr is not sample.lbr or ip != sample.ip or ts != sample.ts:
+            out = replace(sample, ip=ip, ts=ts, lbr=lbr)
+        if plan.corrupt_rate and rng.random() < plan.corrupt_rate:
+            out = self._corrupt(rng, out)
+            self._note("corrupted")
+
+        if plan.drop_rate and rng.random() < plan.drop_rate:
+            self._note("dropped")
+            return []
+        if plan.dup_rate and rng.random() < plan.dup_rate:
+            self._note("duplicated")
+            self._note("delivered", 2)
+            return [out, out]
+        self._note("delivered")
+        return [out]
+
+    def _corrupt(self, rng: random.Random, sample: Sample) -> Sample:
+        """Garble one payload field, the way a torn PEBS record would."""
+        kind = rng.randrange(6)
+        if kind == 0:
+            return replace(sample, event="pmu_glitch")
+        if kind == 1:
+            return replace(sample, ts=-abs(sample.ts) - 1)
+        if kind == 2:
+            return replace(sample, weight=-17)
+        if kind == 3:
+            return replace(sample, tid=sample.tid + 1_000)
+        if kind == 4:
+            # a junk LBR entry where an LbrEntry belongs
+            return replace(sample, lbr=("\x00garbage",) + sample.lbr[1:])
+        return replace(sample, ip=-sample.ip - 1)
+
+    # --------------------------------------------------------- machine layer
+
+    @property
+    def storms_enabled(self) -> bool:
+        return self.plan.storm_period > 0
+
+    def storm_due(self, tid: int, elapsed: int) -> int:
+        """Advance the per-thread timer by ``elapsed`` cycles; returns
+        how many timer interrupts fired in that window."""
+        period = self.plan.storm_period
+        left = self._storm_left[tid] - elapsed
+        due = 0
+        while left <= 0:
+            left += period
+            due += 1
+        self._storm_left[tid] = left
+        if due:
+            self._note("storm_interrupts", due)
+        return due
+
+    def _kill(self) -> None:
+        if self.plan.kill_mode == "exit":  # pragma: no cover - kills us
+            os._exit(66)
+        raise WorkerKilled(
+            f"injected worker death after {self._seen} samples"
+        )

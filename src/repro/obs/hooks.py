@@ -153,6 +153,18 @@ class Observability:
             if fields.get("aborted_txn"):
                 self.metrics.counter("pmu.txn_aborting_samples").inc()
 
+    def on_fault(self, kind: str, n: int = 1) -> None:
+        """One injected fault event (:mod:`repro.faults`): metered so a
+        chaos run's degradation is quantified next to what it degraded."""
+        if self.metrics is not None:
+            self.metrics.counter(f"faults.{kind}").inc(n)
+
+    def on_quarantine(self, reason: str) -> None:
+        """The profiler rejected a malformed sample instead of crashing."""
+        if self.metrics is not None:
+            self.metrics.counter("profiler.quarantined").inc()
+            self.metrics.counter(f"profiler.quarantined.{reason}").inc()
+
     # ------------------------------------------------------- engine events
 
     def on_syscall(self, tid: int, ts: int, kind: str,

@@ -137,6 +137,15 @@ class MachineConfig:
     #: the touch happens transactionally).
     page_faults: bool = True
 
+    # ---- fault injection (repro.faults) ------------------------------------
+    #: declarative fault plan (:class:`repro.faults.FaultPlan` in dict
+    #: form, kept as plain data so configs stay JSON-round-trippable and
+    #: the plan hashes into campaign ``JobSpec`` identity via the config
+    #: overrides).  ``None`` — or a plan with every fault class off —
+    #: builds no injector at all: the fault layer is provably
+    #: pass-through.
+    fault_plan: dict | None = None
+
     # ---- observability (repro.obs) -----------------------------------------
     #: record structured engine events (txn begin/commit/abort, lock
     #: activity, samples, barriers, syscalls) into per-thread ring

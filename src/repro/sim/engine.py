@@ -31,6 +31,7 @@ from ..htm.status import ABORT_INTERRUPT, ABORT_SYNC, AbortStatus
 # deferred to Simulator construction) so that importing any subpackage
 # first — core, htm, rtm or sim — resolves without a circular-import trap.
 from ..htm import tsx as _tsx
+from ..faults.inject import FaultInjector
 from ..obs.hooks import Observability
 from ..pmu.counters import PmuBank
 from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
@@ -75,6 +76,9 @@ class RunResult:
     #: snapshot of the run's metrics registry (empty unless
     #: ``MachineConfig.metrics_enabled``); see :mod:`repro.obs.metrics`
     metrics: dict[str, dict] = field(default_factory=dict)
+    #: ground-truth fault-injection counts (empty unless a non-zero
+    #: ``MachineConfig.fault_plan`` was active); see :mod:`repro.faults`
+    faults: dict[str, int] = field(default_factory=dict)
 
     @property
     def abort_commit_ratio(self) -> float:
@@ -116,6 +120,9 @@ class Simulator:
         ]
         self.rtm = _rtm_runtime.RtmRuntime(self)
         self.profiler = profiler
+        #: deterministic fault injection (None when the plan is absent or
+        #: all-zero, so the fault-free engine pays only a pointer test)
+        self.faults = FaultInjector.from_config(config, count, obs=self.obs)
         self.pmu: PmuBank | None = None
         if profiler is not None:
             self.pmu = PmuBank(count, config.sample_periods, seed=seed)
@@ -205,6 +212,7 @@ class Simulator:
             pmu_totals=totals,
             samples_delivered=self.samples_delivered,
             metrics=metrics,
+            faults=self.faults.summary() if self.faults is not None else {},
         )
 
     # ----------------------------------------------------------------- step
@@ -348,6 +356,8 @@ class Simulator:
         t.clock += cost
         t.last_value = result
         self._count(t, CYCLES, cost)
+        if self.faults is not None and self.faults.storms_enabled:
+            self._storm_tick(t, cost)
 
     # -------------------------------------------------------------- barriers
 
@@ -385,6 +395,24 @@ class Simulator:
                     # re-enter the run queue (the current thread is pushed
                     # by the main loop)
                     heapq.heappush(self._heap, (th.clock, tid_))
+
+    # ---------------------------------------------------------------- faults
+
+    def _storm_tick(self, t: ThreadContext, elapsed: int) -> None:
+        """Timer-interrupt storm (:mod:`repro.faults`): every interrupt
+        aborts an in-flight transaction — an *async* abort with no cause
+        bits beyond RETRY, exactly like the profiler's own sampling
+        interrupts — and burns handler cycles."""
+        due = self.faults.storm_due(t.tid, elapsed)
+        if not due:
+            return
+        storm_cost = self.faults.plan.storm_cost
+        for _ in range(due):
+            txn = self.htm.active.get(t.tid)
+            if txn is not None and txn.doomed is None:
+                self.htm.doom(txn, AbortStatus(ABORT_INTERRUPT,
+                                               detail="storm"))
+            t.clock += storm_cost
 
     # ------------------------------------------------------------------- PMU
 
@@ -440,4 +468,11 @@ class Simulator:
             self.obs.on_sample(t.tid, t.clock, sample.trace_fields())
         t.clock += cfg.handler_cost
         self.samples_delivered += 1
-        self.profiler.on_sample(sample)
+        if self.faults is None:
+            self.profiler.on_sample(sample)
+            return
+        # the observation boundary: the interrupt's machine effects
+        # (abort, handler cost) already happened above; only the record
+        # the profiler sees is filtered/garbled/duplicated here
+        for observed in self.faults.observe(t.tid, sample):
+            self.profiler.on_sample(observed)

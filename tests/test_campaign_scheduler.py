@@ -201,3 +201,52 @@ class TestFailurePolicy:
         records = runner.run(c)
         assert records[crash]["value"] == 99
         assert [records[k]["value"] for k in keys] == [0, 1, 2, 3]
+
+
+class TestMidRunKills:
+    """mode="kill_mid_run": the worker dies *inside* the simulation
+    (via the repro.faults kill), and the scheduler's retry machinery
+    recovers exactly as for a pre-work crash."""
+
+    def _kill_spec(self, marker, fail_times, kill_mode="raise"):
+        import dataclasses
+
+        spec = make_run_spec("micro_sync", n_threads=2, scale=0.5,
+                             seed=0, profile=True)
+        return dataclasses.replace(spec, inject={
+            "marker": str(marker), "mode": "kill_mid_run",
+            "fail_times": fail_times, "after_samples": 2,
+            "kill_mode": kill_mode,
+        })
+
+    def test_serial_kill_is_retried_until_success(self, tmp_path):
+        marker = tmp_path / "attempts"
+        c = Campaign(name="chaos-kill")
+        c.add(self._kill_spec(marker, fail_times=2), target=True)
+        runner = CampaignRunner(store=MemoryStore(), jobs=1,
+                                retry=fast_retry())
+        (record,) = runner.run(c).values()
+        assert record["result"]["makespan"] > 0
+        assert len(marker.read_text().splitlines()) == 2
+        assert runner.summary()["retries"] == 2
+
+    def test_killed_attempts_leave_no_partial_record(self, tmp_path):
+        store = MemoryStore()
+        c = Campaign(name="chaos-kill-2")
+        spec = self._kill_spec(tmp_path / "m", fail_times=1)
+        c.add(spec, target=True)
+        CampaignRunner(store=store, jobs=1, retry=fast_retry()).run(c)
+        # only the successful attempt's record is stored, and it is the
+        # complete, uninjected run
+        record = store.fetch(spec.key)
+        assert record["result"]["faults"] == {}
+
+    def test_pool_kill_exit_rebuilds_worker(self, tmp_path):
+        marker = tmp_path / "attempts"
+        c = Campaign(name="chaos-kill-pool")
+        c.add(self._kill_spec(marker, fail_times=1, kill_mode="exit"),
+              target=True)
+        runner = CampaignRunner(store=MemoryStore(), jobs=2,
+                                retry=fast_retry())
+        (record,) = runner.run(c).values()
+        assert record["result"]["makespan"] > 0

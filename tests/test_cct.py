@@ -262,3 +262,56 @@ class TestReconstruct:
         lbr = (_sample(), _abort(), _call(100, 2000), _call(90, 1900))
         rec = reconstruct(self._sample_obj(lbr), in_txn=True)
         assert rec.truncated
+
+
+class TestReconstructionConfidence:
+    """Confidence tagging for degraded (truncated/stale/empty) LBR
+    evidence — the repro.faults hardening of satellite reconstruction."""
+
+    def _sample_obj(self, lbr):
+        return Sample(event="cycles", tid=0, ts=10, ip=12345,
+                      ustack=((0, 7000),), lbr=tuple(lbr))
+
+    def test_zero_lbr_in_txn_falls_back_low_confidence(self):
+        from repro.cct.unwind import CONF_LOW
+
+        rec = reconstruct(self._sample_obj(()), in_txn=True)
+        # explicit low-confidence reconstruction: never an exception,
+        # never a silently-empty chain
+        assert rec.path == (call_key(0, 7000), BEGIN_IN_TX, ip_key(12345))
+        assert rec.in_txn
+        assert rec.truncated
+        assert rec.confidence == CONF_LOW
+
+    def test_full_evidence_is_high_confidence(self):
+        from repro.cct.unwind import CONF_HIGH
+
+        lbr = (_sample(), _abort(), _call(100, 2000),
+               _call(50, 1000, tsx=False))
+        rec = reconstruct(self._sample_obj(lbr), in_txn=True)
+        assert rec.confidence == CONF_HIGH
+
+    def test_truncated_evidence_is_low_confidence(self):
+        from repro.cct.unwind import CONF_LOW
+
+        # all entries in-TSX, no boundary: older history was evicted
+        lbr = (_sample(), _abort(), _call(100, 2000), _call(90, 1900))
+        rec = reconstruct(self._sample_obj(lbr), in_txn=True)
+        assert rec.truncated
+        assert rec.confidence == CONF_LOW
+
+    def test_stale_snapshot_without_abort_anchor_is_low_confidence(self):
+        from repro.cct.unwind import CONF_LOW
+
+        # claimed transactional, but the LBR holds no abort record to
+        # anchor the attempt window (stale/over-truncated snapshot)
+        lbr = (_call(50, 1000, tsx=False),)
+        rec = reconstruct(self._sample_obj(lbr), in_txn=True)
+        assert rec.confidence == CONF_LOW
+
+    def test_non_txn_sample_is_high_confidence(self):
+        from repro.cct.unwind import CONF_HIGH
+
+        rec = reconstruct(self._sample_obj(()), in_txn=False)
+        assert rec.confidence == CONF_HIGH
+        assert not rec.truncated

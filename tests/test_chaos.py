@@ -1,0 +1,108 @@
+"""The degradation-invariant harness (repro.faults.chaos)."""
+
+import json
+
+from repro.core.decision_tree import Guidance, Leaf
+from repro.faults.chaos import (
+    CellResult,
+    SiteSignature,
+    _leaf_of,
+    compare,
+    run_sweep,
+    signature,
+)
+from repro.experiments.runner import run_workload
+
+
+def sig(site, dominant, leaf):
+    return SiteSignature(site=site, dominant=dominant, leaf=leaf, aborts=10)
+
+
+class TestLeafSelection:
+    def test_prefers_abort_analysis_leaf(self):
+        g = Guidance()
+        g.reach(Leaf.MERGE_TRANSACTIONS)
+        g.reach(Leaf.TRUE_SHARING)
+        assert _leaf_of(g) == "true-sharing"
+
+    def test_falls_back_to_first_leaf(self):
+        g = Guidance()
+        g.reach(Leaf.RELAX_SERIALIZATION)
+        assert _leaf_of(g) == "relax-serialization"
+
+    def test_no_leaves(self):
+        assert _leaf_of(Guidance()) == "none"
+
+
+class TestCompare:
+    def test_identical_signatures_pass(self):
+        base = {"a": sig("a", "conflict", "true-sharing")}
+        cell = CellResult(workload="w", label="l", plan={})
+        compare(base, dict(base), cell)
+        assert cell.checked == 2
+        assert cell.mismatches == 0
+        assert cell.passed(0.0)
+
+    def test_flipped_dominant_class_fails(self):
+        base = {"a": sig("a", "conflict", "true-sharing")}
+        got = {"a": sig("a", "capacity", "true-sharing")}
+        cell = CellResult(workload="w", label="l", plan={})
+        compare(base, got, cell)
+        assert cell.mismatches == 1
+        assert not cell.passed(0.0)
+        assert cell.passed(0.5)
+
+    def test_lost_site_counts_as_mismatch(self):
+        base = {"a": sig("a", "conflict", "true-sharing")}
+        cell = CellResult(workload="w", label="l", plan={})
+        compare(base, {}, cell)
+        assert cell.lost_sites == ["a"]
+        assert not cell.passed(0.0)
+
+    def test_degraded_extra_sites_ignored(self):
+        base = {"a": sig("a", "conflict", "true-sharing")}
+        got = {"a": sig("a", "conflict", "true-sharing"),
+               "b": sig("b", "sync", "unfriendly-instructions")}
+        cell = CellResult(workload="w", label="l", plan={})
+        compare(base, got, cell)
+        assert cell.mismatches == 0
+
+
+class TestSignature:
+    def test_scores_only_sites_with_enough_aborts(self):
+        out = run_workload("micro_sync", n_threads=4, scale=0.5, seed=0,
+                           profile=True)
+        everything = signature(out.profile, min_aborts=1.0)
+        nothing = signature(out.profile, min_aborts=10_000.0)
+        assert everything and not nothing
+        for s in everything.values():
+            assert s.dominant == "sync"
+            assert s.leaf == "unfriendly-instructions"
+
+
+class TestSweep:
+    def test_sweep_passes_on_micro_sync(self):
+        rep = run_sweep(workloads=("micro_sync",), loss_rates=(0.5,),
+                        n_threads=4, scale=0.5, min_aborts=1.0)
+        assert rep.ok
+        assert not rep.passthrough_failures
+        labels = [c.label for c in rep.cells]
+        assert "drop=0.50" in labels
+        assert any(label.startswith("lbr-keep") for label in labels)
+        assert all(c.checked >= 2 for c in rep.cells)
+
+    def test_report_serializes_to_json(self):
+        rep = run_sweep(workloads=("micro_sync",), loss_rates=(0.25,),
+                        n_threads=4, scale=0.5, min_aborts=1.0,
+                        check_passthrough=False)
+        doc = json.loads(json.dumps(rep.to_dict()))
+        assert doc["ok"] is True
+        assert doc["cells"][0]["workload"] == "micro_sync"
+        assert "PASS" in rep.render()
+
+    def test_unscored_workload_is_reported_not_crashed(self):
+        rep = run_sweep(workloads=("micro_read_only",), loss_rates=(0.5,),
+                        n_threads=2, scale=0.5, check_passthrough=False)
+        assert rep.unscored == ["micro_read_only"]
+        assert rep.cells == []
+        assert rep.ok

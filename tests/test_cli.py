@@ -233,3 +233,66 @@ class TestCheckCommand:
         rc, out = run_cli("check", "no_such_workload", "--static-only")
         assert rc == 2
         assert "analyzer crashed" in capsys.readouterr().err
+
+
+class TestViewHardening:
+    """`repro view` on a missing/empty/torn database: exit 2 with a
+    one-line diagnostic, never a traceback."""
+
+    def test_missing_database(self, capsys):
+        rc, out = run_cli("view", "/nonexistent/profile.json")
+        assert rc == 2
+        assert "no such profile database" in capsys.readouterr().err
+
+    def test_empty_database(self, tmp_path, capsys):
+        db = tmp_path / "empty.json"
+        db.write_text("")
+        rc, out = run_cli("view", str(db))
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_torn_database(self, tmp_path, capsys):
+        db = tmp_path / "torn.json"
+        db.write_text('{"format": "txsampler-profile", "root": {"na')
+        rc, out = run_cli("view", str(db))
+        assert rc == 2
+        assert "cannot read profile database" in capsys.readouterr().err
+
+    def test_non_profile_document(self, tmp_path, capsys):
+        db = tmp_path / "junk.json"
+        db.write_text("[1, 2, 3]")
+        rc, out = run_cli("view", str(db))
+        assert rc == 2
+        assert "not a profile document" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_bad_rates_rejected(self, capsys):
+        rc, out = run_cli("chaos", "--rates", "nonsense")
+        assert rc == 2
+        assert "comma-separated floats" in capsys.readouterr().err
+
+    def test_out_of_range_rates_rejected(self, capsys):
+        rc, out = run_cli("chaos", "--rates", "0.1,1.5")
+        assert rc == 2
+        assert "[0, 1]" in capsys.readouterr().err
+
+    def test_sweep_smoke(self):
+        rc, out = run_cli(
+            "chaos", "micro_sync", "--rates", "0.5", "--threads", "4",
+            "--scale", "0.5", "--min-aborts", "1",
+        )
+        assert rc == 0
+        assert "degradation invariants" in out
+        assert "verdict: PASS" in out
+
+    def test_sweep_json(self):
+        rc, out = run_cli(
+            "chaos", "micro_sync", "--rates", "0.5", "--threads", "4",
+            "--scale", "0.5", "--min-aborts", "1", "--json",
+            "--skip-passthrough",
+        )
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["ok"] is True
+        assert doc["cells"]

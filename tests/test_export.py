@@ -134,9 +134,10 @@ class TestMergeDatabases:
         with pytest.raises(ProfileFormatError, match="different periods"):
             merge_databases([pa, pb])
 
-    def test_merge_requires_input(self):
-        with pytest.raises(ValueError):
-            merge_databases([])
+    def test_merge_tolerates_empty_input(self):
+        merged = merge_databases([])
+        assert merged.samples_kept == 0
+        assert merged.root.n_nodes() == 1  # just the root
 
     def test_merged_round_trips_through_disk(self, tmp_path):
         a = self._make_profile(1)

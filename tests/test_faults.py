@@ -1,0 +1,290 @@
+"""Deterministic fault injection (repro.faults): plan, injector, engine
+wiring, and the hardened pipeline's response."""
+
+import json
+
+import pytest
+
+from repro.core.export import profile_to_dict
+from repro.core.profiler import TxSampler
+from repro.experiments.runner import run_workload
+from repro.faults import FaultInjector, FaultPlan, FaultPlanError, WorkerKilled
+from repro.faults.plan import coerce_plan
+from repro.pmu.events import CYCLES
+from repro.pmu.lbr import KIND_ABORT, KIND_CALL, LbrEntry
+from repro.pmu.sampling import Sample
+from repro.sim.config import MachineConfig
+
+
+def lbr_abort(ip=100):
+    return LbrEntry(ip, ip + 4, KIND_ABORT, abort=True, in_tsx=True)
+
+
+def lbr_call(frm=200, to=300):
+    return LbrEntry(frm, to, KIND_CALL, abort=False, in_tsx=True)
+
+
+def make_sample(tid=0, ts=1_000, ip=500, lbr=(), event=CYCLES, weight=0):
+    return Sample(event=event, tid=tid, ts=ts, ip=ip, ustack=(),
+                  lbr=tuple(lbr), weight=weight)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_zero(self):
+        assert FaultPlan().is_zero()
+        assert FaultPlan(seed=7, skid_max=3, lbr_keep_max=1,
+                         storm_cost=9).is_zero()
+
+    def test_any_activator_deactivates_zero(self):
+        assert not FaultPlan(drop_rate=0.1).is_zero()
+        assert not FaultPlan(clock_skew_ppm=50).is_zero()
+        assert not FaultPlan(storm_period=1000).is_zero()
+        assert not FaultPlan(kill_after_samples=5).is_zero()
+
+    def test_rates_bounded(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drop_rate=1.5).validate()
+        with pytest.raises(FaultPlanError):
+            FaultPlan(dup_rate=-0.1).validate()
+
+    def test_bad_kill_mode_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(kill_mode="segfault").validate()
+
+    def test_to_dict_is_minimal_and_canonical(self):
+        assert FaultPlan().to_dict() == {}
+        plan = FaultPlan(seed=3, drop_rate=0.5)
+        assert plan.to_dict() == {"seed": 3, "drop_rate": 0.5}
+        # spelled differently, serializes identically
+        same = FaultPlan(seed=3, drop_rate=0.5, skid_max=8)
+        assert same.to_dict() == plan.to_dict()
+
+    def test_round_trip(self):
+        plan = FaultPlan(seed=1, drop_rate=0.25, storm_period=500)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown"):
+            FaultPlan.from_dict({"drop_rat": 0.5})
+
+    def test_coerce_accepts_plan_dict_none(self):
+        assert coerce_plan(None) is None
+        assert coerce_plan({"drop_rate": 0.5}) == FaultPlan(drop_rate=0.5)
+        plan = FaultPlan(dup_rate=0.1)
+        assert coerce_plan(plan) is plan
+
+    def test_plan_is_json_serializable(self):
+        doc = json.dumps(FaultPlan(seed=2, lbr_truncate_rate=0.3).to_dict())
+        assert FaultPlan.from_dict(json.loads(doc)).lbr_truncate_rate == 0.3
+
+
+class TestInjectorConstruction:
+    def test_zero_plan_yields_no_injector(self):
+        cfg = MachineConfig(n_threads=2, fault_plan={})
+        assert FaultInjector.from_config(cfg, 2) is None
+        cfg = MachineConfig(n_threads=2, fault_plan={"seed": 99})
+        assert FaultInjector.from_config(cfg, 2) is None
+        cfg = MachineConfig(n_threads=2)
+        assert FaultInjector.from_config(cfg, 2) is None
+
+    def test_active_plan_yields_injector(self):
+        cfg = MachineConfig(n_threads=2, fault_plan={"drop_rate": 0.5})
+        inj = FaultInjector.from_config(cfg, 2)
+        assert inj is not None
+        assert inj.plan.drop_rate == 0.5
+
+
+class TestInjectorDeterminism:
+    def _drive(self, plan, n=200):
+        inj = FaultInjector(plan, n_threads=2)
+        out = []
+        for i in range(n):
+            out.extend(inj.observe(i % 2, make_sample(
+                tid=i % 2, ts=1_000 + i, lbr=(lbr_abort(), lbr_call()))))
+        return inj.counts, [(s.ip, s.ts, len(s.lbr)) for s in out]
+
+    def test_same_seed_same_faults(self):
+        plan = FaultPlan(seed=5, drop_rate=0.3, skid_rate=0.2,
+                         lbr_truncate_rate=0.4)
+        assert self._drive(plan) == self._drive(plan)
+
+    def test_different_seed_different_faults(self):
+        a = self._drive(FaultPlan(seed=5, drop_rate=0.3))
+        b = self._drive(FaultPlan(seed=6, drop_rate=0.3))
+        assert a != b
+
+    def test_streams_independent_of_thread_interleaving(self):
+        plan = FaultPlan(seed=5, drop_rate=0.3, skid_rate=0.3)
+        samples = [make_sample(tid=tid, ts=1_000 + i,
+                               lbr=(lbr_abort(), lbr_call()))
+                   for i, tid in enumerate([0] * 50 + [1] * 50)]
+
+        def deliver(order):
+            inj = FaultInjector(plan, n_threads=2)
+            got = {0: [], 1: []}
+            for s in order:
+                got[s.tid].extend(
+                    (o.ip, o.ts) for o in inj.observe(s.tid, s))
+            return got
+
+        interleaved = sorted(samples, key=lambda s: s.ts)
+        assert deliver(samples) == deliver(interleaved)
+
+
+class TestInjectorFaults:
+    def test_drop_returns_empty(self):
+        inj = FaultInjector(FaultPlan(drop_rate=1.0), 1)
+        assert inj.observe(0, make_sample()) == []
+        assert inj.counts["dropped"] == 1
+        assert inj.counts["delivered"] == 0
+
+    def test_dup_returns_two(self):
+        inj = FaultInjector(FaultPlan(dup_rate=1.0), 1)
+        out = inj.observe(0, make_sample())
+        assert len(out) == 2 and out[0] is out[1]
+        assert inj.counts["duplicated"] == 1
+        assert inj.counts["delivered"] == 2
+
+    def test_skid_moves_ip_forward_only(self):
+        inj = FaultInjector(FaultPlan(skid_rate=1.0, skid_max=8), 1)
+        for i in range(50):
+            (out,) = inj.observe(0, make_sample(ip=500))
+            assert 500 < out.ip <= 508
+
+    def test_truncate_keeps_newest_prefix(self):
+        lbr = (lbr_abort(), lbr_call(1, 2), lbr_call(3, 4), lbr_call(5, 6))
+        inj = FaultInjector(
+            FaultPlan(lbr_truncate_rate=1.0, lbr_keep_max=2), 1)
+        for _ in range(50):
+            (out,) = inj.observe(0, make_sample(lbr=lbr))
+            assert len(out.lbr) <= 2
+            assert out.lbr == lbr[:len(out.lbr)]
+
+    def test_stale_replays_previous_snapshot(self):
+        inj = FaultInjector(FaultPlan(lbr_stale_rate=1.0), 1)
+        first = (lbr_abort(10),)
+        second = (lbr_abort(20),)
+        (out1,) = inj.observe(0, make_sample(lbr=first))
+        assert out1.lbr == first  # no previous snapshot yet
+        (out2,) = inj.observe(0, make_sample(lbr=second))
+        assert out2.lbr == first
+        assert inj.counts["lbr_stale"] == 1
+
+    def test_clock_skew_scales_timestamps(self):
+        inj = FaultInjector(FaultPlan(seed=3, clock_skew_ppm=100_000), 2)
+        (out,) = inj.observe(0, make_sample(ts=1_000_000))
+        skew = inj._skew_ppm[0]
+        assert out.ts == 1_000_000 + (1_000_000 * skew) // 1_000_000
+
+    def test_corrupted_samples_are_malformed(self):
+        inj = FaultInjector(FaultPlan(corrupt_rate=1.0), 1)
+        profiler = TxSampler()
+
+        class _Roots:
+            def __len__(self):
+                return 1
+
+        profiler.roots = _Roots()
+        bad = 0
+        for _ in range(60):
+            for out in inj.observe(0, make_sample(
+                    lbr=(lbr_abort(), lbr_call()))):
+                if profiler._validate(out) is not None:
+                    bad += 1
+        assert bad == inj.counts["corrupted"] == 60
+
+    def test_kill_raise(self):
+        inj = FaultInjector(FaultPlan(kill_after_samples=3), 1)
+        inj.observe(0, make_sample())
+        inj.observe(0, make_sample())
+        with pytest.raises(WorkerKilled):
+            inj.observe(0, make_sample())
+
+    def test_storm_due_counts_interrupts(self):
+        inj = FaultInjector(FaultPlan(storm_period=100), 1)
+        assert inj.storm_due(0, 50) == 0
+        assert inj.storm_due(0, 50) == 1
+        assert inj.storm_due(0, 350) == 3
+        assert inj.counts["storm_interrupts"] == 4
+
+
+class TestObservationInvariance:
+    """Observation-layer faults never change the simulated machine."""
+
+    PLAN = {"seed": 3, "drop_rate": 0.4, "dup_rate": 0.2, "skid_rate": 0.3,
+            "lbr_truncate_rate": 0.3, "lbr_stale_rate": 0.2,
+            "corrupt_rate": 0.2, "clock_skew_ppm": 500}
+
+    def _pair(self, **kw):
+        clean = run_workload("micro_sync", n_threads=2, scale=0.5, seed=0,
+                             profile=True, **kw)
+        faulty = run_workload("micro_sync", n_threads=2, scale=0.5, seed=0,
+                              profile=True, faults=self.PLAN, **kw)
+        return clean, faulty
+
+    def test_ground_truth_identical(self):
+        clean, faulty = self._pair()
+        rc, rf = clean.result, faulty.result
+        assert rc.makespan == rf.makespan
+        assert rc.commits == rf.commits
+        assert rc.aborts == rf.aborts
+        assert rc.aborts_by_reason == rf.aborts_by_reason
+        assert rf.faults  # but the injection is accounted for
+
+    def test_profiler_view_degrades(self):
+        clean, faulty = self._pair()
+        assert (faulty.profile.samples_kept
+                < clean.profile.samples_kept
+                + faulty.result.faults.get("duplicated", 0) + 1)
+        assert faulty.result.faults.get("dropped", 0) > 0
+
+    def test_corruption_is_quarantined_not_fatal(self):
+        _, faulty = self._pair()
+        assert faulty.profile.samples_quarantined > 0
+        assert faulty.profile.coverage < 1.0
+
+
+class TestPassThrough:
+    """The acceptance criterion: all-zero plan => byte-identical DBs."""
+
+    def test_zero_plan_profile_db_byte_identical(self):
+        clean = run_workload("micro_high_abort", n_threads=2, scale=0.5,
+                             seed=0, profile=True)
+        zero = run_workload("micro_high_abort", n_threads=2, scale=0.5,
+                            seed=0, profile=True,
+                            faults={"seed": 123, "skid_max": 2})
+        a = json.dumps(profile_to_dict(clean.profile), sort_keys=True)
+        b = json.dumps(profile_to_dict(zero.profile), sort_keys=True)
+        assert a == b
+        assert zero.result.faults == {}
+
+
+class TestStorms:
+    def test_storms_inflate_other_class_aborts(self):
+        clean = run_workload("micro_sync", n_threads=2, scale=0.5, seed=0)
+        stormy = run_workload("micro_sync", n_threads=2, scale=0.5, seed=0,
+                              faults={"storm_period": 2_000,
+                                      "storm_cost": 100})
+        extra = stormy.result.aborts_by_reason.get("interrupt", 0)
+        assert extra > clean.result.aborts_by_reason.get("interrupt", 0)
+        assert stormy.result.faults["storm_interrupts"] > 0
+        # storms perturb the machine: ground truth legitimately moves
+        assert stormy.result.makespan != clean.result.makespan
+
+    def test_storm_aborts_classified_other_by_profiler(self):
+        stormy = run_workload("micro_read_only", n_threads=2, scale=0.5,
+                              seed=0, profile=True,
+                              faults={"storm_period": 1_500})
+        for cs in stormy.profile.cs_reports():
+            # read-only sections abort only via the injected interrupts
+            assert cs.aborts_by_class.get("conflict", 0) == 0
+
+
+class TestFaultObservability:
+    def test_fault_counters_reach_metrics(self):
+        out = run_workload("micro_sync", n_threads=2, scale=0.5, seed=0,
+                           profile=True, metrics=True,
+                           faults={"drop_rate": 0.5})
+        dropped = out.result.faults["dropped"]
+        snap = out.result.metrics
+        assert snap["faults.dropped"]["value"] == dropped

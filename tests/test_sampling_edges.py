@@ -1,0 +1,71 @@
+"""Sampling edge cases: no samples, period > workload, abort-boundary
+samples.  The profiler and analyzer must degrade to sane answers, never
+crash or divide by zero."""
+
+from repro.core import DecisionTree
+from repro.core.report import render_full_report
+from repro.experiments.runner import run_workload
+from repro.sim.config import MachineConfig
+
+
+class TestZeroSampleRun:
+    def _zero_profile(self):
+        cfg = MachineConfig(n_threads=2, sample_periods={})
+        return run_workload("micro_low_abort", n_threads=2, scale=0.5,
+                            seed=0, config=cfg, profile=True)
+
+    def test_profile_is_empty_but_sane(self):
+        out = self._zero_profile()
+        p = out.profile
+        assert p.samples_kept == 0
+        assert p.samples_quarantined == 0
+        assert p.coverage == 1.0
+        assert p.attribution_confidence == 1.0
+        assert p.cs_reports() == []
+
+    def test_report_and_tree_handle_empty_profile(self):
+        out = self._zero_profile()
+        text = render_full_report(out.profile, "zero")
+        assert "zero" in text
+        g = DecisionTree().analyze(out.profile)
+        assert g.leaf_values()  # reaches a terminal, never crashes
+
+
+class TestPeriodLongerThanWorkload:
+    def test_enabled_events_that_never_fire(self):
+        huge = {ev: 10**9 for ev in
+                ("cycles", "mem_loads", "mem_stores",
+                 "rtm_aborted", "rtm_commit")}
+        cfg = MachineConfig(n_threads=2, sample_periods=huge)
+        out = run_workload("micro_low_abort", n_threads=2, scale=0.5,
+                           seed=0, config=cfg, profile=True)
+        assert out.profile.samples_kept == 0
+        assert out.result.makespan > 0
+        # no samples => no handler cost => identical to a native run
+        native = run_workload("micro_low_abort", n_threads=2, scale=0.5,
+                              seed=0)
+        assert out.result.makespan == native.result.makespan
+
+
+class TestAbortBoundarySamples:
+    def test_every_abort_sampled_matches_ground_truth(self):
+        """rtm_aborted period 1: one sample lands exactly on every abort
+        boundary; sampled abort counts must equal the machine's."""
+        cfg = MachineConfig(n_threads=2, sample_periods={"rtm_aborted": 1})
+        out = run_workload("micro_high_abort", n_threads=2, scale=0.5,
+                           seed=0, config=cfg, profile=True)
+        assert out.result.aborts > 0
+        sampled = sum(cs.aborts for cs in out.profile.cs_reports())
+        assert sampled == out.result.aborts
+        assert out.profile.samples_quarantined == 0
+
+    def test_abort_samples_are_transactional_with_lbr_anchor(self):
+        """The sample at an abort boundary sees rolled-back architectural
+        state; attribution must still land under begin_in_tx with full
+        confidence (the abort LBR entry is the anchor)."""
+        cfg = MachineConfig(n_threads=2,
+                            sample_periods={"rtm_aborted": 1})
+        out = run_workload("micro_high_abort", n_threads=2, scale=0.5,
+                           seed=0, config=cfg, profile=True)
+        assert out.profile.low_confidence_paths == 0
+        assert any(cs.abort_weight > 0 for cs in out.profile.cs_reports())

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Engine perf baseline: time the micro suite, emit ``BENCH_engine.json``.
+
+ROADMAP item 1 (speed up the simulation engine) needs a recorded
+trajectory before any optimization claim means anything.  This script is
+that trajectory: it runs every ``micro`` suite workload profiled, takes
+the **median wall time** over ``--repeats`` runs, and derives throughput
+numbers from :mod:`repro.obs.selfprof` self-diagnostics — simulated
+events retired and samples delivered per wall-clock second.
+
+Regenerate the committed baseline from the repo root with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+
+The output is deterministic in shape but not in timings, so diffs of the
+file show host drift, not code drift; compare ``events_per_sec`` ratios
+across commits on the *same* host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.runner import run_workload            # noqa: E402
+from repro.htmbench.base import WORKLOADS, workload_names    # noqa: E402
+from repro.obs.selfprof import diagnose                      # noqa: E402
+
+#: defaults sized so the full suite regenerates in well under a minute
+DEFAULT_THREADS = 4
+DEFAULT_SCALE = 1.0
+DEFAULT_SEED = 0
+DEFAULT_REPEATS = 5
+
+
+def bench_workload(name: str, *, n_threads: int, scale: float, seed: int,
+                   repeats: int) -> dict:
+    """Median-of-``repeats`` timing for one profiled workload run."""
+    times: list[float] = []
+    events = 0
+    samples = 0
+    makespan = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = run_workload(name, n_threads=n_threads, scale=scale,
+                           seed=seed, profile=True)
+        times.append(time.perf_counter() - t0)
+        assert out.sim is not None and out.profiler is not None
+        diag = diagnose(out.profiler, out.sim)
+        # identical seed+config ⇒ identical simulated run; keep the
+        # counts from the last repeat (they all agree)
+        events = sum(out.result.pmu_totals.values())
+        samples = diag.handler_invocations
+        makespan = out.result.makespan
+    median = statistics.median(times)
+    return {
+        "workload": name,
+        "median_wall_s": round(median, 6),
+        "min_wall_s": round(min(times), 6),
+        "pmu_events": events,
+        "samples_delivered": samples,
+        "makespan_cycles": makespan,
+        "events_per_sec": round(events / median) if median else 0,
+        "samples_per_sec": round(samples / median) if median else 0,
+    }
+
+
+def run_suite(*, n_threads: int, scale: float, seed: int, repeats: int,
+              workloads: list[str] | None = None) -> dict:
+    names = workloads or workload_names(suite="micro")
+    rows = [
+        bench_workload(name, n_threads=n_threads, scale=scale, seed=seed,
+                       repeats=repeats)
+        for name in names
+    ]
+    return {
+        "bench": "engine",
+        "config": {
+            "n_threads": n_threads,
+            "scale": scale,
+            "seed": seed,
+            "repeats": repeats,
+            "python": platform.python_version(),
+        },
+        "workloads": rows,
+        "totals": {
+            "median_wall_s": round(sum(r["median_wall_s"] for r in rows), 6),
+            "pmu_events": sum(r["pmu_events"] for r in rows),
+            "samples_delivered": sum(r["samples_delivered"] for r in rows),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output path (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="runs per workload; the median is kept "
+                             "(default: %(default)s)")
+    parser.add_argument("--threads", type=int, default=DEFAULT_THREADS)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--workloads", nargs="*", metavar="NAME",
+                        help="subset to bench (default: the micro suite)")
+    args = parser.parse_args(argv)
+
+    for name in args.workloads or []:
+        if name not in WORKLOADS:
+            parser.error(f"unknown workload {name!r}")
+
+    doc = run_suite(n_threads=args.threads, scale=args.scale,
+                    seed=args.seed, repeats=args.repeats,
+                    workloads=args.workloads)
+    Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                              + "\n")
+    width = max(len(r["workload"]) for r in doc["workloads"])
+    for row in doc["workloads"]:
+        print(f"{row['workload']:{width}s}  "
+              f"{row['median_wall_s']*1e3:8.1f} ms  "
+              f"{row['events_per_sec']:>12,d} ev/s  "
+              f"{row['samples_per_sec']:>8,d} samp/s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

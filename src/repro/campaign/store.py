@@ -31,6 +31,15 @@ one, keeping only the newest record per key and dropping superseded
 ones.  The store is single-writer by design: only the campaign driver
 process touches it (workers hand records back over the pool's result
 channel), so no cross-process locking is needed.
+
+Replay-log sidecars: a record carrying a ``replay_log`` (the
+:mod:`repro.replay` observation stream of a profiled run) has the log
+body split out into ``replay/<key>.rlog`` — content-addressed next to
+the results, one file per store key — and the stored record keeps only
+the ``replay`` reference.  Reads rehydrate transparently, so callers
+see the same record shape whether the run was fresh or cached, and any
+cached experiment is re-analyzable offline.  Compaction prunes sidecars
+no longer referenced by the surviving records.
 """
 
 from __future__ import annotations
@@ -158,17 +167,42 @@ class ResultStore:
             offset += length + 1  # the newline
         return entries, min(offset, len(raw))
 
+    def _amputate(self, path: Path, valid: int) -> int:
+        """Make ``path`` safe to append to after a torn tail.
+
+        Cuts everything past the ``valid`` prefix, then terminates an
+        unterminated final line — a cut can land exactly at end-of-line
+        but before the newline, leaving a parseable last record that the
+        next append would otherwise glue onto, destroying both on the
+        following replay.  Returns the resulting file size.
+        """
+        try:
+            size = path.stat().st_size
+        except FileNotFoundError:
+            return 0
+        with path.open("ab") as fh:
+            if size > valid:
+                fh.truncate(valid)
+                size = valid
+            if size:
+                with path.open("rb") as rfh:
+                    rfh.seek(size - 1)
+                    terminated = rfh.read(1) == b"\n"
+                if not terminated:
+                    fh.write(b"\n")
+                    _fsync(fh)
+                    size += 1
+        return size
+
     def _recover(self) -> None:
         live: list[str] = []
         manifest = self.root / self.MANIFEST
         manifest_entries, manifest_valid = self._replay_lines(manifest)
-        if (manifest.exists()
-                and manifest.stat().st_size > manifest_valid):
-            # cut the torn tail off NOW: the next manifest append would
-            # otherwise glue onto the unterminated line, and both the
-            # garbage and the new entry would be unreadable on replay
-            with manifest.open("ab") as fh:
-                fh.truncate(manifest_valid)
+        if manifest.exists():
+            # repair the tail NOW: the next manifest append would
+            # otherwise glue onto a torn or unterminated line, and both
+            # the garbage and the new entry would be unreadable on replay
+            self._amputate(manifest, manifest_valid)
         for entry in manifest_entries:
             op, segment = entry.get("op"), entry.get("segment")
             if not isinstance(segment, str):
@@ -194,16 +228,11 @@ class ResultStore:
         valid_sizes = {segment: self._scan_segment(segment)
                        for segment in live}
         if live:
-            tail = self.root / live[-1]
-            size = tail.stat().st_size if tail.exists() else 0
-            valid = valid_sizes[live[-1]]
-            if size > valid:
-                # torn tail from a hard kill mid-append: cut the garbage
-                # off before continuing to append, or the next record
-                # would land on the same unterminated line and be lost
-                with tail.open("ab") as fh:
-                    fh.truncate(valid)
-                size = valid
+            # torn tail from a hard kill mid-append: cut the garbage off
+            # (and re-terminate the last intact line) before continuing
+            # to append, or the next record would land on the same
+            # unterminated line and be lost
+            size = self._amputate(self.root / live[-1], valid_sizes[live[-1]])
             if size < self.segment_bytes:
                 self._current, self._current_size = live[-1], size
 
@@ -253,7 +282,37 @@ class ResultStore:
         self._live.append(segment)
         self._current, self._current_size = segment, 0
 
+    REPLAY_DIR = "replay"
+
+    def _stash_replay(self, key: str, record: dict) -> dict:
+        """Split an inline ``replay_log`` into its sidecar file."""
+        if "replay_log" not in record:
+            return record
+        record = dict(record)
+        text = record.pop("replay_log")
+        rel = f"{self.REPLAY_DIR}/{key}.rlog"
+        if isinstance(text, str):
+            path = self.root / rel
+            path.parent.mkdir(exist_ok=True)
+            path.write_text(text)
+            record["replay"] = rel
+        return record
+
+    def _resolve_replay(self, record: dict) -> dict:
+        """Rehydrate a ``replay`` sidecar reference back inline."""
+        rel = record.get("replay")
+        if not isinstance(rel, str):
+            return record
+        record = dict(record)
+        del record["replay"]
+        try:
+            record["replay_log"] = (self.root / rel).read_text()
+        except OSError:
+            pass  # sidecar lost: degrade to a record without a log
+        return record
+
     def put(self, key: str, record: dict) -> None:
+        record = self._stash_replay(key, record)
         if self._current is None or self._current_size >= self.segment_bytes:
             self._rotate()
         line = json.dumps(
@@ -294,7 +353,7 @@ class ResultStore:
             raise StoreError(
                 f"corrupt record for {key[:12]} in {segment}@{offset}"
             ) from exc
-        return entry["record"]
+        return self._resolve_replay(entry["record"])
 
     def get(self, key: str) -> dict | None:
         loc = self._index.get(key)
@@ -312,7 +371,7 @@ class ResultStore:
                 f"corrupt record for {key[:12]} in {segment}@{offset}"
             ) from exc
         self.hits += 1
-        return entry["record"]
+        return self._resolve_replay(entry["record"])
 
     def keys(self) -> list[str]:
         return list(self._index)
@@ -349,6 +408,14 @@ class ResultStore:
                 (self.root / segment).unlink()
             except FileNotFoundError:
                 pass
+        # prune replay sidecars whose key no longer survives the fold
+        # (a superseded record's log is as dead as the record itself)
+        for path in (self.root / self.REPLAY_DIR).glob("*.rlog"):
+            if path.stem not in self._index:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
         return dropped
 
     def close(self) -> None:

@@ -157,6 +157,9 @@ def _run_job(spec: JobSpec, deps: dict[str, dict]) -> dict:
         instrument=spec.instrument,
         trace=spec.trace,
         metrics=spec.metrics,
+        # every profiled campaign run records its observation stream
+        # (repro.replay), so any cached experiment replays offline
+        record=spec.profile,
         **(spec.params or {}),
     )
     record: dict = {
@@ -166,6 +169,8 @@ def _run_job(spec: JobSpec, deps: dict[str, dict]) -> dict:
     }
     if out.profile is not None:
         record["profile_db"] = profile_to_dict(out.profile)
+    if out.replay_log is not None:
+        record["replay_log"] = out.replay_log
     return record
 
 
@@ -258,4 +263,5 @@ def outcome_from_record(record: dict):
     profile = None
     if "profile_db" in record:
         profile = profile_from_dict(record["profile_db"])
-    return Outcome(result=RunResult(**record["result"]), profile=profile)
+    return Outcome(result=RunResult(**record["result"]), profile=profile,
+                   replay_log=record.get("replay_log"))

@@ -8,6 +8,9 @@ event tracer, and the ``repro.campaign`` batch orchestrator)::
     python -m repro list
     python -m repro check micro_capacity --json
     python -m repro run dedup --guidance --save-db dedup.json
+    python -m repro record dedup --out dedup.rlog
+    python -m repro replay dedup.rlog --save-db dedup-replayed.json
+    python -m repro diff dedup.json dedup.rlog
     python -m repro trace dedup --trace-out dedup-trace.json
     python -m repro view dedup.json
     python -m repro chaos --rates 0.25,0.5
@@ -160,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sarif", metavar="PATH",
                    help="also write every finding as a SARIF 2.1.0 log "
                         "(GitHub code-scanning compatible)")
+    p.add_argument("--artifact-dir", metavar="DIR", default=None,
+                   dest="artifact_dir",
+                   help="when cross-validation disagrees, dump a replay "
+                        "log of the dynamic run into DIR")
     _add_common(p)
 
     p = sub.add_parser("run", help="run a workload under TxSampler "
@@ -178,6 +185,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect run metrics and print them with the "
                         "profiler self-diagnostics")
     _add_common(p)
+
+    p = sub.add_parser(
+        "record",
+        help="run a workload under TxSampler while recording the "
+             "observation stream (repro.replay) into a replay log")
+    p.add_argument("workload")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="replay-log path (default <workload>.rlog)")
+    p.add_argument("--save-db", metavar="PATH",
+                   help="also write the live profile database (JSON)")
+    p.add_argument("--fault-plan", metavar="JSON", default=None,
+                   help="record under this fault plan "
+                        "(repro.faults.FaultPlan fields as one JSON "
+                        "object, e.g. '{\"seed\": 1, \"drop_rate\": "
+                        "0.25}')")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "replay",
+        help="deterministically reconstruct a profile database from a "
+             "replay log — no simulator in the loop")
+    p.add_argument("log", help="replay log written by 'repro record'")
+    p.add_argument("--save-db", metavar="PATH",
+                   help="write the reconstructed profile database (JSON)")
+    p.add_argument("--guidance", action="store_true",
+                   help="walk the Figure 1 decision tree")
+    p.add_argument("--no-report", action="store_true",
+                   help="suppress the textual report")
+
+    p = sub.add_parser(
+        "diff",
+        help="time-travel comparison of two profiles: per-site "
+             "abort-class deltas, decision-tree leaf changes, metric "
+             "deltas; exits 1 on any delta")
+    p.add_argument("a", help="profile database (.json) or replay log "
+                             "(.rlog)")
+    p.add_argument("b", help="profile database (.json) or replay log "
+                             "(.rlog)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the diff as one JSON document")
 
     p = sub.add_parser("trace",
                        help="run a workload with the repro.obs event "
@@ -225,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the zero-plan byte-identity check")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the report as one JSON document")
+    p.add_argument("--artifact-dir", metavar="DIR", default=None,
+                   dest="artifact_dir",
+                   help="dump a replay log (repro.replay) for every "
+                        "diverging cell into DIR (created on first "
+                        "divergence; nothing recorded otherwise)")
     _add_common(p)
 
     p = sub.add_parser("measure-overhead",
@@ -305,6 +357,42 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+
+def _dump_crossval_artifact(args, name: str) -> str:
+    """Record the dynamic crossval run (exact re-execution) for offline
+    replay when the static and dynamic sides disagree."""
+    from .analysis.crossval import VALIDATION_PERIODS
+    from .replay.artifacts import dump_run_artifact
+    from .sim.config import MachineConfig
+
+    dyn_cfg = MachineConfig(n_threads=args.threads).evolve(
+        sample_periods=dict(VALIDATION_PERIODS))
+    path = dump_run_artifact(
+        args.artifact_dir, f"{name}-crossval", name,
+        n_threads=args.threads, scale=args.scale, seed=args.seed,
+        config=dyn_cfg,
+    )
+    return str(path)
+
+
+def _load_profile_any(path: str):
+    """Load a profile from either a database (.json) or a replay log
+    (.rlog, reconstructed by replay)."""
+    from .replay import ReplayFormatError, replay_file
+
+    try:
+        return load_profile(path)
+    except ProfileFormatError:
+        pass
+    try:
+        _, profile = replay_file(path)
+    except (ReplayFormatError, ValueError) as exc:
+        raise ProfileFormatError(
+            f"{path}: neither a profile database nor a replay log "
+            f"({exc})"
+        ) from exc
+    return profile
 
 
 def _metrics_brief(snapshot: dict) -> str:
@@ -428,10 +516,15 @@ def cmd_check(args) -> int:
                                       predict=args.predict_tree)
             reports.append(report)
             cv = None
+            cv_artifact = None
             if not args.static_only:
                 cv = cross_validate(name, n_threads=args.threads,
                                     scale=args.scale, seed=args.seed,
                                     report=report)
+                if (args.artifact_dir
+                        and (cv.disagreements()
+                             or cv.leaf_disagreements())):
+                    cv_artifact = _dump_crossval_artifact(args, name)
         except Exception as exc:
             crashed.append(name)
             _log.error(f"{name}: analyzer crashed: "
@@ -451,6 +544,8 @@ def cmd_check(args) -> int:
             entry["unexpected_codes"] = surprises
             if cv is not None:
                 entry["crossval"] = cv.to_dict()
+            if cv_artifact is not None:
+                entry["replay_artifact"] = cv_artifact
             docs[name] = entry
         else:
             if i:
@@ -469,6 +564,8 @@ def cmd_check(args) -> int:
             if cv is not None:
                 _log.info("")
                 _log.info(render_crossval(cv))
+            if cv_artifact is not None:
+                _log.info(f"replay artifact: {cv_artifact}")
     if args.sarif:
         from .analysis import to_sarif
 
@@ -524,6 +621,92 @@ def cmd_run(args) -> int:
         path = save_profile(profile, args.save_db, run_metrics=r.metrics)
         _log.info(f"\nprofile database written to {path}")
     return 0
+
+
+def cmd_record(args) -> int:
+    import json
+
+    plan = None
+    if args.fault_plan:
+        from .faults.plan import coerce_plan
+
+        try:
+            plan = coerce_plan(json.loads(args.fault_plan))
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            _log.error(f"--fault-plan: not a FaultPlan JSON object: {exc}")
+            return 2
+    out = run_workload(args.workload, n_threads=args.threads,
+                       scale=args.scale, seed=args.seed, profile=True,
+                       record=True, faults=plan)
+    assert out.replay_log is not None
+    dest = args.out or f"{args.workload}.rlog"
+    from pathlib import Path
+
+    path = Path(dest)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(out.replay_log)
+    r = out.result
+    _log.info(f"makespan={r.makespan} commits={r.commits} "
+              f"aborts={r.aborts}")
+    n_events = out.replay_log.count("\n") - 2  # header + manifest
+    _log.info(f"replay log written to {path} ({n_events} observation "
+              f"events, {len(out.replay_log)} bytes)")
+    if args.save_db:
+        db = save_profile(out.profile, args.save_db)
+        _log.info(f"profile database written to {db}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .replay import ReplayFormatError, load_replay, replay_profile
+
+    try:
+        log = load_replay(args.log)
+    except ReplayFormatError as exc:
+        _log.error(f"cannot read replay log: {exc}")
+        return 2
+    status = "sealed" if log.complete else (
+        f"UNSEALED (torn tail: {log.torn_lines} line(s) discarded; "
+        "replaying the intact prefix)")
+    workload = log.meta.get("workload", "?")
+    _log.info(f"replay log: workload={workload} "
+              f"threads={log.n_threads} events={len(log.events)} "
+              f"[{status}]")
+    try:
+        profile = replay_profile(log)
+    except ValueError as exc:
+        _log.error(str(exc))
+        return 2
+    if not args.no_report:
+        _log.info("")
+        _log.info(render_full_report(profile, f"replay of {workload}"))
+    if args.guidance:
+        _log.info("")
+        _log.info(DecisionTree().analyze(profile).render())
+    if args.save_db:
+        path = save_profile(profile, args.save_db)
+        _log.info(f"\nprofile database written to {path}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    import json
+
+    from .replay import diff_profiles
+
+    try:
+        a = _load_profile_any(args.a)
+        b = _load_profile_any(args.b)
+    except ProfileFormatError as exc:
+        _log.error(str(exc))
+        return 2
+    diff = diff_profiles(a, b, label_a=args.a, label_b=args.b)
+    if args.as_json:
+        _log.info(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        _log.info(diff.render())
+    return 0 if diff.identical else 1
 
 
 def cmd_trace(args) -> int:
@@ -599,6 +782,7 @@ def cmd_chaos(args) -> int:
         min_aborts=args.min_aborts,
         lbr_keep_max=args.lbr_keep,
         check_passthrough=not args.skip_passthrough,
+        artifact_dir=args.artifact_dir,
     )
     if args.as_json:
         _log.info(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -833,6 +1017,9 @@ COMMANDS = {
     "list": cmd_list,
     "check": cmd_check,
     "run": cmd_run,
+    "record": cmd_record,
+    "replay": cmd_replay,
+    "diff": cmd_diff,
     "trace": cmd_trace,
     "view": cmd_view,
     "chaos": cmd_chaos,

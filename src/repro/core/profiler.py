@@ -195,22 +195,39 @@ class TxSampler:
 
     # -- the offline analyzer entry point -----------------------------------------
 
-    def profile(self) -> Profile:
-        """Merge the per-thread profiles (reduction tree, §6) and return
-        the aggregate :class:`~repro.core.analyzer.Profile`."""
+    def build_profile(self, n_threads: int, periods: dict[str, int],
+                      site_names: dict[int, str]) -> Profile:
+        """Merge the per-thread profiles (reduction tree, §6) under
+        caller-supplied run metadata.
+
+        :meth:`profile` pulls the metadata from the attached simulator;
+        the replayer (:mod:`repro.replay`) calls this directly with the
+        metadata its log recorded, so both paths share one merge.
+        """
         if self._profile is None:
-            if self.sim is None or self.rtm is None:
-                raise RuntimeError("profiler was never attached")
             merged = merge_profiles(self.roots)
             self.roots = []  # consumed by the merge
             self._profile = Profile(
                 root=merged,
-                n_threads=len(self.sim.threads),
-                periods=dict(self.sim.config.sample_periods),
-                site_names=dict(self.rtm.site_names),
+                n_threads=n_threads,
+                periods=dict(periods),
+                site_names=dict(site_names),
                 samples_seen=dict(self.samples_seen),
                 truncated_paths=self.truncated_paths,
                 low_confidence_paths=self.low_confidence_paths,
                 quarantined=dict(self.quarantined),
+            )
+        return self._profile
+
+    def profile(self) -> Profile:
+        """Merge the per-thread profiles and return the aggregate
+        :class:`~repro.core.analyzer.Profile` for a live run."""
+        if self._profile is None:
+            if self.sim is None or self.rtm is None:
+                raise RuntimeError("profiler was never attached")
+            return self.build_profile(
+                n_threads=len(self.sim.threads),
+                periods=self.sim.config.sample_periods,
+                site_names=self.rtm.site_names,
             )
         return self._profile

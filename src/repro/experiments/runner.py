@@ -22,6 +22,7 @@ from ..faults.plan import FaultPlan, coerce_plan
 from .. import htmbench  # noqa: F401  (imports register all workloads)
 from ..htmbench.base import Workload, get_workload
 from ..obs.hooks import Observability
+from ..replay.recorder import ObservationRecorder
 from ..rtm.instrument import TxnInstrumentation
 from ..sim.config import DEFAULT_THREADS, MachineConfig
 from ..sim.engine import RunResult, Simulator
@@ -45,6 +46,8 @@ class Outcome:
     instrument: TxnInstrumentation | None = None
     #: the run's observability bundle (tracer/metrics), when enabled
     obs: Observability | None = None
+    #: the sealed replay log (text form), when recording was requested
+    replay_log: str | None = None
 
 
 def _resolve(workload: WorkloadLike, params: dict) -> Workload:
@@ -65,6 +68,7 @@ def run_workload(
     trace: bool = False,
     metrics: bool = False,
     faults: FaultPlan | dict | None = None,
+    record: bool = False,
     **params,
 ) -> Outcome:
     """Build + run one workload; optionally attach TxSampler and/or the
@@ -77,6 +81,10 @@ def run_workload(
     ``faults`` is an optional :class:`repro.faults.FaultPlan` (or its
     dict form) injected at the observation boundary; it overrides any
     plan already on ``config``.
+
+    ``record`` captures the observation stream into a sealed
+    :mod:`repro.replay` log, returned as ``Outcome.replay_log``;
+    it requires ``profile`` (there is no stream to record otherwise).
     """
     cfg = config or MachineConfig(n_threads=n_threads)
     if faults is not None:
@@ -89,9 +97,23 @@ def run_workload(
             trace_enabled=cfg.trace_enabled or trace,
             metrics_enabled=cfg.metrics_enabled or metrics,
         )
+    if record and not profile:
+        raise ValueError("record=True requires profile=True — the replay "
+                         "log captures the profiler's observation stream")
     wl = _resolve(workload, params)
     profiler = TxSampler(contention_threshold) if profile else None
-    sim = Simulator(cfg, n_threads=n_threads, seed=seed, profiler=profiler)
+    recorder = None
+    if record:
+        recorder = ObservationRecorder({
+            "workload": wl.name if isinstance(workload, str) else
+            getattr(wl, "name", str(wl)),
+            "n_threads": n_threads,
+            "scale": scale,
+            "seed": seed,
+            "fault_plan": cfg.fault_plan,
+        })
+    sim = Simulator(cfg, n_threads=n_threads, seed=seed, profiler=profiler,
+                    recorder=recorder)
     instr = None
     if instrument:
         instr = TxnInstrumentation()
@@ -99,6 +121,12 @@ def run_workload(
     rng = random.Random(seed * 7919 + 13)
     sim.set_programs(wl.build(sim, n_threads, scale, rng))
     result = sim.run()
+    replay_log = None
+    if recorder is not None:
+        replay_log = recorder.finalize(
+            summary={"makespan": result.makespan,
+                     "samples_delivered": result.samples_delivered},
+        ).dumps()
     return Outcome(
         result=result,
         sim=sim,
@@ -106,6 +134,7 @@ def run_workload(
         profiler=profiler,
         instrument=instr,
         obs=sim.obs,
+        replay_log=replay_log,
     )
 
 

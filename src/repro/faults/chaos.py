@@ -117,6 +117,8 @@ class ChaosReport:
     passthrough_failures: list[str] = field(default_factory=list)
     #: workloads skipped because the clean run scored no site
     unscored: list[str] = field(default_factory=list)
+    #: replay logs dumped for diverging cells (``artifact_dir`` was set)
+    artifacts: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -131,6 +133,7 @@ class ChaosReport:
             "min_aborts": self.min_aborts,
             "passthrough_failures": self.passthrough_failures,
             "unscored": self.unscored,
+            "artifacts": self.artifacts,
             "cells": [
                 {
                     "workload": c.workload,
@@ -164,6 +167,8 @@ class ChaosReport:
         pt = ("FAILED for " + ", ".join(self.passthrough_failures)
               if self.passthrough_failures else "ok (byte-identical)")
         lines.append(f"zero-plan pass-through: {pt}")
+        for path in self.artifacts:
+            lines.append(f"replay artifact: {path}")
         lines.append(f"verdict: {'PASS' if self.ok else 'FAIL'} "
                      f"(tolerance {self.tolerance:.0%})")
         return "\n".join(lines)
@@ -248,6 +253,7 @@ def run_sweep(
     min_aborts: float = 5.0,
     lbr_keep_max: int = 2,
     check_passthrough: bool = True,
+    artifact_dir: str | None = None,
 ) -> ChaosReport:
     """Run the degradation-invariant sweep and return the report.
 
@@ -256,8 +262,24 @@ def run_sweep(
     plan (``lbr_truncate_rate=1.0, lbr_keep_max=lbr_keep_max``).  All
     runs share ``seed`` so the simulated machine is identical; only the
     observation layer differs.
+
+    With ``artifact_dir``, every diverging cell (signature flip or
+    pass-through failure) re-runs with :mod:`repro.replay` recording on
+    and dumps the observation stream as a ``.rlog`` next to the report;
+    the happy path records nothing.
     """
     from ..experiments.runner import run_workload
+
+    def dump(name: str, wl: str, plan: FaultPlan | None) -> None:
+        if artifact_dir is None:
+            return
+        from ..replay.artifacts import dump_run_artifact
+
+        path = dump_run_artifact(
+            artifact_dir, name, wl, n_threads=n_threads, scale=scale,
+            seed=seed, faults=plan,
+        )
+        report.artifacts.append(str(path))
 
     report = ChaosReport(tolerance=tolerance, min_aborts=min_aborts)
     for wl in workloads:
@@ -273,6 +295,8 @@ def run_sweep(
             if (_profile_bytes(zero.profile)
                     != _profile_bytes(clean.profile)):
                 report.passthrough_failures.append(wl)
+                dump(f"{wl}-clean", wl, None)
+                dump(f"{wl}-zero-plan", wl, FaultPlan(seed=fault_seed))
         if not base_sig:
             report.unscored.append(wl)
             continue
@@ -294,4 +318,6 @@ def run_sweep(
                               plan=plan.to_dict())
             compare(base_sig, degraded_signature(out.profile), cell)
             report.cells.append(cell)
+            if not cell.passed(tolerance):
+                dump(f"{wl}-{label}", wl, plan)
     return report

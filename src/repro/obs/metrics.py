@@ -13,7 +13,8 @@ sorted, histogram buckets are fixed at creation.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
+from typing import TypeVar
 
 #: default histogram bucket upper bounds for cycle-valued quantities
 CYCLE_BUCKETS: tuple[int, ...] = (
@@ -45,7 +46,7 @@ class Gauge:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: int | float = 0
 
     def set(self, v: int | float) -> None:
         self.value = v
@@ -75,7 +76,7 @@ class Histogram:
         self.counts: list[int] = [0] * len(self.bounds)
         self.overflow = 0
         self.count = 0
-        self.sum = 0
+        self.sum: int | float = 0
         self.min: int | float | None = None
         self.max: int | float | None = None
 
@@ -117,6 +118,8 @@ class Histogram:
 
 Instrument = Counter | Gauge | Histogram
 
+_I = TypeVar("_I", Counter, Gauge, Histogram)
+
 
 class MetricsRegistry:
     """Get-or-create registry of named instruments."""
@@ -126,7 +129,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Instrument] = {}
 
-    def _get(self, name: str, cls, factory):
+    def _get(self, name: str, cls: type[_I],
+             factory: Callable[[], _I]) -> _I:
         inst = self._instruments.get(name)
         if inst is None:
             inst = self._instruments[name] = factory()

@@ -21,12 +21,12 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from collections import deque
 
 #: Chrome trace-event phase codes used by this tracer.
 PH_INSTANT = "i"
 PH_COMPLETE = "X"
 PH_METADATA = "M"
+PH_COUNTER = "C"
 
 #: one ring record: (phase, start_ts, duration, name, args-or-None)
 Record = tuple[str, int, int, str, dict | None]
@@ -110,7 +110,13 @@ class Tracer:
 
     def chrome_trace(self) -> dict:
         """The trace as a Chrome trace-event JSON document (dict form)."""
-        trace_events: list[dict] = []
+        trace_events: list[dict] = [{
+            "ph": PH_METADATA,
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro simulated machine"},
+        }]
         for tid in sorted(self._rings):
             trace_events.append({
                 "ph": PH_METADATA,
@@ -119,7 +125,21 @@ class Tracer:
                 "tid": tid,
                 "args": {"name": f"sim-thread-{tid}"},
             })
-        for ts, tid, _seq, ph, name, dur, args in self.events():
+        events = self.events()
+        if self.total_dropped:
+            # make ring-buffer loss *visible* in the viewer: a counter
+            # track at the first retained timestamp, so a truncated
+            # timeline announces itself instead of silently starting late
+            ts0 = events[0][0] if events else 0
+            trace_events.append({
+                "ph": PH_COUNTER,
+                "name": "dropped_events",
+                "pid": 0,
+                "tid": 0,
+                "ts": ts0,
+                "args": {"dropped": self.total_dropped},
+            })
+        for ts, tid, _seq, ph, name, dur, args in events:
             ev = {"name": name, "ph": ph, "pid": 0, "tid": tid, "ts": ts}
             if ph == PH_COMPLETE:
                 ev["dur"] = dur

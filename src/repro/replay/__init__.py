@@ -1,0 +1,39 @@
+"""Record/replay of the observation stream (ROADMAP item 5, the rr model).
+
+The profiler is defined entirely by what it observes: PMU samples
+carrying LBR snapshots and clock reads, the RTM state word, and — under
+a fault plan — the injector's perturbations of all of the above.
+:mod:`repro.replay` captures that stream at the observation boundary
+into a versioned, checksummed, append-only log
+(:class:`~repro.replay.log.ReplayWriter`), and deterministically
+reconstructs the full profile database from the log alone
+(:func:`~repro.replay.replayer.replay_profile`) — bit-identical to the
+live run, no simulator in the loop.  :mod:`~repro.replay.diff` renders
+the time-travel comparison pane between any two profiles.
+"""
+
+from .diff import ProfileDiff, diff_profiles
+from .log import (
+    SUFFIX,
+    ReplayFormatError,
+    ReplayLog,
+    ReplayWriter,
+    load_replay,
+    loads_replay,
+)
+from .recorder import ObservationRecorder
+from .replayer import replay_file, replay_profile
+
+__all__ = [
+    "SUFFIX",
+    "ObservationRecorder",
+    "ProfileDiff",
+    "ReplayFormatError",
+    "ReplayLog",
+    "ReplayWriter",
+    "diff_profiles",
+    "load_replay",
+    "loads_replay",
+    "replay_file",
+    "replay_profile",
+]

@@ -1,0 +1,58 @@
+"""Divergence artifacts: a replay log for every failed invariant.
+
+When ``repro chaos`` finds a degraded profile whose conclusions flipped,
+or crossval finds the static predictor and the dynamic profiler
+disagreeing, the interesting thing is no longer the verdict — it is the
+observation stream that produced it.  Since every run is deterministic,
+the failing run can be *re*-executed with recording switched on and the
+resulting log dumped next to the report: the happy path pays nothing,
+and a failure leaves behind an artifact that replays (and time-travel
+diffs) offline, with no simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from .log import SUFFIX
+
+#: the default artifact directory, created only when a divergence occurs
+DEFAULT_ARTIFACT_DIR = ".repro-artifacts"
+
+
+def _safe(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+def dump_run_artifact(
+    artifact_dir: str | Path,
+    name: str,
+    workload: str,
+    *,
+    n_threads: int,
+    scale: float,
+    seed: int,
+    config: Any = None,
+    faults: Any = None,
+    contention_threshold: int = 50_000,
+) -> Path:
+    """Re-run one profiled workload with recording on; write the log.
+
+    Determinism makes this an exact reproduction of the original run —
+    same seed, same config, same fault plan ⇒ the same observation
+    stream the diverging run consumed.  Returns the written path
+    (``<artifact_dir>/<name>.rlog``).
+    """
+    from ..experiments.runner import run_workload
+
+    out = run_workload(
+        workload, n_threads=n_threads, scale=scale, seed=seed,
+        config=config, profile=True, record=True, faults=faults,
+        contention_threshold=contention_threshold,
+    )
+    assert out.replay_log is not None
+    path = Path(artifact_dir) / f"{_safe(name)}{SUFFIX}"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(out.replay_log)
+    return path

@@ -1,0 +1,224 @@
+"""Time-travel profile diffing: what changed between two databases.
+
+Given two profiles — live vs. replayed, clean vs. degraded, yesterday's
+cached campaign result vs. today's — the diff reports, per critical
+section, the abort-class deltas, the decision-tree leaf changes, and
+the Equation-2 time-decomposition deltas, plus program-summary and
+data-quality deltas.  A diff of a run against its own replay must be
+empty: that is the replay acceptance invariant, and ``repro diff``
+exits non-zero on any delta so CI can assert it.
+
+Comparisons are exact, not tolerance-based: both sides are derived by
+the same deterministic pipeline, so a nonzero delta is a real
+behavioural difference, not float noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.analyzer import CsReport, Profile
+from ..core.decision_tree import DecisionTree
+
+#: per-site time/event metrics compared by the diff, in render order
+_SITE_METRICS = ("T", "T_tx", "T_fb", "T_wait", "T_oh",
+                 "aborts", "commits", "abort_weight",
+                 "true_sharing", "false_sharing")
+
+_SUMMARY_METRICS = ("W", "T", "T_tx", "T_fb", "T_wait", "T_oh",
+                    "est_aborts", "est_commits")
+
+
+def _leaves(cs: CsReport) -> tuple[str, ...]:
+    """The decision-tree traversal's leaves for one section."""
+    return tuple(leaf.value for leaf in DecisionTree().analyze_cs(cs).leaves)
+
+
+@dataclass
+class SiteDiff:
+    """Everything that changed at one TM_BEGIN site."""
+
+    site: int
+    name: str
+    #: metric -> (a, b) for metrics whose values differ
+    metrics: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: abort class -> (a_weight, b_weight) where the sampled weight moved
+    abort_classes: dict[str, tuple[float, float]] = field(
+        default_factory=dict)
+    #: decision-tree leaves, present only when the traversals diverge
+    leaves_a: tuple[str, ...] = ()
+    leaves_b: tuple[str, ...] = ()
+
+    @property
+    def leaf_changed(self) -> bool:
+        return self.leaves_a != self.leaves_b
+
+    @property
+    def empty(self) -> bool:
+        return (not self.metrics and not self.abort_classes
+                and not self.leaf_changed)
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"site": self.site, "name": self.name}
+        if self.metrics:
+            doc["metrics"] = {k: list(v) for k, v in self.metrics.items()}
+        if self.abort_classes:
+            doc["abort_classes"] = {
+                k: list(v) for k, v in self.abort_classes.items()
+            }
+        if self.leaf_changed:
+            doc["leaves"] = [list(self.leaves_a), list(self.leaves_b)]
+        return doc
+
+
+@dataclass
+class ProfileDiff:
+    """The full comparison pane between profile A and profile B."""
+
+    label_a: str
+    label_b: str
+    #: summary metric -> (a, b) where the program totals differ
+    summary: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: per-site changes, hottest (by A's T, then B's) first
+    sites: list[SiteDiff] = field(default_factory=list)
+    #: section names present only on one side
+    only_a: list[str] = field(default_factory=list)
+    only_b: list[str] = field(default_factory=list)
+    #: data-quality deltas: field -> (a, b)
+    quality: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: quarantine reason -> (a_count, b_count) where the counts differ
+    quarantined: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        """True when the two profiles agree on every compared quantity."""
+        return not (self.summary or self.sites or self.only_a
+                    or self.only_b or self.quality or self.quarantined)
+
+    @property
+    def delta_count(self) -> int:
+        return (len(self.summary) + len(self.only_a) + len(self.only_b)
+                + len(self.quality) + len(self.quarantined)
+                + sum(len(s.metrics) + len(s.abort_classes)
+                      + (1 if s.leaf_changed else 0)
+                      for s in self.sites))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "a": self.label_a,
+            "b": self.label_b,
+            "identical": self.identical,
+            "deltas": self.delta_count,
+            "summary": {k: list(v) for k, v in self.summary.items()},
+            "sites": [s.to_dict() for s in self.sites],
+            "only_a": self.only_a,
+            "only_b": self.only_b,
+            "quality": {k: list(v) for k, v in self.quality.items()},
+            "quarantined": {k: list(v)
+                            for k, v in self.quarantined.items()},
+        }
+
+    def render(self) -> str:
+        lines = [f"=== profile diff: {self.label_a} vs {self.label_b} ==="]
+        if self.identical:
+            lines.append("identical: zero deltas")
+            return "\n".join(lines)
+        lines.append(f"{self.delta_count} delta(s)")
+        if self.summary:
+            lines.append("-- program summary --")
+            for metric, (a, b) in self.summary.items():
+                lines.append(
+                    f"  {metric:12s} {a:14.1f} -> {b:14.1f} "
+                    f"({b - a:+.1f})"
+                )
+        for name in self.only_a:
+            lines.append(f"-- site only in {self.label_a}: {name}")
+        for name in self.only_b:
+            lines.append(f"-- site only in {self.label_b}: {name}")
+        for site in self.sites:
+            lines.append(f"-- site {site.name} --")
+            if site.leaf_changed:
+                lines.append(
+                    f"  decision-tree leaves: "
+                    f"{', '.join(site.leaves_a) or '(none)'} -> "
+                    f"{', '.join(site.leaves_b) or '(none)'}"
+                )
+            for cls, (a, b) in site.abort_classes.items():
+                lines.append(
+                    f"  abort weight [{cls:9s}] {a:12.1f} -> {b:12.1f} "
+                    f"({b - a:+.1f})"
+                )
+            for metric, (a, b) in site.metrics.items():
+                lines.append(
+                    f"  {metric:12s} {a:14.1f} -> {b:14.1f} "
+                    f"({b - a:+.1f})"
+                )
+        if self.quality:
+            lines.append("-- data quality --")
+            for metric, (a, b) in self.quality.items():
+                lines.append(f"  {metric:24s} {a:10.4f} -> {b:10.4f}")
+        if self.quarantined:
+            lines.append("-- quarantine --")
+            for reason, (qa, qb) in self.quarantined.items():
+                lines.append(f"  {reason:24s} {qa:6d} -> {qb:6d}")
+        return "\n".join(lines)
+
+
+def diff_profiles(a: Profile, b: Profile,
+                  label_a: str = "a", label_b: str = "b") -> ProfileDiff:
+    """Compare two profile databases into a :class:`ProfileDiff`."""
+    diff = ProfileDiff(label_a=label_a, label_b=label_b)
+
+    sa, sb = a.summary(), b.summary()
+    for metric in _SUMMARY_METRICS:
+        va, vb = getattr(sa, metric), getattr(sb, metric)
+        if va != vb:
+            diff.summary[metric] = (va, vb)
+
+    reps_a = {cs.site: cs for cs in a.cs_reports()}
+    reps_b = {cs.site: cs for cs in b.cs_reports()}
+    for site, cs in reps_a.items():
+        if site not in reps_b:
+            diff.only_a.append(cs.name)
+    for site, cs in reps_b.items():
+        if site not in reps_a:
+            diff.only_b.append(cs.name)
+    for site in reps_a.keys() & reps_b.keys():
+        ca, cb = reps_a[site], reps_b[site]
+        sd = SiteDiff(site=site, name=ca.name)
+        for metric in _SITE_METRICS:
+            va, vb = getattr(ca, metric), getattr(cb, metric)
+            if va != vb:
+                sd.metrics[metric] = (va, vb)
+        classes = set(ca.weight_by_class) | set(cb.weight_by_class)
+        for cls in sorted(classes):
+            wa = ca.weight_by_class.get(cls, 0.0)
+            wb = cb.weight_by_class.get(cls, 0.0)
+            if wa != wb:
+                sd.abort_classes[cls] = (wa, wb)
+        la, lb = _leaves(ca), _leaves(cb)
+        if la != lb:
+            sd.leaves_a, sd.leaves_b = la, lb
+        if not sd.empty:
+            diff.sites.append(sd)
+    diff.sites.sort(
+        key=lambda s: (reps_a[s.site].T, reps_b[s.site].T), reverse=True
+    )
+
+    for metric in ("coverage", "attribution_confidence"):
+        va, vb = getattr(a, metric), getattr(b, metric)
+        if va != vb:
+            diff.quality[metric] = (va, vb)
+    for metric in ("samples_kept", "truncated_paths",
+                   "low_confidence_paths"):
+        ia, ib = getattr(a, metric), getattr(b, metric)
+        if ia != ib:
+            diff.quality[metric] = (float(ia), float(ib))
+    reasons = set(a.quarantined) | set(b.quarantined)
+    for reason in sorted(reasons):
+        qa = a.quarantined.get(reason, 0)
+        qb = b.quarantined.get(reason, 0)
+        if qa != qb:
+            diff.quarantined[reason] = (qa, qb)
+    return diff

@@ -1,0 +1,312 @@
+"""The replay log: a versioned, append-only record of every observation.
+
+One log captures, in exact delivery order, everything a profiling run's
+:class:`~repro.core.profiler.TxSampler` consumed through the observation
+boundary — each PMU sample record (which carries the LBR snapshot, the
+sampled core's clock read in ``ts``, and the TSX abort code in
+``abort_eax``) together with the RTM state word the runtime's query
+function returned at that instant.  Fault-plan perturbations need no
+events of their own: the log records the *post-injection* stream, the
+same records the live profiler received, so a faulted run replays
+without a fault injector (or a simulator) in the loop.
+
+On-disk form — line-oriented JSON, written strictly append-only::
+
+    {"format": "txsampler-replay", "version": 1, "meta": {...}}   header
+    {"s": 0, "c": <crc32>, "e": [state_word, {sample...}]}        events
+    {"s": 1, "c": <crc32>, "e": [state_word, {sample...}]}
+    ...
+    {"manifest": {"events": N, "digest": "...", "site_names": {...}}}
+
+Every event line carries a CRC-32 of its canonical event JSON; the
+trailing manifest seals the log with the event count, a running SHA-256
+digest over all event payloads, and the end-of-run metadata (the
+critical-section symbol table) that only exists once the run finishes.
+Like the campaign result store, the reader is torn-tail tolerant: a
+truncated, garbled, or checksum-failing line ends the parse — everything
+before it is intact and replayable, and :attr:`ReplayLog.complete`
+records whether the manifest sealed what was read.
+
+Sample encoding is compact: single-letter keys, default-valued fields
+omitted, LBR entries as 5-element arrays (junk entries injected by a
+corruption fault plan are preserved verbatim so replay quarantines them
+exactly like the live run did).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from hashlib import sha256
+from pathlib import Path
+from typing import Any
+
+from ..pmu.lbr import LbrEntry
+from ..pmu.sampling import Sample
+
+FORMAT = "txsampler-replay"
+VERSION = 1
+
+#: conventional file suffix for replay logs
+SUFFIX = ".rlog"
+
+
+class ReplayFormatError(ValueError):
+    """The file is not a replay log this version can read."""
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# sample codec
+# ---------------------------------------------------------------------------
+
+
+def encode_sample(s: Sample) -> dict[str, Any]:
+    """Compact dict form of one sample; defaults are omitted."""
+    doc: dict[str, Any] = {
+        "e": s.event,
+        "t": s.tid,
+        "ts": s.ts,
+        "ip": s.ip,
+    }
+    if s.ustack:
+        doc["us"] = list(s.ustack)
+    if s.resume_ip:
+        doc["ri"] = s.resume_ip
+    if s.lbr:
+        doc["l"] = [
+            list(entry) if isinstance(entry, LbrEntry) else entry
+            for entry in s.lbr
+        ]
+    if s.eff_addr is not None:
+        doc["a"] = s.eff_addr
+    if s.is_store:
+        doc["st"] = 1
+    if s.weight:
+        doc["w"] = s.weight
+    if s.abort_eax:
+        doc["x"] = s.abort_eax
+    return doc
+
+
+def decode_sample(doc: dict[str, Any]) -> Sample:
+    """Inverse of :func:`encode_sample`.
+
+    Non-list LBR entries (the junk a corruption fault plan plants where
+    an :class:`LbrEntry` belongs) decode to themselves, so the replayed
+    profiler's ``bad-lbr`` quarantine check sees exactly what the live
+    one saw.
+    """
+    lbr: tuple[Any, ...] = tuple(
+        LbrEntry(entry[0], entry[1], entry[2], entry[3], entry[4])
+        if isinstance(entry, list) else entry
+        for entry in doc.get("l", ())
+    )
+    return Sample(
+        event=doc["e"],
+        tid=doc["t"],
+        ts=doc["ts"],
+        ip=doc["ip"],
+        ustack=tuple(doc.get("us", ())),
+        resume_ip=doc.get("ri", 0),
+        lbr=lbr,
+        eff_addr=doc.get("a"),
+        is_store=bool(doc.get("st", 0)),
+        weight=doc.get("w", 0),
+        abort_eax=doc.get("x", 0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+
+class ReplayWriter:
+    """Builds one replay log, strictly append-only.
+
+    ``meta`` is the front-matter the replayer needs *before* events make
+    sense: thread count, sampling periods, the profiler's contention
+    threshold, and free-form provenance (workload name, seed, fault
+    plan).  End-of-run metadata — the critical-section symbol table —
+    goes into the sealing manifest instead, because it does not exist
+    until the run finishes.
+    """
+
+    def __init__(self, meta: dict[str, Any]) -> None:
+        self.meta = dict(meta)
+        self._lines: list[str] = [
+            _canonical({"format": FORMAT, "version": VERSION,
+                        "meta": self.meta})
+        ]
+        self._digest = sha256()
+        self._events = 0
+        self._sealed = False
+
+    def append(self, state_word: int, sample: Sample) -> None:
+        """Record one observation event (state-word read + sample)."""
+        if self._sealed:
+            raise ReplayFormatError("log already sealed")
+        payload = _canonical([state_word, encode_sample(sample)])
+        self._digest.update(payload.encode())
+        self._lines.append(_canonical({
+            "s": self._events,
+            "c": zlib.crc32(payload.encode()),
+            "e": json.loads(payload),
+        }))
+        self._events += 1
+
+    def seal(self, site_names: dict[int, str] | None = None,
+             summary: dict[str, Any] | None = None) -> None:
+        """Append the manifest line; no events may follow."""
+        if self._sealed:
+            return
+        manifest: dict[str, Any] = {
+            "events": self._events,
+            "digest": self._digest.hexdigest(),
+            "site_names": {str(k): v
+                           for k, v in (site_names or {}).items()},
+        }
+        if summary:
+            manifest["summary"] = summary
+        self._lines.append(_canonical({"manifest": manifest}))
+        self._sealed = True
+
+    def dumps(self) -> str:
+        """The whole log as text (one trailing newline)."""
+        return "\n".join(self._lines) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the log; returns the path written."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    def __len__(self) -> int:
+        return self._events
+
+
+# ---------------------------------------------------------------------------
+# reader
+# ---------------------------------------------------------------------------
+
+
+class ReplayLog:
+    """One parsed replay log."""
+
+    def __init__(self, meta: dict[str, Any]) -> None:
+        self.meta = meta
+        #: (state_word, sample) in exact live delivery order
+        self.events: list[tuple[int, Sample]] = []
+        #: TM_BEGIN call-site address -> section name (from the manifest)
+        self.site_names: dict[int, str] = {}
+        #: run summary the recorder chose to seal in (informational)
+        self.summary: dict[str, Any] = {}
+        #: True when the manifest was present and its digest matched
+        self.complete = False
+        #: lines discarded as a torn/corrupt tail
+        self.torn_lines = 0
+
+    @property
+    def n_threads(self) -> int:
+        return int(self.meta.get("n_threads", 0))
+
+    @property
+    def periods(self) -> dict[str, int]:
+        return {str(k): int(v)
+                for k, v in self.meta.get("periods", {}).items()}
+
+    @property
+    def contention_threshold(self) -> int:
+        return int(self.meta.get("contention_threshold", 50_000))
+
+
+def loads_replay(text: str) -> ReplayLog:
+    """Parse a replay log from text, tolerating a torn tail."""
+    lines = text.split("\n")
+    if not lines or not lines[0].strip():
+        raise ReplayFormatError("empty replay log")
+    try:
+        header = json.loads(lines[0])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ReplayFormatError(f"unreadable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != FORMAT:
+        raise ReplayFormatError(
+            f"not a {FORMAT} document "
+            f"(format={header.get('format') if isinstance(header, dict) else header!r})"
+        )
+    if int(header.get("version", 0)) > VERSION:
+        raise ReplayFormatError(
+            f"log version {header['version']} is newer than this "
+            f"reader ({VERSION})"
+        )
+    log = ReplayLog(dict(header.get("meta", {})))
+    digest = sha256()
+    manifest: dict[str, Any] | None = None
+    body = [ln for ln in lines[1:]]
+    for i, line in enumerate(body):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            log.torn_lines = sum(1 for ln in body[i:] if ln.strip())
+            break
+        if not isinstance(entry, dict):
+            log.torn_lines = sum(1 for ln in body[i:] if ln.strip())
+            break
+        if "manifest" in entry:
+            manifest = entry["manifest"]
+            break
+        payload = _canonical(entry.get("e"))
+        if (entry.get("s") != len(log.events)
+                or zlib.crc32(payload.encode()) != entry.get("c")):
+            # a flipped bit inside the line: same containment as a torn
+            # tail — everything before this line is intact
+            log.torn_lines = sum(1 for ln in body[i:] if ln.strip())
+            break
+        digest.update(payload.encode())
+        state_word, sample_doc = entry["e"]
+        try:
+            sample = decode_sample(sample_doc)
+        except (KeyError, IndexError, TypeError):
+            log.torn_lines = sum(1 for ln in body[i:] if ln.strip())
+            break
+        log.events.append((int(state_word), sample))
+    if manifest is not None:
+        sealed_events = int(manifest.get("events", -1))
+        sealed_digest = manifest.get("digest")
+        if (sealed_events == len(log.events)
+                and sealed_digest == digest.hexdigest()):
+            log.complete = True
+            log.site_names = {
+                int(k): str(v)
+                for k, v in manifest.get("site_names", {}).items()
+            }
+            log.summary = dict(manifest.get("summary", {}))
+    return log
+
+
+def load_replay(path: str | Path) -> ReplayLog:
+    """Load one replay log file.
+
+    Raises :class:`ReplayFormatError` — with the offending path in the
+    message — for a missing or non-replay file; a torn tail is not an
+    error (the intact prefix is returned with ``complete=False``).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ReplayFormatError(f"{path}: no such replay log") from None
+    except OSError as exc:
+        raise ReplayFormatError(f"{path}: unreadable ({exc})") from exc
+    try:
+        return loads_replay(text)
+    except ReplayFormatError as exc:
+        raise ReplayFormatError(f"{path}: {exc}") from None

@@ -1,0 +1,89 @@
+"""The observation recorder: injection's dual at the same seam.
+
+PR 5 put :class:`~repro.faults.inject.FaultInjector` on the observation
+boundary — the point in :meth:`Simulator._deliver_sample` where the
+machine's interrupt effects are done and only the *record* the profiler
+will see remains.  Recording hooks the very same point, one step later:
+each sample that survives (or is produced by) the fault layer is
+captured together with the RTM state word the runtime would report for
+its thread, *before* the profiler consumes it.
+
+That placement is what makes replay exact:
+
+* post-injection means fault-plan perturbations are baked into the
+  stream — a faulted run replays without the injector in the loop;
+* pre-delivery plus a synchronous handler means the state word recorded
+  here is bit-for-bit the word ``query_state`` returns inside
+  :meth:`TxSampler._on_cycles` — nothing advances the machine between
+  the two reads.
+
+The recorder never touches the simulated machine: like the paper's
+query function, reading the state word costs the *application* nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..pmu.sampling import Sample
+from .log import ReplayWriter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class ObservationRecorder:
+    """Captures the observation stream of one profiled run.
+
+    Construct with optional provenance (workload name, seed, fault
+    plan…), pass to :class:`~repro.sim.engine.Simulator`, run, then
+    :meth:`finalize` to seal the log.
+    """
+
+    def __init__(self, provenance: dict[str, Any] | None = None) -> None:
+        self.provenance = dict(provenance or {})
+        self.writer: ReplayWriter | None = None
+        self._sim: Simulator | None = None
+
+    # -- wiring (mirrors TxSampler.attach) ---------------------------------
+
+    def attach(self, sim: Simulator) -> None:
+        """Called by the simulator at construction."""
+        self._sim = sim
+        meta: dict[str, Any] = {
+            "n_threads": len(sim.threads),
+            "periods": dict(sim.config.sample_periods),
+            "contention_threshold": getattr(
+                sim.profiler, "contention_threshold", 50_000
+            ),
+        }
+        meta.update(self.provenance)
+        self.writer = ReplayWriter(meta)
+
+    # -- the capture hook --------------------------------------------------
+
+    def record(self, sample: Sample) -> None:
+        """Record one post-injection observation event."""
+        sim = self._sim
+        writer = self.writer
+        if sim is None or writer is None:
+            raise RuntimeError("recorder was never attached")
+        # A corruption fault can plant an out-of-range tid; the live
+        # profiler quarantines such a record before ever querying state,
+        # so any placeholder word replays identically.
+        if 0 <= sample.tid < len(sim.threads):
+            state = sim.rtm.query_state(sample.tid)
+        else:
+            state = 0
+        writer.append(state, sample)
+
+    # -- sealing -----------------------------------------------------------
+
+    def finalize(self, summary: dict[str, Any] | None = None) -> ReplayWriter:
+        """Seal the log with end-of-run metadata; returns the writer."""
+        sim = self._sim
+        writer = self.writer
+        if sim is None or writer is None:
+            raise RuntimeError("recorder was never attached")
+        writer.seal(site_names=dict(sim.rtm.site_names), summary=summary)
+        return writer

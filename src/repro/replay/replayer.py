@@ -1,0 +1,65 @@
+"""The deterministic replayer: log in, bit-identical profile out.
+
+Replay rebuilds the full profile database with **no simulator in the
+loop**: a fresh :class:`~repro.core.profiler.TxSampler` is fed the
+recorded stream through the same ``on_sample`` entry point the live
+engine used, and the RTM query function is stood in by a one-word stub
+primed with the recorded state before each delivery.  Everything the
+handler computes — context reconstruction, quarantine decisions, CCT
+updates, shadow-memory verdicts — is a pure function of (sample, state
+word, handler state), so delivering the same records in the same order
+yields the same database, byte for byte.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, cast
+
+from ..cct.tree import new_root
+from ..core.analyzer import Profile
+from ..core.profiler import TxSampler
+from .log import ReplayLog, load_replay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rtm.runtime import RtmRuntime
+
+
+class _RecordedStateSource:
+    """Stands in for the RTM runtime's query function during replay:
+    returns the state word that was recorded alongside the sample about
+    to be delivered."""
+
+    def __init__(self) -> None:
+        self.word = 0
+
+    def query_state(self, tid: int) -> int:
+        return self.word
+
+
+def replay_profile(log: ReplayLog) -> Profile:
+    """Reconstruct the profile database from a replay log alone."""
+    if log.n_threads <= 0:
+        raise ValueError(
+            "replay log carries no thread count — header meta is "
+            f"missing or damaged ({log.meta!r})"
+        )
+    profiler = TxSampler(contention_threshold=log.contention_threshold)
+    profiler.roots = [new_root() for _ in range(log.n_threads)]
+    source = _RecordedStateSource()
+    # duck-typed: the handler only ever calls ``rtm.query_state``
+    profiler.rtm = cast("RtmRuntime", source)
+    for state_word, sample in log.events:
+        source.word = state_word
+        profiler.on_sample(sample)
+    return profiler.build_profile(
+        n_threads=log.n_threads,
+        periods=log.periods,
+        site_names=log.site_names,
+    )
+
+
+def replay_file(path: str | Path) -> tuple[ReplayLog, Profile]:
+    """Load a replay log file and reconstruct its profile."""
+    log = load_replay(path)
+    return log, replay_profile(log)

@@ -101,6 +101,7 @@ class Simulator:
         profiler=None,
         n_threads: int | None = None,
         obs: Observability | None = None,
+        recorder=None,
     ) -> None:
         if programs is None and n_threads is None:
             raise SimError("give either programs or n_threads")
@@ -129,6 +130,9 @@ class Simulator:
             for t in self.threads:
                 t.counters = self.pmu.banks[t.tid]
         self.samples_delivered = 0
+        #: observation recorder (:mod:`repro.replay`) — the dual of the
+        #: fault injector on the same boundary; None costs a pointer test
+        self.recorder = recorder if profiler is not None else None
         self._programs: list[Program] = list(programs) if programs else []
         self._started = False
         self._heap: list[tuple[int, int]] = []
@@ -136,6 +140,8 @@ class Simulator:
             t.rng = random.Random((seed + 1) * 1_000_003 + tid)
         if profiler is not None and hasattr(profiler, "attach"):
             profiler.attach(self)
+        if self.recorder is not None:
+            self.recorder.attach(self)
 
     def set_programs(self, programs: Sequence[Program]) -> None:
         """Install thread programs (one per thread) before :meth:`run`.
@@ -469,10 +475,16 @@ class Simulator:
         t.clock += cfg.handler_cost
         self.samples_delivered += 1
         if self.faults is None:
+            if self.recorder is not None:
+                self.recorder.record(sample)
             self.profiler.on_sample(sample)
             return
         # the observation boundary: the interrupt's machine effects
         # (abort, handler cost) already happened above; only the record
-        # the profiler sees is filtered/garbled/duplicated here
+        # the profiler sees is filtered/garbled/duplicated here — and the
+        # recorder captures the post-injection stream, so a faulted run
+        # replays without the injector in the loop
         for observed in self.faults.observe(t.tid, sample):
+            if self.recorder is not None:
+                self.recorder.record(observed)
             self.profiler.on_sample(observed)

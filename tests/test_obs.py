@@ -81,8 +81,9 @@ class TestTracer:
         evs = doc["traceEvents"]
         # metadata track naming + every event carries ph/pid/tid
         meta = [e for e in evs if e["ph"] == PH_METADATA]
-        assert meta[0]["name"] == "thread_name"
-        assert meta[0]["args"]["name"] == "sim-thread-2"
+        assert meta[0]["name"] == "process_name"
+        assert meta[1]["name"] == "thread_name"
+        assert meta[1]["args"]["name"] == "sim-thread-2"
         for ev in evs:
             assert {"ph", "pid", "tid"} <= set(ev)
         inst = next(e for e in evs if e["ph"] == PH_INSTANT)
@@ -90,6 +91,20 @@ class TestTracer:
         span = next(e for e in evs if e["ph"] == PH_COMPLETE)
         assert span["ts"] == 10 and span["dur"] == 20
         assert doc["otherData"]["events_dropped"] == 0
+        # no loss ⇒ no counter track
+        assert not any(e["ph"] == "C" for e in evs)
+
+    def test_chrome_trace_surfaces_ring_drops(self):
+        tr = Tracer(capacity=2)
+        tr.instant(0, 1, "a")
+        tr.instant(0, 2, "b")
+        tr.instant(0, 3, "c")  # evicts "a"
+        evs = tr.chrome_trace()["traceEvents"]
+        counter = next(e for e in evs if e["ph"] == "C")
+        assert counter["name"] == "dropped_events"
+        assert counter["args"]["dropped"] == 1
+        # anchored at the first *retained* timestamp
+        assert counter["ts"] == 2
 
     def test_write_round_trips_as_json(self, tmp_path):
         tr = Tracer()

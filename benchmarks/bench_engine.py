@@ -10,7 +10,7 @@ events retired and samples delivered per wall-clock second.
 
 Regenerate the committed baseline from the repo root with::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_engine.py --out benchmarks/BENCH_engine.json
 
 The output is deterministic in shape but not in timings, so diffs of the
 file show host drift, not code drift; compare ``events_per_sec`` ratios
@@ -100,7 +100,7 @@ def run_suite(*, n_threads: int, scale: float, seed: int, repeats: int,
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_engine.json",
+    parser.add_argument("--out", default=str(Path(__file__).parent / "BENCH_engine.json"),
                         help="output path (default: %(default)s)")
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
                         help="runs per workload; the median is kept "

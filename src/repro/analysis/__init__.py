@@ -21,10 +21,15 @@ Layers:
   traces, the callgraph, and per-region access records;
 * :mod:`repro.analysis.summarize` — per-critical-section footprint /
   nesting / unfriendly-op summaries at cacheline granularity;
+* :mod:`repro.analysis.dataflow` — path-sensitive abstract
+  interpretation: CFG recovery, a worklist fixpoint solver with
+  widening, interval/footprint domains, conditional-capacity clients,
+  witness paths, and content-addressed per-function summary caching;
 * :mod:`repro.analysis.lint` — the diagnostic engine emitting typed
   :class:`~repro.analysis.lint.Finding` objects;
 * :mod:`repro.analysis.races` — interprocedural lockset race detection
-  (call-graph footprints, asymmetric-race / elision-safety checks);
+  (call-graph footprints, path-sensitive exact-lockset asymmetric-race
+  / elision-safety checks);
 * :mod:`repro.analysis.predict` — static decision-tree prediction
   mapping each TM_BEGIN site onto Figure 1 leaves;
 * :mod:`repro.analysis.crossval` — static-vs-dynamic cross-validation,
@@ -35,6 +40,16 @@ Surfaced through ``python -m repro check`` (text, ``--json``, ``--races``,
 """
 
 from .crossval import ClassCheck, CrossValidation, cross_validate
+from .dataflow import (
+    CFG,
+    DataflowAnalysis,
+    FootprintFact,
+    Interval,
+    SiteDataflow,
+    SummaryCache,
+    analyze_dataflow,
+    solve,
+)
 from .ir import (
     AnalysisLimits,
     FunctionIR,
@@ -73,29 +88,37 @@ __all__ = [
     "AnalysisLimits",
     "AnalysisReport",
     "CallGraph",
+    "CFG",
     "ClassCheck",
     "CODES",
     "CrossValidation",
+    "DataflowAnalysis",
     "Finding",
+    "FootprintFact",
     "FunctionIR",
+    "Interval",
     "PREDICTABLE_LEAVES",
     "ProgramIR",
     "RaceAnalysis",
     "RegionInstance",
     "SEVERITIES",
     "SectionSummary",
+    "SiteDataflow",
     "SitePrediction",
     "StaticPrediction",
     "StridedInterval",
+    "SummaryCache",
     "ThreadTrace",
     "WordClass",
     "WorkloadSummary",
+    "analyze_dataflow",
     "analyze_races",
     "analyze_workload",
     "cross_validate",
     "extract_workload",
     "predict_workload",
     "severity_rank",
+    "solve",
     "summarize",
     "to_sarif",
 ]

@@ -99,6 +99,10 @@ class CrossValidation:
     predicted: dict[int, set[str]] = field(default_factory=dict)
     #: sampled abort events per class, whole run (oracle density gauge)
     sampled_aborts: dict[str, float] = field(default_factory=dict)
+    #: worst-case abort-class envelope per site: the lint predictions
+    #: widened by the dataflow pass's may-information (what *could*
+    #: happen on some path, not just what must)
+    envelope: dict[int, set[str]] = field(default_factory=dict)
     # -- leaf-agreement pane (``--predict-tree``) --------------------------
     #: the static predictor's output, when the leaf pane was requested
     prediction: StaticPrediction | None = None
@@ -148,6 +152,35 @@ class CrossValidation:
                     "class": cls,
                     "static": cls in pred,
                     "dynamic": cls in obs,
+                })
+        return out
+
+    @property
+    def envelope_consistency(self) -> float:
+        """Fraction of observed sites whose classes fit the envelope.
+
+        The envelope is a *may* over-approximation, so soundness means
+        every dynamically observed abort class was statically possible:
+        ``observed <= envelope`` per site.  1.0 when nothing was observed.
+        """
+        sites = [s for s, obs in self.observed.items() if obs]
+        if not sites:
+            return 1.0
+        ok = sum(
+            1 for s in sites if self.observed[s] <= self.envelope.get(s, set())
+        )
+        return ok / len(sites)
+
+    def envelope_violations(self) -> list[dict[str, Any]]:
+        """Observed (site, class) pairs outside the static envelope."""
+        out: list[dict[str, Any]] = []
+        for site in sorted(self.observed):
+            extra = self.observed[site] - self.envelope.get(site, set())
+            for cls in sorted(extra):
+                out.append({
+                    "site": site,
+                    "section": self.site_names.get(site, f"{site:#x}"),
+                    "class": cls,
                 })
         return out
 
@@ -238,6 +271,11 @@ class CrossValidation:
             "checks": {cls: c.to_dict() for cls, c in self.checks.items()},
             "disagreements": self.disagreements(),
             "sampled_aborts": dict(self.sampled_aborts),
+            "envelope": {
+                "sites": {str(k): sorted(v) for k, v in self.envelope.items()},
+                "consistency": self.envelope_consistency,
+                "violations": self.envelope_violations(),
+            },
         }
         if self.prediction is not None:
             lp, lr = self.leaf_precision_recall()
@@ -316,6 +354,10 @@ def cross_validate(
         site: set(classes)
         for site, classes in report.predicted_classes().items()
     }
+    cv.envelope = {site: set(classes) for site, classes in cv.predicted.items()}
+    if report.dataflow is not None:
+        for site, classes in report.dataflow.envelope().items():
+            cv.envelope.setdefault(site, set()).update(classes)
     prediction: StaticPrediction | None = getattr(report, "prediction", None)
     if prediction is None and predict_leaves and report.summary is not None:
         prediction = predict_workload(report.summary)

@@ -1,0 +1,52 @@
+"""Path-sensitive abstract interpretation over the symbolic IR.
+
+The dataflow layer sits between IR extraction (:mod:`repro.analysis.ir`)
+and the finding passes: it recovers CFGs from recorded ip transitions
+(:mod:`.cfg`), runs a generic worklist fixpoint with widening
+(:mod:`.solver`) over interval and must/may footprint domains
+(:mod:`.domains`), caches content-addressed per-function summaries in
+the campaign store (:mod:`.cache`, :mod:`.summaries`), emits the four
+conditional/path-sensitivity codes (:mod:`.clients`), and reconstructs
+concrete witness paths for every race/conflict finding
+(:mod:`.witness`).
+"""
+
+from .cache import ANALYSIS_VERSION, SummaryCache, function_ir_digest
+from .cfg import CFG, scc_levels, tarjan_scc
+from .clients import DataflowAnalysis, SiteDataflow, analyze_dataflow, analyze_site
+from .domains import FootprintFact, Interval, widen_monotone
+from .solver import Solution, solve
+from .summaries import FunctionSummary, program_summaries, summarize_function
+from .witness import (
+    RACE_WITNESS_CODES,
+    WitnessStep,
+    attach_witnesses,
+    race_witness,
+    region_witness,
+)
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "CFG",
+    "DataflowAnalysis",
+    "FootprintFact",
+    "FunctionSummary",
+    "Interval",
+    "RACE_WITNESS_CODES",
+    "SiteDataflow",
+    "Solution",
+    "SummaryCache",
+    "WitnessStep",
+    "analyze_dataflow",
+    "analyze_site",
+    "attach_witnesses",
+    "function_ir_digest",
+    "program_summaries",
+    "race_witness",
+    "region_witness",
+    "scc_levels",
+    "solve",
+    "summarize_function",
+    "tarjan_scc",
+    "widen_monotone",
+]

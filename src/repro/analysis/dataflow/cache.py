@@ -1,0 +1,89 @@
+"""Content-addressed caching of per-function dataflow summaries.
+
+A function's summary depends only on its recovered IR (op counts, trace,
+CFG edges, callees, touched addresses) and the machine's capacity
+budgets — so the sha256 of that content *is* the summary's identity.
+``repro check --incremental`` hands the analyzer a campaign store
+(:class:`~repro.campaign.store.ResultStore` or ``MemoryStore``); a digest
+hit skips the solve entirely, which is what makes the second run of an
+unchanged workload ~free while any function whose IR changed re-analyzes
+automatically (its digest moved).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...sim.config import MachineConfig
+    from ..ir import FunctionIR
+
+#: bump to invalidate every cached summary when the summary shape changes
+ANALYSIS_VERSION = 1
+
+_KEY_PREFIX = "dfsum:"
+
+
+class SummaryStore(Protocol):
+    """The slice of the campaign-store API the cache needs."""
+
+    def get(self, key: str) -> dict | None: ...  # pragma: no cover
+
+    def put(self, key: str, record: dict) -> None: ...  # pragma: no cover
+
+
+def function_ir_digest(fir: FunctionIR, config: MachineConfig) -> str:
+    """Stable identity of one function's recovered IR + capacity budgets."""
+    doc: dict[str, Any] = {
+        "version": ANALYSIS_VERSION,
+        "name": fir.name,
+        "base": fir.base,
+        "op_counts": sorted(fir.op_counts.items()),
+        "trace": [list(t) for t in fir.trace],
+        "edges": sorted([u, v, c] for (u, v), c in fir.edges.items()),
+        "edges_truncated": fir.edges_truncated,
+        "callees": sorted(fir.callees),
+        "reads": sorted(fir.read_addrs),
+        "writes": sorted(fir.write_addrs),
+        "addrs_truncated": fir.addrs_truncated,
+        "budgets": [
+            config.wset_lines, config.rset_lines,
+            config.wset_assoc, config.max_nesting,
+        ],
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Digest-keyed summary documents over any campaign store."""
+
+    def __init__(self, store: SummaryStore) -> None:
+        self._store = store
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, digest: str) -> dict | None:
+        doc = self._store.get(_KEY_PREFIX + digest)
+        if doc is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return doc
+
+    def put(self, digest: str, doc: dict) -> None:
+        self._store.put(_KEY_PREFIX + digest, doc)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4)}

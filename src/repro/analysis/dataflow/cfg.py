@@ -1,0 +1,194 @@
+"""CFG recovery from ip-transition counts + SCC condensation.
+
+The symbolic drive records, per function frame and per region instance,
+how many times control moved from one synthesized ip to the next
+(:attr:`FunctionIR.edges` / :attr:`RegionInstance.edges`).  Because ips
+are ``function_base + source_line``, a transition to a lower-or-equal ip
+within one frame is a *back edge* — the generator jumped to an earlier
+source line, i.e. a loop.  That single observation recovers headers,
+branch points and per-instance trip counts with no parsing at all.
+
+:func:`tarjan_scc` / :func:`scc_levels` work over any hashable node type
+so the same machinery condenses the interprocedural call graph: SCCs on
+one topological level share no dependency and are analyzed in parallel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+@dataclass
+class CFG:
+    """A recovered control-flow graph over synthesized ips."""
+
+    entry: int | None
+    edges: dict[tuple[int, int], int]
+    nodes: set[int] = field(default_factory=set)
+    succs: dict[int, dict[int, int]] = field(default_factory=dict)
+    preds: dict[int, set[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_edges(
+        cls, edges: Mapping[tuple[int, int], int], entry: int | None = None
+    ) -> CFG:
+        nodes: set[int] = set()
+        succs: dict[int, dict[int, int]] = {}
+        preds: dict[int, set[int]] = {}
+        for (u, v), count in edges.items():
+            nodes.add(u)
+            nodes.add(v)
+            succs.setdefault(u, {})[v] = succs.get(u, {}).get(v, 0) + count
+        for (u, v), _count in edges.items():
+            preds.setdefault(v, set()).add(u)
+        if entry is None and nodes:
+            headless = sorted(n for n in nodes if n not in preds)
+            entry = headless[0] if headless else min(nodes)
+        if entry is not None:
+            nodes.add(entry)
+        return cls(entry=entry, edges=dict(edges), nodes=nodes,
+                   succs=succs, preds=preds)
+
+    def back_edges(self) -> list[tuple[int, int]]:
+        """Transitions to a lower-or-equal ip: the loop evidence."""
+        return sorted((u, v) for (u, v) in self.edges if v <= u)
+
+    def loop_headers(self) -> set[int]:
+        return {v for _u, v in self.back_edges()}
+
+    def branch_points(self) -> set[int]:
+        return {u for u, targets in self.succs.items() if len(targets) >= 2}
+
+    def exits(self) -> set[int]:
+        return {n for n in self.nodes if not self.succs.get(n)}
+
+    def rpo(self) -> list[int]:
+        """Reverse postorder from the entry (iterative DFS)."""
+        if self.entry is None:
+            return []
+        order: list[int] = []
+        seen: set[int] = set()
+        # every pred-less node is a root; the entry goes first so it
+        # leads the order even when the CFG has disconnected pieces
+        roots = [self.entry] + sorted(
+            n for n in self.nodes if n not in self.preds and n != self.entry
+        )
+        for root in roots:
+            if root in seen:
+                continue
+            stack: list[tuple[int, Iterable[int]]] = [(root, iter(sorted(self.succs.get(root, {}))))]
+            seen.add(root)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(sorted(self.succs.get(succ, {})))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+        order.reverse()
+        return order
+
+
+def tarjan_scc(succs: Mapping[N, Iterable[N]]) -> list[list[N]]:
+    """Strongly connected components, iteratively, in reverse
+    topological order (every callee SCC precedes its callers)."""
+    index: dict[N, int] = {}
+    lowlink: dict[N, int] = {}
+    on_stack: set[N] = set()
+    stack: list[N] = []
+    sccs: list[list[N]] = []
+    counter = 0
+    nodes: list[N] = sorted(succs, key=repr)
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[N, list[N], int]] = [(root, sorted(succs.get(root, ()), key=repr), 0)]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children, child_i = work[-1]
+            if child_i < len(children):
+                work[-1] = (node, children, child_i + 1)
+                child = children[child_i]
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, sorted(succs.get(child, ()), key=repr), 0))
+                elif child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: list[N] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(sorted(component, key=repr))
+    return sccs
+
+
+def scc_levels(succs: Mapping[N, Iterable[N]]) -> list[list[list[N]]]:
+    """Condense to a DAG and bucket SCCs by topological level.
+
+    Level 0 holds the leaf SCCs (no dependencies); SCCs within one level
+    are mutually independent, so a caller can analyze each level's
+    members concurrently and still see every dependency resolved.
+    """
+    sccs = tarjan_scc(succs)
+    member_of: dict[N, int] = {}
+    for i, comp in enumerate(sccs):
+        for node in comp:
+            member_of[node] = i
+    dag_succs: dict[int, set[int]] = {i: set() for i in range(len(sccs))}
+    for node, targets in succs.items():
+        for target in targets:
+            if target not in member_of:
+                continue
+            a, b = member_of[node], member_of[target]
+            if a != b:
+                dag_succs[a].add(b)
+    level: dict[int, int] = {}
+    indeg: dict[int, int] = {i: 0 for i in range(len(sccs))}
+    for a, targets in dag_succs.items():
+        for b in targets:
+            indeg[b] = indeg[b] + 1
+    # callees first: levels propagate from dependency-free callers'
+    # perspective — walk the DAG from SCCs nothing depends on
+    queue = deque(i for i, d in indeg.items() if d == 0)
+    for i in queue:
+        level[i] = 0
+    while queue:
+        a = queue.popleft()
+        for b in dag_succs[a]:
+            level[b] = max(level.get(b, 0), level[a] + 1)
+            indeg[b] -= 1
+            if indeg[b] == 0:
+                queue.append(b)
+    if not sccs:
+        return []
+    depth = max(level.values(), default=0)
+    out: list[list[list[N]]] = [[] for _ in range(depth + 1)]
+    for i, comp in enumerate(sccs):
+        out[level.get(i, 0)].append(comp)
+    return out

@@ -1,0 +1,165 @@
+"""Abstract domains for the fixpoint layer.
+
+Two lattices do all the work:
+
+* :class:`Interval` — integer intervals ``[lo, hi]`` with ``hi=None``
+  standing for +inf.  Used for trip counts, footprint sizes, way
+  occupancy and nesting depths; widening jumps an unstable upper bound
+  to +inf so loops converge in bounded visits.
+* :class:`FootprintFact` — must/may sets of touched cachelines flowing
+  through a region CFG.  ``must`` is what *every* path to a node has
+  touched (intersection at joins), ``may`` what *some* path touched
+  (union).  The exit fact turns an observed line set into a guaranteed
+  size interval: ``[len(must), len(may)]``.
+
+The observed per-instance sequences get one extra widening rule,
+:func:`widen_monotone`: a symbolic drive only sees a prefix of each
+thread's behaviour, so a footprint or trip count that grows monotonically
+across instances is extrapolated to +inf rather than trusted as bounded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``; ``hi=None`` means +inf."""
+
+    lo: int
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def widened(self) -> bool:
+        return self.hi is None
+
+    @property
+    def is_point(self) -> bool:
+        return self.hi == self.lo
+
+    def contains(self, value: int) -> bool:
+        return value >= self.lo and (self.hi is None or value <= self.hi)
+
+    def exceeds(self, budget: int) -> bool:
+        """May the value exceed ``budget`` on some path?"""
+        return self.hi is None or self.hi > budget
+
+    def always_exceeds(self, budget: int) -> bool:
+        """Does the value exceed ``budget`` on every path?"""
+        return self.lo > budget
+
+    def join(self, other: Interval) -> Interval:
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(min(self.lo, other.lo), hi)
+
+    def widen(self, other: Interval) -> Interval:
+        """Classic interval widening (lower bound clamped at 0: counts)."""
+        lo = self.lo if other.lo >= self.lo else 0
+        if self.hi is not None and other.hi is not None and other.hi <= self.hi:
+            hi: int | None = self.hi
+        else:
+            hi = None
+        return Interval(min(lo, other.lo), hi)
+
+    def add(self, other: Interval) -> Interval:
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(self.lo + other.lo, hi)
+
+    def scale(self, k: int) -> Interval:
+        return Interval(self.lo * k, None if self.hi is None else self.hi * k)
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> Interval:
+        vals = list(values)
+        if not vals:
+            return cls(0, 0)
+        return cls(min(vals), max(vals))
+
+    def describe(self) -> str:
+        if self.hi is None:
+            return f"[{self.lo}, inf)"
+        if self.hi == self.lo:
+            return f"[{self.lo}]"
+        return f"[{self.lo}, {self.hi}]"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"lo": self.lo, "hi": self.hi, "widened": self.widened}
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> Interval:
+        return cls(int(doc["lo"]), None if doc["hi"] is None else int(doc["hi"]))
+
+
+def widen_monotone(values: Sequence[int], min_len: int = 3) -> Interval:
+    """Interval over an observed sequence, +inf if it trends upward.
+
+    The drive unrolls a bounded number of instances per thread; a
+    non-decreasing sequence with net growth is read as the prefix of an
+    unbounded trend and its upper bound is widened away.  Flat or
+    non-monotone sequences keep their observed max.
+    """
+    iv = Interval.from_values(values)
+    if (
+        len(values) >= min_len
+        and all(b >= a for a, b in zip(values, values[1:]))
+        and values[-1] > values[0]
+    ):
+        return Interval(iv.lo, None)
+    return iv
+
+
+@dataclass(frozen=True)
+class FootprintFact:
+    """Must/may cachelines touched on the way to a CFG node."""
+
+    must_read: frozenset[int]
+    may_read: frozenset[int]
+    must_write: frozenset[int]
+    may_write: frozenset[int]
+
+    @classmethod
+    def empty(cls) -> FootprintFact:
+        nothing: frozenset[int] = frozenset()
+        return cls(nothing, nothing, nothing, nothing)
+
+    def join(self, other: FootprintFact) -> FootprintFact:
+        return FootprintFact(
+            self.must_read & other.must_read,
+            self.may_read | other.may_read,
+            self.must_write & other.must_write,
+            self.may_write | other.may_write,
+        )
+
+    def with_access(self, lines: Iterable[int], is_write: bool) -> FootprintFact:
+        fs = frozenset(lines)
+        if not fs:
+            return self
+        if is_write:
+            return FootprintFact(
+                self.must_read, self.may_read,
+                self.must_write | fs, self.may_write | fs,
+            )
+        return FootprintFact(
+            self.must_read | fs, self.may_read | fs,
+            self.must_write, self.may_write,
+        )
+
+    def widen(self, universe_read: frozenset[int], universe_write: frozenset[int]) -> FootprintFact:
+        """Jump the may-sets to the observed universe (loop-header widening)."""
+        return FootprintFact(
+            self.must_read, self.may_read | universe_read,
+            self.must_write, self.may_write | universe_write,
+        )
+
+    def read_interval(self) -> Interval:
+        return Interval(len(self.must_read), len(self.may_read))
+
+    def write_interval(self) -> Interval:
+        return Interval(len(self.must_write), len(self.may_write))

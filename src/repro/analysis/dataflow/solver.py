@@ -1,0 +1,116 @@
+"""The generic worklist fixpoint solver.
+
+Classic Kildall: ``in[n] = join(out[p] for solved preds p)``,
+``out[n] = transfer(n, in[n])``, iterate until nothing changes.  Two
+termination guards keep it total on recovered (noisy) CFGs:
+
+* at loop headers, after ``widen_after`` visits the fresh input is
+  *widened* against the previous one, jumping unstable bounds to top so
+  ascending chains are finite;
+* ``max_visits`` per node is a hard backstop; tripping it flips
+  ``converged`` to False instead of hanging, and callers surface that as
+  an incomplete-analysis downgrade rather than trusting the result.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from .cfg import CFG
+
+F = TypeVar("F")
+
+
+@dataclass
+class Solution(Generic[F]):
+    """A fixpoint: per-node input/output facts plus convergence telemetry."""
+
+    inputs: dict[int, F] = field(default_factory=dict)
+    outputs: dict[int, F] = field(default_factory=dict)
+    iterations: int = 0
+    converged: bool = True
+    #: loop headers where widening actually changed a fact
+    widened: set[int] = field(default_factory=set)
+
+    def exit_fact(self, cfg: CFG, join: Callable[[F, F], F]) -> F | None:
+        """Join of the facts flowing out of the CFG's exit nodes."""
+        facts = [self.outputs[n] for n in sorted(cfg.exits()) if n in self.outputs]
+        if not facts:
+            # fully cyclic CFG (no exit): the header's output is the
+            # closest thing to "the whole body ran"
+            facts = [self.outputs[n] for n in sorted(cfg.nodes) if n in self.outputs]
+        if not facts:
+            return None
+        acc = facts[0]
+        for fact in facts[1:]:
+            acc = join(acc, fact)
+        return acc
+
+
+def solve(
+    cfg: CFG,
+    entry_fact: F,
+    transfer: Callable[[int, F], F],
+    join: Callable[[F, F], F],
+    widen: Callable[[F, F], F] | None = None,
+    widen_after: int = 3,
+    max_visits: int = 64,
+) -> Solution[F]:
+    """Run the worklist to a fixpoint over ``cfg``.
+
+    ``transfer`` maps (node, input fact) to the node's output fact and
+    must be monotone; ``join`` is the lattice join; ``widen``, when
+    given, is applied at loop headers once a header has been visited
+    more than ``widen_after`` times.
+    """
+    solution: Solution[F] = Solution()
+    if cfg.entry is None:
+        return solution
+    order = cfg.rpo()
+    headers = cfg.loop_headers()
+    visits: dict[int, int] = {}
+    work: deque[int] = deque(order)
+    queued = set(order)
+
+    while work:
+        node = work.popleft()
+        queued.discard(node)
+        solution.iterations += 1
+        visits[node] = visits.get(node, 0) + 1
+        if visits[node] > max_visits:
+            solution.converged = False
+            continue
+        solved_preds = [
+            p for p in sorted(cfg.preds.get(node, ()))
+            if p in solution.outputs
+        ]
+        if node == cfg.entry or not solved_preds:
+            new_in = entry_fact
+            for p in solved_preds:
+                new_in = join(new_in, solution.outputs[p])
+        else:
+            new_in = solution.outputs[solved_preds[0]]
+            for p in solved_preds[1:]:
+                new_in = join(new_in, solution.outputs[p])
+        old_in = solution.inputs.get(node)
+        if old_in is not None:
+            if widen is not None and node in headers and visits[node] > widen_after:
+                stretched = widen(old_in, new_in)
+                if stretched != old_in:
+                    solution.widened.add(node)
+                new_in = stretched
+            new_in = join(old_in, new_in)
+            if new_in == old_in and node in solution.outputs:
+                continue
+        solution.inputs[node] = new_in
+        out = transfer(node, new_in)
+        if solution.outputs.get(node) != out:
+            solution.outputs[node] = out
+            for succ in sorted(cfg.succs.get(node, {})):
+                if succ not in queued:
+                    work.append(succ)
+                    queued.add(succ)
+    return solution

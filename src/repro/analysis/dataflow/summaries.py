@@ -1,0 +1,185 @@
+"""Per-function summaries, solved bottom-up over the call-graph SCC DAG.
+
+Each function's recovered CFG is solved once with the must/may footprint
+client (over its traced accesses) and condensed into a small, cacheable
+:class:`FunctionSummary`: loops, branch points, convergence telemetry and
+guaranteed line-count intervals.  Functions are processed level by level
+of the call graph's SCC condensation — SCCs within a level share no
+dependency, so a level's members run concurrently; cache writes stay on
+the coordinating thread because the campaign store is single-writer.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ...sim.config import line_of
+from ...sim.program import OP_LOAD
+from .cache import SummaryCache, function_ir_digest
+from .cfg import CFG, scc_levels
+from .domains import FootprintFact, Interval
+from .solver import solve
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...sim.config import MachineConfig
+    from ..ir import FunctionIR, ProgramIR
+
+#: per-level concurrency cap for the SCC-parallel summary pass
+MAX_WORKERS = 8
+
+
+@dataclass
+class FunctionSummary:
+    """What the dataflow layer remembers about one function."""
+
+    name: str
+    digest: str
+    n_nodes: int = 0
+    n_edges: int = 0
+    back_edges: list[tuple[int, int]] = field(default_factory=list)
+    loop_headers: list[int] = field(default_factory=list)
+    branch_points: list[int] = field(default_factory=list)
+    #: guaranteed line-count intervals at the traced exit (must/may)
+    read_lines: Interval = field(default_factory=lambda: Interval(0, 0))
+    write_lines: Interval = field(default_factory=lambda: Interval(0, 0))
+    iterations: int = 0
+    converged: bool = True
+    widened: list[int] = field(default_factory=list)
+    edges_truncated: bool = False
+    #: True when this summary came out of the cache, not a fresh solve
+    cached: bool = False
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "digest": self.digest,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "back_edges": [list(e) for e in self.back_edges],
+            "loop_headers": self.loop_headers,
+            "branch_points": self.branch_points,
+            "read_lines": self.read_lines.to_dict(),
+            "write_lines": self.write_lines.to_dict(),
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "widened": self.widened,
+            "edges_truncated": self.edges_truncated,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> FunctionSummary:
+        return cls(
+            name=str(doc["name"]),
+            digest=str(doc["digest"]),
+            n_nodes=int(doc["n_nodes"]),
+            n_edges=int(doc["n_edges"]),
+            back_edges=[(int(u), int(v)) for u, v in doc["back_edges"]],
+            loop_headers=[int(n) for n in doc["loop_headers"]],
+            branch_points=[int(n) for n in doc["branch_points"]],
+            read_lines=Interval.from_dict(doc["read_lines"]),
+            write_lines=Interval.from_dict(doc["write_lines"]),
+            iterations=int(doc["iterations"]),
+            converged=bool(doc["converged"]),
+            widened=[int(n) for n in doc["widened"]],
+            edges_truncated=bool(doc["edges_truncated"]),
+        )
+
+
+def _traced_lines(fir: FunctionIR) -> tuple[dict[int, set[int]], dict[int, set[int]]]:
+    """Per-ip read/write cachelines recovered from the bounded op trace."""
+    reads: dict[int, set[int]] = {}
+    writes: dict[int, set[int]] = {}
+    for kind, ip, addr in fir.trace:
+        if addr is None:
+            continue
+        target = reads if kind == OP_LOAD else writes  # stores and CAS write
+        target.setdefault(ip, set()).add(line_of(addr))
+    return reads, writes
+
+
+def summarize_function(
+    fir: FunctionIR, config: MachineConfig, digest: str | None = None
+) -> FunctionSummary:
+    """Solve one function's CFG with the must/may footprint client."""
+    if digest is None:
+        digest = function_ir_digest(fir, config)
+    entry = fir.trace[0][1] if fir.trace else None
+    cfg = CFG.from_edges(fir.edges, entry=entry)
+    summary = FunctionSummary(
+        name=fir.name,
+        digest=digest,
+        n_nodes=len(cfg.nodes),
+        n_edges=len(cfg.edges),
+        back_edges=cfg.back_edges(),
+        loop_headers=sorted(cfg.loop_headers()),
+        branch_points=sorted(cfg.branch_points()),
+        edges_truncated=fir.edges_truncated,
+    )
+    if cfg.entry is None:
+        return summary
+    reads, writes = _traced_lines(fir)
+    universe_r = frozenset().union(*reads.values()) if reads else frozenset()
+    universe_w = frozenset().union(*writes.values()) if writes else frozenset()
+
+    def transfer(node: int, fact: FootprintFact) -> FootprintFact:
+        return (
+            fact.with_access(reads.get(node, ()), False)
+                .with_access(writes.get(node, ()), True)
+        )
+
+    solution = solve(
+        cfg,
+        FootprintFact.empty(),
+        transfer,
+        FootprintFact.join,
+        widen=lambda _old, new: new.widen(universe_r, universe_w),
+    )
+    summary.iterations = solution.iterations
+    summary.converged = solution.converged
+    summary.widened = sorted(solution.widened)
+    exit_fact = solution.exit_fact(cfg, FootprintFact.join)
+    if exit_fact is not None:
+        summary.read_lines = exit_fact.read_interval()
+        summary.write_lines = exit_fact.write_interval()
+    return summary
+
+
+def program_summaries(
+    ir: ProgramIR,
+    cache: SummaryCache | None = None,
+    parallel: bool = True,
+) -> dict[str, FunctionSummary]:
+    """Summarize every recovered function, SCC level by SCC level."""
+    succs: dict[str, set[str]] = {name: set() for name in ir.functions}
+    for caller, callee in ir.call_edges:
+        if caller in succs and callee in succs:
+            succs[caller].add(callee)
+
+    def one(name: str) -> FunctionSummary:
+        fir = ir.functions[name]
+        digest = function_ir_digest(fir, ir.config)
+        if cache is not None:
+            doc = cache.get(digest)
+            if doc is not None:
+                cached = FunctionSummary.from_doc(doc)
+                cached.cached = True
+                return cached
+        return summarize_function(fir, ir.config, digest=digest)
+
+    summaries: dict[str, FunctionSummary] = {}
+    for level in scc_levels(succs):
+        names = [name for component in level for name in component]
+        if parallel and len(names) > 1:
+            with ThreadPoolExecutor(max_workers=min(MAX_WORKERS, len(names))) as pool:
+                solved = list(pool.map(one, names))
+        else:
+            solved = [one(name) for name in names]
+        for name, summary in zip(names, solved):
+            summaries[name] = summary
+            if cache is not None and not summary.cached:
+                # store writes stay serialized on this thread: the
+                # campaign store is a single-writer design
+                cache.put(summary.digest, summary.to_doc())
+    return dict(sorted(summaries.items()))

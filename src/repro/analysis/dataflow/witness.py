@@ -1,0 +1,174 @@
+"""Witness paths: the concrete evidence trail behind a finding.
+
+A witness is a bounded sequence of ``(tid, ip, note)`` steps — branch
+decisions, lock acquisitions and memory accesses reconstructed from the
+per-region op traces and the per-address event log the symbolic drive
+records.  Every race/conflict finding carries one, and
+:func:`repro.analysis.lint.to_sarif` renders them as SARIF ``codeFlows``
+so code scanning shows the exact path to each abort risk, not just its
+site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ...sim.config import line_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ir import ProgramIR, RegionInstance
+    from ..lint import Finding
+
+#: one witness step: (tid, ip, human-readable note); tid -1 = no thread
+WitnessStep = tuple[int, int, str]
+
+#: findings that must carry a witness path (the race/conflict family)
+RACE_WITNESS_CODES = (
+    "asymmetric-fallback-race",
+    "elision-unsafe-access",
+    "lock-footprint-conflict",
+    "cross-section-conflict",
+)
+
+MAX_STEPS = 8
+
+
+def _describe_lockset(locks: tuple[int, ...]) -> str:
+    if not locks:
+        return "no locks held"
+    return "holding {" + ", ".join(f"{lock:#x}" for lock in locks) + "}"
+
+
+def region_witness(
+    region: RegionInstance,
+    branch_points: set[int],
+    closing_note: str | None = None,
+) -> tuple[WitnessStep, ...]:
+    """Cut a path through one region instance's recorded op trace.
+
+    Keeps the TM_BEGIN, every branch decision (an op at a branch point
+    followed by a different ip), the widest access, and an optional
+    closing note — the path a reviewer replays to see the risk happen.
+    """
+    steps: list[WitnessStep] = [(
+        region.tid, region.site,
+        f"TM_BEGIN {region.name} (depth {region.depth}, "
+        f"{region.footprint_lines()} line(s) touched)",
+    )]
+    seen_branches: set[int] = set()
+    for (_kind, ip, _addr), nxt in zip(region.trace, region.trace[1:]):
+        if len(steps) >= MAX_STEPS - 2:
+            break
+        if ip in branch_points and nxt[1] != ip and ip not in seen_branches:
+            seen_branches.add(ip)
+            steps.append((region.tid, ip, f"branch: control moves to {nxt[1]:#x}"))
+    if region.ip_lines:
+        widest = max(sorted(region.ip_lines), key=lambda ip: len(region.ip_lines[ip]))
+        steps.append((
+            region.tid, widest,
+            f"widest access site: {len(region.ip_lines[widest])} line(s)",
+        ))
+    if closing_note is not None:
+        steps.append((region.tid, region.site, closing_note))
+    return tuple(steps[:MAX_STEPS])
+
+
+def _candidate_addrs(ir: ProgramIR, finding: Finding) -> list[int]:
+    """Shared words implicated by a finding, from its data or its sites."""
+    data: dict[str, Any] = finding.data
+    for key in ("addrs", "words", "neighbor_addrs"):
+        value = data.get(key)
+        if isinstance(value, (list, tuple)) and value:
+            return [int(a) for a in value[:4]]
+    addr = data.get("addr")
+    if isinstance(addr, int):
+        return [addr]
+    # fall back to the sections themselves: a word touched at the
+    # finding's sites by two threads, at least one writing
+    by_word: dict[int, set[int]] = {}
+    written: dict[int, set[int]] = {}
+    lines = data.get("lines")
+    line_filter = {int(x) for x in lines} if isinstance(lines, (list, tuple)) else None
+    for trace in ir.threads:
+        for region in trace.regions:
+            if region.site not in finding.sites:
+                continue
+            for word in region.read_addrs | region.write_addrs:
+                if line_filter is not None and line_of(word) not in line_filter:
+                    continue
+                by_word.setdefault(word, set()).add(region.tid)
+                if word in region.write_addrs:
+                    written.setdefault(word, set()).add(region.tid)
+    shared = [
+        word for word, tids in by_word.items()
+        if len(tids) >= 2 and word in written
+    ]
+    return sorted(shared)[:2]
+
+
+def race_witness(ir: ProgramIR, finding: Finding) -> tuple[WitnessStep, ...]:
+    """Reconstruct a concrete access path for a race/conflict finding."""
+    steps: list[WitnessStep] = []
+    lock = finding.data.get("lock")
+    if isinstance(lock, int) and lock != ir.lock_addr:
+        for trace in ir.threads:
+            acquired = next(
+                (ev for ev in trace.events.get(lock, []) if ev[0] == "bare-w"),
+                None,
+            )
+            if acquired is not None:
+                steps.append((
+                    trace.tid, acquired[1],
+                    f"acquires spin lock {lock:#x} (CAS 0 -> nonzero)",
+                ))
+                break
+    for addr in _candidate_addrs(ir, finding):
+        events = [
+            (trace.tid, ev)
+            for trace in ir.threads
+            for ev in trace.events.get(addr, [])
+        ]
+        writer = next(
+            (e for e in events if e[1][0].endswith("-w") and not e[1][0].startswith("txn")),
+            None,
+        )
+        if writer is None:
+            writer = next((e for e in events if e[1][0] == "txn-w"), None)
+        if writer is not None:
+            tid, (mode, ip, _epoch, locks) = writer
+            verb = "writes" if mode != "txn-w" else "transactionally writes"
+            steps.append((tid, ip, f"{verb} {addr:#x} ({_describe_lockset(locks)})"))
+        other = next(
+            (
+                e for e in events
+                if e[1][0].startswith("txn") and (writer is None or e[0] != writer[0])
+            ),
+            None,
+        )
+        if other is None:
+            other = next(
+                (e for e in events if writer is None or e[0] != writer[0]), None
+            )
+        if other is not None:
+            tid, (mode, ip, _epoch, locks) = other
+            action = {
+                "txn-r": "transaction reads", "txn-w": "transaction writes",
+                "locked-r": "reads", "locked-w": "writes",
+                "bare-r": "reads (unprotected)", "bare-w": "writes (unprotected)",
+            }[mode]
+            note = f"{action} {addr:#x}"
+            if mode.startswith("locked"):
+                note += f" ({_describe_lockset(locks)})"
+            steps.append((tid, ip, note))
+        if len(steps) >= MAX_STEPS - 1:
+            break
+    if not steps:
+        steps = [(-1, site, "critical section at this site") for site in finding.sites[:2]]
+    return tuple(steps[:MAX_STEPS])
+
+
+def attach_witnesses(ir: ProgramIR, findings: list[Finding]) -> None:
+    """Give every race/conflict finding lacking one a concrete path."""
+    for finding in findings:
+        if finding.code in RACE_WITNESS_CODES and not finding.witness:
+            finding.witness = race_witness(ir, finding)

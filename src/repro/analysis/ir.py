@@ -60,6 +60,13 @@ class AnalysisLimits:
     #: concrete addresses retained per function before the whole-program
     #: pass (repro.analysis.races) widens the set to strided intervals
     max_fn_addrs: int = 4096
+    #: ops retained verbatim per RegionInstance (witness reconstruction)
+    max_region_trace: int = 96
+    #: distinct ip-transition edges retained per function / region CFG;
+    #: past the cap new edges are dropped and the CFG marked truncated
+    max_cfg_edges: int = 2048
+    #: access events (mode, ip, epoch, lockset) retained per address
+    max_addr_events: int = 8
 
 
 @dataclass(eq=False)  # identity semantics: the region stack tests membership
@@ -86,6 +93,19 @@ class RegionInstance:
     #: static stand-in for the dynamic T_tx of one attempt
     cycles: int = 0
     truncated: bool = False
+    #: intra-region ip-transition counts ((prev_ip, ip) -> times taken);
+    #: the dataflow layer recovers this instance's CFG, loops and branch
+    #: arms from these edges
+    edges: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: first ``max_region_trace`` ops of the body: (kind, ip, addr|None) —
+    #: the raw material witness paths are cut from
+    trace: list[tuple[str, int, int | None]] = field(default_factory=list)
+    #: cachelines touched per issuing ip (loop-body footprint attribution)
+    ip_lines: dict[int, set[int]] = field(default_factory=dict)
+    #: last ip issued while this region was open (edge-recording cursor)
+    prev_ip: int | None = field(default=None, repr=False)
+    #: True when the edge cap dropped at least one transition
+    edges_truncated: bool = False
 
     def read_lines(self) -> set[int]:
         return {line_of(a) for a in self.read_addrs}
@@ -114,6 +134,12 @@ class FunctionIR:
     write_addrs: set[int] = field(default_factory=set)
     #: True when the address cap dropped at least one access
     addrs_truncated: bool = False
+    #: ip-transition counts within this function's frame ((prev, cur) ->
+    #: times taken), aggregated over every thread and every call — the
+    #: recovered CFG the fixpoint solver runs on
+    edges: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: True when the edge cap dropped at least one transition
+    edges_truncated: bool = False
 
 
 @dataclass
@@ -134,6 +160,17 @@ class ThreadTrace:
     #: truly bare accesses.
     locked_reads: dict[int, dict[int, set[int]]] = field(default_factory=dict)
     locked_writes: dict[int, dict[int, set[int]]] = field(default_factory=dict)
+    #: exact lockset snapshots per out-of-region access: addr -> sorted
+    #: tuple of *all* lock words held at the access -> epochs.  Unlike
+    #: ``locked_*`` (one entry per held lock, flow-insensitive), this is
+    #: the path-sensitive view: an access under {L1, L2} is safe if a
+    #: racing transaction subscribes to *either* lock.
+    lockset_reads: dict[int, dict[tuple[int, ...], set[int]]] = field(default_factory=dict)
+    lockset_writes: dict[int, dict[tuple[int, ...], set[int]]] = field(default_factory=dict)
+    #: bounded per-address event log for witness paths: addr -> list of
+    #: (mode, ip, epoch, lockset) where mode is one of ``txn-r``,
+    #: ``txn-w``, ``locked-r``, ``locked-w``, ``bare-r``, ``bare-w``
+    events: dict[int, list[tuple[str, int, int, tuple[int, ...]]]] = field(default_factory=dict)
     #: words this thread treated as spin locks (acquire-CAS observed)
     lock_words: set[int] = field(default_factory=set)
     total_ops: int = 0
@@ -166,6 +203,27 @@ class ProgramIR:
 
 class _DriveStop(Exception):
     """Internal: the op budget ran out; unwind the drive."""
+
+
+def _bump_edge(
+    edges: dict[tuple[int, int], int], prev: int | None, cur: int, cap: int
+) -> bool:
+    """Count the ip transition ``prev -> cur``; False when the cap drops it.
+
+    Self-edges are kept: the same source line issuing two ops in a row is
+    loop evidence (a one-line loop body), and the trip-count client
+    cross-checks against per-instance counts before trusting any edge.
+    """
+    if prev is None:
+        return True
+    key = (prev, cur)
+    if key in edges:
+        edges[key] += 1
+        return True
+    if len(edges) >= cap:
+        return False
+    edges[key] = 1
+    return True
 
 
 def _tm_begin_fn() -> SimFunction:
@@ -238,15 +296,30 @@ class SymbolicContext:
         if self._open_regions:
             for region in self._open_regions:
                 (region.write_addrs if is_write else region.read_addrs).add(addr)
+                region.ip_lines.setdefault(self.cur_ip, set()).add(line_of(addr))
             target = self._trace.in_writes if is_write else self._trace.in_reads
+            mode = "txn"
         else:
             target = self._trace.out_writes if is_write else self._trace.out_reads
+            mode = "bare"
             if self._locks_held:
+                mode = "locked"
                 ldict = self._trace.locked_writes if is_write else self._trace.locked_reads
                 per_lock = ldict.setdefault(addr, {})
+                lockset = tuple(sorted(self._locks_held))
+                lsdict = self._trace.lockset_writes if is_write else self._trace.lockset_reads
+                lsdict.setdefault(addr, {}).setdefault(lockset, set()).add(self._epoch)
                 for lock in self._locks_held:
                     per_lock.setdefault(lock, set()).add(self._epoch)
         target.setdefault(addr, set()).add(self._epoch)
+        events = self._trace.events.setdefault(addr, [])
+        if len(events) < self._limits.max_addr_events:
+            events.append((
+                f"{mode}-{'w' if is_write else 'r'}",
+                self.cur_ip,
+                self._epoch,
+                tuple(sorted(self._locks_held)),
+            ))
         if fir is not None:
             fn_addrs = fir.write_addrs if is_write else fir.read_addrs
             if len(fn_addrs) < self._limits.max_fn_addrs or addr in fn_addrs:
@@ -264,11 +337,15 @@ class SymbolicContext:
         if trace.total_ops > self._limits.max_ops:
             raise _DriveStop
         kind = op[0]
-        fir = self._function_ir(self.stack[-1][0])
+        frame = self.stack[-1]
+        fir = self._function_ir(frame[0])
         fir.op_counts[kind] = fir.op_counts.get(kind, 0) + 1
         if len(fir.trace) < self._limits.max_trace_ops:
             addr = op[1] if kind in MEMORY_OPS else None
             fir.trace.append((kind, self.cur_ip, addr))
+        if not _bump_edge(fir.edges, frame[3], self.cur_ip, self._limits.max_cfg_edges):
+            fir.edges_truncated = True
+        frame[3] = self.cur_ip
         cfg = self._config
         cost = 0
         if kind == OP_COMPUTE:
@@ -285,6 +362,15 @@ class SymbolicContext:
         for region in self._open_regions:
             region.ops += 1
             region.cycles += cost
+            if not _bump_edge(
+                region.edges, region.prev_ip, self.cur_ip, self._limits.max_cfg_edges
+            ):
+                region.edges_truncated = True
+            region.prev_ip = self.cur_ip
+            if len(region.trace) < self._limits.max_region_trace:
+                region.trace.append(
+                    (kind, self.cur_ip, op[1] if kind in MEMORY_OPS else None)
+                )
         if kind == OP_LOAD:
             addr = op[1]
             self._record_access(addr, False, fir)
@@ -368,6 +454,25 @@ class SymbolicContext:
 
     # ----------------------------------------------------- calls / regions
 
+    def _record_callsite(self, frame: list[Any], callsite: int) -> None:
+        """Thread the callsite into the caller's (and open regions') CFG.
+
+        Callsites never reach :meth:`_interpret`, but a loop whose body is
+        just a call or an ``atomic`` still needs its back edge counted —
+        otherwise trip-count inference goes blind exactly where it
+        matters most.
+        """
+        fir = self._function_ir(frame[0])
+        if not _bump_edge(fir.edges, frame[3], callsite, self._limits.max_cfg_edges):
+            fir.edges_truncated = True
+        frame[3] = callsite
+        for region in self._open_regions:
+            if not _bump_edge(
+                region.edges, region.prev_ip, callsite, self._limits.max_cfg_edges
+            ):
+                region.edges_truncated = True
+            region.prev_ip = callsite
+
     def call(self, fn: SimFunction, *args: Any, **kwargs: Any) -> Generator[tuple, Any, Any]:
         line = sys._getframe(1).f_lineno
         frame = self.stack[-1]
@@ -376,7 +481,8 @@ class SymbolicContext:
         self.cur_ip = callsite
         self._call_edges.add((frame[0].name, fn.name))
         self._function_ir(frame[0]).callees.add(fn.name)
-        self.stack.append([fn, 0, callsite])
+        self._record_callsite(frame, callsite)
+        self.stack.append([fn, 0, callsite, None])
         try:
             result = yield from fn.func(self, *args, **kwargs)
         finally:
@@ -398,19 +504,24 @@ class SymbolicContext:
         tm_begin = _tm_begin_fn()
         self._call_edges.add((frame[0].name, tm_begin.name))
         self._function_ir(frame[0]).callees.add(tm_begin.name)
+        self._record_callsite(frame, callsite)
         region = RegionInstance(
             site=callsite,
             name=name or getattr(body, "__name__", "cs"),
             tid=self.tid,
             depth=len(self._open_regions) + 1,
             epoch=self._epoch,
+            # root the region CFG at its own TM_BEGIN site: the edge to
+            # the first op makes a body whose arms start at different
+            # ips a *visible* branch (divergent-path-footprint)
+            prev_ip=callsite,
         )
         if self._open_regions:
             root = self._open_regions[0]
             root.max_depth = max(root.max_depth, region.depth)
         self._open_regions.append(region)
         self._trace.regions.append(region)
-        self.stack.append([tm_begin, 0, callsite])
+        self.stack.append([tm_begin, 0, callsite, None])
         try:
             result = yield from body(self)
         finally:
@@ -423,7 +534,7 @@ class SymbolicContext:
 
     def drive(self, fn: SimFunction, args: tuple, kwargs: dict) -> None:
         """Run ``fn`` to completion (or budget exhaustion), recording IR."""
-        self.stack = [[fn, 0, 0]]
+        self.stack = [[fn, 0, 0, None]]
         self._function_ir(fn)
         gen = fn.func(self, *args, **kwargs)
         value: Any = None

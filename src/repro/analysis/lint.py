@@ -23,6 +23,7 @@ from .summarize import (
 )
 
 if TYPE_CHECKING:
+    from .dataflow import DataflowAnalysis, SummaryCache
     from .predict import StaticPrediction
     from .races import RaceAnalysis
 
@@ -92,6 +93,39 @@ CODES: dict[str, tuple[str, str | None, str]] = {
         "every transaction subscribes to that line, so any write to it "
         "aborts all concurrent speculation",
     ),
+    # -- dataflow codes (repro.analysis.dataflow, on by default) -----------
+    # prediction=None on all four: they carry best/worst-case *envelopes*
+    # (in data / the crossval envelope pane), not point predictions, so
+    # they can never put an unobservable class into predicted_classes()
+    "conditional-capacity-overflow": (
+        "warning",
+        None,
+        "a critical section's read/write set exceeds a capacity budget on "
+        "some path or extrapolated loop bound but not on all paths — the "
+        "abort class is input-dependent (best case commits, worst case "
+        "overflows)",
+    ),
+    "loop-scaled-footprint": (
+        "warning",
+        None,
+        "a loop inside a critical section has a varying trip count that "
+        "drags the transactional footprint with it; the section's "
+        "capacity headroom shrinks with input scale, not a constant",
+    ),
+    "divergent-path-footprint": (
+        "info",
+        None,
+        "branch arms inside a critical section touch footprints differing "
+        "by 2x or more, so which abort class (if any) manifests depends "
+        "on the path taken",
+    ),
+    "dead-txn-no-shared-access": (
+        "info",
+        None,
+        "no word a critical section touches is shared with a writing "
+        "thread: the transaction cannot experience a data conflict and "
+        "its begin/end overhead buys no isolation",
+    ),
 }
 
 
@@ -120,6 +154,9 @@ class Finding:
     prediction: str | None = None
     #: machine-readable evidence (budgets, line counts, sample addresses)
     data: dict[str, Any] = field(default_factory=dict)
+    #: concrete witness path: (tid, ip, note) steps; rendered as SARIF
+    #: ``codeFlows``.  Every race/conflict finding carries one.
+    witness: tuple[tuple[int, int, str], ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -130,6 +167,7 @@ class Finding:
             "sections": list(self.sections),
             "prediction": self.prediction,
             "data": self.data,
+            "witness": [list(step) for step in self.witness],
         }
 
 
@@ -146,6 +184,9 @@ class AnalysisReport:
     races: RaceAnalysis | None = None
     #: the static decision-tree prediction (``--predict-tree``)
     prediction: StaticPrediction | None = None
+    #: the fixpoint dataflow pass's result (on by default); its findings
+    #: are also merged into :attr:`findings`
+    dataflow: DataflowAnalysis | None = None
 
     def max_severity(self) -> str | None:
         worst: str | None = None
@@ -193,11 +234,25 @@ class AnalysisReport:
             d["races"] = self.races.to_dict()
         if self.prediction is not None:
             d["prediction"] = self.prediction.to_dict()
+        if self.dataflow is not None:
+            d["dataflow"] = self.dataflow.to_dict()
         return d
 
 
+def finding_sort_key(f: Finding) -> tuple[str, tuple[int, ...], str]:
+    """The canonical (code, sites, message) order.
+
+    Deliberately free of anything non-deterministic: two runs of the same
+    analysis render findings — and therefore ``check --json`` and SARIF
+    output — byte-identically, whatever the hash seed or check order.
+    """
+    return (f.code, f.sites, f.message)
+
+
 def _finding(code: str, message: str, sites: tuple[int, ...] = (),
-             sections: tuple[str, ...] = (), **data: Any) -> Finding:
+             sections: tuple[str, ...] = (),
+             witness: tuple[tuple[int, int, str], ...] = (),
+             **data: Any) -> Finding:
     severity, prediction, _ = CODES[code]
     return Finding(
         code=code,
@@ -207,6 +262,7 @@ def _finding(code: str, message: str, sites: tuple[int, ...] = (),
         sections=sections,
         prediction=prediction,
         data=data,
+        witness=witness,
     )
 
 
@@ -424,9 +480,7 @@ def lint_summary(ws: WorkloadSummary) -> AnalysisReport:
     report = AnalysisReport(workload=ws.workload, summary=ws, truncated=ws.truncated)
     for check in _CHECKS:
         report.findings.extend(check(ws))
-    report.findings.sort(
-        key=lambda f: (-severity_rank(f.severity), f.code, f.sites)
-    )
+    report.findings.sort(key=finding_sort_key)
     return report
 
 
@@ -439,6 +493,8 @@ def analyze_workload(
     limits: AnalysisLimits | None = None,
     races: bool = False,
     predict: bool = False,
+    dataflow: bool = True,
+    dataflow_cache: SummaryCache | None = None,
     **params: Any,
 ) -> AnalysisReport:
     """Extract, summarize and lint one workload end to end.
@@ -446,7 +502,10 @@ def analyze_workload(
     ``races`` additionally runs the interprocedural lockset pass
     (:mod:`repro.analysis.races`), merging its findings into the report;
     ``predict`` attaches the static decision-tree prediction
-    (:mod:`repro.analysis.predict`).
+    (:mod:`repro.analysis.predict`); ``dataflow`` (on by default) runs
+    the fixpoint layer — conditional-capacity/loop/path codes plus
+    witness paths on every race/conflict finding — optionally reusing
+    content-addressed function summaries from ``dataflow_cache``.
     """
     ir = extract_workload(
         workload,
@@ -471,15 +530,24 @@ def analyze_workload(
             f for f in report.findings if f.code != "unprotected-shared-access"
         ]
         report.findings.extend(report.races.findings)
-        report.findings.sort(
-            key=lambda f: (-severity_rank(f.severity), f.code, f.sites)
+    if dataflow:
+        from .dataflow import analyze_dataflow, attach_witnesses
+
+        report.dataflow = analyze_dataflow(
+            ir, ws, existing=report.findings, cache=dataflow_cache
         )
+        report.findings.extend(report.dataflow.findings)
+        attach_witnesses(ir, report.findings)
+    report.findings.sort(key=finding_sort_key)
     if predict:
         from .predict import predict_workload
 
         # the lockset pass (when run) sharpens race-implicated sites'
-        # leaves from the overhead branch to the abort branch
-        report.prediction = predict_workload(ws, races=report.races)
+        # leaves from the overhead branch to the abort branch; the
+        # dataflow envelope adds observed conditional-capacity leaves
+        report.prediction = predict_workload(
+            ws, races=report.races, dataflow=report.dataflow
+        )
     return report
 
 
@@ -517,6 +585,34 @@ def _sarif_location(site: int) -> dict[str, Any] | None:
     }
 
 
+def _sarif_code_flow(witness: tuple[tuple[int, int, str], ...]) -> dict[str, Any]:
+    """One witness path as a SARIF codeFlow (single threadFlow).
+
+    Steps whose ip does not resolve to a registered function still render
+    — with a message-only location — so the path stays contiguous.
+    """
+    locations = []
+    for tid, ip, note in witness:
+        text = f"[t{tid}] {note}" if tid >= 0 else note
+        location: dict[str, Any] = {"message": {"text": text}}
+        resolved = _sarif_location(ip)
+        if resolved is not None:
+            location.update(resolved)
+        locations.append({"location": location})
+    return {"threadFlows": [{"locations": locations}]}
+
+
+def _jsonable(value: Any) -> Any:
+    """Finding data verbatim, but with tuples/sets as plain JSON arrays."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    return value
+
+
 def to_sarif(reports: list[AnalysisReport]) -> dict[str, Any]:
     """Render analysis reports as one SARIF 2.1.0 log (one run, one tool).
 
@@ -546,12 +642,15 @@ def to_sarif(reports: list[AnalysisReport]) -> dict[str, Any]:
                 "ruleId": f.code,
                 "level": _SARIF_LEVELS.get(f.severity, "note"),
                 "message": {"text": f"[{report.workload}] {f.message}"},
-                "properties": {"workload": report.workload, **f.data},
+                "properties": {"workload": report.workload,
+                               **_jsonable(f.data)},
             }
             if f.prediction is not None:
                 result["properties"]["predictedAbortClass"] = f.prediction
             if locations:
                 result["locations"] = locations
+            if f.witness:
+                result["codeFlows"] = [_sarif_code_flow(f.witness)]
             results.append(result)
     return {
         "$schema": (

@@ -39,6 +39,7 @@ from .ir import RegionInstance
 from .summarize import SectionSummary, WorkloadSummary
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from .dataflow import DataflowAnalysis
     from .races import RaceAnalysis
 
 #: leaves the static predictor emits per site and crossval scores.
@@ -81,6 +82,10 @@ class SitePrediction:
     #: True when the drive was truncated — treat leaves as low-confidence
     incomplete: bool = False
     note: str = ""
+    #: abort classes guaranteed on every path (dataflow best case) and
+    #: possible on some path (worst case) — the crossval envelope
+    best_case: tuple[str, ...] = ()
+    worst_case: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -94,6 +99,8 @@ class SitePrediction:
             "persistent": self.persistent,
             "incomplete": self.incomplete,
             "note": self.note,
+            "best_case": list(self.best_case),
+            "worst_case": list(self.worst_case),
         }
 
 
@@ -286,16 +293,57 @@ def _apply_race_evidence(pred: SitePrediction, codes: list[str]) -> None:
     pred.rationale = tuple(why for _, why in keep)
 
 
+def _apply_dataflow_evidence(
+    pred: SitePrediction,
+    dataflow: "DataflowAnalysis",
+    overflow_sites: dict[int, bool],
+) -> None:
+    """Fold the fixpoint pass's intervals into one site's prediction.
+
+    Always attaches the best/worst-case abort-class envelope.  Only when
+    the conditional-capacity client *observed* the heavy path overflow a
+    budget (``observed_overflow``) does the dynamic profile actually show
+    capacity aborts — so only then does the leaf prediction change: drop
+    the diluted ``merge-transactions`` / ``speculation-ok`` leaves and
+    predict ``capacity-overflow``.
+    """
+    sd = dataflow.sites.get(pred.site)
+    if sd is not None:
+        pred.best_case = sd.best_classes
+        pred.worst_case = sd.worst_classes
+    if not overflow_sites.get(pred.site):
+        return
+    keep = [
+        (leaf, why)
+        for leaf, why in zip(pred.leaves, pred.rationale)
+        if leaf not in (Leaf.MERGE_TRANSACTIONS.value,
+                        Leaf.SPECULATION_OK.value)
+    ]
+    if Leaf.CAPACITY_OVERFLOW.value not in (leaf for leaf, _ in keep):
+        keep.append((
+            Leaf.CAPACITY_OVERFLOW.value,
+            "dataflow pass: the heavy branch arm's footprint interval "
+            "exceeds a speculative budget and the drive observed it — "
+            "sampled aborts will be capacity-dominated",
+        ))
+    pred.leaves = tuple(leaf for leaf, _ in keep)
+    pred.rationale = tuple(why for _, why in keep)
+
+
 def predict_workload(
     ws: WorkloadSummary,
     thresholds: Thresholds | None = None,
     races: "RaceAnalysis | None" = None,
+    dataflow: "DataflowAnalysis | None" = None,
 ) -> StaticPrediction:
     """Map every TM_BEGIN site of a summarized workload onto tree leaves.
 
     ``races`` (the lockset pass's result for the same IR) sharpens the
     per-site leaves: race-implicated sites predict the abort branch the
     dynamic tree will actually take instead of a diluted overhead leaf.
+    ``dataflow`` (the fixpoint pass) attaches best/worst-case abort-class
+    envelopes and upgrades observed conditional overflows to the
+    ``capacity-overflow`` leaf.
     """
     th = thresholds or Thresholds()
     sp = StaticPrediction(workload=ws.workload, incomplete=ws.truncated)
@@ -305,6 +353,15 @@ def predict_workload(
             if f.code in _RACE_LEAF_CODES:
                 for site in f.sites:
                     race_sites.setdefault(site, []).append(f.code)
+    overflow_sites: dict[int, bool] = {}
+    if dataflow is not None:
+        for f in dataflow.findings:
+            if (
+                f.code == "conditional-capacity-overflow"
+                and f.data.get("observed_overflow") is True
+            ):
+                for site in f.sites:
+                    overflow_sites[site] = True
     total = sum(t.est_cycles for t in ws.threads)
     oh = _txn_overhead(ws)
     section_cycles = 0
@@ -325,6 +382,8 @@ def predict_workload(
         pred = _predict_site(ws, s, th, total)
         if s.site in race_sites:
             _apply_race_evidence(pred, race_sites[s.site])
+        if dataflow is not None:
+            _apply_dataflow_evidence(pred, dataflow, overflow_sites)
         if ws.truncated:
             pred.incomplete = True
             pred.note = INCOMPLETE_NOTE

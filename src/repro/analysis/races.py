@@ -336,6 +336,11 @@ class _ThreadAccess:
     #: lock word -> epochs accessed while holding it (outside regions)
     locked_read: dict[int, set[int]] = field(default_factory=dict)
     locked_write: dict[int, set[int]] = field(default_factory=dict)
+    #: *exact* lockset (sorted tuple of lock words held at the access) ->
+    #: epochs — path-sensitive: each branch arm's acquisitions recorded
+    #: separately instead of unioned per lock
+    lockset_read: dict[tuple[int, ...], set[int]] = field(default_factory=dict)
+    lockset_write: dict[tuple[int, ...], set[int]] = field(default_factory=dict)
     bare_read: set[int] = field(default_factory=set)
     bare_write: set[int] = field(default_factory=set)
 
@@ -441,6 +446,18 @@ def _collect_accesses(
             ta = acc(addr, t.tid)
             for lock, epochs in by_lock.items():
                 ta.locked_write.setdefault(lock, set()).update(epochs)
+        for addr, by_ls in t.lockset_reads.items():
+            if addr in lock_words:
+                continue
+            ta = acc(addr, t.tid)
+            for ls, ls_epochs in by_ls.items():
+                ta.lockset_read.setdefault(ls, set()).update(ls_epochs)
+        for addr, by_ls in t.lockset_writes.items():
+            if addr in lock_words:
+                continue
+            ta = acc(addr, t.tid)
+            for ls, ls_epochs in by_ls.items():
+                ta.lockset_write.setdefault(ls, set()).update(ls_epochs)
         for addr in t.out_reads:
             if addr in lock_words:
                 continue
@@ -471,13 +488,19 @@ def _classify_word(addr: int, per_tid: dict[int, _ThreadAccess]) -> WordClass | 
         locksets: list[set[str]] = []
         if ta.txn_read or ta.txn_write:
             locksets.append({_TXN, _FALLBACK})
-        held = set(ta.locked_read) | set(ta.locked_write)
-        if held:
-            # per-lock epochs cannot recover the exact per-access lockset;
-            # the union of locks the thread held for this word is a sound
-            # over-approximation of each locked access's protection
-            locksets.append({f"lock:{lock:#x}" for lock in held})
-            locks |= held
+        exact = set(ta.lockset_read) | set(ta.lockset_write)
+        if exact:
+            # path-sensitive: each exact lockset the drive recorded at an
+            # access (per branch arm) intersects separately, instead of
+            # flattening the thread's locks for this word into one union
+            for ls in sorted(exact):
+                locksets.append({f"lock:{lock:#x}" for lock in ls})
+                locks |= set(ls)
+        else:
+            held = set(ta.locked_read) | set(ta.locked_write)
+            if held:
+                locksets.append({f"lock:{lock:#x}" for lock in held})
+                locks |= held
         if ta.bare_read or ta.bare_write:
             locksets.append(set())
         for ls in locksets:
@@ -577,6 +600,7 @@ def downgrade_incomplete(f: Finding) -> Finding:
         sections=f.sections,
         prediction=f.prediction,
         data={**f.data, "analysis_incomplete": True},
+        witness=f.witness,
     )
 
 
@@ -590,13 +614,44 @@ def _attribution(ra: RaceAnalysis, addrs: list[int], cap: int = 3) -> list[str]:
     return sorted(names)
 
 
+def _locked_epochs_by_lockset(
+    ta: _ThreadAccess,
+) -> dict[tuple[int, ...], tuple[set[int], set[int]]]:
+    """Exact lockset -> (read epochs, write epochs) for one thread/word.
+
+    Falls back to per-lock singletons when no exact snapshots were
+    recorded (only possible for IR produced before the lockset log).
+    """
+    out: dict[tuple[int, ...], tuple[set[int], set[int]]] = {}
+    for ls, epochs in ta.lockset_read.items():
+        out.setdefault(ls, (set(), set()))[0].update(epochs)
+    for ls, epochs in ta.lockset_write.items():
+        out.setdefault(ls, (set(), set()))[1].update(epochs)
+    if not out:
+        for lock, epochs in ta.locked_read.items():
+            out.setdefault((lock,), (set(), set()))[0].update(epochs)
+        for lock, epochs in ta.locked_write.items():
+            out.setdefault((lock,), (set(), set()))[1].update(epochs)
+    return out
+
+
 def _check_asymmetric(
     ir: ProgramIR,
     table: dict[int, dict[int, _ThreadAccess]],
     ra: RaceAnalysis,
 ) -> list[Finding]:
-    #: lock word -> (addrs, sites, sections, tid pairs)
-    by_lock: dict[int, tuple[set[int], set[int], set[str], set[tuple[int, int]]]] = {}
+    """Transaction vs. lock-based section on a common word, per lockset.
+
+    Path-sensitive: each access is judged under the *exact* set of locks
+    held on its branch arm.  A transaction subscribing to any one member
+    of that lockset serializes correctly against the whole critical
+    section, so holding a second, unsubscribed lock on the same arm is
+    not a race — the flow-insensitive per-lock check used to flag it.
+    """
+    #: exact lockset -> (addrs, sites, sections, tid pairs)
+    by_ls: dict[
+        tuple[int, ...], tuple[set[int], set[int], set[str], set[tuple[int, int]]]
+    ] = {}
     for addr, per_tid in table.items():
         for ta in per_tid.values():
             txn_epochs = ta.txn_read | ta.txn_write
@@ -605,41 +660,36 @@ def _check_asymmetric(
             for other in per_tid.values():
                 if other.tid == ta.tid:
                     continue
-                for lock in set(other.locked_read) | set(other.locked_write):
-                    le = other.locked_read.get(lock, set()) | other.locked_write.get(
-                        lock, set()
-                    )
-                    if not (txn_epochs & le):
+                for ls, (re_, we) in _locked_epochs_by_lockset(other).items():
+                    if not ls or not (txn_epochs & (re_ | we)):
                         continue
-                    writes = bool(
-                        ta.txn_write
-                        or other.locked_write.get(lock)
-                    )
-                    if not writes:
+                    if not (ta.txn_write or we):
                         continue
-                    if _subscribes(ir, ta.tid, addr, lock):
+                    if any(_subscribes(ir, ta.tid, addr, lock) for lock in ls):
                         continue
                     sites, names, _ = _txn_sites_for(ir, ta.tid, addr)
-                    entry = by_lock.setdefault(lock, (set(), set(), set(), set()))
+                    entry = by_ls.setdefault(ls, (set(), set(), set(), set()))
                     entry[0].add(addr)
                     entry[1].update(sites)
                     entry[2].update(names)
                     entry[3].add((ta.tid, other.tid))
     out: list[Finding] = []
-    for lock in sorted(by_lock):
-        addrs, sites, names, pairs = by_lock[lock]
+    for ls in sorted(by_ls):
+        addrs, sites, names, pairs = by_ls[ls]
         sample = sorted(addrs)
+        held = ", ".join(f"0x{lock:x}" for lock in ls)
         out.append(_finding(
             CODE_ASYMMETRIC,
             f"{len(addrs)} word(s) are accessed transactionally in "
             f"section(s) {', '.join(sorted(names)) or '?'} and under the "
-            f"unsubscribed lock 0x{lock:x} by another thread in the same "
-            "barrier epoch; the transaction neither aborts nor waits while "
-            "the lock is held, so it can observe (or publish) a "
+            f"unsubscribed lockset {{{held}}} by another thread in the "
+            "same barrier epoch; the transaction neither aborts nor waits "
+            "while the lock is held, so it can observe (or publish) a "
             "half-updated structure",
             sites=tuple(sorted(sites)),
             sections=tuple(sorted(names)),
-            lock=lock,
+            lock=ls[0],
+            lockset=list(ls),
             addrs=sample[:16],
             n_addrs=len(addrs),
             thread_pairs=sorted(pairs)[:8],

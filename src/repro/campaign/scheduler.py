@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from .spec import Campaign, JobSpec
-from .store import MemoryStore
+from .store import MemoryStore, ResultStore
 from .worker import execute_job
 
 _log = logging.getLogger("repro.campaign")
@@ -87,7 +87,7 @@ class Plan:
         return len(self.cached) / total if total else 1.0
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """Fork where available: workers inherit the parent's function
     registry, which keeps code addresses — and therefore profile
     symbols — identical between serial and pooled execution."""
@@ -102,7 +102,7 @@ class CampaignRunner:
 
     def __init__(
         self,
-        store=None,
+        store: ResultStore | MemoryStore | None = None,
         jobs: int = 1,
         timeout: float | None = None,
         retry: RetryPolicy | None = None,

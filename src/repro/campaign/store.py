@@ -48,6 +48,7 @@ import json
 import os
 import re
 from pathlib import Path
+from typing import IO, Any
 
 
 class StoreError(RuntimeError):
@@ -57,7 +58,7 @@ class StoreError(RuntimeError):
 _SEGMENT_RE = re.compile(r"^seg-(\d{8})\.jsonl$")
 
 
-def _fsync(fh) -> None:
+def _fsync(fh: IO[Any]) -> None:
     fh.flush()
     os.fsync(fh.fileno())
 

@@ -28,6 +28,8 @@ Suites:
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..core.export import profile_from_dict
 from ..htmbench.clomp_tm import FIGURE7_CONFIGS
 from ..sim.config import DEFAULT_THREADS
@@ -163,7 +165,7 @@ BUILDERS = {
 }
 
 
-def build_campaign(suite: str, **kw) -> Campaign:
+def build_campaign(suite: str, **kw: Any) -> Campaign:
     builder = BUILDERS.get(suite)
     if builder is None:
         raise SuiteError(

@@ -36,7 +36,10 @@ from __future__ import annotations
 
 import os
 import signal
+from collections.abc import Iterator
 from contextlib import contextmanager
+from types import FrameType
+from typing import TYPE_CHECKING
 from dataclasses import asdict, replace
 from pathlib import Path
 
@@ -44,6 +47,9 @@ from ..core.export import profile_from_dict, profile_to_dict
 from ..sim.config import MachineConfig
 from ..sim.engine import RunResult
 from .spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.runner import Outcome
 
 
 class JobTimeout(Exception):
@@ -55,7 +61,7 @@ class InjectedFault(RuntimeError):
 
 
 @contextmanager
-def _deadline(seconds: float | None):
+def _deadline(seconds: float | None) -> Iterator[None]:
     """Raise :class:`JobTimeout` after ``seconds`` of wall time.
 
     Uses ``SIGALRM``, so it only arms on platforms that have it and in
@@ -77,7 +83,7 @@ def _deadline(seconds: float | None):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _on_alarm(signum, frame):
+def _on_alarm(signum: int, frame: FrameType | None) -> None:
     raise JobTimeout("per-job timeout expired")
 
 
@@ -251,7 +257,7 @@ def execute_job(spec_dict: dict, dep_records: dict[str, dict],
 # ---------------------------------------------------------------------------
 
 
-def outcome_from_record(record: dict):
+def outcome_from_record(record: dict) -> Outcome:
     """Rebuild a harness-usable :class:`Outcome` from a cached run
     record.  ``sim``/``profiler``/``instrument``/``obs`` are ``None`` —
     a cache hit has no live simulator — but ``result`` and ``profile``

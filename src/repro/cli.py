@@ -167,6 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="artifact_dir",
                    help="when cross-validation disagrees, dump a replay "
                         "log of the dynamic run into DIR")
+    p.add_argument("--no-dataflow", action="store_true", dest="no_dataflow",
+                   help="skip the fixpoint dataflow pass (conditional "
+                        "capacity, witness paths, loop intervals)")
+    p.add_argument("--incremental", action="store_true",
+                   help="cache content-addressed per-function dataflow "
+                        "summaries in the result store and re-analyze "
+                        "only functions whose IR changed")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="summary-store directory for --incremental "
+                        "(default: $REPRO_CACHE_DIR or .repro-cache)")
     _add_common(p)
 
     p = sub.add_parser("run", help="run a workload under TxSampler "
@@ -496,9 +506,19 @@ def cmd_check(args) -> int:
     from .core.report import (
         render_analysis,
         render_crossval,
+        render_dataflow,
         render_prediction,
         render_races,
     )
+
+    dataflow_cache = None
+    if args.incremental:
+        from .analysis.dataflow import SummaryCache
+
+        root = (args.cache_dir
+                or os.environ.get("REPRO_CACHE_DIR")
+                or ".repro-cache")
+        dataflow_cache = SummaryCache(ResultStore(root))
 
     names = _check_names(args.workloads)
     threshold = severity_rank(args.fail_on)
@@ -513,7 +533,9 @@ def cmd_check(args) -> int:
             report = analyze_workload(name, n_threads=args.threads,
                                       scale=args.scale, seed=args.seed,
                                       races=args.races,
-                                      predict=args.predict_tree)
+                                      predict=args.predict_tree,
+                                      dataflow=not args.no_dataflow,
+                                      dataflow_cache=dataflow_cache)
             reports.append(report)
             cv = None
             cv_artifact = None
@@ -555,6 +577,9 @@ def cmd_check(args) -> int:
                 _log.info(f"documented findings  : {sorted(expected)}")
             if surprises:
                 _log.info(f"UNEXPECTED (>= {args.fail_on}): {surprises}")
+            if report.dataflow is not None:
+                _log.info("")
+                _log.info(render_dataflow(report.dataflow))
             if report.races is not None:
                 _log.info("")
                 _log.info(render_races(report.races))
@@ -566,6 +591,12 @@ def cmd_check(args) -> int:
                 _log.info(render_crossval(cv))
             if cv_artifact is not None:
                 _log.info(f"replay artifact: {cv_artifact}")
+    if dataflow_cache is not None:
+        # status goes to stderr so --json stdout stays machine-parseable
+        st = dataflow_cache.stats()
+        print(f"[dataflow cache] hits={st['hits']} "
+              f"misses={st['misses']} hit-rate={st['hit_rate']:.0%}",
+              file=sys.stderr)
     if args.sarif:
         from .analysis import to_sarif
 

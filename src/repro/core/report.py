@@ -30,6 +30,7 @@ from .analyzer import CsReport, Profile
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..analysis.crossval import CrossValidation
+    from ..analysis.dataflow import DataflowAnalysis
     from ..analysis.lint import AnalysisReport
     from ..analysis.predict import StaticPrediction
     from ..analysis.races import RaceAnalysis
@@ -268,6 +269,51 @@ def render_races(ra: "RaceAnalysis") -> str:
     return "\n".join(lines)
 
 
+def render_dataflow(df: "DataflowAnalysis") -> str:
+    """The fixpoint pane: per-site intervals and per-function summaries."""
+    lines = [f"=== dataflow fixpoint analysis: {df.workload} ==="]
+    if df.truncated:
+        lines.append("  (symbolic drive truncated: intervals are "
+                     "lower bounds, not guarantees)")
+    if df.cache_stats is not None:
+        st = df.cache_stats
+        lines.append(f"summary cache        : {st['hits']} hit(s), "
+                     f"{st['misses']} miss(es), "
+                     f"hit rate {st['hit_rate']:.0%}")
+    for sd in sorted(df.sites.values(), key=lambda s: s.site):
+        conv = "" if sd.converged else "  [NOT CONVERGED]"
+        lines.append(
+            f"  {sd.name} @ {sd.site:#x}: read lines "
+            f"{sd.read_lines.describe()}, write lines "
+            f"{sd.write_lines.describe()}, ways {sd.ways.describe()}, "
+            f"depth {sd.depth.describe()}{conv}"
+        )
+        best = ", ".join(sd.best_classes) or "none"
+        worst = ", ".join(sd.worst_classes) or "none"
+        lines.append(f"    abort classes: best case {best}; "
+                     f"worst case {worst}")
+        if sd.loop_headers:
+            trips = "; ".join(
+                f"{ip:#x}: {iv.describe()}"
+                for ip, iv in sorted(sd.trips.items())
+            )
+            lines.append(f"    loop trip counts: {trips}")
+    for fs in df.summaries.values():
+        conv = "" if fs.converged else "  [NOT CONVERGED]"
+        cached = " (cached)" if fs.cached else ""
+        lines.append(
+            f"  fn {fs.name}: {fs.n_nodes} node(s), {fs.n_edges} "
+            f"edge(s), {len(fs.loop_headers)} loop(s); reads "
+            f"{fs.read_lines.describe()}, writes "
+            f"{fs.write_lines.describe()}{conv}{cached}"
+        )
+    converged = "yes" if df.converged else "NO"
+    lines.append(f"fixpoint converged   : {converged} "
+                 f"({len(df.sites)} site(s), "
+                 f"{len(df.summaries)} function(s))")
+    return "\n".join(lines)
+
+
 def render_prediction(sp: "StaticPrediction") -> str:
     """The static decision-tree pane: predicted Figure 1 leaves per site."""
     lines = [f"=== static decision-tree prediction: {sp.workload} ==="]
@@ -281,6 +327,12 @@ def render_prediction(sp: "StaticPrediction") -> str:
         lines.append(f"  {p.name} @ {p.site:#x}: {leaves}")
         for why in p.rationale:
             lines.append(f"    - {why}")
+        if p.best_case or p.worst_case:
+            lines.append(
+                f"    dataflow envelope: best case "
+                f"{', '.join(p.best_case) or 'none'}; worst case "
+                f"{', '.join(p.worst_case) or 'none'}"
+            )
     return "\n".join(lines)
 
 
@@ -314,6 +366,14 @@ def render_crossval(cv: "CrossValidation") -> str:
         f"{cls}={n:.0f}" for cls, n in sorted(cv.sampled_aborts.items())
     )
     lines.append(f"sampled abort events : {sampled or 'none'}")
+    if cv.envelope:
+        lines.append(f"envelope consistency : {cv.envelope_consistency:.1%} "
+                     "(observed abort classes inside the static "
+                     "worst-case envelope)")
+        for v in cv.envelope_violations():
+            lines.append(f"  ENVELOPE VIOLATION {v['section']} / "
+                         f"{v['class']}: observed but statically "
+                         "impossible — unsound interval somewhere")
     if cv.prediction is not None:
         lp, lr = cv.leaf_precision_recall()
         cp, cr = cv.class_precision_recall()

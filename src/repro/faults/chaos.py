@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from ..core.analyzer import Profile
 from ..core.decision_tree import DecisionTree, Guidance, Leaf
 from ..core.export import profile_to_dict
 from .plan import FaultPlan
@@ -179,7 +180,7 @@ class ChaosReport:
 # ---------------------------------------------------------------------------
 
 
-def signature(profile, min_aborts: float = 5.0) -> dict[str, SiteSignature]:
+def signature(profile: Profile, min_aborts: float = 5.0) -> dict[str, SiteSignature]:
     """Per-site signatures for every TM site with enough sampled aborts."""
     tree = DecisionTree()
     out: dict[str, SiteSignature] = {}
@@ -228,7 +229,7 @@ def compare(clean: dict[str, SiteSignature],
             )
 
 
-def degraded_signature(profile) -> dict[str, SiteSignature]:
+def degraded_signature(profile: Profile) -> dict[str, SiteSignature]:
     """Signatures with the abort gate off (loss already thinned them)."""
     return signature(profile, min_aborts=1.0)
 
@@ -238,13 +239,13 @@ def degraded_signature(profile) -> dict[str, SiteSignature]:
 # ---------------------------------------------------------------------------
 
 
-def _profile_bytes(profile) -> bytes:
+def _profile_bytes(profile: Profile) -> bytes:
     return json.dumps(profile_to_dict(profile), sort_keys=True).encode()
 
 
 def run_sweep(
-    workloads=DEFAULT_WORKLOADS,
-    loss_rates=DEFAULT_LOSS_RATES,
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    loss_rates: tuple[float, ...] = DEFAULT_LOSS_RATES,
     n_threads: int = 4,
     scale: float = 1.0,
     seed: int = 0,

@@ -33,6 +33,7 @@ from ..pmu.sampling import Sample
 from .plan import FaultPlan, coerce_plan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.hooks import Observability
     from ..sim.config import MachineConfig
 
 
@@ -57,7 +58,8 @@ COUNTERS = (
 class FaultInjector:
     """Runtime state for one simulated run under a fault plan."""
 
-    def __init__(self, plan: FaultPlan, n_threads: int, obs=None) -> None:
+    def __init__(self, plan: FaultPlan, n_threads: int,
+                 obs: Observability | None = None) -> None:
         plan.validate()
         self.plan = plan
         self.obs = obs
@@ -82,7 +84,8 @@ class FaultInjector:
 
     @classmethod
     def from_config(cls, config: "MachineConfig", n_threads: int,
-                    obs=None) -> "FaultInjector" | None:
+                    obs: Observability | None = None,
+                    ) -> "FaultInjector" | None:
         """Build the injector a config asks for.
 
         Returns ``None`` for a missing or all-zero plan, so the

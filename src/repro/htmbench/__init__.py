@@ -27,6 +27,7 @@ from . import apps  # noqa: F401
 from . import ssca2  # noqa: F401
 from . import optimized  # noqa: F401
 from . import races  # noqa: F401
+from . import dataflow  # noqa: F401
 
 __all__ = [
     "Workload",

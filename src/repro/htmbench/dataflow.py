@@ -1,0 +1,206 @@
+"""Path-sensitivity reproducers for the dataflow pass (``repro check``).
+
+Three microbenchmarks, each engineered to exercise one capability of
+:mod:`repro.analysis.dataflow` that the flow-insensitive passes lack:
+
+* ``micro_growing_txn`` — every transaction scans a private read prefix
+  that *grows* with the outer iteration.  No single observed attempt
+  overflows the read-set budget, so the footprint linter stays silent —
+  but the monotone-growth widening proves the trend is unbounded and
+  emits ``conditional-capacity-overflow`` (with ``observed_overflow``
+  false) plus ``loop-scaled-footprint``: the previously-missed case.
+
+* ``micro_conditional_capacity`` — one branch arm sweeps more lines than
+  the write-set budget, the other touches two.  The per-path intervals
+  diverge (``divergent-path-footprint``); the heavy arm overflows only
+  *conditionally* (``conditional-capacity-overflow`` with
+  ``observed_overflow`` true, sharpening the leaf prediction to
+  ``capacity-overflow``), and the plain linter still sees the worst
+  attempt (``capacity-risk``, not ``always``).
+
+* ``micro_nested_guard`` — a writer updates a record while holding
+  *both* of two nested spin locks; readers transactionally load the
+  outer lock (an explicit subscription) before reading the record.  The
+  flow-insensitive per-lock race check used to flag the inner lock as
+  unsubscribed — a false positive, since subscribing to any member of
+  the exact lockset serializes against the whole critical section.  The
+  path-sensitive exact-lockset check stays silent.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import CACHELINE
+from ..sim.program import simfn
+from ..dslib.array import IntArray
+from .base import Workload, register
+
+
+# ---------------------------------------------------- loop-scaled footprint
+
+
+@simfn
+def dataflow_growing_reader(ctx, arr: IntArray, iters: int):
+    """Read a private prefix that grows by four lines per iteration.
+
+    Every observed attempt fits the read-set budget; the *trend* does
+    not — exactly what monotone widening is for.
+    """
+    n = arr.length
+    for it in range(iters):
+        prefix = min(n, 4 + it * 4)  # plateaus at n: still monotone
+        def body(c, k=prefix):
+            total = 0
+            for i in range(k):
+                v = yield from arr.get(c, i)
+                total += v
+            return total
+        yield from ctx.atomic(body, name="growing_scan")
+        yield from ctx.compute(150)
+
+
+@register
+class MicroGrowingTxn(Workload):
+    name = "micro_growing_txn"
+    suite = "micro"
+    expected_type = "II"
+    description = ("read prefix grows every iteration: no observed "
+                   "attempt overflows, the widened trend does")
+    expected_findings = (
+        "conditional-capacity-overflow",
+        "loop-scaled-footprint",
+    )
+
+    def build(self, sim, n_threads, scale, rng):
+        iters = self.iters(200, scale)
+        programs = []
+        for _ in range(n_threads):
+            arr = IntArray(sim.memory, 64, line_per_element=True)
+            arr.host_fill(range(64))
+            programs.append((dataflow_growing_reader, (arr, iters), {}))
+        return programs
+
+
+# ------------------------------------------------ conditional capacity path
+
+
+@simfn
+def dataflow_cond_capacity_worker(ctx, region_base: int, lines: int,
+                                  heavy_every: int, iters: int,
+                                  spacing: int):
+    """Sweep past the write-set budget on every ``heavy_every``-th
+    iteration; touch two lines otherwise.  The branch is decided
+    *outside* the transaction, so both the symbolic and the dynamic
+    drive take the same arms in the same order."""
+    # phase-stagger the threads: heavy sweeps (and their fallback
+    # acquisitions) never overlap, so the profile shows pure capacity
+    # aborts with no fallback-lock conflict noise
+    yield from ctx.compute(1 + ctx.tid * (spacing // 2))
+    for it in range(iters):
+        heavy = it % heavy_every == 0
+        def body(c, hot=heavy, salt=it):
+            if hot:
+                for i in range(lines):
+                    addr = region_base + ((i * 7919 + salt) % lines) * CACHELINE
+                    yield from c.store(addr, salt)
+            else:
+                yield from c.store(region_base, salt)
+                yield from c.load(region_base + CACHELINE)
+                # keep the light arm's body warm: T_oh stays under the
+                # merge threshold on both the static and dynamic side
+                yield from c.compute(250)
+        yield from ctx.atomic(body, name="cond_sweep")
+        # long fixed private phase between attempts keeps the threads in
+        # their staggered lanes (randomizing it would let them drift)
+        yield from ctx.compute(spacing)
+
+
+@register
+class MicroConditionalCapacity(Workload):
+    name = "micro_conditional_capacity"
+    suite = "micro"
+    expected_type = "II"
+    description = ("one branch arm overflows the write budget, the "
+                   "other touches two lines: conditional capacity")
+    expected_findings = (
+        "capacity-risk",
+        "conditional-capacity-overflow",
+        "divergent-path-footprint",
+    )
+
+    def build(self, sim, n_threads, scale, rng):
+        lines = int(sim.config.wset_lines * 1.5)
+        iters = self.iters(36, scale)
+        spacing = 8_000 * max(4, n_threads)
+        programs = []
+        for _ in range(n_threads):
+            base = sim.memory.alloc(lines * CACHELINE, align=CACHELINE)
+            programs.append((
+                dataflow_cond_capacity_worker,
+                (base, lines, 3, iters, spacing), {},
+            ))
+        return programs
+
+
+# ------------------------------------------------- exact-lockset precision
+
+
+@simfn
+def dataflow_guard_writer(ctx, l1_addr: int, l2_addr: int, arr: IntArray,
+                          iters: int):
+    """Update a two-word record while holding *both* nested spin locks.
+
+    Readers subscribe to ``l1_addr`` only — which is enough: nobody can
+    be inside this critical section without holding it.
+    """
+    for _ in range(iters):
+        yield from ctx.compute(20000)     # long private phase up front
+        for lock_addr in (l1_addr, l2_addr):
+            while True:
+                held = yield from ctx.load(lock_addr)
+                if held == 0:
+                    ok = yield from ctx.cas(lock_addr, 0, ctx.tid + 1)
+                    if ok:
+                        break
+                yield from ctx.compute(60)
+        v = yield from arr.get(ctx, 0)
+        yield from arr.set(ctx, 0, v + 1)
+        yield from arr.set(ctx, 1, v + 1)
+        yield from ctx.store(l2_addr, 0)
+        yield from ctx.store(l1_addr, 0)
+
+
+@simfn
+def dataflow_guard_reader(ctx, l1_addr: int, arr: IntArray, iters: int):
+    """Read the record transactionally, subscribed to the outer lock."""
+    for _ in range(iters):
+        def body(c):
+            guard = yield from c.load(l1_addr)
+            a = yield from arr.get(c, 0)
+            b = yield from arr.get(c, 1)
+            yield from c.compute(30)
+            return guard + a + b
+        yield from ctx.atomic(body, name="guarded_pair_read")
+        yield from ctx.compute(120)
+
+
+@register
+class MicroNestedGuard(Workload):
+    name = "micro_nested_guard"
+    suite = "micro"
+    expected_type = "II"
+    description = ("writer holds two nested locks, readers subscribe to "
+                   "the outer one: safe, and only the path-sensitive "
+                   "lockset check knows it")
+    expected_findings = ("unprotected-shared-access",)
+
+    def build(self, sim, n_threads, scale, rng):
+        l1_addr = sim.memory.alloc_line()
+        l2_addr = sim.memory.alloc_line()
+        arr = IntArray(sim.memory, 2, line_per_element=False)
+        iters = self.iters(400, scale)
+        programs = [(dataflow_guard_writer,
+                     (l1_addr, l2_addr, arr, max(3, iters // 40)), {})]
+        programs += [
+            (dataflow_guard_reader, (l1_addr, arr, iters), {})
+        ] * max(1, n_threads - 1)
+        return programs[:n_threads] if n_threads > 1 else programs

@@ -31,6 +31,7 @@ class MicroLowAbort(Workload):
     suite = "micro"
     expected_type = "II"
     description = "private per-thread counters: near-zero abort ratio"
+    expected_findings = ("dead-txn-no-shared-access",)
 
     def build(self, sim, n_threads, scale, rng):
         arr = IntArray(sim.memory, n_threads, line_per_element=True)
@@ -207,6 +208,7 @@ class MicroReadOnly(Workload):
     suite = "micro"
     expected_type = "II"
     description = "read-only transactions: reads never conflict"
+    expected_findings = ("dead-txn-no-shared-access",)
 
     def build(self, sim, n_threads, scale, rng):
         arr = IntArray(sim.memory, 64)

@@ -51,9 +51,11 @@ def build() -> dict:
             "leaf_precision": round(lp, 4),
             "leaf_recall": round(lr, 4),
             "leaf_cells": cv.leaf_cells,
+            "envelope_consistency": round(cv.envelope_consistency, 4),
         }
         print(f"{name:24s} class P/R {cp:.2f}/{cr:.2f}  "
-              f"leaf P/R {lp:.2f}/{lr:.2f}  cells {cv.leaf_cells}")
+              f"leaf P/R {lp:.2f}/{lr:.2f}  cells {cv.leaf_cells}  "
+              f"env {cv.envelope_consistency:.2f}")
     return doc
 
 

@@ -138,6 +138,12 @@ class TestFindings:
 
     def test_clean_workload_has_zero_findings(self):
         report = analyze_workload("micro_low_abort", n_threads=4, scale=0.5)
+        # the dataflow pass proves the txn touches nothing shared -- an
+        # informational hint, not a pathology
+        assert [f.code for f in report.findings] == ["dead-txn-no-shared-access"]
+        assert report.max_severity() == "info"
+        report = analyze_workload("micro_low_abort", n_threads=4, scale=0.5,
+                                  dataflow=False)
         assert report.findings == []
         assert report.max_severity() is None
 

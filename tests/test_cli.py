@@ -201,13 +201,18 @@ class TestCheckCommand:
         caps = doc["workloads"]["micro_capacity"]
         assert caps["max_severity"] == "error"
         assert caps["unexpected_codes"] == []
-        assert doc["workloads"]["micro_low_abort"]["findings"] == []
+        low = doc["workloads"]["micro_low_abort"]
+        assert [f["code"] for f in low["findings"]] == [
+            "dead-txn-no-shared-access"
+        ]
+        assert low["unexpected_codes"] == []
 
-    def test_clean_workload_has_no_findings(self):
+    def test_clean_workload_only_advisory_findings(self):
         rc, out = run_cli("check", "micro_low_abort", "--static-only",
                           "--threads", "2", "--scale", "0.5")
         assert rc == 0
-        assert "no findings" in out
+        assert "dead-txn-no-shared-access" in out
+        assert "documented findings" in out
 
     def test_fail_on_undocumented_findings(self):
         # vacation's conflict warning is real but not documented
@@ -227,7 +232,7 @@ class TestCheckCommand:
         rc, out = run_cli("check", "micro", "--static-only",
                           "--threads", "2", "--scale", "0.2")
         assert rc == 0
-        assert "checked 10 workload(s)" in out
+        assert "checked 13 workload(s)" in out
 
     def test_unknown_workload_is_a_crash_not_a_traceback(self, capsys):
         rc, out = run_cli("check", "no_such_workload", "--static-only")

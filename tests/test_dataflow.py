@@ -1,0 +1,418 @@
+"""The fixpoint dataflow layer: domains, solver, clients, caching.
+
+Four concerns, mirroring the package layout:
+
+* unit tests for the lattices (:class:`Interval`, :class:`FootprintFact`,
+  :func:`widen_monotone`) and the graph machinery (CFG recovery,
+  Tarjan SCCs, topological levels);
+* the worklist solver itself — convergence with widening on looping
+  CFGs, and the ``max_visits`` backstop flipping ``converged`` instead
+  of hanging;
+* whole-workload termination and the path-sensitivity reproducers
+  (``micro_growing_txn``, ``micro_conditional_capacity``,
+  ``micro_nested_guard``): the previously-missed conditional capacity
+  overflow and the removed flow-insensitive race false positive;
+* incremental summary caching (second run >= 90% hits, byte-identical
+  findings) and cross-hash-seed byte determinism of ``check --json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.htmbench as hb
+from repro.analysis import analyze_workload
+from repro.analysis.dataflow import (
+    CFG,
+    FootprintFact,
+    Interval,
+    RACE_WITNESS_CODES,
+    SummaryCache,
+    scc_levels,
+    solve,
+    tarjan_scc,
+    widen_monotone,
+)
+from repro.analysis.ir import extract_workload
+from repro.analysis.races import _subscribes, analyze_races
+from repro.campaign.store import MemoryStore
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------- domains
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 1)
+
+    def test_join_takes_hull(self):
+        assert Interval(2, 5).join(Interval(4, 9)) == Interval(2, 9)
+
+    def test_join_with_inf_stays_inf(self):
+        assert Interval(2, None).join(Interval(0, 3)) == Interval(0, None)
+
+    def test_widen_jumps_unstable_bound_to_inf(self):
+        assert Interval(0, 4).widen(Interval(0, 6)) == Interval(0, None)
+
+    def test_widen_keeps_stable_bound(self):
+        assert Interval(0, 6).widen(Interval(0, 4)) == Interval(0, 6)
+
+    def test_exceeds_vs_always_exceeds(self):
+        iv = Interval(2, 300)
+        assert iv.exceeds(256) and not iv.always_exceeds(256)
+        assert Interval(300, 400).always_exceeds(256)
+        assert Interval(1, None).exceeds(10**9)
+
+    def test_describe(self):
+        assert Interval(4, None).describe() == "[4, inf)"
+        assert Interval(3, 3).describe() == "[3]"
+        assert Interval(1, 7).describe() == "[1, 7]"
+
+    def test_dict_roundtrip(self):
+        for iv in (Interval(0, 5), Interval(2, None)):
+            assert Interval.from_dict(iv.to_dict()) == iv
+
+
+class TestWidenMonotone:
+    def test_flat_sequence_stays_bounded(self):
+        assert widen_monotone([4, 4, 4, 4]) == Interval(4, 4)
+
+    def test_growing_sequence_widens(self):
+        assert widen_monotone([4, 8, 12, 16]) == Interval(4, None)
+
+    def test_plateau_after_growth_still_widens(self):
+        # non-decreasing with net growth: the prefix of a trend
+        assert widen_monotone([4, 8, 8, 8]).widened
+
+    def test_non_monotone_keeps_observed_max(self):
+        assert widen_monotone([4, 9, 2, 7]) == Interval(2, 9)
+
+    def test_too_short_to_call_a_trend(self):
+        assert widen_monotone([4, 8]) == Interval(4, 8)
+
+
+class TestFootprintFact:
+    def test_join_intersects_must_unions_may(self):
+        a = FootprintFact.empty().with_access([1, 2], is_write=True)
+        b = FootprintFact.empty().with_access([2, 3], is_write=True)
+        j = a.join(b)
+        assert j.must_write == frozenset({2})
+        assert j.may_write == frozenset({1, 2, 3})
+        assert j.write_interval() == Interval(1, 3)
+
+    def test_reads_and_writes_are_separate(self):
+        f = FootprintFact.empty().with_access([7], is_write=False)
+        assert f.must_read == frozenset({7}) and not f.may_write
+        assert f.read_interval() == Interval(1, 1)
+
+
+# ------------------------------------------------------------------ graphs
+
+
+class TestCFG:
+    def _loop(self):
+        # 10 -> 11 -> 12 -> 11 (back edge), 12 -> 13 (exit)
+        return CFG.from_edges(
+            {(10, 11): 1, (11, 12): 5, (12, 11): 4, (12, 13): 1}, entry=10
+        )
+
+    def test_back_edges_and_headers(self):
+        cfg = self._loop()
+        assert cfg.back_edges() == [(12, 11)]
+        assert cfg.loop_headers() == {11}
+
+    def test_branch_points_and_exits(self):
+        cfg = self._loop()
+        assert cfg.branch_points() == {12}
+        assert cfg.exits() == {13}
+
+    def test_rpo_starts_at_entry_and_covers_all(self):
+        order = self._loop().rpo()
+        assert order[0] == 10
+        assert set(order) == {10, 11, 12, 13}
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        sccs = tarjan_scc({"a": ["b"], "b": ["a", "c"], "c": []})
+        assert ["a", "b"] in sccs and ["c"] in sccs
+        # reverse topological: the callee SCC precedes its callers
+        assert sccs.index(["c"]) < sccs.index(["a", "b"])
+
+    def test_levels_bucket_independent_sccs(self):
+        levels = scc_levels({"main": ["f", "g"], "f": [], "g": []})
+        flat = [comp for level in levels for comp in level]
+        assert ["main"] in flat and ["f"] in flat and ["g"] in flat
+        # f and g share main's level? no: main depends on both, so main
+        # sits strictly above them
+        lvl = {comp[0]: i for i, level in enumerate(levels) for comp in level}
+        assert lvl["main"] < lvl["f"] and lvl["main"] < lvl["g"]
+
+
+# ------------------------------------------------------------------ solver
+
+
+class TestSolver:
+    def _count_loop(self):
+        return CFG.from_edges({(0, 1): 1, (1, 1): 100, (1, 2): 1}, entry=0)
+
+    def test_widening_terminates_an_ascending_chain(self):
+        # transfer bumps an interval's hi every visit: without widening
+        # this chain is infinite, with it the header jumps to +inf
+        def transfer(node, iv):
+            if node != 1:
+                return iv
+            return iv.join(Interval(iv.lo, (iv.hi or 0) + 1))
+
+        sol = solve(
+            self._count_loop(), Interval(0, 0), transfer,
+            join=Interval.join, widen=Interval.widen,
+        )
+        assert sol.converged
+        assert sol.inputs[1].widened
+        assert 1 in sol.widened
+
+    def test_max_visits_backstop_reports_divergence(self):
+        # no widen hook: the same chain trips max_visits and the solver
+        # reports non-convergence instead of hanging
+        def transfer(node, iv):
+            if node != 1:
+                return iv
+            return iv.join(Interval(iv.lo, (iv.hi or 0) + 1))
+
+        sol = solve(
+            self._count_loop(), Interval(0, 0), transfer,
+            join=Interval.join, widen=None, max_visits=16,
+        )
+        assert not sol.converged
+
+    def test_exit_fact_joins_exit_outputs(self):
+        cfg = CFG.from_edges({(0, 1): 1, (0, 2): 1}, entry=0)
+        sol = solve(
+            cfg, Interval(0, 0),
+            transfer=lambda n, iv: Interval(n, n) if n else iv,
+            join=Interval.join,
+        )
+        assert sol.exit_fact(cfg, Interval.join) == Interval(1, 2)
+
+    def test_empty_cfg_is_a_noop(self):
+        sol = solve(CFG.from_edges({}), Interval(0, 0),
+                    transfer=lambda n, iv: iv, join=Interval.join)
+        assert sol.converged and not sol.inputs
+
+
+# ----------------------------------------------------- workload termination
+
+
+LOOP_HEAVY_BENCHES = ["clomp_tm", "kmeans", "histo", "labyrinth"]
+
+
+class TestTermination:
+    @pytest.mark.parametrize("name", sorted(hb.workload_names("micro")))
+    def test_every_micro_workload_converges(self, name):
+        report = analyze_workload(name, n_threads=2, scale=0.2)
+        assert report.dataflow is not None
+        assert report.dataflow.converged, name
+        for site in report.dataflow.sites.values():
+            assert site.converged and site.iterations > 0
+
+    @pytest.mark.parametrize("name", LOOP_HEAVY_BENCHES)
+    def test_loop_heavy_benches_converge(self, name):
+        report = analyze_workload(name, n_threads=2, scale=0.05)
+        assert report.dataflow is not None
+        assert report.dataflow.converged, name
+
+
+# --------------------------------------------------- the three reproducers
+
+
+class TestGrowingTxn:
+    """A growing read prefix: no observed attempt overflows, the widened
+    trend does — the overflow the flow-insensitive linter misses."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_workload("micro_growing_txn", n_threads=2, scale=0.5,
+                                races=True, predict=True)
+
+    def test_conditional_overflow_found_without_observation(self, report):
+        conds = report.by_code("conditional-capacity-overflow")
+        assert conds, "the widened trend must raise the conditional code"
+        assert all(f.data["observed_overflow"] is False for f in conds)
+        # and precisely because no observed attempt overflowed, the plain
+        # footprint linter is silent
+        assert not report.by_code("capacity-risk")
+
+    def test_loop_scaling_is_called_out(self, report):
+        assert report.by_code("loop-scaled-footprint")
+
+    def test_site_interval_is_widened(self, report):
+        (site,) = report.dataflow.sites.values()
+        assert site.read_lines.widened
+        assert any(iv.widened for iv in site.trips.values())
+
+
+class TestConditionalCapacity:
+    """One branch arm past the write budget, the other two lines."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_workload("micro_conditional_capacity", n_threads=2,
+                                scale=0.5, races=True, predict=True)
+
+    def test_all_three_path_codes_fire(self, report):
+        codes = {f.code for f in report.findings}
+        assert "conditional-capacity-overflow" in codes
+        assert "divergent-path-footprint" in codes
+        assert "capacity-risk" in codes  # the worst attempt is observed
+
+    def test_overflow_was_observed(self, report):
+        (cond,) = report.by_code("conditional-capacity-overflow")
+        assert cond.data["observed_overflow"] is True
+
+    def test_envelope_spans_both_arms(self, report):
+        (site,) = report.dataflow.sites.values()
+        assert "capacity" in site.worst_classes
+        assert "capacity" not in site.best_classes  # the light arm commits
+        # the interval spans both arms: a 1-line light write up to a
+        # budget-busting heavy sweep
+        assert site.write_lines.lo <= 2
+        assert site.write_lines.exceeds(256)
+        assert not site.write_lines.always_exceeds(256)
+
+    def test_sharpened_leaf_prediction(self, report):
+        (pred,) = report.prediction.sites.values()
+        (site,) = report.dataflow.sites.values()
+        assert pred.worst_case == site.worst_classes
+        assert pred.best_case == site.best_classes
+        # the observed conditional overflow sharpens the leaf: merge-
+        # transactions gives way to capacity-overflow
+        assert "capacity-overflow" in pred.leaves
+        assert "merge-transactions" not in pred.leaves
+
+    def test_is_not_a_guaranteed_overflow(self, report):
+        # the guaranteed case is micro_capacity's: lemming-risk requires
+        # always_overflows, which a conditional arm can't satisfy
+        assert not report.by_code("lemming-risk")
+
+
+class TestNestedGuardFalsePositive:
+    """The removed flow-insensitive race FP: readers subscribe to the
+    outer of two nested locks; per-lock reasoning flags the inner one,
+    exact-lockset reasoning proves the subscription suffices."""
+
+    @pytest.fixture(scope="class")
+    def ir(self):
+        return extract_workload("micro_nested_guard", n_threads=3, scale=0.5)
+
+    def test_reader_never_subscribes_to_the_inner_lock(self, ir):
+        writer = ir.threads[0]
+        record_addrs = sorted(writer.lockset_writes)
+        assert record_addrs, "the writer must update the record under locks"
+        # both spin locks guard every record write
+        inner = max(
+            lock for per_addr in writer.lockset_writes.values()
+            for ls in per_addr for lock in ls
+        )
+        # per-lock (flow-insensitive) reasoning: tid 1 reads the record
+        # without ever subscribing to the inner lock -> would be flagged
+        assert all(
+            not _subscribes(ir, 1, addr, inner) for addr in record_addrs
+        )
+
+    def test_exact_lockset_analysis_stays_silent(self, ir):
+        ra = analyze_races(ir)
+        assert ra.findings == []
+
+    def test_record_words_carry_the_two_lock_lockset(self, ir):
+        writer = ir.threads[0]
+        locksets = {
+            ls for per_addr in writer.lockset_writes.values()
+            for ls in per_addr
+        }
+        assert any(len(ls) == 2 for ls in locksets)
+
+
+# ----------------------------------------------------------------- caching
+
+
+class TestIncrementalCache:
+    def _run(self, cache):
+        return analyze_workload(
+            "micro_conditional_capacity", n_threads=2, scale=0.5,
+            races=True, dataflow_cache=cache,
+        )
+
+    def test_second_run_is_cache_hits_and_byte_identical(self):
+        cache = SummaryCache(MemoryStore())
+        first = self._run(cache)
+        assert cache.hits == 0 and cache.misses > 0
+        misses_before = cache.misses
+        second = self._run(cache)
+        assert cache.misses == misses_before, "second run must not miss"
+        assert cache.hits >= misses_before
+        assert cache.hit_rate >= 0.5  # aggregate over both runs
+        blob = lambda r: json.dumps(  # noqa: E731
+            [f.to_dict() for f in r.findings], sort_keys=True
+        )
+        assert blob(first) == blob(second)
+        assert second.dataflow.cache_stats["hits"] > 0
+        assert all(s.cached for s in second.dataflow.summaries.values())
+
+    def test_cache_stats_shape(self):
+        cache = SummaryCache(MemoryStore())
+        self._run(cache)
+        stats = cache.stats()
+        assert set(stats) == {"hits", "misses", "hit_rate"}
+        assert stats["misses"] == cache.lookups
+
+
+# ------------------------------------------------- witnesses & determinism
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize("name", [
+        "micro_fallback_race", "micro_elision_unsafe", "micro_lock_line",
+        "micro_high_abort",
+    ])
+    def test_every_race_finding_carries_a_witness(self, name):
+        report = analyze_workload(name, n_threads=3, scale=0.4, races=True)
+        raced = [f for f in report.findings if f.code in RACE_WITNESS_CODES]
+        assert raced, name
+        for f in raced:
+            assert f.witness, (name, f.code)
+            for tid, ip, note in f.witness:
+                assert isinstance(tid, int) and isinstance(ip, int)
+                assert note
+
+
+class TestDeterminism:
+    def _check_json(self, hashseed):
+        env = dict(os.environ, PYTHONHASHSEED=str(hashseed),
+                   PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check",
+             "micro_conditional_capacity", "micro_fallback_race",
+             "micro_nested_guard",
+             "--static-only", "--races", "--json",
+             "--threads", "2", "--scale", "0.4"],
+            capture_output=True, cwd=REPO, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        return proc.stdout
+
+    def test_check_json_is_byte_stable_across_hash_seeds(self):
+        assert self._check_json(1) == self._check_json(42)
+
+    def test_findings_come_out_sorted(self):
+        report = analyze_workload("micro_conditional_capacity", n_threads=2,
+                                  scale=0.5, races=True)
+        keys = [(f.code, f.sites, f.message) for f in report.findings]
+        assert keys == sorted(keys)

@@ -51,6 +51,7 @@ def test_baseline_covers_the_whole_micro_suite(baseline):
     "micro_lock_line",
     "micro_capacity",
     "micro_low_abort",
+    "micro_conditional_capacity",
 ])
 def test_leaf_pane_meets_abort_class_baseline(baseline, name):
     base = baseline["workloads"][name]
@@ -66,6 +67,7 @@ def test_leaf_pane_meets_abort_class_baseline(baseline, name):
     assert cv.agreement >= base["agreement"]
     assert cv.leaf_agreement >= base["leaf_agreement"]
     assert cv.leaf_cells == base["leaf_cells"]
+    assert cv.envelope_consistency >= base["envelope_consistency"]
 
 
 def test_baseline_is_perfect_on_the_golden_suite(baseline):
@@ -76,6 +78,7 @@ def test_baseline_is_perfect_on_the_golden_suite(baseline):
     """
     for name, w in baseline["workloads"].items():
         for key in ("agreement", "class_precision", "class_recall",
-                    "leaf_agreement", "leaf_precision", "leaf_recall"):
+                    "leaf_agreement", "leaf_precision", "leaf_recall",
+                    "envelope_consistency"):
             assert w[key] == 1.0, (name, key, w[key])
         assert w["leaf_cells"] > 0, name

@@ -1,0 +1,155 @@
+"""SARIF 2.1.0 shape: the export must be uploadable as-is.
+
+GitHub code scanning (and every other SARIF consumer) validates the
+schema before it renders anything, so these tests pin the exact shape —
+schema URI, version, tool driver, rule metadata, result locations,
+``codeFlows`` for witnessed findings — on both real analyzer output and
+hand-built findings with *no* resolvable source location (the pathologic
+case: a synthesized ip that maps to no registered function must degrade
+to a message-only location, never a broken one).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_workload
+from repro.analysis.dataflow import RACE_WITNESS_CODES
+from repro.analysis.lint import CODES, AnalysisReport, Finding, to_sarif
+
+SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+
+
+@pytest.fixture(scope="module")
+def real_log():
+    reports = [
+        analyze_workload("micro_fallback_race", n_threads=3, scale=0.4,
+                         races=True),
+        analyze_workload("micro_conditional_capacity", n_threads=2,
+                         scale=0.5, races=True),
+    ]
+    return to_sarif(reports)
+
+
+class TestTopLevelShape:
+    def test_schema_and_version(self, real_log):
+        assert real_log["$schema"] == SCHEMA
+        assert real_log["version"] == "2.1.0"
+
+    def test_single_run_single_tool(self, real_log):
+        (run,) = real_log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+
+    def test_log_is_json_serializable(self, real_log):
+        assert json.loads(json.dumps(real_log)) == real_log
+
+
+class TestRules:
+    def test_every_code_is_a_rule(self, real_log):
+        rules = real_log["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} == set(CODES)
+
+    def test_rule_metadata_shape(self, real_log):
+        for rule in real_log["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning", "note"
+            )
+
+    def test_predictive_rules_carry_the_abort_class(self, real_log):
+        rules = {r["id"]: r for r in
+                 real_log["runs"][0]["tool"]["driver"]["rules"]}
+        for code, (_sev, prediction, _summary) in CODES.items():
+            if prediction is not None:
+                props = rules[code].get("properties", {})
+                assert props.get("predictedAbortClass") == prediction
+
+
+class TestResults:
+    def test_every_result_references_a_known_rule(self, real_log):
+        for result in real_log["runs"][0]["results"]:
+            assert result["ruleId"] in CODES
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            assert result["properties"]["workload"]
+
+    def test_locations_resolve_to_real_regions(self, real_log):
+        located = [r for r in real_log["runs"][0]["results"]
+                   if "locations" in r]
+        assert located, "real analyzer output must resolve some sites"
+        for result in located:
+            for loc in result["locations"]:
+                phys = loc["physicalLocation"]
+                assert phys["artifactLocation"]["uri"]
+                assert phys["region"]["startLine"] >= 1
+
+    def test_race_findings_carry_code_flows(self, real_log):
+        raced = [r for r in real_log["runs"][0]["results"]
+                 if r["ruleId"] in RACE_WITNESS_CODES]
+        assert raced, "the fallback-race workload must produce race results"
+        for result in raced:
+            (flow,) = result["codeFlows"]
+            (thread_flow,) = flow["threadFlows"]
+            steps = thread_flow["locations"]
+            assert steps
+            for step in steps:
+                assert step["location"]["message"]["text"]
+
+    def test_code_flow_steps_name_their_thread(self, real_log):
+        for result in real_log["runs"][0]["results"]:
+            for flow in result.get("codeFlows", []):
+                texts = [
+                    loc["location"]["message"]["text"]
+                    for loc in flow["threadFlows"][0]["locations"]
+                ]
+                assert any(t.startswith("[t") for t in texts)
+
+
+class TestUnresolvableLocations:
+    """Findings whose sites/witness ips map to no registered function."""
+
+    @pytest.fixture()
+    def log(self):
+        report = AnalysisReport(workload="synthetic")
+        report.findings = [
+            Finding(
+                code="cross-section-conflict", severity="warning",
+                message="synthetic: no resolvable site",
+                sites=(0xDEAD0001,),
+                witness=((0, 0xDEAD0001, "TM_BEGIN nowhere"),
+                         (-1, 0xDEAD0002, "no thread, no function")),
+            ),
+            Finding(
+                code="capacity-risk", severity="error",
+                message="synthetic: siteless finding", sites=(),
+            ),
+        ]
+        return to_sarif([report])
+
+    def test_results_survive_without_locations(self, log):
+        results = log["runs"][0]["results"]
+        assert len(results) == 2
+        for result in results:
+            # unresolvable sites: the locations key is omitted entirely
+            # rather than emitting a half-empty physicalLocation
+            assert "locations" not in result
+            assert result["message"]["text"].startswith("[synthetic]")
+
+    def test_witness_degrades_to_message_only_steps(self, log):
+        witnessed = next(r for r in log["runs"][0]["results"]
+                         if "codeFlows" in r)
+        steps = witnessed["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(steps) == 2
+        for step in steps:
+            assert "physicalLocation" not in step["location"]
+        assert steps[0]["location"]["message"]["text"] == "[t0] TM_BEGIN nowhere"
+        # tid -1 steps render the bare note, no thread tag
+        assert steps[1]["location"]["message"]["text"] == "no thread, no function"
+
+    def test_synthetic_log_is_still_schema_shaped(self, log):
+        assert log["version"] == "2.1.0"
+        assert {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]} \
+            == set(CODES)

@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""LSM result-store perf baseline: emit ``BENCH_store.json``.
+
+The campaign layer's :class:`~repro.campaign.store.ResultStore` is an
+LSM tree (WAL + memtable + leveled segments); ``repro serve`` puts it
+on the hot path of every HTTP submission.  This script records a
+trajectory for the store the same way :mod:`bench_engine` does for the
+simulation engine: median wall time over ``--repeats`` runs of each
+store phase, on a fresh directory per run.
+
+Phases (each ``--records`` operations unless noted):
+
+* ``put_single``   — one ``put`` per record: one WAL fsync each.
+* ``put_batch``    — ``put_batch`` groups of ``--batch``: group commit,
+  one fsync per batch.  The ``batch_vs_single_fsync`` ratio in the
+  output is the headline number — how much group commit buys.
+* ``get_warm``     — point reads served by the memtable.
+* ``flush``        — memtable → sorted L0 segment (one flush).
+* ``reopen``       — recovery: manifest replay + segment scan + WAL
+  replay of a populated directory.
+* ``get_cold``     — point reads served by segment files (pread path).
+* ``compact``      — fold ``--segments`` overlapping L0 segments.
+
+Regenerate the committed baseline from the repo root with::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --out benchmarks/BENCH_store.json
+
+Timings are host-relative; the CI gate (:mod:`perf_gate`) compares each
+phase's *share* of total suite time, which transfers across hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.campaign.store import ResultStore  # noqa: E402
+
+DEFAULT_RECORDS = 1500
+DEFAULT_BATCH = 50
+DEFAULT_SEGMENTS = 6
+DEFAULT_REPEATS = 3
+#: payload shaped like a real campaign result record
+PAYLOAD = {"result": {"commits": 120000, "aborts": 4500,
+                      "makespan": 987654},
+           "config": {"n_threads": 4, "scale": 1.0},
+           "padding": "x" * 64}
+
+
+def _record(n: int) -> dict:
+    return dict(PAYLOAD, seq_id=n)
+
+
+def _key(n: int) -> str:
+    return f"{n:016x}"
+
+
+class _Phases:
+    """Collects per-phase wall times across repeats."""
+
+    def __init__(self) -> None:
+        self.times: dict[str, list[float]] = {}
+
+    def run(self, name: str, fn) -> None:
+        t0 = time.perf_counter()
+        fn()
+        self.times.setdefault(name, []).append(time.perf_counter() - t0)
+
+    def rows(self, ops: dict[str, int]) -> list[dict]:
+        rows = []
+        for name, times in self.times.items():
+            median = statistics.median(times)
+            n = ops[name]
+            rows.append({
+                "workload": name,  # perf_gate keys on this field
+                "ops": n,
+                "median_wall_s": round(median, 6),
+                "min_wall_s": round(min(times), 6),
+                "ops_per_sec": round(n / median) if median else 0,
+            })
+        return rows
+
+
+def one_repeat(phases: _Phases, *, records: int, batch: int,
+               segments: int) -> None:
+    """One full pass over every phase, on fresh directories."""
+    base = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        # --- put_single: one fsync per record -------------------------
+        single = ResultStore(base / "single")
+        phases.run("put_single", lambda: [
+            single.put(_key(n), _record(n)) for n in range(records)])
+        single.close()
+
+        # --- put_batch: group commit ----------------------------------
+        store = ResultStore(base / "batched")
+        items = [(_key(n), _record(n)) for n in range(records)]
+
+        def batched() -> None:
+            for at in range(0, records, batch):
+                store.put_batch(items[at:at + batch])
+
+        phases.run("put_batch", batched)
+
+        # --- get_warm: memtable reads ---------------------------------
+        phases.run("get_warm", lambda: [
+            store.get(_key(n)) for n in range(records)])
+
+        # --- flush: memtable -> sorted L0 segment ---------------------
+        phases.run("flush", store.flush)
+        store.close()
+
+        # --- reopen: recovery of the populated directory --------------
+        reopened: list[ResultStore] = []
+        phases.run("reopen", lambda: reopened.append(
+            ResultStore(base / "batched")))
+        cold = reopened[0]
+
+        # --- get_cold: segment-file reads -----------------------------
+        phases.run("get_cold", lambda: [
+            cold.get(_key(n)) for n in range(records)])
+        cold.close()
+
+        # --- compact: fold overlapping L0 segments --------------------
+        # every segment rewrites the same keys, so compaction drops
+        # (segments - 1) / segments of all records — the real shape of
+        # a store after repeated --refresh campaigns
+        victim = ResultStore(base / "compact",
+                             level_trigger=segments + 1)
+        per_seg = max(1, records // segments)
+        for round_no in range(segments):
+            victim.put_batch([(_key(n), _record(round_no * records + n))
+                              for n in range(per_seg)])
+            victim.flush()
+        phases.run("compact", victim.compact)
+        victim.close()
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
+def run_suite(*, records: int = DEFAULT_RECORDS,
+              batch: int = DEFAULT_BATCH,
+              segments: int = DEFAULT_SEGMENTS,
+              repeats: int = DEFAULT_REPEATS, **_ignored) -> dict:
+    phases = _Phases()
+    for _ in range(repeats):
+        one_repeat(phases, records=records, batch=batch,
+                   segments=segments)
+    ops = {
+        "put_single": records,
+        "put_batch": records,
+        "get_warm": records,
+        "flush": records,
+        "reopen": records,
+        "get_cold": records,
+        "compact": max(1, records // segments) * segments,
+    }
+    rows = phases.rows(ops)
+    by_name = {r["workload"]: r for r in rows}
+    single_s = by_name["put_single"]["median_wall_s"]
+    batch_s = by_name["put_batch"]["median_wall_s"] or 1e-9
+    return {
+        "bench": "store",
+        "config": {
+            "records": records,
+            "batch": batch,
+            "segments": segments,
+            "repeats": repeats,
+            "python": platform.python_version(),
+        },
+        "workloads": rows,
+        "batch_vs_single_fsync": round(single_s / batch_s, 3),
+        "totals": {
+            "median_wall_s": round(sum(r["median_wall_s"]
+                                       for r in rows), 6),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out",
+                        default=str(Path(__file__).parent
+                                    / "BENCH_store.json"),
+                        help="output path (default: %(default)s)")
+    parser.add_argument("--records", type=int, default=DEFAULT_RECORDS)
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH,
+                        help="put_batch group size (default: "
+                             "%(default)s)")
+    parser.add_argument("--segments", type=int, default=DEFAULT_SEGMENTS,
+                        help="L0 segments folded by the compact phase "
+                             "(default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="passes per phase; the median is kept "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    doc = run_suite(records=args.records, batch=args.batch,
+                    segments=args.segments, repeats=args.repeats)
+    Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                              + "\n")
+    width = max(len(r["workload"]) for r in doc["workloads"])
+    for row in doc["workloads"]:
+        print(f"{row['workload']:{width}s}  "
+              f"{row['median_wall_s']*1e3:8.1f} ms  "
+              f"{row['ops_per_sec']:>12,d} ops/s")
+    print(f"group commit: x{doc['batch_vs_single_fsync']} over "
+          f"one-fsync-per-put")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

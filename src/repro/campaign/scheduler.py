@@ -21,7 +21,10 @@ jobs whose records are not already in the store:
 Scheduler decisions are observable: a ``repro.obs`` metrics registry
 counts submissions, cache hits/misses, retries, timeouts, pool breaks
 and failures, and an optional :class:`~repro.obs.trace.Tracer` records
-per-job spans (wall-clock microseconds) for Chrome-trace export.
+per-job spans (wall-clock microseconds) for Chrome-trace export.  An
+optional ``on_event`` callback receives every scheduling decision as a
+JSON-serializable dict (``plan`` / ``job`` / ``done``) — the feed the
+``repro serve`` daemon streams to HTTP clients.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import time
+from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -108,6 +112,7 @@ class CampaignRunner:
         retry: RetryPolicy | None = None,
         refresh: bool = False,
         tracer: Tracer | None = None,
+        on_event: Callable[[dict], None] | None = None,
     ) -> None:
         self.store = store if store is not None else MemoryStore()
         self.jobs = max(1, jobs)
@@ -116,7 +121,18 @@ class CampaignRunner:
         self.refresh = refresh
         self.metrics = MetricsRegistry()
         self.tracer = tracer
+        self.on_event = on_event
         self._t0 = time.monotonic_ns()
+
+    def _emit(self, event: dict) -> None:
+        """Hand a progress event to the observer; a broken observer
+        must never take the campaign down with it."""
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(event)
+        except Exception:  # pragma: no cover - observer bug, not ours
+            _log.debug("on_event observer raised", exc_info=True)
 
     # ------------------------------------------------------------ planning
 
@@ -175,6 +191,10 @@ class CampaignRunner:
             f"{len(plan.cached)} cached, {len(plan.to_run)} to run "
             f"(jobs={self.jobs})"
         )
+        self._emit({"type": "plan", "campaign": campaign.name,
+                    "jobs": len(campaign.jobs),
+                    "cached": len(plan.cached),
+                    "to_run": len(plan.to_run)})
         if plan.to_run:
             run_set = set(plan.to_run)
             order = [k for k in campaign.topo_order() if k in run_set]
@@ -191,6 +211,8 @@ class CampaignRunner:
                     f"{key[:12]} after execution"
                 )
             results[key] = record
+        self._emit({"type": "done", "campaign": campaign.name,
+                    "targets": len(results)})
         return results
 
     def summary(self) -> dict:
@@ -220,6 +242,8 @@ class CampaignRunner:
                 attempt += 1
                 try:
                     self._trace_instant(key, "submit", attempt)
+                    self._emit({"type": "job", "state": "submit",
+                                "key": key, "attempt": attempt})
                     start = time.monotonic_ns()
                     record = execute_job(spec.to_dict(),
                                          self._dep_records(campaign, spec),
@@ -308,6 +332,8 @@ class CampaignRunner:
                 key: str, attempt: int) -> Future:
         spec = campaign.jobs[key]
         self._trace_instant(key, "submit", attempt)
+        self._emit({"type": "job", "state": "submit", "key": key,
+                    "attempt": attempt})
         self.metrics.counter("campaign.submitted").inc()
         return executor.submit(execute_job, spec.to_dict(),
                                self._dep_records(campaign, spec),
@@ -330,6 +356,8 @@ class CampaignRunner:
         elapsed_ms = (time.monotonic_ns() - started_ns) / 1e6
         self.metrics.counter("campaign.executed").inc()
         self.metrics.histogram("campaign.job_ms").observe(elapsed_ms)
+        self._emit({"type": "job", "state": "done", "key": key,
+                    "ms": round(elapsed_ms, 3)})
         if self.tracer is not None:
             self.tracer.span(0, started_ns // 1000,
                              time.monotonic_ns() // 1000,
@@ -344,6 +372,9 @@ class CampaignRunner:
         if isinstance(exc, JobTimeout):
             self.metrics.counter("campaign.timeouts").inc()
         self._trace_instant(key, "failed", attempt)
+        self._emit({"type": "job", "state": "failed", "key": key,
+                    "attempt": attempt, "error": f"{type(exc).__name__}: "
+                                                 f"{exc}"})
         if attempt >= self.retry.max_attempts:
             self.metrics.counter("campaign.failures").inc()
             _log.error(f"campaign job {spec.label} failed permanently "

@@ -175,6 +175,70 @@ def build_campaign(suite: str, **kw: Any) -> Campaign:
 
 
 # ---------------------------------------------------------------------------
+# remote submissions: one validator shared by the ``repro serve`` daemon
+# and the CLI, so a JSON document submitted over HTTP builds exactly the
+# campaign the equivalent command line would
+# ---------------------------------------------------------------------------
+
+#: campaign-identity fields a submission document may carry, with the
+#: coercion applied to each (everything arrives as JSON scalars)
+SUBMISSION_FIELDS: dict[str, Any] = {
+    "n_threads": int,
+    "scale": float,
+    "seed": int,
+    "runs": int,
+    "drop": int,
+}
+
+#: executor knobs that ride along in a submission but are the *runner's*
+#: business, not the campaign's content hash
+RUNNER_FIELDS = ("jobs", "timeout", "refresh")
+
+
+def submission_kwargs(doc: dict) -> tuple[str, dict[str, Any]]:
+    """Validate a submission document into ``(suite, builder kwargs)``.
+
+    Raises :class:`SuiteError` on an unknown suite, an unknown field, or
+    a value of the wrong shape — the daemon turns that into an HTTP 400
+    instead of a half-built campaign.
+    """
+    if not isinstance(doc, dict):
+        raise SuiteError("submission must be a JSON object")
+    suite = doc.get("suite")
+    if not isinstance(suite, str) or suite not in SUITES:
+        raise SuiteError(
+            f"unknown suite {suite!r} (known: {', '.join(SUITES)})"
+        )
+    unknown = sorted(set(doc) - set(SUBMISSION_FIELDS)
+                     - set(RUNNER_FIELDS) - {"suite", "workloads"})
+    if unknown:
+        raise SuiteError(f"unknown submission field(s): "
+                         f"{', '.join(unknown)}")
+    kwargs: dict[str, Any] = {}
+    workloads = doc.get("workloads")
+    if workloads is not None:
+        if (not isinstance(workloads, list)
+                or not all(isinstance(w, str) for w in workloads)):
+            raise SuiteError("workloads must be a list of strings")
+        kwargs["workloads"] = list(workloads) or None
+    for field_name, coerce in SUBMISSION_FIELDS.items():
+        if field_name not in doc:
+            continue
+        value = doc[field_name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SuiteError(f"{field_name} must be a number, "
+                             f"got {value!r}")
+        kwargs[field_name] = coerce(value)
+    if kwargs.get("n_threads", 1) < 1:
+        raise SuiteError("n_threads must be >= 1")
+    if kwargs.get("scale", 1.0) <= 0:
+        raise SuiteError("scale must be > 0")
+    if kwargs.get("runs", 1) < 1 or kwargs.get("drop", 0) < 0:
+        raise SuiteError("runs must be >= 1 and drop >= 0")
+    return suite, kwargs
+
+
+# ---------------------------------------------------------------------------
 # assembly: records → the serial commands' data structures
 # ---------------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ the serial output.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
@@ -346,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--status", action="store_true",
                    help="show what is cached vs pending, then exit "
                         "without running anything")
+    p.add_argument("--json", action="store_true",
+                   help="with --status: print the machine-readable "
+                        "status document (same schema as the serve "
+                        "daemon's campaign endpoint)")
     p.add_argument("--resume", action="store_true",
                    help="continue an interrupted campaign (cached jobs "
                         "are skipped; prints the resume point)")
@@ -361,6 +366,71 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Chrome trace of scheduler decisions")
     _add_common(p)
     _add_campaign_flags(p, jobs_default=os.cpu_count() or 1)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the profiling-as-a-service daemon (HTTP/JSON campaign "
+             "submission over the shared result store)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8750,
+                   help="TCP port (default 8750; 0 = ephemeral)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="result-store directory (default: "
+                        "$REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--runners", type=int, default=2,
+                   help="campaigns executed concurrently (default 2)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="default worker processes per campaign when a "
+                        "submission does not say (default 1)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per job after its first failure "
+                        "(default 2)")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running repro serve daemon")
+    p.add_argument("suite", metavar="SUITE",
+                   help=f"one of: {', '.join(SUITES)}")
+    p.add_argument("workloads", nargs="*",
+                   help="restrict the suite to these workloads/programs")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="daemon base URL (default: $REPRO_SERVE_URL or "
+                        "http://127.0.0.1:8750)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="thread count (daemon default if omitted)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale factor")
+    p.add_argument("--seed", type=int, default=None,
+                   help="deterministic seed")
+    p.add_argument("--runs", type=int, default=None,
+                   help="overhead suite: seeds per workload")
+    p.add_argument("--drop", type=int, default=None,
+                   help="overhead suite: trim count")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for this campaign")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-job wall-clock timeout")
+    p.add_argument("--refresh", action="store_true",
+                   help="recompute everything, superseding cached "
+                        "records")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the campaign finishes, then print "
+                        "its final status document")
+    p.add_argument("--stream", action="store_true",
+                   help="stream progress events as NDJSON while the "
+                        "campaign runs (implies --wait)")
+
+    p = sub.add_parser(
+        "status",
+        help="show campaign status from a running repro serve daemon")
+    p.add_argument("id", nargs="?", metavar="ID",
+                   help="campaign id (default: list all campaigns)")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="daemon base URL (default: $REPRO_SERVE_URL or "
+                        "http://127.0.0.1:8750)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw status document(s) as JSON")
     return parser
 
 
@@ -967,6 +1037,17 @@ def cmd_campaign(args) -> int:
     runner = _make_runner(args, tracer=tracer)
     if args.status:
         st = runner.status(campaign)
+        if args.json:
+            from .serve.registry import campaign_status_doc
+
+            submission = {"suite": args.suite, **{
+                k: v for k, v in kwargs.items() if v is not None}}
+            doc = campaign_status_doc(args.suite, campaign,
+                                      "cached" if st["pending"] == 0
+                                      else "pending", submission)
+            doc["cache"] = st
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
         kinds = " ".join(f"{k}={n}" for k, n in
                          sorted(st["by_kind"].items()))
         _log.info(f"=== campaign {st['name']} ===")
@@ -1035,6 +1116,102 @@ def cmd_campaign(args) -> int:
     return rc
 
 
+def _serve_url(args) -> str:
+    return (args.url or os.environ.get("REPRO_SERVE_URL")
+            or "http://127.0.0.1:8750")
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServeDaemon
+    from .serve.server import run_server
+
+    root = (args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+            or ".repro-cache")
+    daemon = ServeDaemon(store=ResultStore(root, background=True),
+                         runners=args.runners, default_jobs=args.jobs,
+                         retries=args.retries)
+    _log.info(f"serving store {root} on http://{args.host}:{args.port} "
+              f"(runners={args.runners}, default jobs={args.jobs}) — "
+              f"Ctrl-C to stop")
+    try:
+        asyncio.run(run_server(daemon, args.host, args.port))
+    except KeyboardInterrupt:
+        _log.info("shutting down")
+    finally:
+        daemon.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .serve.client import ServeClient, ServeError
+
+    doc: dict = {"suite": args.suite}
+    if args.workloads:
+        doc["workloads"] = args.workloads
+    for field, value in (("n_threads", args.threads),
+                         ("scale", args.scale), ("seed", args.seed),
+                         ("runs", args.runs), ("drop", args.drop),
+                         ("jobs", args.jobs), ("timeout", args.timeout)):
+        if value is not None:
+            doc[field] = value
+    if args.refresh:
+        doc["refresh"] = True
+    client = ServeClient(_serve_url(args))
+    try:
+        accepted = client.submit(doc)
+        cid = accepted["id"]
+        if not (args.wait or args.stream):
+            _log.info(f"accepted {cid}: suite={args.suite} "
+                      f"state={accepted['state']} "
+                      f"({accepted['jobs']} job specs)")
+            print(cid)
+            return 0
+        if args.stream:
+            for event in client.stream_events(cid):
+                print(json.dumps(event, sort_keys=True), flush=True)
+            final = client.status(cid)
+        else:
+            final = client.wait(cid)
+    except ServeError as exc:
+        _log.error(str(exc))
+        return 2
+    print(json.dumps(final, indent=2, sort_keys=True))
+    return 0 if final.get("state") == "done" else 1
+
+
+def cmd_status(args) -> int:
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(_serve_url(args))
+    try:
+        docs = [client.status(args.id)] if args.id \
+            else client.campaigns()
+    except ServeError as exc:
+        _log.error(str(exc))
+        return 2
+    if args.json:
+        payload = docs[0] if args.id else {"campaigns": docs}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not docs:
+        _log.info("no campaigns submitted")
+        return 0
+    for doc in docs:
+        line = (f"{doc['id']}  {doc['suite']:10s} {doc['state']:8s} "
+                f"jobs={doc['jobs']} targets={doc['targets']}")
+        summary = doc.get("summary")
+        if summary:
+            line += (f" executed={summary.get('executed')} "
+                     f"hits={summary.get('hits')} "
+                     f"retries={summary.get('retries')}")
+        if doc.get("error"):
+            line += f" error={doc['error']}"
+        _log.info(line)
+    return 0
+
+
 def cmd_correctness(args) -> int:
     from .experiments.correctness import render_section72, section72
 
@@ -1061,6 +1238,9 @@ COMMANDS = {
     "figure8": cmd_figure8,
     "correctness": cmd_correctness,
     "campaign": cmd_campaign,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
 }
 
 

@@ -1,0 +1,179 @@
+"""A stdlib client for the serve daemon.
+
+``http.client`` only — the same no-new-deps rule as the server.  Used
+by ``repro submit`` / ``repro status --url``, the smoke driver, and the
+tests.  One :class:`ServeClient` per base URL; each call opens its own
+connection (the server speaks ``Connection: close``), so a client
+instance is safe to share across threads.
+
+Streaming: :meth:`stream_events` iterates the chunked NDJSON progress
+feed live — ``http.client`` decodes the chunked framing transparently,
+so each ``readline`` yields one complete event.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from collections.abc import Iterator
+from urllib.parse import urlsplit
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error (or not at all)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status
+                         else message)
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Synchronous JSON client for one ``repro serve`` base URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ServeError(0, f"only http:// URLs, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8750
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _request(self, method: str, path: str,
+                 doc: dict | None = None) -> dict:
+        conn = self._connect()
+        try:
+            body = None
+            headers = {}
+            if doc is not None:
+                body = json.dumps(doc).encode()
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                payload = resp.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    0, f"cannot reach http://{self.host}:{self.port}"
+                       f"{path}: {exc}") from exc
+            return self._decode(resp.status, payload)
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode(status: int, payload: bytes) -> dict:
+        try:
+            doc = json.loads(payload or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServeError(status,
+                             f"non-JSON response: {payload[:120]!r}") \
+                from exc
+        if status >= 400:
+            message = doc.get("error", "") if isinstance(doc, dict) \
+                else str(doc)
+            raise ServeError(status, message or f"status {status}")
+        if not isinstance(doc, dict):
+            raise ServeError(status, f"expected a JSON object, "
+                                     f"got {type(doc).__name__}")
+        return doc
+
+    # ------------------------------------------------------------ endpoints
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, doc: dict) -> dict:
+        """POST a campaign submission; returns the accepted status doc
+        (its ``id`` addresses every other endpoint)."""
+        return self._request("POST", "/v1/campaigns", doc)
+
+    def campaigns(self) -> list[dict]:
+        return list(self._request("GET", "/v1/campaigns")["campaigns"])
+
+    def status(self, campaign_id: str) -> dict:
+        return self._request("GET", f"/v1/campaigns/{campaign_id}")
+
+    def result(self, campaign_id: str) -> dict[str, dict]:
+        doc = self._request("GET", f"/v1/campaigns/{campaign_id}/result")
+        records = doc["records"]
+        assert isinstance(records, dict)
+        return records
+
+    def record(self, key: str) -> dict:
+        doc = self._request("GET", f"/v1/records/{key}")
+        record = doc["record"]
+        assert isinstance(record, dict)
+        return record
+
+    def rlog(self, key: str) -> bytes:
+        """The raw ``.rlog`` sidecar bytes for a content hash."""
+        conn = self._connect()
+        try:
+            try:
+                conn.request("GET", f"/v1/records/{key}/rlog")
+                resp = conn.getresponse()
+                payload = resp.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(0, f"cannot fetch rlog: {exc}") from exc
+            if resp.status >= 400:
+                self._decode(resp.status, payload)  # raises
+            return payload
+        finally:
+            conn.close()
+
+    def stream_events(self, campaign_id: str, since: int = 0,
+                      follow: bool = True) -> Iterator[dict]:
+        """Yield progress events live until the campaign finishes
+        (or the current feed is drained, with ``follow=False``)."""
+        conn = self._connect()
+        try:
+            flag = "1" if follow else "0"
+            try:
+                conn.request("GET", f"/v1/campaigns/{campaign_id}/events"
+                                    f"?since={since}&follow={flag}")
+                resp = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(0, f"cannot open event stream: {exc}") \
+                    from exc
+            if resp.status >= 400:
+                self._decode(resp.status, resp.read())  # raises
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if isinstance(event, dict):
+                    yield event
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------- helpers
+
+    def wait(self, campaign_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the campaign reaches a terminal state; returns the
+        final status doc.  Raises :class:`ServeError` on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(campaign_id)
+            if doc.get("state") in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServeError(0, f"campaign {campaign_id} still "
+                                    f"{doc.get('state')!r} after "
+                                    f"{timeout:.0f}s")
+            time.sleep(poll)

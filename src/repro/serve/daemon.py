@@ -1,0 +1,202 @@
+"""The service core behind the HTTP front end.
+
+:class:`ServeDaemon` owns the shared pieces of profiling-as-a-service:
+
+* **one result store** — an LSM :class:`~repro.campaign.store.
+  ResultStore` opened with ``background=True`` (flushes and compactions
+  run on the store's worker thread, never on a request path).  Every
+  submitted campaign reads and writes the same store, so concurrent
+  clients deduplicate work exactly like serial CLI runs sharing a cache
+  directory.
+* **a runner-thread pool** — each accepted submission becomes a
+  :class:`~repro.serve.registry.CampaignTask` executed by its own
+  :class:`~repro.campaign.scheduler.CampaignRunner` on one of
+  ``runners`` threads; the runner's process pool (``jobs`` workers)
+  does the simulating, and its retry/pool-rebuild machinery makes a
+  ``kill -9``'d worker a retried job, not a failed campaign.
+* **validation** — submissions pass through
+  :func:`repro.campaign.suites.submission_kwargs`, the same validator
+  the CLI uses, so a bad document is an HTTP 400 before anything runs.
+* **observability** — request counters and queue-depth gauges live in a
+  ``repro.obs`` :class:`~repro.obs.metrics.MetricsRegistry`; the store
+  contributes its WAL/level/refcount vitals via ``export_metrics``.
+
+Determinism note (the paper's observation boundary): a job executes in
+a worker process seeded entirely from its JobSpec, whether the spec
+arrived over HTTP or from the CLI — so service-side records and their
+``.rlog`` sidecars are byte-identical to serial ones, and the smoke
+test asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..campaign.scheduler import CampaignRunner, RetryPolicy
+from ..campaign.store import MemoryStore, ResultStore
+from ..campaign.suites import SuiteError, build_campaign, submission_kwargs
+from ..obs.metrics import MetricsRegistry
+from .registry import CampaignTask, TaskRegistry
+
+_log = logging.getLogger("repro.serve")
+
+#: per-campaign worker-process ceiling (a submission may ask for fewer)
+MAX_JOBS = max(1, (os.cpu_count() or 2))
+
+
+class UnknownKeyError(KeyError):
+    """No record (or sidecar) under the requested content hash."""
+
+
+class ServeDaemon:
+    """Validation, execution and store access for the serve endpoints."""
+
+    def __init__(
+        self,
+        store_root: str | Path | None = None,
+        *,
+        store: ResultStore | MemoryStore | None = None,
+        runners: int = 2,
+        default_jobs: int = 1,
+        retries: int = 2,
+    ) -> None:
+        if store is not None:
+            self.store = store
+        else:
+            root = (store_root or os.environ.get("REPRO_CACHE_DIR")
+                    or ".repro-cache")
+            self.store = ResultStore(root, background=True)
+        self.registry = TaskRegistry()
+        self.metrics = MetricsRegistry()
+        self.default_jobs = max(1, default_jobs)
+        self.retries = retries
+        self._runners = ThreadPoolExecutor(
+            max_workers=max(1, runners),
+            thread_name_prefix="repro-serve-runner")
+        self._closed = False
+
+    # ---------------------------------------------------------- submission
+
+    def submit(self, doc: dict) -> CampaignTask:
+        """Validate a submission document, build its campaign, queue it.
+
+        Raises :class:`~repro.campaign.suites.SuiteError` on anything
+        malformed — the front end answers 400 and nothing was queued.
+        """
+        suite, kwargs = submission_kwargs(doc)
+        campaign = build_campaign(suite, **kwargs)
+        jobs = self._coerce_jobs(doc.get("jobs"))
+        timeout = self._coerce_timeout(doc.get("timeout"))
+        refresh = bool(doc.get("refresh", False))
+        task = self.registry.create(suite, doc, campaign, jobs, timeout,
+                                    refresh)
+        self.metrics.counter("serve.submissions").inc()
+        self._runners.submit(self._execute, task)
+        _log.info(f"accepted campaign {task.id}: suite={suite} "
+                  f"jobs={jobs} ({len(campaign.jobs)} job specs)")
+        return task
+
+    @staticmethod
+    def _coerce_jobs(value: object) -> int:
+        if value is None:
+            return 0  # daemon default, resolved in _execute
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SuiteError(f"jobs must be an integer, got {value!r}")
+        return max(1, min(value, MAX_JOBS))
+
+    @staticmethod
+    def _coerce_timeout(value: object) -> float | None:
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SuiteError(f"timeout must be a number, got {value!r}")
+        return float(value) if value > 0 else None
+
+    # ----------------------------------------------------------- execution
+
+    def _execute(self, task: CampaignTask) -> None:
+        """Runner-thread body: one campaign end to end."""
+        self.registry.mark_running(task)
+        runner = CampaignRunner(
+            store=self.store,
+            jobs=task.jobs or self.default_jobs,
+            timeout=task.timeout,
+            retry=RetryPolicy(max_attempts=self.retries + 1),
+            refresh=task.refresh,
+            on_event=lambda ev: self.registry.append_event(task, ev),
+        )
+        try:
+            runner.run(task.campaign)
+        except Exception as exc:
+            self.metrics.counter("serve.campaigns.failed").inc()
+            self.registry.mark_failed(task,
+                                      f"{type(exc).__name__}: {exc}")
+            _log.error(f"campaign {task.id} failed: "
+                       f"{type(exc).__name__}: {exc}")
+            return
+        self.metrics.counter("serve.campaigns.done").inc()
+        self.registry.mark_done(task, runner.summary())
+        _log.info(f"campaign {task.id} done: {runner.summary()}")
+
+    # ------------------------------------------------------------- queries
+
+    def result(self, task: CampaignTask) -> dict[str, dict]:
+        """``{target_key: record}`` for a finished campaign."""
+        records: dict[str, dict] = {}
+        for key in task.campaign.targets or list(task.campaign.jobs):
+            record = self.store.fetch(key)
+            if record is None:
+                raise UnknownKeyError(key)
+            records[key] = record
+        return records
+
+    def record(self, key: str) -> dict:
+        record = self.store.fetch(key)
+        if record is None:
+            raise UnknownKeyError(key)
+        return record
+
+    def rlog(self, key: str) -> bytes:
+        """The content-addressed ``.rlog`` sidecar for ``key`` —
+        straight from the sidecar file when the store has one, else
+        rehydrated from the record itself (MemoryStore)."""
+        root = self.store.root
+        if root is not None:
+            path = Path(root) / ResultStore.REPLAY_DIR / f"{key}.rlog"
+            try:
+                return path.read_bytes()
+            except FileNotFoundError:
+                pass
+        record = self.store.fetch(key)
+        if record is None or "replay_log" not in record:
+            raise UnknownKeyError(key)
+        text = record["replay_log"]
+        return text.encode() if isinstance(text, str) else bytes(text)
+
+    def stats(self) -> dict:
+        """The ``/v1/stats`` document: store vitals, task queue shape,
+        and the daemon's metrics snapshot."""
+        store_stats = self.store.stats()
+        by_state = self.registry.counts()
+        queued = by_state.get("queued", 0)
+        running = by_state.get("running", 0)
+        self.metrics.gauge("serve.queue.depth").set(queued + running)
+        self.metrics.gauge("serve.campaigns.running").set(running)
+        if isinstance(self.store, ResultStore):
+            self.store.export_metrics(self.metrics)
+        return {
+            "store": store_stats,
+            "campaigns": by_state,
+            "queue_depth": queued + running,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._runners.shutdown(wait=True, cancel_futures=True)
+        self.store.close()

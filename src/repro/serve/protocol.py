@@ -1,0 +1,155 @@
+"""HTTP/1.1 wire plumbing for the serve front end.
+
+Everything here is pure and synchronous — request-line/header parsing,
+response rendering, chunked-transfer encoding — so the protocol layer
+tests without sockets and the asyncio server stays a thin shell.
+
+The daemon speaks a deliberately small dialect: JSON request and
+response bodies, ``Connection: close`` on every exchange (one request
+per connection keeps the state machine trivial), and chunked transfer
+encoding only on the streaming endpoints (progress events as NDJSON,
+``.rlog`` sidecars as raw bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import unquote
+
+#: the subset of reason phrases the daemon ever emits
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: submission bodies above this are rejected with 413 — a JobSpec
+#: campaign document is small; anything huge is a client bug
+MAX_BODY_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """The request is not something the daemon can parse."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body as a JSON object (400 on anything else)."""
+        try:
+            doc = json.loads(self.body or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not JSON: {exc}") \
+                from exc
+        if not isinstance(doc, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        return doc
+
+
+def parse_request_line(line: str) -> tuple[str, str, dict[str, str]]:
+    """``"GET /v1/x?a=1 HTTP/1.1"`` → ``("GET", "/v1/x", {"a": "1"})``."""
+    parts = line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise ProtocolError(400, f"malformed request line: {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    path, _, raw_query = target.partition("?")
+    query: dict[str, str] = {}
+    for pair in raw_query.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        query[unquote(key)] = unquote(value)
+    return method, unquote(path) or "/", query
+
+
+def parse_headers(lines: list[str]) -> dict[str, str]:
+    """Header lines → a lower-cased name→value dict (last wins)."""
+    headers: dict[str, str] = {}
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+def split_path(path: str) -> list[str]:
+    """``"/v1/campaigns/c-1/events"`` → segments, empties dropped."""
+    return [seg for seg in path.split("/") if seg]
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    extra_headers: dict[str, str] | None = None) -> bytes:
+    """A complete non-streaming response, Content-Length framed."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    head = "".join(f"{name}: {value}\r\n"
+                   for name, value in headers.items())
+    return (f"HTTP/1.1 {status} {phrase}\r\n{head}\r\n".encode()
+            + body)
+
+
+def json_response(status: int, doc: object) -> bytes:
+    """A JSON-body response (sorted keys — byte-stable for tests)."""
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    return render_response(status, body)
+
+
+def error_response(status: int, message: str) -> bytes:
+    return json_response(status, {"error": message, "status": status})
+
+
+def stream_head(status: int = 200,
+                content_type: str = "application/x-ndjson") -> bytes:
+    """Response head opening a chunked-transfer stream."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode()
+
+
+def chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame (empty data is NOT the terminator —
+    use :func:`last_chunk` for that, an empty ``data`` yields nothing)."""
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode() + data + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    """The zero-length chunk terminating a stream."""
+    return b"0\r\n\r\n"
+
+
+def event_line(event: dict) -> bytes:
+    """One NDJSON progress-event line for the stream endpoint."""
+    return (json.dumps(event, sort_keys=True) + "\n").encode()

@@ -1,0 +1,234 @@
+"""CI smoke driver: the serve daemon end to end, in one process.
+
+``python -m repro.serve.smoke`` proves the acceptance contract of
+profiling-as-a-service:
+
+1. **Serial baseline** — run two campaign suites through the plain
+   ``repro campaign`` CLI path into a fresh store directory.
+2. **Service run** — start a live HTTP server (ephemeral port) over a
+   second fresh store, submit the same two suites concurrently from two
+   client threads, and stream one campaign's progress events while it
+   runs.
+3. **kill -9 mid-job** — while the campaigns execute, SIGKILL one of
+   the pool's worker processes; the scheduler's BrokenProcessPool
+   recovery must rebuild the pool, retry, and finish both campaigns.
+4. **Byte-identity** — every result record (canonical JSON) and every
+   content-addressed ``.rlog`` sidecar in the service store must be
+   byte-identical to the serial store's; one sidecar is also fetched
+   over HTTP and compared against the on-disk bytes.
+
+Prints one ``smoke: ...`` line per check; exits non-zero on the first
+failure.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from ..campaign.store import ResultStore
+from .client import ServeClient
+from .daemon import ServeDaemon
+from .server import BackgroundServer
+
+#: the two suites under test: one reducer DAG (overhead), one profiled
+#: suite producing .rlog sidecars (figure8) — small enough for CI
+SUBMISSIONS: tuple[dict, ...] = (
+    {"suite": "overhead", "workloads": ["micro_low_abort"],
+     "n_threads": 2, "scale": 0.25, "runs": 3, "drop": 0, "jobs": 2},
+    {"suite": "figure8", "workloads": ["micro_low_abort",
+                                       "micro_capacity"],
+     "n_threads": 2, "scale": 0.25, "seed": 0, "jobs": 2},
+)
+
+
+def _ok(label: str) -> None:
+    print(f"smoke: {label}: OK", flush=True)
+
+
+def _fail(label: str, detail: str) -> None:
+    print(f"smoke: {label}: FAIL — {detail}", flush=True)
+    raise SystemExit(1)
+
+
+def _serial_baseline(root: Path) -> None:
+    """The plain CLI path the service must match byte-for-byte."""
+    from ..cli import main as cli_main
+
+    for doc in SUBMISSIONS:
+        argv = ["-q", "campaign", doc["suite"],
+                *doc.get("workloads", []),
+                "--threads", str(doc["n_threads"]),
+                "--scale", str(doc["scale"]),
+                "--seed", str(doc.get("seed", 0)),
+                "--jobs", "1", "--cache-dir", str(root)]
+        if doc["suite"] == "overhead":
+            argv += ["--runs", str(doc["runs"]),
+                     "--drop", str(doc["drop"])]
+        rc = cli_main(argv)
+        if rc != 0:
+            _fail("serial baseline", f"CLI exited {rc} for "
+                                     f"{doc['suite']}")
+    _ok("serial baseline (2 suites via repro campaign CLI)")
+
+
+def _kill_one_worker(stop: threading.Event, killed: list[int]) -> None:
+    """SIGKILL the first pool worker process that appears — the
+    hard-death the scheduler must absorb via pool rebuild + retry."""
+    deadline = time.monotonic() + 60.0
+    while not stop.is_set() and time.monotonic() < deadline:
+        children = multiprocessing.active_children()
+        if children:
+            victim = children[0]
+            pid = victim.pid
+            if pid is not None:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    continue
+                killed.append(pid)
+                return
+        time.sleep(0.02)
+
+
+def _submit_and_wait(client: ServeClient, doc: dict,
+                     out: dict[str, dict]) -> None:
+    accepted = client.submit(doc)
+    final = client.wait(accepted["id"], timeout=600.0)
+    out[doc["suite"]] = final
+
+
+def _service_run(root: Path) -> tuple[dict[str, dict], list[dict], int]:
+    """Submit both suites from two concurrent clients, kill a worker
+    mid-run, stream events; returns (final statuses, events, killed)."""
+    daemon = ServeDaemon(store=ResultStore(root, background=True),
+                         runners=2)
+    server = BackgroundServer(daemon)
+    port = server.start()
+    url = f"http://127.0.0.1:{port}"
+    try:
+        client_a, client_b = ServeClient(url), ServeClient(url)
+        if not client_a.health().get("ok"):
+            _fail("health", "healthz did not answer ok")
+        finals: dict[str, dict] = {}
+        stop = threading.Event()
+        killed: list[int] = []
+        killer = threading.Thread(target=_kill_one_worker,
+                                  args=(stop, killed))
+        killer.start()
+        threads = [
+            threading.Thread(target=_submit_and_wait,
+                             args=(client_a, SUBMISSIONS[0], finals)),
+            threading.Thread(target=_submit_and_wait,
+                             args=(client_b, SUBMISSIONS[1], finals)),
+        ]
+        for t in threads:
+            t.start()
+        # stream whichever campaign was accepted first, live
+        events: list[dict] = []
+        for _ in range(200):
+            campaigns = client_a.campaigns()
+            if campaigns:
+                events = list(client_a.stream_events(campaigns[0]["id"]))
+                break
+            time.sleep(0.05)
+        for t in threads:
+            t.join(timeout=600.0)
+        stop.set()
+        killer.join(timeout=5.0)
+        stats = client_a.stats()
+        if stats["store"]["backend"] != "disk":
+            _fail("stats", f"unexpected stats doc: {stats}")
+        _ok(f"stats endpoint (queue_depth={stats['queue_depth']}, "
+            f"records={stats['store']['records']})")
+        # one .rlog over HTTP vs the file on disk
+        fig8 = finals.get("figure8")
+        if fig8 is None or fig8.get("state") != "done":
+            _fail("figure8 over HTTP", f"final status: {fig8}")
+        key = fig8["target_keys"][0]
+        http_rlog = client_a.rlog(key)
+        disk_rlog = (root / ResultStore.REPLAY_DIR
+                     / f"{key}.rlog").read_bytes()
+        if http_rlog != disk_rlog:
+            _fail("rlog streaming", f"HTTP bytes != disk bytes for "
+                                    f"{key[:12]}")
+        _ok(f"rlog streamed over HTTP byte-identical "
+            f"({len(http_rlog)} bytes)")
+        return finals, events, len(killed)
+    finally:
+        server.stop()
+        daemon.close()
+
+
+def _compare_stores(serial_root: Path, serve_root: Path) -> None:
+    serial = ResultStore(serial_root)
+    served = ResultStore(serve_root)
+    serial_keys, served_keys = set(serial.keys()), set(served.keys())
+    if not serial_keys <= served_keys:
+        _fail("store keys", f"service store is missing "
+                            f"{sorted(serial_keys - served_keys)}")
+    for key in sorted(serial_keys):
+        a = json.dumps(serial.fetch(key), sort_keys=True)
+        b = json.dumps(served.fetch(key), sort_keys=True)
+        if a != b:
+            _fail("record byte-identity",
+                  f"record {key[:12]} differs between serial CLI and "
+                  f"HTTP service")
+    _ok(f"{len(serial_keys)} records byte-identical to the serial CLI")
+    sidecars = sorted(p.name for p in
+                      (serial_root / ResultStore.REPLAY_DIR)
+                      .glob("*.rlog"))
+    if not sidecars:
+        _fail("rlog sidecars", "serial store produced no .rlog sidecars")
+    for name in sidecars:
+        a_bytes = (serial_root / ResultStore.REPLAY_DIR / name) \
+            .read_bytes()
+        b_path = serve_root / ResultStore.REPLAY_DIR / name
+        if not b_path.exists():
+            _fail("rlog sidecars", f"service store missing {name}")
+        if a_bytes != b_path.read_bytes():
+            _fail("rlog sidecars", f"{name} differs")
+    _ok(f"{len(sidecars)} .rlog sidecars byte-identical")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as d:
+        base = Path(d)
+        serial_root = base / "serial-store"
+        serve_root = base / "serve-store"
+        _serial_baseline(serial_root)
+        finals, events, killed = _service_run(serve_root)
+        for suite in ("overhead", "figure8"):
+            final = finals.get(suite)
+            if final is None or final.get("state") != "done":
+                _fail(f"campaign {suite}",
+                      f"final status: {final}")
+            _ok(f"campaign {suite} done over HTTP "
+                f"(summary={final.get('summary')})")
+        if killed < 1:
+            _fail("kill -9 worker", "no pool worker appeared to kill — "
+                                    "the drill never ran")
+        _ok(f"survived kill -9 of {killed} worker process(es) mid-job")
+        if not events:
+            _fail("event stream", "no progress events streamed")
+        types = {e.get("type") for e in events}
+        if "plan" not in types or "done" not in types:
+            _fail("event stream", f"missing plan/done events: {types}")
+        indices = [e["i"] for e in events]
+        if indices != sorted(indices):
+            _fail("event stream", "event indices out of order")
+        _ok(f"streamed {len(events)} progress events in order")
+        _compare_stores(serial_root, serve_root)
+    print("smoke: all serve checks passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

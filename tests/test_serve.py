@@ -1,0 +1,504 @@
+"""Tests for repro.serve — protocol, registry, daemon, live HTTP.
+
+The protocol layer tests without sockets; the daemon tests without
+HTTP; one live :class:`~repro.serve.server.BackgroundServer` per module
+carries the end-to-end cases (submission round-trips, streaming, error
+paths, and the byte-identity contract against the serial CLI path).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.campaign.scheduler import CampaignRunner
+from repro.campaign.spec import JobSpec
+from repro.campaign.store import MemoryStore, ResultStore
+from repro.campaign.suites import (
+    SuiteError,
+    build_campaign,
+    submission_kwargs,
+)
+from repro.serve import (
+    BackgroundServer,
+    ServeClient,
+    ServeDaemon,
+    ServeError,
+    TaskRegistry,
+)
+from repro.serve.daemon import UnknownKeyError
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    chunk,
+    error_response,
+    event_line,
+    json_response,
+    last_chunk,
+    parse_headers,
+    parse_request_line,
+    render_response,
+    split_path,
+    stream_head,
+)
+from repro.serve.registry import campaign_status_doc
+
+#: a tiny submission that exercises the full campaign DAG quickly
+TINY = {"suite": "overhead", "workloads": ["micro_low_abort"],
+        "n_threads": 2, "scale": 0.25, "runs": 2, "drop": 0, "jobs": 1}
+
+
+# ---------------------------------------------------------------------------
+# protocol: pure parsing/rendering
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_request_line(self):
+        method, path, query = parse_request_line(
+            "GET /v1/campaigns/c-1/events?since=3&follow=0 HTTP/1.1")
+        assert method == "GET"
+        assert path == "/v1/campaigns/c-1/events"
+        assert query == {"since": "3", "follow": "0"}
+
+    def test_request_line_percent_decoding(self):
+        _, path, query = parse_request_line(
+            "GET /v1/rec%20ords?a=x%26y HTTP/1.1")
+        assert path == "/v1/rec ords"
+        assert query == {"a": "x&y"}
+
+    @pytest.mark.parametrize("line", [
+        "", "GET /x", "GET /x SMTP/1.0", "GET /x HTTP/1.1 extra",
+    ])
+    def test_request_line_malformed(self, line):
+        with pytest.raises(ProtocolError) as err:
+            parse_request_line(line)
+        assert err.value.status == 400
+
+    def test_headers_lowercased_last_wins(self):
+        headers = parse_headers(["Content-Type: application/json",
+                                 "X-Thing: a", "x-thing: b"])
+        assert headers == {"content-type": "application/json",
+                           "x-thing": "b"}
+
+    def test_headers_malformed(self):
+        with pytest.raises(ProtocolError):
+            parse_headers(["no colon here"])
+
+    def test_split_path(self):
+        assert split_path("/v1/campaigns/c-1/") == \
+            ["v1", "campaigns", "c-1"]
+        assert split_path("/") == []
+
+    def test_request_json_object(self):
+        req = Request(method="POST", path="/x",
+                      body=b'{"suite": "overhead"}')
+        assert req.json() == {"suite": "overhead"}
+        assert Request(method="GET", path="/x").json() == {}
+
+    @pytest.mark.parametrize("body", [b"[1, 2]", b'"text"', b"{nope"])
+    def test_request_json_rejects_non_objects(self, body):
+        with pytest.raises(ProtocolError) as err:
+            Request(method="POST", path="/x", body=body).json()
+        assert err.value.status == 400
+
+    def test_render_response_framing(self):
+        raw = render_response(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: close" in head
+        assert body == b'{"ok": true}'
+
+    def test_json_response_sorted_and_terminated(self):
+        raw = json_response(202, {"b": 1, "a": 2})
+        body = raw.partition(b"\r\n\r\n")[2]
+        assert body == b'{"a": 2, "b": 1}\n'
+
+    def test_error_response_shape(self):
+        body = error_response(404, "gone").partition(b"\r\n\r\n")[2]
+        assert json.loads(body) == {"error": "gone", "status": 404}
+
+    def test_chunked_framing(self):
+        assert chunk(b"hello") == b"5\r\nhello\r\n"
+        assert chunk(b"") == b""  # never emit an accidental terminator
+        assert last_chunk() == b"0\r\n\r\n"
+        head = stream_head()
+        assert b"Transfer-Encoding: chunked" in head
+        assert b"application/x-ndjson" in head
+
+    def test_event_line(self):
+        assert event_line({"type": "plan", "i": 0}) == \
+            b'{"i": 0, "type": "plan"}\n'
+
+
+# ---------------------------------------------------------------------------
+# submission validation
+# ---------------------------------------------------------------------------
+
+
+class TestSubmissionKwargs:
+    def test_valid_full_document(self):
+        suite, kwargs = submission_kwargs(dict(TINY))
+        assert suite == "overhead"
+        assert kwargs == {"workloads": ["micro_low_abort"],
+                          "n_threads": 2, "scale": 0.25,
+                          "runs": 2, "drop": 0}
+        # the kwargs build a real campaign
+        campaign = build_campaign(suite, **kwargs)
+        assert campaign.targets
+
+    def test_runner_fields_pass_through(self):
+        _, kwargs = submission_kwargs(
+            {"suite": "figure8", "jobs": 4, "timeout": 30,
+             "refresh": True})
+        assert "jobs" not in kwargs  # runner's business, not content
+
+    @pytest.mark.parametrize("doc,fragment", [
+        ({"suite": "nope"}, "unknown suite"),
+        ({"suite": 3}, "unknown suite"),
+        ({"suite": "overhead", "bogus": 1}, "unknown submission field"),
+        ({"suite": "overhead", "workloads": "micro"}, "list of strings"),
+        ({"suite": "overhead", "n_threads": True}, "must be a number"),
+        ({"suite": "overhead", "n_threads": 0}, "n_threads"),
+        ({"suite": "overhead", "scale": -1}, "scale"),
+        ({"suite": "overhead", "runs": 0}, "runs"),
+        ({"suite": "overhead", "drop": -1}, "drop"),
+    ])
+    def test_rejections(self, doc, fragment):
+        with pytest.raises(SuiteError, match=fragment):
+            submission_kwargs(doc)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def _tiny_campaign():
+    suite, kwargs = submission_kwargs(dict(TINY))
+    return build_campaign(suite, **kwargs)
+
+
+class TestRegistry:
+    def test_lifecycle_and_counts(self):
+        reg = TaskRegistry()
+        campaign = _tiny_campaign()
+        a = reg.create("overhead", dict(TINY), campaign, 1, None, False)
+        b = reg.create("overhead", dict(TINY), campaign, 1, None, False)
+        assert (a.id, b.id) == ("c-000001", "c-000002")
+        assert reg.get(a.id) is a
+        assert reg.get("c-999999") is None
+        assert [t.id for t in reg.list()] == [a.id, b.id]
+        assert reg.counts() == {"queued": 2}
+        reg.mark_running(a)
+        reg.mark_done(a, {"executed": 1})
+        reg.mark_failed(b, "boom")
+        assert reg.counts() == {"done": 1, "failed": 1}
+        assert a.finished and a.summary == {"executed": 1}
+        assert b.error == "boom" and b.finished_at is not None
+
+    def test_event_feed_ordering_and_pagination(self):
+        reg = TaskRegistry()
+        task = reg.create("overhead", dict(TINY), _tiny_campaign(),
+                          1, None, False)
+        for n in range(5):
+            reg.append_event(task, {"type": "job", "n": n})
+        events, finished = reg.events_since(task, 0)
+        assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+        assert all(e["task"] == task.id for e in events)
+        assert not finished
+        events, _ = reg.events_since(task, 3)
+        assert [e["n"] for e in events] == [3, 4]
+        reg.mark_done(task, {})
+        events, finished = reg.events_since(task, 5)
+        assert events == [] and finished
+
+    def test_status_doc_shares_the_cli_schema(self):
+        """GET /v1/campaigns/{id} and `repro campaign --status --json`
+        build on one schema: campaign_status_doc."""
+        campaign = _tiny_campaign()
+        base = campaign_status_doc("overhead", campaign, "pending",
+                                   dict(TINY))
+        reg = TaskRegistry()
+        task = reg.create("overhead", dict(TINY), campaign, 1, None,
+                          False)
+        served = task.status_doc()
+        for key in base:  # every shared key, same value modulo state
+            assert key in served
+            if key != "state":
+                assert served[key] == base[key]
+        assert served["target_keys"] == list(campaign.targets)
+        assert {"id", "events", "submitted_at"} <= set(served)
+
+
+# ---------------------------------------------------------------------------
+# daemon (no HTTP)
+# ---------------------------------------------------------------------------
+
+
+def _wait_finished(task, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while not task.finished:
+        assert time.monotonic() < deadline, \
+            f"task {task.id} still {task.state}"
+        time.sleep(0.02)
+
+
+class TestDaemon:
+    def test_submit_executes_and_results(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1)
+        try:
+            task = daemon.submit(dict(TINY))
+            _wait_finished(task)
+            assert task.state == "done"
+            assert task.summary and task.summary["jobs"] == \
+                len(task.campaign.jobs)
+            records = daemon.result(task)
+            assert set(records) == set(task.campaign.targets)
+            key = task.campaign.targets[0]
+            assert daemon.record(key) == records[key]
+            # the scheduler's event feed reached the registry
+            types = {e["type"] for e in task.events}
+            assert {"plan", "job", "done"} <= types
+        finally:
+            daemon.close()
+
+    def test_submit_rejects_garbage_before_queuing(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1)
+        try:
+            with pytest.raises(SuiteError):
+                daemon.submit({"suite": "overhead", "jobs": "many"})
+            with pytest.raises(SuiteError):
+                daemon.submit({"suite": "overhead", "timeout": "soon"})
+            with pytest.raises(SuiteError):
+                daemon.submit({"suite": "nope"})
+            assert daemon.registry.list() == []
+        finally:
+            daemon.close()
+
+    def test_unknown_keys_raise(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1)
+        try:
+            with pytest.raises(UnknownKeyError):
+                daemon.record("feedfacefeedface")
+            with pytest.raises(UnknownKeyError):
+                daemon.rlog("feedfacefeedface")
+        finally:
+            daemon.close()
+
+    def test_stats_shape(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1)
+        try:
+            doc = daemon.stats()
+            assert doc["store"]["backend"] == "memory"
+            assert doc["queue_depth"] == 0
+            assert isinstance(doc["campaigns"], dict)
+            assert "serve.queue.depth" in doc["metrics"]
+        finally:
+            daemon.close()
+
+    def test_rlog_falls_back_to_the_record(self):
+        store = MemoryStore()
+        spec = JobSpec(kind="run", workload="micro_low_abort",
+                       n_threads=2, scale=0.25, seed=0)
+        store.put(spec.key, {"replay_log": "line1\nline2\n"})
+        daemon = ServeDaemon(store=store, runners=1)
+        try:
+            assert daemon.rlog(spec.key) == b"line1\nline2\n"
+        finally:
+            daemon.close()
+
+
+# ---------------------------------------------------------------------------
+# live HTTP server
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    """One daemon + server + client for every live test (module scope —
+    campaigns submitted by one test stay visible to later ones)."""
+    root = tmp_path_factory.mktemp("serve-store")
+    daemon = ServeDaemon(store=ResultStore(root, background=True),
+                         runners=2)
+    server = BackgroundServer(daemon)
+    port = server.start()
+    client = ServeClient(f"http://127.0.0.1:{port}")
+    yield daemon, client, root
+    server.stop()
+    daemon.close()
+
+
+@pytest.mark.slow
+class TestLiveServer:
+    def test_health_and_stats(self, live):
+        _, client, _ = live
+        assert client.health() == {"ok": True}
+        stats = client.stats()
+        assert stats["store"]["backend"] == "disk"
+        assert "queue_depth" in stats
+
+    def test_submit_roundtrip(self, live):
+        daemon, client, _ = live
+        accepted = client.submit(dict(TINY))
+        assert accepted["state"] in ("queued", "running")
+        assert accepted["suite"] == "overhead"
+        final = client.wait(accepted["id"], timeout=120.0)
+        assert final["state"] == "done"
+        assert final["summary"]["jobs"] == final["jobs"]
+        records = client.result(accepted["id"])
+        assert set(records) == set(final["target_keys"])
+        # the record endpoint serves the same bytes
+        key = final["target_keys"][0]
+        assert client.record(key) == records[key]
+
+    def test_served_records_match_serial_runner(self, live, tmp_path):
+        """The byte-identity contract: an HTTP-submitted campaign's
+        records are canonically identical to a serial in-process run."""
+        daemon, client, _ = live
+        accepted = client.submit(dict(TINY))
+        client.wait(accepted["id"], timeout=120.0)
+        served = client.result(accepted["id"])
+
+        store = ResultStore(tmp_path / "serial")
+        runner = CampaignRunner(store=store, jobs=1)
+        suite, kwargs = submission_kwargs(dict(TINY))
+        campaign = build_campaign(suite, **kwargs)
+        serial = runner.run(campaign)
+        store.close()
+        for key in campaign.targets:
+            assert json.dumps(serial[key], sort_keys=True) == \
+                json.dumps(served[key], sort_keys=True)
+
+    def test_event_stream_completes_in_order(self, live):
+        _, client, _ = live
+        accepted = client.submit(dict(TINY))
+        events = list(client.stream_events(accepted["id"]))
+        assert events, "stream ended with no events"
+        assert [e["i"] for e in events] == list(range(len(events)))
+        assert events[0]["type"] == "plan"
+        assert events[-1]["type"] == "done"
+        # resume mid-feed: (since=N) yields exactly the tail
+        tail = list(client.stream_events(accepted["id"], since=1,
+                                         follow=False))
+        assert [e["i"] for e in tail] == \
+            [e["i"] for e in events[1:]]
+
+    def test_concurrent_clients_share_the_store(self, live):
+        daemon, client, _ = live
+        finals: dict[int, dict] = {}
+
+        def body(n: int) -> None:
+            # distinct scales ⇒ distinct content hashes per client
+            doc = dict(TINY, scale=0.25 + 0.05 * n)
+            accepted = client.submit(doc)
+            finals[n] = client.wait(accepted["id"], timeout=120.0)
+
+        threads = [threading.Thread(target=body, args=(n,))
+                   for n in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        assert set(finals) == {0, 1, 2}
+        assert all(doc["state"] == "done" for doc in finals.values())
+        # every campaign's targets landed in the one shared store
+        for doc in finals.values():
+            for key in doc["target_keys"]:
+                assert daemon.store.fetch(key) is not None
+
+    def test_error_paths(self, live):
+        _, client, _ = live
+        with pytest.raises(ServeError) as err:
+            client.submit({"suite": "nope"})
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client.status("c-999999")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client.record("feedfacefeedface")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/nowhere")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client._request("PUT", "/v1/campaigns")
+        assert err.value.status == 405
+
+    def test_result_of_unfinished_campaign_is_400(self, live):
+        daemon, client, _ = live
+        # a campaign that cannot have finished yet: submit and race
+        accepted = client.submit(dict(TINY, seed=77))
+        try:
+            try:
+                client.result(accepted["id"])
+            except ServeError as err:
+                assert err.status == 400
+        finally:  # drain it so the module teardown isn't mid-run
+            client.wait(accepted["id"], timeout=120.0)
+
+    def test_rlog_streams_sidecar_bytes(self, live):
+        daemon, client, root = live
+        doc = {"suite": "figure8", "workloads": ["micro_low_abort"],
+               "n_threads": 2, "scale": 0.25, "seed": 0, "jobs": 1}
+        accepted = client.submit(doc)
+        final = client.wait(accepted["id"], timeout=120.0)
+        assert final["state"] == "done"
+        key = final["target_keys"][0]
+        blob = client.rlog(key)
+        sidecar = root / ResultStore.REPLAY_DIR / f"{key}.rlog"
+        assert sidecar.exists()
+        assert blob == sidecar.read_bytes()
+        with pytest.raises(ServeError) as err:
+            client.rlog("feedfacefeedface")
+        assert err.value.status == 404
+
+
+# ---------------------------------------------------------------------------
+# CLI status --json: the shared schema, round-tripped
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestCliStatusJson:
+    def test_round_trips_with_the_daemon_schema(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["campaign", "overhead", "micro_low_abort",
+                   "--status", "--json", "--threads", "2",
+                   "--scale", "0.25", "--runs", "2", "--drop", "0",
+                   "--cache-dir", str(tmp_path / "store")])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+
+        # same core schema as the daemon's status endpoint
+        suite, kwargs = submission_kwargs(dict(TINY))
+        campaign = build_campaign(suite, **kwargs)
+        base = campaign_status_doc(suite, campaign, doc["state"],
+                                   doc["submission"])
+        for key in base:
+            assert key in doc
+        # and the content-addressed targets agree exactly — the CLI and
+        # a daemon looking at the same submission name the same keys
+        assert doc["target_keys"] == list(campaign.targets)
+        assert doc["state"] == "pending"  # nothing cached yet
+        assert doc["cache"]["pending"] == doc["jobs"]
+
+    def test_status_json_sees_cached_state(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "store")
+        args = ["campaign", "overhead", "micro_low_abort",
+                "--threads", "2", "--scale", "0.25", "--runs", "2",
+                "--drop", "0", "--cache-dir", store_dir, "--jobs", "1"]
+        assert main(["-q", *args]) == 0
+        capsys.readouterr()
+        assert main([*args, "--status", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "cached"
+        assert doc["cache"]["pending"] == 0
+        assert doc["cache"]["hit_rate"] == 1.0

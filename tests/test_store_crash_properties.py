@@ -1,0 +1,293 @@
+"""Crash-recovery properties for the LSM result store.
+
+Two failure models, both asserted against one durability contract:
+
+* **CrashPoint injection** — the store's ``crash_hook`` fires at each
+  named durability boundary (WAL append, segment write, manifest
+  append, WAL drop, compaction write/manifest/drop).  Hypothesis picks
+  an operation sequence and which boundary crossing dies.
+* **Torn tail** — after a simulated ``kill -9``, the final unsynced
+  append may land partially; we truncate the live WAL at an arbitrary
+  byte offset inside the last record.
+
+The contract, in both models:
+
+1. **No acknowledged write is lost.**  A ``put`` that returned maps to
+   exactly its last acknowledged value after recovery.  A ``put`` that
+   crashed mid-flight recovers to either its value (the WAL append
+   completed) or the previous one (it did not) — never garbage.
+2. **Recovery is idempotent.**  Opening the damaged directory twice
+   yields the same contents, and the second open must not rewrite
+   what the first repaired.
+3. **The store stays writable.**  Post-recovery writes are durable
+   across another clean close/reopen.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.store import CrashPoint, ResultStore
+
+#: every named durability boundary the store can die at
+BOUNDARIES = (
+    "wal-append",
+    "flush-segment",
+    "flush-manifest",
+    "flush-wal-drop",
+    "compact-segment",
+    "compact-manifest",
+    "compact-drop",
+)
+
+#: tiny thresholds so a handful of puts exercises rotation, flush and
+#: leveled compaction inline
+TINY_STORE = dict(segment_bytes=96, level_trigger=2, max_level=2)
+
+_keys = st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"])
+_puts = st.lists(st.tuples(_keys, st.integers(0, 999)),
+                 min_size=1, max_size=14)
+
+
+def _abandon(store: ResultStore) -> None:
+    """Drop a crashed store without flushing (its process 'died')."""
+    store._crash_hook = None
+    if store._wal_fh is not None:
+        store._wal_fh.close()
+        store._wal_fh = None
+
+
+def _contents(root: Path) -> dict[str, dict]:
+    """Recover the directory and read everything back."""
+    store = ResultStore(root)
+    try:
+        return {key: store.fetch(key) for key in store.keys()}
+    finally:
+        store.close()
+
+
+def _disk_state(root: Path) -> dict[str, bytes]:
+    """Every store file's bytes — for asserting repair idempotence."""
+    return {p.name: p.read_bytes() for p in sorted(root.iterdir())
+            if p.is_file()}
+
+
+class _CrashAt:
+    """Raise CrashPoint on the nth durability-boundary crossing."""
+
+    def __init__(self, nth: int) -> None:
+        self.nth = nth
+        self.crossings = 0
+        self.died_at: str | None = None
+
+    def __call__(self, step: str) -> None:
+        assert step in BOUNDARIES
+        self.crossings += 1
+        if self.crossings == self.nth:
+            self.died_at = step
+            raise CrashPoint(step)
+
+
+class TestCrashPointInjection:
+    @given(puts=_puts, nth=st.integers(min_value=1, max_value=30),
+           compact_after=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_no_acknowledged_write_lost(self, tmp_path_factory, puts,
+                                        nth, compact_after):
+        root = tmp_path_factory.mktemp("crash")
+        hook = _CrashAt(nth)
+        store = ResultStore(root, crash_hook=hook, **TINY_STORE)
+        acked: dict[str, int] = {}
+        in_flight: tuple[str, int] | None = None
+        try:
+            for key, n in puts:
+                in_flight = (key, n)
+                store.put(key, {"n": n})
+                acked[key] = n
+                in_flight = None
+            if compact_after:
+                store.compact()
+        except CrashPoint:
+            pass
+        _abandon(store)
+
+        recovered = _contents(root)
+        for key, n in acked.items():
+            if in_flight is not None and in_flight[0] == key:
+                # the crashed put targeted this key: its WAL append
+                # either completed (new value) or never started (old)
+                assert recovered.get(key, {}).get("n") in \
+                    (n, in_flight[1]), \
+                    f"{key} lost at {hook.died_at}"
+            else:
+                assert recovered.get(key, {}).get("n") == n, \
+                    f"acked write to {key} lost at {hook.died_at}"
+        # nothing invents keys that were never written
+        assert set(recovered) <= {key for key, _ in puts}
+
+    @given(puts=_puts, nth=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_recovery_is_idempotent(self, tmp_path_factory, puts, nth):
+        root = tmp_path_factory.mktemp("idem")
+        store = ResultStore(root, crash_hook=_CrashAt(nth), **TINY_STORE)
+        try:
+            for key, n in puts:
+                store.put(key, {"n": n})
+            store.compact()
+        except CrashPoint:
+            pass
+        _abandon(store)
+
+        first = _contents(root)
+        disk_after_first = _disk_state(root)
+        second = _contents(root)
+        assert first == second
+        # a read-only recovery settles the directory: opening again
+        # must not keep rewriting files
+        assert _disk_state(root) == disk_after_first
+
+    @given(puts=_puts, nth=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_store_stays_writable_after_recovery(self, tmp_path_factory,
+                                                 puts, nth):
+        root = tmp_path_factory.mktemp("writable")
+        store = ResultStore(root, crash_hook=_CrashAt(nth), **TINY_STORE)
+        try:
+            for key, n in puts:
+                store.put(key, {"n": n})
+        except CrashPoint:
+            pass
+        _abandon(store)
+
+        repaired = ResultStore(root, **TINY_STORE)
+        repaired.put("fresh", {"n": -1})
+        repaired.put(puts[0][0], {"n": 12345})  # overwrite post-crash
+        repaired.compact()
+        repaired.close()
+
+        final = _contents(root)
+        assert final["fresh"] == {"n": -1}
+        assert final[puts[0][0]] == {"n": 12345}
+
+    @pytest.mark.parametrize("boundary", BOUNDARIES)
+    def test_each_boundary_alone(self, tmp_path, boundary):
+        """Deterministic single-boundary walk: die exactly once at each
+        named crossing, with acked writes on both sides of the crash."""
+
+        class DieAt:
+            armed = True
+
+            def __call__(self, step: str) -> None:
+                if step == boundary and self.armed:
+                    self.armed = False
+                    raise CrashPoint(step)
+
+        store = ResultStore(tmp_path, crash_hook=DieAt(), **TINY_STORE)
+        acked = {}
+        in_flight = None
+        try:
+            for n in range(10):
+                in_flight = (f"k{n % 4}", n)
+                store.put(f"k{n % 4}", {"n": n})
+                acked[f"k{n % 4}"] = n
+                in_flight = None
+            store.compact()
+        except CrashPoint:
+            pass
+        _abandon(store)
+
+        recovered = _contents(tmp_path)
+        for key, n in acked.items():
+            got = recovered.get(key, {}).get("n")
+            want = (n, in_flight[1]) if in_flight \
+                and in_flight[0] == key else (n,)
+            assert got in want, \
+                f"{key}={got}, want {want} (crash at {boundary})"
+
+
+class TestTornTail:
+    @given(puts=_puts, torn=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_torn_final_append(self, tmp_path_factory, puts, torn):
+        """kill -9 at an arbitrary byte offset inside the final WAL
+        append: every earlier write survives exactly; the final one is
+        either intact or cleanly absent."""
+        root = tmp_path_factory.mktemp("torn")
+        # big segment_bytes: everything stays in one WAL, so the byte
+        # math below addresses the final record unambiguously
+        store = ResultStore(root)
+        for key, n in puts:
+            store.put(key, {"n": n})
+        assert store._wal is not None
+        wal = root / store._wal
+        _abandon(store)
+
+        last_key, last_n = puts[-1]
+        # tear only within the final append: anything before it was
+        # fsync-acknowledged and may not be touched by a kill -9
+        blob = wal.read_bytes()
+        body = blob.rstrip(b"\n")
+        final_line_bytes = len(body) - (body.rfind(b"\n") + 1) + 1
+        cut = min(torn, final_line_bytes)
+        if cut:
+            with wal.open("rb+") as fh:
+                fh.truncate(len(blob) - cut)
+
+        expect = {}
+        for key, n in puts[:-1]:
+            expect[key] = n
+        recovered = _contents(root)
+        final = recovered.get(last_key, {}).get("n")
+        prior = expect.get(last_key)
+        assert final in (last_n, prior), \
+            "torn final append recovered garbage"
+        for key, n in expect.items():
+            if key == last_key:
+                continue
+            assert recovered.get(key, {}).get("n") == n, \
+                f"torn tail destroyed earlier write {key}"
+
+    @given(puts=_puts, cut=st.integers(min_value=1, max_value=120))
+    @settings(max_examples=30, deadline=None)
+    def test_torn_unmanifested_segment(self, tmp_path_factory, puts,
+                                       cut):
+        """A flush that died after writing its segment but before the
+        manifest add leaves an orphan file; tearing that orphan at any
+        offset must not cost a single acknowledged write (they are all
+        still WAL-covered)."""
+        root = tmp_path_factory.mktemp("orphan")
+
+        def die(step: str) -> None:
+            if step == "flush-manifest":
+                raise CrashPoint(step)
+
+        store = ResultStore(root, crash_hook=die, **TINY_STORE)
+        acked: dict[str, int] = {}
+        in_flight = None
+        try:
+            for key, n in puts:
+                in_flight = (key, n)
+                store.put(key, {"n": n})
+                acked[key] = n
+                in_flight = None
+            store.flush()
+        except CrashPoint:
+            pass
+        _abandon(store)
+
+        orphans = [p for p in root.glob("seg-*.jsonl")]
+        for orphan in orphans:
+            size = orphan.stat().st_size
+            with orphan.open("rb+") as fh:
+                fh.truncate(max(0, size - cut))
+
+        recovered = _contents(root)
+        for key, n in acked.items():
+            got = recovered.get(key, {}).get("n")
+            want = (n, in_flight[1]) if in_flight \
+                and in_flight[0] == key else (n,)
+            assert got in want, \
+                f"acked write {key} lost to a torn orphan segment"

@@ -32,14 +32,18 @@ Layers:
   / elision-safety checks);
 * :mod:`repro.analysis.predict` — static decision-tree prediction
   mapping each TM_BEGIN site onto Figure 1 leaves;
+* :mod:`repro.analysis.mc` — bounded interleaving model checking with
+  dynamic partial-order reduction: the static abort graph
+  (who-aborts-whom per TM_BEGIN site pair, convoy cycles, fallback
+  serialization depth) with minimal witness interleavings;
 * :mod:`repro.analysis.crossval` — static-vs-dynamic cross-validation,
-  including the leaf-agreement pane.
+  including the leaf-agreement and abort-graph-edge panes.
 
 Surfaced through ``python -m repro check`` (text, ``--json``, ``--races``,
-``--predict-tree``, and ``--sarif`` export).
+``--predict-tree``, ``--mc``, and ``--sarif`` export).
 """
 
-from .crossval import ClassCheck, CrossValidation, cross_validate
+from .crossval import ClassCheck, CrossValidation, EdgeCheck, cross_validate
 from .dataflow import (
     CFG,
     DataflowAnalysis,
@@ -67,6 +71,14 @@ from .lint import (
     severity_rank,
     to_sarif,
 )
+from .mc import (
+    AbortEdge,
+    AbortGraph,
+    MCLimits,
+    ModelCheckAnalysis,
+    analyze_mc,
+    dpor_explore,
+)
 from .predict import (
     PREDICTABLE_LEAVES,
     SitePrediction,
@@ -84,6 +96,8 @@ from .races import (
 from .summarize import SectionSummary, WorkloadSummary, summarize
 
 __all__ = [
+    "AbortEdge",
+    "AbortGraph",
     "AddrSet",
     "AnalysisLimits",
     "AnalysisReport",
@@ -93,10 +107,13 @@ __all__ = [
     "CODES",
     "CrossValidation",
     "DataflowAnalysis",
+    "EdgeCheck",
     "Finding",
     "FootprintFact",
     "FunctionIR",
     "Interval",
+    "MCLimits",
+    "ModelCheckAnalysis",
     "PREDICTABLE_LEAVES",
     "ProgramIR",
     "RaceAnalysis",
@@ -112,9 +129,11 @@ __all__ = [
     "WordClass",
     "WorkloadSummary",
     "analyze_dataflow",
+    "analyze_mc",
     "analyze_races",
     "analyze_workload",
     "cross_validate",
+    "dpor_explore",
     "extract_workload",
     "predict_workload",
     "severity_rank",

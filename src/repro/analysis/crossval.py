@@ -84,6 +84,76 @@ class ClassCheck:
 
 
 @dataclass
+class EdgeCheck:
+    """Static-vs-dynamic confusion counts for one abort-graph edge kind.
+
+    Elements are ordered ``(aborter_site, victim_site)`` pairs.  Cells
+    the oracle cannot arbitrate are *unscored*, mirroring the leaf
+    pane's ``leaf_unscored`` mechanism:
+
+    * a predicted edge whose victim (data) or aborter (lock) never shows
+      the relevant dynamic evidence — the model checker proves the edge
+      reachable in *some* interleaving, the dynamic run simply never
+      took one, which is absence of evidence, not refutation;
+    * an observed lock edge whose aborter the static model cannot drive
+      into the fallback at all — its dynamic fallback was induced from
+      outside the modeled transactions (sampling interrupts exhausting
+      retries, or non-transactional interference), the profiler-
+      perturbation effect the paper's Challenge I describes.
+    """
+
+    kind: str
+    predicted: set[tuple[int, int]] = field(default_factory=set)
+    observed: set[tuple[int, int]] = field(default_factory=set)
+    unscored_predicted: set[tuple[int, int]] = field(default_factory=set)
+    unscored_observed: set[tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def _scored_predicted(self) -> set[tuple[int, int]]:
+        return self.predicted - self.unscored_predicted
+
+    @property
+    def _scored_observed(self) -> set[tuple[int, int]]:
+        return self.observed - self.unscored_observed
+
+    @property
+    def tp(self) -> int:
+        return len(self._scored_predicted & self._scored_observed)
+
+    @property
+    def fp(self) -> int:
+        return len(self._scored_predicted - self.observed)
+
+    @property
+    def fn(self) -> int:
+        return len(self._scored_observed - self.predicted)
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "predicted": sorted(self.predicted),
+            "observed": sorted(self.observed),
+            "unscored_predicted": sorted(self.unscored_predicted),
+            "unscored_observed": sorted(self.unscored_observed),
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+            "precision": self.precision,
+            "recall": self.recall,
+        }
+
+
+@dataclass
 class CrossValidation:
     """The joined static/dynamic verdict for one workload."""
 
@@ -118,6 +188,17 @@ class CrossValidation:
     leaf_unscored: dict[int, set[str]] = field(default_factory=dict)
     #: per-leaf confusion counts (same shape as the abort-class checks)
     leaf_checks: dict[str, ClassCheck] = field(default_factory=dict)
+    # -- abort-graph pane (``--mc``) ---------------------------------------
+    #: who-aborts-whom edge confusion per edge kind ("data", "lock")
+    mc_checks: dict[str, EdgeCheck] = field(default_factory=dict)
+    #: dynamic ``(aborter_site, victim_site, via_lock) -> doomed-txn
+    #: count``, straight from the engine's conflict-edge instrumentation
+    mc_observed_edges: dict[tuple[int, int, bool], int] = field(
+        default_factory=dict
+    )
+    #: model-checker exploration statistics (interleaving counts,
+    #: DPOR reduction ratio, verification status)
+    mc_stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def cells(self) -> int:
@@ -239,7 +320,8 @@ class CrossValidation:
         return out
 
     @staticmethod
-    def _micro_pr(checks: dict[str, ClassCheck]) -> tuple[float, float]:
+    def _micro_pr(checks: dict[str, ClassCheck] | dict[str, EdgeCheck],
+                  ) -> tuple[float, float]:
         tp = sum(c.tp for c in checks.values())
         fp = sum(c.fp for c in checks.values())
         fn = sum(c.fn for c in checks.values())
@@ -254,6 +336,10 @@ class CrossValidation:
     def leaf_precision_recall(self) -> tuple[float, float]:
         """Micro-averaged P/R of the leaf-agreement pane."""
         return self._micro_pr(self.leaf_checks)
+
+    def mc_precision_recall(self) -> tuple[float, float]:
+        """Micro-averaged P/R of the abort-graph edge pane."""
+        return self._micro_pr(self.mc_checks)
 
     def to_dict(self) -> dict[str, Any]:
         d: dict[str, Any] = {
@@ -301,6 +387,18 @@ class CrossValidation:
                 },
                 "disagreements": self.leaf_disagreements(),
                 "incomplete": self.prediction.incomplete,
+            }
+        if self.mc_checks:
+            ep, er = self.mc_precision_recall()
+            d["mc"] = {
+                "edge_precision": ep,
+                "edge_recall": er,
+                "observed_edges": [
+                    {"aborter": a, "victim": v, "via_lock": via, "count": n}
+                    for (a, v, via), n in sorted(self.mc_observed_edges.items())
+                ],
+                "checks": {k: c.to_dict() for k, c in self.mc_checks.items()},
+                "stats": dict(self.mc_stats),
             }
         return d
 
@@ -420,4 +518,92 @@ def cross_validate(
                     if leaf in ls and leaf not in cv.leaf_unscored.get(s, set())
                 },
             )
+    if report.mc is not None:
+        _score_mc_pane(cv, report, outcome)
     return cv
+
+
+def _score_mc_pane(
+    cv: CrossValidation, report: AnalysisReport, outcome: Any
+) -> None:
+    """Score predicted who-aborts-whom edges against the engine's
+    conflict-edge instrumentation.
+
+    The oracle here is not the sampled profile but the engine's exact
+    per-doom attribution (``htm.conflict_edges``): every conflict doom
+    records which site's access or fallback acquisition killed which
+    victim.  Sampling would leave most edges unwitnessed at realistic
+    periods; the exact ledger keeps the pane's unscored sets honest.
+    """
+    mc = report.mc
+    assert mc is not None
+    graph = mc.graph
+    raw: dict[tuple[int, int, bool], int] = dict(
+        getattr(outcome.sim.htm, "conflict_edges", {})
+    )
+    cv.mc_observed_edges = raw
+    known: set[int] = set()
+    if report.summary is not None:
+        known = {s.site for s in report.summary.section_list()}
+
+    data_obs: set[tuple[int, int]] = set()
+    lock_obs: set[tuple[int, int]] = set()
+    # victims with *any* observed conflict doom, including from
+    # non-transactional code (aborter 0) — the dynamic evidence a
+    # predicted data edge needs before its absence can count against it
+    conflicted_victims: set[int] = set()
+    for (a, v, via), _n in raw.items():
+        if v in known:
+            conflicted_victims.add(v)
+        if a <= 0 or a not in known or v not in known:
+            continue
+        (lock_obs if via else data_obs).add((a, v))
+
+    data_pred = graph.predicted_pairs(via_lock=False)
+    lock_pred = graph.predicted_pairs(via_lock=True)
+    fallback_sites = graph.fallback_sites()
+    lock_aborters_obs = {a for a, _v in lock_obs}
+
+    cv.mc_checks["data"] = EdgeCheck(
+        kind="data",
+        predicted=data_pred,
+        observed=data_obs,
+        unscored_predicted={
+            p for p in data_pred
+            if p not in data_obs and p[1] not in conflicted_victims
+        },
+    )
+    cv.mc_checks["lock"] = EdgeCheck(
+        kind="lock",
+        predicted=lock_pred,
+        observed=lock_obs,
+        # an unobserved lock edge is scorable only when its aborter
+        # demonstrably reached the fallback against someone
+        unscored_predicted={
+            p for p in lock_pred
+            if p not in lock_obs and p[0] not in lock_aborters_obs
+        },
+        # an observed lock edge whose aborter the model cannot drive
+        # into the fallback at all was induced from outside the modeled
+        # transactions (Challenge I perturbation), not a static miss
+        unscored_observed={
+            p for p in lock_obs if p[0] not in fallback_sites
+        },
+    )
+    # widen the worst-case envelope with classes the explored
+    # interleavings inflict — adds-only, so consistency cannot regress
+    for site in set(cv.envelope) | known:
+        extra = graph.abort_classes(site)
+        if extra:
+            cv.envelope.setdefault(site, set()).update(extra)
+    cv.mc_stats = {
+        "interleavings_dpor": mc.interleavings_dpor,
+        "interleavings_brute": mc.interleavings_brute,
+        "reduction_ratio": mc.reduction_ratio,
+        "all_verified": mc.all_verified,
+        "truncated": mc.truncated,
+        "scenarios": len(mc.scenarios),
+        "edges": len(graph.edges),
+        "convoy_cycles": len(graph.convoy_cycles),
+        "max_serialization_depth": graph.max_serialization_depth,
+    }

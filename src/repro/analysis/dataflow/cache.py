@@ -58,19 +58,36 @@ def function_ir_digest(fir: FunctionIR, config: MachineConfig) -> str:
 
 
 class SummaryCache:
-    """Digest-keyed summary documents over any campaign store."""
+    """Digest-keyed summary documents over any campaign store.
 
-    def __init__(self, store: SummaryStore) -> None:
+    When handed a :class:`~repro.obs.metrics.MetricsRegistry`, hit/miss
+    counts are mirrored into ``dataflow.cache.hits`` /
+    ``dataflow.cache.misses`` counters so the cache shows up in the same
+    observability surface as the profiler's own internals.
+    """
+
+    def __init__(self, store: SummaryStore, metrics: Any = None) -> None:
         self._store = store
         self.hits = 0
         self.misses = 0
+        self.metrics = metrics
+        if metrics is not None:
+            self._hit_counter = metrics.counter("dataflow.cache.hits")
+            self._miss_counter = metrics.counter("dataflow.cache.misses")
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
 
     def get(self, digest: str) -> dict | None:
         doc = self._store.get(_KEY_PREFIX + digest)
         if doc is None:
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
         else:
             self.hits += 1
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
         return doc
 
     def put(self, digest: str, doc: dict) -> None:

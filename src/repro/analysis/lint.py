@@ -24,6 +24,7 @@ from .summarize import (
 
 if TYPE_CHECKING:
     from .dataflow import DataflowAnalysis, SummaryCache
+    from .mc import ModelCheckAnalysis
     from .predict import StaticPrediction
     from .races import RaceAnalysis
 
@@ -126,6 +127,34 @@ CODES: dict[str, tuple[str, str | None, str]] = {
         "thread: the transaction cannot experience a data conflict and "
         "its begin/end overhead buys no isolation",
     ),
+    # -- model-checker codes (repro.analysis.mc, ``check --mc``) -----------
+    # prediction=None on all three: they describe *interaction shapes*
+    # (cycles, dominance, serialization) derived from the abort graph,
+    # which the graph-aware crossval pane scores edge-by-edge instead
+    "convoy-cycle": (
+        "warning",
+        None,
+        "the static abort graph contains a cycle of fallback-lock edges: "
+        "each section's lock acquisition aborts the others' speculation, "
+        "driving them to the fallback in turn (lemming convoy), proven by "
+        "a concrete witness interleaving",
+    ),
+    "asymmetric-abort-dominance": (
+        "info",
+        None,
+        "the abort graph has a data-conflict edge in one direction only "
+        "between two sections: under requester-wins arbitration one "
+        "section always dooms the other, which absorbs every abort and "
+        "risks starvation",
+    ),
+    "fallback-serialization-depth": (
+        "warning",
+        None,
+        "some explored interleaving queues two or more threads behind "
+        "the global fallback lock at once — the worst-case serialization "
+        "depth bounds how much of the workload a convoy can flatten to "
+        "lock-speed",
+    ),
 }
 
 
@@ -187,6 +216,9 @@ class AnalysisReport:
     #: the fixpoint dataflow pass's result (on by default); its findings
     #: are also merged into :attr:`findings`
     dataflow: DataflowAnalysis | None = None
+    #: the bounded model checker's result (``--mc``); its findings are
+    #: also merged into :attr:`findings`
+    mc: ModelCheckAnalysis | None = None
 
     def max_severity(self) -> str | None:
         worst: str | None = None
@@ -236,6 +268,8 @@ class AnalysisReport:
             d["prediction"] = self.prediction.to_dict()
         if self.dataflow is not None:
             d["dataflow"] = self.dataflow.to_dict()
+        if self.mc is not None:
+            d["mc"] = self.mc.to_dict()
         return d
 
 
@@ -495,6 +529,8 @@ def analyze_workload(
     predict: bool = False,
     dataflow: bool = True,
     dataflow_cache: SummaryCache | None = None,
+    mc: bool = False,
+    mc_limits: Any = None,
     **params: Any,
 ) -> AnalysisReport:
     """Extract, summarize and lint one workload end to end.
@@ -505,7 +541,10 @@ def analyze_workload(
     (:mod:`repro.analysis.predict`); ``dataflow`` (on by default) runs
     the fixpoint layer — conditional-capacity/loop/path codes plus
     witness paths on every race/conflict finding — optionally reusing
-    content-addressed function summaries from ``dataflow_cache``.
+    content-addressed function summaries from ``dataflow_cache``;
+    ``mc`` runs the bounded interleaving model checker
+    (:mod:`repro.analysis.mc`), merging its abort-graph findings and
+    letting the predictor widen envelopes with graph-reachable classes.
     """
     ir = extract_workload(
         workload,
@@ -538,15 +577,22 @@ def analyze_workload(
         )
         report.findings.extend(report.dataflow.findings)
         attach_witnesses(ir, report.findings)
+    if mc:
+        from .mc import analyze_mc
+
+        report.mc = analyze_mc(ir, ws, limits=mc_limits)
+        report.findings.extend(report.mc.findings)
     report.findings.sort(key=finding_sort_key)
     if predict:
         from .predict import predict_workload
 
         # the lockset pass (when run) sharpens race-implicated sites'
         # leaves from the overhead branch to the abort branch; the
-        # dataflow envelope adds observed conditional-capacity leaves
+        # dataflow envelope adds observed conditional-capacity leaves;
+        # the abort graph (when run) widens worst-case envelopes with
+        # every interaction class some interleaving can inflict
         report.prediction = predict_workload(
-            ws, races=report.races, dataflow=report.dataflow
+            ws, races=report.races, dataflow=report.dataflow, mc=report.mc
         )
     return report
 

@@ -1,0 +1,53 @@
+"""Bounded interleaving model checking for TM critical sections.
+
+Lowering (:mod:`.transition`) turns the analyzer's per-transaction
+symbolic summaries into small-step transition systems; exploration
+(:mod:`.explore`) enumerates their interleavings under the engine's TSX
+conflict semantics with dynamic partial-order reduction, cross-checked
+by a brute-force reference; the result (:mod:`.graph`,
+:mod:`.analyze`) is a **static abort graph** — per ordered pair of
+TM_BEGIN sites, who aborts whom, with what class, through data lines or
+the fallback lock, with a minimal witness interleaving — plus convoy
+(lemming) cycles and the worst-case fallback serialization depth.
+"""
+
+from .analyze import ModelCheckAnalysis, ScenarioStats, analyze_mc
+from .explore import (
+    Exploration,
+    System,
+    brute_enumerate,
+    brute_explore,
+    canonical_trace,
+    dpor_explore,
+)
+from .graph import AbortEdge, AbortGraph, find_convoy_cycles, merge_explorations
+from .transition import (
+    MCLimits,
+    Scenario,
+    Step,
+    TxnProc,
+    lower_scenarios,
+    lower_txn,
+)
+
+__all__ = [
+    "AbortEdge",
+    "AbortGraph",
+    "Exploration",
+    "MCLimits",
+    "ModelCheckAnalysis",
+    "Scenario",
+    "ScenarioStats",
+    "Step",
+    "System",
+    "TxnProc",
+    "analyze_mc",
+    "brute_enumerate",
+    "brute_explore",
+    "canonical_trace",
+    "dpor_explore",
+    "find_convoy_cycles",
+    "lower_scenarios",
+    "lower_txn",
+    "merge_explorations",
+]

@@ -1,0 +1,211 @@
+"""Top-level model-checking pass: lower, explore, build the graph,
+emit findings.
+
+``analyze_mc`` is what ``lint.analyze_workload(mc=True)`` calls.  Every
+scenario is explored with DPOR; the 2-transaction ``verify`` scenarios
+are *also* explored by the brute-force reference, and the two must
+produce the identical abort graph — the per-scenario ``verified`` flag
+(and the DPOR-vs-brute interleaving counts backing the reduction ratio)
+are carried into reports and the crossval pane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..ir import ProgramIR
+from ..lint import Finding, _finding
+from ..summarize import WorkloadSummary
+from .explore import System, brute_explore, dpor_explore
+from .graph import AbortGraph, merge_explorations
+from .transition import MCLimits, lower_scenarios
+
+
+@dataclass
+class ScenarioStats:
+    """Exploration accounting for one scenario."""
+
+    key: str
+    sites: tuple[int, ...]
+    n_txns: int
+    dpor_executions: int
+    dpor_complete: bool
+    brute_executions: int | None = None
+    brute_complete: bool | None = None
+    #: DPOR and brute force produced the identical abort graph (verify
+    #: scenarios only; None where brute force did not run)
+    verified: bool | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "sites": [hex(s) for s in self.sites],
+            "n_txns": self.n_txns,
+            "dpor_executions": self.dpor_executions,
+            "dpor_complete": self.dpor_complete,
+            "brute_executions": self.brute_executions,
+            "brute_complete": self.brute_complete,
+            "verified": self.verified,
+        }
+
+
+@dataclass
+class ModelCheckAnalysis:
+    """Everything the model checker derived for one workload."""
+
+    workload: str
+    graph: AbortGraph
+    findings: list[Finding] = field(default_factory=list)
+    scenarios: list[ScenarioStats] = field(default_factory=list)
+    #: summed over verify scenarios (where both explorers ran)
+    interleavings_dpor: int = 0
+    interleavings_brute: int = 0
+    truncated: bool = False
+
+    @property
+    def reduction_ratio(self) -> float:
+        if self.interleavings_dpor <= 0:
+            return 1.0
+        return self.interleavings_brute / self.interleavings_dpor
+
+    @property
+    def all_verified(self) -> bool:
+        return all(s.verified for s in self.scenarios
+                   if s.verified is not None)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "graph": self.graph.to_dict(),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "interleavings_dpor": self.interleavings_dpor,
+            "interleavings_brute": self.interleavings_brute,
+            "reduction_ratio": round(self.reduction_ratio, 2),
+            "all_verified": self.all_verified,
+            "truncated": self.truncated,
+        }
+
+
+def analyze_mc(ir: ProgramIR, ws: WorkloadSummary,
+               limits: MCLimits | None = None) -> ModelCheckAnalysis:
+    """Model-check one workload's lowered scenarios."""
+    limits = limits or MCLimits()
+    model = lower_scenarios(ir, ws, limits)
+    site_names = {site: s.name for site, s in ws.sections.items()}
+
+    per_scenario = []
+    stats: list[ScenarioStats] = []
+    max_depth = 0
+    n_dpor = n_brute = 0
+    truncated = model.dropped > 0
+    for sc in model.scenarios:
+        system = System(sc, retry_bound=limits.retry_bound)
+        dpor = dpor_explore(system, max_executions=limits.max_executions)
+        per_scenario.append((sc.key, dpor.edges))
+        max_depth = max(max_depth, dpor.max_depth)
+        st = ScenarioStats(
+            key=sc.key,
+            sites=tuple(sorted({t.site for t in sc.txns})),
+            n_txns=len(sc.txns),
+            dpor_executions=dpor.executions,
+            dpor_complete=dpor.complete,
+        )
+        if not dpor.complete:
+            truncated = True
+        if sc.verify:
+            brute = brute_explore(system, max_states=limits.max_states)
+            max_depth = max(max_depth, brute.max_depth)
+            st.brute_executions = brute.executions
+            st.brute_complete = brute.complete
+            st.verified = (brute.complete and dpor.complete
+                           and dpor.edge_keys() == brute.edge_keys())
+            if brute.complete and dpor.complete:
+                n_dpor += dpor.executions
+                n_brute += brute.executions
+            else:
+                truncated = True
+        stats.append(st)
+
+    graph = merge_explorations(per_scenario, site_names, max_depth)
+    analysis = ModelCheckAnalysis(
+        workload=ir.workload,
+        graph=graph,
+        scenarios=stats,
+        interleavings_dpor=n_dpor,
+        interleavings_brute=n_brute,
+        truncated=truncated,
+    )
+    analysis.findings = _mc_findings(graph, ws)
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# findings
+# ---------------------------------------------------------------------------
+
+
+def _site_name(graph: AbortGraph, site: int) -> str:
+    return graph.site_names.get(site, hex(site))
+
+
+def _mc_findings(graph: AbortGraph, ws: WorkloadSummary) -> list[Finding]:
+    findings: list[Finding] = []
+
+    for cycle in graph.convoy_cycles:
+        names = [_site_name(graph, s) for s in cycle]
+        lock_edges = [e for e in graph.who_aborts_whom()
+                      if e.via_lock and e.aborter_site in cycle
+                      and e.victim_site in cycle]
+        witness = lock_edges[0].witness if lock_edges else ()
+        if len(cycle) == 1:
+            msg = (
+                f"convoy cycle at '{names[0]}': one thread's fallback-lock "
+                f"acquisition aborts the other threads' speculation, driving "
+                f"them to the fallback in turn (lemming effect)"
+            )
+        else:
+            ring = " -> ".join([*names, names[0]])
+            msg = (
+                f"convoy cycle across sections {ring}: fallback-lock "
+                f"acquisitions abort each other's speculation in a cycle "
+                f"(lemming effect)"
+            )
+        findings.append(_finding(
+            "convoy-cycle", msg,
+            sites=tuple(cycle), sections=tuple(names), witness=witness,
+            cycle=[hex(s) for s in cycle],
+        ))
+
+    data_pairs = graph.predicted_pairs(via_lock=False)
+    for a, b in sorted(data_pairs):
+        if a == b or (b, a) in data_pairs:
+            continue
+        na, nb = _site_name(graph, a), _site_name(graph, b)
+        findings.append(_finding(
+            "asymmetric-abort-dominance",
+            f"'{na}' dooms '{nb}' on data conflicts in every explored "
+            f"interleaving but never the reverse — under requester-wins "
+            f"arbitration '{nb}' absorbs the aborts and risks starvation",
+            sites=(a, b), sections=(na, nb),
+            witness=next(
+                (e.witness for e in graph.who_aborts_whom()
+                 if not e.via_lock and (e.aborter_site, e.victim_site) == (a, b)),
+                ()),
+        ))
+
+    depth = graph.max_serialization_depth
+    if depth >= 2:
+        lock_sites = sorted(
+            {e.aborter_site for e in graph.who_aborts_whom() if e.via_lock}
+            | {e.victim_site for e in graph.who_aborts_whom() if e.via_lock})
+        names = [_site_name(graph, s) for s in lock_sites]
+        findings.append(_finding(
+            "fallback-serialization-depth",
+            f"worst-case fallback serialization depth {depth}: some "
+            f"interleaving queues {depth} threads behind the global lock, "
+            f"serializing sections {', '.join(repr(n) for n in names)}",
+            sites=tuple(lock_sites), sections=tuple(names),
+            witness=(), depth=depth,
+        ))
+    return findings

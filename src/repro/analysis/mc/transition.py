@@ -1,0 +1,441 @@
+"""Lowering symbolic summaries to small-step transition systems.
+
+The model checker does not re-execute workload code.  It consumes the
+per-transaction symbolic summaries the analyzer already computes — the
+complete line footprints and the ordered (but capped) access trace of a
+representative outermost :class:`~repro.analysis.ir.RegionInstance` per
+(TM_BEGIN site, thread) — and lowers each into a :class:`TxnProc`: a
+deterministic sequential process whose steps are *first touches* of
+cache lines, plus self-dooming capacity/sync events placed where the
+engine's budgets would fire.
+
+Lowering is an abstraction, and it is deliberately an
+**over**-approximation on the interaction-relevant state:
+
+* every line a transaction shares conflictingly with a co-scenario
+  transaction is guaranteed to be modeled (the selection below keeps at
+  least one conflicting line per co-thread pair even when the per-class
+  caps bite), so no cross-transaction abort edge can be missed;
+* private and benign read-shared lines are sampled up to small caps —
+  they cannot cause aborts, but keeping a few makes the independence
+  relation non-trivial (DPOR has something real to prune) and keeps
+  capacity positions honest;
+* capacity dooming is positioned by replaying the engine's exact
+  read/write-set budgets (line counts + write-set associativity) over
+  the *full* first-touch sequence, then mapped to the kept-step index;
+  nesting overflow dooms at the end of the kept steps (the nested begin
+  position is not in the trace — later dooming only *adds* interleavings
+  where the victim holds more lines, which over-approximates edges);
+* unfriendly ops (syscalls, barriers, explicit aborts) become ``sync``
+  steps at their traced position.
+
+Scenarios bound the concurrency: same-site scenarios exercise convoys
+among the threads that actually execute the site; cross-site pairs are
+built only where the footprints overlap conflictingly or one side can
+doom itself into the lock fallback (the only ways two sites can
+interact).  ``verify`` scenarios are 2-transaction variants lowered
+with tighter caps — small enough for the brute-force reference explorer
+to finish, which is what the DPOR-equivalence check runs against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...sim.config import MachineConfig, line_of
+from ...sim.program import OP_CAS, OP_LOAD, OP_STORE
+from ..ir import ProgramIR, RegionInstance
+from ..summarize import WorkloadSummary
+
+#: step kinds
+READ = "r"
+WRITE = "w"
+SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One small step of a lowered transaction: a first-touch access
+    (``r``/``w`` of a cache line) or a self-dooming unfriendly op."""
+
+    kind: str  # READ | WRITE | SYNC
+    line: int  # cache line (-1 for SYNC)
+    ip: int    # instruction address for witnesses
+
+
+@dataclass(frozen=True)
+class MCLimits:
+    """Exploration bounds.  Defaults keep every micro workload tractable."""
+
+    max_txns: int = 3            # concurrent transactions per scenario
+    retry_bound: int = 1         # modeled retries before lock fallback
+    max_conflict_lines: int = 8  # conflicting shared lines kept per txn
+    max_benign_lines: int = 2    # read/read shared lines kept per txn
+    max_private_lines: int = 2   # unshared lines kept per txn
+    max_scenarios: int = 24
+    max_states: int = 200_000        # brute state-graph budget / scenario
+    max_executions: int = 20_000     # DPOR execution budget / scenario
+    # tighter lowering for the brute-vs-DPOR verification scenarios
+    verify_conflict_lines: int = 3
+    verify_benign_lines: int = 1
+    verify_private_lines: int = 1
+
+
+@dataclass(frozen=True)
+class TxnProc:
+    """A lowered transaction: one deterministic sequential process."""
+
+    tid: int
+    site: int
+    name: str
+    steps: tuple[Step, ...]
+    #: self-doom with a persistent capacity abort once this many steps
+    #: have executed (None = fits the budgets)
+    capacity_at: int | None
+    #: modeled data footprint (lines of the kept steps)
+    fp_read: frozenset[int]
+    fp_write: frozenset[int]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One bounded concurrent composition of lowered transactions."""
+
+    key: str
+    txns: tuple[TxnProc, ...]
+    lock_line: int
+    #: 2-txn scenario lowered tightly for the brute-force cross-check
+    verify: bool = False
+
+
+@dataclass
+class LoweredModel:
+    """All scenarios lowered from one workload's summaries."""
+
+    scenarios: list[Scenario] = field(default_factory=list)
+    #: scenarios dropped by ``max_scenarios`` (coverage was truncated)
+    dropped: int = 0
+
+
+# ---------------------------------------------------------------------------
+# per-region first-touch extraction
+# ---------------------------------------------------------------------------
+
+
+def _first_touches(region: RegionInstance) -> list[tuple[str, int, int]]:
+    """Ordered distinct (mode, line, ip) first touches of ``region``.
+
+    The trace is capped (``max_region_trace``), but the footprint sets
+    are complete: lines the trace never showed are appended at the end
+    in sorted order (their true position is unknown; last is the
+    conservative choice for capacity placement — budgets fire no later
+    than they would with the true order).
+    """
+    seen: set[tuple[str, int]] = set()
+    out: list[tuple[str, int, int]] = []
+    for kind, ip, addr in region.trace:
+        if addr is None:
+            continue
+        line = line_of(addr)
+        if kind == OP_LOAD:
+            modes: tuple[str, ...] = (READ,)
+        elif kind == OP_STORE:
+            modes = (WRITE,)
+        elif kind == OP_CAS:
+            # the engine arbitrates a CAS as a write and tracks both sets
+            modes = (READ, WRITE)
+        else:
+            continue
+        for mode in modes:
+            if (mode, line) not in seen:
+                seen.add((mode, line))
+                out.append((mode, line, ip))
+    for mode, lines in ((READ, sorted(region.read_lines())),
+                        (WRITE, sorted(region.write_lines()))):
+        for line in lines:
+            if (mode, line) not in seen:
+                seen.add((mode, line))
+                out.append((mode, line, region.site))
+    return out
+
+
+def _capacity_position(touches: list[tuple[str, int, int]],
+                       cfg: MachineConfig, n_sets: int) -> int | None:
+    """Index of the first touch that crosses an engine budget, if any.
+
+    Replays exactly :meth:`TsxEngine.track_read`/``track_write``: read
+    lines against ``rset_lines``, write lines against ``wset_lines`` and
+    per-set associativity (``line % n_sets`` vs ``wset_assoc``).
+    """
+    n_read = 0
+    n_write = 0
+    by_set: dict[int, int] = {}
+    for i, (mode, line, _ip) in enumerate(touches):
+        if mode == READ:
+            n_read += 1
+            if n_read > cfg.rset_lines:
+                return i
+        else:
+            n_write += 1
+            set_idx = line % n_sets
+            ways = by_set.get(set_idx, 0) + 1
+            by_set[set_idx] = ways
+            if n_write > cfg.wset_lines or ways > cfg.wset_assoc:
+                return i
+    return None
+
+
+def _sync_position(region: RegionInstance) -> tuple[int, int, str] | None:
+    """(first-touch count, ip, detail) of the first unfriendly op.
+
+    Walks the trace counting distinct first touches until the first
+    unfriendly op's ip; if the op never made the capped trace, the sync
+    step lands after every touch (conservatively late).
+    """
+    if not region.unfriendly:
+        return None
+    unfriendly_ips = {ip for (_op, _detail, ip) in region.unfriendly}
+    first = region.unfriendly[0]
+    seen: set[tuple[str, int]] = set()
+    count = 0
+    for kind, ip, addr in region.trace:
+        if ip in unfriendly_ips and addr is None and kind not in (
+                OP_LOAD, OP_STORE, OP_CAS):
+            return count, ip, first[0]
+        if addr is None:
+            continue
+        line = line_of(addr)
+        if kind == OP_LOAD:
+            modes: tuple[str, ...] = (READ,)
+        elif kind == OP_STORE:
+            modes = (WRITE,)
+        elif kind == OP_CAS:
+            modes = (READ, WRITE)
+        else:
+            continue
+        for mode in modes:
+            if (mode, line) not in seen:
+                seen.add((mode, line))
+                count += 1
+    total = len(_first_touches(region))
+    return total, first[2], first[0]
+
+
+# ---------------------------------------------------------------------------
+# line selection + lowering to TxnProc
+# ---------------------------------------------------------------------------
+
+
+def _classify_lines(
+    region: RegionInstance,
+    co_footprints: list[tuple[frozenset[int], frozenset[int]]],
+) -> tuple[dict[int, list[int]], set[int]]:
+    """Split the region's lines by interaction class vs the co-threads.
+
+    Returns ``(conflicting, benign_shared)`` where ``conflicting`` maps
+    each conflict-shared line to the co-thread indices it conflicts
+    with, and ``benign_shared`` holds read/read-only shared lines.
+    """
+    my_r = region.read_lines()
+    my_w = region.write_lines()
+    conflicting: dict[int, list[int]] = {}
+    benign: set[int] = set()
+    for line in sorted(my_r | my_w):
+        partners = []
+        shared = False
+        for j, (co_r, co_w) in enumerate(co_footprints):
+            if line in co_r or line in co_w:
+                shared = True
+            if (line in my_w and (line in co_r or line in co_w)) or (
+                    line in my_r and line in co_w):
+                partners.append(j)
+        if partners:
+            conflicting[line] = partners
+        elif shared:
+            benign.add(line)
+    return conflicting, benign
+
+
+def lower_txn(
+    region: RegionInstance,
+    name: str,
+    co_footprints: list[tuple[frozenset[int], frozenset[int]]],
+    cfg: MachineConfig,
+    n_sets: int,
+    max_nesting: int,
+    caps: tuple[int, int, int],
+) -> TxnProc:
+    """Lower one representative region against its scenario co-threads."""
+    max_conflict, max_benign, max_private = caps
+    touches = _first_touches(region)
+    conflicting, benign = _classify_lines(region, co_footprints)
+
+    # pick which LINES to model; every touch of a kept line is kept
+    kept_lines: set[int] = set()
+    covered: set[int] = set()  # co-thread indices with >= 1 kept conflict
+    n_conflict = n_benign = n_private = 0
+    for _mode, line, _ip in touches:
+        if line in kept_lines:
+            continue
+        partners = conflicting.get(line)
+        if partners is not None:
+            fresh = [j for j in partners if j not in covered]
+            if n_conflict < max_conflict or fresh:
+                kept_lines.add(line)
+                n_conflict += 1
+                covered.update(partners)
+        elif line in benign:
+            if n_benign < max_benign:
+                kept_lines.add(line)
+                n_benign += 1
+        elif n_private < max_private:
+            kept_lines.add(line)
+            n_private += 1
+
+    cap_pos = _capacity_position(touches, cfg, n_sets)
+    if cap_pos is None and region.max_depth > max_nesting:
+        cap_pos = len(touches)  # nesting overflow: persistent, placed late
+    sync = _sync_position(region)
+
+    steps: list[Step] = []
+    capacity_at: int | None = None
+    for i, (mode, line, ip) in enumerate(touches):
+        if sync is not None and sync[0] == i:
+            steps.append(Step(SYNC, -1, sync[1]))
+            sync = None
+        if line in kept_lines:
+            steps.append(Step(mode, line, ip))
+        if cap_pos is not None and i == cap_pos:
+            capacity_at = len(steps)
+    if sync is not None:  # sync positioned at/after the end of the touches
+        steps.append(Step(SYNC, -1, sync[1]))
+    if cap_pos is not None and cap_pos >= len(touches):
+        capacity_at = len(steps)
+
+    fp_read = frozenset(s.line for s in steps if s.kind == READ)
+    fp_write = frozenset(s.line for s in steps if s.kind == WRITE)
+    return TxnProc(
+        tid=region.tid,
+        site=region.site,
+        name=name,
+        steps=tuple(steps),
+        capacity_at=capacity_at,
+        fp_read=fp_read,
+        fp_write=fp_write,
+    )
+
+
+# ---------------------------------------------------------------------------
+# scenario enumeration
+# ---------------------------------------------------------------------------
+
+
+def _footprint(region: RegionInstance) -> tuple[frozenset[int], frozenset[int]]:
+    return frozenset(region.read_lines()), frozenset(region.write_lines())
+
+
+def _conflict_overlap(a: tuple[frozenset[int], frozenset[int]],
+                      b: tuple[frozenset[int], frozenset[int]]) -> bool:
+    return bool((a[1] & (b[0] | b[1])) | (a[0] & b[1]))
+
+
+def _can_doom_self(region: RegionInstance, cfg: MachineConfig,
+                   n_sets: int) -> bool:
+    """Can this region reach the lock fallback without any peer's help?"""
+    if region.unfriendly:
+        return True
+    if region.max_depth > cfg.max_nesting:
+        return True
+    return _capacity_position(_first_touches(region), cfg, n_sets) is not None
+
+
+def lower_scenarios(ir: ProgramIR, ws: WorkloadSummary,
+                    limits: MCLimits | None = None) -> LoweredModel:
+    """Enumerate and lower all bounded scenarios for one workload."""
+    limits = limits or MCLimits()
+    cfg = ws.config
+    n_sets = ws.n_sets
+    lock_line = line_of(ir.lock_addr)
+
+    # representative outermost region per (site, tid): the first one
+    reps: dict[int, dict[int, RegionInstance]] = {}
+    for thread in ir.threads:
+        for region in thread.regions:
+            if region.depth != 1:
+                continue
+            reps.setdefault(region.site, {}).setdefault(region.tid, region)
+
+    fps = {
+        (site, tid): _footprint(region)
+        for site, by_tid in reps.items()
+        for tid, region in by_tid.items()
+    }
+    names = {site: ws.sections[site].name if site in ws.sections else hex(site)
+             for site in reps}
+    can_doom = {
+        site: any(_can_doom_self(r, cfg, n_sets) for r in by_tid.values())
+        for site, by_tid in reps.items()
+    }
+
+    graph_caps = (limits.max_conflict_lines, limits.max_benign_lines,
+                  limits.max_private_lines)
+    verify_caps = (limits.verify_conflict_lines, limits.verify_benign_lines,
+                   limits.verify_private_lines)
+
+    def build(key: str, members: list[tuple[int, int]], caps: tuple[int, int, int],
+              verify: bool) -> Scenario:
+        co = [fps[m] for m in members]
+        txns = tuple(
+            lower_txn(
+                reps[site][tid], names[site],
+                [f for j, f in enumerate(co) if j != i],
+                cfg, n_sets, cfg.max_nesting, caps,
+            )
+            for i, (site, tid) in enumerate(members)
+        )
+        return Scenario(key=key, txns=txns, lock_line=lock_line, verify=verify)
+
+    scenarios: list[Scenario] = []
+
+    # same-site scenarios: the threads that actually run the site
+    for site in sorted(reps):
+        tids = sorted(reps[site])
+        if len(tids) < 2:
+            continue
+        members2 = [(site, tids[0]), (site, tids[1])]
+        scenarios.append(build(f"site:{site:#x}", members2, verify_caps, True))
+        k = min(len(tids), limits.max_txns)
+        if k > 2:
+            members = [(site, t) for t in tids[:k]]
+            scenarios.append(
+                build(f"convoy:{site:#x}x{k}", members, graph_caps, False))
+
+    # cross-site pairs: only where the sites can interact
+    sites = sorted(reps)
+    for i, a in enumerate(sites):
+        for b in sites[i + 1:]:
+            chosen: tuple[int, int] | None = None
+            fallback_pair: tuple[int, int] | None = None
+            for ta in sorted(reps[a]):
+                for tb in sorted(reps[b]):
+                    if ta == tb:
+                        continue
+                    if fallback_pair is None:
+                        fallback_pair = (ta, tb)
+                    if _conflict_overlap(fps[(a, ta)], fps[(b, tb)]):
+                        chosen = (ta, tb)
+                        break
+                if chosen:
+                    break
+            if chosen is None and (can_doom[a] or can_doom[b]):
+                chosen = fallback_pair
+            if chosen is None:
+                continue
+            members2 = [(a, chosen[0]), (b, chosen[1])]
+            scenarios.append(
+                build(f"pair:{a:#x}:{b:#x}", members2, verify_caps, True))
+
+    scenarios.sort(key=lambda s: s.key)
+    dropped = max(0, len(scenarios) - limits.max_scenarios)
+    return LoweredModel(scenarios=scenarios[:limits.max_scenarios],
+                        dropped=dropped)

@@ -40,6 +40,7 @@ from .summarize import SectionSummary, WorkloadSummary
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime
     from .dataflow import DataflowAnalysis
+    from .mc import ModelCheckAnalysis
     from .races import RaceAnalysis
 
 #: leaves the static predictor emits per site and crossval scores.
@@ -330,11 +331,31 @@ def _apply_dataflow_evidence(
     pred.rationale = tuple(why for _, why in keep)
 
 
+def _apply_mc_evidence(pred: SitePrediction, mc: "ModelCheckAnalysis") -> None:
+    """Widen one site's worst-case envelope with graph-reachable classes.
+
+    The abort graph is reachability evidence — *some* interleaving
+    inflicts the class — which is exactly worst-case-envelope strength,
+    not every-attempt strength, so the leaves (point predictions scored
+    against the dominant dynamic outcome) stay untouched.
+    """
+    reachable = mc.graph.abort_classes(pred.site)
+    extra = sorted(c for c in reachable if c not in pred.worst_case)
+    if not extra:
+        return
+    pred.worst_case = pred.worst_case + tuple(extra)
+    pred.note = (pred.note + "; " if pred.note else "") + (
+        "abort graph: some explored interleaving inflicts "
+        + ", ".join(extra) + " abort(s) on this section"
+    )
+
+
 def predict_workload(
     ws: WorkloadSummary,
     thresholds: Thresholds | None = None,
     races: "RaceAnalysis | None" = None,
     dataflow: "DataflowAnalysis | None" = None,
+    mc: "ModelCheckAnalysis | None" = None,
 ) -> StaticPrediction:
     """Map every TM_BEGIN site of a summarized workload onto tree leaves.
 
@@ -343,7 +364,9 @@ def predict_workload(
     dynamic tree will actually take instead of a diluted overhead leaf.
     ``dataflow`` (the fixpoint pass) attaches best/worst-case abort-class
     envelopes and upgrades observed conditional overflows to the
-    ``capacity-overflow`` leaf.
+    ``capacity-overflow`` leaf.  ``mc`` (the bounded model checker)
+    widens worst-case envelopes with every abort class the static abort
+    graph can inflict on a site.
     """
     th = thresholds or Thresholds()
     sp = StaticPrediction(workload=ws.workload, incomplete=ws.truncated)
@@ -384,6 +407,8 @@ def predict_workload(
             _apply_race_evidence(pred, race_sites[s.site])
         if dataflow is not None:
             _apply_dataflow_evidence(pred, dataflow, overflow_sites)
+        if mc is not None:
+            _apply_mc_evidence(pred, mc)
         if ws.truncated:
             pred.incomplete = True
             pred.note = INCOMPLETE_NOTE

@@ -161,6 +161,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="statically predict Figure 1 decision-tree leaves "
                         "per TM_BEGIN site; with cross-validation, score "
                         "them against the dynamic traversal")
+    p.add_argument("--mc", action="store_true",
+                   help="run the bounded interleaving model checker "
+                        "(repro.analysis.mc): DPOR over 2-4 concurrent "
+                        "transactions, emitting the static abort graph "
+                        "(who-aborts-whom, convoy cycles, fallback "
+                        "serialization depth) with witness interleavings")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="suppress findings recorded in this baseline JSON "
+                        "(see --write-baseline); only *new* findings "
+                        "count toward --fail-on")
+    p.add_argument("--write-baseline", action="store_true",
+                   dest="write_baseline",
+                   help="(re)write --baseline PATH from the current "
+                        "findings instead of checking against it")
     p.add_argument("--sarif", metavar="PATH",
                    help="also write every finding as a SARIF 2.1.0 log "
                         "(GitHub code-scanning compatible)")
@@ -569,6 +583,27 @@ def _check_names(tokens: list[str]) -> list[str]:
     return list(dict.fromkeys(names))
 
 
+def _finding_key(f) -> tuple:
+    """The identity a baseline suppresses on: code + sites + message.
+
+    The message carries the detail (line addresses, class names), so a
+    finding that moves or changes meaning stops matching the baseline
+    and fails the check again — suppressions don't rot silently.
+    """
+    return (f.code, tuple(f.sites), f.message)
+
+
+def _load_baseline(path: str) -> dict[str, set[tuple]]:
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return {
+        wl: {(e["code"], tuple(e["sites"]), e["message"]) for e in entries}
+        for wl, entries in doc.get("workloads", {}).items()
+    }
+
+
 def cmd_check(args) -> int:
     import json
 
@@ -577,6 +612,7 @@ def cmd_check(args) -> int:
         render_analysis,
         render_crossval,
         render_dataflow,
+        render_mc,
         render_prediction,
         render_races,
     )
@@ -584,11 +620,25 @@ def cmd_check(args) -> int:
     dataflow_cache = None
     if args.incremental:
         from .analysis.dataflow import SummaryCache
+        from .obs.metrics import MetricsRegistry
 
         root = (args.cache_dir
                 or os.environ.get("REPRO_CACHE_DIR")
                 or ".repro-cache")
-        dataflow_cache = SummaryCache(ResultStore(root))
+        dataflow_cache = SummaryCache(ResultStore(root),
+                                      metrics=MetricsRegistry())
+
+    baseline: dict[str, set[tuple]] = {}
+    if args.baseline and not args.write_baseline:
+        try:
+            baseline = _load_baseline(args.baseline)
+        except FileNotFoundError:
+            _log.error(f"baseline file not found: {args.baseline} "
+                       "(generate it with --write-baseline)")
+            return 2
+    if args.write_baseline and not args.baseline:
+        _log.error("--write-baseline needs --baseline PATH")
+        return 2
 
     names = _check_names(args.workloads)
     threshold = severity_rank(args.fail_on)
@@ -596,6 +646,8 @@ def cmd_check(args) -> int:
     unexpected: list[str] = []
     docs: dict = {}
     reports: list = []
+    baseline_out: dict[str, list] = {}
+    n_suppressed = 0
     for i, name in enumerate(names):
         try:
             cls = htmbench.WORKLOADS.get(name)
@@ -605,7 +657,8 @@ def cmd_check(args) -> int:
                                       races=args.races,
                                       predict=args.predict_tree,
                                       dataflow=not args.no_dataflow,
-                                      dataflow_cache=dataflow_cache)
+                                      dataflow_cache=dataflow_cache,
+                                      mc=args.mc)
             reports.append(report)
             cv = None
             cv_artifact = None
@@ -623,17 +676,38 @@ def cmd_check(args) -> int:
                        f"{type(exc).__name__}: {exc}")
             _log.debug("traceback:", exc_info=True)
             continue
-        surprises = sorted({
+        base_keys = baseline.get(name, set())
+        new_findings = [
+            f for f in report.findings
+            if severity_rank(f.severity) >= threshold
+            and f.code not in expected
+            and _finding_key(f) not in base_keys
+        ]
+        suppressed = sorted({
             f.code for f in report.findings
             if severity_rank(f.severity) >= threshold
             and f.code not in expected
+            and _finding_key(f) in base_keys
         })
+        n_suppressed += len(suppressed)
+        surprises = sorted({f.code for f in new_findings})
+        if args.write_baseline:
+            baseline_out[name] = [
+                {"code": f.code, "sites": list(f.sites),
+                 "message": f.message}
+                for f in report.findings
+                if severity_rank(f.severity) >= threshold
+                and f.code not in expected
+            ]
+            surprises = []
         if surprises:
             unexpected.append(name)
         if args.as_json:
             entry = report.to_dict()
             entry["expected_findings"] = sorted(expected)
             entry["unexpected_codes"] = surprises
+            if args.baseline:
+                entry["suppressed_codes"] = suppressed
             if cv is not None:
                 entry["crossval"] = cv.to_dict()
             if cv_artifact is not None:
@@ -645,11 +719,16 @@ def cmd_check(args) -> int:
             _log.info(render_analysis(report))
             if expected:
                 _log.info(f"documented findings  : {sorted(expected)}")
+            if suppressed:
+                _log.info(f"suppressed by baseline: {suppressed}")
             if surprises:
                 _log.info(f"UNEXPECTED (>= {args.fail_on}): {surprises}")
             if report.dataflow is not None:
                 _log.info("")
                 _log.info(render_dataflow(report.dataflow))
+            if report.mc is not None:
+                _log.info("")
+                _log.info(render_mc(report.mc))
             if report.races is not None:
                 _log.info("")
                 _log.info(render_races(report.races))
@@ -662,11 +741,30 @@ def cmd_check(args) -> int:
             if cv_artifact is not None:
                 _log.info(f"replay artifact: {cv_artifact}")
     if dataflow_cache is not None:
-        # status goes to stderr so --json stdout stays machine-parseable
+        # status goes to stderr so --json stdout stays machine-parseable;
+        # CI greps this exact line, keep its shape stable
         st = dataflow_cache.stats()
         print(f"[dataflow cache] hits={st['hits']} "
               f"misses={st['misses']} hit-rate={st['hit_rate']:.0%}",
               file=sys.stderr)
+        if args.verbose and dataflow_cache.metrics is not None:
+            for line in format_snapshot(
+                    dataflow_cache.metrics.snapshot()).splitlines():
+                print(f"[dataflow cache] {line}", file=sys.stderr)
+    if args.write_baseline:
+        doc = {"version": 1, "fail_on": args.fail_on,
+               "workloads": baseline_out}
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        n_base = sum(len(v) for v in baseline_out.values())
+        # status goes to stderr so --json stdout stays machine-parseable
+        print(f"baseline written to {args.baseline} "
+              f"({n_base} finding(s) across {len(baseline_out)} "
+              f"workload(s))", file=sys.stderr)
+    elif args.baseline and not args.as_json:
+        _log.info(f"baseline {args.baseline}: {n_suppressed} finding "
+                  f"code(s) suppressed")
     if args.sarif:
         from .analysis import to_sarif
 

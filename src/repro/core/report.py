@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..analysis.crossval import CrossValidation
     from ..analysis.dataflow import DataflowAnalysis
     from ..analysis.lint import AnalysisReport
+    from ..analysis.mc import ModelCheckAnalysis
     from ..analysis.predict import StaticPrediction
     from ..analysis.races import RaceAnalysis
     from ..obs.selfprof import SelfDiagnostics
@@ -336,6 +337,59 @@ def render_prediction(sp: "StaticPrediction") -> str:
     return "\n".join(lines)
 
 
+def render_mc(mc: "ModelCheckAnalysis") -> str:
+    """The model-checker pane: the static abort graph and its evidence."""
+    g = mc.graph
+    lines = [f"=== bounded model checking: {mc.workload} ==="]
+    if mc.truncated:
+        lines.append("  (exploration truncated at the execution budget; "
+                     "the graph is a lower bound)")
+    verified = "yes" if mc.all_verified else "NO"
+    lines.append(
+        f"interleavings        : {mc.interleavings_dpor} explored by DPOR "
+        f"vs {mc.interleavings_brute} brute-force "
+        f"({mc.reduction_ratio:.1f}x reduction), identical graphs: "
+        f"{verified}"
+    )
+    for st in mc.scenarios:
+        if st.verified:
+            mark = "ok"
+        elif st.brute_executions is None:
+            mark = "dpor-only" if st.dpor_complete else "truncated"
+        else:
+            mark = "MISMATCH"
+        lines.append(
+            f"  {st.key:28s} {st.n_txns} txn(s), "
+            f"{st.dpor_executions} execution(s) [{mark}]"
+        )
+    if not g.edges:
+        lines.append("abort graph          : empty — no interleaving "
+                     "aborts anything")
+        return "\n".join(lines)
+    lines.append(f"abort graph          : {len(g.edges)} edge(s)")
+    for e in g.edge_list():
+        aborter = (g.site_names.get(e.aborter_site,
+                                    f"{e.aborter_site:#x}")
+                   if e.aborter_site > 0 else "(self)")
+        victim = g.site_names.get(e.victim_site, f"{e.victim_site:#x}")
+        channel = "fallback lock" if e.via_lock else "data line"
+        lines.append(
+            f"  {aborter} --{e.cls}/{channel}--> {victim} "
+            f"({e.occurrences} occurrence(s), witness "
+            f"{len(e.witness)} step(s))"
+        )
+    for cycle in g.convoy_cycles:
+        names = " -> ".join(
+            g.site_names.get(s, f"{s:#x}") for s in cycle
+        )
+        lines.append(f"  CONVOY CYCLE: {names} (lemming effect)")
+    lines.append(
+        f"fallback serialization depth: {g.max_serialization_depth} "
+        "(worst threads queued behind the lock in any explored state)"
+    )
+    return "\n".join(lines)
+
+
 def render_crossval(cv: "CrossValidation") -> str:
     """The cross-validation pane: static predictions vs the dynamic run."""
     lines = [f"=== static vs dynamic cross-validation: {cv.workload} ==="]
@@ -409,6 +463,35 @@ def render_crossval(cv: "CrossValidation") -> str:
         else:
             lines.append("no leaf disagreements: the static predictor "
                          "reaches the traversal's leaves")
+    if cv.mc_checks:
+        ep, er = cv.mc_precision_recall()
+        lines.append("--- abort-graph edge agreement ---")
+        st = cv.mc_stats
+        lines.append(
+            f"edge micro P/R       : {ep:.1%}/{er:.1%} "
+            f"({st.get('interleavings_dpor', 0)} DPOR vs "
+            f"{st.get('interleavings_brute', 0)} brute interleavings, "
+            f"{st.get('reduction_ratio', 1.0):.1f}x)"
+        )
+        header = (f"  {'edge kind':10s} {'tp':>4s} {'fp':>4s} {'fn':>4s} "
+                  f"{'precision':>10s} {'recall':>8s}")
+        lines.append(header)
+        for kind, check in cv.mc_checks.items():
+            lines.append(
+                f"  {kind:10s} {check.tp:4d} {check.fp:4d} {check.fn:4d} "
+                f"{check.precision:10.1%} {check.recall:8.1%}"
+            )
+        for kind, check in cv.mc_checks.items():
+            for a, v in sorted(check.unscored_predicted):
+                lines.append(
+                    f"  unscored {kind} edge {a:#x} -> {v:#x}: predicted, "
+                    "but the oracle has no dynamic evidence either way"
+                )
+            for a, v in sorted(check.unscored_observed):
+                lines.append(
+                    f"  unscored {kind} edge {a:#x} -> {v:#x}: observed, "
+                    "but induced from outside the modeled transactions"
+                )
     return "\n".join(lines)
 
 

@@ -103,6 +103,22 @@ class TsxEngine:
         self.total_commits = 0
         self.total_aborts = 0
         self.aborts_by_reason: dict[str, int] = {}
+        #: who-aborts-whom ground truth: (aborter site, victim site,
+        #: on-the-lock-line) -> conflict dooms.  Like ``aborter_tid`` on
+        #: :class:`~repro.htm.status.AbortStatus`, this is *instrumentation*
+        #: ground truth — real hardware never reports it and the sampling
+        #: profiler never sees it; only oracles (crossval's abort-graph
+        #: pane) read it.  Plain dict bumps: no cycles, no RNG, so profiles
+        #: stay bit-identical with the bookkeeping on.
+        self.conflict_edges: dict[tuple[int, int, bool], int] = {}
+        #: cache line of the runtime's global fallback lock word (set by
+        #: the Simulator once the runtime exists; -1 = unknown)
+        self.lock_line = -1
+        #: per-tid TM_BEGIN call-site of the critical section the thread
+        #: is currently executing (set by the RTM runtime), covering the
+        #: fallback path where the thread aborts peers without being
+        #: transactional itself; absent = outside any section
+        self.cs_site_of: dict[int, int] = {}
 
     # ------------------------------------------------------------------ begin
 
@@ -160,10 +176,28 @@ class TsxEngine:
                 continue
             if requester_wins or me is None:
                 self.doom(other, AbortStatus(ABORT_CONFLICT, aborter_tid=tid))
+                self._record_edge(tid, me, other, line)
             else:
                 # responder-wins ablation: the requester's own txn dies
                 self.doom(me, AbortStatus(ABORT_CONFLICT, aborter_tid=other_tid))
+                self._record_edge(other_tid, other, me, line)
                 return
+
+    def _record_edge(self, aborter_tid: int, aborter_txn: Transaction | None,
+                     victim: Transaction, line: int) -> None:
+        """Bump the ground-truth who-aborts-whom edge for a conflict doom.
+
+        The aborter's site is its transaction's begin IP when it is
+        speculating, else the section it registered via ``cs_site_of``
+        (the fallback path), else 0 for a bare access outside any TM
+        section.  Never charges cycles or consumes RNG.
+        """
+        if aborter_txn is not None:
+            aborter_site = aborter_txn.begin_ip
+        else:
+            aborter_site = self.cs_site_of.get(aborter_tid, 0)
+        key = (aborter_site, victim.begin_ip, line == self.lock_line)
+        self.conflict_edges[key] = self.conflict_edges.get(key, 0) + 1
 
     def track_read(self, txn: Transaction, addr: int) -> None:
         """Add ``addr`` to the read set; dooms the txn on read-set overflow."""
@@ -256,6 +290,10 @@ class TsxEngine:
                 or txn.read_lines & other.write_lines
             ):
                 self.doom(other, AbortStatus(ABORT_CONFLICT, aborter_tid=txn.tid))
+                clash = (
+                    txn.write_lines & (other.read_lines | other.write_lines)
+                ) | (txn.read_lines & other.write_lines)
+                self._record_edge(txn.tid, txn, other, min(clash))
 
     # -------------------------------------------------------------- rollback
 

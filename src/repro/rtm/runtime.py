@@ -144,6 +144,12 @@ class RtmRuntime:
             return result
 
         # ---- prepare -------------------------------------------------------
+        # Register this thread's outermost section site with the engine's
+        # ground-truth bookkeeping: a fallback-path access that dooms a
+        # speculator gets attributed to this TM_BEGIN site even though the
+        # aborter holds no transaction.  Pure dict write — invisible to
+        # the application and the profiler.
+        htm.cs_site_of[ctx.tid] = callsite
         ctx.state_word = IN_CS | IN_OVERHEAD
         yield from ctx.compute(cfg.tm_begin_overhead)
 
@@ -224,6 +230,7 @@ class RtmRuntime:
                 break
 
         # ---- cleanup ---------------------------------------------------------
+        htm.cs_site_of.pop(ctx.tid, None)
         ctx.state_word = IN_CS | IN_OVERHEAD
         yield from ctx.compute(cfg.tm_end_overhead)
         ctx.state_word = 0

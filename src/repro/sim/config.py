@@ -157,7 +157,7 @@ class MachineConfig:
     #: max retained trace events per simulated thread (ring capacity)
     trace_capacity: int = 65536
 
-    def evolve(self, **kw) -> "MachineConfig":
+    def evolve(self, **kw: object) -> "MachineConfig":
         """Return a copy with the given fields replaced."""
         if "sample_periods" not in kw:
             kw["sample_periods"] = dict(self.sample_periods)

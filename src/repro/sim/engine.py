@@ -25,6 +25,7 @@ import heapq
 import random
 from dataclasses import dataclass, field
 from collections.abc import Sequence
+from typing import Any
 
 from ..htm.status import ABORT_INTERRUPT, ABORT_SYNC, AbortStatus
 # tsx / runtime are referenced through their modules (attribute lookup is
@@ -37,7 +38,7 @@ from ..pmu.counters import PmuBank
 from ..pmu.events import CYCLES, MEM_LOADS, MEM_STORES, RTM_ABORTED, RTM_COMMIT
 from ..pmu.sampling import Sample
 from ..rtm import runtime as _rtm_runtime
-from .config import MachineConfig
+from .config import MachineConfig, line_of
 from .errors import AbortSignal, SimDeadlock, SimError
 from .memory import Memory
 from .program import (
@@ -48,6 +49,7 @@ from .program import (
     OP_NOP,
     OP_STORE,
     OP_SYSCALL,
+    Barrier,
     SimFunction,
 )
 from .thread import ThreadContext
@@ -98,10 +100,10 @@ class Simulator:
         config: MachineConfig,
         programs: Sequence[Program] | None = None,
         seed: int = 0,
-        profiler=None,
+        profiler: Any = None,
         n_threads: int | None = None,
         obs: Observability | None = None,
-        recorder=None,
+        recorder: Any = None,
     ) -> None:
         if programs is None and n_threads is None:
             raise SimError("give either programs or n_threads")
@@ -120,6 +122,9 @@ class Simulator:
             ThreadContext(tid, self, config.lbr_size) for tid in range(count)
         ]
         self.rtm = _rtm_runtime.RtmRuntime(self)
+        # tag the fallback-lock line for the engine's ground-truth
+        # conflict-edge bookkeeping (subscription aborts vs data aborts)
+        self.htm.lock_line = line_of(self.rtm.lock.addr)
         self.profiler = profiler
         #: deterministic fault injection (None when the plan is absent or
         #: all-zero, so the fault-free engine pays only a pointer test)
@@ -367,7 +372,7 @@ class Simulator:
 
     # -------------------------------------------------------------- barriers
 
-    def _arrive_barrier(self, t: ThreadContext, bar) -> None:
+    def _arrive_barrier(self, t: ThreadContext, bar: Barrier) -> None:
         if self.htm.active.get(t.tid) is not None:
             # a barrier cannot complete speculatively
             txn = self.htm.active[t.tid]
@@ -422,7 +427,8 @@ class Simulator:
 
     # ------------------------------------------------------------------- PMU
 
-    def note_commit(self, ctx: ThreadContext, cs) -> None:
+    def note_commit(self, ctx: ThreadContext,
+                    cs: _rtm_runtime.CriticalSection) -> None:
         """Called by the RTM runtime when a transaction commits."""
         self._count(ctx, RTM_COMMIT, 1)
 

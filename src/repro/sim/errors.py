@@ -10,6 +10,11 @@ with ``xbegin`` on real TSX hardware.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..htm.status import AbortStatus
+
 
 class SimError(Exception):
     """Base class for misuse of the simulator API."""
@@ -32,7 +37,9 @@ class AbortSignal(Exception):
 
     __slots__ = ("status",)
 
-    def __init__(self, status) -> None:
+    status: "AbortStatus"
+
+    def __init__(self, status: "AbortStatus") -> None:
         super().__init__(status)
         self.status = status
 

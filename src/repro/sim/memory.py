@@ -10,6 +10,7 @@ allocator gives callers precise control over alignment and padding.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import Any
 
 from .config import CACHELINE, line_of, page_of
 
@@ -89,7 +90,7 @@ class Memory:
                 self.touched_pages.add(page)
         return base
 
-    def alloc_line(self, nbytes: int = CACHELINE, **kw) -> int:
+    def alloc_line(self, nbytes: int = CACHELINE, **kw: Any) -> int:
         """Allocate cacheline-aligned storage (one line by default).
 
         Padding data to its own line is the classic false-sharing fix; the
@@ -97,10 +98,11 @@ class Memory:
         """
         return self.alloc(nbytes, align=CACHELINE, **kw)
 
-    def alloc_words(self, nwords: int, **kw) -> int:
+    def alloc_words(self, nwords: int, **kw: Any) -> int:
         return self.alloc(nwords * WORD, **kw)
 
-    def alloc_array(self, nwords: int, *, line_aligned: bool = True, **kw) -> int:
+    def alloc_array(self, nwords: int, *, line_aligned: bool = True,
+                    **kw: Any) -> int:
         align = CACHELINE if line_aligned else WORD
         return self.alloc(nwords * WORD, align=align, **kw)
 

@@ -17,6 +17,7 @@ millions of instructions per run).
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Any
 
 # ---------------------------------------------------------------------------
 # opcodes (op tuples start with one of these single-character tags)
@@ -84,7 +85,7 @@ class SimFunction:
         self.base = base
         self.fid = fid
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         return self.func(*args, **kwargs)
 
     def __repr__(self) -> str:
@@ -159,7 +160,8 @@ class FunctionRegistry:
 REGISTRY = FunctionRegistry()
 
 
-def simfn(func: Callable = None, *, name: str | None = None):
+def simfn(func: Callable | None = None, *, name: str | None = None,
+          ) -> SimFunction | Callable[[Callable], SimFunction]:
     """Decorator registering a generator function as a simulated function.
 
     The decorated object is a :class:`SimFunction`; call it through

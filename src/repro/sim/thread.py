@@ -13,10 +13,12 @@ binary: their lines attribute to the innermost *visible* frame.
 from __future__ import annotations
 
 import sys
-from collections.abc import Iterator
+from collections.abc import Callable, Generator, Iterator
 from typing import Any, TYPE_CHECKING
 
+from ..pmu.counters import CounterBank
 from ..pmu.lbr import Lbr
+from .errors import AbortSignal
 from .program import (
     OP_BARRIER,
     OP_CAS,
@@ -30,6 +32,7 @@ from .program import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..htm.tsx import Transaction
     from .engine import Simulator
 
 #: synthetic call-site address of the thread root frame
@@ -37,6 +40,8 @@ THREAD_ROOT = 0
 
 #: a stack frame: [function, current_line, callsite_addr]
 Frame = list[Any]
+#: an instruction generator: yields op tuples, receives engine results
+OpGen = Generator[tuple[Any, ...], Any, Any]
 #: immutable snapshot of one frame
 FrameSnap = tuple[SimFunction, int, int]
 
@@ -75,7 +80,7 @@ class ThreadContext:
     def __init__(self, tid: int, sim: "Simulator", lbr_size: int) -> None:
         self.tid = tid
         self.sim = sim
-        self.rng = None  # seeded by the simulator
+        self.rng: Any = None  # random.Random, seeded by the simulator
         self.clock = 0
         self.stack: list[Frame] = []
         self.cur_ip = THREAD_ROOT
@@ -85,10 +90,10 @@ class ThreadContext:
         self.done = False
         self.blocked = False
         self.last_value: Any = None
-        self.pending_abort = None  # AbortSignal to deliver at next step
+        self.pending_abort: AbortSignal | None = None  # delivered at next step
         self.last_abort_weight = 0
         self.last_abort_eax = 0
-        self.counters = None  # CounterBank, attached when sampling is on
+        self.counters: CounterBank | None = None  # attached when sampling is on
         self.extra_cost = 0  # cycles injected by runtime hooks, folded in
         # by the engine at the end of the current step
 
@@ -115,7 +120,7 @@ class ThreadContext:
         return self.sim.htm.active.get(self.tid) is not None
 
     @property
-    def txn(self):
+    def txn(self) -> "Transaction | None":
         return self.sim.htm.active.get(self.tid)
 
     def _ip(self) -> int:
@@ -129,45 +134,45 @@ class ThreadContext:
 
     # ---------------------------------------------------------- instructions
 
-    def compute(self, cycles: int):
+    def compute(self, cycles: int) -> OpGen:
         """Burn ``cycles`` of pure computation."""
         self._ip()
         yield (OP_COMPUTE, cycles)
 
-    def load(self, addr: int):
+    def load(self, addr: int) -> OpGen:
         """Load the 8-byte word at ``addr``; returns its value."""
         self._ip()
         value = yield (OP_LOAD, addr)
         return value
 
-    def store(self, addr: int, value: int):
+    def store(self, addr: int, value: int) -> OpGen:
         """Store ``value`` to the 8-byte word at ``addr``."""
         self._ip()
         yield (OP_STORE, addr, value)
 
-    def cas(self, addr: int, expected: int, new: int):
+    def cas(self, addr: int, expected: int, new: int) -> OpGen:
         """Atomic compare-and-swap; returns True on success."""
         self._ip()
         ok = yield (OP_CAS, addr, expected, new)
         return ok
 
-    def syscall(self, kind: str = "write", cycles: int = 0):
+    def syscall(self, kind: str = "write", cycles: int = 0) -> OpGen:
         """An HTM-unfriendly operation (system call); aborts transactions."""
         self._ip()
         yield (OP_SYSCALL, kind, cycles)
 
-    def barrier(self, barrier: Barrier):
+    def barrier(self, barrier: Barrier) -> OpGen:
         """Block until all parties arrive."""
         self._ip()
         yield (OP_BARRIER, barrier)
 
-    def nop(self):
+    def nop(self) -> OpGen:
         self._ip()
         yield (OP_NOP,)
 
     # ----------------------------------------------------------------- calls
 
-    def call(self, fn: SimFunction, *args, **kwargs):
+    def call(self, fn: SimFunction, *args: Any, **kwargs: Any) -> OpGen:
         """Invoke a simulated function: visible to the stack and the LBR."""
         line = sys._getframe(1).f_lineno
         frame = self.stack[-1]
@@ -177,7 +182,7 @@ class ThreadContext:
         return result
 
     def _call_at(self, callsite: int, fn: SimFunction, args: tuple,
-                 kwargs: dict):
+                 kwargs: dict) -> OpGen:
         self.cur_ip = callsite
         self.lbr.push_call(callsite, fn.base, self.in_txn)
         self.stack.append([fn, 0, callsite])
@@ -192,7 +197,8 @@ class ThreadContext:
 
     # ------------------------------------------------------ critical sections
 
-    def atomic(self, body, name: str = None):
+    def atomic(self, body: Callable[[], Any],
+               name: str | None = None) -> OpGen:
         """Run ``body`` as a critical section (TM_BEGIN ... TM_END).
 
         ``body`` is a callable producing a fresh op generator per attempt;
@@ -218,7 +224,7 @@ class ThreadContext:
 
     # --------------------------------------------------------------- helpers
 
-    def add(self, addr: int, delta: int = 1):
+    def add(self, addr: int, delta: int = 1) -> OpGen:
         """Read-modify-write a word (two memory ops, non-atomic)."""
         value = yield from self.load(addr)
         yield from self.store(addr, value + delta)

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Regenerate tests/golden/crossval_baseline.json.
 
-Runs the full ``--races --predict-tree`` analysis plus dynamic
-cross-validation over every micro-suite workload and records both
-scoring panes.  Re-run after an *intentional* analyzer change:
+Runs the full ``--races --predict-tree --mc`` analysis plus dynamic
+cross-validation over every micro-suite workload and records all three
+scoring panes (abort-class, decision-tree leaf, abort-graph edge).  Re-run after an *intentional* analyzer change:
 
     PYTHONPATH=src python tests/golden/regen_crossval_baseline.py
 
@@ -26,7 +26,8 @@ def build() -> dict:
     doc = {
         "_comment": (
             "Golden cross-validation baseline over the micro suite "
-            "(analyze_workload(races=True, predict=True) + dynamic "
+            "(analyze_workload(races=True, predict=True, mc=True) "
+            "+ dynamic "
             "profile). Regenerate with this directory's "
             "regen_crossval_baseline.py after an intentional analyzer "
             "change; the leaf pane must stay >= the abort-class pane."
@@ -37,12 +38,15 @@ def build() -> dict:
     }
     for name in hb.workload_names("micro"):
         report = analyze_workload(
-            name, n_threads=N_THREADS, scale=SCALE, races=True, predict=True
+            name, n_threads=N_THREADS, scale=SCALE, races=True,
+            predict=True, mc=True,
         )
         cv = cross_validate(name, n_threads=N_THREADS, scale=SCALE,
                             report=report)
         cp, cr = cv.class_precision_recall()
         lp, lr = cv.leaf_precision_recall()
+        ep, er = cv.mc_precision_recall()
+        st = cv.mc_stats
         doc["workloads"][name] = {
             "agreement": round(cv.agreement, 4),
             "class_precision": round(cp, 4),
@@ -52,9 +56,17 @@ def build() -> dict:
             "leaf_recall": round(lr, 4),
             "leaf_cells": cv.leaf_cells,
             "envelope_consistency": round(cv.envelope_consistency, 4),
+            "edge_precision": round(ep, 4),
+            "edge_recall": round(er, 4),
+            "interleavings_dpor": st["interleavings_dpor"],
+            "interleavings_brute": st["interleavings_brute"],
+            "reduction_ratio": round(st["reduction_ratio"], 4),
+            "all_verified": st["all_verified"],
         }
         print(f"{name:24s} class P/R {cp:.2f}/{cr:.2f}  "
-              f"leaf P/R {lp:.2f}/{lr:.2f}  cells {cv.leaf_cells}  "
+              f"leaf P/R {lp:.2f}/{lr:.2f}  edge P/R {ep:.2f}/{er:.2f}  "
+              f"dpor/brute {st['interleavings_dpor']}/"
+              f"{st['interleavings_brute']}  "
               f"env {cv.envelope_consistency:.2f}")
     return doc
 

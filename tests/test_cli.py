@@ -239,6 +239,85 @@ class TestCheckCommand:
         assert rc == 2
         assert "analyzer crashed" in capsys.readouterr().err
 
+    def test_mc_pane_renders_the_abort_graph(self):
+        rc, out = run_cli("check", "micro_high_abort", "--static-only",
+                          "--mc", "--threads", "4", "--scale", "0.25")
+        assert rc == 0
+        assert "bounded model checking: micro_high_abort" in out
+        assert "identical graphs: yes" in out
+        assert "abort graph" in out
+        assert "CONVOY CYCLE" in out
+
+
+class TestCheckBaseline:
+    """--baseline suppression: a recorded finding stops failing the
+    build, a *new* one still does (the regression-ratchet workflow)."""
+
+    def _write(self, path):
+        # vacation's warning is real but undocumented: without a
+        # baseline this exact invocation exits 1 (see
+        # test_fail_on_undocumented_findings above)
+        rc, _ = run_cli("check", "vacation", "--static-only",
+                        "--fail-on", "warning",
+                        "--baseline", str(path), "--write-baseline",
+                        "--threads", "4", "--scale", "0.2")
+        assert rc == 0
+        return json.loads(path.read_text())
+
+    def test_write_then_suppress(self, tmp_path):
+        base = tmp_path / "base.json"
+        doc = self._write(base)
+        assert doc["version"] == 1
+        assert doc["workloads"]["vacation"]
+        rc, out = run_cli("check", "vacation", "--static-only",
+                          "--fail-on", "warning",
+                          "--baseline", str(base),
+                          "--threads", "4", "--scale", "0.2")
+        assert rc == 0
+        assert "suppressed by baseline" in out
+        assert "UNEXPECTED" not in out
+
+    def test_new_finding_still_fails(self, tmp_path):
+        base = tmp_path / "base.json"
+        doc = self._write(base)
+        # drop one recorded finding: it counts as new again
+        doc["workloads"]["vacation"].pop()
+        base.write_text(json.dumps(doc))
+        rc, out = run_cli("check", "vacation", "--static-only",
+                          "--fail-on", "warning",
+                          "--baseline", str(base),
+                          "--threads", "4", "--scale", "0.2")
+        assert rc == 1
+        assert "UNEXPECTED" in out
+
+    def test_json_carries_suppressed_codes(self, tmp_path):
+        base = tmp_path / "base.json"
+        self._write(base)
+        rc, out = run_cli("check", "vacation", "--static-only",
+                          "--fail-on", "warning", "--json",
+                          "--baseline", str(base),
+                          "--threads", "4", "--scale", "0.2")
+        assert rc == 0
+        doc = json.loads(out)
+        entry = doc["workloads"]["vacation"]
+        assert entry["suppressed_codes"]
+        assert entry["unexpected_codes"] == []
+
+    def test_missing_baseline_file_is_exit_2(self, capsys):
+        rc, _ = run_cli("check", "micro_low_abort", "--static-only",
+                        "--baseline", "/nonexistent/base.json",
+                        "--threads", "2", "--scale", "0.2")
+        assert rc == 2
+        assert "baseline file not found" in capsys.readouterr().err
+
+    def test_write_baseline_requires_a_path(self, capsys):
+        rc, _ = run_cli("check", "micro_low_abort", "--static-only",
+                        "--write-baseline",
+                        "--threads", "2", "--scale", "0.2")
+        assert rc == 2
+        assert "--write-baseline needs --baseline" \
+            in capsys.readouterr().err
+
 
 class TestViewHardening:
     """`repro view` on a missing/empty/torn database: exit 2 with a

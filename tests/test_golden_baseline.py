@@ -1,14 +1,22 @@
-"""The committed leaf-agreement baseline is an acceptance gate.
+"""The committed cross-validation baseline is an acceptance gate.
 
 ``tests/golden/crossval_baseline.json`` records, per micro-suite
-workload, both cross-validation panes: the abort-class pane (static
-abort-class predictions vs sampled abort classes) and the newer
-decision-tree leaf pane (static leaf predictions vs the dynamic tree's
-per-site traversal).  This test recomputes both and asserts
+workload, three cross-validation panes: the abort-class pane (static
+abort-class predictions vs sampled abort classes), the decision-tree
+leaf pane (static leaf predictions vs the dynamic tree's per-site
+traversal), and the abort-graph edge pane (model-checked who-aborts-whom
+edges vs the engine's exact conflict-edge ledger).  This test recomputes
+the panes and asserts
 
 * the leaf pane's precision/recall is **at least** the abort-class
-  pane's committed baseline (the PR's acceptance criterion), and
-* neither pane regressed below its own committed value.
+  pane's committed baseline,
+* the edge pane's precision/recall stays >= 0.9 (and == 1.0 wherever
+  the dynamic oracle has conflict evidence, which on the golden suite
+  is everywhere),
+* DPOR explores strictly fewer interleavings than brute force on every
+  verify scenario (> 2x on the loop-heavy micros) while producing the
+  identical abort graph, and
+* no pane regressed below its own committed value.
 
 The profiler is seeded and deterministic, so these are exact
 comparisons, not tolerances.  Regenerate the baseline with
@@ -32,10 +40,10 @@ def baseline():
     return json.loads(BASELINE.read_text())
 
 
-def _crossval(name, base):
+def _crossval(name, base, mc=False):
     report = analyze_workload(
         name, n_threads=base["n_threads"], scale=base["scale"],
-        races=True, predict=True,
+        races=True, predict=True, mc=mc,
     )
     return cross_validate(
         name, n_threads=base["n_threads"], scale=base["scale"], report=report
@@ -82,3 +90,55 @@ def test_baseline_is_perfect_on_the_golden_suite(baseline):
                     "envelope_consistency"):
             assert w[key] == 1.0, (name, key, w[key])
         assert w["leaf_cells"] > 0, name
+
+
+# the micros whose transactions loop over multiple lines: the DPOR
+# reduction must pay off visibly there, not just on trivial systems
+LOOP_HEAVY = (
+    "micro_capacity",
+    "micro_sync",
+    "micro_high_abort",
+    "micro_moderate_abort",
+    "micro_false_sharing",
+    "micro_elision_unsafe",
+)
+
+
+def test_edge_pane_baseline_is_perfect(baseline):
+    """The committed edge-pane numbers: 1.0 everywhere, all verified."""
+    for name, w in baseline["workloads"].items():
+        assert w["edge_precision"] == 1.0, (name, w["edge_precision"])
+        assert w["edge_recall"] == 1.0, (name, w["edge_recall"])
+        assert w["all_verified"], name
+        # DPOR strictly beats full enumeration on every workload
+        assert w["interleavings_dpor"] < w["interleavings_brute"], name
+        assert w["reduction_ratio"] > 1.0, name
+
+
+def test_loop_heavy_micros_reduce_over_2x(baseline):
+    for name in LOOP_HEAVY:
+        w = baseline["workloads"][name]
+        assert w["reduction_ratio"] > 2.0, (name, w["reduction_ratio"])
+
+
+@pytest.mark.parametrize("name", [
+    "micro_high_abort",
+    "micro_capacity",
+    "micro_lock_line",
+    "micro_fallback_race",
+])
+def test_edge_pane_meets_committed_baseline(baseline, name):
+    """Recomputed edge pane >= the committed acceptance floor."""
+    base = baseline["workloads"][name]
+    cv = _crossval(name, baseline, mc=True)
+    ep, er = cv.mc_precision_recall()
+    assert ep >= 0.9 and er >= 0.9, (name, ep, er)
+    # the golden oracle has conflict evidence wherever it scores, so the
+    # committed value is exact
+    assert ep >= base["edge_precision"] and er >= base["edge_recall"]
+    st = cv.mc_stats
+    assert st["all_verified"], name
+    assert st["interleavings_dpor"] == base["interleavings_dpor"]
+    assert st["interleavings_brute"] == base["interleavings_brute"]
+    # mc evidence may only widen the envelope, never break it
+    assert cv.envelope_consistency >= base["envelope_consistency"]

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import random
 import time
 from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, Future, wait
@@ -67,15 +68,29 @@ class JobFailed(CampaignError):
 
 @dataclass
 class RetryPolicy:
-    """Bounded retry with exponential backoff."""
+    """Bounded retry with exponential backoff and seeded full jitter.
+
+    Jitter spreads concurrent retries across ``[0, backoff *
+    factor**(attempt-1)]`` so clients/jobs that failed together don't
+    hammer the same resource in lockstep on the way back.  The draw is
+    seeded from ``(seed, token, attempt)`` — fully deterministic, so
+    fixed-seed campaign byte-identity tests keep pinning; ``token`` is
+    the retrying job's key, giving each job its own sequence.
+    """
 
     max_attempts: int = 3
     backoff: float = 0.05
     factor: float = 2.0
+    jitter: bool = True
+    seed: int = 0
 
-    def delay(self, attempt: int) -> float:
+    def delay(self, attempt: int, token: str = "") -> float:
         """Seconds to wait before retry number ``attempt`` (1-based)."""
-        return self.backoff * (self.factor ** (attempt - 1))
+        ceiling = self.backoff * (self.factor ** (attempt - 1))
+        if not self.jitter:
+            return ceiling
+        rng = random.Random(f"{self.seed}:{token}:{attempt}")
+        return rng.uniform(0.0, ceiling)
 
 
 @dataclass
@@ -113,10 +128,16 @@ class CampaignRunner:
         refresh: bool = False,
         tracer: Tracer | None = None,
         on_event: Callable[[dict], None] | None = None,
+        deadline: float | None = None,
     ) -> None:
         self.store = store if store is not None else MemoryStore()
         self.jobs = max(1, jobs)
         self.timeout = timeout
+        #: absolute ``time.monotonic()`` timestamp the whole campaign
+        #: must finish by (the caller's propagated deadline); each
+        #: job's timeout is trimmed to the remaining budget, so no
+        #: worker runs past the caller's patience
+        self.deadline = deadline
         self.retry = retry or RetryPolicy()
         self.refresh = refresh
         self.metrics = MetricsRegistry()
@@ -232,10 +253,36 @@ class CampaignRunner:
             "hit_rate": hits / total if total else 1.0,
         }
 
+    # ------------------------------------------------- deadline budgeting
+
+    def _remaining(self) -> float | None:
+        """Seconds left in the campaign budget; None = unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def _effective_timeout(self) -> float | None:
+        """The per-job timeout after trimming to the remaining budget.
+        Raises :class:`CampaignError` once the budget is spent — the
+        campaign fails fast instead of starting work nobody waits for.
+        """
+        remaining = self._remaining()
+        if remaining is None:
+            return self.timeout
+        if remaining <= 0:
+            raise CampaignError("campaign deadline exceeded")
+        if self.timeout is None:
+            return remaining
+        return min(self.timeout, remaining)
+
     # ----------------------------------------------------- serial fallback
 
     def _run_serial(self, campaign: Campaign, order: list[str]) -> None:
         for key in order:
+            # serial jobs run in-process where SIGALRM is off-limits
+            # (runner threads); the deadline is enforced coarsely,
+            # between jobs
+            self._effective_timeout()
             spec = campaign.jobs[key]
             attempt = 0
             while True:
@@ -335,9 +382,12 @@ class CampaignRunner:
         self._emit({"type": "job", "state": "submit", "key": key,
                     "attempt": attempt})
         self.metrics.counter("campaign.submitted").inc()
+        # the worker enforces this with SIGALRM; trimming it to the
+        # remaining campaign budget is what carries a client deadline
+        # all the way down to the simulating process
         return executor.submit(execute_job, spec.to_dict(),
                                self._dep_records(campaign, spec),
-                               self.timeout)
+                               self._effective_timeout())
 
     # ------------------------------------------------------------- helpers
 
@@ -381,7 +431,13 @@ class CampaignRunner:
                        f"({attempt} attempts): {type(exc).__name__}: {exc}")
             return False
         self.metrics.counter("campaign.retries").inc()
-        delay = self.retry.delay(attempt)
+        delay = self.retry.delay(attempt, token=key)
+        remaining = self._remaining()
+        if remaining is not None:
+            if remaining <= 0:
+                self.metrics.counter("campaign.failures").inc()
+                return False  # no budget left to retry in
+            delay = min(delay, remaining)
         _log.debug(f"campaign job {spec.label} attempt {attempt} failed "
                    f"({type(exc).__name__}: {exc}); retrying in {delay:.2f}s")
         if delay > 0:

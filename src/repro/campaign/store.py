@@ -190,6 +190,8 @@ class ResultStore:
         self.flushes = 0
         self.compactions = 0
         self.batches = 0
+        #: the most recent :meth:`scrub` report (None until one runs)
+        self.last_scrub: dict | None = None
         #: test-only: called at each durability boundary; raising
         #: :class:`CrashPoint` abandons the operation mid-write
         self._crash_hook = crash_hook
@@ -885,6 +887,23 @@ class ResultStore:
                 self._wal_fh.close()
                 self._wal_fh = None
 
+    # --------------------------------------------------------------- scrub
+
+    def scrub(self) -> dict:
+        """Verify every on-disk structure (read-only) and cache the
+        report for :meth:`stats`/:meth:`export_metrics`.
+
+        Flushes first so the memtable is on disk, then runs the same
+        walk as :func:`scrub_files`.  Repair (quarantining) is the
+        offline CLI's job — ``repro store scrub --repair`` against a
+        drained store — never a live store's, whose open readers may
+        still pin the very files a repair would move.
+        """
+        self.flush()
+        report = scrub_files(self.root)
+        self.last_scrub = report
+        return report
+
     # --------------------------------------------------------------- stats
 
     def stats(self) -> dict:
@@ -922,6 +941,8 @@ class ResultStore:
                 "flushes": self.flushes,
                 "compactions": self.compactions,
                 "batches": self.batches,
+                "scrub": (None if self.last_scrub is None
+                          else self.last_scrub["summary"]),
             }
 
     def export_metrics(self, registry: MetricsRegistry) -> None:
@@ -945,3 +966,183 @@ class ResultStore:
         for level, shape in sorted(st["levels"].items()):
             g(f"store.level.{level}.segments").set(shape["segments"])
             g(f"store.level.{level}.bytes").set(shape["bytes"])
+        if st["scrub"] is not None:
+            for name, value in sorted(st["scrub"].items()):
+                g(f"store.scrub.{name}").set(value)
+
+
+# --------------------------------------------------------------- scrubbing
+
+
+def _valid_prefix(path: Path) -> tuple[list[dict], int, int]:
+    """Parse a JSON-lines file like ``_replay_lines`` does, plus how
+    many bytes sit past the valid prefix: ``(entries, valid, excess)``.
+    """
+    entries: list[dict] = []
+    try:
+        raw = path.read_bytes()
+    except (FileNotFoundError, OSError):
+        return entries, 0, 0
+    offset = 0
+    for line in raw.split(b"\n"):
+        length = len(line)
+        if line.strip():
+            try:
+                entry = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                entry = None
+            if not isinstance(entry, dict):
+                return entries, offset, len(raw) - offset
+            entries.append(entry)
+        offset += length + 1
+    return entries, min(offset, len(raw)), 0
+
+
+def _damage_kind(path: Path, valid: int) -> str:
+    """Classify bytes past the valid prefix: a ``torn`` tail (hard-kill
+    debris — parseable records never follow it) versus mid-file
+    ``corrupt`` damage (intact records *after* the bad line mean a
+    recovery would silently drop them — bit rot, not a crash)."""
+    raw = path.read_bytes()[valid:]
+    bad_seen = False
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            bad_seen = True
+            continue
+        if isinstance(entry, dict) and bad_seen:
+            return "corrupt"
+        bad_seen = True
+    return "torn"
+
+
+def _quarantine(root: Path, name: str) -> None:
+    target = root / "quarantine" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    (root / name).replace(target)
+
+
+def scrub_files(root: str | Path, repair: bool = False) -> dict:
+    """Walk a store directory and verify every on-disk structure.
+
+    Checks, without opening a live store:
+
+    * **manifest** — parseable JSON lines all the way down;
+    * **segments** — each manifest-live segment parses cleanly; any
+      ``seg-*.jsonl`` the manifest doesn't reference is an *orphan*
+      (crash-abandoned zombie — its records were compacted elsewhere);
+    * **WALs** — every ``wal-*.log`` parses cleanly (recovery replays
+      them all, so damage here is damage to un-flushed acked writes);
+    * **replay sidecars** — each ``replay/*.rlog`` passes the replay
+      reader's per-line CRC + manifest-digest verification (sidecars
+      are written whole, so an incomplete one is corrupt, not torn);
+    * **task journal** — ``serve-journal.log`` parses cleanly (its CRC
+      framing is checked by the serve layer on recovery).
+
+    With ``repair=True``, torn tails are amputated in place (exactly
+    what recovery would do) and corrupt sidecars + orphan segments are
+    moved to ``<root>/quarantine/`` — never deleted.  Run repair only
+    against a drained store: a live daemon's readers may pin segments.
+
+    Returns a report dict whose ``summary`` block is what
+    ``stats()``/obs metrics surface; ``summary["corrupt"] == 0`` and
+    ``summary["orphans"] == 0`` together mean the store is clean
+    (``torn`` tails self-heal on the next open).
+    """
+    root = Path(root)
+    report: dict = {"root": str(root), "files": {}, "summary": {}}
+    torn = corrupt = orphans = repaired = records = 0
+    live: set[str] = set()
+
+    def note(name: str, entries: list[dict], valid: int,
+             excess: int) -> None:
+        nonlocal torn, corrupt, repaired
+        state = "ok"
+        if excess:
+            state = _damage_kind(root / name, valid)
+            if state == "torn":
+                torn += 1
+            else:
+                corrupt += 1
+            if repair:
+                # amputation is exactly the recovery-time repair; do it
+                # for torn tails AND mid-file corruption (the damaged
+                # suffix is unreadable to every reader anyway).  The
+                # valid prefix always ends on a newline, so the file
+                # stays safe to append to.
+                with (root / name).open("ab") as fh:
+                    fh.truncate(valid)
+                    _fsync(fh)
+                repaired += 1
+        report["files"][name] = {"state": state, "records": len(entries),
+                                 "valid_bytes": valid,
+                                 "excess_bytes": excess}
+
+    manifest = root / ResultStore.MANIFEST
+    if manifest.exists():
+        entries, valid, excess = _valid_prefix(manifest)
+        note(ResultStore.MANIFEST, entries, valid, excess)
+        for entry in entries:
+            segment = entry.get("segment")
+            if isinstance(segment, str):
+                if entry.get("op") == "add":
+                    live.add(segment)
+                elif entry.get("op") == "drop":
+                    live.discard(segment)
+    for path in sorted(root.glob("seg-*.jsonl")):
+        entries, valid, excess = _valid_prefix(path)
+        records += len(entries)
+        if path.name not in live:
+            orphans += 1
+            report["files"][path.name] = {"state": "orphan",
+                                          "records": len(entries),
+                                          "valid_bytes": valid,
+                                          "excess_bytes": excess}
+            if repair:
+                _quarantine(root, path.name)
+                repaired += 1
+            continue
+        note(path.name, entries, valid, excess)
+    for path in sorted(root.glob("wal-*.log")):
+        entries, valid, excess = _valid_prefix(path)
+        records += len(entries)
+        note(path.name, entries, valid, excess)
+    journal = root / "serve-journal.log"
+    if journal.exists():
+        entries, valid, excess = _valid_prefix(journal)
+        note(journal.name, entries, valid, excess)
+    replay_dir = root / ResultStore.REPLAY_DIR
+    sidecars = 0
+    if replay_dir.is_dir():
+        from ..replay.log import ReplayFormatError, load_replay
+
+        for path in sorted(replay_dir.glob("*.rlog")):
+            sidecars += 1
+            name = f"{ResultStore.REPLAY_DIR}/{path.name}"
+            try:
+                log = load_replay(path)
+                ok = log.complete
+            except (ReplayFormatError, OSError, UnicodeDecodeError):
+                ok = False
+            if ok:
+                report["files"][name] = {"state": "ok"}
+                continue
+            corrupt += 1
+            report["files"][name] = {"state": "corrupt"}
+            if repair:
+                _quarantine(root, name)
+                repaired += 1
+    report["summary"] = {
+        "files": len(report["files"]),
+        "records": records,
+        "sidecars": sidecars,
+        "torn": torn,
+        "corrupt": corrupt,
+        "orphans": orphans,
+        "repaired": repaired,
+    }
+    report["clean"] = corrupt == 0 and orphans == 0 and torn == 0
+    return report

@@ -192,7 +192,7 @@ SUBMISSION_FIELDS: dict[str, Any] = {
 
 #: executor knobs that ride along in a submission but are the *runner's*
 #: business, not the campaign's content hash
-RUNNER_FIELDS = ("jobs", "timeout", "refresh")
+RUNNER_FIELDS = ("jobs", "timeout", "refresh", "deadline")
 
 
 def submission_kwargs(doc: dict) -> tuple[str, dict[str, Any]]:

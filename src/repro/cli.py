@@ -295,13 +295,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 2)")
     p.add_argument("--skip-passthrough", action="store_true",
                    help="skip the zero-plan byte-identity check")
+    p.add_argument("--serve", action="store_true", dest="serve_drill",
+                   help="run the service-layer drill instead: kill the "
+                        "daemon at every journal boundary, reset event "
+                        "streams mid-feed, corrupt store bytes — assert "
+                        "no acked submission is lost, recovery is "
+                        "idempotent, and results stay byte-identical to "
+                        "the serial CLI")
+    p.add_argument("--stream-resets", type=int, default=2,
+                   dest="stream_resets", metavar="N",
+                   help="with --serve: mid-stream connection resets to "
+                        "inject (default 2)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the report as one JSON document")
     p.add_argument("--artifact-dir", metavar="DIR", default=None,
                    dest="artifact_dir",
                    help="dump a replay log (repro.replay) for every "
                         "diverging cell into DIR (created on first "
-                        "divergence; nothing recorded otherwise)")
+                        "divergence; nothing recorded otherwise); with "
+                        "--serve: dump the failing cell's journal and "
+                        "store files")
     _add_common(p)
 
     p = sub.add_parser("measure-overhead",
@@ -400,6 +413,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=2,
                    help="retry budget per job after its first failure "
                         "(default 2)")
+    p.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                   help="admission cap: queued+running campaigns beyond "
+                        "this are rejected with 429 (default 64)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   dest="drain_timeout", metavar="SEC",
+                   help="how long SIGTERM / POST /v1/drain waits for "
+                        "in-flight campaigns before snapshotting "
+                        "(default 30)")
 
     p = sub.add_parser(
         "submit",
@@ -445,6 +466,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "http://127.0.0.1:8750)")
     p.add_argument("--json", action="store_true",
                    help="print the raw status document(s) as JSON")
+
+    p = sub.add_parser(
+        "store",
+        help="result-store maintenance (scrub: verify every segment, "
+             "WAL, task journal and replay sidecar)")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    ps = store_sub.add_parser(
+        "scrub",
+        help="verify CRCs, manifest digests and framing of every store "
+             "file; --repair amputates torn tails and quarantines "
+             "corrupt entries")
+    ps.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="result-store directory (default: "
+                         "$REPRO_CACHE_DIR or .repro-cache)")
+    ps.add_argument("--repair", action="store_true",
+                    help="repair in place: truncate torn tails, move "
+                         "corrupt/orphan files to <store>/quarantine/ "
+                         "(run against a drained store)")
+    ps.add_argument("--json", action="store_true", dest="as_json",
+                    help="print the full scrub report as JSON")
     return parser
 
 
@@ -958,6 +999,25 @@ def cmd_chaos(args) -> int:
 
     from .faults.chaos import DEFAULT_LOSS_RATES, DEFAULT_WORKLOADS, run_sweep
 
+    if args.serve_drill:
+        from .faults.plan import FaultPlanError
+        from .faults.service import ServiceChaosPlan, run_service_drill
+
+        try:
+            plan = ServiceChaosPlan(seed=args.fault_seed,
+                                    stream_resets=args.stream_resets)
+            plan.validate()
+        except FaultPlanError as exc:
+            _log.error(str(exc))
+            return 2
+        report = run_service_drill(plan, artifact_dir=args.artifact_dir)
+        if args.as_json:
+            _log.info(json.dumps(report.to_dict(), indent=2,
+                                 sort_keys=True))
+        else:
+            _log.info(report.render())
+        return 0 if report.ok else 1
+
     if args.rates is None:
         rates = DEFAULT_LOSS_RATES
     else:
@@ -1229,12 +1289,16 @@ def cmd_serve(args) -> int:
             or ".repro-cache")
     daemon = ServeDaemon(store=ResultStore(root, background=True),
                          runners=args.runners, default_jobs=args.jobs,
-                         retries=args.retries)
+                         retries=args.retries,
+                         max_queue=args.max_queue,
+                         drain_timeout=args.drain_timeout)
     _log.info(f"serving store {root} on http://{args.host}:{args.port} "
-              f"(runners={args.runners}, default jobs={args.jobs}) — "
-              f"Ctrl-C to stop")
+              f"(runners={args.runners}, default jobs={args.jobs}, "
+              f"queue={args.max_queue}) — SIGTERM or POST /v1/drain "
+              f"for a graceful drain, Ctrl-C to stop")
     try:
-        asyncio.run(run_server(daemon, args.host, args.port))
+        asyncio.run(run_server(daemon, args.host, args.port,
+                               install_signals=True))
     except KeyboardInterrupt:
         _log.info("shutting down")
     finally:
@@ -1256,8 +1320,8 @@ def cmd_submit(args) -> int:
             doc[field] = value
     if args.refresh:
         doc["refresh"] = True
-    client = ServeClient(_serve_url(args))
     try:
+        client = ServeClient(_serve_url(args))
         accepted = client.submit(doc)
         cid = accepted["id"]
         if not (args.wait or args.stream):
@@ -1282,8 +1346,8 @@ def cmd_submit(args) -> int:
 def cmd_status(args) -> int:
     from .serve.client import ServeClient, ServeError
 
-    client = ServeClient(_serve_url(args))
     try:
+        client = ServeClient(_serve_url(args))
         docs = [client.status(args.id)] if args.id \
             else client.campaigns()
     except ServeError as exc:
@@ -1308,6 +1372,39 @@ def cmd_status(args) -> int:
             line += f" error={doc['error']}"
         _log.info(line)
     return 0
+
+
+def cmd_store(args) -> int:
+    from .campaign.store import scrub_files
+
+    root = (args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+            or ".repro-cache")
+    if not os.path.isdir(root):
+        _log.error(f"no result store at {root}")
+        return 2
+    report = scrub_files(root, repair=args.repair)
+    # a repair pass reports the damage it *found*; re-scrub to decide
+    # whether the store actually came back clean
+    ok = scrub_files(root)["clean"] if args.repair else report["clean"]
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    s = report["summary"]
+    _log.info(f"scrubbed {s['files']} file(s), {s['records']} "
+              f"record(s), {s['sidecars']} sidecar(s): "
+              f"torn={s['torn']} corrupt={s['corrupt']} "
+              f"orphans={s['orphans']} repaired={s['repaired']}")
+    for name, info in sorted(report["files"].items()):
+        if info.get("state") != "ok":
+            _log.info(f"  {info['state']:7s} {name}")
+    if ok:
+        _log.info("store is clean")
+    elif args.repair:
+        _log.error("store still damaged after repair")
+    else:
+        _log.error("store is damaged — rerun with --repair to "
+                   "amputate torn tails and quarantine corrupt files")
+    return 0 if ok else 1
 
 
 def cmd_correctness(args) -> int:
@@ -1339,6 +1436,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "submit": cmd_submit,
     "status": cmd_status,
+    "store": cmd_store,
 }
 
 

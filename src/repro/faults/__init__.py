@@ -22,14 +22,24 @@ exact observation boundary the profiler is allowed to see.
   sample-loss and LBR-truncation rates over the micro suite and assert
   the dominant abort category and decision-tree leaf per TM site stay
   within a documented tolerance of the clean run.
+* :mod:`repro.faults.service` — the service-layer chaos harness: a
+  :class:`ServiceChaosPlan` names seeded daemon kills at journal
+  boundaries, mid-stream connection resets and store byte corruption;
+  :func:`run_service_drill` asserts no acked submission is lost,
+  recovery is idempotent, and results stay byte-identical to the
+  serial CLI (``repro chaos --serve``).
 """
 
 from .inject import FaultInjector, WorkerKilled
 from .plan import FaultPlan, FaultPlanError
+from .service import ServiceChaosPlan, ServiceDrillReport, run_service_drill
 
 __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "ServiceChaosPlan",
+    "ServiceDrillReport",
     "WorkerKilled",
+    "run_service_drill",
 ]

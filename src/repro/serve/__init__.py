@@ -18,27 +18,50 @@ Modules:
   responses, chunked transfer), pure and synchronous.
 - :mod:`repro.serve.registry` — campaign-task lifecycle + the ordered
   progress-event feed the streaming endpoint reads.
-- :mod:`repro.serve.daemon` — the service core: validation, runner
-  threads, store/metrics access.  No sockets.
+- :mod:`repro.serve.journal` — the crash-safe task journal (WAL-style,
+  CRC-framed, group-committed) every state transition is appended to.
+- :mod:`repro.serve.supervise` — admission control (bounded queue,
+  per-suite circuit breakers), journaled lifecycle, graceful drain.
+- :mod:`repro.serve.daemon` — the service core: validation, journal
+  recovery, runner threads, store/metrics access.  No sockets.
 - :mod:`repro.serve.server` — the asyncio front end and routes.
-- :mod:`repro.serve.client` — a stdlib ``http.client`` client used by
-  ``repro submit`` / ``repro status --url`` and the tests.
+- :mod:`repro.serve.client` — a stdlib ``http.client`` client (with
+  jittered retries and stream resume) used by ``repro submit`` /
+  ``repro status --url`` and the tests.
 - :mod:`repro.serve.smoke` — the CI smoke driver
   (``python -m repro.serve.smoke``).
 """
 
 from .client import ServeClient, ServeError
 from .daemon import ServeDaemon
+from .journal import JournalState, TaskJournal, TaskRecord
 from .registry import CampaignTask, TaskRegistry
 from .server import BackgroundServer, HttpFrontend, run_server
+from .supervise import (
+    Busy,
+    CircuitBreaker,
+    CircuitOpen,
+    Draining,
+    QueueFull,
+    Supervisor,
+)
 
 __all__ = [
     "BackgroundServer",
+    "Busy",
     "CampaignTask",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Draining",
     "HttpFrontend",
+    "JournalState",
+    "QueueFull",
     "ServeClient",
     "ServeDaemon",
     "ServeError",
+    "Supervisor",
+    "TaskJournal",
+    "TaskRecord",
     "TaskRegistry",
     "run_server",
 ]

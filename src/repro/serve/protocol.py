@@ -26,7 +26,9 @@ STATUS_PHRASES = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: submission bodies above this are rejected with 413 — a JobSpec
@@ -115,14 +117,23 @@ def render_response(status: int, body: bytes,
             + body)
 
 
-def json_response(status: int, doc: object) -> bytes:
+def json_response(status: int, doc: object,
+                  extra_headers: dict[str, str] | None = None) -> bytes:
     """A JSON-body response (sorted keys — byte-stable for tests)."""
     body = (json.dumps(doc, sort_keys=True) + "\n").encode()
-    return render_response(status, body)
+    return render_response(status, body, extra_headers=extra_headers)
 
 
-def error_response(status: int, message: str) -> bytes:
-    return json_response(status, {"error": message, "status": status})
+def error_response(status: int, message: str,
+                   retry_after: int | None = None) -> bytes:
+    """An error body; ``retry_after`` adds the ``Retry-After`` header
+    (429/503 backpressure answers carry the polite wait hint)."""
+    doc: dict[str, object] = {"error": message, "status": status}
+    headers: dict[str, str] | None = None
+    if retry_after is not None:
+        doc["retry_after"] = retry_after
+        headers = {"Retry-After": str(retry_after)}
+    return json_response(status, doc, extra_headers=headers)
 
 
 def stream_head(status: int = 200,

@@ -2,7 +2,8 @@
 
 A :class:`CampaignTask` is one accepted submission: the validated
 document, the built :class:`~repro.campaign.spec.Campaign`, a state
-machine (``queued → running → done | failed``), and an ordered list of
+machine (``queued → running → publishing → done | failed``), and an
+ordered list of
 progress events (each stamped with a monotonically increasing index
 ``i``) appended by the scheduler's ``on_event`` callback.  The
 :class:`TaskRegistry` owns the id namespace and the lock; the streaming
@@ -64,6 +65,12 @@ class CampaignTask:
     summary: dict | None = None
     submitted_at: float = field(default_factory=time.time)
     finished_at: float | None = None
+    #: wall-clock budget in seconds (client deadline, propagated down)
+    deadline: float | None = None
+    #: monotonic timestamp the budget expires at (set on acceptance)
+    deadline_at: float | None = None
+    #: True when this task was rebuilt from the journal after a crash
+    recovered: bool = False
 
     @property
     def finished(self) -> bool:
@@ -86,6 +93,10 @@ class CampaignTask:
             doc["summary"] = self.summary
         if self.finished_at is not None:
             doc["finished_at"] = self.finished_at
+        if self.deadline is not None:
+            doc["deadline"] = self.deadline
+        if self.recovered:
+            doc["recovered"] = True
         return doc
 
 
@@ -99,14 +110,33 @@ class TaskRegistry:
         self._next_id = 1
 
     def create(self, suite: str, doc: dict, campaign: Campaign,
-               jobs: int, timeout: float | None,
-               refresh: bool) -> CampaignTask:
+               jobs: int, timeout: float | None, refresh: bool,
+               deadline: float | None = None,
+               task_id: str | None = None,
+               submitted_at: float | None = None,
+               recovered: bool = False) -> CampaignTask:
+        """Allocate (or, with ``task_id``, restore) one task.
+
+        Journal recovery passes the pre-crash id so ``status`` keeps
+        resolving it; the id counter always advances past restored ids
+        so fresh submissions never collide with replayed ones.
+        """
         with self._mu:
-            task_id = f"c-{self._next_id:06d}"
-            self._next_id += 1
+            if task_id is None:
+                task_id = f"c-{self._next_id:06d}"
+                self._next_id += 1
+            else:
+                if task_id in self._tasks:
+                    raise ValueError(f"duplicate task id {task_id!r}")
+                tail = task_id.rsplit("-", 1)[-1]
+                if tail.isdigit():
+                    self._next_id = max(self._next_id, int(tail) + 1)
             task = CampaignTask(id=task_id, suite=suite, doc=doc,
                                 campaign=campaign, jobs=jobs,
-                                timeout=timeout, refresh=refresh)
+                                timeout=timeout, refresh=refresh,
+                                deadline=deadline, recovered=recovered)
+            if submitted_at is not None:
+                task.submitted_at = submitted_at
             self._tasks[task_id] = task
             self._order.append(task_id)
             return task

@@ -10,7 +10,11 @@ Endpoints::
 
     GET  /healthz                      liveness
     GET  /v1/stats                     store + queue + metrics snapshot
-    POST /v1/campaigns                 submit a campaign document (202)
+    POST /v1/drain                     stop admissions, drain, snapshot
+    POST /v1/campaigns                 submit a campaign document (202;
+                                       429/503 + Retry-After when the
+                                       queue is full, a breaker is
+                                       open, or the daemon is draining)
     GET  /v1/campaigns                 all campaign statuses
     GET  /v1/campaigns/{id}            one campaign status
     GET  /v1/campaigns/{id}/result     {target_key: record} (finished)
@@ -31,12 +35,14 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import signal
 import threading
 import time
 
 from ..campaign.suites import SuiteError
 from .daemon import ServeDaemon, UnknownKeyError
 from .registry import CampaignTask
+from .supervise import Busy
 from .protocol import (
     MAX_BODY_BYTES,
     ProtocolError,
@@ -174,6 +180,11 @@ class HttpFrontend:
                 return self._write(writer, 200, {"ok": True})
             if segments == ["v1", "stats"] and request.method == "GET":
                 return self._write(writer, 200, self.daemon.stats())
+            if segments == ["v1", "drain"]:
+                if request.method != "POST":
+                    writer.write(error_response(405, "POST only"))
+                    return 405
+                return await self._drain(request, writer)
             if segments == ["v1", "campaigns"]:
                 if request.method == "POST":
                     task = self.daemon.submit(request.json())
@@ -198,6 +209,12 @@ class HttpFrontend:
         except SuiteError as exc:
             writer.write(error_response(400, str(exc)))
             return 400
+        except Busy as exc:
+            # backpressure, not failure: 429 (queue full) or 503
+            # (draining / circuit open), always with Retry-After
+            writer.write(error_response(exc.status, str(exc),
+                                        retry_after=exc.retry_after))
+            return exc.status
         except UnknownKeyError as exc:
             writer.write(error_response(
                 404, f"no record for key {exc.args[0]!r}"))
@@ -254,6 +271,32 @@ class HttpFrontend:
         writer.write(error_response(404, f"no route for {request.path}"))
         return 404
 
+    # ------------------------------------------------------------ lifecycle
+
+    async def _drain(self, request: Request,
+                     writer: asyncio.StreamWriter) -> int:
+        """``POST /v1/drain``: stop admissions, wait for in-flight
+        campaigns (``?timeout=S`` caps the wait), snapshot the journal,
+        then report.  ``run_server`` notices ``daemon.drained`` and
+        exits cleanly right after this response goes out."""
+        timeout: float | None = None
+        raw = request.query.get("timeout")
+        if raw is not None:
+            try:
+                timeout = float(raw)
+            except ValueError:
+                writer.write(error_response(400,
+                                            "timeout must be a number"))
+                return 400
+        loop = asyncio.get_running_loop()
+        clean = await loop.run_in_executor(
+            None, lambda: self.daemon.drain(timeout))
+        return self._write(writer, 200, {
+            "draining": True,
+            "clean": clean,
+            "queue_depth": self.daemon.queue_depth(),
+        })
+
     # ------------------------------------------------------------ streaming
 
     async def _stream_events(self, request: Request,
@@ -275,9 +318,23 @@ class HttpFrontend:
             if events:
                 since = events[-1]["i"] + 1
                 await writer.drain()
+                if self.daemon.stream_resets_remaining > 0:
+                    # chaos drill: hard-reset the connection mid-feed
+                    # (RST, no terminating chunk) — the client must
+                    # resume from its `since` cursor on a fresh socket
+                    self.daemon.stream_resets_remaining -= 1
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    return 200
             if finished or not follow:
                 break
             await asyncio.sleep(EVENT_POLL_S)
+        # explicit end-of-stream sentinel: a feed that stops without it
+        # was cut mid-flight (TCP semantics alone can't tell a clean
+        # close from a reset once the kernel buffer is drained, so the
+        # client keys its resume decision off this line)
+        writer.write(chunk(event_line({"eos": True})))
         writer.write(last_chunk())
         return 200
 
@@ -350,14 +407,44 @@ class BackgroundServer:
 
 
 async def run_server(daemon: ServeDaemon, host: str = "127.0.0.1",
-                     port: int = 8750) -> None:
-    """Start the front end and serve until cancelled (the CLI wraps
-    this in ``asyncio.run`` and catches KeyboardInterrupt)."""
+                     port: int = 8750, *,
+                     install_signals: bool = False,
+                     poll_s: float = 0.2) -> None:
+    """Start the front end and serve until cancelled or drained.
+
+    With ``install_signals=True`` a SIGTERM triggers the graceful
+    path: admissions stop, in-flight campaigns drain up to the
+    daemon's drain timeout, the journal is snapshotted, and the loop
+    exits clean — same effect as ``POST /v1/drain``.  (SIGINT stays
+    the CLI's KeyboardInterrupt, the abrupt-but-journaled path.)
+    """
     frontend = HttpFrontend(daemon, host=host, port=port)
     await frontend.start()
+    loop = asyncio.get_running_loop()
+
+    def _on_sigterm() -> None:
+        _log.info("SIGTERM: draining before shutdown")
+        threading.Thread(target=daemon.drain, daemon=True,
+                         name="repro-serve-drain").start()
+
+    if install_signals:
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            install_signals = False
     try:
-        await frontend.serve_forever()
+        while not daemon.drained:
+            await asyncio.sleep(poll_s)
+        # one extra beat so the /v1/drain response flushes before the
+        # listener goes away
+        await asyncio.sleep(poll_s)
+        _log.info("drained; shutting down")
     except asyncio.CancelledError:  # pragma: no cover - shutdown path
         pass
     finally:
+        if install_signals:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
         await frontend.close()

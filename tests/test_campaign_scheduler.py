@@ -250,3 +250,24 @@ class TestMidRunKills:
                                 retry=fast_retry())
         (record,) = runner.run(c).values()
         assert record["result"]["makespan"] > 0
+
+
+class TestRetryJitter:
+    def test_deterministic_under_a_fixed_seed(self):
+        a = RetryPolicy(backoff=1.0, seed=7).delay(2, token="job")
+        b = RetryPolicy(backoff=1.0, seed=7).delay(2, token="job")
+        assert a == b
+        assert 0.0 <= a <= 2.0  # full jitter over the ceiling
+
+    def test_tokens_decorrelate_concurrent_retriers(self):
+        policy = RetryPolicy(backoff=1.0, seed=7)
+        assert policy.delay(2, token="job-a") != \
+            policy.delay(2, token="job-b")
+        assert RetryPolicy(backoff=1.0, seed=1).delay(3, token="t") != \
+            RetryPolicy(backoff=1.0, seed=2).delay(3, token="t")
+
+    def test_jitter_off_restores_the_bare_ceiling(self):
+        policy = RetryPolicy(backoff=0.5, factor=3.0, jitter=False)
+        assert policy.delay(1) == 0.5
+        assert policy.delay(2) == 1.5
+        assert policy.delay(3) == 4.5

@@ -380,3 +380,80 @@ class TestChaosCommand:
         doc = json.loads(out)
         assert doc["ok"] is True
         assert doc["cells"]
+
+
+class TestServeClientErrorPaths:
+    """An unreachable or misconfigured daemon must produce one
+    actionable line on stderr and a nonzero exit — never a traceback."""
+
+    def test_status_unreachable_daemon(self, capsys):
+        rc = main(["status", "--url", "http://127.0.0.1:59999"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "is `repro serve` running" in err
+        assert "Traceback" not in err
+
+    def test_submit_unreachable_daemon(self, capsys):
+        rc = main(["submit", "overhead",
+                   "--url", "http://127.0.0.1:59999"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "is `repro serve` running" in err
+        assert "Traceback" not in err
+
+    def test_malformed_url_is_not_a_traceback(self, capsys):
+        rc = main(["status", "--url", "http://[bad"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bad server URL" in err
+        assert "Traceback" not in err
+
+    def test_https_url_rejected_cleanly(self, capsys):
+        rc = main(["status", "--url", "https://example.com"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "only http" in err
+        assert "Traceback" not in err
+
+
+class TestStoreScrubCommand:
+    def _store(self, tmp_path):
+        from repro.campaign.store import ResultStore
+
+        root = tmp_path / "cache"
+        store = ResultStore(root, background=False)
+        store.put("key-1", {"n": 1})
+        store.close()
+        return root
+
+    def test_clean_store_exits_zero(self, tmp_path):
+        root = self._store(tmp_path)
+        rc, out = run_cli("store", "scrub", "--cache-dir", str(root))
+        assert rc == 0
+        assert "store is clean" in out
+
+    def test_damaged_store_exits_one_then_repairs(self, tmp_path,
+                                                  capsys):
+        root = self._store(tmp_path)
+        wal = sorted(root.glob("wal-*.log"))[0]
+        wal.write_bytes(wal.read_bytes() + b'{"torn')
+        assert main(["store", "scrub", "--cache-dir", str(root)]) == 1
+        assert "rerun with --repair" in capsys.readouterr().err
+        assert main(["store", "scrub", "--cache-dir", str(root),
+                     "--repair"]) == 0
+        assert main(["store", "scrub", "--cache-dir", str(root)]) == 0
+
+    def test_json_report(self, tmp_path):
+        root = self._store(tmp_path)
+        rc, out = run_cli("store", "scrub", "--cache-dir", str(root),
+                          "--json")
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["clean"] is True
+        assert doc["summary"]["records"] >= 1
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        rc = main(["store", "scrub", "--cache-dir",
+                   str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no result store" in capsys.readouterr().err

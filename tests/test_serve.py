@@ -502,3 +502,77 @@ class TestCliStatusJson:
         assert doc["state"] == "cached"
         assert doc["cache"]["pending"] == 0
         assert doc["cache"]["hit_rate"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# resilience: stream resume + deadline propagation over HTTP
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestResilience:
+    def test_stream_resume_absorbs_injected_resets(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1)
+        server = BackgroundServer(daemon)
+        try:
+            port = server.start()
+            client = ServeClient(f"http://127.0.0.1:{port}",
+                                 retries=3, retry_backoff=0.01)
+            accepted = client.submit(dict(TINY))
+            client.wait(accepted["id"])
+            daemon.stream_resets_remaining = 2
+            for _ in range(2):  # each full pass absorbs one reset
+                events = list(client.stream_events(accepted["id"],
+                                                   since=0))
+                indices = [e["i"] for e in events if "i" in e]
+                assert indices == list(range(len(indices)))
+                assert indices, "resumed feed delivered nothing"
+                assert events[-1]["type"] == "done"
+            assert daemon.stream_resets_remaining == 0
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_stream_without_retry_budget_surfaces_the_reset(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1)
+        server = BackgroundServer(daemon)
+        try:
+            port = server.start()
+            client = ServeClient(f"http://127.0.0.1:{port}", retries=0)
+            accepted = client.submit(dict(TINY))
+            client.wait(accepted["id"])
+            daemon.stream_resets_remaining = 1
+            with pytest.raises(ServeError) as err:
+                list(client.stream_events(accepted["id"], since=0))
+            assert err.value.status == 0  # transport-level drop
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_deadline_propagates_through_submission(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1)
+        server = BackgroundServer(daemon)
+        try:
+            port = server.start()
+            client = ServeClient(f"http://127.0.0.1:{port}")
+            accepted = client.submit({**TINY, "deadline": 1e-6})
+            final = client.wait(accepted["id"])
+            assert final["state"] == "failed"
+            assert "deadline" in final["error"]
+            assert final["deadline"] == pytest.approx(1e-6)
+        finally:
+            server.stop()
+            daemon.close()
+
+    def test_stats_carry_the_admission_block(self):
+        daemon = ServeDaemon(store=MemoryStore(), runners=1,
+                             max_queue=5)
+        try:
+            doc = daemon.stats()
+            assert doc["admission"]["max_queue"] == 5
+            assert doc["admission"]["queue_depth"] == 0
+            assert doc["admission"]["draining"] is False
+            assert "serve.queue.limit" in doc["metrics"]
+            assert "serve.leases.active" in doc["metrics"]
+        finally:
+            daemon.close()

@@ -974,9 +974,16 @@ class ResultStore:
 # --------------------------------------------------------------- scrubbing
 
 
-def _valid_prefix(path: Path) -> tuple[list[dict], int, int]:
+def _valid_prefix(
+    path: Path,
+    check: Callable[[bytes], dict | None] | None = None,
+) -> tuple[list[dict], int, int]:
     """Parse a JSON-lines file like ``_replay_lines`` does, plus how
     many bytes sit past the valid prefix: ``(entries, valid, excess)``.
+
+    ``check`` swaps in a stricter per-line decoder (e.g. the task
+    journal's CRC framing) returning the entry or ``None`` on damage —
+    scrub must reach the same verdict the file's own recovery would.
     """
     entries: list[dict] = []
     try:
@@ -987,11 +994,16 @@ def _valid_prefix(path: Path) -> tuple[list[dict], int, int]:
     for line in raw.split(b"\n"):
         length = len(line)
         if line.strip():
-            try:
-                entry = json.loads(line)
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                entry = None
-            if not isinstance(entry, dict):
+            if check is not None:
+                entry = check(bytes(line))
+            else:
+                try:
+                    entry = json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    entry = None
+                if not isinstance(entry, dict):
+                    entry = None
+            if entry is None:
                 return entries, offset, len(raw) - offset
             entries.append(entry)
         offset += length + 1
@@ -1039,8 +1051,10 @@ def scrub_files(root: str | Path, repair: bool = False) -> dict:
     * **replay sidecars** — each ``replay/*.rlog`` passes the replay
       reader's per-line CRC + manifest-digest verification (sidecars
       are written whole, so an incomplete one is corrupt, not torn);
-    * **task journal** — ``serve-journal.log`` parses cleanly (its CRC
-      framing is checked by the serve layer on recovery).
+    * **task journal** — ``serve-journal.log`` passes the serve
+      layer's per-line CRC check — the same verdict its recovery
+      reaches, so a flipped bit that still parses as JSON counts as
+      damage here too.
 
     With ``repair=True``, torn tails are amputated in place (exactly
     what recovery would do) and corrupt sidecars + orphan segments are
@@ -1112,7 +1126,13 @@ def scrub_files(root: str | Path, repair: bool = False) -> dict:
         note(path.name, entries, valid, excess)
     journal = root / "serve-journal.log"
     if journal.exists():
-        entries, valid, excess = _valid_prefix(journal)
+        from ..serve.journal import TaskJournal
+
+        # CRC-framed: a bit flip that still parses as JSON is damage
+        # the journal's own recovery would truncate, so scrub must not
+        # call it ok
+        entries, valid, excess = _valid_prefix(
+            journal, check=TaskJournal._check_line)
         note(journal.name, entries, valid, excess)
     replay_dir = root / ResultStore.REPLAY_DIR
     sidecars = 0

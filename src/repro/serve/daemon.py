@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 import time
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
@@ -125,6 +126,8 @@ class ServeDaemon:
         self._runners = ThreadPoolExecutor(
             max_workers=max(1, runners),
             thread_name_prefix="repro-serve-runner")
+        #: serializes the admission depth-check + registry.create pair
+        self._admit_mu = threading.Lock()
         self._closed = False
         self._recover()
 
@@ -204,12 +207,23 @@ class ServeDaemon:
         timeout = self._coerce_timeout(doc.get("timeout"))
         refresh = bool(doc.get("refresh", False))
         deadline = self._coerce_deadline(doc.get("deadline"))
-        self.supervisor.admit(suite, self.queue_depth())
-        task = self.registry.create(suite, doc, campaign, jobs, timeout,
-                                    refresh, deadline=deadline)
+        # one lock around depth check + create, so N concurrent
+        # submitters can't all read depth == max-1 and overshoot
+        with self._admit_mu:
+            self.supervisor.admit(suite, self.queue_depth())
+            task = self.registry.create(suite, doc, campaign, jobs,
+                                        timeout, refresh,
+                                        deadline=deadline)
         if deadline is not None:
             task.deadline_at = time.monotonic() + deadline
-        self.supervisor.accept(task, doc, deadline)  # the ack point
+        try:
+            self.supervisor.accept(task, doc, deadline)  # the ack point
+        except Exception:
+            # journal append failed: never acked, so it must not stay
+            # queued (a CrashPoint is BaseException — a simulated hard
+            # kill leaves memory as-is, like the real thing)
+            self.registry.remove(task.id)
+            raise
         self.metrics.counter("serve.submissions").inc()
         self._runners.submit(self._execute, task)
         _log.info(f"accepted campaign {task.id}: suite={suite} "

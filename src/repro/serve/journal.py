@@ -185,16 +185,32 @@ class TaskJournal:
 
     def _amputate(self, valid: int) -> None:
         """Truncate past the intact prefix and newline-terminate, so
-        the next append never glues onto a torn record."""
+        the next append never glues onto a torn record.
+
+        The termination matters even when nothing is truncated: a torn
+        write can end exactly at the end of a complete record, missing
+        only the trailing newline.  Appending onto that line would fuse
+        two records, and the next replay would drop *both* — including
+        the acked, durable one.
+        """
         try:
             size = self.path.stat().st_size
         except FileNotFoundError:
             return
-        if size == valid:
-            return
         with self.path.open("ab") as fh:
-            fh.truncate(valid)
-            _fsync(fh)
+            dirty = False
+            if size > valid:
+                fh.truncate(valid)
+                size = valid
+                dirty = True
+            if size:
+                with self.path.open("rb") as rfh:
+                    rfh.seek(size - 1)
+                    if rfh.read(1) != b"\n":
+                        fh.write(b"\n")
+                        dirty = True
+            if dirty:
+                _fsync(fh)
 
     # ------------------------------------------------------------ recovery
 
@@ -291,10 +307,11 @@ class TaskJournal:
                     self._fh = self.path.open("ab")
                 self._fh.write(b"".join(batch))
                 _fsync(self._fh)
-                self.fsyncs += 1
                 with self._mu:
+                    self.fsyncs += 1
                     self._durable_seq = max(self._durable_seq, top)
-        self.appended += 1
+        with self._mu:
+            self.appended += 1
         self._crash(f"journal-{entry_type}-durable")
         return entry
 

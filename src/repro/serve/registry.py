@@ -145,6 +145,15 @@ class TaskRegistry:
         with self._mu:
             return self._tasks.get(task_id)
 
+    def remove(self, task_id: str) -> CampaignTask | None:
+        """Forget a task that never got acked (its journal append
+        failed) — otherwise it would occupy a queue slot forever."""
+        with self._mu:
+            task = self._tasks.pop(task_id, None)
+            if task is not None:
+                self._order.remove(task_id)
+            return task
+
     def list(self) -> list[CampaignTask]:
         with self._mu:
             return [self._tasks[tid] for tid in self._order]

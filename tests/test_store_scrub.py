@@ -122,6 +122,38 @@ class TestScrubDamage:
         assert (tmp_path / "quarantine" / name).exists()
         assert scrub_files(tmp_path)["clean"]
 
+    def test_journal_crc_flip_not_reported_ok(self, tmp_path):
+        """A flipped digit in the task journal can still parse as
+        JSON, but the journal's recovery checks the per-line CRC and
+        would truncate it — scrub must reach the same verdict, not
+        report the file ok."""
+        from repro.serve.journal import TaskJournal
+
+        _make_store(tmp_path)
+        path = tmp_path / TaskJournal.NAME
+        journal = TaskJournal(path)
+        journal.recover()
+        journal.append("accepted", task="c-1", suite="s", doc={},
+                       submitted_at=0.0)
+        journal.append("accepted", task="c-2", suite="s", doc={},
+                       submitted_at=0.0)
+        journal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        # still valid JSON, but the payload no longer matches its CRC
+        path.write_bytes(lines[0].replace(b'"c-1"', b'"c-9"')
+                         + lines[1])
+
+        report = scrub_files(tmp_path)
+        assert not report["clean"]
+        # an intact record follows the bad line: bit rot, not torn
+        assert report["files"][TaskJournal.NAME]["state"] == "corrupt"
+
+        # repair truncates to the CRC-valid prefix — exactly what
+        # journal recovery would keep
+        scrub_files(tmp_path, repair=True)
+        assert TaskJournal(path).recover().order == []
+        assert scrub_files(tmp_path)["clean"]
+
     def test_repair_keeps_surviving_records_readable(self, tmp_path):
         _make_store(tmp_path, flush=False)
         wal = sorted(tmp_path.glob("wal-*.log"))[0]

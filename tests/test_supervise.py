@@ -148,6 +148,32 @@ class TestJournal:
         again = TaskJournal(path).recover()
         assert again.records["c-1"].state == "running"
 
+    def test_unterminated_tail_newline_terminated_on_recover(
+            self, tmp_path):
+        """A torn write can end exactly at the end of a complete
+        record, missing only the newline.  Recover must terminate that
+        line even though nothing needs truncating — otherwise the next
+        append fuses two records and the following replay drops both,
+        losing the acked, durable one."""
+        path = tmp_path / "j.log"
+        journal = TaskJournal(path)
+        journal.recover()
+        journal.append("accepted", task="c-1", suite="s", doc={},
+                       submitted_at=0.0)
+        journal.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact.rstrip(b"\n"))  # drop only the \n
+
+        fresh = TaskJournal(path)
+        state = fresh.recover()
+        assert state.order == ["c-1"]
+        assert path.read_bytes() == intact  # newline restored
+        fresh.append("running", task="c-1", epoch=0, pid=1)
+        fresh.close()
+        again = TaskJournal(path).recover()
+        assert again.order == ["c-1"]  # nothing glued, nothing lost
+        assert again.records["c-1"].state == "running"
+
     def test_crc_flip_contained_like_a_torn_tail(self, tmp_path):
         path = tmp_path / "j.log"
         journal = TaskJournal(path)
@@ -397,6 +423,29 @@ def _recover(root: Path) -> ServeDaemon:
     if daemon.registry.list():
         _wait(lambda: _settled(daemon), "recovery completion")
     return daemon
+
+
+class TestSubmitUnwind:
+    def test_failed_journal_append_frees_the_queue_slot(self, tmp_path):
+        """A real I/O error from the journal append (not a simulated
+        kill) means the submission was never acked — it must be
+        unwound from the registry, not left 'queued' forever eating a
+        queue slot and ratcheting the daemon toward blanket 429s."""
+        def hook(step: str) -> None:
+            if step == "journal-accepted":
+                raise OSError("disk on fire")
+
+        daemon = ServeDaemon(
+            store=ResultStore(tmp_path / "store", background=False),
+            runners=1, default_jobs=1, journal_crash_hook=hook)
+        try:
+            with pytest.raises(OSError):
+                daemon.submit(dict(TINY))
+            assert daemon.queue_depth() == 0
+            assert daemon.registry.list() == []
+        finally:
+            daemon.journal._crash_hook = None
+            daemon.close()
 
 
 @pytest.mark.slow
